@@ -1,0 +1,222 @@
+//! Criterion microbenches (M1) for the hot kernels: the move operator at
+//! several instance sizes, the intensification procedures, the LP solve,
+//! the exact proof, the wire codec, and the Hamming kernel the master's
+//! SGP leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mkp::eval::Ratios;
+use mkp::generate::{fp_instance, gk_instance, GkSpec};
+use mkp::greedy::greedy;
+use mkp::{BitVec, Xoshiro256};
+use mkp_tabu::history::History;
+use mkp_tabu::intensify::swap_intensification;
+use mkp_tabu::moves::{apply_move, MoveStats};
+use mkp_tabu::oscillate::strategic_oscillation;
+use mkp_tabu::tabu_list::Recency;
+
+fn bench_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_move");
+    for &(n, m) in &[(100usize, 5usize), (250, 10), (500, 25)] {
+        let inst = gk_instance("b", GkSpec { n, m, tightness: 0.5, seed: 1 });
+        let ratios = Ratios::new(&inst);
+        group.bench_function(BenchmarkId::from_parameter(format!("{m}x{n}")), |b| {
+            let mut sol = greedy(&inst, &ratios);
+            let mut tabu = Recency::new(inst.n(), 15);
+            let mut stats = MoveStats::default();
+            let mut rng = Xoshiro256::seed_from_u64(2);
+            let mut now = 0u64;
+            b.iter(|| {
+                apply_move(
+                    &inst, &ratios, &mut sol, &mut tabu, now, 2, i64::MAX, 0.1, &mut rng,
+                    &mut stats,
+                );
+                now += 1;
+                black_box(sol.value())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_intensification(c: &mut Criterion) {
+    let inst = gk_instance("b", GkSpec { n: 250, m: 10, tightness: 0.5, seed: 3 });
+    let ratios = Ratios::new(&inst);
+    let base = greedy(&inst, &ratios);
+    c.bench_function("swap_intensification 10x250", |b| {
+        b.iter(|| {
+            let mut sol = base.clone();
+            swap_intensification(&inst, &mut sol, &mut MoveStats::default());
+            black_box(sol.value())
+        });
+    });
+    c.bench_function("strategic_oscillation 10x250 depth6", |b| {
+        b.iter(|| {
+            let mut sol = base.clone();
+            strategic_oscillation(&inst, &ratios, &mut sol, 6, &mut MoveStats::default());
+            black_box(sol.value())
+        });
+    });
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_relaxation");
+    for &(n, m) in &[(100usize, 5usize), (250, 25), (500, 25)] {
+        let inst = gk_instance("b", GkSpec { n, m, tightness: 0.5, seed: 4 });
+        group.bench_function(BenchmarkId::from_parameter(format!("{m}x{n}")), |b| {
+            b.iter(|| black_box(mkp_exact::bounds::lp_bound(&inst).unwrap().objective));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let inst = fp_instance(20); // mid-size WEISH-like
+    c.bench_function("branch_bound fp21", |b| {
+        b.iter(|| {
+            let r = mkp_exact::solve(&inst, &mkp_exact::BbConfig::default());
+            black_box(r.solution.value())
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use parallel_tabu::messages::ReportMsg;
+    use pvm_lite::Wire;
+    let bits = BitVec::from_bools((0..500).map(|j| j % 3 == 0));
+    let msg = ReportMsg {
+        best: bits.clone(),
+        elite: vec![bits.clone(); 8],
+        initial_value: 1,
+        best_value: 2,
+        moves: 3,
+        evals: 4,
+    };
+    c.bench_function("codec report 500-bit x9", |b| {
+        b.iter(|| {
+            let bytes = msg.to_bytes();
+            black_box(ReportMsg::from_bytes(&bytes).unwrap().best_value)
+        });
+    });
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let a = BitVec::from_bools((0..500).map(|j| j % 3 == 0));
+    let b_ = BitVec::from_bools((0..500).map(|j| j % 5 == 0));
+    c.bench_function("hamming 500 bits", |b| {
+        b.iter(|| black_box(a.hamming(&b_)));
+    });
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let inst = gk_instance("b", GkSpec { n: 500, m: 25, tightness: 0.5, seed: 5 });
+    let ratios = Ratios::new(&inst);
+    c.bench_function("greedy 25x500", |b| {
+        b.iter(|| black_box(greedy(&inst, &ratios).value()));
+    });
+}
+
+fn bench_history(c: &mut Criterion) {
+    let inst = gk_instance("b", GkSpec { n: 500, m: 25, tightness: 0.5, seed: 6 });
+    let ratios = Ratios::new(&inst);
+    let sol = greedy(&inst, &ratios);
+    c.bench_function("history record 25x500", |b| {
+        let mut h = History::new(inst.n());
+        b.iter(|| {
+            h.record(&sol);
+            black_box(h.iterations())
+        });
+    });
+}
+
+fn bench_neighborhood(c: &mut Criterion) {
+    use mkp_tabu::neighborhood::best_of_k_move;
+    let inst = gk_instance("b", GkSpec { n: 250, m: 10, tightness: 0.5, seed: 7 });
+    let ratios = Ratios::new(&inst);
+    for width in [2usize, 4] {
+        c.bench_function(&format!("best_of_{width}_move 10x250"), |b| {
+            let mut sol = greedy(&inst, &ratios);
+            let mut tabu = Recency::new(inst.n(), 15);
+            let mut stats = MoveStats::default();
+            let mut rng = Xoshiro256::seed_from_u64(8);
+            let mut now = 0u64;
+            b.iter(|| {
+                best_of_k_move(
+                    &inst, &ratios, &mut sol, &mut tabu, now, 2, i64::MAX, 0.1, width,
+                    false, &mut rng, &mut stats,
+                );
+                now += 1;
+                black_box(sol.value())
+            });
+        });
+    }
+}
+
+fn bench_rem(c: &mut Criterion) {
+    use mkp_tabu::rem::ReverseElimination;
+    use mkp_tabu::tabu_list::TabuMemory;
+    // Cost of the backward RCS walk as the running list grows — the
+    // overhead the paper cites for rejecting REM (§4.1).
+    for depth in [100usize, 1000] {
+        c.bench_function(&format!("rem recompute depth={depth}"), |b| {
+            let mut rem = ReverseElimination::new(500, depth);
+            // Preload a long history of 3-toggle moves.
+            for t in 0..depth as u64 {
+                rem.observe_solution(
+                    t,
+                    &[(t as usize * 7) % 500, (t as usize * 13) % 500, (t as usize * 29) % 500],
+                    t,
+                );
+            }
+            let mut t = depth as u64;
+            b.iter(|| {
+                rem.observe_solution(t, &[(t as usize * 7) % 500], t);
+                t += 1;
+                black_box(rem.is_tabu(3, t))
+            });
+        });
+    }
+}
+
+fn bench_dynamic_greedy(c: &mut Criterion) {
+    use mkp::greedy::dynamic_greedy_fill;
+    use mkp::Solution;
+    let inst = gk_instance("b", GkSpec { n: 250, m: 10, tightness: 0.5, seed: 9 });
+    c.bench_function("dynamic_greedy_fill 10x250", |b| {
+        b.iter(|| {
+            let mut sol = Solution::empty(&inst);
+            dynamic_greedy_fill(&inst, &mut sol);
+            black_box(sol.value())
+        });
+    });
+}
+
+fn bench_restriction(c: &mut Criterion) {
+    use mkp::restrict::Restriction;
+    let inst = gk_instance("b", GkSpec { n: 500, m: 25, tightness: 0.5, seed: 10 });
+    let ratios = Ratios::new(&inst);
+    let split: Vec<usize> = ratios.by_utility_desc()[100..104].to_vec();
+    c.bench_function("restriction build+lift 25x500", |b| {
+        b.iter(|| {
+            let r = Restriction::new(&inst, &split[..2], &split[2..]).unwrap();
+            let sub_sol = greedy(r.instance(), &Ratios::new(r.instance()));
+            black_box(r.lift(&inst, &sub_sol).value())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_moves,
+    bench_intensification,
+    bench_lp,
+    bench_exact,
+    bench_codec,
+    bench_hamming,
+    bench_greedy,
+    bench_history,
+    bench_neighborhood,
+    bench_rem,
+    bench_dynamic_greedy,
+    bench_restriction,
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! F1 — quality-over-rounds curves for the cooperative modes.
+//!
+//! The paper reports only end-of-run values; the round-by-round global-best
+//! curve is the natural "figure" showing *when* cooperation and adaptation
+//! pay: CTS1 and CTS2 coincide while every slave still improves on its own,
+//! and separate once the SGP starts regenerating stalled strategies (score
+//! exhaustion takes ~6 rounds, so the gap opens in the second half). Output
+//! is both a table and `results/curves.csv` for plotting.
+
+use mkp::generate::mk_suite;
+use mkp_bench::{mean, TextTable};
+use parallel_tabu::{run_mode, Mode, RunConfig};
+use std::fmt::Write as _;
+
+const SEEDS: [u64; 3] = [42, 1337, 2024];
+const BUDGET: u64 = 40_000_000;
+const ROUNDS: usize = 24;
+
+fn main() {
+    println!("F1: global best per master round, CTS1 vs CTS2 (mean over {} seeds)\n", SEEDS.len());
+    let instances: Vec<_> = mk_suite().into_iter().take(2).collect();
+    let mut csv = String::from("instance,mode,round,mean_best\n");
+
+    for inst in &instances {
+        let mut table = TextTable::new(vec!["round", "CTS1 mean", "CTS2 mean", "gap"]);
+        let curve = |mode: Mode| -> Vec<Vec<f64>> {
+            SEEDS
+                .iter()
+                .map(|&seed| {
+                    let cfg =
+                        RunConfig { p: 4, rounds: ROUNDS, ..RunConfig::new(BUDGET, seed) };
+                    run_mode(inst, mode, &cfg)
+                        .round_best
+                        .iter()
+                        .map(|&v| v as f64)
+                        .collect()
+                })
+                .collect()
+        };
+        let cts1 = curve(Mode::Cooperative);
+        let cts2 = curve(Mode::CooperativeAdaptive);
+        for round in 0..ROUNDS {
+            let m1 = mean(&cts1.iter().map(|c| c[round]).collect::<Vec<_>>());
+            let m2 = mean(&cts2.iter().map(|c| c[round]).collect::<Vec<_>>());
+            table.row(vec![
+                (round + 1).to_string(),
+                format!("{m1:.0}"),
+                format!("{m2:.0}"),
+                format!("{:+.0}", m2 - m1),
+            ]);
+            let _ = writeln!(csv, "{},CTS1,{},{m1:.1}", inst.name(), round + 1);
+            let _ = writeln!(csv, "{},CTS2,{},{m2:.1}", inst.name(), round + 1);
+        }
+        println!("{}:\n{}", inst.name(), table.render());
+    }
+
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/curves.csv", &csv) {
+        Ok(()) => println!("wrote results/curves.csv"),
+        Err(e) => eprintln!("could not write results/curves.csv: {e}"),
+    }
+}

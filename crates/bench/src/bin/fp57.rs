@@ -1,0 +1,78 @@
+//! E1 — the Fréville–Plateau experiment (§5, in-text result).
+//!
+//! Paper claim: "The optimal solution is reached for all these problems."
+//! For each of the 57 instances we run CTS2 and certify the optimum with
+//! the branch & bound (warm-started by the heuristic solution, so the proof
+//! is fast even where finding the optimum cold would not be).
+
+use mkp::generate::fp_suite;
+use mkp_bench::TextTable;
+use mkp_exact::{solve_with_incumbent, BbConfig};
+use parallel_tabu::{run_mode, Mode, RunConfig};
+use std::time::Instant;
+
+/// Seeds tried per instance, stopping at the first optimum hit. The paper
+/// reports reached optima without its (inevitable) per-run tuning; a small
+/// fixed seed set is the honest equivalent and the attempt count is
+/// reported per instance.
+const SEEDS: [u64; 4] = [0xF5, 1, 2, 3];
+
+fn main() {
+    println!("E1: Freville-Plateau suite, CTS2 vs certified optimum");
+    println!("(paper: optimum reached on all 57 problems)\n");
+
+    let mut table = TextTable::new(vec![
+        "instance", "n", "m", "optimum", "cts2", "hit", "tries", "ts_ms", "proof_nodes",
+    ]);
+    let mut hits = 0usize;
+    let mut max_ms = 0u128;
+    let start = Instant::now();
+
+    for inst in fp_suite() {
+        // Budget scaled to instance size; small problems need little.
+        let budget = 400_000 * inst.n() as u64;
+        let t = Instant::now();
+        let first = run_mode(
+            &inst,
+            Mode::CooperativeAdaptive,
+            &RunConfig { p: 4, rounds: 16, ..RunConfig::new(budget, SEEDS[0]) },
+        );
+        // One proof certifies the optimum for every retry.
+        let bb = solve_with_incumbent(&inst, &BbConfig::default(), Some(&first.best));
+        assert!(bb.proven, "{}: optimum not certified", inst.name());
+        let optimum = bb.solution.value();
+
+        let mut found = first.best.value();
+        let mut tries = 1;
+        for &seed in SEEDS.iter().skip(1) {
+            if found == optimum {
+                break;
+            }
+            let cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(budget, seed) };
+            found = found.max(run_mode(&inst, Mode::CooperativeAdaptive, &cfg).best.value());
+            tries += 1;
+        }
+        let ts_ms = t.elapsed().as_millis();
+        max_ms = max_ms.max(ts_ms);
+        let hit = found == optimum;
+        hits += hit as usize;
+
+        table.row(vec![
+            inst.name().to_string(),
+            inst.n().to_string(),
+            inst.m().to_string(),
+            optimum.to_string(),
+            found.to_string(),
+            if hit { "yes".into() } else { "NO".into() },
+            tries.to_string(),
+            ts_ms.to_string(),
+            bb.nodes.to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "optimum reached on {hits}/57 problems; max time {max_ms} ms; total {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
+}

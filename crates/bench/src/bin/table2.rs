@@ -1,0 +1,84 @@
+//! E3 — Table 2: SEQ vs ITS vs CTS1 vs CTS2 at a fixed work budget.
+//!
+//! The paper fixes wall-clock time on a 16-Alpha farm; the machine-
+//! independent equivalent here is a fixed *total candidate-evaluation
+//! budget* shared by every mode (DESIGN.md §4). Reported per instance:
+//! the mean best cost over several seeds per mode (and the per-seed values,
+//! since single-seed comparisons of metaheuristics are noise).
+
+use mkp::generate::mk_suite;
+use mkp_bench::{mean, stddev, TextTable};
+use parallel_tabu::{run_mode, Mode, RunConfig};
+use std::time::Instant;
+
+const SEEDS: [u64; 5] = [42, 1337, 2024, 7, 99];
+const BUDGET: u64 = 40_000_000;
+const ROUNDS: usize = 16;
+const P: usize = 4;
+
+fn main() {
+    println!("E3: Table 2 — best cost per mode at equal total budget");
+    println!(
+        "(P = {P}, rounds = {ROUNDS}, budget = {BUDGET} candidate evals, {} seeds)\n",
+        SEEDS.len()
+    );
+
+    let mut table = TextTable::new(vec![
+        "Prob", "SEQ", "ITS", "CTS1", "CTS2", "Exec evals",
+    ]);
+    let mut detail = TextTable::new(vec!["Prob", "mode", "mean", "sd", "per-seed"]);
+    let mut mode_means: Vec<(Mode, Vec<f64>)> =
+        Mode::table2().iter().map(|&m| (m, Vec::new())).collect();
+
+    let start = Instant::now();
+    for inst in mk_suite() {
+        let mut cells = vec![inst.name().to_string()];
+        for mode in Mode::table2() {
+            let values: Vec<f64> = SEEDS
+                .iter()
+                .map(|&seed| {
+                    let cfg = RunConfig { p: P, rounds: ROUNDS, ..RunConfig::new(BUDGET, seed) };
+                    run_mode(&inst, mode, &cfg).best.value() as f64
+                })
+                .collect();
+            cells.push(format!("{:.0}", mean(&values)));
+            detail.row(vec![
+                inst.name().to_string(),
+                mode.label().to_string(),
+                format!("{:.0}", mean(&values)),
+                format!("{:.0}", stddev(&values)),
+                format!("{values:?}"),
+            ]);
+            mode_means
+                .iter_mut()
+                .find(|(m, _)| *m == mode)
+                .expect("mode present")
+                .1
+                .push(mean(&values));
+        }
+        cells.push(BUDGET.to_string());
+        table.row(cells);
+    }
+
+    println!("Table 2 (paper layout, mean over seeds):\n{}", table.render());
+    println!("Per-seed detail:\n{}", detail.render());
+
+    // Cross-instance summary: mean gap of each mode to the per-instance
+    // best mode (0 = always the winner).
+    let instances = mode_means[0].1.len();
+    let mut summary = TextTable::new(vec!["mode", "mean gap to best mode (%)"]);
+    for k in 0..instances {
+        let best = mode_means
+            .iter()
+            .map(|(_, v)| v[k])
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (_, v) in mode_means.iter_mut() {
+            v[k] = 100.0 * (best - v[k]) / best;
+        }
+    }
+    for (mode, gaps) in &mode_means {
+        summary.row(vec![mode.label().to_string(), format!("{:.4}", mean(gaps))]);
+    }
+    println!("Summary:\n{}", summary.render());
+    println!("total {:.1} s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,45 @@
+//! E5 (extension) — the Chu–Beasley class: the OR-Library suite that
+//! superseded the paper's benchmarks one year later.
+//!
+//! Runs CTS2 over the 9-instance `mknapcb`-shaped grid (n ∈ {100, 250, 500}
+//! × tightness ∈ {0.25, 0.5, 0.75}, m = 10) and reports Dev.% against the
+//! LP bound, the standard presentation for this class. Shows the reproduced
+//! 1997 algorithm holds up on the harder successor suite, and records the
+//! well-known tightness effect (loose instances are relatively easier).
+
+use mkp::generate::cb_suite;
+use mkp::stats::instance_stats;
+use mkp_bench::{deviation_pct, TextTable};
+use mkp_exact::bounds::lp_bound;
+use parallel_tabu::{run_mode, Mode, RunConfig};
+use std::time::Instant;
+
+fn main() {
+    println!("E5 (extension): Chu-Beasley-style suite, CTS2, Dev.% vs LP bound\n");
+    let mut table = TextTable::new(vec![
+        "instance", "class stats", "lp_bound", "cts2", "dev_%", "time_s",
+    ]);
+    let start = Instant::now();
+    for (idx, inst) in cb_suite(0xCB).iter().enumerate() {
+        let lp = lp_bound(inst).expect("LP solvable").objective;
+        let budget = 60_000 * inst.n() as u64;
+        let cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(budget, 0xCB + idx as u64) };
+        let t = Instant::now();
+        let r = run_mode(inst, Mode::CooperativeAdaptive, &cfg);
+        table.row(vec![
+            inst.name().to_string(),
+            instance_stats(inst).to_string(),
+            format!("{lp:.1}"),
+            r.best.value().to_string(),
+            format!("{:.3}", deviation_pct(r.best.value(), lp)),
+            format!("{:.2}", t.elapsed().as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "total {:.1} s — expected shape: Dev.% largest at tightness 0.25 and\n\
+         shrinking as instances loosen; the 1997 algorithm stays within ~1-2%\n\
+         of the LP bound on the successor class.",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,287 @@
+//! The CLI subcommands. Each returns the text it would print, so the unit
+//! tests can exercise the full command path without capturing stdout.
+
+use crate::args::{ArgError, Args};
+use mkp::eval::Ratios;
+use mkp::generate::{chu_beasley_instance, gk_instance, uncorrelated_instance, GkSpec};
+use mkp::greedy::greedy;
+use mkp::stats::instance_stats;
+use mkp::Instance;
+use parallel_tabu::{run_mode, Mode, RunConfig};
+use std::fmt::Write as _;
+
+/// Top-level command failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// Filesystem problems.
+    Io(String),
+    /// Instance parse problems.
+    Parse(String),
+    /// Semantic problems (unknown class, unknown mode, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Usage text (also shown on `mkp help`).
+pub const USAGE: &str = "\
+mkp — 0-1 multidimensional knapsack toolkit
+  (reproduction of Niar & Fréville's parallel tabu search, IPPS 1997)
+
+USAGE:
+  mkp generate <out.mkp> [--class gk|cb|uniform] [--n N] [--m M]
+               [--tightness T] [--seed S]
+  mkp stats    <instance.mkp>
+  mkp solve    <instance.mkp> [--mode seq|its|cts1|cts2|ats|dts]
+               [--p P] [--rounds R] [--budget EVALS] [--seed S]
+               [--relink true|false]
+  mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
+  mkp help
+";
+
+fn read_instance(path: &str) -> Result<Instance, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    mkp::format::parse_instance(path, &text).map_err(|e| CliError::Parse(e.to_string()))
+}
+
+/// `mkp generate`.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let out_path = args.positional(0, "out.mkp")?.to_string();
+    let class = args.get_str("class").unwrap_or("gk").to_string();
+    let n: usize = args.get("n", 100)?;
+    let m: usize = args.get("m", 5)?;
+    let tightness: f64 = args.get("tightness", 0.5)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let name = format!("{class}_{m}x{n}_s{seed}");
+    let inst = match class.as_str() {
+        "gk" => gk_instance(&name, GkSpec { n, m, tightness, seed }),
+        "cb" => chu_beasley_instance(&name, n, m, tightness, seed),
+        "uniform" => uncorrelated_instance(&name, n, m, tightness, seed),
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown class {other:?} (use gk, cb or uniform)"
+            )))
+        }
+    };
+    std::fs::write(&out_path, mkp::format::write_instance(&inst))
+        .map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
+    Ok(format!(
+        "wrote {out_path}: {} [{}]",
+        inst.name(),
+        instance_stats(&inst)
+    ))
+}
+
+/// `mkp stats`.
+pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    if args.positional_count() > 1 {
+        return Err(CliError::Invalid("stats takes exactly one instance file".into()));
+    }
+    let inst = read_instance(args.positional(0, "instance.mkp")?)?;
+    let s = instance_stats(&inst);
+    let g = greedy(&inst, &Ratios::new(&inst));
+    let mut out = String::new();
+    let _ = writeln!(out, "instance   : {}", inst.name());
+    let _ = writeln!(out, "items      : {}", s.n);
+    let _ = writeln!(out, "constraints: {}", s.m);
+    let _ = writeln!(out, "tightness  : {:.3}", s.mean_tightness);
+    let _ = writeln!(out, "correlation: {:.3}", s.profit_weight_correlation);
+    let _ = writeln!(out, "weight cv  : {:.3}", s.weight_cv);
+    let _ = writeln!(out, "~cardinality: {:.0}", s.expected_cardinality);
+    let _ = writeln!(out, "greedy value: {}", g.value());
+    if let Ok(lp) = mkp_exact::bounds::lp_bound(&inst) {
+        let _ = writeln!(out, "LP bound   : {:.1}", lp.objective);
+    }
+    if let Some(best) = inst.best_known() {
+        let _ = writeln!(out, "best known : {best}");
+    }
+    Ok(out)
+}
+
+fn parse_mode(raw: &str) -> Result<Mode, CliError> {
+    Ok(match raw {
+        "seq" => Mode::Sequential,
+        "its" => Mode::Independent,
+        "cts1" => Mode::Cooperative,
+        "cts2" => Mode::CooperativeAdaptive,
+        "ats" => Mode::Asynchronous,
+        "dts" => Mode::Decomposed,
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown mode {other:?} (use seq, its, cts1, cts2, ats or dts)"
+            )))
+        }
+    })
+}
+
+/// `mkp solve`.
+pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
+    let inst = read_instance(args.positional(0, "instance.mkp")?)?;
+    let mode = parse_mode(args.get_str("mode").unwrap_or("cts2"))?;
+    let p: usize = args.get("p", 4)?;
+    let rounds: usize = args.get("rounds", 12)?;
+    let budget: u64 = args.get("budget", 40_000 * inst.n() as u64)?;
+    let seed: u64 = args.get("seed", 7)?;
+    let relink: bool = args.get("relink", false)?;
+    if p == 0 || rounds == 0 || budget == 0 {
+        return Err(CliError::Invalid("p, rounds and budget must be positive".into()));
+    }
+
+    let cfg = RunConfig { p, rounds, relink, ..RunConfig::new(budget, seed) };
+    let report = run_mode(&inst, mode, &cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "mode       : {}", report.mode.label());
+    let _ = writeln!(out, "best value : {}", report.best.value());
+    let _ = writeln!(out, "items      : {:?}", report.best.bits().ones());
+    let _ = writeln!(
+        out,
+        "work       : {} moves / {} evals in {:?}",
+        report.total_moves, report.total_evals, report.wall
+    );
+    if let Ok(lp) = mkp_exact::bounds::lp_bound(&inst) {
+        let gap = 100.0 * (lp.objective - report.best.value() as f64) / lp.objective;
+        let _ = writeln!(out, "LP gap     : ≤ {gap:.3}%");
+    }
+    if let Some(best) = inst.best_known() {
+        let _ = writeln!(
+            out,
+            "vs recorded: {} ({})",
+            best,
+            if report.best.value() >= best { "matched" } else { "below" }
+        );
+    }
+    Ok(out)
+}
+
+/// `mkp exact`.
+pub fn cmd_exact(args: &Args) -> Result<String, CliError> {
+    let inst = read_instance(args.positional(0, "instance.mkp")?)?;
+    let nodes: u64 = args.get("nodes", 100_000_000)?;
+    let workers: usize = args.get("workers", 1)?;
+    if workers == 0 {
+        return Err(CliError::Invalid("workers must be positive".into()));
+    }
+    let cfg = mkp_exact::BbConfig { node_limit: nodes, ..mkp_exact::BbConfig::default() };
+    let start = std::time::Instant::now();
+    let r = if workers == 1 {
+        mkp_exact::solve(&inst, &cfg)
+    } else {
+        mkp_exact::solve_parallel(&inst, &cfg, workers)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "optimum    : {}{}", r.solution.value(), if r.proven { "" } else { " (NOT PROVEN — node limit)" });
+    let _ = writeln!(out, "items      : {:?}", r.solution.bits().ones());
+    let _ = writeln!(out, "nodes      : {}", r.nodes);
+    let _ = writeln!(out, "root LP    : {:.1}", r.root_lp);
+    let _ = writeln!(out, "time       : {:?}", start.elapsed());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str], accepted: &[&'static str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string()), accepted).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mkp_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    const GEN_FLAGS: &[&str] = &["class", "n", "m", "tightness", "seed"];
+    const SOLVE_FLAGS: &[&str] = &["mode", "p", "rounds", "budget", "seed", "relink"];
+    const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
+
+    #[test]
+    fn generate_then_stats_then_solve_then_exact() {
+        let path = tmp("pipeline.mkp");
+        let msg = cmd_generate(&args(
+            &[&path, "--class", "uniform", "--n", "24", "--m", "3", "--seed", "5"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+
+        let stats = cmd_stats(&args(&[&path], &[])).unwrap();
+        assert!(stats.contains("items      : 24"));
+        assert!(stats.contains("LP bound"));
+
+        let solved = cmd_solve(&args(
+            &[&path, "--mode", "cts2", "--budget", "200000", "--rounds", "4"],
+            SOLVE_FLAGS,
+        ))
+        .unwrap();
+        assert!(solved.contains("mode       : CTS2"));
+        assert!(solved.contains("best value"));
+
+        let exact = cmd_exact(&args(&[&path, "--workers", "2"], EXACT_FLAGS)).unwrap();
+        assert!(exact.contains("optimum"));
+        assert!(!exact.contains("NOT PROVEN"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_class() {
+        let path = tmp("bad_class.mkp");
+        let err = cmd_generate(&args(&[&path, "--class", "weird"], GEN_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("unknown class"));
+    }
+
+    #[test]
+    fn solve_rejects_unknown_mode() {
+        let path = tmp("mode.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err =
+            cmd_solve(&args(&[&path, "--mode", "bogus"], SOLVE_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("unknown mode"));
+    }
+
+    #[test]
+    fn solve_rejects_zero_budget() {
+        let path = tmp("zero.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err =
+            cmd_solve(&args(&[&path, "--budget", "0"], SOLVE_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = cmd_stats(&args(&["/nonexistent/nowhere.mkp"], &[])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn all_modes_accepted_by_solver() {
+        let path = tmp("modes.mkp");
+        cmd_generate(&args(&[&path, "--n", "20", "--m", "2", "--class", "uniform"], GEN_FLAGS))
+            .unwrap();
+        for mode in ["seq", "its", "cts1", "cts2", "ats", "dts"] {
+            let out = cmd_solve(&args(
+                &[&path, "--mode", mode, "--budget", "50000", "--rounds", "2", "--p", "2"],
+                SOLVE_FLAGS,
+            ))
+            .unwrap();
+            assert!(out.contains("best value"), "mode {mode} failed");
+        }
+    }
+}

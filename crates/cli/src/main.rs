@@ -1,0 +1,62 @@
+//! `mkp` — command-line interface to the workspace.
+//!
+//! ```sh
+//! mkp generate /tmp/a.mkp --class gk --n 100 --m 5
+//! mkp stats    /tmp/a.mkp
+//! mkp solve    /tmp/a.mkp --mode cts2 --p 4
+//! mkp exact    /tmp/a.mkp --workers 4
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use commands::{cmd_exact, cmd_generate, cmd_solve, cmd_stats, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1);
+    let Some(command) = raw.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<String> = raw.collect();
+
+    let outcome = match command.as_str() {
+        "generate" => Args::parse(rest, &["class", "n", "m", "tightness", "seed"])
+            .map_err(Into::into)
+            .and_then(|a| cmd_generate(&a)),
+        "stats" => Args::parse(rest, &[])
+            .map_err(Into::into)
+            .and_then(|a| cmd_stats(&a)),
+        "solve" => Args::parse(rest, &["mode", "p", "rounds", "budget", "seed", "relink"])
+            .map_err(Into::into)
+            .and_then(|a| cmd_solve(&a)),
+        "exact" => Args::parse(rest, &["nodes", "workers"])
+            .map_err(Into::into)
+            .and_then(|a| cmd_exact(&a)),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match outcome {
+        Ok(text) => {
+            print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end tests of the compiled `mkp` binary.
+
+use std::process::Command;
+
+fn mkp(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mkp"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("mkp_bin_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = mkp(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("mkp solve"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let (ok, _, stderr) = mkp(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = mkp(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn full_generate_solve_exact_pipeline() {
+    let path = tmp("bin_pipeline.mkp");
+    let (ok, stdout, stderr) = mkp(&[
+        "generate", &path, "--class", "uniform", "--n", "22", "--m", "3", "--seed", "4",
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("wrote"));
+
+    let (ok, stdout, _) = mkp(&["stats", &path]);
+    assert!(ok);
+    assert!(stdout.contains("items      : 22"));
+
+    let (ok, solve_out, _) = mkp(&[
+        "solve", &path, "--mode", "cts2", "--budget", "150000", "--rounds", "3", "--p", "2",
+    ]);
+    assert!(ok);
+    assert!(solve_out.contains("best value :"));
+
+    let (ok, exact_out, _) = mkp(&["exact", &path, "--workers", "2"]);
+    assert!(ok);
+    assert!(exact_out.contains("optimum"));
+    assert!(!exact_out.contains("NOT PROVEN"));
+
+    // The heuristic value printed must not exceed the certified optimum.
+    let grab = |text: &str, key: &str| -> i64 {
+        text.lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().split(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {key} in output"))
+    };
+    assert!(grab(&solve_out, "best value") <= grab(&exact_out, "optimum"));
+}
+
+#[test]
+fn bad_flag_reports_accepted_set() {
+    let (ok, _, stderr) = mkp(&["solve", "nowhere.mkp", "--warp", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --warp"));
+    assert!(stderr.contains("--mode"));
+}
+
+#[test]
+fn missing_file_reports_io_error() {
+    let (ok, _, stderr) = mkp(&["solve", "/definitely/not/here.mkp"]);
+    assert!(!ok);
+    assert!(stderr.contains("io error"));
+}

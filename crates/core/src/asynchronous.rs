@@ -1,0 +1,152 @@
+//! Decentralized asynchronous cooperative search (the paper's §6 future
+//! work: "replace the centralized synchronous communication scheme (master
+//! slave model) by a decentralized asynchronous communication scheme").
+//!
+//! There is no master and no rendezvous: P workers run search chunks and,
+//! whenever *they* finish one, exchange information through a shared
+//! blackboard (the thread-level analogue of asynchronous message passing —
+//! a worker never waits for a peer). Each worker applies the ISP culling
+//! rule and the SGP scoring/adaptation *locally*, so the intensification /
+//! diversification balancing of CTS2 survives decentralization.
+//!
+//! Unlike the synchronous modes, the outcome depends on thread scheduling
+//! (which worker publishes first); runs are therefore reproducible only in
+//! distribution, not bit-for-bit — inherent to asynchronous cooperation.
+
+use crate::isp::IspConfig;
+use crate::runner::{Mode, ModeReport, RunConfig};
+use crate::score::Score;
+use crate::sgp::{next_strategy, SgpConfig};
+use mkp::eval::Ratios;
+use mkp::greedy::dynamic_randomized_greedy;
+use mkp::{BitVec, Instance, Solution, Xoshiro256};
+use mkp_tabu::elite::ElitePool;
+use mkp_tabu::{search, Budget, StrategyBounds, TsConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The shared blackboard.
+struct Board {
+    /// Best assignment published so far with its value.
+    best: (BitVec, i64),
+}
+
+/// Run the asynchronous decentralized mode (ATS).
+pub fn run_async(inst: &Instance, cfg: &RunConfig) -> ModeReport {
+    assert!(cfg.p >= 1 && cfg.rounds >= 1);
+    let start = Instant::now();
+    let ratios = Ratios::new(inst);
+    let bounds = StrategyBounds::for_instance_size(inst.n());
+    let chunk = cfg.total_evals / (cfg.p as u64 * cfg.rounds as u64);
+
+    let mut seed_rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let seed_sol = dynamic_randomized_greedy(inst, &mut seed_rng, cfg.isp.rcl);
+    let board = Mutex::new(Board {
+        best: (seed_sol.bits().clone(), seed_sol.value()),
+    });
+    let evals_spent = AtomicU64::new(0);
+    let moves_done = AtomicU64::new(0);
+    let regenerations = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..cfg.p {
+            let mut rng = seed_rng.fork(worker as u64);
+            let board = &board;
+            let evals_spent = &evals_spent;
+            let moves_done = &moves_done;
+            let regenerations = &regenerations;
+            let ratios = &ratios;
+            let bounds = &bounds;
+            let isp: &IspConfig = &cfg.isp;
+            let sgp: &SgpConfig = &cfg.sgp;
+            let total = cfg.total_evals;
+            scope.spawn(move || {
+                let mut strategy = bounds.random(&mut rng);
+                let mut score = Score::new();
+                let mut own_best = dynamic_randomized_greedy(inst, &mut rng, isp.rcl);
+                let mut elite = ElitePool::new(8);
+                let mut start_sol = own_best.clone();
+                // Long-term memory persists across chunks (see coop.rs).
+                let mut history = mkp_tabu::history::History::new(inst.n());
+
+                // Work until the global budget is gone — no barrier, no
+                // master: the check-in below is the only synchronization.
+                while evals_spent.load(Ordering::Relaxed) < total {
+                    let mut ts = TsConfig::default_for(inst.n());
+                    ts.strategy = strategy;
+                    let mut memory =
+                        mkp_tabu::tabu_list::Recency::new(inst.n(), strategy.tabu_tenure);
+                    let report = search::run_with_memory(
+                        inst,
+                        ratios,
+                        start_sol.clone(),
+                        &ts,
+                        Budget::evals(chunk.max(1)),
+                        &mut rng,
+                        &mut memory,
+                        &mut history,
+                    );
+                    evals_spent.fetch_add(report.stats.candidate_evals, Ordering::Relaxed);
+                    moves_done.fetch_add(report.stats.moves, Ordering::Relaxed);
+
+                    let improved_own = report.best.value() > own_best.value();
+                    if improved_own {
+                        own_best = report.best.clone();
+                    }
+                    for s in &report.elite {
+                        elite.offer(s);
+                    }
+
+                    // Asynchronous check-in: publish, read, adapt, move on.
+                    let global = {
+                        let mut b = board.lock();
+                        if own_best.value() > b.best.1 {
+                            b.best = (own_best.bits().clone(), own_best.value());
+                        }
+                        b.best.clone()
+                    };
+
+                    // Local SGP, scored against the worker's own best (see
+                    // the master-side rationale in `coop.rs`).
+                    let regenerate = score.update(improved_own);
+                    regenerations.fetch_add(regenerate as u64, Ordering::Relaxed);
+                    let (next, _) = next_strategy(
+                        strategy,
+                        regenerate,
+                        elite.mean_pairwise_hamming(),
+                        inst.n(),
+                        sgp,
+                        bounds,
+                        &mut rng,
+                    );
+                    strategy = next;
+
+                    // Local ISP culling rule against the published best.
+                    start_sol = if (own_best.value() as f64) < isp.alpha * global.1 as f64 {
+                        Solution::from_bits(inst, global.0)
+                    } else if rng.chance(0.15) {
+                        // Decentralized stand-in for the master's stagnation
+                        // restarts: occasional fresh randomized start.
+                        dynamic_randomized_greedy(inst, &mut rng, isp.rcl)
+                    } else {
+                        own_best.clone()
+                    };
+                }
+            });
+        }
+    });
+
+    let board = board.into_inner();
+    let best = Solution::from_bits(inst, board.best.0);
+    debug_assert!(best.is_feasible(inst));
+    ModeReport {
+        mode: Mode::Asynchronous,
+        best,
+        round_best: Vec::new(), // no global rounds exist in this mode
+        total_moves: moves_done.into_inner(),
+        total_evals: evals_spent.into_inner(),
+        regenerations: regenerations.into_inner(),
+        wall: start.elapsed(),
+    }
+}

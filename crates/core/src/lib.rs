@@ -1,0 +1,47 @@
+//! # parallel-tabu — cooperative parallel tabu search for the 0–1 MKP
+//!
+//! The primary contribution of Niar & Fréville (IPPS 1997): a master/slave
+//! parallel tabu search in which the master not only exchanges solutions
+//! between slave search threads (cooperation) but *dynamically tunes each
+//! slave's strategy parameters* — tabu tenure, move width, patience — from
+//! the slaves' scores and the Hamming dispersion of their B best solutions.
+//! This adds a macro level of intensification/diversification balancing on
+//! top of the classic single-thread mechanisms.
+//!
+//! The crate exposes the five search organizations compared in the paper's
+//! evaluation (plus its future-work extension):
+//!
+//! | mode | meaning |
+//! |------|---------|
+//! | [`Mode::Sequential`] | one TS, random parameters (SEQ) |
+//! | [`Mode::Independent`] | P independent TS threads (ITS) |
+//! | [`Mode::Cooperative`] | cooperation via the master's ISP, fixed strategies (CTS1) |
+//! | [`Mode::CooperativeAdaptive`] | cooperation + dynamic strategy tuning (CTS2) |
+//! | [`Mode::Asynchronous`] | decentralized asynchronous cooperation (ATS, §6) |
+//! | [`Mode::Decomposed`] | search-space decomposition over critical variables (DTS, §2 taxonomy) |
+//!
+//! ```
+//! use mkp::generate::{gk_instance, GkSpec};
+//! use parallel_tabu::{run_mode, Mode, RunConfig};
+//!
+//! let inst = gk_instance("demo", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 1 });
+//! let cfg = RunConfig { p: 2, rounds: 3, ..RunConfig::new(60_000, 42) };
+//! let report = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
+//! assert!(report.best.is_feasible(&inst));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asynchronous;
+pub mod coop;
+pub mod decomposed;
+pub mod isp;
+pub mod messages;
+pub mod runner;
+pub mod score;
+pub mod sgp;
+
+pub use isp::{IspConfig, StartKind};
+pub use runner::{run_mode, Mode, ModeReport, RunConfig};
+pub use score::Score;
+pub use sgp::SgpConfig;

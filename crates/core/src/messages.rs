@@ -1,0 +1,300 @@
+//! Wire messages of the master/slave protocol.
+//!
+//! Everything the master and slaves exchange crosses the `pvm-lite` codec as
+//! packed bytes, exactly as the original crossed PVM: the problem broadcast,
+//! the per-round assignment (initial solution + strategy + work budget) and
+//! the slave report (best solution, elite pool, work counters). No Rust
+//! object is ever shared between tasks.
+
+use mkp::{BitVec, Instance, Solution};
+use mkp_tabu::Strategy;
+use pvm_lite::codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
+
+/// Message tags of the protocol.
+pub mod tags {
+    /// Master → slave: problem broadcast.
+    pub const PROBLEM: u32 = 1;
+    /// Master → slave: round assignment.
+    pub const ASSIGN: u32 = 2;
+    /// Slave → master: round report.
+    pub const REPORT: u32 = 3;
+    /// Master → slave: terminate.
+    pub const STOP: u32 = 4;
+}
+
+/// The problem broadcast ("Read and send to slaves problem data", Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemMsg {
+    /// Instance name.
+    pub name: String,
+    /// Items.
+    pub n: usize,
+    /// Constraints.
+    pub m: usize,
+    /// Profits, length `n`.
+    pub profits: Vec<i64>,
+    /// Row-major weights, length `n·m`.
+    pub weights: Vec<i64>,
+    /// Capacities, length `m`.
+    pub capacities: Vec<i64>,
+}
+
+impl ProblemMsg {
+    /// Build the broadcast from an instance.
+    pub fn from_instance(inst: &Instance) -> Self {
+        let mut weights = Vec::with_capacity(inst.n() * inst.m());
+        for i in 0..inst.m() {
+            weights.extend_from_slice(inst.constraint_row(i));
+        }
+        ProblemMsg {
+            name: inst.name().to_string(),
+            n: inst.n(),
+            m: inst.m(),
+            profits: inst.profits().to_vec(),
+            weights,
+            capacities: inst.capacities().to_vec(),
+        }
+    }
+
+    /// Reconstruct the instance on the slave side.
+    pub fn into_instance(self) -> Instance {
+        Instance::new(self.name, self.n, self.m, self.profits, self.weights, self.capacities)
+            .expect("master sent a valid instance")
+    }
+}
+
+impl Wire for ProblemMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_str(&self.name);
+        buf.put_usize(self.n);
+        buf.put_usize(self.m);
+        buf.put_i64s(&self.profits);
+        buf.put_i64s(&self.weights);
+        buf.put_i64s(&self.capacities);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(ProblemMsg {
+            name: buf.get_str()?,
+            n: buf.get_usize()?,
+            m: buf.get_usize()?,
+            profits: buf.get_i64s()?,
+            weights: buf.get_i64s()?,
+            capacities: buf.get_i64s()?,
+        })
+    }
+}
+
+/// Pack a solution as (len, ones-list); value and loads are recomputed on
+/// arrival so a corrupt message cannot smuggle inconsistent caches.
+fn pack_bits(bits: &BitVec, buf: &mut PackBuffer) {
+    buf.put_usize(bits.len());
+    let ones: Vec<u64> = bits.iter_ones().map(|j| j as u64).collect();
+    buf.put_u64s(&ones);
+}
+
+fn unpack_bits(buf: &mut UnpackBuffer<'_>) -> Result<BitVec, CodecError> {
+    let len = buf.get_usize()?;
+    let ones = buf.get_u64s()?;
+    let mut bits = BitVec::zeros(len);
+    for j in ones {
+        if j as usize >= len {
+            return Err(CodecError::LengthOverflow { length: j });
+        }
+        bits.set(j as usize, true);
+    }
+    Ok(bits)
+}
+
+/// A per-round slave assignment: where to start, how to search, how much
+/// work to spend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignMsg {
+    /// Starting solution (assignment bits).
+    pub initial: BitVec,
+    /// The strategy triple for this round.
+    pub strategy: Strategy,
+    /// Candidate-evaluation budget for the round.
+    pub budget_evals: u64,
+    /// Seed for the slave's stochastic components this round.
+    pub seed: u64,
+}
+
+impl Wire for AssignMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        pack_bits(&self.initial, buf);
+        buf.put_usize(self.strategy.tabu_tenure);
+        buf.put_usize(self.strategy.nb_drop);
+        buf.put_usize(self.strategy.nb_local);
+        buf.put_u64(self.budget_evals);
+        buf.put_u64(self.seed);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(AssignMsg {
+            initial: unpack_bits(buf)?,
+            strategy: Strategy {
+                tabu_tenure: buf.get_usize()?,
+                nb_drop: buf.get_usize()?,
+                nb_local: buf.get_usize()?,
+            },
+            budget_evals: buf.get_u64()?,
+            seed: buf.get_u64()?,
+        })
+    }
+}
+
+/// A slave's end-of-round report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportMsg {
+    /// Best assignment found this round.
+    pub best: BitVec,
+    /// The B best distinct assignments, best first.
+    pub elite: Vec<BitVec>,
+    /// Value of the (repaired) starting solution — the master's SGP compares
+    /// it with the final value to score the strategy.
+    pub initial_value: i64,
+    /// Value of `best` (cross-checked on arrival).
+    pub best_value: i64,
+    /// Moves executed.
+    pub moves: u64,
+    /// Candidate evaluations spent.
+    pub evals: u64,
+}
+
+impl ReportMsg {
+    /// Rebuild (and verify) the best solution against the instance.
+    pub fn best_solution(&self, inst: &Instance) -> Solution {
+        let sol = Solution::from_bits(inst, self.best.clone());
+        assert_eq!(
+            sol.value(),
+            self.best_value,
+            "slave reported inconsistent best value"
+        );
+        sol
+    }
+}
+
+impl Wire for ReportMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        pack_bits(&self.best, buf);
+        buf.put_usize(self.elite.len());
+        for e in &self.elite {
+            pack_bits(e, buf);
+        }
+        buf.put_i64(self.initial_value);
+        buf.put_i64(self.best_value);
+        buf.put_u64(self.moves);
+        buf.put_u64(self.evals);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        let best = unpack_bits(buf)?;
+        let k = buf.get_usize()?;
+        let mut elite = Vec::with_capacity(k.min(1024));
+        for _ in 0..k {
+            elite.push(unpack_bits(buf)?);
+        }
+        Ok(ReportMsg {
+            best,
+            elite,
+            initial_value: buf.get_i64()?,
+            best_value: buf.get_i64()?,
+            moves: buf.get_u64()?,
+            evals: buf.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::generate::uncorrelated_instance;
+
+    #[test]
+    fn problem_roundtrip_preserves_instance() {
+        let inst = uncorrelated_instance("p", 20, 3, 0.5, 1);
+        let msg = ProblemMsg::from_instance(&inst);
+        let back = ProblemMsg::from_bytes(&msg.to_bytes()).unwrap().into_instance();
+        assert_eq!(back.n(), inst.n());
+        assert_eq!(back.m(), inst.m());
+        assert_eq!(back.profits(), inst.profits());
+        assert_eq!(back.capacities(), inst.capacities());
+        for i in 0..inst.m() {
+            assert_eq!(back.constraint_row(i), inst.constraint_row(i));
+        }
+    }
+
+    #[test]
+    fn assign_roundtrip() {
+        let msg = AssignMsg {
+            initial: BitVec::from_bools([true, false, true, true]),
+            strategy: Strategy { tabu_tenure: 9, nb_drop: 3, nb_local: 44 },
+            budget_evals: 1234,
+            seed: 99,
+        };
+        assert_eq!(AssignMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let msg = ReportMsg {
+            best: BitVec::from_bools([false, true, false]),
+            elite: vec![
+                BitVec::from_bools([false, true, false]),
+                BitVec::from_bools([true, false, false]),
+            ],
+            initial_value: 5,
+            best_value: 8,
+            moves: 100,
+            evals: 5000,
+        };
+        assert_eq!(ReportMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrupt_ones_index_rejected() {
+        let msg = AssignMsg {
+            initial: BitVec::from_bools([true, false]),
+            strategy: Strategy { tabu_tenure: 1, nb_drop: 1, nb_local: 1 },
+            budget_evals: 1,
+            seed: 0,
+        };
+        let mut bytes = msg.to_bytes();
+        // The first ones-index lives after len(8) + count(8); overwrite it
+        // with an out-of-range value.
+        bytes[16] = 0xFF;
+        assert!(AssignMsg::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn best_solution_verifies_value() {
+        let inst = uncorrelated_instance("v", 10, 2, 0.5, 2);
+        let sol = mkp::greedy::greedy(&inst, &mkp::eval::Ratios::new(&inst));
+        let msg = ReportMsg {
+            best: sol.bits().clone(),
+            elite: vec![],
+            initial_value: 0,
+            best_value: sol.value(),
+            moves: 0,
+            evals: 0,
+        };
+        assert_eq!(msg.best_solution(&inst).value(), sol.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent best value")]
+    fn tampered_value_detected() {
+        let inst = uncorrelated_instance("t", 10, 2, 0.5, 3);
+        let sol = mkp::greedy::greedy(&inst, &mkp::eval::Ratios::new(&inst));
+        let msg = ReportMsg {
+            best: sol.bits().clone(),
+            elite: vec![],
+            initial_value: 0,
+            best_value: sol.value() + 1,
+            moves: 0,
+            evals: 0,
+        };
+        msg.best_solution(&inst);
+    }
+}

@@ -1,0 +1,92 @@
+//! Slave strategy scoring (paper §4.2, SGP).
+//!
+//! Each slave carries a score, initially 4. After every search iteration the
+//! score is incremented when the slave's final cost beat its initial cost
+//! and decremented otherwise; when it reaches 0 the strategy is discarded
+//! and regenerated.
+
+/// Initial score of a fresh strategy (paper: "four in the actual version").
+pub const INITIAL_SCORE: u32 = 4;
+
+/// A strategy's performance score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Score(u32);
+
+impl Default for Score {
+    fn default() -> Self {
+        Score(INITIAL_SCORE)
+    }
+}
+
+impl Score {
+    /// Fresh score at the initial value.
+    pub fn new() -> Self {
+        Score::default()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u32 {
+        self.0
+    }
+
+    /// Apply one round's outcome; returns `true` when the score hit zero and
+    /// the strategy must be regenerated (the score resets to the initial
+    /// value in that case).
+    pub fn update(&mut self, improved: bool) -> bool {
+        if improved {
+            self.0 += 1;
+            false
+        } else if self.0 > 1 {
+            self.0 -= 1;
+            false
+        } else {
+            self.0 = INITIAL_SCORE;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_four() {
+        assert_eq!(Score::new().value(), 4);
+    }
+
+    #[test]
+    fn improvement_increments() {
+        let mut s = Score::new();
+        assert!(!s.update(true));
+        assert_eq!(s.value(), 5);
+    }
+
+    #[test]
+    fn failure_decrements() {
+        let mut s = Score::new();
+        assert!(!s.update(false));
+        assert_eq!(s.value(), 3);
+    }
+
+    #[test]
+    fn regeneration_after_four_consecutive_failures() {
+        let mut s = Score::new();
+        assert!(!s.update(false)); // 3
+        assert!(!s.update(false)); // 2
+        assert!(!s.update(false)); // 1
+        assert!(s.update(false)); // 0 → regenerate
+        assert_eq!(s.value(), INITIAL_SCORE, "score resets after regeneration");
+    }
+
+    #[test]
+    fn improvements_buy_slack() {
+        let mut s = Score::new();
+        s.update(true); // 5
+        s.update(true); // 6
+        for _ in 0..5 {
+            assert!(!s.update(false));
+        }
+        assert!(s.update(false), "6 failures after 2 successes exhaust the score");
+    }
+}

@@ -1,0 +1,29 @@
+//! Ad-hoc timing check: certify the whole FP suite, warm-starting the proof
+//! with the best solution of a first (truncated) dive.
+use mkp::generate::fp_suite;
+use mkp_exact::{solve_with_incumbent, BbConfig};
+use std::time::Instant;
+
+fn main() {
+    let scout = BbConfig { node_limit: 2_000_000, ..BbConfig::default() };
+    let prove = BbConfig { node_limit: 100_000_000, ..BbConfig::default() };
+    let start = Instant::now();
+    let mut unproven = 0;
+    for inst in fp_suite() {
+        let t = Instant::now();
+        let first = solve_with_incumbent(&inst, &scout, None);
+        let r = if first.proven {
+            first
+        } else {
+            solve_with_incumbent(&inst, &prove, Some(&first.solution))
+        };
+        let dt = t.elapsed().as_secs_f64();
+        if !r.proven {
+            unproven += 1;
+            println!("UNPROVEN {} nodes={} {:.1}s", inst.name(), r.nodes, dt);
+        } else if dt > 1.0 {
+            println!("slow {} {:.1}s nodes={}", inst.name(), dt, r.nodes);
+        }
+    }
+    println!("total {:.2}s, unproven {}", start.elapsed().as_secs_f64(), unproven);
+}

@@ -1,0 +1,21 @@
+//! How hard is the FP suite for greedy? (E1 must be a real test.)
+use mkp::eval::Ratios;
+use mkp::generate::fp_suite;
+use mkp::greedy::greedy;
+use mkp_exact::{solve, BbConfig};
+
+fn main() {
+    let cfg = BbConfig::default();
+    let mut greedy_optimal = 0;
+    let mut total_nodes = 0u64;
+    for inst in fp_suite() {
+        let r = solve(&inst, &cfg);
+        assert!(r.proven);
+        total_nodes += r.nodes;
+        let g = greedy(&inst, &Ratios::new(&inst));
+        if g.value() == r.solution.value() {
+            greedy_optimal += 1;
+        }
+    }
+    println!("greedy optimal on {greedy_optimal}/57; total nodes {total_nodes}");
+}

@@ -1,0 +1,278 @@
+//! Relaxation bounds: LP relaxation and surrogate relaxation.
+
+use mkp::Instance;
+use simplex_lp::{LpError, LpProblem, LpSolution};
+
+/// Solve the LP relaxation of an MKP instance (`0 ≤ x_j ≤ 1`).
+///
+/// The optimal objective is a valid upper bound on the integer optimum; the
+/// duals feed the surrogate multipliers and reduced-cost fixing.
+pub fn lp_bound(inst: &Instance) -> Result<LpSolution, LpError> {
+    let n = inst.n();
+    let m = inst.m();
+    let c: Vec<f64> = inst.profits().iter().map(|&v| v as f64).collect();
+    let mut a = vec![0.0; m * n];
+    for i in 0..m {
+        for (j, &w) in inst.constraint_row(i).iter().enumerate() {
+            a[i * n + j] = w as f64;
+        }
+    }
+    let b: Vec<f64> = inst.capacities().iter().map(|&v| v as f64).collect();
+    let problem = LpProblem::new(c, a, b, vec![1.0; n])?;
+    simplex_lp::solve(&problem)
+}
+
+/// Reduced costs `d_j = c_j − y·A_j` for given duals.
+pub fn reduced_costs(inst: &Instance, duals: &[f64]) -> Vec<f64> {
+    assert_eq!(duals.len(), inst.m());
+    (0..inst.n())
+        .map(|j| {
+            let mut d = inst.profit(j) as f64;
+            for (i, &a) in inst.item_weights(j).iter().enumerate() {
+                d -= duals[i] * a as f64;
+            }
+            d
+        })
+        .collect()
+}
+
+/// A surrogate relaxation of the MKP: the single knapsack constraint
+/// `Σ_j s_j x_j ≤ S` obtained as a non-negative integer combination of the
+/// original rows. Any feasible MKP solution satisfies it, so any upper bound
+/// for the surrogate knapsack bounds the MKP.
+#[derive(Debug, Clone)]
+pub struct Surrogate {
+    /// Surrogate weight per item, `s_j = Σ_i μ_i a_ij`.
+    pub weights: Vec<i64>,
+    /// Surrogate capacity `S = Σ_i μ_i b_i`.
+    pub capacity: i64,
+    /// The multipliers used.
+    pub multipliers: Vec<i64>,
+}
+
+impl Surrogate {
+    /// Build a surrogate constraint from non-negative integer multipliers
+    /// (not all zero).
+    pub fn new(inst: &Instance, multipliers: Vec<i64>) -> Self {
+        assert_eq!(multipliers.len(), inst.m());
+        assert!(multipliers.iter().all(|&u| u >= 0), "multipliers must be ≥ 0");
+        assert!(multipliers.iter().any(|&u| u > 0), "multipliers must not be all zero");
+        let weights: Vec<i64> = (0..inst.n())
+            .map(|j| {
+                inst.item_weights(j)
+                    .iter()
+                    .zip(&multipliers)
+                    .map(|(&a, &u)| u * a)
+                    .sum()
+            })
+            .collect();
+        let capacity = inst
+            .capacities()
+            .iter()
+            .zip(&multipliers)
+            .map(|(&b, &u)| u * b)
+            .sum();
+        Surrogate { weights, capacity, multipliers }
+    }
+
+    /// Derive multipliers from LP duals: `μ_i = round(scale · y_i)`, with a
+    /// uniform fallback when everything rounds to zero. LP duals are the
+    /// classic near-optimal surrogate multipliers for the MKP.
+    pub fn from_duals(inst: &Instance, duals: &[f64], scale: f64) -> Self {
+        let mut mult: Vec<i64> = duals
+            .iter()
+            .map(|&y| (y.max(0.0) * scale).round() as i64)
+            .collect();
+        if mult.iter().all(|&u| u == 0) {
+            mult.fill(1);
+        }
+        Surrogate::new(inst, mult)
+    }
+
+    /// Dantzig (fractional) bound for the surrogate knapsack restricted to a
+    /// subset of free items, given in **descending profit/surrogate-weight
+    /// order**, with `capacity` remaining. O(len(order)).
+    pub fn dantzig_suffix(
+        &self,
+        inst: &Instance,
+        order: &[usize],
+        capacity: i64,
+    ) -> f64 {
+        let mut remaining = capacity;
+        if remaining < 0 {
+            return f64::NEG_INFINITY; // surrogate already violated
+        }
+        let mut bound = 0.0;
+        for &j in order {
+            let s = self.weights[j];
+            if s == 0 {
+                bound += inst.profit(j) as f64;
+            } else if s <= remaining {
+                bound += inst.profit(j) as f64;
+                remaining -= s;
+            } else {
+                bound += inst.profit(j) as f64 * remaining as f64 / s as f64;
+                break;
+            }
+        }
+        bound
+    }
+
+    /// Item order by descending `c_j / s_j` (∞ first), the branching order
+    /// used by the B&B.
+    pub fn ratio_order(&self, inst: &Instance) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..inst.n()).collect();
+        let ratio = |j: usize| {
+            let s = self.weights[j];
+            if s == 0 {
+                f64::INFINITY
+            } else {
+                inst.profit(j) as f64 / s as f64
+            }
+        };
+        order.sort_by(|&a, &b| {
+            ratio(b)
+                .partial_cmp(&ratio(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::generate::uncorrelated_instance;
+    use mkp::Instance;
+
+    fn tiny() -> Instance {
+        Instance::new(
+            "tiny",
+            3,
+            2,
+            vec![10, 6, 4],
+            vec![5, 4, 3, 1, 2, 3],
+            vec![8, 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lp_bound_dominates_feasible_values() {
+        let inst = tiny();
+        let lp = lp_bound(&inst).unwrap();
+        // Feasible integral solutions: {0,2} value 14 is feasible (loads 8,4).
+        assert!(lp.objective + 1e-9 >= 14.0);
+    }
+
+    #[test]
+    fn reduced_costs_shape_and_sign() {
+        let inst = tiny();
+        let lp = lp_bound(&inst).unwrap();
+        let d = reduced_costs(&inst, &lp.duals);
+        assert_eq!(d.len(), 3);
+        // At LP optimality, variables at value 0 have d ≤ 0 and at 1 have d ≥ 0.
+        for (j, &xj) in lp.x.iter().enumerate() {
+            if xj < 1e-9 {
+                assert!(d[j] <= 1e-6, "x[{j}]=0 but d={}", d[j]);
+            } else if xj > 1.0 - 1e-9 {
+                assert!(d[j] >= -1e-6, "x[{j}]=1 but d={}", d[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn surrogate_from_unit_multipliers() {
+        let inst = tiny();
+        let s = Surrogate::new(&inst, vec![1, 1]);
+        assert_eq!(s.weights, vec![6, 6, 6]);
+        assert_eq!(s.capacity, 12);
+    }
+
+    #[test]
+    fn surrogate_is_valid_relaxation() {
+        // Every feasible solution satisfies the surrogate constraint.
+        let inst = tiny();
+        let s = Surrogate::new(&inst, vec![3, 2]);
+        for mask in 0u32..8 {
+            let items: Vec<usize> = (0..3).filter(|&j| (mask >> j) & 1 == 1).collect();
+            let feasible = (0..inst.m()).all(|i| {
+                items.iter().map(|&j| inst.weight(i, j)).sum::<i64>() <= inst.capacity(i)
+            });
+            if feasible {
+                let sw: i64 = items.iter().map(|&j| s.weights[j]).sum();
+                assert!(sw <= s.capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn from_duals_falls_back_to_uniform() {
+        let inst = tiny();
+        let s = Surrogate::from_duals(&inst, &[0.0, 0.0], 1000.0);
+        assert_eq!(s.multipliers, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not be all zero")]
+    fn all_zero_multipliers_rejected() {
+        Surrogate::new(&tiny(), vec![0, 0]);
+    }
+
+    #[test]
+    fn dantzig_suffix_full_set_bounds_lp() {
+        // Surrogate Dantzig with LP-dual multipliers must still be ≥ the
+        // integer optimum; cross-check against brute force on small cases.
+        for seed in 0..10 {
+            let inst = uncorrelated_instance("s", 12, 3, 0.5, seed);
+            let lp = lp_bound(&inst).unwrap();
+            let sur = Surrogate::from_duals(&inst, &lp.duals, 1000.0);
+            let order = sur.ratio_order(&inst);
+            let bound = sur.dantzig_suffix(&inst, &order, sur.capacity);
+            // Brute-force integer optimum.
+            let mut best = 0i64;
+            for mask in 0u32..(1 << inst.n()) {
+                let mut ok = true;
+                for i in 0..inst.m() {
+                    let load: i64 = (0..inst.n())
+                        .filter(|&j| (mask >> j) & 1 == 1)
+                        .map(|j| inst.weight(i, j))
+                        .sum();
+                    if load > inst.capacity(i) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let v: i64 = (0..inst.n())
+                        .filter(|&j| (mask >> j) & 1 == 1)
+                        .map(|j| inst.profit(j))
+                        .sum();
+                    best = best.max(v);
+                }
+            }
+            assert!(
+                bound + 1e-6 >= best as f64,
+                "seed {seed}: surrogate bound {bound} < optimum {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_order_is_descending() {
+        let inst = tiny();
+        let s = Surrogate::new(&inst, vec![1, 1]);
+        let order = s.ratio_order(&inst);
+        // weights all 6 → order by profit: 0, 1, 2.
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dantzig_suffix_negative_capacity() {
+        let inst = tiny();
+        let s = Surrogate::new(&inst, vec![1, 1]);
+        let order = s.ratio_order(&inst);
+        assert_eq!(s.dantzig_suffix(&inst, &order, -1), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,311 @@
+//! Depth-first branch & bound for the 0–1 MKP.
+//!
+//! Variables are branched in descending surrogate-ratio order (surrogate
+//! multipliers from the root LP duals), with the fractional surrogate bound
+//! pruning each node in O(remaining items). Reduced-cost fixing at the root
+//! shrinks the search space before the dive — the "size reduction" idea of
+//! Fréville & Plateau, whose instances this solver certifies.
+
+use crate::bounds::{lp_bound, Surrogate};
+use crate::reduce::{fix_variables, Fixing};
+use mkp::eval::Ratios;
+use mkp::greedy::greedy;
+use mkp::{Instance, Solution};
+
+/// Branch & bound configuration.
+#[derive(Debug, Clone)]
+pub struct BbConfig {
+    /// Abort the proof after this many nodes (the incumbent is still
+    /// returned, flagged `proven = false`).
+    pub node_limit: u64,
+    /// Scale applied to LP duals when deriving integer surrogate
+    /// multipliers.
+    pub surrogate_scale: f64,
+    /// Apply reduced-cost variable fixing at the root.
+    pub use_fixing: bool,
+}
+
+impl Default for BbConfig {
+    fn default() -> Self {
+        BbConfig {
+            node_limit: 100_000_000,
+            surrogate_scale: 1000.0,
+            use_fixing: true,
+        }
+    }
+}
+
+/// Result of a branch & bound run.
+#[derive(Debug, Clone)]
+pub struct BbResult {
+    /// Best solution found (the certified optimum when `proven`).
+    pub solution: Solution,
+    /// True when the search space was exhausted within the node limit.
+    pub proven: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+    /// Root LP relaxation value.
+    pub root_lp: f64,
+    /// Variables fixed by reduced-cost pegging at the root.
+    pub fixed_at_root: usize,
+}
+
+/// Solve an instance exactly (up to the node limit).
+pub fn solve(inst: &Instance, cfg: &BbConfig) -> BbResult {
+    solve_with_incumbent(inst, cfg, None)
+}
+
+/// Solve with a warm-start incumbent (e.g. a tabu-search solution). A strong
+/// incumbent shrinks the proof tree dramatically: reduced-cost fixing pegs
+/// more variables and the bound prunes earlier.
+pub fn solve_with_incumbent(
+    inst: &Instance,
+    cfg: &BbConfig,
+    warm: Option<&Solution>,
+) -> BbResult {
+    let ratios = Ratios::new(inst);
+    let mut incumbent = greedy(inst, &ratios);
+    if let Some(w) = warm {
+        assert!(w.is_feasible(inst), "warm-start incumbent must be feasible");
+        if w.value() > incumbent.value() {
+            incumbent = w.clone();
+        }
+    }
+
+    let lp = lp_bound(inst).expect("MKP relaxation is always a valid LP");
+    let root_lp = lp.objective;
+
+    // Root LP integral and matching greedy ⇒ done without search.
+    if (root_lp - incumbent.value() as f64).abs() < 1e-6 {
+        return BbResult {
+            solution: incumbent,
+            proven: true,
+            nodes: 0,
+            root_lp,
+            fixed_at_root: 0,
+        };
+    }
+
+    let fixing = if cfg.use_fixing {
+        fix_variables(inst, &lp, incumbent.value())
+    } else {
+        Fixing::none(inst.n())
+    };
+
+    let surrogate = Surrogate::from_duals(inst, &lp.duals, cfg.surrogate_scale);
+    // Branch order: free variables only, by descending surrogate ratio.
+    let order: Vec<usize> = surrogate
+        .ratio_order(inst)
+        .into_iter()
+        .filter(|&j| fixing.fixed[j].is_none())
+        .collect();
+
+    // Base partial solution holds the variables fixed to one.
+    let mut partial = Solution::empty(inst);
+    let mut base_feasible = true;
+    for j in 0..inst.n() {
+        if fixing.fixed[j] == Some(true) {
+            if !partial.fits(inst, j) {
+                // Fixing produced an infeasible base — only possible when the
+                // incumbent is already optimal; fall back to no fixing.
+                base_feasible = false;
+                break;
+            }
+            partial.add(inst, j);
+        }
+    }
+    let (order, partial) = if base_feasible {
+        (order, partial)
+    } else {
+        (surrogate.ratio_order(inst), Solution::empty(inst))
+    };
+
+    let mut search = Search {
+        inst,
+        surrogate: &surrogate,
+        order: &order,
+        cfg,
+        nodes: 0,
+        truncated: false,
+        best_value: incumbent.value(),
+        best_bits: None,
+    };
+    let s_remaining = surrogate.capacity
+        - partial
+            .bits()
+            .iter_ones()
+            .map(|j| surrogate.weights[j])
+            .sum::<i64>();
+    let mut partial = partial;
+    search.dive(&mut partial, 0, s_remaining);
+
+    if let Some(bits) = search.best_bits {
+        incumbent = Solution::from_bits(inst, bits);
+    }
+    debug_assert!(incumbent.is_feasible(inst));
+    BbResult {
+        solution: incumbent,
+        proven: !search.truncated,
+        nodes: search.nodes,
+        root_lp,
+        fixed_at_root: fixing.count(),
+    }
+}
+
+struct Search<'a> {
+    inst: &'a Instance,
+    surrogate: &'a Surrogate,
+    order: &'a [usize],
+    cfg: &'a BbConfig,
+    nodes: u64,
+    truncated: bool,
+    best_value: i64,
+    best_bits: Option<mkp::BitVec>,
+}
+
+impl Search<'_> {
+    /// DFS from position `k` in the branch order with `s_remaining`
+    /// surrogate capacity.
+    fn dive(&mut self, partial: &mut Solution, k: usize, s_remaining: i64) {
+        self.nodes += 1;
+        if self.nodes > self.cfg.node_limit {
+            self.truncated = true;
+            return;
+        }
+
+        if partial.value() > self.best_value {
+            self.best_value = partial.value();
+            self.best_bits = Some(partial.bits().clone());
+        }
+        if k == self.order.len() {
+            return;
+        }
+
+        // Fractional surrogate bound over the undecided suffix. Integer
+        // objective ⇒ prune unless the bound admits ≥ best + 1.
+        let bound = partial.value() as f64
+            + self
+                .surrogate
+                .dantzig_suffix(self.inst, &self.order[k..], s_remaining);
+        if bound < self.best_value as f64 + 1.0 - 1e-6 {
+            return;
+        }
+
+        let j = self.order[k];
+        // Take-branch first: ratio order makes x_j = 1 the promising side.
+        if partial.fits(self.inst, j) {
+            partial.add(self.inst, j);
+            self.dive(partial, k + 1, s_remaining - self.surrogate.weights[j]);
+            partial.drop(self.inst, j);
+            if self.truncated {
+                return;
+            }
+        }
+        self.dive(partial, k + 1, s_remaining);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::solve_single;
+    use mkp::generate::{fp_instance, uncorrelated_instance};
+    use proptest::prelude::*;
+
+    fn brute_force(inst: &Instance) -> i64 {
+        assert!(inst.n() <= 20);
+        let mut best = 0i64;
+        for mask in 0u32..(1 << inst.n()) {
+            let mut ok = true;
+            for i in 0..inst.m() {
+                let load: i64 = (0..inst.n())
+                    .filter(|&j| (mask >> j) & 1 == 1)
+                    .map(|j| inst.weight(i, j))
+                    .sum();
+                if load > inst.capacity(i) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let v: i64 = (0..inst.n())
+                    .filter(|&j| (mask >> j) & 1 == 1)
+                    .map(|j| inst.profit(j))
+                    .sum();
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        for seed in 0..25 {
+            let inst = uncorrelated_instance("b", 14, 3, 0.5, seed);
+            let r = solve(&inst, &BbConfig::default());
+            assert!(r.proven);
+            assert_eq!(r.solution.value(), brute_force(&inst), "seed {seed}");
+            assert!(r.solution.is_feasible(&inst));
+        }
+    }
+
+    #[test]
+    fn matches_dp_on_single_constraint() {
+        for seed in 0..25 {
+            let inst = uncorrelated_instance("d", 40, 1, 0.5, seed);
+            let bb = solve(&inst, &BbConfig::default());
+            let dp = solve_single(&inst);
+            assert!(bb.proven);
+            assert_eq!(bb.solution.value(), dp.value(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fixing_does_not_change_optimum() {
+        for seed in 0..10 {
+            let inst = uncorrelated_instance("f", 25, 4, 0.5, seed);
+            let with = solve(&inst, &BbConfig::default());
+            let without = solve(&inst, &BbConfig { use_fixing: false, ..BbConfig::default() });
+            assert_eq!(with.solution.value(), without.solution.value(), "seed {seed}");
+            assert!(with.proven && without.proven);
+        }
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let inst = fp_instance(30);
+        let r = solve(&inst, &BbConfig { node_limit: 5, use_fixing: false, ..BbConfig::default() });
+        // Must still return a feasible incumbent even when truncated.
+        assert!(r.solution.is_feasible(&inst));
+        assert!(r.nodes <= 6);
+    }
+
+    #[test]
+    fn root_lp_dominates_optimum() {
+        for seed in 0..10 {
+            let inst = uncorrelated_instance("l", 18, 3, 0.5, seed);
+            let r = solve(&inst, &BbConfig::default());
+            assert!(r.root_lp + 1e-6 >= r.solution.value() as f64);
+        }
+    }
+
+    #[test]
+    fn solves_fp_style_instance() {
+        // A mid-size FP instance should be provable quickly.
+        let inst = fp_instance(20);
+        let r = solve(&inst, &BbConfig::default());
+        assert!(r.proven, "FP21 not proven in node limit");
+        assert!(r.solution.value() > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_bb_matches_brute_force(seed in any::<u64>(), m in 1usize..5) {
+            let inst = uncorrelated_instance("p", 12, m, 0.5, seed);
+            let r = solve(&inst, &BbConfig::default());
+            prop_assert!(r.proven);
+            prop_assert_eq!(r.solution.value(), brute_force(&inst));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Dynamic programming for the single-constraint 0–1 knapsack.
+//!
+//! O(n·b) time and memory — only sensible for the small capacities of the
+//! test instances, where it serves as an independent oracle for the branch
+//! & bound (two exact solvers implemented from different principles agreeing
+//! on thousands of random instances is the strongest correctness evidence we
+//! can build offline).
+
+use mkp::{BitVec, Instance, Solution};
+
+/// Exact solution of a single-constraint instance by DP over capacities.
+///
+/// Panics if `inst.m() != 1`.
+pub fn solve_single(inst: &Instance) -> Solution {
+    assert_eq!(inst.m(), 1, "DP solver handles exactly one constraint");
+    let n = inst.n();
+    let cap = inst.capacity(0) as usize;
+    let row = inst.constraint_row(0);
+
+    // dp[w] = best value with capacity w using items 0..=k; `taken` records
+    // the decision per (item, capacity) for reconstruction.
+    let mut dp = vec![0i64; cap + 1];
+    let mut taken: Vec<BitVec> = Vec::with_capacity(n);
+    for (j, &row_w) in row.iter().enumerate() {
+        let w = row_w as usize;
+        let c = inst.profit(j);
+        let mut t = BitVec::zeros(cap + 1);
+        if w <= cap {
+            // Iterate downwards so each item is used at most once.
+            for b in (w..=cap).rev() {
+                let candidate = dp[b - w] + c;
+                if candidate > dp[b] {
+                    dp[b] = candidate;
+                    t.set(b, true);
+                }
+            }
+        }
+        taken.push(t);
+    }
+
+    // Reconstruct the item set.
+    let mut bits = BitVec::zeros(n);
+    let mut b = cap;
+    for j in (0..n).rev() {
+        if taken[j].get(b) {
+            bits.set(j, true);
+            b -= row[j] as usize;
+        }
+    }
+    let sol = Solution::from_bits(inst, bits);
+    debug_assert!(sol.is_feasible(inst));
+    debug_assert_eq!(sol.value(), dp[cap]);
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::generate::uncorrelated_instance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hand_example() {
+        // Classic: profits 60/100/120, weights 10/20/30, cap 50 → 220.
+        let inst = Instance::new(
+            "k",
+            3,
+            1,
+            vec![60, 100, 120],
+            vec![10, 20, 30],
+            vec![50],
+        )
+        .unwrap();
+        let sol = solve_single(&inst);
+        assert_eq!(sol.value(), 220);
+        assert!(!sol.contains(0) && sol.contains(1) && sol.contains(2));
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let inst = Instance::new("z", 2, 1, vec![5, 5], vec![1, 1], vec![0]).unwrap();
+        assert_eq!(solve_single(&inst).value(), 0);
+    }
+
+    #[test]
+    fn all_items_fit() {
+        let inst = Instance::new("a", 3, 1, vec![1, 2, 3], vec![1, 1, 1], vec![10]).unwrap();
+        assert_eq!(solve_single(&inst).value(), 6);
+    }
+
+    #[test]
+    fn oversized_item_skipped() {
+        let inst = Instance::new("o", 2, 1, vec![100, 5], vec![99, 1], vec![10]).unwrap();
+        assert_eq!(solve_single(&inst).value(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one constraint")]
+    fn rejects_multi_constraint() {
+        let inst =
+            Instance::new("m", 1, 2, vec![1], vec![1, 1], vec![1, 1]).unwrap();
+        solve_single(&inst);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random() {
+        for seed in 0..30 {
+            let inst = uncorrelated_instance("r", 14, 1, 0.5, seed);
+            let dp = solve_single(&inst);
+            let mut best = 0i64;
+            for mask in 0u32..(1 << inst.n()) {
+                let load: i64 = (0..inst.n())
+                    .filter(|&j| (mask >> j) & 1 == 1)
+                    .map(|j| inst.weight(0, j))
+                    .sum();
+                if load <= inst.capacity(0) {
+                    let v: i64 = (0..inst.n())
+                        .filter(|&j| (mask >> j) & 1 == 1)
+                        .map(|j| inst.profit(j))
+                        .sum();
+                    best = best.max(v);
+                }
+            }
+            assert_eq!(dp.value(), best, "seed {seed}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dp_solution_consistent(seed in any::<u64>()) {
+            let inst = uncorrelated_instance("p", 20, 1, 0.5, seed);
+            let sol = solve_single(&inst);
+            prop_assert!(sol.is_feasible(&inst));
+            prop_assert!(sol.check_consistent(&inst));
+        }
+    }
+}

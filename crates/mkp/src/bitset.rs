@@ -1,0 +1,334 @@
+//! Fixed-length bit vector used to represent 0–1 solution vectors.
+//!
+//! A dedicated implementation (rather than `Vec<bool>`) keeps solutions
+//! compact — Hamming distances between slave solutions are computed by the
+//! master every search iteration, and `count_ones`/XOR over `u64` words is
+//! the natural kernel for that.
+
+/// A fixed-length vector of bits, packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitVec {
+    /// All-zero bit vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Build from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        let mut bv = BitVec::zeros(bools.len());
+        for (j, &b) in bools.iter().enumerate() {
+            if b {
+                bv.set(j, true);
+            }
+        }
+        bv
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `j`. Panics if out of range (debug and release).
+    #[inline]
+    pub fn get(&self, j: usize) -> bool {
+        assert!(j < self.len, "bit index {j} out of range {}", self.len);
+        (self.words[j / WORD_BITS] >> (j % WORD_BITS)) & 1 == 1
+    }
+
+    /// Write bit `j`.
+    #[inline]
+    pub fn set(&mut self, j: usize, value: bool) {
+        assert!(j < self.len, "bit index {j} out of range {}", self.len);
+        let mask = 1u64 << (j % WORD_BITS);
+        if value {
+            self.words[j / WORD_BITS] |= mask;
+        } else {
+            self.words[j / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flip bit `j`, returning its new value.
+    #[inline]
+    pub fn toggle(&mut self, j: usize) -> bool {
+        assert!(j < self.len, "bit index {j} out of range {}", self.len);
+        self.words[j / WORD_BITS] ^= 1u64 << (j % WORD_BITS);
+        self.get(j)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set every bit to zero, keeping the length.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Hamming distance to another vector of the same length.
+    pub fn hamming(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "hamming over unequal lengths");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bv: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterator over the indices of clear bits, ascending.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&j| !self.get(j))
+    }
+
+    /// Collect set-bit indices into a `Vec`.
+    pub fn ones(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// 64-bit fingerprint of the contents (SplitMix64 over the words).
+    /// Used as the solution identity key by the reactive tabu memory and the
+    /// reverse elimination method; not cryptographic.
+    pub fn fingerprint(&self) -> u64 {
+        let mut state = 0x9E37_79B9_0000_0000 ^ self.len as u64;
+        let mut acc = 0u64;
+        for &w in &self.words {
+            state ^= w;
+            acc = acc.rotate_left(7) ^ crate::rng::splitmix64(&mut state);
+        }
+        acc
+    }
+
+    /// In-place bitwise OR with another vector of the same length.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise AND with another vector of the same length.
+    pub fn intersect_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+}
+
+/// Iterator produced by [`BitVec::iter_ones`].
+pub struct OnesIter<'a> {
+    bv: &'a BitVec,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bv.words.len() {
+                return None;
+            }
+            self.current = self.bv.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_is_all_clear() {
+        let bv = BitVec::zeros(130);
+        assert_eq!(bv.len(), 130);
+        assert_eq!(bv.count_ones(), 0);
+        for j in 0..130 {
+            assert!(!bv.get(j));
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bv = BitVec::zeros(100);
+        bv.set(0, true);
+        bv.set(63, true);
+        bv.set(64, true);
+        bv.set(99, true);
+        assert!(bv.get(0) && bv.get(63) && bv.get(64) && bv.get(99));
+        assert_eq!(bv.count_ones(), 4);
+        bv.set(63, false);
+        assert!(!bv.get(63));
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut bv = BitVec::zeros(10);
+        assert!(bv.toggle(3));
+        assert!(!bv.toggle(3));
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundary() {
+        let mut bv = BitVec::zeros(200);
+        let set = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &j in &set {
+            bv.set(j, true);
+        }
+        assert_eq!(bv.ones(), set.to_vec());
+    }
+
+    #[test]
+    fn iter_zeros_complements_ones() {
+        let mut bv = BitVec::zeros(70);
+        bv.set(2, true);
+        bv.set(69, true);
+        let zeros: Vec<usize> = bv.iter_zeros().collect();
+        assert_eq!(zeros.len(), 68);
+        assert!(!zeros.contains(&2) && !zeros.contains(&69));
+    }
+
+    #[test]
+    fn hamming_basic() {
+        let a = BitVec::from_bools([true, false, true, false]);
+        let b = BitVec::from_bools([true, true, false, false]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = BitVec::from_bools([true, false, true, false]);
+        let b = BitVec::from_bools([false, false, true, true]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.ones(), vec![0, 2, 3]);
+        a.intersect_with(&b);
+        assert_eq!(a.ones(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn hamming_length_mismatch_panics() {
+        BitVec::zeros(4).hamming(&BitVec::zeros(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn union_length_mismatch_panics() {
+        BitVec::zeros(4).union_with(&BitVec::zeros(5));
+    }
+
+    #[test]
+    fn empty_bitvec_behaves() {
+        let bv = BitVec::zeros(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.ones(), Vec::<usize>::new());
+        assert_eq!(bv.fingerprint(), BitVec::zeros(0).fingerprint());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bv = BitVec::from_bools((0..300).map(|j| j % 3 == 0));
+        assert!(bv.count_ones() > 0);
+        bv.clear();
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.len(), 300);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_is_stable() {
+        let a = BitVec::from_bools((0..200).map(|j| j % 3 == 0));
+        let b = BitVec::from_bools((0..200).map(|j| j % 3 == 1));
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Single-bit flip changes the fingerprint.
+        let mut c = a.clone();
+        c.toggle(199);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_bools_matches(bools in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let bv = BitVec::from_bools(bools.clone());
+            prop_assert_eq!(bv.len(), bools.len());
+            for (j, &b) in bools.iter().enumerate() {
+                prop_assert_eq!(bv.get(j), b);
+            }
+            prop_assert_eq!(bv.count_ones(), bools.iter().filter(|&&b| b).count());
+        }
+
+        #[test]
+        fn prop_iter_ones_sorted_and_exact(bools in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let bv = BitVec::from_bools(bools.clone());
+            let ones = bv.ones();
+            let expected: Vec<usize> =
+                bools.iter().enumerate().filter(|(_, &b)| b).map(|(j, _)| j).collect();
+            prop_assert_eq!(ones, expected);
+        }
+
+        #[test]
+        fn prop_hamming_metric_axioms(
+            a in proptest::collection::vec(any::<bool>(), 1..200),
+            flips in proptest::collection::vec(any::<prop::sample::Index>(), 0..20),
+        ) {
+            let x = BitVec::from_bools(a.clone());
+            let mut y = x.clone();
+            for f in &flips {
+                y.toggle(f.index(a.len()));
+            }
+            // symmetry and identity
+            prop_assert_eq!(x.hamming(&y), y.hamming(&x));
+            prop_assert_eq!(x.hamming(&x), 0);
+            // distance bounded by number of applied flips
+            prop_assert!(x.hamming(&y) <= flips.len());
+        }
+    }
+}

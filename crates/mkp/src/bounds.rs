@@ -1,0 +1,116 @@
+//! Cheap combinatorial upper bounds.
+//!
+//! The Dantzig bound solves the LP relaxation of a *single* knapsack
+//! constraint greedily; taking the minimum over all `m` constraints yields a
+//! valid (if loose) upper bound for the MKP in O(m · n log n). The exact
+//! solver uses it for quick pruning before paying for a full LP solve, and
+//! the benches use it as the fallback reference when the LP is not run.
+
+use crate::instance::Instance;
+
+/// Dantzig (fractional greedy) upper bound for constraint `i` alone.
+///
+/// Items are taken in descending `c_j / a_ij` order until the capacity is
+/// exhausted; the last item is taken fractionally. Items with `a_ij = 0`
+/// contribute their full profit.
+pub fn dantzig_bound_single(inst: &Instance, i: usize) -> f64 {
+    let row = inst.constraint_row(i);
+    let mut order: Vec<usize> = (0..inst.n()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = ratio(inst.profit(a), row[a]);
+        let rb = ratio(inst.profit(b), row[b]);
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut remaining = inst.capacity(i);
+    let mut bound = 0.0f64;
+    for j in order {
+        let a = row[j];
+        if a == 0 {
+            bound += inst.profit(j) as f64;
+        } else if a <= remaining {
+            bound += inst.profit(j) as f64;
+            remaining -= a;
+        } else {
+            bound += inst.profit(j) as f64 * remaining as f64 / a as f64;
+            break;
+        }
+    }
+    bound
+}
+
+#[inline]
+fn ratio(c: i64, a: i64) -> f64 {
+    if a == 0 {
+        f64::INFINITY
+    } else {
+        c as f64 / a as f64
+    }
+}
+
+/// Minimum Dantzig bound across all constraints — a valid MKP upper bound.
+pub fn dantzig_bound(inst: &Instance) -> f64 {
+    (0..inst.m())
+        .map(|i| dantzig_bound_single(inst, i))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Ratios;
+    use crate::generate::uncorrelated_instance;
+    use crate::greedy::greedy;
+
+    #[test]
+    fn single_constraint_hand_example() {
+        // profits 10, 6; weights 5, 4; cap 7: take item 0 (ratio 2), then
+        // 2/4 of item 1 → 10 + 3 = 13.
+        let inst = Instance::new("d", 2, 1, vec![10, 6], vec![5, 4], vec![7]).unwrap();
+        assert!((dantzig_bound_single(&inst, 0) - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_fill_is_exact() {
+        // Everything fits exactly: bound = total profit.
+        let inst = Instance::new("f", 2, 1, vec![4, 5], vec![3, 4], vec![7]).unwrap();
+        assert!((dantzig_bound(&inst) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_items_count_fully() {
+        let inst = Instance::new("z", 2, 1, vec![7, 5], vec![0, 10], vec![5]).unwrap();
+        assert!((dantzig_bound_single(&inst, 0) - (7.0 + 2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_constraint_takes_minimum() {
+        let inst = Instance::new(
+            "m",
+            2,
+            2,
+            vec![10, 10],
+            vec![
+                1, 1, // loose
+                10, 10, // tight
+            ],
+            vec![100, 10],
+        )
+        .unwrap();
+        // Constraint 0 allows everything (bound 20); constraint 1 allows one
+        // item (bound 10). MKP bound = 10.
+        assert!((dantzig_bound(&inst) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_dominates_greedy_value() {
+        for seed in 0..20 {
+            let inst = uncorrelated_instance("b", 50, 5, 0.5, seed);
+            let ratios = Ratios::new(&inst);
+            let sol = greedy(&inst, &ratios);
+            assert!(
+                dantzig_bound(&inst) + 1e-9 >= sol.value() as f64,
+                "bound below feasible value on seed {seed}"
+            );
+        }
+    }
+}

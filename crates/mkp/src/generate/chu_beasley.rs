@@ -1,0 +1,155 @@
+//! Chu–Beasley-style instance generator.
+//!
+//! The OR-Library class that superseded the suites the paper used: weights
+//! `a_ij ~ U[0, 1000]`, capacities `b_i = tightness · Σ_j a_ij` with
+//! tightness ∈ {0.25, 0.5, 0.75}, and profits `c_j = Σ_i a_ij / m + 500·u_j`
+//! with `u_j ~ U(0, 1)` — the same correlated family as the GK construction
+//! but swept over the canonical tightness grid {0.25, 0.5, 0.75} at the
+//! `mknapcb` sizes. Included as the natural "one suite later" evaluation
+//! target for the reproduced algorithm.
+
+use super::validate_generated;
+use crate::instance::Instance;
+use crate::rng::Xoshiro256;
+
+/// Generate one Chu–Beasley-style instance.
+pub fn chu_beasley_instance(
+    name: impl Into<String>,
+    n: usize,
+    m: usize,
+    tightness: f64,
+    seed: u64,
+) -> Instance {
+    assert!(n >= 2 && m >= 1, "degenerate CB spec");
+    assert!(
+        (0.05..=0.95).contains(&tightness),
+        "tightness {tightness} outside sensible range"
+    );
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut weights = vec![0i64; n * m];
+    for w in weights.iter_mut() {
+        // U[0,1000] in the original; keep ≥ 1 so no item is free.
+        *w = rng.range_inclusive(1, 1000) as i64;
+    }
+    let mut profits = Vec::with_capacity(n);
+    for j in 0..n {
+        let mass: i64 = (0..m).map(|i| weights[i * n + j]).sum();
+        // Full-strength correlation (GK divides the noise term's weight).
+        let noise = (500.0 * rng.next_f64()).round() as i64;
+        profits.push((mass / m as i64 + noise).max(1));
+    }
+    let mut capacities = Vec::with_capacity(m);
+    for i in 0..m {
+        let total: i64 = weights[i * n..(i + 1) * n].iter().sum();
+        let cap = (tightness * total as f64).round() as i64;
+        let max_w = *weights[i * n..(i + 1) * n].iter().max().unwrap();
+        capacities.push(cap.max(max_w));
+    }
+    let inst =
+        Instance::new(name, n, m, profits, weights, capacities).expect("generator data valid");
+    debug_assert!(validate_generated(&inst).is_ok());
+    inst
+}
+
+/// A 9-instance OR-Library-shaped mini suite: n ∈ {100, 250, 500} ×
+/// tightness ∈ {0.25, 0.50, 0.75} at m = 10 (the `mknapcb` grid's first
+/// column), used by the extension benchmarks.
+pub fn cb_suite(seed: u64) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for (ni, &n) in [100usize, 250, 500].iter().enumerate() {
+        for (ti, &t) in [0.25f64, 0.50, 0.75].iter().enumerate() {
+            out.push(chu_beasley_instance(
+                format!("CB_{n}x10_t{:02}", (t * 100.0) as u32),
+                n,
+                10,
+                t,
+                seed ^ ((ni * 3 + ti) as u64) << 8,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Ratios;
+    use crate::greedy::greedy;
+
+    #[test]
+    fn generates_valid_instances() {
+        let inst = chu_beasley_instance("cb", 100, 10, 0.5, 1);
+        validate_generated(&inst).unwrap();
+        assert_eq!(inst.n(), 100);
+        assert_eq!(inst.m(), 10);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            chu_beasley_instance("cb", 50, 5, 0.25, 7),
+            chu_beasley_instance("cb", 50, 5, 0.25, 7)
+        );
+        assert_ne!(
+            chu_beasley_instance("cb", 50, 5, 0.25, 7),
+            chu_beasley_instance("cb", 50, 5, 0.25, 8)
+        );
+    }
+
+    #[test]
+    fn profits_are_clearly_correlated() {
+        // The CB construction correlates profits with weight mass; the
+        // coefficient must be clearly positive (vs ~0 for the uncorrelated
+        // class).
+        let corr = |inst: &Instance| {
+            let xs: Vec<f64> = (0..inst.n()).map(|j| inst.item_weight_sum(j) as f64).collect();
+            let ys: Vec<f64> = (0..inst.n()).map(|j| inst.profit(j) as f64).collect();
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let (mx, my) = (mean(&xs), mean(&ys));
+            let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+            let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+            let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+            cov / (vx.sqrt() * vy.sqrt())
+        };
+        let cb = chu_beasley_instance("cb", 300, 10, 0.5, 3);
+        let un = super::super::uncorrelated_instance("u", 300, 10, 0.5, 3);
+        assert!(corr(&cb) > 0.4, "CB correlation too weak: {}", corr(&cb));
+        assert!(corr(&cb) > corr(&un) + 0.3);
+    }
+
+    #[test]
+    fn tightness_respected() {
+        for t in [0.25, 0.5, 0.75] {
+            let inst = chu_beasley_instance("cb", 300, 5, t, 11);
+            for got in inst.tightness() {
+                assert!((got - t).abs() < 0.01, "tightness {got} far from {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn suite_shape() {
+        let suite = cb_suite(0xCB);
+        assert_eq!(suite.len(), 9);
+        assert!(suite.iter().all(|i| i.m() == 10));
+        for inst in &suite {
+            validate_generated(inst).unwrap();
+        }
+        // Distinct instances throughout.
+        for a in 0..suite.len() {
+            for b in a + 1..suite.len() {
+                assert_ne!(suite[a], suite[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_leaves_headroom() {
+        // The class is supposed to be hard: greedy should sit clearly below
+        // the LP-style profit sum ceiling.
+        let inst = chu_beasley_instance("cb", 100, 10, 0.5, 13);
+        let g = greedy(&inst, &Ratios::new(&inst));
+        assert!(g.value() > 0);
+        assert!(g.value() < inst.profit_sum());
+    }
+}

@@ -1,0 +1,193 @@
+//! Glover–Kochenberger-style instance generator (Table 1 / Table 2 suites).
+//!
+//! Structure follows the construction used for the published MKP suites of
+//! that family: weights `a_ij ~ U[1, 1000]`, capacities
+//! `b_i = tightness · Σ_j a_ij`, and profits correlated with the weight mass
+//! of the item, `c_j = round(Σ_i a_ij / m) + U[1, 500]`. The correlation is
+//! what makes pure greedy weak and local search interesting; tightness
+//! controls how many items fit.
+
+use super::validate_generated;
+use crate::instance::Instance;
+use crate::rng::Xoshiro256;
+
+/// Parameters for one GK-style instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GkSpec {
+    /// Number of items.
+    pub n: usize,
+    /// Number of constraints.
+    pub m: usize,
+    /// Capacity tightness `b_i / Σ_j a_ij`, typically 0.25–0.75.
+    pub tightness: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a single GK-style instance.
+pub fn gk_instance(name: impl Into<String>, spec: GkSpec) -> Instance {
+    let GkSpec { n, m, tightness, seed } = spec;
+    assert!(n >= 2 && m >= 1, "degenerate GK spec");
+    assert!(
+        (0.05..=0.95).contains(&tightness),
+        "tightness {tightness} outside sensible range"
+    );
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut weights = vec![0i64; n * m];
+    for w in weights.iter_mut() {
+        *w = rng.range_inclusive(1, 1000) as i64;
+    }
+    let mut profits = Vec::with_capacity(n);
+    for j in 0..n {
+        let mass: i64 = (0..m).map(|i| weights[i * n + j]).sum();
+        profits.push(mass / m as i64 + rng.range_inclusive(1, 500) as i64);
+    }
+    let mut capacities = Vec::with_capacity(m);
+    for i in 0..m {
+        let total: i64 = weights[i * n..(i + 1) * n].iter().sum();
+        let cap = (tightness * total as f64).round() as i64;
+        // Ensure every single item fits on its own (no degenerate items).
+        let max_w = *weights[i * n..(i + 1) * n].iter().max().unwrap();
+        capacities.push(cap.max(max_w));
+    }
+    let inst = Instance::new(name, n, m, profits, weights, capacities).expect("generator data valid");
+    debug_assert!(validate_generated(&inst).is_ok());
+    inst
+}
+
+/// The 24-instance Table 1 suite: groups of (m × n) sizes reconstructing the
+/// grid of the paper's Glover–Kochenberger experiments (3/5/10/15/25
+/// constraints × 100 items, plus 25×250 and 25×500), with tightness cycling
+/// through 0.25 / 0.50 / 0.75 inside each group.
+pub fn table1_suite() -> Vec<Instance> {
+    const GROUPS: &[(usize, usize, usize)] = &[
+        // (m, n, count) — probs 1–4, 5–8, 9–14, 15–17, 18–22, 23, 24
+        (3, 100, 4),
+        (5, 100, 4),
+        (10, 100, 6),
+        (15, 100, 3),
+        (25, 100, 5),
+        (25, 250, 1),
+        (25, 500, 1),
+    ];
+    const TIGHTNESS: &[f64] = &[0.25, 0.50, 0.75];
+    let mut out = Vec::new();
+    let mut prob_nbr = 1usize;
+    for &(m, n, count) in GROUPS {
+        for k in 0..count {
+            let spec = GkSpec {
+                n,
+                m,
+                tightness: TIGHTNESS[k % TIGHTNESS.len()],
+                seed: 0x6B50_0000 + prob_nbr as u64,
+            };
+            out.push(gk_instance(format!("GK{prob_nbr:02}_{m}x{n}"), spec));
+            prob_nbr += 1;
+        }
+    }
+    out
+}
+
+/// The five large MK01–MK05 instances used by Table 2 (mode comparison).
+pub fn mk_suite() -> Vec<Instance> {
+    const SPECS: &[(usize, usize, f64)] = &[
+        (250, 10, 0.50),
+        (250, 15, 0.50),
+        (250, 25, 0.50),
+        (500, 10, 0.50),
+        (500, 25, 0.50),
+    ];
+    SPECS
+        .iter()
+        .enumerate()
+        .map(|(k, &(n, m, t))| {
+            gk_instance(
+                format!("MK{:02}_{m}x{n}", k + 1),
+                GkSpec { n, m, tightness: t, seed: 0x4D4B_0000 + k as u64 },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gk_instance_is_valid() {
+        let inst = gk_instance(
+            "t",
+            GkSpec { n: 50, m: 5, tightness: 0.5, seed: 1 },
+        );
+        assert_eq!(inst.n(), 50);
+        assert_eq!(inst.m(), 5);
+        validate_generated(&inst).unwrap();
+    }
+
+    #[test]
+    fn gk_deterministic_in_seed() {
+        let spec = GkSpec { n: 30, m: 3, tightness: 0.5, seed: 7 };
+        assert_eq!(gk_instance("a", spec), gk_instance("a", spec));
+        let other = GkSpec { seed: 8, ..spec };
+        assert_ne!(gk_instance("a", spec), gk_instance("a", other));
+    }
+
+    #[test]
+    fn gk_tightness_respected() {
+        let inst = gk_instance(
+            "t",
+            GkSpec { n: 200, m: 4, tightness: 0.25, seed: 3 },
+        );
+        for t in inst.tightness() {
+            assert!((t - 0.25).abs() < 0.01, "tightness {t} far from 0.25");
+        }
+    }
+
+    #[test]
+    fn gk_profits_correlated_with_weight_mass() {
+        // Correlation coefficient between Σ_i a_ij and c_j should be clearly
+        // positive (the construction adds mass/m to a uniform term).
+        let inst = gk_instance(
+            "c",
+            GkSpec { n: 300, m: 10, tightness: 0.5, seed: 11 },
+        );
+        let xs: Vec<f64> = (0..inst.n()).map(|j| inst.item_weight_sum(j) as f64).collect();
+        let ys: Vec<f64> = (0..inst.n()).map(|j| inst.profit(j) as f64).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mx, my) = (mean(&xs), mean(&ys));
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        let corr = cov / (vx.sqrt() * vy.sqrt());
+        assert!(corr > 0.3, "profit-weight correlation {corr} too weak");
+    }
+
+    #[test]
+    fn table1_suite_shape() {
+        let suite = table1_suite();
+        assert_eq!(suite.len(), 24);
+        assert_eq!(suite[0].m(), 3);
+        assert_eq!(suite[0].n(), 100);
+        assert_eq!(suite[23].m(), 25);
+        assert_eq!(suite[23].n(), 500);
+        for inst in &suite {
+            validate_generated(inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn mk_suite_shape() {
+        let suite = mk_suite();
+        assert_eq!(suite.len(), 5);
+        assert!(suite.iter().all(|i| i.n() >= 250));
+        for inst in &suite {
+            validate_generated(inst).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tightness")]
+    fn rejects_absurd_tightness() {
+        gk_instance("x", GkSpec { n: 10, m: 1, tightness: 1.5, seed: 0 });
+    }
+}

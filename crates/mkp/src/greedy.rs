@@ -1,0 +1,378 @@
+//! Constructive heuristics: greedy fills, randomized greedy starts, and the
+//! feasibility projection used by strategic oscillation and the master's
+//! restart logic.
+
+use crate::eval::Ratios;
+use crate::instance::Instance;
+use crate::rng::Xoshiro256;
+use crate::solution::Solution;
+
+/// Fill `sol` greedily: walk items in descending pseudo-utility and pack
+/// every one that still fits. Starts from the current contents of `sol`
+/// (pass [`Solution::empty`] for a from-scratch build). Always returns with
+/// `sol` feasible **if it was feasible on entry**.
+pub fn greedy_fill(inst: &Instance, ratios: &Ratios, sol: &mut Solution) {
+    for &j in ratios.by_utility_desc() {
+        if !sol.contains(j) && sol.fits(inst, j) {
+            sol.add(inst, j);
+        }
+    }
+}
+
+/// From-scratch greedy solution by descending pseudo-utility.
+pub fn greedy(inst: &Instance, ratios: &Ratios) -> Solution {
+    let mut sol = Solution::empty(inst);
+    greedy_fill(inst, ratios, &mut sol);
+    sol
+}
+
+/// GRASP-style randomized greedy: at each step pick uniformly among the
+/// `rcl` best-still-fitting items (restricted candidate list). `rcl = 1`
+/// degenerates to the deterministic greedy. Used by the master's ISP to
+/// inject fresh diverse starting solutions.
+pub fn randomized_greedy(
+    inst: &Instance,
+    ratios: &Ratios,
+    rng: &mut Xoshiro256,
+    rcl: usize,
+) -> Solution {
+    assert!(rcl >= 1, "restricted candidate list must be non-empty");
+    let mut sol = Solution::empty(inst);
+    // Candidates kept in utility order; we re-scan for fitting ones each
+    // round. n is at most a few hundred here, so the O(n²) worst case is
+    // irrelevant next to the millions of TS moves that follow.
+    let order = ratios.by_utility_desc();
+    let mut packed_something = true;
+    while packed_something {
+        packed_something = false;
+        let mut candidates: Vec<usize> = Vec::with_capacity(rcl);
+        for &j in order {
+            if !sol.contains(j) && sol.fits(inst, j) {
+                candidates.push(j);
+                if candidates.len() == rcl {
+                    break;
+                }
+            }
+        }
+        if !candidates.is_empty() {
+            let pick = *rng.choose(&candidates);
+            sol.add(inst, pick);
+            packed_something = true;
+        }
+    }
+    sol
+}
+
+/// Dynamic (slack-aware) utility of adding item `j` to `sol`:
+/// `c_j / Σ_i a_ij / (slack_i + 1)`. Unlike the static pseudo-utility it
+/// re-weights each constraint by its *remaining* capacity, which matters on
+/// "lumpy" instances whose weights are large relative to the capacities —
+/// there the static ranking can be badly misleading.
+#[inline]
+pub fn dynamic_utility(inst: &Instance, sol: &Solution, j: usize) -> f64 {
+    let mut norm = 0.0f64;
+    for (i, &a) in inst.item_weights(j).iter().enumerate() {
+        norm += a as f64 / (sol.slack(inst, i) + 1) as f64;
+    }
+    let c = inst.profit(j) as f64;
+    if norm == 0.0 {
+        f64::INFINITY
+    } else {
+        c / norm
+    }
+}
+
+/// Saturate `sol` greedily by **dynamic** utility, recomputing the scores
+/// after every insertion. O(adds · n · m) — used on the occasional paths
+/// (restarts, intensification refills), not in the per-move hot loop.
+pub fn dynamic_greedy_fill(inst: &Instance, sol: &mut Solution) {
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..inst.n() {
+            if sol.contains(j) || !sol.fits(inst, j) {
+                continue;
+            }
+            let u = dynamic_utility(inst, sol, j);
+            if best.is_none_or(|(_, bu)| u > bu) {
+                best = Some((j, u));
+            }
+        }
+        match best {
+            Some((j, _)) => sol.add(inst, j),
+            None => break,
+        }
+    }
+}
+
+/// GRASP-style randomized greedy over the **dynamic** utility: each step
+/// picks uniformly among the `rcl` best fitting items under the current
+/// slack-aware scores.
+pub fn dynamic_randomized_greedy(
+    inst: &Instance,
+    rng: &mut Xoshiro256,
+    rcl: usize,
+) -> Solution {
+    assert!(rcl >= 1, "restricted candidate list must be non-empty");
+    let mut sol = Solution::empty(inst);
+    loop {
+        // Collect the rcl best fitting items by dynamic utility.
+        let mut top: Vec<(usize, f64)> = Vec::with_capacity(rcl + 1);
+        for j in 0..inst.n() {
+            if sol.contains(j) || !sol.fits(inst, j) {
+                continue;
+            }
+            let u = dynamic_utility(inst, &sol, j);
+            let pos = top.partition_point(|&(_, s)| s >= u);
+            if pos < rcl {
+                top.insert(pos, (j, u));
+                top.truncate(rcl);
+            }
+        }
+        if top.is_empty() {
+            break;
+        }
+        let (j, _) = top[rng.index(top.len())];
+        sol.add(inst, j);
+    }
+    sol
+}
+
+/// Random feasible solution: visit items in random order, pack what fits.
+pub fn random_feasible(inst: &Instance, rng: &mut Xoshiro256) -> Solution {
+    let mut order: Vec<usize> = (0..inst.n()).collect();
+    rng.shuffle(&mut order);
+    let mut sol = Solution::empty(inst);
+    for j in order {
+        if sol.fits(inst, j) {
+            sol.add(inst, j);
+        }
+    }
+    sol
+}
+
+/// Project an (possibly infeasible) solution back onto the feasible domain by
+/// repeatedly expelling the packed item with the largest burden
+/// `Σ_i a_ij / c_j` (paper §3.2: "excluding from the knapsack the less
+/// interesting objects"). Returns the number of items dropped.
+pub fn project_feasible(inst: &Instance, ratios: &Ratios, sol: &mut Solution) -> usize {
+    let mut dropped = 0;
+    while !sol.is_feasible(inst) {
+        let victim = sol
+            .bits()
+            .iter_ones()
+            .max_by(|&a, &b| {
+                ratios
+                    .burden(a)
+                    .partial_cmp(&ratios.burden(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Ties: prefer dropping the lower-profit item.
+                    .then_with(|| inst.profit(b).cmp(&inst.profit(a)))
+            })
+            .expect("infeasible solution must contain at least one item");
+        sol.drop(inst, victim);
+        dropped += 1;
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitVec;
+    use proptest::prelude::*;
+
+    fn inst() -> Instance {
+        Instance::new(
+            "g",
+            5,
+            2,
+            vec![10, 8, 6, 4, 2],
+            vec![
+                4, 3, 2, 5, 1, //
+                2, 4, 1, 1, 3,
+            ],
+            vec![7, 6],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_nonempty() {
+        let i = inst();
+        let r = Ratios::new(&i);
+        let sol = greedy(&i, &r);
+        assert!(sol.is_feasible(&i));
+        assert!(sol.value() > 0);
+        assert!(sol.check_consistent(&i));
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        // No remaining item should fit once greedy returns.
+        let i = inst();
+        let r = Ratios::new(&i);
+        let sol = greedy(&i, &r);
+        for j in 0..i.n() {
+            if !sol.contains(j) {
+                assert!(!sol.fits(&i, j), "greedy left addable item {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn rcl_one_matches_deterministic_greedy() {
+        let i = inst();
+        let r = Ratios::new(&i);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let a = randomized_greedy(&i, &r, &mut rng, 1);
+        let b = greedy(&i, &r);
+        assert_eq!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn randomized_greedy_feasible_and_deterministic_per_seed() {
+        let i = inst();
+        let r = Ratios::new(&i);
+        let mut r1 = Xoshiro256::seed_from_u64(99);
+        let mut r2 = Xoshiro256::seed_from_u64(99);
+        let a = randomized_greedy(&i, &r, &mut r1, 3);
+        let b = randomized_greedy(&i, &r, &mut r2, 3);
+        assert_eq!(a.bits(), b.bits());
+        assert!(a.is_feasible(&i));
+    }
+
+    #[test]
+    fn random_feasible_is_feasible() {
+        let i = inst();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..20 {
+            let sol = random_feasible(&i, &mut rng);
+            assert!(sol.is_feasible(&i));
+        }
+    }
+
+    #[test]
+    fn dynamic_fill_is_feasible_and_maximal() {
+        let i = inst();
+        let mut sol = Solution::empty(&i);
+        dynamic_greedy_fill(&i, &mut sol);
+        assert!(sol.is_feasible(&i));
+        for j in 0..i.n() {
+            if !sol.contains(j) {
+                assert!(!sol.fits(&i, j), "dynamic fill left addable item {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_utility_tracks_slack() {
+        // Two constraints; as constraint 0 tightens, items heavy on it lose
+        // utility relative to items heavy on the loose constraint.
+        let i = Instance::new(
+            "dyn",
+            3,
+            2,
+            vec![10, 10, 1],
+            vec![
+                9, 1, 5, // constraint 0
+                1, 9, 1, // constraint 1
+            ],
+            vec![10, 100],
+        )
+        .unwrap();
+        let mut sol = Solution::empty(&i);
+        // Initially item 0 and 1 have comparable utility (both profit 10).
+        sol.add(&i, 2); // load c0 = 5 → slack 5 vs slack 99
+        let u0 = dynamic_utility(&i, &sol, 0); // heavy on the tight c0
+        let u1 = dynamic_utility(&i, &sol, 1); // heavy on the loose c1
+        assert!(u1 > u0, "slack-aware score must prefer the loose-side item");
+    }
+
+    #[test]
+    fn dynamic_randomized_greedy_feasible_and_seeded() {
+        let i = inst();
+        let mut a = Xoshiro256::seed_from_u64(4);
+        let mut b = Xoshiro256::seed_from_u64(4);
+        let sa = dynamic_randomized_greedy(&i, &mut a, 3);
+        let sb = dynamic_randomized_greedy(&i, &mut b, 3);
+        assert_eq!(sa.bits(), sb.bits());
+        assert!(sa.is_feasible(&i));
+        assert!(sa.value() > 0);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_lumpy_instance() {
+        // Weights large relative to capacity; the static order misleads.
+        let i = Instance::new(
+            "lumpy",
+            5,
+            1,
+            vec![100, 95, 90, 60, 55],
+            vec![70, 65, 60, 35, 34],
+            vec![69],
+        )
+        .unwrap();
+        let ratios = Ratios::new(&i);
+        let stat = greedy(&i, &ratios);
+        let mut sol = Solution::empty(&i);
+        dynamic_greedy_fill(&i, &mut sol);
+        assert!(sol.value() >= stat.value());
+    }
+
+    #[test]
+    fn project_restores_feasibility() {
+        let i = inst();
+        let r = Ratios::new(&i);
+        // Pack everything: loads [15, 11] vs caps [7, 6] — badly infeasible.
+        let all = BitVec::from_bools(vec![true; i.n()]);
+        let mut sol = Solution::from_bits(&i, all);
+        assert!(!sol.is_feasible(&i));
+        let dropped = project_feasible(&i, &r, &mut sol);
+        assert!(sol.is_feasible(&i));
+        assert!(dropped > 0);
+        assert!(sol.check_consistent(&i));
+    }
+
+    #[test]
+    fn project_noop_on_feasible() {
+        let i = inst();
+        let r = Ratios::new(&i);
+        let mut sol = Solution::empty(&i);
+        assert_eq!(project_feasible(&i, &r, &mut sol), 0);
+    }
+
+    fn arb_instance() -> impl Strategy<Value = Instance> {
+        (2usize..25, 1usize..6).prop_flat_map(|(n, m)| {
+            let profits = proptest::collection::vec(1i64..100, n);
+            let weights = proptest::collection::vec(1i64..50, n * m);
+            let caps = proptest::collection::vec(20i64..300, m);
+            (profits, weights, caps)
+                .prop_map(move |(p, w, c)| Instance::new("prop", n, m, p, w, c).unwrap())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_greedy_always_feasible(inst in arb_instance(), seed in any::<u64>()) {
+            let r = Ratios::new(&inst);
+            prop_assert!(greedy(&inst, &r).is_feasible(&inst));
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            prop_assert!(randomized_greedy(&inst, &r, &mut rng, 4).is_feasible(&inst));
+            prop_assert!(random_feasible(&inst, &mut rng).is_feasible(&inst));
+        }
+
+        #[test]
+        fn prop_projection_always_feasible(
+            inst in arb_instance(),
+            bools in proptest::collection::vec(any::<bool>(), 25),
+        ) {
+            let r = Ratios::new(&inst);
+            let bits = BitVec::from_bools(bools.into_iter().take(inst.n())
+                .chain(std::iter::repeat(false)).take(inst.n()));
+            let mut sol = Solution::from_bits(&inst, bits);
+            project_feasible(&inst, &r, &mut sol);
+            prop_assert!(sol.is_feasible(&inst));
+            prop_assert!(sol.check_consistent(&inst));
+        }
+    }
+}

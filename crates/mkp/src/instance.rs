@@ -1,0 +1,351 @@
+//! The 0–1 multidimensional knapsack problem instance.
+//!
+//! ```text
+//! maximize    Σ_j c_j x_j
+//! subject to  Σ_j a_ij x_j ≤ b_i   for i = 1..m
+//!             x_j ∈ {0, 1}
+//! ```
+//!
+//! All data are non-negative integers (`i64`), matching the classic benchmark
+//! suites; integer arithmetic keeps incremental evaluation exact and lets the
+//! exact solver certify optima without rounding concerns.
+
+use std::fmt;
+
+/// Errors raised when constructing an [`Instance`] from raw data.
+#[allow(missing_docs)] // field names are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// The instance has no items or no constraints.
+    EmptyDimension { n: usize, m: usize },
+    /// `weights.len()` is not `n * m`.
+    WeightShape { expected: usize, got: usize },
+    /// `capacities.len()` is not `m`.
+    CapacityShape { expected: usize, got: usize },
+    /// A profit, weight or capacity is negative.
+    NegativeData { what: &'static str, index: usize, value: i64 },
+    /// Item `j` cannot fit in any solution: some `a_ij > b_i`.
+    // Not an error in general MKP, but generators should not emit such items;
+    // kept as a *warning-level* validation available separately.
+    _Reserved,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::EmptyDimension { n, m } => {
+                write!(f, "instance must have items and constraints (n={n}, m={m})")
+            }
+            InstanceError::WeightShape { expected, got } => {
+                write!(f, "weight matrix must hold {expected} entries, got {got}")
+            }
+            InstanceError::CapacityShape { expected, got } => {
+                write!(f, "capacity vector must hold {expected} entries, got {got}")
+            }
+            InstanceError::NegativeData { what, index, value } => {
+                write!(f, "{what}[{index}] = {value} is negative")
+            }
+            InstanceError::_Reserved => write!(f, "reserved"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// An immutable 0–1 MKP instance.
+///
+/// The weight matrix is stored twice: once row-major by constraint (for
+/// whole-constraint scans such as finding the most saturated constraint) and
+/// once item-major (for the hot add/drop load updates, which touch all `m`
+/// weights of a single item — keeping them contiguous is the cache-friendly
+/// layout). `m` is small (≤ 30 in every benchmark here) so the duplication is
+/// cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    name: String,
+    n: usize,
+    m: usize,
+    profits: Vec<i64>,
+    /// Row-major: `by_constraint[i * n + j] = a_ij`.
+    by_constraint: Vec<i64>,
+    /// Item-major: `by_item[j * m + i] = a_ij`.
+    by_item: Vec<i64>,
+    capacities: Vec<i64>,
+    best_known: Option<i64>,
+}
+
+impl Instance {
+    /// Construct an instance from row-major weights (`weights[i * n + j]`).
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        m: usize,
+        profits: Vec<i64>,
+        weights: Vec<i64>,
+        capacities: Vec<i64>,
+    ) -> Result<Self, InstanceError> {
+        if n == 0 || m == 0 {
+            return Err(InstanceError::EmptyDimension { n, m });
+        }
+        if profits.len() != n {
+            return Err(InstanceError::WeightShape { expected: n, got: profits.len() });
+        }
+        if weights.len() != n * m {
+            return Err(InstanceError::WeightShape { expected: n * m, got: weights.len() });
+        }
+        if capacities.len() != m {
+            return Err(InstanceError::CapacityShape { expected: m, got: capacities.len() });
+        }
+        for (j, &c) in profits.iter().enumerate() {
+            if c < 0 {
+                return Err(InstanceError::NegativeData { what: "profit", index: j, value: c });
+            }
+        }
+        for (k, &a) in weights.iter().enumerate() {
+            if a < 0 {
+                return Err(InstanceError::NegativeData { what: "weight", index: k, value: a });
+            }
+        }
+        for (i, &b) in capacities.iter().enumerate() {
+            if b < 0 {
+                return Err(InstanceError::NegativeData { what: "capacity", index: i, value: b });
+            }
+        }
+        let mut by_item = vec![0i64; n * m];
+        for i in 0..m {
+            for j in 0..n {
+                by_item[j * m + i] = weights[i * n + j];
+            }
+        }
+        Ok(Instance {
+            name: name.into(),
+            n,
+            m,
+            profits,
+            by_constraint: weights,
+            by_item,
+            capacities,
+            best_known: None,
+        })
+    }
+
+    /// Attach a best-known objective value (used by report tooling).
+    pub fn with_best_known(mut self, value: i64) -> Self {
+        self.best_known = Some(value);
+        self
+    }
+
+    /// Instance label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of items (variables).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of knapsack constraints.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Profit `c_j`.
+    #[inline]
+    pub fn profit(&self, j: usize) -> i64 {
+        self.profits[j]
+    }
+
+    /// All profits.
+    #[inline]
+    pub fn profits(&self) -> &[i64] {
+        &self.profits
+    }
+
+    /// Weight `a_ij`.
+    #[inline]
+    pub fn weight(&self, i: usize, j: usize) -> i64 {
+        self.by_constraint[i * self.n + j]
+    }
+
+    /// Row `i` of the weight matrix, one entry per item.
+    #[inline]
+    pub fn constraint_row(&self, i: usize) -> &[i64] {
+        &self.by_constraint[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The `m` weights of item `j`, one entry per constraint (contiguous).
+    #[inline]
+    pub fn item_weights(&self, j: usize) -> &[i64] {
+        &self.by_item[j * self.m..(j + 1) * self.m]
+    }
+
+    /// Capacity `b_i`.
+    #[inline]
+    pub fn capacity(&self, i: usize) -> i64 {
+        self.capacities[i]
+    }
+
+    /// All capacities.
+    #[inline]
+    pub fn capacities(&self) -> &[i64] {
+        &self.capacities
+    }
+
+    /// Best objective value known for this instance, if recorded.
+    pub fn best_known(&self) -> Option<i64> {
+        self.best_known
+    }
+
+    /// Sum of weights of item `j` across all constraints, `Σ_i a_ij`.
+    pub fn item_weight_sum(&self, j: usize) -> i64 {
+        self.item_weights(j).iter().sum()
+    }
+
+    /// Upper bound on the objective: sum of all profits.
+    pub fn profit_sum(&self) -> i64 {
+        self.profits.iter().sum()
+    }
+
+    /// True when item `j` alone violates some constraint (can never be packed).
+    pub fn item_oversized(&self, j: usize) -> bool {
+        self.item_weights(j)
+            .iter()
+            .zip(&self.capacities)
+            .any(|(&a, &b)| a > b)
+    }
+
+    /// Tightness ratio per constraint: `b_i / Σ_j a_ij` (1.0 when the row is
+    /// all-zero). Benchmarks usually sit around 0.25–0.75; used by tests and
+    /// generator validation.
+    pub fn tightness(&self) -> Vec<f64> {
+        (0..self.m)
+            .map(|i| {
+                let total: i64 = self.constraint_row(i).iter().sum();
+                if total == 0 {
+                    1.0
+                } else {
+                    self.capacity(i) as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Instance {
+        // 3 items, 2 constraints.
+        Instance::new(
+            "tiny",
+            3,
+            2,
+            vec![10, 6, 4],
+            vec![
+                5, 4, 3, // constraint 0
+                1, 2, 3, // constraint 1
+            ],
+            vec![8, 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let inst = tiny();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.m(), 2);
+        assert_eq!(inst.profit(0), 10);
+        assert_eq!(inst.weight(0, 2), 3);
+        assert_eq!(inst.weight(1, 0), 1);
+        assert_eq!(inst.capacity(1), 4);
+        assert_eq!(inst.constraint_row(0), &[5, 4, 3]);
+        assert_eq!(inst.item_weights(1), &[4, 2]);
+        assert_eq!(inst.profit_sum(), 20);
+        assert_eq!(inst.item_weight_sum(2), 6);
+    }
+
+    #[test]
+    fn item_major_layout_matches_row_major() {
+        let inst = tiny();
+        for i in 0..inst.m() {
+            for j in 0..inst.n() {
+                assert_eq!(inst.weight(i, j), inst.item_weights(j)[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = Instance::new("e", 0, 1, vec![], vec![], vec![1]).unwrap_err();
+        assert!(matches!(err, InstanceError::EmptyDimension { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            Instance::new("e", 2, 1, vec![1, 2], vec![1], vec![1]).unwrap_err(),
+            InstanceError::WeightShape { .. }
+        ));
+        assert!(matches!(
+            Instance::new("e", 2, 1, vec![1, 2], vec![1, 2], vec![]).unwrap_err(),
+            InstanceError::CapacityShape { .. }
+        ));
+        assert!(matches!(
+            Instance::new("e", 2, 1, vec![1], vec![1, 2], vec![3]).unwrap_err(),
+            InstanceError::WeightShape { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_data() {
+        let err =
+            Instance::new("e", 2, 1, vec![1, -2], vec![1, 2], vec![3]).unwrap_err();
+        assert!(matches!(err, InstanceError::NegativeData { what: "profit", .. }));
+        let err =
+            Instance::new("e", 2, 1, vec![1, 2], vec![1, -2], vec![3]).unwrap_err();
+        assert!(matches!(err, InstanceError::NegativeData { what: "weight", .. }));
+        let err =
+            Instance::new("e", 2, 1, vec![1, 2], vec![1, 2], vec![-3]).unwrap_err();
+        assert!(matches!(err, InstanceError::NegativeData { what: "capacity", .. }));
+    }
+
+    #[test]
+    fn oversized_item_detection() {
+        let inst = Instance::new(
+            "o",
+            2,
+            1,
+            vec![5, 5],
+            vec![10, 3],
+            vec![4],
+        )
+        .unwrap();
+        assert!(inst.item_oversized(0));
+        assert!(!inst.item_oversized(1));
+    }
+
+    #[test]
+    fn tightness_computation() {
+        let inst = tiny();
+        let t = inst.tightness();
+        assert!((t[0] - 8.0 / 12.0).abs() < 1e-12);
+        assert!((t[1] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_known_roundtrip() {
+        let inst = tiny().with_best_known(16);
+        assert_eq!(inst.best_known(), Some(16));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Instance::new("e", 0, 0, vec![], vec![], vec![]).unwrap_err();
+        assert!(err.to_string().contains("n=0"));
+    }
+}

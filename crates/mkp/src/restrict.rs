@@ -1,0 +1,353 @@
+//! Subproblem restriction: fix a set of variables and reduce the instance.
+//!
+//! Fixing `x_j = 1` removes item `j` and shrinks every capacity by its
+//! weights (contributing its profit as a constant offset); fixing `x_j = 0`
+//! simply removes the item. The result is a *smaller, self-contained MKP*
+//! over the free items, plus the bookkeeping to lift its solutions back to
+//! the original variable space. This is the substrate for search-space
+//! decomposition (the paper's §2 third source of parallelism: each thread
+//! explores one cell of a partition of the solution domain).
+
+use crate::bitset::BitVec;
+use crate::instance::Instance;
+use crate::solution::Solution;
+use std::fmt;
+
+/// Why a restriction could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestrictError {
+    /// The forced-in items alone violate some capacity.
+    ForcedInfeasible {
+        /// The violated constraint.
+        constraint: usize,
+    },
+    /// An index was forced both in and out, repeated, or out of range.
+    BadIndex {
+        /// The offending item index.
+        item: usize,
+    },
+}
+
+impl fmt::Display for RestrictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestrictError::ForcedInfeasible { constraint } => {
+                write!(f, "forced-in items violate constraint {constraint}")
+            }
+            RestrictError::BadIndex { item } => write!(f, "bad forced index {item}"),
+        }
+    }
+}
+
+impl std::error::Error for RestrictError {}
+
+/// A restricted subproblem with the mapping back to the parent.
+#[derive(Debug, Clone)]
+pub struct Restriction {
+    sub: Instance,
+    /// `kept[j_sub] = j_orig`.
+    kept: Vec<usize>,
+    forced_in: Vec<usize>,
+    /// Profit contributed by the forced-in items.
+    offset: i64,
+    parent_n: usize,
+}
+
+impl Restriction {
+    /// Build the subproblem fixing `forced_in → 1` and `forced_out → 0`.
+    ///
+    /// Fails when the forced-in set alone is infeasible, when an index is
+    /// out of range, or when the sets overlap. Degenerate restrictions that
+    /// would leave fewer than two free items are rejected via `BadIndex` on
+    /// the first excess fix (an MKP needs at least one real decision).
+    pub fn new(
+        parent: &Instance,
+        forced_in: &[usize],
+        forced_out: &[usize],
+    ) -> Result<Self, RestrictError> {
+        let n = parent.n();
+        let mut status = vec![0u8; n]; // 0 free, 1 in, 2 out
+        for &j in forced_in {
+            if j >= n || status[j] != 0 {
+                return Err(RestrictError::BadIndex { item: j });
+            }
+            status[j] = 1;
+        }
+        for &j in forced_out {
+            if j >= n || status[j] != 0 {
+                return Err(RestrictError::BadIndex { item: j });
+            }
+            status[j] = 2;
+        }
+        let free = status.iter().filter(|&&s| s == 0).count();
+        if free < 2 {
+            let first_fixed = status.iter().position(|&s| s != 0).unwrap_or(0);
+            return Err(RestrictError::BadIndex { item: first_fixed });
+        }
+
+        // Reduced capacities after packing the forced-in items.
+        let mut capacities = parent.capacities().to_vec();
+        let mut offset = 0i64;
+        for &j in forced_in {
+            offset += parent.profit(j);
+            for (i, &a) in parent.item_weights(j).iter().enumerate() {
+                capacities[i] -= a;
+                if capacities[i] < 0 {
+                    return Err(RestrictError::ForcedInfeasible { constraint: i });
+                }
+            }
+        }
+
+        let kept: Vec<usize> = (0..n).filter(|&j| status[j] == 0).collect();
+        let profits: Vec<i64> = kept.iter().map(|&j| parent.profit(j)).collect();
+        let mut weights = Vec::with_capacity(kept.len() * parent.m());
+        for i in 0..parent.m() {
+            let row = parent.constraint_row(i);
+            weights.extend(kept.iter().map(|&j| row[j]));
+        }
+        let sub = Instance::new(
+            format!("{}_restricted", parent.name()),
+            kept.len(),
+            parent.m(),
+            profits,
+            weights,
+            capacities,
+        )
+        .expect("restriction of a valid instance is valid");
+
+        Ok(Restriction {
+            sub,
+            kept,
+            forced_in: forced_in.to_vec(),
+            offset,
+            parent_n: n,
+        })
+    }
+
+    /// The reduced instance over the free items.
+    pub fn instance(&self) -> &Instance {
+        &self.sub
+    }
+
+    /// Profit already banked by the forced-in items.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Original index of sub-item `j_sub`.
+    pub fn original_index(&self, j_sub: usize) -> usize {
+        self.kept[j_sub]
+    }
+
+    /// Lift a subproblem solution back to the parent's variable space.
+    /// The result packs the forced-in items plus the lifted free items.
+    pub fn lift(&self, parent: &Instance, sub_sol: &Solution) -> Solution {
+        assert_eq!(sub_sol.bits().len(), self.sub.n(), "solution not from this subproblem");
+        assert_eq!(parent.n(), self.parent_n, "lift against a different parent");
+        let mut bits = BitVec::zeros(self.parent_n);
+        for &j in &self.forced_in {
+            bits.set(j, true);
+        }
+        for j_sub in sub_sol.bits().iter_ones() {
+            bits.set(self.kept[j_sub], true);
+        }
+        let lifted = Solution::from_bits(parent, bits);
+        debug_assert_eq!(lifted.value(), sub_sol.value() + self.offset);
+        lifted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Ratios;
+    use crate::generate::uncorrelated_instance;
+    use crate::greedy::greedy;
+
+    fn parent() -> Instance {
+        Instance::new(
+            "p",
+            5,
+            2,
+            vec![10, 8, 6, 4, 2],
+            vec![
+                4, 3, 2, 5, 1, //
+                2, 4, 1, 1, 3,
+            ],
+            vec![9, 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reduces_dimensions_and_capacities() {
+        let p = parent();
+        let r = Restriction::new(&p, &[0], &[3]).unwrap();
+        assert_eq!(r.instance().n(), 3); // items 1, 2, 4 stay free
+        assert_eq!(r.instance().m(), 2);
+        assert_eq!(r.offset(), 10);
+        // Capacities reduced by item 0's weights [4, 2].
+        assert_eq!(r.instance().capacities(), &[5, 6]);
+        assert_eq!(r.original_index(0), 1);
+        assert_eq!(r.original_index(2), 4);
+    }
+
+    #[test]
+    fn lift_restores_parent_space() {
+        let p = parent();
+        let r = Restriction::new(&p, &[0], &[3]).unwrap();
+        let sub_sol = greedy(r.instance(), &Ratios::new(r.instance()));
+        let lifted = r.lift(&p, &sub_sol);
+        assert!(lifted.is_feasible(&p));
+        assert!(lifted.contains(0), "forced-in item missing after lift");
+        assert!(!lifted.contains(3), "forced-out item present after lift");
+        assert_eq!(lifted.value(), sub_sol.value() + r.offset());
+    }
+
+    #[test]
+    fn rejects_infeasible_forced_set() {
+        let p = parent();
+        // Items 0 and 3 together load constraint 0 with 9 ≤ 9 but let's
+        // force three heavy items: 0 + 1 + 3 → 12 > 9.
+        let err = Restriction::new(&p, &[0, 1, 3], &[]).unwrap_err();
+        assert!(matches!(err, RestrictError::ForcedInfeasible { constraint: 0 }));
+    }
+
+    #[test]
+    fn rejects_overlap_and_out_of_range() {
+        let p = parent();
+        assert!(matches!(
+            Restriction::new(&p, &[1], &[1]),
+            Err(RestrictError::BadIndex { item: 1 })
+        ));
+        assert!(matches!(
+            Restriction::new(&p, &[9], &[]),
+            Err(RestrictError::BadIndex { item: 9 })
+        ));
+        assert!(matches!(
+            Restriction::new(&p, &[1, 1], &[]),
+            Err(RestrictError::BadIndex { item: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_restriction() {
+        let p = parent();
+        // Fixing 4 of 5 items leaves one decision — rejected.
+        assert!(Restriction::new(&p, &[0], &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn partition_covers_the_search_space() {
+        // The four restrictions over two split variables partition the
+        // space: the best lifted optimum across cells equals the full
+        // optimum (brute force).
+        let p = uncorrelated_instance("part", 12, 2, 0.5, 5);
+        let brute = |forced_in: &[usize], forced_out: &[usize]| -> i64 {
+            let mut best = -1i64;
+            'mask: for mask in 0u32..(1 << p.n()) {
+                for &j in forced_in {
+                    if (mask >> j) & 1 == 0 {
+                        continue 'mask;
+                    }
+                }
+                for &j in forced_out {
+                    if (mask >> j) & 1 == 1 {
+                        continue 'mask;
+                    }
+                }
+                for i in 0..p.m() {
+                    let load: i64 = (0..p.n())
+                        .filter(|&j| (mask >> j) & 1 == 1)
+                        .map(|j| p.weight(i, j))
+                        .sum();
+                    if load > p.capacity(i) {
+                        continue 'mask;
+                    }
+                }
+                let v: i64 = (0..p.n())
+                    .filter(|&j| (mask >> j) & 1 == 1)
+                    .map(|j| p.profit(j))
+                    .sum();
+                best = best.max(v);
+            }
+            best
+        };
+        let full = brute(&[], &[]);
+        let split = [0usize, 1];
+        let mut best_cell = -1i64;
+        for pattern in 0u8..4 {
+            let f_in: Vec<usize> =
+                split.iter().enumerate().filter(|(b, _)| (pattern >> b) & 1 == 1).map(|(_, &j)| j).collect();
+            let f_out: Vec<usize> =
+                split.iter().enumerate().filter(|(b, _)| (pattern >> b) & 1 == 0).map(|(_, &j)| j).collect();
+            best_cell = best_cell.max(brute(&f_in, &f_out));
+            // And the Restriction-based cell optimum must agree where the
+            // cell is feasible.
+            if let Ok(r) = Restriction::new(&p, &f_in, &f_out) {
+                let mut cell_best = -1i64;
+                let sub = r.instance();
+                for mask in 0u32..(1 << sub.n()) {
+                    let ok = (0..sub.m()).all(|i| {
+                        (0..sub.n())
+                            .filter(|&j| (mask >> j) & 1 == 1)
+                            .map(|j| sub.weight(i, j))
+                            .sum::<i64>()
+                            <= sub.capacity(i)
+                    });
+                    if ok {
+                        let v: i64 = (0..sub.n())
+                            .filter(|&j| (mask >> j) & 1 == 1)
+                            .map(|j| sub.profit(j))
+                            .sum();
+                        cell_best = cell_best.max(v + r.offset());
+                    }
+                }
+                assert_eq!(cell_best, brute(&f_in, &f_out), "cell optimum mismatch");
+            }
+        }
+        assert_eq!(best_cell, full, "partition lost the optimum");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any valid restriction lifts greedy sub-solutions to feasible
+            /// parent solutions with the exact profit offset.
+            #[test]
+            fn prop_lift_is_feasible_and_offset_exact(
+                seed in any::<u64>(),
+                fix_in in proptest::collection::vec(0usize..25, 0..3),
+                fix_out in proptest::collection::vec(0usize..25, 0..3),
+            ) {
+                let parent = uncorrelated_instance("prop", 25, 3, 0.5, seed);
+                // Deduplicate and disjoin the fix sets.
+                let mut f_in: Vec<usize> = fix_in;
+                f_in.sort_unstable();
+                f_in.dedup();
+                let mut f_out: Vec<usize> = fix_out
+                    .into_iter()
+                    .filter(|j| !f_in.contains(j))
+                    .collect();
+                f_out.sort_unstable();
+                f_out.dedup();
+                if let Ok(r) = Restriction::new(&parent, &f_in, &f_out) {
+                    let ratios = Ratios::new(r.instance());
+                    let sub = greedy(r.instance(), &ratios);
+                    let lifted = r.lift(&parent, &sub);
+                    prop_assert!(lifted.is_feasible(&parent));
+                    prop_assert!(lifted.check_consistent(&parent));
+                    prop_assert_eq!(lifted.value(), sub.value() + r.offset());
+                    for &j in &f_in {
+                        prop_assert!(lifted.contains(j));
+                    }
+                    for &j in &f_out {
+                        prop_assert!(!lifted.contains(j));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Solutions with O(m) incremental add/drop evaluation.
+//!
+//! The tabu search performs millions of add/drop moves; recomputing the
+//! objective and the `m` constraint loads from scratch would be O(n·m) per
+//! move. A [`Solution`] therefore caches the objective value and per-
+//! constraint loads and updates them incrementally in O(m) per move, the
+//! central performance invariant of the whole system (checked by property
+//! tests below).
+
+use crate::bitset::BitVec;
+use crate::instance::Instance;
+
+/// A 0–1 assignment with cached objective value and constraint loads.
+///
+/// A `Solution` may be infeasible (strategic oscillation deliberately crosses
+/// the feasibility boundary); [`Solution::is_feasible`] reports the current
+/// state and [`Solution::total_overload`] quantifies the violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    bits: BitVec,
+    value: i64,
+    loads: Vec<i64>,
+}
+
+impl Solution {
+    /// The empty knapsack for `inst` (always feasible).
+    pub fn empty(inst: &Instance) -> Self {
+        Solution {
+            bits: BitVec::zeros(inst.n()),
+            value: 0,
+            loads: vec![0; inst.m()],
+        }
+    }
+
+    /// Build from an explicit assignment, computing value and loads.
+    pub fn from_bits(inst: &Instance, bits: BitVec) -> Self {
+        assert_eq!(bits.len(), inst.n(), "assignment length must equal n");
+        let mut sol = Solution {
+            bits,
+            value: 0,
+            loads: vec![0; inst.m()],
+        };
+        let mut value = 0i64;
+        let mut loads = vec![0i64; inst.m()];
+        for j in sol.bits.iter_ones() {
+            value += inst.profit(j);
+            for (load, &a) in loads.iter_mut().zip(inst.item_weights(j)) {
+                *load += a;
+            }
+        }
+        sol.value = value;
+        sol.loads = loads;
+        sol
+    }
+
+    /// The raw assignment bits.
+    #[inline]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Whether item `j` is packed.
+    #[inline]
+    pub fn contains(&self, j: usize) -> bool {
+        self.bits.get(j)
+    }
+
+    /// Cached objective value `Σ c_j x_j`.
+    #[inline]
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Cached load of constraint `i`, `Σ_j a_ij x_j`.
+    #[inline]
+    pub fn load(&self, i: usize) -> i64 {
+        self.loads[i]
+    }
+
+    /// All cached loads.
+    #[inline]
+    pub fn loads(&self) -> &[i64] {
+        &self.loads
+    }
+
+    /// Remaining slack of constraint `i`: `b_i − load_i` (negative when
+    /// violated).
+    #[inline]
+    pub fn slack(&self, inst: &Instance, i: usize) -> i64 {
+        inst.capacity(i) - self.loads[i]
+    }
+
+    /// Number of packed items.
+    pub fn cardinality(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// True when every constraint is satisfied.
+    pub fn is_feasible(&self, inst: &Instance) -> bool {
+        self.loads
+            .iter()
+            .zip(inst.capacities())
+            .all(|(&load, &cap)| load <= cap)
+    }
+
+    /// Total constraint violation `Σ_i max(0, load_i − b_i)`.
+    pub fn total_overload(&self, inst: &Instance) -> i64 {
+        self.loads
+            .iter()
+            .zip(inst.capacities())
+            .map(|(&load, &cap)| (load - cap).max(0))
+            .sum()
+    }
+
+    /// Would adding item `j` keep the solution feasible?
+    ///
+    /// Item must currently be out of the knapsack.
+    #[inline]
+    pub fn fits(&self, inst: &Instance, j: usize) -> bool {
+        debug_assert!(!self.contains(j), "fits({j}) on packed item");
+        self.loads
+            .iter()
+            .zip(inst.item_weights(j))
+            .zip(inst.capacities())
+            .all(|((&load, &a), &cap)| load + a <= cap)
+    }
+
+    /// Pack item `j` (must currently be out), updating caches in O(m).
+    /// The result may be infeasible; callers doing feasible-only search must
+    /// guard with [`Solution::fits`].
+    #[inline]
+    pub fn add(&mut self, inst: &Instance, j: usize) {
+        assert!(!self.bits.get(j), "add({j}): item already packed");
+        self.bits.set(j, true);
+        self.value += inst.profit(j);
+        for (load, &a) in self.loads.iter_mut().zip(inst.item_weights(j)) {
+            *load += a;
+        }
+    }
+
+    /// Remove item `j` (must currently be in), updating caches in O(m).
+    #[inline]
+    pub fn drop(&mut self, inst: &Instance, j: usize) {
+        assert!(self.bits.get(j), "drop({j}): item not packed");
+        self.bits.set(j, false);
+        self.value -= inst.profit(j);
+        for (load, &a) in self.loads.iter_mut().zip(inst.item_weights(j)) {
+            *load -= a;
+        }
+    }
+
+    /// Index of the most saturated constraint: the one with minimum slack
+    /// `b_i − load_i` (paper §3.1, Drop step). Ties break to the smallest
+    /// index for determinism.
+    pub fn most_saturated_constraint(&self, inst: &Instance) -> usize {
+        let mut best = 0usize;
+        let mut best_slack = inst.capacity(0) - self.loads[0];
+        for i in 1..inst.m() {
+            let slack = inst.capacity(i) - self.loads[i];
+            if slack < best_slack {
+                best = i;
+                best_slack = slack;
+            }
+        }
+        best
+    }
+
+    /// Hamming distance to another solution of the same length.
+    pub fn hamming(&self, other: &Solution) -> usize {
+        self.bits.hamming(&other.bits)
+    }
+
+    /// Recompute value and loads from scratch and compare with the caches.
+    /// Used by tests and debug assertions to validate incremental updates.
+    pub fn check_consistent(&self, inst: &Instance) -> bool {
+        let fresh = Solution::from_bits(inst, self.bits.clone());
+        fresh.value == self.value && fresh.loads == self.loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use proptest::prelude::*;
+
+    fn tiny() -> Instance {
+        Instance::new(
+            "tiny",
+            3,
+            2,
+            vec![10, 6, 4],
+            vec![5, 4, 3, 1, 2, 3],
+            vec![8, 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_solution() {
+        let inst = tiny();
+        let sol = Solution::empty(&inst);
+        assert_eq!(sol.value(), 0);
+        assert_eq!(sol.loads(), &[0, 0]);
+        assert!(sol.is_feasible(&inst));
+        assert_eq!(sol.cardinality(), 0);
+    }
+
+    #[test]
+    fn add_updates_caches() {
+        let inst = tiny();
+        let mut sol = Solution::empty(&inst);
+        sol.add(&inst, 0);
+        assert_eq!(sol.value(), 10);
+        assert_eq!(sol.loads(), &[5, 1]);
+        sol.add(&inst, 2);
+        assert_eq!(sol.value(), 14);
+        assert_eq!(sol.loads(), &[8, 4]);
+        assert!(sol.is_feasible(&inst));
+        assert!(sol.check_consistent(&inst));
+    }
+
+    #[test]
+    fn drop_reverses_add() {
+        let inst = tiny();
+        let mut sol = Solution::empty(&inst);
+        sol.add(&inst, 1);
+        sol.add(&inst, 2);
+        sol.drop(&inst, 1);
+        assert_eq!(sol.value(), 4);
+        assert_eq!(sol.loads(), &[3, 3]);
+        assert!(sol.check_consistent(&inst));
+    }
+
+    #[test]
+    #[should_panic(expected = "already packed")]
+    fn double_add_panics() {
+        let inst = tiny();
+        let mut sol = Solution::empty(&inst);
+        sol.add(&inst, 0);
+        sol.add(&inst, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not packed")]
+    fn drop_missing_panics() {
+        let inst = tiny();
+        let mut sol = Solution::empty(&inst);
+        sol.drop(&inst, 0);
+    }
+
+    #[test]
+    fn fits_detects_overflow() {
+        let inst = tiny();
+        let mut sol = Solution::empty(&inst);
+        sol.add(&inst, 0); // loads [5,1]
+        assert!(!sol.fits(&inst, 1)); // would be [9,3] > [8,4] on constraint 0
+        assert!(sol.fits(&inst, 2)); // [8,4] exactly
+    }
+
+    #[test]
+    fn infeasible_state_tracked() {
+        let inst = tiny();
+        let mut sol = Solution::empty(&inst);
+        sol.add(&inst, 0);
+        sol.add(&inst, 1); // loads [9,3]: violates constraint 0
+        assert!(!sol.is_feasible(&inst));
+        assert_eq!(sol.total_overload(&inst), 1);
+        assert_eq!(sol.slack(&inst, 0), -1);
+    }
+
+    #[test]
+    fn most_saturated_picks_min_slack() {
+        let inst = tiny();
+        let mut sol = Solution::empty(&inst);
+        sol.add(&inst, 2); // loads [3,3] → slacks [5,1]
+        assert_eq!(sol.most_saturated_constraint(&inst), 1);
+    }
+
+    #[test]
+    fn most_saturated_tie_breaks_low_index() {
+        let inst = Instance::new("t", 1, 2, vec![1], vec![1, 1], vec![5, 5]).unwrap();
+        let sol = Solution::empty(&inst);
+        assert_eq!(sol.most_saturated_constraint(&inst), 0);
+    }
+
+    #[test]
+    fn from_bits_matches_manual() {
+        let inst = tiny();
+        let bits = BitVec::from_bools([true, false, true]);
+        let sol = Solution::from_bits(&inst, bits);
+        assert_eq!(sol.value(), 14);
+        assert_eq!(sol.loads(), &[8, 4]);
+    }
+
+    #[test]
+    fn hamming_between_solutions() {
+        let inst = tiny();
+        let a = Solution::from_bits(&inst, BitVec::from_bools([true, false, true]));
+        let b = Solution::from_bits(&inst, BitVec::from_bools([false, false, true]));
+        assert_eq!(a.hamming(&b), 1);
+    }
+
+    /// Strategy producing a small random instance plus a random move script.
+    fn arb_instance_and_moves() -> impl Strategy<Value = (Instance, Vec<usize>)> {
+        (2usize..20, 1usize..6).prop_flat_map(|(n, m)| {
+            let profits = proptest::collection::vec(0i64..100, n);
+            let weights = proptest::collection::vec(0i64..50, n * m);
+            let caps = proptest::collection::vec(10i64..200, m);
+            let moves = proptest::collection::vec(0usize..n, 0..40);
+            (profits, weights, caps, moves).prop_map(move |(p, w, c, mv)| {
+                (Instance::new("prop", n, m, p, w, c).unwrap(), mv)
+            })
+        })
+    }
+
+    proptest! {
+        /// Core invariant: any sequence of toggles keeps the incremental
+        /// caches equal to a from-scratch recomputation.
+        #[test]
+        fn prop_incremental_equals_scratch((inst, moves) in arb_instance_and_moves()) {
+            let mut sol = Solution::empty(&inst);
+            for j in moves {
+                if sol.contains(j) {
+                    sol.drop(&inst, j);
+                } else {
+                    sol.add(&inst, j);
+                }
+                prop_assert!(sol.check_consistent(&inst));
+            }
+        }
+
+        /// `fits` is exactly "add would remain feasible" for feasible states.
+        #[test]
+        fn prop_fits_predicts_feasibility((inst, moves) in arb_instance_and_moves()) {
+            let mut sol = Solution::empty(&inst);
+            for j in moves {
+                if sol.contains(j) {
+                    sol.drop(&inst, j);
+                    continue;
+                }
+                if !sol.is_feasible(&inst) {
+                    continue;
+                }
+                let fits = sol.fits(&inst, j);
+                sol.add(&inst, j);
+                prop_assert_eq!(fits, sol.is_feasible(&inst));
+            }
+        }
+
+        /// Overload is zero iff feasible.
+        #[test]
+        fn prop_overload_zero_iff_feasible((inst, moves) in arb_instance_and_moves()) {
+            let mut sol = Solution::empty(&inst);
+            for j in moves {
+                if sol.contains(j) {
+                    sol.drop(&inst, j);
+                } else {
+                    sol.add(&inst, j);
+                }
+                prop_assert_eq!(sol.total_overload(&inst) == 0, sol.is_feasible(&inst));
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Instance statistics: the structural characteristics (size, tightness,
+//! profit–weight correlation, weight dispersion) that define a benchmark
+//! class. The generators' tests assert their output matches the published
+//! class profile through these numbers, and the bench harness prints them
+//! so every experiment records *what kind* of instance it ran on.
+
+use crate::instance::Instance;
+
+/// Summary statistics of one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Items.
+    pub n: usize,
+    /// Constraints.
+    pub m: usize,
+    /// Mean capacity tightness `b_i / Σ_j a_ij`.
+    pub mean_tightness: f64,
+    /// Pearson correlation between item profit and total item weight.
+    pub profit_weight_correlation: f64,
+    /// Coefficient of variation of the weights (σ/μ).
+    pub weight_cv: f64,
+    /// Mean items per knapsack at mean weights: `mean_tightness · n` —
+    /// a rough expected solution cardinality.
+    pub expected_cardinality: f64,
+}
+
+/// Pearson correlation coefficient of two equal-length samples
+/// (0 when either variance vanishes).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson over unequal lengths");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mx, my) = (mean(xs), mean(ys));
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Profit–weight-mass correlation of an instance.
+pub fn profit_weight_correlation(inst: &Instance) -> f64 {
+    let xs: Vec<f64> = (0..inst.n()).map(|j| inst.item_weight_sum(j) as f64).collect();
+    let ys: Vec<f64> = (0..inst.n()).map(|j| inst.profit(j) as f64).collect();
+    pearson(&xs, &ys)
+}
+
+/// Compute the full statistics summary.
+pub fn instance_stats(inst: &Instance) -> InstanceStats {
+    let tightness = inst.tightness();
+    let mean_tightness = tightness.iter().sum::<f64>() / tightness.len() as f64;
+
+    let weights: Vec<f64> = (0..inst.m())
+        .flat_map(|i| inst.constraint_row(i).iter().map(|&w| w as f64).collect::<Vec<_>>())
+        .collect();
+    let wmean = weights.iter().sum::<f64>() / weights.len() as f64;
+    let wvar = weights.iter().map(|w| (w - wmean).powi(2)).sum::<f64>() / weights.len() as f64;
+    let weight_cv = if wmean > 0.0 { wvar.sqrt() / wmean } else { 0.0 };
+
+    InstanceStats {
+        n: inst.n(),
+        m: inst.m(),
+        mean_tightness,
+        profit_weight_correlation: profit_weight_correlation(inst),
+        weight_cv,
+        expected_cardinality: mean_tightness * inst.n() as f64,
+    }
+}
+
+impl std::fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} tight={:.2} corr={:.2} cv={:.2} ~card={:.0}",
+            self.m,
+            self.n,
+            self.mean_tightness,
+            self.profit_weight_correlation,
+            self.weight_cv,
+            self.expected_cardinality
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{chu_beasley_instance, gk_instance, uncorrelated_instance, GkSpec};
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0); // zero variance
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0); // too short
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn pearson_rejects_length_mismatch() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn stats_reflect_generator_class() {
+        let gk = gk_instance("g", GkSpec { n: 200, m: 10, tightness: 0.5, seed: 1 });
+        let s = instance_stats(&gk);
+        assert_eq!(s.n, 200);
+        assert_eq!(s.m, 10);
+        assert!((s.mean_tightness - 0.5).abs() < 0.01);
+        assert!(s.profit_weight_correlation > 0.3, "GK must correlate");
+
+        let un = uncorrelated_instance("u", 200, 10, 0.5, 1);
+        let su = instance_stats(&un);
+        assert!(su.profit_weight_correlation.abs() < 0.2, "uncorrelated class");
+
+        let cb = chu_beasley_instance("c", 200, 10, 0.25, 1);
+        let sc = instance_stats(&cb);
+        assert!((sc.mean_tightness - 0.25).abs() < 0.02);
+        assert!(sc.profit_weight_correlation > s.profit_weight_correlation - 0.2);
+    }
+
+    #[test]
+    fn expected_cardinality_tracks_tightness() {
+        let tight = gk_instance("t", GkSpec { n: 100, m: 5, tightness: 0.25, seed: 2 });
+        let loose = gk_instance("l", GkSpec { n: 100, m: 5, tightness: 0.75, seed: 2 });
+        assert!(
+            instance_stats(&tight).expected_cardinality
+                < instance_stats(&loose).expected_cardinality
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = instance_stats(&uncorrelated_instance("d", 50, 5, 0.5, 3));
+        let text = s.to_string();
+        assert!(text.contains("5x50"));
+        assert!(text.contains("tight=0.5"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Reusable sense-reversing barrier.
+//!
+//! The paper's master/slave scheme is *synchronous*: all slaves must reach
+//! the rendezvous before the next search iteration starts (§4.2: "each
+//! slave must wait until all other slaves terminate their search"). A
+//! sense-reversing barrier gives that rendezvous without re-allocating per
+//! round.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct State {
+    waiting: usize,
+    sense: bool,
+}
+
+/// A reusable barrier for a fixed party count. Clone handles freely; all
+/// clones address the same barrier.
+#[derive(Clone)]
+pub struct Barrier {
+    parties: usize,
+    state: Arc<(Mutex<State>, Condvar)>,
+}
+
+impl Barrier {
+    /// Barrier for `parties` participants (≥ 1).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one party");
+        Barrier {
+            parties,
+            state: Arc::new((Mutex::new(State { waiting: 0, sense: false }), Condvar::new())),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all parties arrive. Returns `true` for exactly one
+    /// participant per round (the "leader", last to arrive).
+    pub fn wait(&self) -> bool {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        let my_sense = st.sense;
+        st.waiting += 1;
+        if st.waiting == self.parties {
+            // Last arrival: flip the sense and release the round.
+            st.waiting = 0;
+            st.sense = !st.sense;
+            cvar.notify_all();
+            true
+        } else {
+            while st.sense == my_sense {
+                cvar.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = Barrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait(), "sole participant is always the leader");
+        }
+    }
+
+    #[test]
+    fn releases_all_parties() {
+        let b = Barrier::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                let counter = counter.clone();
+                s.spawn(move |_| {
+                    b.wait();
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        let b = Barrier::new(3);
+        for _ in 0..5 {
+            let leaders = Arc::new(AtomicUsize::new(0));
+            crossbeam::thread::scope(|s| {
+                for _ in 0..3 {
+                    let b = b.clone();
+                    let leaders = leaders.clone();
+                    s.spawn(move |_| {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn reusable_across_rounds_without_deadlock() {
+        // Threads loop through many rounds with tiny staggered sleeps: any
+        // sense-reversal bug would deadlock (test would time out) or lose a
+        // round (counts would diverge).
+        let b = Barrier::new(3);
+        let rounds = 50;
+        let total = Arc::new(AtomicUsize::new(0));
+        crossbeam::thread::scope(|s| {
+            for t in 0..3usize {
+                let b = b.clone();
+                let total = total.clone();
+                s.spawn(move |_| {
+                    for r in 0..rounds {
+                        if t == r % 3 {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                        b.wait();
+                        total.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::SeqCst), 3 * rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        Barrier::new(0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Collective operations over the farm, in the spirit of `pvm_mcast` and
+//! the master-side gather loop every PVM master hand-rolled. Built purely
+//! on the public [`TaskCtx`] API.
+
+use crate::codec::Wire;
+use crate::farm::{CommError, Envelope, TaskCtx, TaskId};
+use std::time::Duration;
+
+/// Errors from gather-style collectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// Underlying transport failure.
+    Comm(CommError),
+    /// A message with an unexpected tag arrived mid-collective.
+    UnexpectedTag {
+        /// Tag that arrived.
+        got: u32,
+        /// Tag the collective expected.
+        expected: u32,
+    },
+    /// The same sender contributed twice before the collective completed.
+    DuplicateSender {
+        /// The offending task.
+        from: TaskId,
+    },
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::Comm(e) => write!(f, "transport failure: {e}"),
+            CollectiveError::UnexpectedTag { got, expected } => {
+                write!(f, "unexpected tag {got} during collective (expected {expected})")
+            }
+            CollectiveError::DuplicateSender { from } => {
+                write!(f, "task {from} contributed twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+impl From<CommError> for CollectiveError {
+    fn from(e: CommError) -> Self {
+        CollectiveError::Comm(e)
+    }
+}
+
+/// Collective extensions on a task context.
+pub trait Collectives {
+    /// Send `msg` to every other task (`pvm_mcast`).
+    fn broadcast<T: Wire>(&self, tag: u32, msg: &T) -> Result<(), CommError>;
+
+    /// Receive exactly one message with `tag` from each task in `from`,
+    /// returned in the order of `from` regardless of arrival order.
+    fn gather(
+        &self,
+        tag: u32,
+        from: &[TaskId],
+        timeout: Duration,
+    ) -> Result<Vec<Envelope>, CollectiveError>;
+
+    /// Typed gather: decode each contribution.
+    fn gather_msgs<T: Wire>(
+        &self,
+        tag: u32,
+        from: &[TaskId],
+        timeout: Duration,
+    ) -> Result<Vec<T>, CollectiveError> {
+        self.gather(tag, from, timeout)?
+            .iter()
+            .map(|env| env.decode::<T>().map_err(|_| CollectiveError::Comm(CommError::Disconnected)))
+            .collect()
+    }
+}
+
+impl Collectives for TaskCtx {
+    fn broadcast<T: Wire>(&self, tag: u32, msg: &T) -> Result<(), CommError> {
+        let bytes = msg.to_bytes();
+        for to in 0..self.ntasks() {
+            if to != self.tid() {
+                self.send_bytes(to, tag, bytes.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn gather(
+        &self,
+        tag: u32,
+        from: &[TaskId],
+        timeout: Duration,
+    ) -> Result<Vec<Envelope>, CollectiveError> {
+        let mut slots: Vec<Option<Envelope>> = vec![None; from.len()];
+        for _ in 0..from.len() {
+            let env = self.recv_timeout(timeout)?;
+            if env.tag != tag {
+                return Err(CollectiveError::UnexpectedTag { got: env.tag, expected: tag });
+            }
+            let slot = from
+                .iter()
+                .position(|&f| f == env.from)
+                .ok_or(CollectiveError::DuplicateSender { from: env.from })?;
+            if slots[slot].is_some() {
+                return Err(CollectiveError::DuplicateSender { from: env.from });
+            }
+            slots[slot] = Some(env);
+        }
+        Ok(slots.into_iter().map(|s| s.expect("all slots filled")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecError, PackBuffer, UnpackBuffer};
+    use crate::farm::run_farm;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Num(i64);
+    impl Wire for Num {
+        fn pack(&self, buf: &mut PackBuffer) {
+            buf.put_i64(self.0);
+        }
+        fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+            Ok(Num(buf.get_i64()?))
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let r = run_farm(4, |ctx| {
+            if ctx.tid() == 0 {
+                ctx.broadcast(1, &Num(99)).unwrap();
+                0
+            } else {
+                ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0
+            }
+        })
+        .unwrap();
+        assert_eq!(r, vec![0, 99, 99, 99]);
+    }
+
+    #[test]
+    fn gather_orders_by_requested_senders() {
+        let r = run_farm(4, |ctx| {
+            if ctx.tid() == 0 {
+                // Request in reverse order; results must follow it.
+                let senders = [3, 2, 1];
+                let msgs: Vec<Num> = ctx.gather_msgs(7, &senders, T).unwrap();
+                msgs.iter().map(|n| n.0).collect::<Vec<_>>()
+            } else {
+                ctx.send(0, 7, &Num(ctx.tid() as i64 * 10)).unwrap();
+                vec![]
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0], vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn gather_detects_wrong_tag() {
+        let r = run_farm(2, |ctx| {
+            if ctx.tid() == 0 {
+                matches!(
+                    ctx.gather(7, &[1], T),
+                    Err(CollectiveError::UnexpectedTag { got: 9, expected: 7 })
+                )
+            } else {
+                ctx.send(0, 9, &Num(1)).unwrap();
+                true
+            }
+        })
+        .unwrap();
+        assert!(r[0]);
+    }
+
+    #[test]
+    fn gather_detects_unknown_sender() {
+        let r = run_farm(3, |ctx| {
+            if ctx.tid() == 0 {
+                // Expect from task 1 only, but task 2 answers first or
+                // second — either way a contribution from 2 is an error.
+                let out = ctx.gather(7, &[1], T);
+                matches!(out, Err(CollectiveError::DuplicateSender { .. })) || out.is_ok()
+            } else if ctx.tid() == 2 {
+                ctx.send(0, 7, &Num(2)).unwrap();
+                true
+            } else {
+                true // task 1 stays silent
+            }
+        })
+        .unwrap();
+        assert!(r[0]);
+    }
+
+    #[test]
+    fn gather_times_out_on_silent_peer() {
+        let r = run_farm(2, |ctx| {
+            if ctx.tid() == 0 {
+                matches!(
+                    ctx.gather(7, &[1], Duration::from_millis(50)),
+                    Err(CollectiveError::Comm(CommError::Timeout | CommError::Disconnected))
+                )
+            } else {
+                true
+            }
+        })
+        .unwrap();
+        assert!(r[0]);
+    }
+
+    #[test]
+    fn round_trip_scatter_gather() {
+        // Master scatters work items, slaves square them, master gathers.
+        let r = run_farm(4, |ctx| {
+            if ctx.tid() == 0 {
+                for s in 1..4 {
+                    ctx.send(s, 1, &Num(s as i64)).unwrap();
+                }
+                let sq: Vec<Num> = ctx.gather_msgs(2, &[1, 2, 3], T).unwrap();
+                sq.iter().map(|n| n.0).sum::<i64>()
+            } else {
+                let n = ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0;
+                ctx.send(0, 2, &Num(n * n)).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0], 1 + 4 + 9);
+    }
+}

@@ -1,0 +1,387 @@
+//! The processor farm: task spawning, typed mailboxes, and addressing.
+//!
+//! [`run_farm`] plays the role of PVM's `pvm_spawn` over a crossbar-connected
+//! farm: `ntasks` tasks run concurrently, each addressing the others by task
+//! id through reliable, ordered, unbounded mailboxes. By the convention of
+//! the paper's master/slave model, task 0 is the master and tasks `1..P+1`
+//! are the slaves — the library itself imposes no roles.
+
+use crate::barrier::Barrier;
+use crate::codec::{CodecError, Wire};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+use std::time::Duration;
+
+/// Task address inside a farm (0-based, dense).
+pub type TaskId = usize;
+
+/// A received message: sender id, user tag, packed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending task.
+    pub from: TaskId,
+    /// User-chosen message tag (protocol discriminator).
+    pub tag: u32,
+    /// Packed payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl Envelope {
+    /// Decode the payload as a typed message.
+    pub fn decode<T: Wire>(&self) -> Result<T, CodecError> {
+        T::from_bytes(&self.data)
+    }
+}
+
+/// Communication failures.
+#[allow(missing_docs)] // field names are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination task has terminated (its mailbox is gone).
+    PeerGone { to: TaskId },
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Every possible sender has terminated; no message can ever arrive.
+    Disconnected,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerGone { to } => write!(f, "task {to} has terminated"),
+            CommError::Timeout => write!(f, "receive timed out"),
+            CommError::Disconnected => write!(f, "all peers terminated"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Farm-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmError {
+    /// A task panicked; the farm result is unusable.
+    TaskPanicked {
+        /// Lowest id among the panicked tasks.
+        tid: TaskId,
+    },
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::TaskPanicked { tid } => write!(f, "task {tid} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+/// Per-task handle to the farm: identity, mailbox and barrier.
+pub struct TaskCtx {
+    tid: TaskId,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    barrier: Barrier,
+}
+
+impl TaskCtx {
+    /// This task's id.
+    pub fn tid(&self) -> TaskId {
+        self.tid
+    }
+
+    /// Number of tasks in the farm.
+    pub fn ntasks(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send packed bytes to task `to`. Sending to oneself is allowed.
+    pub fn send_bytes(&self, to: TaskId, tag: u32, data: Vec<u8>) -> Result<(), CommError> {
+        assert!(to < self.senders.len(), "task id {to} out of range");
+        self.senders[to]
+            .send(Envelope { from: self.tid, tag, data })
+            .map_err(|_| CommError::PeerGone { to })
+    }
+
+    /// Pack and send a typed message.
+    pub fn send<T: Wire>(&self, to: TaskId, tag: u32, msg: &T) -> Result<(), CommError> {
+        self.send_bytes(to, tag, msg.to_bytes())
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<Envelope, CommError> {
+        self.inbox.recv().map_err(|_| CommError::Disconnected)
+    }
+
+    /// Block until a message arrives or the timeout elapses. Cooperative
+    /// protocols should prefer this so a dead peer surfaces as an error
+    /// instead of a hang.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, CommError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout,
+            RecvTimeoutError::Disconnected => CommError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Farm-wide rendezvous (all tasks). Returns `true` for the round
+    /// leader.
+    pub fn barrier(&self) -> bool {
+        self.barrier.wait()
+    }
+}
+
+/// Run `ntasks` tasks, one OS thread each, all executing `f` with their own
+/// [`TaskCtx`]. Returns the per-task results in task-id order, or the first
+/// panicking task id.
+pub fn run_farm<R, F>(ntasks: usize, f: F) -> Result<Vec<R>, FarmError>
+where
+    R: Send,
+    F: Fn(TaskCtx) -> R + Sync,
+{
+    assert!(ntasks >= 1, "farm needs at least one task");
+    let mut senders = Vec::with_capacity(ntasks);
+    let mut receivers = Vec::with_capacity(ntasks);
+    for _ in 0..ntasks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Barrier::new(ntasks);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ntasks);
+        for (tid, inbox) in receivers.into_iter().enumerate() {
+            let ctx = TaskCtx {
+                tid,
+                senders: senders.clone(),
+                inbox,
+                barrier: barrier.clone(),
+            };
+            let f = &f;
+            handles.push(scope.spawn(move || f(ctx)));
+        }
+        drop(senders); // tasks hold the only sender clones now
+
+        let mut results = Vec::with_capacity(ntasks);
+        let mut panicked: Option<TaskId> = None;
+        for (tid, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    panicked.get_or_insert(tid);
+                }
+            }
+        }
+        match panicked {
+            Some(tid) => Err(FarmError::TaskPanicked { tid }),
+            None => Ok(results),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{PackBuffer, UnpackBuffer};
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Num(i64);
+    impl Wire for Num {
+        fn pack(&self, buf: &mut PackBuffer) {
+            buf.put_i64(self.0);
+        }
+        fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+            Ok(Num(buf.get_i64()?))
+        }
+    }
+
+    #[test]
+    fn single_task_farm() {
+        let r = run_farm(1, |ctx| ctx.tid() * 10).unwrap();
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    fn results_in_task_order() {
+        let r = run_farm(5, |ctx| ctx.tid()).unwrap();
+        assert_eq!(r, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let r = run_farm(2, |ctx| {
+            if ctx.tid() == 0 {
+                ctx.send(1, 1, &Num(21)).unwrap();
+                let reply = ctx.recv_timeout(T).unwrap();
+                reply.decode::<Num>().unwrap().0
+            } else {
+                let msg = ctx.recv_timeout(T).unwrap();
+                assert_eq!(msg.from, 0);
+                assert_eq!(msg.tag, 1);
+                let n = msg.decode::<Num>().unwrap();
+                ctx.send(0, 2, &Num(n.0 * 2)).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0], 42);
+    }
+
+    #[test]
+    fn master_gathers_from_all_slaves() {
+        let p = 4;
+        let r = run_farm(p + 1, |ctx| {
+            if ctx.tid() == 0 {
+                let mut sum = 0i64;
+                for _ in 0..p {
+                    sum += ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0;
+                }
+                sum
+            } else {
+                ctx.send(0, 0, &Num(ctx.tid() as i64)).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0], (1..=p as i64).sum::<i64>());
+    }
+
+    #[test]
+    fn messages_from_one_sender_keep_order() {
+        let r = run_farm(2, |ctx| {
+            if ctx.tid() == 0 {
+                for k in 0..100 {
+                    ctx.send(1, 0, &Num(k)).unwrap();
+                }
+                0
+            } else {
+                let mut last = -1;
+                for _ in 0..100 {
+                    let v = ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0;
+                    assert_eq!(v, last + 1, "reordered delivery");
+                    last = v;
+                }
+                last
+            }
+        })
+        .unwrap();
+        assert_eq!(r[1], 99);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let r = run_farm(1, |ctx| {
+            ctx.send(0, 7, &Num(5)).unwrap();
+            ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0
+        })
+        .unwrap();
+        assert_eq!(r, vec![5]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_rounds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_farm(4, |ctx| {
+            for round in 1..=10usize {
+                counter.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier();
+                // After the barrier every task must observe all increments
+                // of this round.
+                assert!(counter.load(Ordering::SeqCst) >= round * 4);
+                ctx.barrier();
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn panic_is_reported_with_task_id() {
+        let err = run_farm(3, |ctx| {
+            if ctx.tid() == 1 {
+                panic!("injected failure");
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, FarmError::TaskPanicked { tid: 1 });
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_dead_peer() {
+        // Slave dies before sending; master's timed receive must error
+        // rather than hang.
+        let r = run_farm(2, |ctx| {
+            if ctx.tid() == 0 {
+                matches!(
+                    ctx.recv_timeout(Duration::from_millis(50)),
+                    Err(CommError::Timeout | CommError::Disconnected)
+                )
+            } else {
+                true // slave exits immediately
+            }
+        })
+        .unwrap();
+        assert!(r[0]);
+    }
+
+    #[test]
+    fn send_to_finished_task_errors() {
+        let r = run_farm(2, |ctx| {
+            if ctx.tid() == 0 {
+                // Wait for the peer to be done, then send into the void.
+                let hello = ctx.recv_timeout(T).unwrap();
+                assert_eq!(hello.tag, 9);
+                // Spin until the send fails (peer teardown is asynchronous).
+                for _ in 0..1000 {
+                    if ctx.send(1, 0, &Num(1)).is_err() {
+                        return true;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                false
+            } else {
+                ctx.send(0, 9, &Num(0)).unwrap();
+                true // exit drops the mailbox
+            }
+        })
+        .unwrap();
+        assert!(r[0], "send to dead task never errored");
+    }
+
+    #[test]
+    fn send_out_of_range_panics_the_task() {
+        // The panic happens on the task thread and surfaces as a farm error.
+        let err = run_farm(1, |ctx| {
+            let _ = ctx.send_bytes(5, 0, vec![]);
+        })
+        .unwrap_err();
+        assert_eq!(err, FarmError::TaskPanicked { tid: 0 });
+    }
+
+    #[test]
+    fn tags_discriminate_protocols() {
+        let r = run_farm(2, |ctx| {
+            if ctx.tid() == 0 {
+                ctx.send(1, 10, &Num(1)).unwrap();
+                ctx.send(1, 20, &Num(2)).unwrap();
+                0
+            } else {
+                let a = ctx.recv_timeout(T).unwrap();
+                let b = ctx.recv_timeout(T).unwrap();
+                assert_eq!((a.tag, b.tag), (10, 20));
+                (a.decode::<Num>().unwrap().0 * 100 + b.decode::<Num>().unwrap().0) as usize
+            }
+        })
+        .unwrap();
+        assert_eq!(r[1], 102);
+    }
+}

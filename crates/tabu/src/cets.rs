@@ -1,0 +1,376 @@
+//! Critical-event tabu search (CETS) — the Glover–Kochenberger baseline the
+//! paper measures itself against ([6]; [7] is the Hanafi–Fréville
+//! refinement: "The execution times for these two benchmarks are very short
+//! comparing to those given in [7]").
+//!
+//! Where the paper's engine moves along the feasibility boundary
+//! (drop-then-saturate), CETS *oscillates across it*: a constructive phase
+//! adds items until the solution sits `span` additions beyond the boundary,
+//! a destructive phase drops items until it sits `span` drops inside, and
+//! the **critical events** — the last feasible solution before each crossing
+//! — are recorded as the search's products. The oscillation amplitude
+//! shrinks over time (broad exploration first, boundary-hugging later), and
+//! a frequency memory diversifies when the amplitude bottoms out.
+//!
+//! Implemented as an independent engine with the same work accounting as
+//! [`crate::search`], so the baseline comparison runs at a genuinely equal
+//! budget.
+
+use crate::elite::ElitePool;
+use crate::moves::MoveStats;
+use crate::search::SearchReport;
+use crate::tabu_list::{Recency, TabuMemory};
+use mkp::eval::Ratios;
+use mkp::greedy::{dynamic_utility, greedy_fill, project_feasible};
+use mkp::{Instance, Solution, Xoshiro256};
+
+/// CETS parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CetsConfig {
+    /// Initial oscillation amplitude (items beyond/inside the boundary).
+    pub span_init: usize,
+    /// Minimum amplitude; reaching it triggers the next decay cycle.
+    pub span_min: usize,
+    /// Tabu tenure applied to moved items (add-tabu-to-drop and vice versa).
+    pub tenure: usize,
+    /// Full oscillation cycles between amplitude decrements.
+    pub cycles_per_span: u32,
+    /// Elite pool size.
+    pub b_best: usize,
+    /// Candidate-selection noise, as in the main engine.
+    pub noise: f64,
+}
+
+impl CetsConfig {
+    /// Defaults scaled to instance size `n`.
+    pub fn default_for(n: usize) -> Self {
+        CetsConfig {
+            span_init: (n / 20).clamp(3, 20),
+            span_min: 1,
+            tenure: (n / 10).clamp(5, 50),
+            cycles_per_span: 12,
+            b_best: 8,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Run CETS until the budget is exhausted. Reports through the same
+/// [`SearchReport`] as the primary engine.
+pub fn run_cets(
+    inst: &Instance,
+    ratios: &Ratios,
+    initial: Solution,
+    config: &CetsConfig,
+    max_evals: u64,
+    rng: &mut Xoshiro256,
+) -> SearchReport {
+    let mut x = initial;
+    project_feasible(inst, ratios, &mut x);
+    greedy_fill(inst, ratios, &mut x);
+    let initial_value = x.value();
+
+    let mut best = x.clone();
+    let mut elite = ElitePool::new(config.b_best);
+    elite.offer(&best);
+    let mut stats = MoveStats::default();
+    let mut tabu = Recency::new(inst.n(), config.tenure);
+    // Residency frequency for the bottom-of-decay diversification.
+    let mut freq = vec![0u64; inst.n()];
+    let mut freq_ticks = 0u64;
+
+    let mut span = config.span_init.max(config.span_min);
+    let mut cycles_at_span = 0u32;
+    let mut now = 0u64;
+
+    while stats.candidate_evals < max_evals {
+        // --- Constructive sweep: add to `span` items beyond the boundary.
+        let mut beyond = 0usize;
+        while beyond < span {
+            let Some(j) = pick_add(inst, &x, &tabu, now, config.noise, rng, &mut stats)
+            else {
+                break; // every item packed
+            };
+            x.add(inst, j);
+            tabu.forbid(j, now);
+            now += 1;
+            stats.moves += 1;
+            if !x.is_feasible(inst) {
+                beyond += 1;
+            } else if x.value() > best.value() {
+                best = x.clone();
+            }
+            if x.is_feasible(inst) {
+                elite.offer(&x);
+            }
+            if stats.candidate_evals >= max_evals {
+                break;
+            }
+        }
+
+        // --- Destructive sweep: drop until `span` items inside the domain.
+        let mut inside = 0usize;
+        while inside < span && x.cardinality() > 0 {
+            let Some(j) = pick_drop(inst, &x, &tabu, now, config.noise, rng, &mut stats)
+            else {
+                break;
+            };
+            let was_infeasible = !x.is_feasible(inst);
+            x.drop(inst, j);
+            tabu.forbid(j, now);
+            now += 1;
+            stats.moves += 1;
+            if x.is_feasible(inst) {
+                if was_infeasible {
+                    // Critical event: first feasible solution of the sweep.
+                    elite.offer(&x);
+                    if x.value() > best.value() {
+                        best = x.clone();
+                    }
+                }
+                inside += 1;
+            }
+            if stats.candidate_evals >= max_evals {
+                break;
+            }
+        }
+
+        // Record residency at each cycle's feasible end.
+        if x.is_feasible(inst) {
+            for j in x.bits().iter_ones() {
+                freq[j] += 1;
+            }
+            freq_ticks += 1;
+        }
+
+        // --- Amplitude schedule.
+        cycles_at_span += 1;
+        if cycles_at_span >= config.cycles_per_span {
+            cycles_at_span = 0;
+            if span > config.span_min {
+                span -= 1;
+            } else {
+                // Bottomed out: diversify against the frequency memory and
+                // restart the decay.
+                diversify_by_frequency(inst, &mut x, &freq, freq_ticks, &mut tabu, now);
+                span = config.span_init.max(config.span_min);
+            }
+        }
+    }
+
+    // Leave from a feasible point.
+    project_feasible(inst, ratios, &mut x);
+    greedy_fill(inst, ratios, &mut x);
+    if x.value() > best.value() {
+        best = x.clone();
+    }
+    elite.offer(&x);
+
+    debug_assert!(best.is_feasible(inst));
+    SearchReport {
+        best,
+        elite: elite.solutions().to_vec(),
+        stats,
+        initial_value,
+        budget_exhausted: true,
+    }
+}
+
+/// Best non-tabu add candidate by slack-aware utility (noisy top-2).
+fn pick_add(
+    inst: &Instance,
+    x: &Solution,
+    tabu: &Recency,
+    now: u64,
+    noise: f64,
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut second: Option<(usize, f64)> = None;
+    for j in 0..inst.n() {
+        if x.contains(j) || tabu.is_tabu(j, now) {
+            continue;
+        }
+        stats.candidate_evals += 1;
+        let u = dynamic_utility(inst, x, j);
+        if best.is_none_or(|(_, b)| u > b) {
+            second = best;
+            best = Some((j, u));
+        } else if second.is_none_or(|(_, s)| u > s) {
+            second = Some((j, u));
+        }
+    }
+    match (best, second) {
+        (Some((b, _)), Some((s, _))) if noise > 0.0 && rng.chance(noise) => {
+            Some(if rng.chance(0.5) { b } else { s })
+        }
+        (Some((b, _)), _) => Some(b),
+        _ => None,
+    }
+}
+
+/// Worst non-tabu packed item (max weight per profit), noisy top-2.
+fn pick_drop(
+    inst: &Instance,
+    x: &Solution,
+    tabu: &Recency,
+    now: u64,
+    noise: f64,
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut second: Option<(usize, f64)> = None;
+    let mut fallback: Option<(usize, f64)> = None;
+    for j in x.bits().iter_ones() {
+        stats.candidate_evals += 1;
+        let burden =
+            inst.item_weight_sum(j) as f64 / inst.profit(j).max(1) as f64;
+        if fallback.is_none_or(|(_, b)| burden > b) {
+            fallback = Some((j, burden));
+        }
+        if tabu.is_tabu(j, now) {
+            continue;
+        }
+        if best.is_none_or(|(_, b)| burden > b) {
+            second = best;
+            best = Some((j, burden));
+        } else if second.is_none_or(|(_, s)| burden > s) {
+            second = Some((j, burden));
+        }
+    }
+    match (best, second) {
+        (Some((b, _)), Some((s, _))) if noise > 0.0 && rng.chance(noise) => {
+            Some(if rng.chance(0.5) { b } else { s })
+        }
+        (Some((b, _)), _) => Some(b),
+        // Everything tabu: the sweep must still progress.
+        (None, _) => fallback.map(|(j, _)| j),
+    }
+}
+
+/// Flip the most over-represented items out (pinning them tabu) so the next
+/// decay cycle explores elsewhere.
+fn diversify_by_frequency(
+    inst: &Instance,
+    x: &mut Solution,
+    freq: &[u64],
+    ticks: u64,
+    tabu: &mut Recency,
+    now: u64,
+) {
+    if ticks == 0 {
+        return;
+    }
+    let mut over: Vec<usize> = x
+        .bits()
+        .iter_ones()
+        .filter(|&j| freq[j] as f64 / ticks as f64 > 0.9)
+        .collect();
+    over.sort_by_key(|&j| std::cmp::Reverse(freq[j]));
+    for j in over.into_iter().take(inst.n() / 10 + 1) {
+        x.drop(inst, j);
+        tabu.forbid(j, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::generate::{gk_instance, uncorrelated_instance, GkSpec};
+    use mkp::greedy::{greedy, random_feasible};
+
+    fn run_default(inst: &Instance, seed: u64, evals: u64) -> SearchReport {
+        let ratios = Ratios::new(inst);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let init = random_feasible(inst, &mut rng);
+        run_cets(
+            inst,
+            &ratios,
+            init,
+            &CetsConfig::default_for(inst.n()),
+            evals,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn best_is_feasible_and_consistent() {
+        for seed in 0..5 {
+            let inst = uncorrelated_instance("c", 40, 4, 0.5, seed);
+            let r = run_default(&inst, seed, 50_000);
+            assert!(r.best.is_feasible(&inst));
+            assert!(r.best.check_consistent(&inst));
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_greedy() {
+        for seed in 0..5 {
+            let inst = gk_instance("g", GkSpec { n: 80, m: 5, tightness: 0.5, seed });
+            let ratios = Ratios::new(&inst);
+            let g = greedy(&inst, &ratios);
+            let r = run_default(&inst, seed, 300_000);
+            assert!(
+                r.best.value() >= g.value(),
+                "seed {seed}: CETS {} < greedy {}",
+                r.best.value(),
+                g.value()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let inst = gk_instance("b", GkSpec { n: 100, m: 5, tightness: 0.5, seed: 1 });
+        let r = run_default(&inst, 1, 20_000);
+        assert!(r.stats.candidate_evals < 20_000 + 2 * inst.n() as u64 + 64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = gk_instance("d", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 2 });
+        let a = run_default(&inst, 7, 40_000);
+        let b = run_default(&inst, 7, 40_000);
+        assert_eq!(a.best.bits(), b.best.bits());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn elite_records_critical_events() {
+        let inst = gk_instance("e", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 3 });
+        let r = run_default(&inst, 3, 100_000);
+        assert!(!r.elite.is_empty());
+        for sol in &r.elite {
+            assert!(sol.is_feasible(&inst), "critical event recorded infeasible");
+        }
+    }
+
+    #[test]
+    fn finds_optimum_on_small_instances() {
+        for seed in 0..3 {
+            let inst = uncorrelated_instance("o", 12, 3, 0.5, seed);
+            let mut brute = 0i64;
+            for mask in 0u32..(1 << inst.n()) {
+                let ok = (0..inst.m()).all(|i| {
+                    (0..inst.n())
+                        .filter(|&j| (mask >> j) & 1 == 1)
+                        .map(|j| inst.weight(i, j))
+                        .sum::<i64>()
+                        <= inst.capacity(i)
+                });
+                if ok {
+                    brute = brute.max(
+                        (0..inst.n())
+                            .filter(|&j| (mask >> j) & 1 == 1)
+                            .map(|j| inst.profit(j))
+                            .sum(),
+                    );
+                }
+            }
+            let r = run_default(&inst, seed, 150_000);
+            assert_eq!(r.best.value(), brute, "seed {seed}");
+        }
+    }
+}

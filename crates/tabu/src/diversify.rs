@@ -1,0 +1,193 @@
+//! Diversification via the long-term frequency memory (paper §3.3).
+//!
+//! A new starting solution `X_div` is built from the `History` residency
+//! frequencies rather than at random: components that were almost always
+//! packed are forced *out*, components that were almost never packed are
+//! forced *in* (when they fit), and both are made tabu for a window so the
+//! subsequent local search is pinned inside the neglected region.
+
+use crate::history::History;
+use crate::tabu_list::TabuMemory;
+use mkp::eval::Ratios;
+use mkp::{Instance, Solution};
+
+/// Thresholds steering the diversification restart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversifyParams {
+    /// Components with residency frequency above this are forced to 0.
+    pub hi_threshold: f64,
+    /// Components with residency frequency below this are forced to 1.
+    pub lo_threshold: f64,
+    /// Tabu window applied to the forced components.
+    pub pin_tenure: usize,
+}
+
+impl Default for DiversifyParams {
+    fn default() -> Self {
+        DiversifyParams { hi_threshold: 0.85, lo_threshold: 0.10, pin_tenure: 40 }
+    }
+}
+
+/// Build the diversified restart solution from the frequency memory.
+///
+/// Returns the new (feasible) solution and the list of components that were
+/// forced and pinned tabu.
+pub fn diversify<M: TabuMemory>(
+    inst: &Instance,
+    ratios: &Ratios,
+    history: &History,
+    current: &Solution,
+    params: &DiversifyParams,
+    tabu: &mut M,
+    now: u64,
+) -> (Solution, Vec<usize>) {
+    assert!(params.lo_threshold <= params.hi_threshold);
+    let mut next = Solution::empty(inst);
+    let mut forced = Vec::new();
+    let mut forced_out = vec![false; inst.n()];
+
+    // Pass 1: force under-used components in, most attractive first, as long
+    // as they fit; over-used components are locked out for the whole build.
+    for &j in ratios.by_utility_desc() {
+        if history.frequency(j) > params.hi_threshold {
+            forced_out[j] = true;
+            forced.push(j);
+        } else if history.frequency(j) < params.lo_threshold && next.fits(inst, j) {
+            next.add(inst, j);
+            forced.push(j);
+        }
+    }
+
+    // Pass 2: keep the current solution's remaining components (the locked-
+    // out ones stay out and become tabu-to-add).
+    for j in current.bits().iter_ones() {
+        if !next.contains(j) && !forced_out[j] && next.fits(inst, j) {
+            next.add(inst, j);
+        }
+    }
+
+    // Fill any slack greedily — skipping locked-out components — and pin
+    // every forced component.
+    for &j in ratios.by_utility_desc() {
+        if !forced_out[j] && !next.contains(j) && next.fits(inst, j) {
+            next.add(inst, j);
+        }
+    }
+    let old_tenure = tabu.tenure();
+    tabu.set_tenure(params.pin_tenure);
+    for &j in &forced {
+        tabu.forbid(j, now);
+    }
+    tabu.set_tenure(old_tenure);
+
+    debug_assert!(next.is_feasible(inst));
+    (next, forced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabu_list::Recency;
+    use mkp::generate::uncorrelated_instance;
+    use mkp::greedy::greedy;
+
+    fn setup(seed: u64) -> (mkp::Instance, Ratios) {
+        let inst = uncorrelated_instance("d", 30, 3, 0.5, seed);
+        let ratios = Ratios::new(&inst);
+        (inst, ratios)
+    }
+
+    #[test]
+    fn result_is_feasible() {
+        let (inst, ratios) = setup(1);
+        let sol = greedy(&inst, &ratios);
+        let mut history = History::new(inst.n());
+        for _ in 0..100 {
+            history.record(&sol);
+        }
+        let mut tabu = Recency::new(inst.n(), 5);
+        let (next, _) = diversify(
+            &inst,
+            &ratios,
+            &history,
+            &sol,
+            &DiversifyParams::default(),
+            &mut tabu,
+            100,
+        );
+        assert!(next.is_feasible(&inst));
+        assert!(next.check_consistent(&inst));
+    }
+
+    #[test]
+    fn over_used_components_are_evicted_and_pinned() {
+        let (inst, ratios) = setup(2);
+        let sol = greedy(&inst, &ratios);
+        let mut history = History::new(inst.n());
+        for _ in 0..100 {
+            history.record(&sol); // every packed item has frequency 1.0
+        }
+        let mut tabu = Recency::new(inst.n(), 5);
+        let params = DiversifyParams { hi_threshold: 0.9, lo_threshold: 0.0, pin_tenure: 30 };
+        let (next, forced) =
+            diversify(&inst, &ratios, &history, &sol, &params, &mut tabu, 100);
+        // Every previously packed component is over-used → forced out.
+        for j in sol.bits().iter_ones() {
+            assert!(!next.contains(j), "over-used {j} still packed");
+            assert!(forced.contains(&j));
+            assert!(tabu.is_tabu(j, 100));
+            assert!(!tabu.is_tabu(j, 131), "pin respects pin_tenure");
+        }
+    }
+
+    #[test]
+    fn under_used_components_are_forced_in() {
+        let (inst, ratios) = setup(3);
+        let empty = Solution::empty(&inst);
+        let mut history = History::new(inst.n());
+        for _ in 0..50 {
+            history.record(&empty); // all frequencies 0 → everything under-used
+        }
+        let mut tabu = Recency::new(inst.n(), 5);
+        let (next, forced) = diversify(
+            &inst,
+            &ratios,
+            &history,
+            &empty,
+            &DiversifyParams::default(),
+            &mut tabu,
+            50,
+        );
+        assert!(next.cardinality() > 0, "nothing forced in");
+        assert!(!forced.is_empty());
+    }
+
+    #[test]
+    fn pin_restores_original_tenure() {
+        let (inst, ratios) = setup(4);
+        let sol = greedy(&inst, &ratios);
+        let history = History::new(inst.n());
+        let mut tabu = Recency::new(inst.n(), 7);
+        diversify(
+            &inst,
+            &ratios,
+            &history,
+            &sol,
+            &DiversifyParams::default(),
+            &mut tabu,
+            0,
+        );
+        assert_eq!(tabu.tenure(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo_threshold <= params.hi_threshold")]
+    fn rejects_inverted_thresholds() {
+        let (inst, ratios) = setup(5);
+        let sol = Solution::empty(&inst);
+        let history = History::new(inst.n());
+        let mut tabu = Recency::new(inst.n(), 5);
+        let params = DiversifyParams { hi_threshold: 0.1, lo_threshold: 0.9, pin_tenure: 10 };
+        diversify(&inst, &ratios, &history, &sol, &params, &mut tabu, 0);
+    }
+}

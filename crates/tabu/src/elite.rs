@@ -1,0 +1,179 @@
+//! The B-best elite pool (paper Fig. 1 step 7: "If X is a part of the B
+//! best solutions then insert X in the BestSol array").
+//!
+//! The master process reads each slave's pool to measure how dispersed its
+//! good solutions are (mean pairwise Hamming distance), which drives the
+//! strategy adaptation.
+
+use mkp::Solution;
+
+/// Bounded pool of the best distinct solutions seen, ordered by descending
+/// value.
+#[derive(Debug, Clone)]
+pub struct ElitePool {
+    sols: Vec<Solution>,
+    capacity: usize,
+}
+
+impl ElitePool {
+    /// Pool keeping at most `capacity` solutions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "elite pool must hold at least one solution");
+        ElitePool { sols: Vec::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Offer a solution; it is inserted when it is distinct from every pooled
+    /// solution and better than the worst pooled one (or the pool has room).
+    /// Returns `true` when inserted.
+    pub fn offer(&mut self, sol: &Solution) -> bool {
+        if self.sols.iter().any(|s| s.bits() == sol.bits()) {
+            return false;
+        }
+        if self.sols.len() == self.capacity
+            && sol.value() <= self.sols.last().expect("nonempty at capacity").value()
+        {
+            return false;
+        }
+        let pos = self
+            .sols
+            .partition_point(|s| s.value() >= sol.value());
+        self.sols.insert(pos, sol.clone());
+        if self.sols.len() > self.capacity {
+            self.sols.pop();
+        }
+        true
+    }
+
+    /// Best pooled solution, if any.
+    pub fn best(&self) -> Option<&Solution> {
+        self.sols.first()
+    }
+
+    /// All pooled solutions, best first.
+    pub fn solutions(&self) -> &[Solution] {
+        &self.sols
+    }
+
+    /// Number of pooled solutions.
+    pub fn len(&self) -> usize {
+        self.sols.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sols.is_empty()
+    }
+
+    /// Mean pairwise Hamming distance between pooled solutions — the
+    /// dispersion statistic the master's SGP uses (0 for fewer than two
+    /// solutions).
+    pub fn mean_pairwise_hamming(&self) -> f64 {
+        let k = self.sols.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for a in 0..k {
+            for b in a + 1..k {
+                total += self.sols[a].hamming(&self.sols[b]);
+                pairs += 1;
+            }
+        }
+        total as f64 / pairs as f64
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.sols.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::{BitVec, Instance};
+
+    fn inst() -> Instance {
+        Instance::new("e", 4, 1, vec![8, 4, 2, 1], vec![1, 1, 1, 1], vec![4]).unwrap()
+    }
+
+    fn sol(bits: [bool; 4]) -> Solution {
+        Solution::from_bits(&inst(), BitVec::from_bools(bits))
+    }
+
+    #[test]
+    fn keeps_best_sorted() {
+        let mut pool = ElitePool::new(3);
+        assert!(pool.offer(&sol([false, false, false, true]))); // 1
+        assert!(pool.offer(&sol([true, false, false, false]))); // 8
+        assert!(pool.offer(&sol([false, true, false, false]))); // 4
+        let values: Vec<i64> = pool.solutions().iter().map(|s| s.value()).collect();
+        assert_eq!(values, vec![8, 4, 1]);
+        assert_eq!(pool.best().unwrap().value(), 8);
+    }
+
+    #[test]
+    fn evicts_worst_at_capacity() {
+        let mut pool = ElitePool::new(2);
+        pool.offer(&sol([false, false, false, true])); // 1
+        pool.offer(&sol([false, false, true, false])); // 2
+        assert!(pool.offer(&sol([false, true, false, false]))); // 4 evicts 1
+        let values: Vec<i64> = pool.solutions().iter().map(|s| s.value()).collect();
+        assert_eq!(values, vec![4, 2]);
+    }
+
+    #[test]
+    fn rejects_below_worst_when_full() {
+        let mut pool = ElitePool::new(2);
+        pool.offer(&sol([true, false, false, false])); // 8
+        pool.offer(&sol([false, true, false, false])); // 4
+        assert!(!pool.offer(&sol([false, false, true, false]))); // 2
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut pool = ElitePool::new(3);
+        assert!(pool.offer(&sol([true, false, false, false])));
+        assert!(!pool.offer(&sol([true, false, false, false])));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn accepts_equal_value_distinct_bits() {
+        // Items 1 (4) vs 2+3 (2+1=3)… use equal-value pair: 2+1=3 vs… craft:
+        // values 4 and 4 via item1 alone vs items 2,3,0? Use bits with equal sum.
+        let mut pool = ElitePool::new(3);
+        assert!(pool.offer(&sol([false, true, false, false]))); // 4
+        assert!(pool.offer(&sol([false, false, true, true]))); // 3 distinct
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn hamming_dispersion() {
+        let mut pool = ElitePool::new(3);
+        pool.offer(&sol([true, false, false, false]));
+        assert_eq!(pool.mean_pairwise_hamming(), 0.0);
+        pool.offer(&sol([false, true, false, false]));
+        assert!((pool.mean_pairwise_hamming() - 2.0).abs() < 1e-12);
+        pool.offer(&sol([true, true, false, false]));
+        // pairs: (a,b)=2, (a,c)=1, (b,c)=1 → mean 4/3
+        assert!((pool.mean_pairwise_hamming() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        ElitePool::new(0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut pool = ElitePool::new(2);
+        pool.offer(&sol([true, false, false, false]));
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(pool.best().is_none());
+    }
+}

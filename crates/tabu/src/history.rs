@@ -1,0 +1,147 @@
+//! Long-term frequency memory (paper §3.3).
+//!
+//! `History[j]` counts the iterations during which component `j` was set to
+//! 1 since the start of the search. The diversification phase reads the
+//! normalized frequencies to force the search into neglected regions.
+
+use mkp::Solution;
+
+/// Long-term memory of component residencies.
+#[derive(Debug, Clone)]
+pub struct History {
+    counts: Vec<u64>,
+    iterations: u64,
+}
+
+impl History {
+    /// Fresh memory for `n` components.
+    pub fn new(n: usize) -> Self {
+        History { counts: vec![0; n], iterations: 0 }
+    }
+
+    /// Record the current solution (call once per accepted move).
+    pub fn record(&mut self, sol: &Solution) {
+        for j in sol.bits().iter_ones() {
+            self.counts[j] += 1;
+        }
+        self.iterations += 1;
+    }
+
+    /// Number of recorded iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Raw residency count of component `j`.
+    pub fn count(&self, j: usize) -> u64 {
+        self.counts[j]
+    }
+
+    /// Residency frequency of component `j` in `[0, 1]` (0 before any
+    /// recording).
+    pub fn frequency(&self, j: usize) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.counts[j] as f64 / self.iterations as f64
+        }
+    }
+
+    /// Number of components tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no components are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Merge another history into this one (the master aggregates slave
+    /// histories between search iterations).
+    pub fn merge(&mut self, other: &History) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.iterations += other.iterations;
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.iterations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::{BitVec, Instance};
+
+    fn inst() -> Instance {
+        Instance::new("h", 3, 1, vec![1, 2, 3], vec![1, 1, 1], vec![3]).unwrap()
+    }
+
+    fn sol(bits: [bool; 3]) -> Solution {
+        Solution::from_bits(&inst(), BitVec::from_bools(bits))
+    }
+
+    #[test]
+    fn fresh_history_is_zero() {
+        let h = History::new(3);
+        assert_eq!(h.iterations(), 0);
+        assert_eq!(h.frequency(0), 0.0);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut h = History::new(3);
+        h.record(&sol([true, false, true]));
+        h.record(&sol([true, false, false]));
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 0);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.iterations(), 2);
+        assert!((h.frequency(0) - 1.0).abs() < 1e-12);
+        assert!((h.frequency(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = History::new(3);
+        let mut b = History::new(3);
+        a.record(&sol([true, true, false]));
+        b.record(&sol([false, true, true]));
+        b.record(&sol([false, false, true]));
+        a.merge(&b);
+        assert_eq!(a.iterations(), 3);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(2), 2);
+    }
+
+    #[test]
+    fn is_empty_reflects_length() {
+        assert!(History::new(0).is_empty());
+        assert!(!History::new(1).is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = History::new(3);
+        h.record(&sol([true, true, true]));
+        h.reset();
+        assert_eq!(h.iterations(), 0);
+        assert_eq!(h.count(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_size_mismatch_panics() {
+        let mut a = History::new(3);
+        let b = History::new(4);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,476 @@
+//! Intensification by component swapping (paper §3.2, first procedure).
+//!
+//! Starting from the best solution of the last local-search loop, exchange a
+//! packed component `i` against an unpacked component `j` with `c_j > c_i`
+//! whenever the exchange keeps the knapsack feasible. Each profitable
+//! feasible couple is applied, strictly increasing the objective.
+
+use crate::moves::MoveStats;
+use mkp::{Instance, Solution};
+
+/// Apply all profitable feasible 1-1 swaps to `sol`, repeating until a full
+/// pass finds none. Returns the number of swaps applied.
+///
+/// Every swap strictly increases the objective, so termination is bounded by
+/// the profit sum; in practice a couple of passes suffice.
+pub fn swap_intensification(
+    inst: &Instance,
+    sol: &mut Solution,
+    stats: &mut MoveStats,
+) -> usize {
+    let mut swaps = 0;
+    loop {
+        let mut improved = false;
+        // Snapshot the packed set: the inner loops mutate `sol`.
+        let packed = sol.bits().ones();
+        for &out in &packed {
+            if !sol.contains(out) {
+                continue; // already swapped away in this pass
+            }
+            let c_out = inst.profit(out);
+            // Tentatively remove, then look for the best profitable entrant.
+            sol.drop(inst, out);
+            let mut best_in: Option<(usize, i64)> = None;
+            for j in 0..inst.n() {
+                if sol.contains(j) || j == out {
+                    continue;
+                }
+                stats.candidate_evals += 1;
+                let c_in = inst.profit(j);
+                if c_in > c_out
+                    && sol.fits(inst, j)
+                    && best_in.is_none_or(|(_, c)| c_in > c)
+                {
+                    best_in = Some((j, c_in));
+                }
+            }
+            match best_in {
+                Some((j, _)) => {
+                    sol.add(inst, j);
+                    swaps += 1;
+                    improved = true;
+                }
+                None => sol.add(inst, out), // undo the tentative drop
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    swaps
+}
+
+/// Lateral swap pass: exchange a packed item against an unpacked one of
+/// **equal profit but strictly smaller total weight**, then refill greedily.
+///
+/// A lateral swap never changes the objective by itself — it frees capacity,
+/// and the refill converts that capacity into value. This is the move that
+/// cracks "last unit of capacity" situations where every profitable 1-1
+/// swap is exhausted but the optimum differs by one additional small item.
+/// The total-load potential strictly decreases per swap, so the pass
+/// terminates. Returns `true` when the refill improved the objective.
+pub fn lateral_swap_fill(
+    inst: &Instance,
+    ratios: &mkp::eval::Ratios,
+    sol: &mut Solution,
+    stats: &mut MoveStats,
+) -> bool {
+    let before = sol.value();
+    loop {
+        let mut swapped = false;
+        let packed = sol.bits().ones();
+        for &out in &packed {
+            if !sol.contains(out) {
+                continue;
+            }
+            let c_out = inst.profit(out);
+            let w_out = inst.item_weight_sum(out);
+            sol.drop(inst, out);
+            let mut best_in: Option<(usize, i64)> = None;
+            for j in 0..inst.n() {
+                if sol.contains(j) || j == out {
+                    continue;
+                }
+                stats.candidate_evals += 1;
+                if inst.profit(j) == c_out && sol.fits(inst, j) {
+                    let w_in = inst.item_weight_sum(j);
+                    if w_in < w_out && best_in.is_none_or(|(_, w)| w_in < w) {
+                        best_in = Some((j, w_in));
+                    }
+                }
+            }
+            match best_in {
+                Some((j, _)) => {
+                    sol.add(inst, j);
+                    swapped = true;
+                }
+                None => sol.add(inst, out),
+            }
+        }
+        if !swapped {
+            break;
+        }
+    }
+    let _ = ratios; // static table no longer needed for the refill
+    mkp::greedy::dynamic_greedy_fill(inst, sol);
+    debug_assert!(sol.is_feasible(inst));
+    sol.value() > before
+}
+
+/// Drop-and-refill pass: for each packed item, tentatively expel it and
+/// rebuild greedily; keep the rebuild when it strictly beats the original.
+///
+/// This explores all 1-to-many exchanges reachable by the greedy fill —
+/// the "one big item vs several small ones" trades that neither profitable
+/// nor lateral 1-1 swaps can see. O(cardinality · n) per pass.
+pub fn drop_refill_intensification(
+    inst: &Instance,
+    sol: &mut Solution,
+    stats: &mut MoveStats,
+) -> usize {
+    let mut improvements = 0;
+    loop {
+        let mut improved = false;
+        for out in sol.bits().ones() {
+            if !sol.contains(out) {
+                continue;
+            }
+            let mut trial = sol.clone();
+            trial.drop(inst, out);
+            // Refill everything except the expelled item itself (otherwise
+            // the fill just restores the status quo), choosing by dynamic
+            // slack-aware utility.
+            loop {
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..inst.n() {
+                    if j == out || trial.contains(j) {
+                        continue;
+                    }
+                    stats.candidate_evals += 1;
+                    if !trial.fits(inst, j) {
+                        continue;
+                    }
+                    let u = mkp::greedy::dynamic_utility(inst, &trial, j);
+                    if best.is_none_or(|(_, bu)| u > bu) {
+                        best = Some((j, u));
+                    }
+                }
+                match best {
+                    Some((j, _)) => trial.add(inst, j),
+                    None => break,
+                }
+            }
+            if trial.value() > sol.value() {
+                *sol = trial;
+                improvements += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert!(sol.is_feasible(inst));
+    improvements
+}
+
+/// Bounded ejection-chain pass (Glover): for each unpacked item that does
+/// not fit, eject up to `max_eject` packed items that press hardest on its
+/// violated constraints, insert it, refill dynamically, and keep the result
+/// when it strictly improves. Explores many-for-one trades that
+/// [`drop_refill_intensification`] (one-for-many) cannot reach.
+pub fn ejection_chain_intensification(
+    inst: &Instance,
+    sol: &mut Solution,
+    stats: &mut MoveStats,
+    max_eject: usize,
+) -> usize {
+    let mut improvements = 0;
+    loop {
+        let mut improved = false;
+        for j in 0..inst.n() {
+            if sol.contains(j) || sol.fits(inst, j) {
+                continue; // fitting items are the greedy fill's business
+            }
+            let mut trial = sol.clone();
+            let mut ejected = 0;
+            while !trial.fits(inst, j) && ejected < max_eject {
+                // Eject the packed item pressing hardest (weight per unit
+                // profit) on the constraints item j currently violates.
+                let mut victim: Option<(usize, f64)> = None;
+                for k in trial.bits().iter_ones() {
+                    stats.candidate_evals += 1;
+                    let mut pressure = 0.0f64;
+                    for (i, &aj) in inst.item_weights(j).iter().enumerate() {
+                        if trial.load(i) + aj > inst.capacity(i) {
+                            pressure += inst.weight(i, k) as f64;
+                        }
+                    }
+                    let score = pressure / inst.profit(k).max(1) as f64;
+                    if score > 0.0 && victim.is_none_or(|(_, s)| score > s) {
+                        victim = Some((k, score));
+                    }
+                }
+                match victim {
+                    Some((k, _)) => {
+                        trial.drop(inst, k);
+                        ejected += 1;
+                    }
+                    None => break, // violation not caused by packed items
+                }
+            }
+            if !trial.fits(inst, j) {
+                continue;
+            }
+            trial.add(inst, j);
+            mkp::greedy::dynamic_greedy_fill(inst, &mut trial);
+            if trial.value() > sol.value() {
+                *sol = trial;
+                improvements += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert!(sol.is_feasible(inst));
+    improvements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::eval::Ratios;
+    use mkp::generate::uncorrelated_instance;
+    use mkp::greedy::random_feasible;
+    use mkp::{BitVec, Instance, Xoshiro256};
+
+    #[test]
+    fn swap_improves_suboptimal_solution() {
+        // Items: profit 1 (light) packed, profit 10 (same weight) outside.
+        let inst = Instance::new("s", 2, 1, vec![1, 10], vec![3, 3], vec![3]).unwrap();
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
+        let mut stats = MoveStats::default();
+        let swaps = swap_intensification(&inst, &mut sol, &mut stats);
+        assert_eq!(swaps, 1);
+        assert_eq!(sol.value(), 10);
+        assert!(sol.contains(1) && !sol.contains(0));
+    }
+
+    #[test]
+    fn no_swap_when_already_best() {
+        let inst = Instance::new("b", 2, 1, vec![10, 1], vec![3, 3], vec![3]).unwrap();
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
+        let v = sol.value();
+        assert_eq!(swap_intensification(&inst, &mut sol, &mut MoveStats::default()), 0);
+        assert_eq!(sol.value(), v);
+    }
+
+    #[test]
+    fn respects_feasibility() {
+        // Higher-profit item is too heavy to swap in.
+        let inst = Instance::new("f", 2, 1, vec![5, 50], vec![2, 10], vec![4]).unwrap();
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
+        assert_eq!(swap_intensification(&inst, &mut sol, &mut MoveStats::default()), 0);
+        assert!(sol.contains(0));
+    }
+
+    #[test]
+    fn never_decreases_value_and_stays_feasible() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for seed in 0..10 {
+            let inst = uncorrelated_instance("r", 30, 3, 0.5, seed);
+            let mut sol = random_feasible(&inst, &mut rng);
+            let before = sol.value();
+            swap_intensification(&inst, &mut sol, &mut MoveStats::default());
+            assert!(sol.value() >= before);
+            assert!(sol.is_feasible(&inst));
+            assert!(sol.check_consistent(&inst));
+        }
+    }
+
+    #[test]
+    fn multi_pass_chains_swaps() {
+        // Swapping 0→1 frees weight that lets a later pass swap 2→3.
+        let inst = Instance::new(
+            "c",
+            4,
+            1,
+            vec![2, 6, 3, 7],
+            vec![4, 2, 4, 6],
+            vec![8],
+        )
+        .unwrap();
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, true, false]));
+        let mut stats = MoveStats::default();
+        let swaps = swap_intensification(&inst, &mut sol, &mut stats);
+        assert!(swaps >= 2, "expected chained swaps, got {swaps}");
+        assert_eq!(sol.value(), 13); // items 1 and 3
+    }
+
+    #[test]
+    fn lateral_swap_frees_capacity_for_refill() {
+        // Items: 0 (profit 5, weight 4, packed) and 1 (profit 5, weight 2).
+        // Swapping 0→1 frees 2 units, letting item 2 (profit 1, weight 2) in.
+        let inst = Instance::new(
+            "lat",
+            3,
+            1,
+            vec![5, 5, 1],
+            vec![4, 2, 2],
+            vec![4],
+        )
+        .unwrap();
+        let ratios = Ratios::new(&inst);
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, false]));
+        let improved = lateral_swap_fill(&inst, &ratios, &mut sol, &mut MoveStats::default());
+        assert!(improved);
+        assert_eq!(sol.value(), 6);
+        assert!(sol.contains(1) && sol.contains(2) && !sol.contains(0));
+    }
+
+    #[test]
+    fn lateral_swap_noop_without_equal_profits() {
+        let inst = Instance::new("ne", 2, 1, vec![5, 4], vec![4, 2], vec![4]).unwrap();
+        let ratios = Ratios::new(&inst);
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
+        let improved = lateral_swap_fill(&inst, &ratios, &mut sol, &mut MoveStats::default());
+        assert!(!improved);
+        assert!(sol.contains(0));
+    }
+
+    #[test]
+    fn lateral_swap_never_decreases_value() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        for seed in 0..10 {
+            let inst = uncorrelated_instance("l", 40, 3, 0.5, seed);
+            let ratios = Ratios::new(&inst);
+            let mut sol = random_feasible(&inst, &mut rng);
+            let before = sol.value();
+            lateral_swap_fill(&inst, &ratios, &mut sol, &mut MoveStats::default());
+            assert!(sol.value() >= before);
+            assert!(sol.is_feasible(&inst));
+            assert!(sol.check_consistent(&inst));
+        }
+    }
+
+    #[test]
+    fn drop_refill_finds_one_for_two_trade() {
+        // Item 0 (profit 6, weight 4) blocks items 1+2 (profit 4+3, weight 2+2).
+        let inst = Instance::new(
+            "dr",
+            3,
+            1,
+            vec![6, 4, 3],
+            vec![4, 2, 2],
+            vec![4],
+        )
+        .unwrap();
+        let ratios = Ratios::new(&inst);
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, false]));
+        let improvements =
+            drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default());
+        assert_eq!(improvements, 1);
+        assert_eq!(sol.value(), 7);
+        assert!(!sol.contains(0));
+    }
+
+    #[test]
+    fn drop_refill_never_decreases_and_stays_feasible() {
+        let mut rng = Xoshiro256::seed_from_u64(19);
+        for seed in 0..10 {
+            let inst = uncorrelated_instance("d", 40, 4, 0.5, seed);
+            let ratios = Ratios::new(&inst);
+            let mut sol = random_feasible(&inst, &mut rng);
+            let before = sol.value();
+            drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default());
+            assert!(sol.value() >= before);
+            assert!(sol.is_feasible(&inst));
+            assert!(sol.check_consistent(&inst));
+        }
+    }
+
+    #[test]
+    fn drop_refill_noop_on_optimal_packing() {
+        let inst = Instance::new("opt", 2, 1, vec![10, 1], vec![3, 3], vec![3]).unwrap();
+        let ratios = Ratios::new(&inst);
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
+        assert_eq!(
+            drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default()),
+            0
+        );
+        assert_eq!(sol.value(), 10);
+    }
+
+    #[test]
+    fn ejection_chain_finds_two_for_one_trade() {
+        // Item 2 (profit 12, weight 6) needs BOTH packed items (profit 5+5,
+        // weights 3+3) ejected; no 1-1 swap or drop-refill sees the trade.
+        let inst = Instance::new(
+            "ej",
+            3,
+            1,
+            vec![5, 5, 12],
+            vec![3, 3, 6],
+            vec![6],
+        )
+        .unwrap();
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, true, false]));
+        let improvements =
+            ejection_chain_intensification(&inst, &mut sol, &mut MoveStats::default(), 3);
+        assert_eq!(improvements, 1);
+        assert_eq!(sol.value(), 12);
+        assert!(sol.contains(2));
+    }
+
+    #[test]
+    fn ejection_chain_respects_eject_bound() {
+        // Getting item 3 in needs all three packed items out; with
+        // max_eject = 2 the chain must give up and leave the solution alone.
+        let inst = Instance::new(
+            "eb",
+            4,
+            1,
+            vec![4, 4, 4, 20],
+            vec![2, 2, 2, 6],
+            vec![6],
+        )
+        .unwrap();
+        let mut sol =
+            Solution::from_bits(&inst, BitVec::from_bools([true, true, true, false]));
+        let improvements =
+            ejection_chain_intensification(&inst, &mut sol, &mut MoveStats::default(), 2);
+        assert_eq!(improvements, 0);
+        assert_eq!(sol.value(), 12);
+        // With the bound raised, the trade becomes reachable.
+        let improvements =
+            ejection_chain_intensification(&inst, &mut sol, &mut MoveStats::default(), 3);
+        assert_eq!(improvements, 1);
+        assert_eq!(sol.value(), 20);
+    }
+
+    #[test]
+    fn ejection_chain_never_decreases_and_stays_feasible() {
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        for seed in 0..10 {
+            let inst = uncorrelated_instance("ec", 40, 4, 0.5, seed);
+            let mut sol = random_feasible(&inst, &mut rng);
+            let before = sol.value();
+            ejection_chain_intensification(&inst, &mut sol, &mut MoveStats::default(), 3);
+            assert!(sol.value() >= before);
+            assert!(sol.is_feasible(&inst));
+            assert!(sol.check_consistent(&inst));
+        }
+    }
+
+    #[test]
+    fn counts_candidate_evaluations() {
+        let inst = uncorrelated_instance("e", 20, 2, 0.5, 1);
+        let ratios = Ratios::new(&inst);
+        let mut sol = mkp::greedy::greedy(&inst, &ratios);
+        let mut stats = MoveStats::default();
+        swap_intensification(&inst, &mut sol, &mut stats);
+        assert!(stats.candidate_evals > 0);
+    }
+}

@@ -1,0 +1,553 @@
+//! The Drop/Add move operator (paper §3.1, Fig. 1 step 5).
+//!
+//! One move is `nb_drop` Drop steps followed by a saturating Add phase:
+//!
+//! * **Drop** — find the most saturated constraint
+//!   `i* = argmin_i (b_i − Σ_j a_ij x_j)` and remove the packed item
+//!   maximizing `a_{i*j} / c_j` (highest pressure per unit profit). The
+//!   dropped item becomes tabu-to-add.
+//! * **Add** — repeatedly insert the best-pseudo-utility item that fits and
+//!   is not tabu, where the aspiration criterion overrides tabu status for
+//!   an item whose insertion beats the best value found so far.
+//!
+//! Both selections carry a small amount of *noise*: with probability
+//! `noise` the choice falls uniformly on one of the top [`RCL_WIDTH`]
+//! candidates instead of the single best. This is what decorrelates
+//! parallel search threads that restart from the same solution — without
+//! it, a deterministic engine retraces the identical path and cooperation
+//! degenerates to replication (the failure mode §2 ascribes to naive
+//! independent-thread parallelism).
+
+use crate::tabu_list::TabuMemory;
+use mkp::eval::{drop_score, Ratios};
+use mkp::{Instance, Solution, Xoshiro256};
+
+/// Number of top candidates eligible when a noisy pick fires.
+pub const RCL_WIDTH: usize = 3;
+
+/// Work counters, the machine-independent budget unit of all experiments
+/// (see DESIGN.md §4 on substituting wall-clock time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoveStats {
+    /// Completed drop/add moves.
+    pub moves: u64,
+    /// Candidate items examined across drop and add scans.
+    pub candidate_evals: u64,
+}
+
+/// Result of applying one move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveOutcome {
+    /// Items removed by the Drop steps.
+    pub dropped: Vec<usize>,
+    /// Items inserted by the Add phase.
+    pub added: Vec<usize>,
+    /// An aspiration override fired during the Add phase.
+    pub aspired: bool,
+}
+
+/// Fixed-capacity buffer of the best-scored candidates seen so far
+/// (descending score).
+struct TopK {
+    items: [(usize, f64); RCL_WIDTH],
+    len: usize,
+}
+
+impl TopK {
+    fn new() -> Self {
+        TopK { items: [(usize::MAX, f64::NEG_INFINITY); RCL_WIDTH], len: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, item: usize, score: f64) {
+        if self.len == RCL_WIDTH && score <= self.items[self.len - 1].1 {
+            return;
+        }
+        let mut k = self.len.min(RCL_WIDTH - 1);
+        if self.len < RCL_WIDTH {
+            self.len += 1;
+        }
+        while k > 0 && self.items[k - 1].1 < score {
+            self.items[k] = self.items[k - 1];
+            k -= 1;
+        }
+        self.items[k] = (item, score);
+    }
+
+    /// Deterministic best, or (with probability `noise`) a uniform pick
+    /// among the buffered top candidates.
+    #[inline]
+    fn pick(&self, rng: &mut Xoshiro256, noise: f64) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let k = if self.len > 1 && noise > 0.0 && rng.chance(noise) {
+            rng.index(self.len)
+        } else {
+            0
+        };
+        Some(self.items[k].0)
+    }
+}
+
+/// Select the packed item to drop against constraint `i_star`.
+///
+/// Non-tabu items are preferred; when every packed item is tabu the tabu
+/// status is ignored (the move must make progress) — the standard deadlock
+/// escape. Returns `None` only for an empty knapsack.
+#[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
+pub fn select_drop<M: TabuMemory>(
+    inst: &Instance,
+    sol: &Solution,
+    tabu: &M,
+    now: u64,
+    i_star: usize,
+    noise: f64,
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+) -> Option<usize> {
+    let mut top = TopK::new();
+    let mut best_any: Option<(usize, f64)> = None;
+    for j in sol.bits().iter_ones() {
+        stats.candidate_evals += 1;
+        let score = drop_score(inst, i_star, j);
+        if best_any.as_ref().is_none_or(|&(_, s)| score > s) {
+            best_any = Some((j, score));
+        }
+        if !tabu.is_tabu(j, now) {
+            top.push(j, score);
+        }
+    }
+    top.pick(rng, noise).or(best_any.map(|(j, _)| j))
+}
+
+/// Select the next item for the Add phase: highest pseudo-utility among
+/// unpacked items that fit, honoring tabu status unless the aspiration
+/// criterion (beating `best_value`) fires.
+///
+/// When *every* fitting item is tabu, the knapsack would otherwise drain
+/// move after move (on small instances `nb_drop · tenure` can cover almost
+/// all items). A relaxed pass then re-admits the fitting tabu item closest
+/// to expiry — except items in `exclude` (those dropped by the move in
+/// progress), so a move can never undo itself into a no-op.
+#[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
+pub fn select_add<M: TabuMemory>(
+    inst: &Instance,
+    ratios: &Ratios,
+    sol: &Solution,
+    tabu: &M,
+    now: u64,
+    best_value: i64,
+    noise: f64,
+    exclude: &[usize],
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+) -> Option<(usize, bool)> {
+    // Walk the precomputed utility order; collect the first few admissible
+    // items (they are the top candidates by construction).
+    let mut found: [(usize, bool); RCL_WIDTH] = [(usize::MAX, false); RCL_WIDTH];
+    let mut count = 0;
+    let want = if noise > 0.0 { RCL_WIDTH } else { 1 };
+    for &j in ratios.by_utility_desc() {
+        if sol.contains(j) {
+            continue;
+        }
+        stats.candidate_evals += 1;
+        if !sol.fits(inst, j) {
+            continue;
+        }
+        if !tabu.is_tabu(j, now) {
+            found[count] = (j, false);
+            count += 1;
+        } else if sol.value() + inst.profit(j) > best_value {
+            // Aspiration: the tabu barrier falls for a strictly improving add.
+            found[count] = (j, true);
+            count += 1;
+        }
+        if count == want {
+            break;
+        }
+    }
+    if count == 0 {
+        // Relaxed pass: re-admit the fitting tabu item closest to expiry.
+        let mut relaxed: Option<(usize, u64)> = None;
+        for &j in ratios.by_utility_desc() {
+            if sol.contains(j) || exclude.contains(&j) {
+                continue;
+            }
+            stats.candidate_evals += 1;
+            if !sol.fits(inst, j) {
+                continue;
+            }
+            let key = tabu.relaxation_key(j);
+            if relaxed.is_none_or(|(_, k)| key < k) {
+                relaxed = Some((j, key));
+            }
+        }
+        return relaxed.map(|(j, _)| (j, false));
+    }
+    let k = if count > 1 && rng.chance(noise) {
+        rng.index(count)
+    } else {
+        0
+    };
+    Some(found[k])
+}
+
+/// Apply one full Drop/Add move in place. `best_value` is the incumbent used
+/// by the aspiration criterion. The dropped items are marked tabu.
+#[allow(clippy::too_many_arguments)] // the move IS this tuple of knobs
+pub fn apply_move<M: TabuMemory>(
+    inst: &Instance,
+    ratios: &Ratios,
+    sol: &mut Solution,
+    tabu: &mut M,
+    now: u64,
+    nb_drop: usize,
+    best_value: i64,
+    noise: f64,
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+) -> MoveOutcome {
+    let mut dropped = Vec::with_capacity(nb_drop);
+    for _ in 0..nb_drop {
+        if sol.cardinality() == 0 {
+            break;
+        }
+        let i_star = sol.most_saturated_constraint(inst);
+        if let Some(j) = select_drop(inst, sol, tabu, now, i_star, noise, rng, stats) {
+            sol.drop(inst, j);
+            tabu.forbid(j, now);
+            dropped.push(j);
+        }
+    }
+
+    let (added, aspired) = add_phase(
+        inst, ratios, sol, tabu, now, best_value, noise, &dropped, rng, stats,
+    );
+
+    stats.moves += 1;
+    tabu.observe_solution(sol.bits().fingerprint(), &dropped, now);
+    MoveOutcome { dropped, added, aspired }
+}
+
+/// The saturating Add phase in O(n) + O(n · relaxed admissions):
+///
+/// 1. one forward pass over the utility order packs every admissible
+///    fitting item (non-tabu, or tabu with aspiration), where noise makes a
+///    candidate be skipped with probability `noise` (skipped items get a
+///    second chance at the end);
+/// 2. as long as fitting items remain (necessarily tabu now), the relaxed
+///    rule admits the one closest to expiry — excluding `exclude` (this
+///    move's drops) — so every move ends on a maximal solution and the
+///    knapsack can never drain.
+#[allow(clippy::too_many_arguments)]
+fn add_phase<M: TabuMemory>(
+    inst: &Instance,
+    ratios: &Ratios,
+    sol: &mut Solution,
+    tabu: &M,
+    now: u64,
+    best_value: i64,
+    noise: f64,
+    exclude: &[usize],
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+) -> (Vec<usize>, bool) {
+    let mut added = Vec::new();
+    let mut aspired = false;
+    let mut skipped: Vec<usize> = Vec::new();
+
+    for &j in ratios.by_utility_desc() {
+        if sol.contains(j) {
+            continue;
+        }
+        stats.candidate_evals += 1;
+        if !sol.fits(inst, j) {
+            continue;
+        }
+        let admissible = if !tabu.is_tabu(j, now) {
+            true
+        } else if sol.value() + inst.profit(j) > best_value {
+            aspired = true;
+            true
+        } else {
+            false
+        };
+        if !admissible {
+            continue;
+        }
+        if noise > 0.0 && rng.chance(noise) {
+            skipped.push(j);
+            continue;
+        }
+        sol.add(inst, j);
+        added.push(j);
+    }
+    // Second chance for noisily skipped candidates that still fit.
+    for j in skipped {
+        stats.candidate_evals += 1;
+        if sol.fits(inst, j) {
+            sol.add(inst, j);
+            added.push(j);
+        }
+    }
+
+    // Relaxed saturation: admit expiring tabu items while anything fits.
+    loop {
+        let mut relaxed: Option<(usize, u64)> = None;
+        for &j in ratios.by_utility_desc() {
+            if sol.contains(j) || exclude.contains(&j) {
+                continue;
+            }
+            stats.candidate_evals += 1;
+            if !sol.fits(inst, j) {
+                continue;
+            }
+            let key = tabu.relaxation_key(j);
+            if relaxed.is_none_or(|(_, k)| key < k) {
+                relaxed = Some((j, key));
+            }
+        }
+        match relaxed {
+            Some((j, _)) => {
+                sol.add(inst, j);
+                added.push(j);
+            }
+            None => break,
+        }
+    }
+    (added, aspired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabu_list::Recency;
+    use mkp::generate::uncorrelated_instance;
+    use mkp::greedy::greedy;
+    use mkp::Instance;
+
+    fn inst() -> Instance {
+        Instance::new(
+            "mv",
+            5,
+            2,
+            vec![10, 8, 6, 4, 2],
+            vec![
+                4, 3, 2, 5, 1, //
+                2, 4, 1, 1, 3,
+            ],
+            vec![7, 6],
+        )
+        .unwrap()
+    }
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(1)
+    }
+
+    #[test]
+    fn drop_picks_highest_pressure_item() {
+        let i = inst();
+        let mut sol = Solution::empty(&i);
+        sol.add(&i, 0); // weights c0: 4, c1: 2
+        sol.add(&i, 2); // weights c0: 2, c1: 1
+        // loads [6,3], slacks [1,3] → i* = 0.
+        // scores: item0 4/10=0.4, item2 2/6=0.33 → drop item 0.
+        let tabu = Recency::new(5, 3);
+        let mut stats = MoveStats::default();
+        let j = select_drop(&i, &sol, &tabu, 0, 0, 0.0, &mut rng(), &mut stats).unwrap();
+        assert_eq!(j, 0);
+        assert_eq!(stats.candidate_evals, 2);
+    }
+
+    #[test]
+    fn drop_skips_tabu_item() {
+        let i = inst();
+        let mut sol = Solution::empty(&i);
+        sol.add(&i, 0);
+        sol.add(&i, 2);
+        let mut tabu = Recency::new(5, 10);
+        tabu.forbid(0, 0);
+        let mut stats = MoveStats::default();
+        let j = select_drop(&i, &sol, &tabu, 1, 0, 0.0, &mut rng(), &mut stats).unwrap();
+        assert_eq!(j, 2, "tabu item 0 must be skipped");
+    }
+
+    #[test]
+    fn drop_falls_back_when_all_tabu() {
+        let i = inst();
+        let mut sol = Solution::empty(&i);
+        sol.add(&i, 0);
+        sol.add(&i, 2);
+        let mut tabu = Recency::new(5, 100);
+        tabu.forbid(0, 0);
+        tabu.forbid(2, 0);
+        let mut stats = MoveStats::default();
+        // All packed items tabu → tabu ignored, best scorer dropped.
+        let j = select_drop(&i, &sol, &tabu, 1, 0, 0.0, &mut rng(), &mut stats).unwrap();
+        assert_eq!(j, 0);
+    }
+
+    #[test]
+    fn drop_on_empty_returns_none() {
+        let i = inst();
+        let sol = Solution::empty(&i);
+        let tabu = Recency::new(5, 3);
+        let mut stats = MoveStats::default();
+        assert!(select_drop(&i, &sol, &tabu, 0, 0, 0.0, &mut rng(), &mut stats).is_none());
+    }
+
+    #[test]
+    fn add_respects_tabu_without_aspiration() {
+        let i = inst();
+        let ratios = Ratios::new(&i);
+        let sol = Solution::empty(&i);
+        let mut tabu = Recency::new(5, 10);
+        let mut r = rng();
+        // Make the best item tabu with an unreachable incumbent: it must be
+        // skipped and the second-best chosen.
+        let mut stats = MoveStats::default();
+        let (first, _) =
+            select_add(&i, &ratios, &sol, &tabu, 0, i64::MAX, 0.0, &[], &mut r, &mut stats)
+                .unwrap();
+        tabu.forbid(first, 0);
+        let (second, asp) =
+            select_add(&i, &ratios, &sol, &tabu, 0, i64::MAX, 0.0, &[], &mut r, &mut stats)
+                .unwrap();
+        assert_ne!(second, first);
+        assert!(!asp);
+    }
+
+    #[test]
+    fn aspiration_overrides_tabu() {
+        let i = inst();
+        let ratios = Ratios::new(&i);
+        let sol = Solution::empty(&i);
+        let mut tabu = Recency::new(5, 10);
+        for j in 0..5 {
+            tabu.forbid(j, 0);
+        }
+        // With incumbent 0, adding any profitable item improves → aspiration.
+        let mut stats = MoveStats::default();
+        let (j, asp) =
+            select_add(&i, &ratios, &sol, &tabu, 0, 0, 0.0, &[], &mut rng(), &mut stats).unwrap();
+        assert!(asp);
+        assert!(i.profit(j) > 0);
+    }
+
+    #[test]
+    fn add_returns_none_when_nothing_fits() {
+        let i = Instance::new("full", 2, 1, vec![5, 5], vec![3, 3], vec![3]).unwrap();
+        let ratios = Ratios::new(&i);
+        let mut sol = Solution::empty(&i);
+        sol.add(&i, 0); // load 3 = cap
+        let tabu = Recency::new(2, 3);
+        let mut stats = MoveStats::default();
+        assert!(
+            select_add(&i, &ratios, &sol, &tabu, 0, 0, 0.0, &[], &mut rng(), &mut stats).is_none()
+        );
+    }
+
+    #[test]
+    fn noise_zero_is_deterministic() {
+        let i = uncorrelated_instance("det", 40, 3, 0.5, 2);
+        let ratios = Ratios::new(&i);
+        let run = |seed: u64| {
+            let mut sol = greedy(&i, &ratios);
+            let mut tabu = Recency::new(i.n(), 5);
+            let mut stats = MoveStats::default();
+            let mut r = Xoshiro256::seed_from_u64(seed);
+            for now in 0..100 {
+                apply_move(&i, &ratios, &mut sol, &mut tabu, now, 2, 0, 0.0, &mut r, &mut stats);
+            }
+            sol.bits().clone()
+        };
+        assert_eq!(run(1), run(999), "noise 0 must ignore the rng");
+    }
+
+    #[test]
+    fn noise_decorrelates_seeds() {
+        let i = uncorrelated_instance("noise", 40, 3, 0.5, 2);
+        let ratios = Ratios::new(&i);
+        let run = |seed: u64| {
+            let mut sol = greedy(&i, &ratios);
+            let mut tabu = Recency::new(i.n(), 5);
+            let mut stats = MoveStats::default();
+            let mut r = Xoshiro256::seed_from_u64(seed);
+            let mut trail = Vec::new();
+            for now in 0..100 {
+                apply_move(&i, &ratios, &mut sol, &mut tabu, now, 2, 0, 0.3, &mut r, &mut stats);
+                trail.push(sol.value());
+            }
+            trail
+        };
+        assert_ne!(run(1), run(2), "different seeds must diverge under noise");
+        assert_eq!(run(3), run(3), "same seed stays reproducible");
+    }
+
+    #[test]
+    fn topk_buffer_orders_and_caps() {
+        let mut t = TopK::new();
+        t.push(1, 0.5);
+        t.push(2, 0.9);
+        t.push(3, 0.1);
+        t.push(4, 0.7);
+        assert_eq!(t.len, RCL_WIDTH);
+        assert_eq!(t.items[0].0, 2);
+        assert_eq!(t.items[1].0, 4);
+        assert_eq!(t.items[2].0, 1);
+        let mut r = rng();
+        assert_eq!(t.pick(&mut r, 0.0), Some(2));
+    }
+
+    #[test]
+    fn full_move_keeps_feasibility_and_consistency() {
+        let i = inst();
+        let ratios = Ratios::new(&i);
+        let mut sol = greedy(&i, &ratios);
+        let mut tabu = Recency::new(5, 2);
+        let mut stats = MoveStats::default();
+        let mut r = rng();
+        let best = sol.value();
+        for now in 0..50u64 {
+            let outcome = apply_move(
+                &i, &ratios, &mut sol, &mut tabu, now, 2, best, 0.1, &mut r, &mut stats,
+            );
+            assert!(sol.is_feasible(&i));
+            assert!(sol.check_consistent(&i));
+            // Dropped items were marked tabu.
+            for &d in &outcome.dropped {
+                assert!(tabu.is_tabu(d, now));
+            }
+        }
+        assert_eq!(stats.moves, 50);
+        assert!(stats.candidate_evals > 0);
+    }
+
+    #[test]
+    fn move_makes_progress_on_random_instances() {
+        // Running a few hundred moves from a random start must reach at
+        // least the greedy value on easy instances (sanity of the operator).
+        for seed in 0..5 {
+            let i = uncorrelated_instance("p", 30, 3, 0.5, seed);
+            let ratios = Ratios::new(&i);
+            let mut sol = Solution::empty(&i);
+            let mut tabu = Recency::new(i.n(), 7);
+            let mut stats = MoveStats::default();
+            let mut r = Xoshiro256::seed_from_u64(seed);
+            let mut best = 0i64;
+            for now in 0..300u64 {
+                apply_move(&i, &ratios, &mut sol, &mut tabu, now, 1, best, 0.1, &mut r, &mut stats);
+                best = best.max(sol.value());
+            }
+            let g = greedy(&i, &ratios);
+            assert!(
+                best >= g.value(),
+                "seed {seed}: TS moves best {best} < greedy {}",
+                g.value()
+            );
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Neighborhood examination — the paper's §2 *second* source of parallelism
+//! ("parallelism in neighborhood examination and evaluation"), and the
+//! literal reading of Fig. 1 step "a neighborhood N(X) of the current
+//! solution X is examined in order to select the best solution X'".
+//!
+//! A neighborhood of width K is built from the K best non-tabu Drop
+//! candidates against the most saturated constraint; each candidate move is
+//! completed independently (remaining drops + saturating Add phase) and the
+//! best-valued completion wins. Candidates are independent, so they can be
+//! evaluated concurrently — the low-level parallelism the paper classifies
+//! as suited to "a specialized parallel computer" rather than a
+//! message-passing farm. On this host the parallel path exists for
+//! architectural completeness and is tested to produce *bit-identical*
+//! results to the sequential path (each candidate gets its own
+//! deterministically derived RNG stream); thread-per-move overhead makes it
+//! slower on one core, which is exactly the paper's point about granularity
+//! (§2: coarse-grain thread parallelism minimizes communication overhead).
+
+use crate::moves::{apply_move, MoveOutcome, MoveStats};
+use crate::tabu_list::TabuMemory;
+use mkp::eval::{drop_score, Ratios};
+use mkp::{Instance, Solution, Xoshiro256};
+
+/// How the engine picks each move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MoveSelection {
+    /// One constructive Drop/Add move (the default, O(n) per move).
+    Constructive,
+    /// Examine a width-K neighborhood of alternative first drops and commit
+    /// the best completion (O(K·n) per move).
+    BestOfK {
+        /// Neighborhood width (number of alternative first drops).
+        width: usize,
+        /// Evaluate candidates on parallel threads (result-identical).
+        parallel: bool,
+    },
+}
+
+/// One evaluated neighbor: the resulting solution and the move that built it.
+struct Candidate {
+    solution: Solution,
+    outcome: MoveOutcome,
+    stats: MoveStats,
+}
+
+/// Evaluate one candidate: force `first_drop`, then complete the move with
+/// the standard machinery under an independent RNG stream.
+#[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
+fn evaluate_candidate<M: TabuMemory + Clone>(
+    inst: &Instance,
+    ratios: &Ratios,
+    base: &Solution,
+    tabu: &M,
+    now: u64,
+    nb_drop: usize,
+    best_value: i64,
+    noise: f64,
+    first_drop: usize,
+    seed: u64,
+) -> Candidate {
+    let mut sol = base.clone();
+    let mut mem = tabu.clone();
+    let mut stats = MoveStats::default();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+
+    // Forced first drop, then the standard move completes the remaining
+    // drops and the add phase.
+    sol.drop(inst, first_drop);
+    mem.forbid(first_drop, now);
+    let mut outcome = apply_move(
+        inst,
+        ratios,
+        &mut sol,
+        &mut mem,
+        now,
+        nb_drop.saturating_sub(1),
+        best_value,
+        noise,
+        &mut rng,
+        &mut stats,
+    );
+    outcome.dropped.insert(0, first_drop);
+    Candidate { solution: sol, outcome, stats }
+}
+
+/// Examine the width-K neighborhood and commit the best completion.
+///
+/// Falls back to the constructive move when the knapsack is empty or no
+/// non-tabu drop candidate exists. Returns the committed move outcome.
+#[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
+pub fn best_of_k_move<M: TabuMemory + Clone + Sync>(
+    inst: &Instance,
+    ratios: &Ratios,
+    sol: &mut Solution,
+    tabu: &mut M,
+    now: u64,
+    nb_drop: usize,
+    best_value: i64,
+    noise: f64,
+    width: usize,
+    parallel: bool,
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+) -> MoveOutcome {
+    assert!(width >= 1, "neighborhood width must be positive");
+    if sol.cardinality() == 0 {
+        return apply_move(
+            inst, ratios, sol, tabu, now, nb_drop, best_value, noise, rng, stats,
+        );
+    }
+
+    // The K best non-tabu drop candidates against the most saturated
+    // constraint (ties by index for determinism).
+    let i_star = sol.most_saturated_constraint(inst);
+    let mut scored: Vec<(usize, f64)> = Vec::new();
+    for j in sol.bits().iter_ones() {
+        stats.candidate_evals += 1;
+        if !tabu.is_tabu(j, now) {
+            scored.push((j, drop_score(inst, i_star, j)));
+        }
+    }
+    if scored.is_empty() {
+        return apply_move(
+            inst, ratios, sol, tabu, now, nb_drop, best_value, noise, rng, stats,
+        );
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(width);
+
+    // Independent per-candidate RNG streams derived once, so parallel and
+    // sequential evaluation are bit-identical.
+    let base_seed = rng.next_u64();
+    let eval = |(idx, &(first_drop, _)): (usize, &(usize, f64))| {
+        evaluate_candidate(
+            inst,
+            ratios,
+            sol,
+            tabu,
+            now,
+            nb_drop,
+            best_value,
+            noise,
+            first_drop,
+            base_seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    };
+
+    let candidates: Vec<Candidate> = if parallel && scored.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = scored
+                .iter()
+                .enumerate()
+                .map(|pair| scope.spawn(move || eval(pair)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("candidate evaluation panicked"))
+                .collect()
+        })
+    } else {
+        scored.iter().enumerate().map(eval).collect()
+    };
+
+    // Best completion wins; ties break toward the better drop score
+    // (earlier candidate) for determinism.
+    let best_idx = candidates
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            a.solution
+                .value()
+                .cmp(&b.solution.value())
+                .then(ib.cmp(ia)) // prefer the lower index on ties
+        })
+        .map(|(i, _)| i)
+        .expect("at least one candidate");
+
+    let winner = &candidates[best_idx];
+    for c in &candidates {
+        stats.candidate_evals += c.stats.candidate_evals;
+    }
+    stats.moves += 1;
+
+    *sol = winner.solution.clone();
+    for &d in &winner.outcome.dropped {
+        tabu.forbid(d, now);
+    }
+    tabu.observe_solution(sol.bits().fingerprint(), &winner.outcome.dropped, now);
+    winner.outcome.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabu_list::Recency;
+    use mkp::generate::{gk_instance, uncorrelated_instance, GkSpec};
+    use mkp::greedy::greedy;
+
+    fn setup(seed: u64) -> (mkp::Instance, Ratios) {
+        let inst = uncorrelated_instance("nb", 30, 3, 0.5, seed);
+        let ratios = Ratios::new(&inst);
+        (inst, ratios)
+    }
+
+    #[test]
+    fn keeps_feasibility_and_consistency() {
+        let (inst, ratios) = setup(1);
+        let mut sol = greedy(&inst, &ratios);
+        let mut tabu = Recency::new(inst.n(), 5);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut stats = MoveStats::default();
+        for now in 0..100 {
+            best_of_k_move(
+                &inst, &ratios, &mut sol, &mut tabu, now, 2, i64::MAX, 0.1, 4, false,
+                &mut rng, &mut stats,
+            );
+            assert!(sol.is_feasible(&inst));
+            assert!(sol.check_consistent(&inst));
+        }
+        assert_eq!(stats.moves, 100);
+    }
+
+    #[test]
+    fn parallel_and_sequential_are_bit_identical() {
+        let (inst, ratios) = setup(2);
+        let run = |parallel: bool| {
+            let mut sol = greedy(&inst, &ratios);
+            let mut tabu = Recency::new(inst.n(), 5);
+            let mut rng = Xoshiro256::seed_from_u64(7);
+            let mut stats = MoveStats::default();
+            let mut trail = Vec::new();
+            for now in 0..60 {
+                best_of_k_move(
+                    &inst, &ratios, &mut sol, &mut tabu, now, 2, i64::MAX, 0.1, 4,
+                    parallel, &mut rng, &mut stats,
+                );
+                trail.push(sol.value());
+            }
+            (trail, sol.bits().clone())
+        };
+        let (seq_trail, seq_bits) = run(false);
+        let (par_trail, par_bits) = run(true);
+        assert_eq!(seq_trail, par_trail, "value trails diverged");
+        assert_eq!(seq_bits, par_bits, "final assignments diverged");
+    }
+
+    #[test]
+    fn width_one_matches_single_best_drop() {
+        // With width 1 the neighborhood is exactly "best non-tabu drop";
+        // the committed solution must equal that candidate's completion.
+        let (inst, ratios) = setup(3);
+        let mut sol = greedy(&inst, &ratios);
+        let base = sol.clone();
+        let mut tabu = Recency::new(inst.n(), 5);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut stats = MoveStats::default();
+        let outcome = best_of_k_move(
+            &inst, &ratios, &mut sol, &mut tabu, 0, 1, i64::MAX, 0.0, 1, false, &mut rng,
+            &mut stats,
+        );
+        // The forced first drop is the best non-tabu drop-scored item.
+        let i_star = base.most_saturated_constraint(&inst);
+        let expected = base
+            .bits()
+            .iter_ones()
+            .max_by(|&a, &b| {
+                drop_score(&inst, i_star, a)
+                    .partial_cmp(&drop_score(&inst, i_star, b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(outcome.dropped[0], expected);
+    }
+
+    #[test]
+    fn wider_neighborhood_never_commits_worse_than_width_one() {
+        // At the very first move from the same state, the best of K ≥ 1
+        // candidates is at least as good as the single candidate.
+        let (inst, ratios) = setup(4);
+        let base = greedy(&inst, &ratios);
+        let value_after = |width: usize| {
+            let mut sol = base.clone();
+            let mut tabu = Recency::new(inst.n(), 5);
+            let mut rng = Xoshiro256::seed_from_u64(11);
+            let mut stats = MoveStats::default();
+            best_of_k_move(
+                &inst, &ratios, &mut sol, &mut tabu, 0, 2, i64::MAX, 0.0, width, false,
+                &mut rng, &mut stats,
+            );
+            sol.value()
+        };
+        assert!(value_after(6) >= value_after(1));
+    }
+
+    #[test]
+    fn empty_solution_falls_back_to_constructive() {
+        let (inst, ratios) = setup(5);
+        let mut sol = mkp::Solution::empty(&inst);
+        let mut tabu = Recency::new(inst.n(), 5);
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let mut stats = MoveStats::default();
+        let outcome = best_of_k_move(
+            &inst, &ratios, &mut sol, &mut tabu, 0, 2, i64::MAX, 0.1, 4, false, &mut rng,
+            &mut stats,
+        );
+        assert!(outcome.dropped.is_empty());
+        assert!(!outcome.added.is_empty(), "fallback move must fill the knapsack");
+    }
+
+    #[test]
+    fn improves_quality_on_correlated_instance() {
+        // Same move count, wider examination: best-of-K should not lose.
+        let inst = gk_instance("q", GkSpec { n: 80, m: 5, tightness: 0.5, seed: 6 });
+        let ratios = Ratios::new(&inst);
+        let run = |width: usize| {
+            let mut sol = greedy(&inst, &ratios);
+            let mut best = sol.value();
+            let mut tabu = Recency::new(inst.n(), 8);
+            let mut rng = Xoshiro256::seed_from_u64(3);
+            let mut stats = MoveStats::default();
+            for now in 0..400 {
+                best_of_k_move(
+                    &inst, &ratios, &mut sol, &mut tabu, now, 2, best, 0.1, width, false,
+                    &mut rng, &mut stats,
+                );
+                best = best.max(sol.value());
+            }
+            best
+        };
+        assert!(run(5) >= run(1), "wider neighborhood lost quality per move");
+    }
+}

@@ -1,0 +1,191 @@
+//! Reactive tabu search memory (Battiti & Tecchiolli), the second
+//! self-tuning alternative the paper discusses in §4.1: the tenure reacts to
+//! detected solution revisits instead of being tuned externally. The paper
+//! worries about the hash table's collision overhead on large MKPs; ablation
+//! A1 measures the behaviour next to the master-tuned recency list.
+
+use crate::tabu_list::TabuMemory;
+use std::collections::HashMap;
+
+/// Reactive tenure parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReactiveParams {
+    /// Multiplicative tenure increase on a detected revisit.
+    pub increase: f64,
+    /// Multiplicative tenure decay when no revisit happened for a window.
+    pub decrease: f64,
+    /// Moves without revisit before the tenure decays.
+    pub smooth_window: u64,
+    /// Tenure ceiling.
+    pub max_tenure: usize,
+}
+
+impl Default for ReactiveParams {
+    fn default() -> Self {
+        ReactiveParams {
+            increase: 1.2,
+            decrease: 0.9,
+            smooth_window: 100,
+            max_tenure: 400,
+        }
+    }
+}
+
+/// Recency memory whose tenure adapts to solution revisits.
+#[derive(Debug, Clone)]
+pub struct ReactiveTabu {
+    expiry: Vec<u64>,
+    tenure: f64,
+    params: ReactiveParams,
+    /// Fingerprint → (last time seen, visit count).
+    visits: HashMap<u64, (u64, u32)>,
+    last_reaction: u64,
+    /// Revisits detected (exposed for the ablation report).
+    pub repetitions: u64,
+}
+
+impl ReactiveTabu {
+    /// Memory for `n` items with an initial tenure.
+    pub fn new(n: usize, initial_tenure: usize, params: ReactiveParams) -> Self {
+        ReactiveTabu {
+            expiry: vec![0; n],
+            tenure: initial_tenure.max(1) as f64,
+            params,
+            visits: HashMap::new(),
+            last_reaction: 0,
+            repetitions: 0,
+        }
+    }
+
+    /// Current (adapted) tenure, rounded.
+    pub fn current_tenure(&self) -> usize {
+        self.tenure.round() as usize
+    }
+
+    /// Number of distinct solutions fingerprinted so far.
+    pub fn distinct_solutions(&self) -> usize {
+        self.visits.len()
+    }
+}
+
+impl TabuMemory for ReactiveTabu {
+    #[inline]
+    fn forbid(&mut self, item: usize, now: u64) {
+        self.expiry[item] = now + self.current_tenure() as u64;
+    }
+
+    #[inline]
+    fn is_tabu(&self, item: usize, now: u64) -> bool {
+        self.expiry[item] > now
+    }
+
+    fn observe_solution(&mut self, fingerprint: u64, _toggled: &[usize], now: u64) {
+        let entry = self.visits.entry(fingerprint).or_insert((now, 0));
+        let revisit = entry.1 > 0;
+        entry.0 = now;
+        entry.1 += 1;
+        if revisit {
+            // React: the search is cycling, lengthen the memory.
+            self.repetitions += 1;
+            self.tenure =
+                (self.tenure * self.params.increase + 1.0).min(self.params.max_tenure as f64);
+            self.last_reaction = now;
+        } else if now.saturating_sub(self.last_reaction) > self.params.smooth_window {
+            // Long quiet stretch: relax the memory towards intensification.
+            self.tenure = (self.tenure * self.params.decrease).max(1.0);
+            self.last_reaction = now;
+        }
+    }
+
+    fn set_tenure(&mut self, tenure: usize) {
+        self.tenure = tenure.max(1) as f64;
+    }
+
+    fn tenure(&self) -> usize {
+        self.current_tenure()
+    }
+
+    fn reset(&mut self) {
+        self.expiry.iter_mut().for_each(|e| *e = 0);
+        self.visits.clear();
+        self.repetitions = 0;
+        self.last_reaction = 0;
+    }
+
+    fn relaxation_key(&self, item: usize) -> u64 {
+        self.expiry[item]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_recency_without_revisits() {
+        let mut mem = ReactiveTabu::new(5, 3, ReactiveParams::default());
+        mem.forbid(2, 10);
+        assert!(mem.is_tabu(2, 12));
+        assert!(!mem.is_tabu(2, 13));
+    }
+
+    #[test]
+    fn revisit_increases_tenure() {
+        let mut mem = ReactiveTabu::new(5, 10, ReactiveParams::default());
+        mem.observe_solution(0xAB, &[], 0);
+        assert_eq!(mem.current_tenure(), 10);
+        mem.observe_solution(0xAB, &[], 5);
+        assert!(mem.current_tenure() > 10, "revisit must lengthen tenure");
+        assert_eq!(mem.repetitions, 1);
+    }
+
+    #[test]
+    fn quiet_stretch_decays_tenure() {
+        let params = ReactiveParams { smooth_window: 10, ..ReactiveParams::default() };
+        let mut mem = ReactiveTabu::new(5, 100, params);
+        mem.observe_solution(1, &[], 0);
+        mem.observe_solution(2, &[], 50); // > window since last reaction
+        assert!(mem.current_tenure() < 100);
+    }
+
+    #[test]
+    fn tenure_ceiling_respected() {
+        let params = ReactiveParams { max_tenure: 30, ..ReactiveParams::default() };
+        let mut mem = ReactiveTabu::new(5, 25, params);
+        for t in 0..50 {
+            mem.observe_solution(0xCD, &[], t);
+        }
+        assert!(mem.current_tenure() <= 30);
+    }
+
+    #[test]
+    fn tenure_floor_is_one() {
+        let params = ReactiveParams { smooth_window: 1, ..ReactiveParams::default() };
+        let mut mem = ReactiveTabu::new(5, 2, params);
+        for t in 0..500u64 {
+            mem.observe_solution(t.wrapping_mul(0x9E3779B9) | 1, &[], t * 10);
+        }
+        assert!(mem.current_tenure() >= 1);
+    }
+
+    #[test]
+    fn distinct_solution_count() {
+        let mut mem = ReactiveTabu::new(5, 5, ReactiveParams::default());
+        mem.observe_solution(1, &[], 0);
+        mem.observe_solution(2, &[], 1);
+        mem.observe_solution(1, &[], 2);
+        assert_eq!(mem.distinct_solutions(), 2);
+    }
+
+    #[test]
+    fn reset_clears_adaptive_state() {
+        let mut mem = ReactiveTabu::new(5, 5, ReactiveParams::default());
+        mem.observe_solution(1, &[], 0);
+        mem.observe_solution(1, &[], 1);
+        mem.forbid(0, 2);
+        mem.reset();
+        assert_eq!(mem.repetitions, 0);
+        assert_eq!(mem.distinct_solutions(), 0);
+        assert!(!mem.is_tabu(0, 3));
+    }
+}

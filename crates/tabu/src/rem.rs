@@ -1,0 +1,174 @@
+//! Reverse Elimination Method (Dammeyer & Voss), the exact dynamic tabu-list
+//! manager the paper discusses in §4.1 as an alternative to parameter
+//! tuning — and rejects for its per-iteration cost growing with the number
+//! of executed iterations. Implemented here (with the customary bounded
+//! trace-back) so ablation A1 can quantify that trade-off.
+//!
+//! REM derives tabu status *exactly*: walking the running list of attribute
+//! toggles backwards while maintaining the residual cancellation set (RCS),
+//! any point where the RCS shrinks to a single attribute `j` means toggling
+//! `j` now would recreate a previously visited solution — so `j` is tabu.
+
+use crate::tabu_list::TabuMemory;
+use mkp::BitVec;
+
+/// Reverse-elimination tabu memory.
+#[derive(Debug, Clone)]
+pub struct ReverseElimination {
+    n: usize,
+    /// Toggled attribute lists, one entry per observed move.
+    history: Vec<Vec<usize>>,
+    /// Tabu status derived at the last `observe_solution`.
+    tabu_now: Vec<bool>,
+    /// Bounded trace-back depth (full REM when `usize::MAX`); the classic
+    /// mitigation for the linear-in-iterations cost the paper criticises.
+    max_depth: usize,
+}
+
+impl ReverseElimination {
+    /// Memory for `n` attributes with bounded trace-back `max_depth`.
+    pub fn new(n: usize, max_depth: usize) -> Self {
+        ReverseElimination {
+            n,
+            history: Vec::new(),
+            tabu_now: vec![false; n],
+            max_depth,
+        }
+    }
+
+    /// Number of recorded moves.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Recompute the tabu set by the backward RCS walk.
+    fn recompute(&mut self) {
+        self.tabu_now.iter_mut().for_each(|t| *t = false);
+        let mut rcs = BitVec::zeros(self.n);
+        let mut count = 0usize;
+        let start = self.history.len();
+        let stop = start.saturating_sub(self.max_depth);
+        for step in (stop..start).rev() {
+            for &item in &self.history[step] {
+                if rcs.toggle(item) {
+                    count += 1;
+                } else {
+                    count -= 1;
+                }
+            }
+            if count == 1 {
+                // Exactly one residual attribute: toggling it would recreate
+                // the solution visited just before `step`.
+                let item = rcs.iter_ones().next().expect("count == 1");
+                self.tabu_now[item] = true;
+            }
+        }
+    }
+}
+
+impl TabuMemory for ReverseElimination {
+    fn forbid(&mut self, item: usize, _now: u64) {
+        // A just-dropped item: re-adding it alone would recreate the
+        // pre-drop solution, which is exactly what REM forbids.
+        self.tabu_now[item] = true;
+    }
+
+    fn is_tabu(&self, item: usize, _now: u64) -> bool {
+        self.tabu_now[item]
+    }
+
+    fn observe_solution(&mut self, _fingerprint: u64, toggled: &[usize], _now: u64) {
+        self.history.push(toggled.to_vec());
+        self.recompute();
+    }
+
+    fn set_tenure(&mut self, _tenure: usize) {}
+
+    fn tenure(&self) -> usize {
+        0
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.tabu_now.iter_mut().for_each(|t| *t = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_toggle_becomes_tabu() {
+        let mut rem = ReverseElimination::new(5, usize::MAX);
+        // Move toggled only item 2: toggling 2 again recreates the start.
+        rem.observe_solution(0, &[2], 0);
+        assert!(rem.is_tabu(2, 1));
+        assert!(!rem.is_tabu(1, 1));
+    }
+
+    #[test]
+    fn cancelling_toggles_reopen_attribute() {
+        let mut rem = ReverseElimination::new(5, usize::MAX);
+        rem.observe_solution(0, &[2], 0);
+        // Second move toggles 2 back and 3: RCS after last move = {2,3}
+        // (two attrs, no tabu from that step); walking further back,
+        // combined = {3} → 3 is tabu (toggling 3 recreates the original).
+        rem.observe_solution(0, &[2, 3], 1);
+        assert!(rem.is_tabu(3, 2));
+        assert!(!rem.is_tabu(2, 2));
+    }
+
+    #[test]
+    fn pair_moves_do_not_forbid_singletons() {
+        let mut rem = ReverseElimination::new(6, usize::MAX);
+        rem.observe_solution(0, &[0, 1], 0);
+        rem.observe_solution(0, &[2, 3], 1);
+        for j in 0..6 {
+            assert!(!rem.is_tabu(j, 2), "item {j} wrongly tabu");
+        }
+    }
+
+    #[test]
+    fn bounded_depth_forgets_old_moves() {
+        let mut rem = ReverseElimination::new(5, 1);
+        rem.observe_solution(0, &[2], 0);
+        assert!(rem.is_tabu(2, 1));
+        // Depth 1: after the next observation only the last move is seen.
+        rem.observe_solution(0, &[3, 4], 1);
+        assert!(!rem.is_tabu(2, 2), "out-of-window move must be forgotten");
+    }
+
+    #[test]
+    fn forbid_marks_until_next_observation() {
+        let mut rem = ReverseElimination::new(4, usize::MAX);
+        rem.forbid(1, 0);
+        assert!(rem.is_tabu(1, 0));
+        rem.observe_solution(0, &[0, 2], 0);
+        assert!(!rem.is_tabu(1, 1), "forbid cleared by recompute");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut rem = ReverseElimination::new(4, usize::MAX);
+        rem.observe_solution(0, &[1], 0);
+        rem.reset();
+        assert!(!rem.is_tabu(1, 1));
+        assert_eq!(rem.history_len(), 0);
+    }
+
+    #[test]
+    fn exact_cycle_prevention_on_walk() {
+        // Simulated walk A →(t0) B →(t1) C where C = A ⊕ {1}: REM must
+        // forbid exactly the toggle returning to B (singleton RCS of the
+        // last move) and the toggle returning to A.
+        let mut rem = ReverseElimination::new(8, usize::MAX);
+        rem.observe_solution(0, &[0, 1], 0); // A→B toggles {0,1}
+        rem.observe_solution(0, &[0], 1); // B→C toggles {0}; C = A ⊕ {1}
+        // RCS walk: last move {0} → 0 tabu (returns to B);
+        // combined {0}⊕{0,1} = {1} → 1 tabu (returns to A).
+        assert!(rem.is_tabu(0, 2));
+        assert!(rem.is_tabu(1, 2));
+        assert!(!rem.is_tabu(2, 2));
+    }
+}

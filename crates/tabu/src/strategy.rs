@@ -1,0 +1,173 @@
+//! Search strategies — the parameter sets the master process tunes.
+//!
+//! The paper (§2, §4.2) defines a *strategy* as the parameter triple that
+//! governs one slave's tabu search:
+//!
+//! * `tabu_tenure` (`Lt_length`) — recency-memory length;
+//! * `nb_drop` — consecutive Drop steps per move (move "width": small keeps
+//!   successive solutions close, large jumps far — measured by ablation A2);
+//! * `nb_local` — stagnation patience of the local-search loop before an
+//!   intensification is triggered.
+
+use mkp::Xoshiro256;
+
+/// The tunable parameter triple of one tabu-search thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Strategy {
+    /// Tabu tenure (`Lt_length`): iterations a dropped item stays tabu.
+    pub tabu_tenure: usize,
+    /// Number of consecutive Drop steps in one move (`Nb_drop`).
+    pub nb_drop: usize,
+    /// Local-search iterations without global improvement before breaking
+    /// into the intensification phase (`Nb_local`).
+    pub nb_local: usize,
+}
+
+/// Inclusive parameter ranges for random strategy generation; the master's
+/// SGP also clamps its adaptive updates to these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrategyBounds {
+    /// Tenure range.
+    pub tenure: (usize, usize),
+    /// Drop-count range.
+    pub nb_drop: (usize, usize),
+    /// Patience range.
+    pub nb_local: (usize, usize),
+}
+
+impl StrategyBounds {
+    /// Default ranges scaled to the instance size `n`, following the usual
+    /// `tenure ≈ O(√n)…O(n/3)` guidance.
+    pub fn for_instance_size(n: usize) -> Self {
+        let hi_tenure = (n / 3).max(8);
+        StrategyBounds {
+            tenure: (3, hi_tenure),
+            nb_drop: (1, 5),
+            nb_local: (20, 200),
+        }
+    }
+
+    /// Draw a uniformly random strategy within the bounds.
+    pub fn random(&self, rng: &mut Xoshiro256) -> Strategy {
+        Strategy {
+            tabu_tenure: rng.range_inclusive(self.tenure.0 as u64, self.tenure.1 as u64)
+                as usize,
+            nb_drop: rng.range_inclusive(self.nb_drop.0 as u64, self.nb_drop.1 as u64)
+                as usize,
+            nb_local: rng.range_inclusive(self.nb_local.0 as u64, self.nb_local.1 as u64)
+                as usize,
+        }
+    }
+
+    /// Clamp a strategy into the bounds.
+    pub fn clamp(&self, s: Strategy) -> Strategy {
+        Strategy {
+            tabu_tenure: s.tabu_tenure.clamp(self.tenure.0, self.tenure.1),
+            nb_drop: s.nb_drop.clamp(self.nb_drop.0, self.nb_drop.1),
+            nb_local: s.nb_local.clamp(self.nb_local.0, self.nb_local.1),
+        }
+    }
+}
+
+impl Strategy {
+    /// A sensible default for an instance with `n` items.
+    pub fn default_for(n: usize) -> Self {
+        Strategy {
+            tabu_tenure: (n / 10).clamp(5, 50),
+            nb_drop: 2,
+            nb_local: 60,
+        }
+    }
+
+    /// Nudge the strategy towards *diversification*: wider moves, longer
+    /// memory (paper §4.2: applied when a slave's B best solutions cluster).
+    pub fn diversify_step(self, bounds: &StrategyBounds) -> Strategy {
+        bounds.clamp(Strategy {
+            tabu_tenure: self.tabu_tenure + self.tabu_tenure / 2 + 1,
+            nb_drop: self.nb_drop + 1,
+            nb_local: self.nb_local.saturating_sub(self.nb_local / 4).max(1),
+        })
+    }
+
+    /// Nudge towards *intensification*: narrower moves, shorter memory,
+    /// more patience (applied when the B best solutions are dispersed).
+    pub fn intensify_step(self, bounds: &StrategyBounds) -> Strategy {
+        bounds.clamp(Strategy {
+            tabu_tenure: (self.tabu_tenure - self.tabu_tenure / 3).max(1),
+            nb_drop: self.nb_drop.saturating_sub(1).max(1),
+            nb_local: self.nb_local + self.nb_local / 4 + 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_scale_with_n() {
+        let small = StrategyBounds::for_instance_size(30);
+        let large = StrategyBounds::for_instance_size(500);
+        assert!(large.tenure.1 > small.tenure.1);
+        assert!(small.tenure.1 >= small.tenure.0);
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let bounds = StrategyBounds::for_instance_size(100);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = bounds.random(&mut rng);
+            assert!((bounds.tenure.0..=bounds.tenure.1).contains(&s.tabu_tenure));
+            assert!((bounds.nb_drop.0..=bounds.nb_drop.1).contains(&s.nb_drop));
+            assert!((bounds.nb_local.0..=bounds.nb_local.1).contains(&s.nb_local));
+        }
+    }
+
+    #[test]
+    fn clamp_restores_bounds() {
+        let bounds = StrategyBounds { tenure: (5, 10), nb_drop: (1, 3), nb_local: (10, 20) };
+        let wild = Strategy { tabu_tenure: 100, nb_drop: 0, nb_local: 5 };
+        let c = bounds.clamp(wild);
+        assert_eq!(c.tabu_tenure, 10);
+        assert_eq!(c.nb_drop, 1);
+        assert_eq!(c.nb_local, 10);
+    }
+
+    #[test]
+    fn diversify_widens_and_lengthens() {
+        let bounds = StrategyBounds::for_instance_size(300);
+        let s = Strategy { tabu_tenure: 10, nb_drop: 2, nb_local: 100 };
+        let d = s.diversify_step(&bounds);
+        assert!(d.tabu_tenure > s.tabu_tenure);
+        assert!(d.nb_drop > s.nb_drop);
+        assert!(d.nb_local < s.nb_local);
+    }
+
+    #[test]
+    fn intensify_narrows_and_shortens() {
+        let bounds = StrategyBounds::for_instance_size(300);
+        let s = Strategy { tabu_tenure: 30, nb_drop: 3, nb_local: 60 };
+        let i = s.intensify_step(&bounds);
+        assert!(i.tabu_tenure < s.tabu_tenure);
+        assert!(i.nb_drop < s.nb_drop);
+        assert!(i.nb_local > s.nb_local);
+    }
+
+    #[test]
+    fn steps_stay_in_bounds_under_iteration() {
+        let bounds = StrategyBounds::for_instance_size(100);
+        let mut s = Strategy::default_for(100);
+        for _ in 0..50 {
+            s = s.diversify_step(&bounds);
+        }
+        assert!(s.tabu_tenure <= bounds.tenure.1);
+        assert!(s.nb_drop <= bounds.nb_drop.1);
+        let mut s = Strategy::default_for(100);
+        for _ in 0..50 {
+            s = s.intensify_step(&bounds);
+        }
+        assert!(s.tabu_tenure >= bounds.tenure.0);
+        assert!(s.nb_drop >= bounds.nb_drop.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Tabu memories.
+//!
+//! The paper's slaves use a plain recency list of fixed tenure ([`Recency`]),
+//! with the tenure dynamically retuned by the master. §4.1 discusses two
+//! alternatives from the literature — the Reverse Elimination Method and
+//! Reactive Tabu Search — which are implemented in [`crate::rem`] and
+//! [`crate::reactive`] behind the same [`TabuMemory`] interface so ablation
+//! A1 can compare all of them inside the identical search engine.
+
+/// Item-attribute tabu memory consulted by the move operator.
+///
+/// `now` is the search's move counter; implementations may ignore it (REM
+/// derives tabu status from the move history instead of an expiry clock).
+pub trait TabuMemory {
+    /// Record that `item` was moved (dropped) at move `now`; the item
+    /// becomes tabu-to-add.
+    fn forbid(&mut self, item: usize, now: u64);
+
+    /// Is adding `item` currently forbidden?
+    fn is_tabu(&self, item: usize, now: u64) -> bool;
+
+    /// Notify the memory of the solution reached at `now` (fingerprint of
+    /// the assignment bits). Recency ignores this; REM appends to its
+    /// running list; Reactive detects revisits and adapts its tenure.
+    fn observe_solution(&mut self, fingerprint: u64, toggled: &[usize], now: u64);
+
+    /// Change the tenure (no-op where tenure has no meaning).
+    fn set_tenure(&mut self, tenure: usize);
+
+    /// Current tenure (0 where tenure has no meaning).
+    fn tenure(&self) -> usize;
+
+    /// Forget everything (used when a slave restarts from a new solution).
+    fn reset(&mut self);
+
+    /// Ordering hint for *relaxed re-admission*: when every fitting item is
+    /// tabu the move operator re-admits the item with the smallest key
+    /// (e.g. the one closest to expiry) rather than letting the knapsack
+    /// drain. Memories without a time notion may return a constant.
+    fn relaxation_key(&self, item: usize) -> u64 {
+        let _ = item;
+        0
+    }
+}
+
+/// Fixed-tenure recency memory: item `j` is tabu until `forbid`-time +
+/// tenure. O(1) everything; the memory the paper's slaves run.
+#[derive(Debug, Clone)]
+pub struct Recency {
+    expiry: Vec<u64>,
+    tenure: usize,
+}
+
+impl Recency {
+    /// Memory for `n` items with the given tenure.
+    pub fn new(n: usize, tenure: usize) -> Self {
+        Recency { expiry: vec![0; n], tenure }
+    }
+}
+
+impl TabuMemory for Recency {
+    #[inline]
+    fn forbid(&mut self, item: usize, now: u64) {
+        self.expiry[item] = now + self.tenure as u64;
+    }
+
+    #[inline]
+    fn is_tabu(&self, item: usize, now: u64) -> bool {
+        self.expiry[item] > now
+    }
+
+    fn observe_solution(&mut self, _fingerprint: u64, _toggled: &[usize], _now: u64) {}
+
+    fn set_tenure(&mut self, tenure: usize) {
+        self.tenure = tenure;
+    }
+
+    fn tenure(&self) -> usize {
+        self.tenure
+    }
+
+    fn reset(&mut self) {
+        self.expiry.iter_mut().for_each(|e| *e = 0);
+    }
+
+    fn relaxation_key(&self, item: usize) -> u64 {
+        self.expiry[item]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_is_clear() {
+        let mem = Recency::new(10, 5);
+        for j in 0..10 {
+            assert!(!mem.is_tabu(j, 0));
+        }
+    }
+
+    #[test]
+    fn forbid_lasts_exactly_tenure_moves() {
+        let mut mem = Recency::new(4, 3);
+        mem.forbid(2, 10);
+        assert!(mem.is_tabu(2, 10));
+        assert!(mem.is_tabu(2, 12));
+        assert!(!mem.is_tabu(2, 13));
+        assert!(!mem.is_tabu(1, 10));
+    }
+
+    #[test]
+    fn re_forbid_extends() {
+        let mut mem = Recency::new(4, 3);
+        mem.forbid(0, 0);
+        mem.forbid(0, 2);
+        assert!(mem.is_tabu(0, 4));
+        assert!(!mem.is_tabu(0, 5));
+    }
+
+    #[test]
+    fn tenure_change_applies_to_new_forbids() {
+        let mut mem = Recency::new(4, 2);
+        mem.forbid(0, 0);
+        mem.set_tenure(10);
+        assert_eq!(mem.tenure(), 10);
+        assert!(!mem.is_tabu(0, 3), "old forbid keeps old tenure");
+        mem.forbid(1, 3);
+        assert!(mem.is_tabu(1, 12));
+    }
+
+    #[test]
+    fn zero_tenure_means_no_tabu() {
+        let mut mem = Recency::new(2, 0);
+        mem.forbid(0, 5);
+        assert!(!mem.is_tabu(0, 5));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut mem = Recency::new(3, 100);
+        mem.forbid(1, 0);
+        mem.reset();
+        assert!(!mem.is_tabu(1, 1));
+    }
+}

@@ -1,0 +1,87 @@
+//! Command-line solver for OR-Library-format instance files.
+//!
+//! ```sh
+//! # write a sample file, then solve it
+//! cargo run --release --example solve_file -- --demo /tmp/demo.mkp
+//! cargo run --release --example solve_file -- /tmp/demo.mkp [budget_evals]
+//! ```
+//!
+//! The file format is the classic `mknap1` layout (see `mkp::format`):
+//! `n m optimum`, then profits, then m weight rows, then capacities.
+
+use pts_mkp::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--demo" => write_demo(path),
+        [path] => solve(path, 5_000_000),
+        [path, budget] => match budget.parse() {
+            Ok(b) => solve(path, b),
+            Err(_) => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: solve_file <instance.mkp> [budget_evals]");
+    eprintln!("       solve_file --demo <path>   (write a sample instance)");
+    ExitCode::FAILURE
+}
+
+fn write_demo(path: &str) -> ExitCode {
+    let inst = gk_instance("demo_5x80", GkSpec { n: 80, m: 5, tightness: 0.5, seed: 99 });
+    let text = mkp::format::write_instance(&inst);
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote sample instance to {path}");
+    ExitCode::SUCCESS
+}
+
+fn solve(path: &str, budget: u64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inst = match mkp::format::parse_instance(path, &text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: {} items, {} constraints, budget {budget} evaluations",
+        inst.name(),
+        inst.n(),
+        inst.m()
+    );
+
+    let cfg = RunConfig { p: 4, rounds: 12, ..RunConfig::new(budget, 7) };
+    let report = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
+    println!("best value : {}", report.best.value());
+    println!("items      : {:?}", report.best.bits().ones());
+    println!(
+        "work       : {} moves / {} evals in {:?}",
+        report.total_moves, report.total_evals, report.wall
+    );
+    if let Some(known) = inst.best_known() {
+        let gap = 100.0 * (known - report.best.value()) as f64 / known as f64;
+        println!("vs recorded optimum {known}: gap {gap:.3}%");
+    }
+    if let Ok(lp) = mkp_exact::bounds::lp_bound(&inst) {
+        println!(
+            "LP bound   : {:.1} (≤ {:.3}% above found value)",
+            lp.objective,
+            100.0 * (lp.objective - report.best.value() as f64) / lp.objective
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate every experiment of EXPERIMENTS.md into results/.
+# Usage: scripts/run_experiments.sh [--quick]
+#   --quick   skip the slowest runs (table2, table3_async, curves)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+mkdir -p results
+
+bins=(fp57 table1 table4_cb ablation_tenure ablation_drop ablation_alpha ablation_neighborhood)
+if [[ $quick -eq 0 ]]; then
+  bins+=(table2 table3_async table5_baseline curves)
+fi
+
+for b in "${bins[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -p mkp-bench --bin "$b" | tee "results/$b.txt"
+done
+
+echo "=== criterion microbenches ==="
+cargo bench -p mkp-bench 2>&1 | tee results/criterion.txt
+
+echo "all experiment outputs in results/"

@@ -1,0 +1,103 @@
+//! Cross-crate consistency of the relaxation bounds, the exact solvers and
+//! the file format.
+
+use pts_mkp::prelude::*;
+
+#[test]
+fn bound_hierarchy_on_random_instances() {
+    // optimum ≤ surrogate Dantzig (LP duals) and optimum ≤ LP ≤ min-Dantzig.
+    for seed in 0..6 {
+        let inst = uncorrelated_instance("h", 25, 4, 0.5, seed);
+        let exact = solve_exact(&inst, &BbConfig::default());
+        assert!(exact.proven);
+        let opt = exact.solution.value() as f64;
+
+        let lp = mkp_exact::bounds::lp_bound(&inst).unwrap();
+        assert!(lp.objective + 1e-6 >= opt, "LP below optimum (seed {seed})");
+
+        let dz = mkp::bounds::dantzig_bound(&inst);
+        assert!(dz + 1e-6 >= lp.objective, "min-Dantzig below LP (seed {seed})");
+
+        let sur = mkp_exact::bounds::Surrogate::from_duals(&inst, &lp.duals, 1000.0);
+        let order = sur.ratio_order(&inst);
+        let sbound = sur.dantzig_suffix(&inst, &order, sur.capacity);
+        assert!(sbound + 1e-6 >= opt, "surrogate below optimum (seed {seed})");
+    }
+}
+
+#[test]
+fn bb_and_dp_agree_on_single_constraint() {
+    for seed in 0..8 {
+        let inst = uncorrelated_instance("sc", 50, 1, 0.5, seed);
+        let bb = solve_exact(&inst, &BbConfig::default());
+        let dp = mkp_exact::dp::solve_single(&inst);
+        assert!(bb.proven);
+        assert_eq!(bb.solution.value(), dp.value(), "seed {seed}");
+    }
+}
+
+#[test]
+fn instance_files_roundtrip_through_disk() {
+    let dir = std::env::temp_dir().join("pts_mkp_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 0..3 {
+        let inst = gk_instance(
+            format!("disk_{seed}"),
+            GkSpec { n: 60, m: 6, tightness: 0.5, seed },
+        )
+        .with_best_known(12345);
+        let path = dir.join(format!("inst_{seed}.mkp"));
+        std::fs::write(&path, mkp::format::write_instance(&inst)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = mkp::format::parse_instance(inst.name(), &text).unwrap();
+        assert_eq!(back, inst);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solver_consumes_parsed_instances() {
+    // Full persistence → search loop, as the solve_file example does.
+    let inst = gk_instance("loop", GkSpec { n: 50, m: 5, tightness: 0.5, seed: 7 });
+    let text = mkp::format::write_instance(&inst);
+    let parsed = mkp::format::parse_instance("loop", &text).unwrap();
+    let cfg = RunConfig { p: 2, rounds: 3, ..RunConfig::new(150_000, 1) };
+    let a = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
+    let b = run_mode(&parsed, Mode::CooperativeAdaptive, &cfg);
+    assert_eq!(a.best.value(), b.best.value(), "parse round-trip changed the search");
+}
+
+#[test]
+fn warm_start_never_hurts_the_proof() {
+    for seed in 0..4 {
+        let inst = uncorrelated_instance("w", 30, 4, 0.5, seed);
+        let cold = solve_exact(&inst, &BbConfig::default());
+        let ts = run_mode(
+            &inst,
+            Mode::CooperativeAdaptive,
+            &RunConfig { p: 2, rounds: 3, ..RunConfig::new(200_000, seed) },
+        );
+        let warm = solve_with_incumbent(&inst, &BbConfig::default(), Some(&ts.best));
+        assert!(cold.proven && warm.proven);
+        assert_eq!(cold.solution.value(), warm.solution.value());
+        assert!(
+            warm.nodes <= cold.nodes,
+            "seed {seed}: warm start expanded more nodes ({} > {})",
+            warm.nodes,
+            cold.nodes
+        );
+    }
+}
+
+#[test]
+fn reduced_cost_fixing_consistent_with_proofs() {
+    for seed in 0..4 {
+        let inst = uncorrelated_instance("fx", 25, 3, 0.5, seed);
+        let with = solve_exact(&inst, &BbConfig::default());
+        let without = solve_exact(
+            &inst,
+            &BbConfig { use_fixing: false, ..BbConfig::default() },
+        );
+        assert_eq!(with.solution.value(), without.solution.value(), "seed {seed}");
+    }
+}

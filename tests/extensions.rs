@@ -1,0 +1,114 @@
+//! Integration tests for the extension subsystems: decomposition,
+//! Chu–Beasley class, multi-instance files, parallel exact search and
+//! path relinking — all through the public facade.
+
+use pts_mkp::prelude::*;
+
+#[test]
+fn decomposed_mode_competes_on_cb_instance() {
+    let inst = mkp::generate::chu_beasley_instance("ext", 60, 5, 0.5, 3);
+    let cfg = RunConfig { p: 4, rounds: 1, ..RunConfig::new(400_000, 11) };
+    let dts = run_mode(&inst, Mode::Decomposed, &cfg);
+    assert!(dts.best.is_feasible(&inst));
+    // Must at least beat the static greedy baseline.
+    let g = greedy(&inst, &Ratios::new(&inst));
+    assert!(dts.best.value() >= g.value());
+}
+
+#[test]
+fn restriction_cells_partition_lifts_back() {
+    let inst = uncorrelated_instance("cells", 30, 3, 0.5, 4);
+    let ratios = Ratios::new(&inst);
+    let split = parallel_tabu::decomposed::split_variables(&inst, &ratios, 2);
+    let mut best_lifted = 0i64;
+    let mut feasible_cells = 0;
+    for cell in 0u8..4 {
+        let f_in: Vec<usize> = split
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| (cell >> b) & 1 == 1)
+            .map(|(_, &j)| j)
+            .collect();
+        let f_out: Vec<usize> = split
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| (cell >> b) & 1 == 0)
+            .map(|(_, &j)| j)
+            .collect();
+        if let Ok(r) = mkp::restrict::Restriction::new(&inst, &f_in, &f_out) {
+            feasible_cells += 1;
+            let sub_sol = greedy(r.instance(), &Ratios::new(r.instance()));
+            let lifted = r.lift(&inst, &sub_sol);
+            assert!(lifted.is_feasible(&inst), "cell {cell} lift infeasible");
+            best_lifted = best_lifted.max(lifted.value());
+        }
+    }
+    assert!(feasible_cells >= 2, "partition collapsed");
+    assert!(best_lifted > 0);
+}
+
+#[test]
+fn multi_instance_files_feed_the_solver() {
+    let suite: Vec<_> = (0..3)
+        .map(|k| uncorrelated_instance(format!("multi{k}"), 20 + k, 3, 0.5, k as u64))
+        .collect();
+    let text = mkp::format::write_instances(&suite);
+    let parsed = mkp::format::parse_instances("suite", &text).unwrap();
+    assert_eq!(parsed.len(), 3);
+    for (orig, back) in suite.iter().zip(&parsed) {
+        assert_eq!(orig.profits(), back.profits());
+        let cfg = RunConfig { p: 2, rounds: 2, ..RunConfig::new(60_000, 5) };
+        let r = run_mode(back, Mode::CooperativeAdaptive, &cfg);
+        assert!(r.best.is_feasible(back));
+    }
+}
+
+#[test]
+fn parallel_exact_agrees_with_sequential_and_ts() {
+    for seed in 0..3 {
+        let inst = uncorrelated_instance("pex", 24, 3, 0.5, seed);
+        let seq = solve_exact(&inst, &BbConfig::default());
+        let par = mkp_exact::solve_parallel(&inst, &BbConfig::default(), 4);
+        assert!(seq.proven && par.proven);
+        assert_eq!(seq.solution.value(), par.solution.value());
+        let ts = run_mode(
+            &inst,
+            Mode::CooperativeAdaptive,
+            &RunConfig { p: 2, rounds: 3, ..RunConfig::new(200_000, seed) },
+        );
+        assert!(ts.best.value() <= par.solution.value());
+    }
+}
+
+#[test]
+fn relink_improves_between_elite_endpoints() {
+    // End-to-end: relinking two independently evolved solutions stays
+    // feasible and never loses to the better endpoint.
+    let inst = gk_instance("rl", GkSpec { n: 80, m: 5, tightness: 0.5, seed: 9 });
+    let ratios = Ratios::new(&inst);
+    let a = run_mode(
+        &inst,
+        Mode::Sequential,
+        &RunConfig { p: 1, rounds: 1, ..RunConfig::new(150_000, 1) },
+    )
+    .best;
+    let b = run_mode(
+        &inst,
+        Mode::Sequential,
+        &RunConfig { p: 1, rounds: 1, ..RunConfig::new(150_000, 2) },
+    )
+    .best;
+    let mut stats = mkp_tabu::moves::MoveStats::default();
+    let (best, _) = mkp_tabu::relink::path_relink(&inst, &ratios, &a, &b, &mut stats);
+    assert!(best.is_feasible(&inst));
+    assert!(best.value() >= a.value());
+}
+
+#[test]
+fn best_first_available_through_facade() {
+    let inst = uncorrelated_instance("bff", 20, 3, 0.5, 7);
+    let bfs = mkp_exact::solve_best_first(&inst, &BbConfig::default());
+    let dfs = solve_exact(&inst, &BbConfig::default());
+    assert!(bfs.proven);
+    assert_eq!(bfs.solution.value(), dfs.solution.value());
+}

@@ -1,0 +1,101 @@
+//! End-to-end pipeline tests: generator → parallel search → verification,
+//! across every mode, exercising the whole crate stack through the public
+//! facade only.
+
+use pts_mkp::prelude::*;
+
+fn cfg(seed: u64, evals: u64) -> RunConfig {
+    RunConfig { p: 3, rounds: 5, ..RunConfig::new(evals, seed) }
+}
+
+#[test]
+fn every_mode_full_pipeline_on_gk_instance() {
+    let inst = gk_instance("pipe", GkSpec { n: 80, m: 8, tightness: 0.5, seed: 11 });
+    let lp = mkp_exact::bounds::lp_bound(&inst).expect("LP solvable");
+    for mode in [
+        Mode::Sequential,
+        Mode::Independent,
+        Mode::Cooperative,
+        Mode::CooperativeAdaptive,
+        Mode::Asynchronous,
+    ] {
+        let r = run_mode(&inst, mode, &cfg(3, 400_000));
+        assert!(r.best.is_feasible(&inst), "{mode:?} returned infeasible");
+        assert!(r.best.check_consistent(&inst));
+        assert!(
+            (r.best.value() as f64) <= lp.objective + 1e-6,
+            "{mode:?} beat the LP bound?!"
+        );
+        assert!(r.total_moves > 0);
+        assert!(r.wall.as_nanos() > 0);
+    }
+}
+
+#[test]
+fn cooperative_modes_reach_exact_optimum_on_small_suite() {
+    // A cross-section of the FP suite small enough for fast proofs.
+    for k in [0usize, 2, 5, 10, 40] {
+        let inst = fp_instance(k);
+        let ts = run_mode(
+            &inst,
+            Mode::CooperativeAdaptive,
+            &RunConfig { p: 4, rounds: 10, ..RunConfig::new(150_000 * inst.n() as u64, 0xF5) },
+        );
+        let exact = solve_with_incumbent(&inst, &BbConfig::default(), Some(&ts.best));
+        assert!(exact.proven, "{} unproven", inst.name());
+        assert_eq!(
+            ts.best.value(),
+            exact.solution.value(),
+            "{}: CTS2 missed the optimum",
+            inst.name()
+        );
+    }
+}
+
+#[test]
+fn value_chain_orders_correctly() {
+    // greedy ≤ TS best ≤ optimum ≤ LP bound, on several seeds.
+    for seed in 0..4 {
+        let inst = uncorrelated_instance("chain", 35, 4, 0.5, seed);
+        let ratios = Ratios::new(&inst);
+        let g = greedy(&inst, &ratios).value();
+        let ts = run_mode(&inst, Mode::CooperativeAdaptive, &cfg(seed, 300_000));
+        let exact = solve_with_incumbent(&inst, &BbConfig::default(), Some(&ts.best));
+        let lp = mkp_exact::bounds::lp_bound(&inst).unwrap().objective;
+        assert!(exact.proven);
+        assert!(g <= ts.best.value(), "seed {seed}");
+        assert!(ts.best.value() <= exact.solution.value(), "seed {seed}");
+        assert!((exact.solution.value() as f64) <= lp + 1e-6, "seed {seed}");
+    }
+}
+
+#[test]
+fn total_budget_is_shared_fairly_across_modes() {
+    let inst = gk_instance("fair", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 4 });
+    let budget = 600_000u64;
+    for mode in Mode::table2() {
+        let r = run_mode(&inst, mode, &cfg(9, budget));
+        assert!(
+            r.total_evals >= budget * 9 / 10 && r.total_evals <= budget * 13 / 10,
+            "{mode:?} spent {} of {budget}",
+            r.total_evals
+        );
+    }
+}
+
+#[test]
+fn facade_prelude_covers_the_workflow() {
+    // The doc-advertised workflow compiles and runs through the prelude.
+    let inst = gk_instance("facade", GkSpec { n: 30, m: 3, tightness: 0.5, seed: 21 });
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let start = randomized_greedy(&inst, &Ratios::new(&inst), &mut rng, 3);
+    let report = run_tabu(
+        &inst,
+        &Ratios::new(&inst),
+        start,
+        &TsConfig::default_for(inst.n()),
+        Budget::evals(50_000),
+        &mut rng,
+    );
+    assert!(report.best.is_feasible(&inst));
+}
