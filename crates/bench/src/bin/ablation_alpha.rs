@@ -17,21 +17,42 @@ fn main() {
     println!("A3: ISP alpha sweep, CTS2, budget {BUDGET} evals\n");
     let instances: Vec<_> = mk_suite().into_iter().take(2).collect();
 
-    let mut table = TextTable::new(vec!["alpha", "MK01 mean", "MK02 mean", "restarts to global"]);
+    let mut table = TextTable::new(vec![
+        "alpha",
+        "MK01 mean",
+        "MK02 mean",
+        "restarts to global",
+    ]);
     for alpha in [0.90, 0.99, 0.995, 0.998, 0.999, 1.0] {
         let mut cells = vec![format!("{alpha:.3}")];
         for inst in &instances {
             let values: Vec<f64> = SEEDS
                 .iter()
                 .map(|&seed| {
-                    let mut cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(BUDGET, seed) };
-                    cfg.isp = IspConfig { alpha, ..IspConfig::default() };
+                    let mut cfg = RunConfig {
+                        p: 4,
+                        rounds: 16,
+                        ..RunConfig::new(BUDGET, seed)
+                    };
+                    cfg.isp = IspConfig {
+                        alpha,
+                        ..IspConfig::default()
+                    };
                     run_mode(inst, Mode::CooperativeAdaptive, &cfg).best.value() as f64
                 })
                 .collect();
             cells.push(format!("{:.0}", mean(&values)));
         }
-        cells.push(if alpha >= 0.999 { "many (herding)" } else if alpha >= 0.99 { "some" } else { "few" }.to_string());
+        cells.push(
+            if alpha >= 0.999 {
+                "many (herding)"
+            } else if alpha >= 0.99 {
+                "some"
+            } else {
+                "few"
+            }
+            .to_string(),
+        );
         table.row(cells);
     }
     println!("{}", table.render());

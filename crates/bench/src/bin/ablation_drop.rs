@@ -20,11 +20,22 @@ const MOVES: u64 = 3_000;
 
 fn main() {
     println!("A2: nb_drop vs distance between consecutive solutions ({MOVES} moves)\n");
-    let inst = gk_instance("GK_A2_10x250", GkSpec { n: 250, m: 10, tightness: 0.5, seed: 0xA2 });
+    let inst = gk_instance(
+        "GK_A2_10x250",
+        GkSpec {
+            n: 250,
+            m: 10,
+            tightness: 0.5,
+            seed: 0xA2,
+        },
+    );
     let ratios = Ratios::new(&inst);
 
     let mut table = TextTable::new(vec![
-        "nb_drop", "mean hamming/move", "mean |dF|/move", "final best",
+        "nb_drop",
+        "mean hamming/move",
+        "mean |dF|/move",
+        "final best",
     ]);
     for nb_drop in 1..=6usize {
         let mut rng = Xoshiro256::seed_from_u64(7);
@@ -37,8 +48,7 @@ fn main() {
         for now in 0..MOVES {
             let before = sol.clone();
             apply_move(
-                &inst, &ratios, &mut sol, &mut tabu, now, nb_drop, best, 0.1, &mut rng,
-                &mut stats,
+                &inst, &ratios, &mut sol, &mut tabu, now, nb_drop, best, 0.1, &mut rng, &mut stats,
             );
             hammings.push(sol.hamming(&before) as f64);
             deltas.push((sol.value() - before.value()).abs() as f64);

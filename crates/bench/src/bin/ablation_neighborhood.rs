@@ -22,16 +22,48 @@ const BUDGET: u64 = 10_000_000;
 
 fn main() {
     println!("A4: constructive vs best-of-K neighborhood at equal budget ({BUDGET} evals)\n");
-    let inst = gk_instance("GK_A4_10x150", GkSpec { n: 150, m: 10, tightness: 0.5, seed: 0xA4 });
+    let inst = gk_instance(
+        "GK_A4_10x150",
+        GkSpec {
+            n: 150,
+            m: 10,
+            tightness: 0.5,
+            seed: 0xA4,
+        },
+    );
     let ratios = Ratios::new(&inst);
 
     let mut table = TextTable::new(vec!["selection", "mean best", "mean moves", "mean time_s"]);
     let selections = [
         ("constructive", MoveSelection::Constructive),
-        ("best-of-2", MoveSelection::BestOfK { width: 2, parallel: false }),
-        ("best-of-4", MoveSelection::BestOfK { width: 4, parallel: false }),
-        ("best-of-8", MoveSelection::BestOfK { width: 8, parallel: false }),
-        ("best-of-4 (threads)", MoveSelection::BestOfK { width: 4, parallel: true }),
+        (
+            "best-of-2",
+            MoveSelection::BestOfK {
+                width: 2,
+                parallel: false,
+            },
+        ),
+        (
+            "best-of-4",
+            MoveSelection::BestOfK {
+                width: 4,
+                parallel: false,
+            },
+        ),
+        (
+            "best-of-8",
+            MoveSelection::BestOfK {
+                width: 8,
+                parallel: false,
+            },
+        ),
+        (
+            "best-of-4 (threads)",
+            MoveSelection::BestOfK {
+                width: 4,
+                parallel: true,
+            },
+        ),
     ];
     for (label, selection) in selections {
         let mut values = Vec::new();

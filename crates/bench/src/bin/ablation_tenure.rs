@@ -32,7 +32,15 @@ const BUDGET: u64 = 10_000_000;
 
 fn main() {
     println!("A1: tabu-memory ablation at equal budget ({BUDGET} evals)\n");
-    let inst = gk_instance("GK_A1_10x100", GkSpec { n: 100, m: 10, tightness: 0.5, seed: 0xA1 });
+    let inst = gk_instance(
+        "GK_A1_10x100",
+        GkSpec {
+            n: 100,
+            m: 10,
+            tightness: 0.5,
+            seed: 0xA1,
+        },
+    );
     let ratios = Ratios::new(&inst);
 
     let mut table = TextTable::new(vec!["memory", "mean best", "per-seed", "mean time_s"]);
@@ -63,12 +71,21 @@ fn main() {
                 let mut rng = Xoshiro256::seed_from_u64(seed);
                 let init = randomized_greedy(inst, ratios, &mut rng, 4);
                 let mut cfg = TsConfig::default_for(inst.n());
-                cfg.strategy = Strategy { tabu_tenure: tenure, ..cfg.strategy };
+                cfg.strategy = Strategy {
+                    tabu_tenure: tenure,
+                    ..cfg.strategy
+                };
                 let mut memory = Recency::new(inst.n(), tenure);
                 let mut history = History::new(inst.n());
                 run_with_memory(
-                    inst, ratios, init, &cfg, Budget::evals(BUDGET), &mut rng,
-                    &mut memory, &mut history,
+                    inst,
+                    ratios,
+                    init,
+                    &cfg,
+                    Budget::evals(BUDGET),
+                    &mut rng,
+                    &mut memory,
+                    &mut history,
                 )
                 .best
                 .value()
@@ -90,8 +107,14 @@ fn main() {
                 let mut memory = ReverseElimination::new(inst.n(), 400);
                 let mut history = History::new(inst.n());
                 run_with_memory(
-                    inst, ratios, init, &cfg, Budget::evals(BUDGET), &mut rng,
-                    &mut memory, &mut history,
+                    inst,
+                    ratios,
+                    init,
+                    &cfg,
+                    Budget::evals(BUDGET),
+                    &mut rng,
+                    &mut memory,
+                    &mut history,
                 )
                 .best
                 .value()
@@ -112,8 +135,14 @@ fn main() {
                 let mut memory = ReactiveTabu::new(inst.n(), 10, ReactiveParams::default());
                 let mut history = History::new(inst.n());
                 run_with_memory(
-                    inst, ratios, init, &cfg, Budget::evals(BUDGET), &mut rng,
-                    &mut memory, &mut history,
+                    inst,
+                    ratios,
+                    init,
+                    &cfg,
+                    Budget::evals(BUDGET),
+                    &mut rng,
+                    &mut memory,
+                    &mut history,
                 )
                 .best
                 .value()
@@ -127,7 +156,11 @@ fn main() {
         run_seeded(
             "CTS2 (master-tuned)".to_string(),
             Box::new(move |seed| {
-                let cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(BUDGET, seed) };
+                let cfg = RunConfig {
+                    p: 4,
+                    rounds: 16,
+                    ..RunConfig::new(BUDGET, seed)
+                };
                 run_mode(inst, Mode::CooperativeAdaptive, &cfg).best.value()
             }),
         );

@@ -17,7 +17,10 @@ const BUDGET: u64 = 40_000_000;
 const ROUNDS: usize = 24;
 
 fn main() {
-    println!("F1: global best per master round, CTS1 vs CTS2 (mean over {} seeds)\n", SEEDS.len());
+    println!(
+        "F1: global best per master round, CTS1 vs CTS2 (mean over {} seeds)\n",
+        SEEDS.len()
+    );
     let instances: Vec<_> = mk_suite().into_iter().take(2).collect();
     let mut csv = String::from("instance,mode,round,mean_best\n");
 
@@ -27,8 +30,11 @@ fn main() {
             SEEDS
                 .iter()
                 .map(|&seed| {
-                    let cfg =
-                        RunConfig { p: 4, rounds: ROUNDS, ..RunConfig::new(BUDGET, seed) };
+                    let cfg = RunConfig {
+                        p: 4,
+                        rounds: ROUNDS,
+                        ..RunConfig::new(BUDGET, seed)
+                    };
                     run_mode(inst, mode, &cfg)
                         .round_best
                         .iter()

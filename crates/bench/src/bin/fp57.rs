@@ -22,7 +22,15 @@ fn main() {
     println!("(paper: optimum reached on all 57 problems)\n");
 
     let mut table = TextTable::new(vec![
-        "instance", "n", "m", "optimum", "cts2", "hit", "tries", "ts_ms", "proof_nodes",
+        "instance",
+        "n",
+        "m",
+        "optimum",
+        "cts2",
+        "hit",
+        "tries",
+        "ts_ms",
+        "proof_nodes",
     ]);
     let mut hits = 0usize;
     let mut max_ms = 0u128;
@@ -35,7 +43,11 @@ fn main() {
         let first = run_mode(
             &inst,
             Mode::CooperativeAdaptive,
-            &RunConfig { p: 4, rounds: 16, ..RunConfig::new(budget, SEEDS[0]) },
+            &RunConfig {
+                p: 4,
+                rounds: 16,
+                ..RunConfig::new(budget, SEEDS[0])
+            },
         );
         // One proof certifies the optimum for every retry.
         let bb = solve_with_incumbent(&inst, &BbConfig::default(), Some(&first.best));
@@ -48,8 +60,16 @@ fn main() {
             if found == optimum {
                 break;
             }
-            let cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(budget, seed) };
-            found = found.max(run_mode(&inst, Mode::CooperativeAdaptive, &cfg).best.value());
+            let cfg = RunConfig {
+                p: 4,
+                rounds: 16,
+                ..RunConfig::new(budget, seed)
+            };
+            found = found.max(
+                run_mode(&inst, Mode::CooperativeAdaptive, &cfg)
+                    .best
+                    .value(),
+            );
             tries += 1;
         }
         let ts_ms = t.elapsed().as_millis();

@@ -26,13 +26,48 @@ fn main() {
     // The grouped presentation of the paper: probs 1-4, 5-8, 9-14, 15-17,
     // 18-22, 23, 24.
     let mut groups = [
-        Group { label: "1 to 4", size: "3x100", times: vec![], devs: vec![] },
-        Group { label: "5 to 8", size: "5x100", times: vec![], devs: vec![] },
-        Group { label: "9 to 14", size: "10x100", times: vec![], devs: vec![] },
-        Group { label: "15 to 17", size: "15x100", times: vec![], devs: vec![] },
-        Group { label: "18 to 22", size: "25x100", times: vec![], devs: vec![] },
-        Group { label: "23", size: "25x250", times: vec![], devs: vec![] },
-        Group { label: "24", size: "25x500", times: vec![], devs: vec![] },
+        Group {
+            label: "1 to 4",
+            size: "3x100",
+            times: vec![],
+            devs: vec![],
+        },
+        Group {
+            label: "5 to 8",
+            size: "5x100",
+            times: vec![],
+            devs: vec![],
+        },
+        Group {
+            label: "9 to 14",
+            size: "10x100",
+            times: vec![],
+            devs: vec![],
+        },
+        Group {
+            label: "15 to 17",
+            size: "15x100",
+            times: vec![],
+            devs: vec![],
+        },
+        Group {
+            label: "18 to 22",
+            size: "25x100",
+            times: vec![],
+            devs: vec![],
+        },
+        Group {
+            label: "23",
+            size: "25x250",
+            times: vec![],
+            devs: vec![],
+        },
+        Group {
+            label: "24",
+            size: "25x500",
+            times: vec![],
+            devs: vec![],
+        },
     ];
     const GROUP_OF: [usize; 24] = [
         0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 3, 3, 3, 4, 4, 4, 4, 4, 5, 6,
@@ -45,7 +80,11 @@ fn main() {
     for (idx, inst) in suite.iter().enumerate() {
         let lp = lp_bound(inst).expect("LP solvable").objective;
         let budget = 60_000 * inst.n() as u64;
-        let cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(budget, 0x6B + idx as u64) };
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 16,
+            ..RunConfig::new(budget, 0x6B + idx as u64)
+        };
         let t = Instant::now();
         let r = run_mode(inst, Mode::CooperativeAdaptive, &cfg);
         let secs = t.elapsed().as_secs_f64();

@@ -23,9 +23,7 @@ fn main() {
         SEEDS.len()
     );
 
-    let mut table = TextTable::new(vec![
-        "Prob", "SEQ", "ITS", "CTS1", "CTS2", "Exec evals",
-    ]);
+    let mut table = TextTable::new(vec!["Prob", "SEQ", "ITS", "CTS1", "CTS2", "Exec evals"]);
     let mut detail = TextTable::new(vec!["Prob", "mode", "mean", "sd", "per-seed"]);
     let mut mode_means: Vec<(Mode, Vec<f64>)> =
         Mode::table2().iter().map(|&m| (m, Vec::new())).collect();
@@ -37,7 +35,11 @@ fn main() {
             let values: Vec<f64> = SEEDS
                 .iter()
                 .map(|&seed| {
-                    let cfg = RunConfig { p: P, rounds: ROUNDS, ..RunConfig::new(BUDGET, seed) };
+                    let cfg = RunConfig {
+                        p: P,
+                        rounds: ROUNDS,
+                        ..RunConfig::new(BUDGET, seed)
+                    };
                     run_mode(&inst, mode, &cfg).best.value() as f64
                 })
                 .collect();
@@ -60,7 +62,10 @@ fn main() {
         table.row(cells);
     }
 
-    println!("Table 2 (paper layout, mean over seeds):\n{}", table.render());
+    println!(
+        "Table 2 (paper layout, mean over seeds):\n{}",
+        table.render()
+    );
     println!("Per-seed detail:\n{}", detail.render());
 
     // Cross-instance summary: mean gap of each mode to the per-instance

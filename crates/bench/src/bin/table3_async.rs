@@ -17,14 +17,25 @@ fn main() {
     println!("(equal total budget {BUDGET}; ATS is scheduling-dependent, hence seeds x modes)\n");
 
     let mut table = TextTable::new(vec![
-        "Prob", "CTS2 mean", "sd", "ATS mean", "sd", "DTS mean", "sd", "winner",
+        "Prob",
+        "CTS2 mean",
+        "sd",
+        "ATS mean",
+        "sd",
+        "DTS mean",
+        "sd",
+        "winner",
     ]);
     for inst in mk_suite() {
         let run_all = |mode: Mode| -> Vec<f64> {
             SEEDS
                 .iter()
                 .map(|&seed| {
-                    let cfg = RunConfig { p: P, rounds: ROUNDS, ..RunConfig::new(BUDGET, seed) };
+                    let cfg = RunConfig {
+                        p: P,
+                        rounds: ROUNDS,
+                        ..RunConfig::new(BUDGET, seed)
+                    };
                     run_mode(&inst, mode, &cfg).best.value() as f64
                 })
                 .collect()

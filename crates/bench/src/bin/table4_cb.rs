@@ -17,13 +17,22 @@ use std::time::Instant;
 fn main() {
     println!("E5 (extension): Chu-Beasley-style suite, CTS2, Dev.% vs LP bound\n");
     let mut table = TextTable::new(vec![
-        "instance", "class stats", "lp_bound", "cts2", "dev_%", "time_s",
+        "instance",
+        "class stats",
+        "lp_bound",
+        "cts2",
+        "dev_%",
+        "time_s",
     ]);
     let start = Instant::now();
     for (idx, inst) in cb_suite(0xCB).iter().enumerate() {
         let lp = lp_bound(inst).expect("LP solvable").objective;
         let budget = 60_000 * inst.n() as u64;
-        let cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(budget, 0xCB + idx as u64) };
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 16,
+            ..RunConfig::new(budget, 0xCB + idx as u64)
+        };
         let t = Instant::now();
         let r = run_mode(inst, Mode::CooperativeAdaptive, &cfg);
         table.row(vec![

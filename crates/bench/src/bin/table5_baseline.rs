@@ -22,9 +22,7 @@ const BUDGET: u64 = 40_000_000;
 
 fn main() {
     println!("E6: CTS2 (the paper) vs CETS (the cited baseline) at equal budget\n");
-    let mut table = TextTable::new(vec![
-        "Prob", "CETS mean", "sd", "CTS2 mean", "sd", "winner",
-    ]);
+    let mut table = TextTable::new(vec!["Prob", "CETS mean", "sd", "CTS2 mean", "sd", "winner"]);
     for inst in mk_suite() {
         let ratios = Ratios::new(&inst);
         let cets: Vec<f64> = SEEDS
@@ -47,8 +45,14 @@ fn main() {
         let cts2: Vec<f64> = SEEDS
             .iter()
             .map(|&seed| {
-                let cfg = RunConfig { p: 4, rounds: 16, ..RunConfig::new(BUDGET, seed) };
-                run_mode(&inst, Mode::CooperativeAdaptive, &cfg).best.value() as f64
+                let cfg = RunConfig {
+                    p: 4,
+                    rounds: 16,
+                    ..RunConfig::new(BUDGET, seed)
+                };
+                run_mode(&inst, Mode::CooperativeAdaptive, &cfg)
+                    .best
+                    .value() as f64
             })
             .collect();
         let (me, mc) = (mean(&cets), mean(&cts2));

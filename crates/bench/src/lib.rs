@@ -13,10 +13,14 @@
 //! | `ablation_drop` | A2 — `nb_drop` vs solution distance |
 //! | `ablation_alpha` | A3 — ISP α sweep (macro intensify/diversify) |
 //!
-//! Criterion microbenches for the hot kernels live in `benches/kernels.rs`.
-//! This library only holds the small shared reporting utilities.
+//! Microbenches for the hot kernels live in the `kernels` binary
+//! (`src/bin/kernels.rs`), built on the in-tree [`harness`] module —
+//! warmup, fixed-iteration timing, median/p95, JSON output to `results/`.
+//! This library otherwise only holds the small shared reporting utilities.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::fmt::Write as _;
 
@@ -123,7 +127,7 @@ mod tests {
         assert!(lines[0].contains("name") && lines[0].contains("value"));
         assert!(lines[2].starts_with('a'));
         // All rows have the same rendered width.
-        assert_eq!(lines[2].trim_end().len() < lines[1].len(), true);
+        assert!(lines[2].trim_end().len() < lines[1].len());
     }
 
     #[test]

@@ -126,8 +126,11 @@ mod tests {
 
     #[test]
     fn parses_positionals_and_flags() {
-        let a = Args::parse(raw(&["file.mkp", "--seed", "7", "--p", "4"]), &["seed", "p"])
-            .unwrap();
+        let a = Args::parse(
+            raw(&["file.mkp", "--seed", "7", "--p", "4"]),
+            &["seed", "p"],
+        )
+        .unwrap();
         assert_eq!(a.positional_count(), 1);
         assert_eq!(a.positional(0, "file").unwrap(), "file.mkp");
         assert_eq!(a.get::<u64>("seed", 0).unwrap(), 7);
@@ -179,7 +182,10 @@ mod tests {
 
     #[test]
     fn error_messages_read_well() {
-        let e = ArgError::UnknownFlag { flag: "x".into(), accepted: vec!["a", "b"] };
+        let e = ArgError::UnknownFlag {
+            flag: "x".into(),
+            accepted: vec!["a", "b"],
+        };
         assert_eq!(e.to_string(), "unknown flag --x; accepted: --a, --b");
     }
 }

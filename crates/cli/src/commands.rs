@@ -71,7 +71,15 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.get("seed", 1)?;
     let name = format!("{class}_{m}x{n}_s{seed}");
     let inst = match class.as_str() {
-        "gk" => gk_instance(&name, GkSpec { n, m, tightness, seed }),
+        "gk" => gk_instance(
+            &name,
+            GkSpec {
+                n,
+                m,
+                tightness,
+                seed,
+            },
+        ),
         "cb" => chu_beasley_instance(&name, n, m, tightness, seed),
         "uniform" => uncorrelated_instance(&name, n, m, tightness, seed),
         other => {
@@ -92,7 +100,9 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
 /// `mkp stats`.
 pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
     if args.positional_count() > 1 {
-        return Err(CliError::Invalid("stats takes exactly one instance file".into()));
+        return Err(CliError::Invalid(
+            "stats takes exactly one instance file".into(),
+        ));
     }
     let inst = read_instance(args.positional(0, "instance.mkp")?)?;
     let s = instance_stats(&inst);
@@ -141,10 +151,17 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.get("seed", 7)?;
     let relink: bool = args.get("relink", false)?;
     if p == 0 || rounds == 0 || budget == 0 {
-        return Err(CliError::Invalid("p, rounds and budget must be positive".into()));
+        return Err(CliError::Invalid(
+            "p, rounds and budget must be positive".into(),
+        ));
     }
 
-    let cfg = RunConfig { p, rounds, relink, ..RunConfig::new(budget, seed) };
+    let cfg = RunConfig {
+        p,
+        rounds,
+        relink,
+        ..RunConfig::new(budget, seed)
+    };
     let report = run_mode(&inst, mode, &cfg);
     let mut out = String::new();
     let _ = writeln!(out, "mode       : {}", report.mode.label());
@@ -164,7 +181,11 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
             out,
             "vs recorded: {} ({})",
             best,
-            if report.best.value() >= best { "matched" } else { "below" }
+            if report.best.value() >= best {
+                "matched"
+            } else {
+                "below"
+            }
         );
     }
     Ok(out)
@@ -178,7 +199,10 @@ pub fn cmd_exact(args: &Args) -> Result<String, CliError> {
     if workers == 0 {
         return Err(CliError::Invalid("workers must be positive".into()));
     }
-    let cfg = mkp_exact::BbConfig { node_limit: nodes, ..mkp_exact::BbConfig::default() };
+    let cfg = mkp_exact::BbConfig {
+        node_limit: nodes,
+        ..mkp_exact::BbConfig::default()
+    };
     let start = std::time::Instant::now();
     let r = if workers == 1 {
         mkp_exact::solve(&inst, &cfg)
@@ -186,7 +210,16 @@ pub fn cmd_exact(args: &Args) -> Result<String, CliError> {
         mkp_exact::solve_parallel(&inst, &cfg, workers)
     };
     let mut out = String::new();
-    let _ = writeln!(out, "optimum    : {}{}", r.solution.value(), if r.proven { "" } else { " (NOT PROVEN — node limit)" });
+    let _ = writeln!(
+        out,
+        "optimum    : {}{}",
+        r.solution.value(),
+        if r.proven {
+            ""
+        } else {
+            " (NOT PROVEN — node limit)"
+        }
+    );
     let _ = writeln!(out, "items      : {:?}", r.solution.bits().ones());
     let _ = writeln!(out, "nodes      : {}", r.nodes);
     let _ = writeln!(out, "root LP    : {:.1}", r.root_lp);
@@ -216,7 +249,9 @@ mod tests {
     fn generate_then_stats_then_solve_then_exact() {
         let path = tmp("pipeline.mkp");
         let msg = cmd_generate(&args(
-            &[&path, "--class", "uniform", "--n", "24", "--m", "3", "--seed", "5"],
+            &[
+                &path, "--class", "uniform", "--n", "24", "--m", "3", "--seed", "5",
+            ],
             GEN_FLAGS,
         ))
         .unwrap();
@@ -227,7 +262,9 @@ mod tests {
         assert!(stats.contains("LP bound"));
 
         let solved = cmd_solve(&args(
-            &[&path, "--mode", "cts2", "--budget", "200000", "--rounds", "4"],
+            &[
+                &path, "--mode", "cts2", "--budget", "200000", "--rounds", "4",
+            ],
             SOLVE_FLAGS,
         ))
         .unwrap();
@@ -250,8 +287,7 @@ mod tests {
     fn solve_rejects_unknown_mode() {
         let path = tmp("mode.mkp");
         cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
-        let err =
-            cmd_solve(&args(&[&path, "--mode", "bogus"], SOLVE_FLAGS)).unwrap_err();
+        let err = cmd_solve(&args(&[&path, "--mode", "bogus"], SOLVE_FLAGS)).unwrap_err();
         assert!(err.to_string().contains("unknown mode"));
     }
 
@@ -259,8 +295,7 @@ mod tests {
     fn solve_rejects_zero_budget() {
         let path = tmp("zero.mkp");
         cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
-        let err =
-            cmd_solve(&args(&[&path, "--budget", "0"], SOLVE_FLAGS)).unwrap_err();
+        let err = cmd_solve(&args(&[&path, "--budget", "0"], SOLVE_FLAGS)).unwrap_err();
         assert!(err.to_string().contains("positive"));
     }
 
@@ -273,11 +308,16 @@ mod tests {
     #[test]
     fn all_modes_accepted_by_solver() {
         let path = tmp("modes.mkp");
-        cmd_generate(&args(&[&path, "--n", "20", "--m", "2", "--class", "uniform"], GEN_FLAGS))
-            .unwrap();
+        cmd_generate(&args(
+            &[&path, "--n", "20", "--m", "2", "--class", "uniform"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
         for mode in ["seq", "its", "cts1", "cts2", "ats", "dts"] {
             let out = cmd_solve(&args(
-                &[&path, "--mode", mode, "--budget", "50000", "--rounds", "2", "--p", "2"],
+                &[
+                    &path, "--mode", mode, "--budget", "50000", "--rounds", "2", "--p", "2",
+                ],
                 SOLVE_FLAGS,
             ))
             .unwrap();

@@ -3,23 +3,43 @@ use mkp::generate::mk_suite;
 use parallel_tabu::{run_mode, Mode, RunConfig};
 
 fn main() {
-    let budget: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40_000_000);
-    let rounds: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000_000);
+    let rounds: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let seeds = [42u64, 1337, 2024];
-    let modes = [Mode::Sequential, Mode::Independent, Mode::Cooperative,
-                 Mode::CooperativeAdaptive, Mode::Asynchronous];
+    let modes = [
+        Mode::Sequential,
+        Mode::Independent,
+        Mode::Cooperative,
+        Mode::CooperativeAdaptive,
+        Mode::Asynchronous,
+    ];
     for inst in mk_suite() {
         print!("{}: ", inst.name());
         for mode in modes {
             let mut sum = 0f64;
             let mut regen = 0;
             for &seed in &seeds {
-                let cfg = RunConfig { p: 4, rounds, ..RunConfig::new(budget, seed) };
+                let cfg = RunConfig {
+                    p: 4,
+                    rounds,
+                    ..RunConfig::new(budget, seed)
+                };
                 let r = run_mode(&inst, mode, &cfg);
                 sum += r.best.value() as f64;
                 regen += r.regenerations;
             }
-            print!("{}={:.0}(rg{}) ", mode.label(), sum / seeds.len() as f64, regen);
+            print!(
+                "{}={:.0}(rg{}) ",
+                mode.label(),
+                sum / seeds.len() as f64,
+                regen
+            );
         }
         println!();
     }

@@ -3,26 +3,57 @@ use mkp::{Instance, Xoshiro256};
 use parallel_tabu::{run_mode, Mode, RunConfig};
 
 fn main() {
-    let draws: Vec<(i64,[i64;4])> = vec![
-        (320,[310,120,60,30]),(270,[240,150,80,20]),(180,[90,140,120,60]),(145,[160,60,40,10]),
-        (210,[200,30,10,10]),(260,[120,180,140,50]),(95,[40,70,60,40]),(130,[110,40,20,5]),
-        (340,[280,200,90,40]),(75,[30,40,40,30]),(60,[50,40,20,20]),(85,[60,50,20,10]),
-        (190,[150,90,70,40]),(110,[90,60,30,20]),(230,[100,130,130,90]),(280,[330,60,20,10]),
-        (150,[60,80,90,70]),(120,[80,70,40,20]),(55,[45,25,15,10]),(165,[120,90,60,30]),
-        (70,[55,45,20,10]),(250,[210,110,70,50]),(300,[260,170,110,60]),(90,[50,50,40,30]),
-        (205,[170,100,60,40]),(45,[20,25,25,20]),(135,[100,70,40,25]),(100,[85,45,25,15]),
+    let draws: Vec<(i64, [i64; 4])> = vec![
+        (320, [310, 120, 60, 30]),
+        (270, [240, 150, 80, 20]),
+        (180, [90, 140, 120, 60]),
+        (145, [160, 60, 40, 10]),
+        (210, [200, 30, 10, 10]),
+        (260, [120, 180, 140, 50]),
+        (95, [40, 70, 60, 40]),
+        (130, [110, 40, 20, 5]),
+        (340, [280, 200, 90, 40]),
+        (75, [30, 40, 40, 30]),
+        (60, [50, 40, 20, 20]),
+        (85, [60, 50, 20, 10]),
+        (190, [150, 90, 70, 40]),
+        (110, [90, 60, 30, 20]),
+        (230, [100, 130, 130, 90]),
+        (280, [330, 60, 20, 10]),
+        (150, [60, 80, 90, 70]),
+        (120, [80, 70, 40, 20]),
+        (55, [45, 25, 15, 10]),
+        (165, [120, 90, 60, 30]),
+        (70, [55, 45, 20, 10]),
+        (250, [210, 110, 70, 50]),
+        (300, [260, 170, 110, 60]),
+        (90, [50, 50, 40, 30]),
+        (205, [170, 100, 60, 40]),
+        (45, [20, 25, 25, 20]),
+        (135, [100, 70, 40, 25]),
+        (100, [85, 45, 25, 15]),
     ];
     let n = draws.len();
     let profits: Vec<i64> = draws.iter().map(|d| d.0).collect();
-    let mut weights = vec![0i64; n*4];
-    for (j,d) in draws.iter().enumerate() { for i in 0..4 { weights[i*n+j] = d.1[i]; } }
-    let inst = Instance::new("cb", n, 4, profits, weights, vec![950,900,800,700]).unwrap();
+    let mut weights = vec![0i64; n * 4];
+    for (j, d) in draws.iter().enumerate() {
+        for i in 0..4 {
+            weights[i * n + j] = d.1[i];
+        }
+    }
+    let inst = Instance::new("cb", n, 4, profits, weights, vec![950, 900, 800, 700]).unwrap();
     let mut rng = Xoshiro256::seed_from_u64(1);
     let mut best_dg = 0;
-    for _ in 0..20000 { best_dg = best_dg.max(dynamic_randomized_greedy(&inst, &mut rng, 6).value()); }
+    for _ in 0..20000 {
+        best_dg = best_dg.max(dynamic_randomized_greedy(&inst, &mut rng, 6).value());
+    }
     println!("best dynamic_randomized_greedy(20k): {best_dg}");
     for seed in [2024u64, 1, 2] {
-        let cfg = RunConfig { p: 4, rounds: 8, ..RunConfig::new(1_000_000, seed) };
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 8,
+            ..RunConfig::new(1_000_000, seed)
+        };
         let r = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
         print!("CTS2 s{seed}={} ", r.best.value());
     }

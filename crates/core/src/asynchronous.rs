@@ -22,8 +22,8 @@ use mkp::greedy::dynamic_randomized_greedy;
 use mkp::{BitVec, Instance, Solution, Xoshiro256};
 use mkp_tabu::elite::ElitePool;
 use mkp_tabu::{search, Budget, StrategyBounds, TsConfig};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// The shared blackboard.
@@ -99,8 +99,11 @@ pub fn run_async(inst: &Instance, cfg: &RunConfig) -> ModeReport {
                     }
 
                     // Asynchronous check-in: publish, read, adapt, move on.
+                    // The board only ever holds a complete (bits, value)
+                    // pair, so a poisoned lock (peer panicked mid-publish
+                    // of an unrelated field) is safe to recover.
                     let global = {
-                        let mut b = board.lock();
+                        let mut b = board.lock().unwrap_or_else(PoisonError::into_inner);
                         if own_best.value() > b.best.1 {
                             b.best = (own_best.bits().clone(), own_best.value());
                         }
@@ -137,7 +140,7 @@ pub fn run_async(inst: &Instance, cfg: &RunConfig) -> ModeReport {
         }
     });
 
-    let board = board.into_inner();
+    let board = board.into_inner().unwrap_or_else(PoisonError::into_inner);
     let best = Solution::from_bits(inst, board.best.0);
     debug_assert!(best.is_feasible(inst));
     ModeReport {

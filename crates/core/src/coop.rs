@@ -55,7 +55,10 @@ pub fn run_cooperative(inst: &Instance, cfg: &RunConfig, adaptive: bool) -> Mode
 /// Run P independent tabu searches (ITS): same farm, one fat round, no
 /// cooperation and no adaptation.
 pub fn run_independent(inst: &Instance, cfg: &RunConfig) -> ModeReport {
-    let one_round = RunConfig { rounds: 1, ..cfg.clone() };
+    let one_round = RunConfig {
+        rounds: 1,
+        ..cfg.clone()
+    };
     let mut report = run_cooperative_with_flags(inst, &one_round, false, false);
     report.mode = Mode::Independent;
     report
@@ -75,7 +78,9 @@ fn run_cooperative_with_flags(
 ) -> ModeReport {
     let results = run_farm(cfg.p + 1, |ctx| {
         if ctx.tid() == 0 {
-            TaskOut::Master(Box::new(master_task_with_flags(ctx, inst, cfg, adaptive, cooperate)))
+            TaskOut::Master(Box::new(master_task_with_flags(
+                ctx, inst, cfg, adaptive, cooperate,
+            )))
         } else {
             slave_task(ctx);
             TaskOut::Slave
@@ -99,7 +104,7 @@ fn master_task_with_flags(
 ) -> ModeReport {
     let start = Instant::now();
     let p = cfg.p;
-    
+
     let bounds = StrategyBounds::for_instance_size(inst.n());
     let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
 
@@ -161,17 +166,13 @@ fn master_task_with_flags(
         // Optional master-side exploitation: relink the two best distinct
         // slave solutions (information neither slave holds alone).
         if cfg.relink {
-            let mut tops: Vec<Solution> = reports
-                .iter()
-                .map(|r| r.best_solution(inst))
-                .collect();
+            let mut tops: Vec<Solution> = reports.iter().map(|r| r.best_solution(inst)).collect();
             tops.sort_by_key(|s| std::cmp::Reverse(s.value()));
             if tops.len() >= 2 && tops[0].bits() != tops[1].bits() {
                 let ratios = mkp::eval::Ratios::new(inst);
                 let mut stats = mkp_tabu::moves::MoveStats::default();
-                let (relinked, _) = mkp_tabu::relink::path_relink(
-                    inst, &ratios, &tops[0], &tops[1], &mut stats,
-                );
+                let (relinked, _) =
+                    mkp_tabu::relink::path_relink(inst, &ratios, &tops[0], &tops[1], &mut stats);
                 total_evals += stats.candidate_evals;
                 if relinked.value() > global_best.value() {
                     global_best = relinked;
@@ -208,13 +209,8 @@ fn master_task_with_flags(
 
             if cooperate {
                 // ISP: own best / culled to global best / random restart.
-                let (next_init, _) = isp_states[k].next_initial(
-                    &cfg.isp,
-                    inst,
-                    &slave_best,
-                    &global_best,
-                    &mut rng,
-                );
+                let (next_init, _) =
+                    isp_states[k].next_initial(&cfg.isp, inst, &slave_best, &global_best, &mut rng);
                 initials[k] = next_init;
             } else {
                 // Independent threads: continue from own best, nothing else.

@@ -153,7 +153,15 @@ mod tests {
 
     #[test]
     fn split_variables_sit_at_the_boundary() {
-        let inst = gk_instance("sv", GkSpec { n: 100, m: 5, tightness: 0.5, seed: 1 });
+        let inst = gk_instance(
+            "sv",
+            GkSpec {
+                n: 100,
+                m: 5,
+                tightness: 0.5,
+                seed: 1,
+            },
+        );
         let ratios = Ratios::new(&inst);
         let split = split_variables(&inst, &ratios, 3);
         assert_eq!(split.len(), 3);
@@ -167,8 +175,20 @@ mod tests {
 
     #[test]
     fn decomposed_mode_is_feasible_and_deterministic() {
-        let inst = gk_instance("dts", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 2 });
-        let cfg = RunConfig { p: 4, rounds: 1, ..RunConfig::new(200_000, 9) };
+        let inst = gk_instance(
+            "dts",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 2,
+            },
+        );
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 1,
+            ..RunConfig::new(200_000, 9)
+        };
         let a = run_decomposed(&inst, &cfg);
         let b = run_decomposed(&inst, &cfg);
         assert!(a.best.is_feasible(&inst));
@@ -182,7 +202,11 @@ mod tests {
         // space (restriction with no fixes is rejected as degenerate-free,
         // d = 0 means empty fix sets are never built).
         let inst = uncorrelated_instance("one", 30, 3, 0.5, 3);
-        let cfg = RunConfig { p: 1, rounds: 1, ..RunConfig::new(100_000, 5) };
+        let cfg = RunConfig {
+            p: 1,
+            rounds: 1,
+            ..RunConfig::new(100_000, 5)
+        };
         let r = run_decomposed(&inst, &cfg);
         assert!(r.best.is_feasible(&inst));
         assert!(r.best.value() > 0);
@@ -209,7 +233,11 @@ mod tests {
                 );
             }
         }
-        let cfg = RunConfig { p: 4, rounds: 1, ..RunConfig::new(400_000, 6) };
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 1,
+            ..RunConfig::new(400_000, 6)
+        };
         let r = run_decomposed(&inst, &cfg);
         assert_eq!(r.best.value(), brute, "decomposition lost the optimum cell");
     }

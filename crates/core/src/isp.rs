@@ -33,7 +33,11 @@ impl Default for IspConfig {
         // MKP mode gaps are sub-percent, so the culling threshold must sit
         // inside the last percent: a slave more than 0.2% behind the global
         // best is pulled onto it (ablation A3 sweeps this).
-        IspConfig { alpha: 0.998, stale_limit: 3, rcl: 4 }
+        IspConfig {
+            alpha: 0.998,
+            stale_limit: 3,
+            rcl: 4,
+        }
     }
 }
 
@@ -119,13 +123,8 @@ mod tests {
         let (inst, _, strong) = setup();
         let mut rng = Xoshiro256::seed_from_u64(1);
         let mut state = IspState::default();
-        let (start, kind) = state.next_initial(
-            &IspConfig::default(),
-            &inst,
-            &strong,
-            &strong,
-            &mut rng,
-        );
+        let (start, kind) =
+            state.next_initial(&IspConfig::default(), &inst, &strong, &strong, &mut rng);
         assert_eq!(kind, StartKind::OwnBest);
         assert_eq!(start.bits(), strong.bits());
     }
@@ -136,13 +135,8 @@ mod tests {
         assert!((weak.value() as f64) < 0.998 * strong.value() as f64);
         let mut rng = Xoshiro256::seed_from_u64(2);
         let mut state = IspState::default();
-        let (start, kind) = state.next_initial(
-            &IspConfig::default(),
-            &inst,
-            &weak,
-            &strong,
-            &mut rng,
-        );
+        let (start, kind) =
+            state.next_initial(&IspConfig::default(), &inst, &weak, &strong, &mut rng);
         assert_eq!(kind, StartKind::GlobalBest);
         assert_eq!(start.bits(), strong.bits());
     }
@@ -150,30 +144,38 @@ mod tests {
     #[test]
     fn alpha_zero_never_culls() {
         let (inst, weak, strong) = setup();
-        let cfg = IspConfig { alpha: 0.0, ..IspConfig::default() };
+        let cfg = IspConfig {
+            alpha: 0.0,
+            ..IspConfig::default()
+        };
         let mut rng = Xoshiro256::seed_from_u64(3);
         let mut state = IspState::default();
-        let (_, kind) =
-            state.next_initial(&cfg, &inst, &weak, &strong, &mut rng);
+        let (_, kind) = state.next_initial(&cfg, &inst, &weak, &strong, &mut rng);
         assert_eq!(kind, StartKind::OwnBest);
     }
 
     #[test]
     fn stagnation_triggers_random_restart() {
         let (inst, _, strong) = setup();
-        let cfg = IspConfig { stale_limit: 3, ..IspConfig::default() };
+        let cfg = IspConfig {
+            stale_limit: 3,
+            ..IspConfig::default()
+        };
         let mut rng = Xoshiro256::seed_from_u64(4);
         let mut state = IspState::default();
         let mut kinds = Vec::new();
         for _ in 0..5 {
-            let (_, kind) =
-                state.next_initial(&cfg, &inst, &strong, &strong, &mut rng);
+            let (_, kind) = state.next_initial(&cfg, &inst, &strong, &strong, &mut rng);
             kinds.push(kind);
         }
         assert_eq!(kinds[0], StartKind::OwnBest);
         assert_eq!(kinds[1], StartKind::OwnBest);
         assert_eq!(kinds[2], StartKind::OwnBest);
-        assert_eq!(kinds[3], StartKind::RandomRestart, "4th identical start restarts");
+        assert_eq!(
+            kinds[3],
+            StartKind::RandomRestart,
+            "4th identical start restarts"
+        );
         // Counter resets after the restart; the restart solution itself may
         // differ from the previous start, so the next round is OwnBest again.
         assert_eq!(kinds[4], StartKind::OwnBest);
@@ -182,12 +184,14 @@ mod tests {
     #[test]
     fn restart_solutions_are_feasible() {
         let (inst, _, strong) = setup();
-        let cfg = IspConfig { stale_limit: 1, ..IspConfig::default() };
+        let cfg = IspConfig {
+            stale_limit: 1,
+            ..IspConfig::default()
+        };
         let mut rng = Xoshiro256::seed_from_u64(5);
         let mut state = IspState::default();
         for _ in 0..10 {
-            let (start, _) =
-                state.next_initial(&cfg, &inst, &strong, &strong, &mut rng);
+            let (start, _) = state.next_initial(&cfg, &inst, &strong, &strong, &mut rng);
             assert!(start.is_feasible(&inst));
         }
     }
@@ -196,7 +200,10 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn invalid_alpha_rejected() {
         let (inst, weak, strong) = setup();
-        let cfg = IspConfig { alpha: 1.5, ..IspConfig::default() };
+        let cfg = IspConfig {
+            alpha: 1.5,
+            ..IspConfig::default()
+        };
         let mut rng = Xoshiro256::seed_from_u64(6);
         IspState::default().next_initial(&cfg, &inst, &weak, &strong, &mut rng);
     }

@@ -58,8 +58,15 @@ impl ProblemMsg {
 
     /// Reconstruct the instance on the slave side.
     pub fn into_instance(self) -> Instance {
-        Instance::new(self.name, self.n, self.m, self.profits, self.weights, self.capacities)
-            .expect("master sent a valid instance")
+        Instance::new(
+            self.name,
+            self.n,
+            self.m,
+            self.profits,
+            self.weights,
+            self.capacities,
+        )
+        .expect("master sent a valid instance")
     }
 }
 
@@ -215,7 +222,9 @@ mod tests {
     fn problem_roundtrip_preserves_instance() {
         let inst = uncorrelated_instance("p", 20, 3, 0.5, 1);
         let msg = ProblemMsg::from_instance(&inst);
-        let back = ProblemMsg::from_bytes(&msg.to_bytes()).unwrap().into_instance();
+        let back = ProblemMsg::from_bytes(&msg.to_bytes())
+            .unwrap()
+            .into_instance();
         assert_eq!(back.n(), inst.n());
         assert_eq!(back.m(), inst.m());
         assert_eq!(back.profits(), inst.profits());
@@ -229,7 +238,11 @@ mod tests {
     fn assign_roundtrip() {
         let msg = AssignMsg {
             initial: BitVec::from_bools([true, false, true, true]),
-            strategy: Strategy { tabu_tenure: 9, nb_drop: 3, nb_local: 44 },
+            strategy: Strategy {
+                tabu_tenure: 9,
+                nb_drop: 3,
+                nb_local: 44,
+            },
             budget_evals: 1234,
             seed: 99,
         };
@@ -256,7 +269,11 @@ mod tests {
     fn corrupt_ones_index_rejected() {
         let msg = AssignMsg {
             initial: BitVec::from_bools([true, false]),
-            strategy: Strategy { tabu_tenure: 1, nb_drop: 1, nb_local: 1 },
+            strategy: Strategy {
+                tabu_tenure: 1,
+                nb_drop: 1,
+                nb_local: 1,
+            },
             budget_evals: 1,
             seed: 0,
         };

@@ -177,7 +177,15 @@ mod tests {
 
     #[test]
     fn all_modes_produce_feasible_solutions() {
-        let inst = gk_instance("m", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 1 });
+        let inst = gk_instance(
+            "m",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 1,
+            },
+        );
         for mode in [
             Mode::Sequential,
             Mode::Independent,
@@ -195,22 +203,34 @@ mod tests {
 
     #[test]
     fn synchronous_modes_are_deterministic() {
-        let inst = gk_instance("d", GkSpec { n: 50, m: 5, tightness: 0.5, seed: 2 });
+        let inst = gk_instance(
+            "d",
+            GkSpec {
+                n: 50,
+                m: 5,
+                tightness: 0.5,
+                seed: 2,
+            },
+        );
         for mode in Mode::table2() {
             let a = run_mode(&inst, mode, &small_cfg(3));
             let b = run_mode(&inst, mode, &small_cfg(3));
-            assert_eq!(
-                a.best.value(),
-                b.best.value(),
-                "{mode:?} nondeterministic"
-            );
+            assert_eq!(a.best.value(), b.best.value(), "{mode:?} nondeterministic");
             assert_eq!(a.round_best, b.round_best);
         }
     }
 
     #[test]
     fn modes_beat_greedy() {
-        let inst = gk_instance("g", GkSpec { n: 80, m: 10, tightness: 0.5, seed: 3 });
+        let inst = gk_instance(
+            "g",
+            GkSpec {
+                n: 80,
+                m: 10,
+                tightness: 0.5,
+                seed: 3,
+            },
+        );
         let ratios = Ratios::new(&inst);
         let g = greedy(&inst, &ratios).value();
         for mode in Mode::table2() {
@@ -225,7 +245,15 @@ mod tests {
 
     #[test]
     fn round_best_is_monotone() {
-        let inst = gk_instance("r", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 4 });
+        let inst = gk_instance(
+            "r",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 4,
+            },
+        );
         let r = run_mode(&inst, Mode::CooperativeAdaptive, &small_cfg(9));
         assert_eq!(r.round_best.len(), 4);
         for w in r.round_best.windows(2) {
@@ -236,7 +264,15 @@ mod tests {
 
     #[test]
     fn budgets_are_comparable_across_modes() {
-        let inst = gk_instance("b", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 5 });
+        let inst = gk_instance(
+            "b",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 5,
+            },
+        );
         let cfg = small_cfg(11);
         for mode in Mode::table2() {
             let r = run_mode(&inst, mode, &cfg);
@@ -273,7 +309,15 @@ mod tests {
 
     #[test]
     fn relinking_never_hurts_and_stays_deterministic() {
-        let inst = gk_instance("pr", GkSpec { n: 70, m: 5, tightness: 0.5, seed: 6 });
+        let inst = gk_instance(
+            "pr",
+            GkSpec {
+                n: 70,
+                m: 5,
+                tightness: 0.5,
+                seed: 6,
+            },
+        );
         let plain = run_mode(&inst, Mode::CooperativeAdaptive, &small_cfg(21));
         let mut cfg = small_cfg(21);
         cfg.relink = true;

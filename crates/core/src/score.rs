@@ -87,6 +87,9 @@ mod tests {
         for _ in 0..5 {
             assert!(!s.update(false));
         }
-        assert!(s.update(false), "6 failures after 2 successes exhaust the score");
+        assert!(
+            s.update(false),
+            "6 failures after 2 successes exhaust the score"
+        );
     }
 }

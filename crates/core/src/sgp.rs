@@ -25,7 +25,10 @@ pub struct SgpConfig {
 
 impl Default for SgpConfig {
     fn default() -> Self {
-        SgpConfig { cluster_below: 0.05, disperse_above: 0.25 }
+        SgpConfig {
+            cluster_below: 0.05,
+            disperse_above: 0.25,
+        }
     }
 }
 
@@ -117,9 +120,20 @@ mod tests {
     fn positive_score_keeps_strategy() {
         let bounds = StrategyBounds::for_instance_size(100);
         let mut rng = Xoshiro256::seed_from_u64(1);
-        let s = Strategy { tabu_tenure: 10, nb_drop: 2, nb_local: 50 };
-        let (next, what) =
-            next_strategy(s, false, 50.0, 100, &SgpConfig::default(), &bounds, &mut rng);
+        let s = Strategy {
+            tabu_tenure: 10,
+            nb_drop: 2,
+            nb_local: 50,
+        };
+        let (next, what) = next_strategy(
+            s,
+            false,
+            50.0,
+            100,
+            &SgpConfig::default(),
+            &bounds,
+            &mut rng,
+        );
         assert_eq!(next, s);
         assert_eq!(what, Adaptation::Keep);
     }
@@ -128,7 +142,11 @@ mod tests {
     fn clustered_elite_diversifies() {
         let bounds = StrategyBounds::for_instance_size(100);
         let mut rng = Xoshiro256::seed_from_u64(2);
-        let s = Strategy { tabu_tenure: 10, nb_drop: 2, nb_local: 50 };
+        let s = Strategy {
+            tabu_tenure: 10,
+            nb_drop: 2,
+            nb_local: 50,
+        };
         let (next, what) =
             next_strategy(s, true, 1.0, 100, &SgpConfig::default(), &bounds, &mut rng);
         assert_eq!(what, Adaptation::Diversified);
@@ -140,7 +158,11 @@ mod tests {
     fn dispersed_elite_intensifies() {
         let bounds = StrategyBounds::for_instance_size(100);
         let mut rng = Xoshiro256::seed_from_u64(3);
-        let s = Strategy { tabu_tenure: 12, nb_drop: 3, nb_local: 50 };
+        let s = Strategy {
+            tabu_tenure: 12,
+            nb_drop: 3,
+            nb_local: 50,
+        };
         let (next, what) =
             next_strategy(s, true, 40.0, 100, &SgpConfig::default(), &bounds, &mut rng);
         assert_eq!(what, Adaptation::Intensified);
@@ -153,7 +175,11 @@ mod tests {
     fn mid_dispersion_randomizes_within_bounds() {
         let bounds = StrategyBounds::for_instance_size(100);
         let mut rng = Xoshiro256::seed_from_u64(4);
-        let s = Strategy { tabu_tenure: 12, nb_drop: 3, nb_local: 50 };
+        let s = Strategy {
+            tabu_tenure: 12,
+            nb_drop: 3,
+            nb_local: 50,
+        };
         let (next, what) =
             next_strategy(s, true, 15.0, 100, &SgpConfig::default(), &bounds, &mut rng);
         assert_eq!(what, Adaptation::Random);

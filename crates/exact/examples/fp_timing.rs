@@ -5,8 +5,14 @@ use mkp_exact::{solve_with_incumbent, BbConfig};
 use std::time::Instant;
 
 fn main() {
-    let scout = BbConfig { node_limit: 2_000_000, ..BbConfig::default() };
-    let prove = BbConfig { node_limit: 100_000_000, ..BbConfig::default() };
+    let scout = BbConfig {
+        node_limit: 2_000_000,
+        ..BbConfig::default()
+    };
+    let prove = BbConfig {
+        node_limit: 100_000_000,
+        ..BbConfig::default()
+    };
     let start = Instant::now();
     let mut unproven = 0;
     for inst in fp_suite() {
@@ -25,5 +31,9 @@ fn main() {
             println!("slow {} {:.1}s nodes={}", inst.name(), dt, r.nodes);
         }
     }
-    println!("total {:.2}s, unproven {}", start.elapsed().as_secs_f64(), unproven);
+    println!(
+        "total {:.2}s, unproven {}",
+        start.elapsed().as_secs_f64(),
+        unproven
+    );
 }

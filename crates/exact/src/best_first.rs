@@ -123,10 +123,17 @@ pub fn solve_best_first(inst: &Instance, cfg: &BbConfig) -> BbResult {
                 best_value = value;
                 best_bits = Some(bits.clone());
             }
-            let bound = value as f64
-                + surrogate.dantzig_suffix(inst, &order[node.k + 1..], s_remaining);
+            let bound =
+                value as f64 + surrogate.dantzig_suffix(inst, &order[node.k + 1..], s_remaining);
             if bound >= best_value as f64 + 1.0 - 1e-6 {
-                open.push(Node { bound, k: node.k + 1, bits, value, loads, s_remaining });
+                open.push(Node {
+                    bound,
+                    k: node.k + 1,
+                    bits,
+                    value,
+                    loads,
+                    s_remaining,
+                });
             }
         }
 
@@ -186,7 +193,12 @@ mod tests {
             let dfs = solve(&inst, &BbConfig::default());
             let bfs = solve_best_first(&inst, &BbConfig::default());
             assert!(dfs.proven && bfs.proven, "{}", inst.name());
-            assert_eq!(dfs.solution.value(), bfs.solution.value(), "{}", inst.name());
+            assert_eq!(
+                dfs.solution.value(),
+                bfs.solution.value(),
+                "{}",
+                inst.name()
+            );
         }
     }
 
@@ -199,7 +211,10 @@ mod tests {
         let trials = 10;
         for seed in 100..100 + trials {
             let inst = uncorrelated_instance("nm", 20, 3, 0.5, seed);
-            let cfg = BbConfig { use_fixing: false, ..BbConfig::default() };
+            let cfg = BbConfig {
+                use_fixing: false,
+                ..BbConfig::default()
+            };
             let dfs = solve(&inst, &cfg);
             let bfs = solve_best_first(&inst, &cfg);
             assert!(dfs.proven && bfs.proven);
@@ -218,7 +233,10 @@ mod tests {
         let inst = fp_instance(38); // PB7-like, non-trivial
         let r = solve_best_first(
             &inst,
-            &BbConfig { node_limit: 10, ..BbConfig::default() },
+            &BbConfig {
+                node_limit: 10,
+                ..BbConfig::default()
+            },
         );
         assert!(r.solution.is_feasible(&inst));
         // Either proven trivially at the root or truncated at the limit.

@@ -55,8 +55,14 @@ impl Surrogate {
     /// (not all zero).
     pub fn new(inst: &Instance, multipliers: Vec<i64>) -> Self {
         assert_eq!(multipliers.len(), inst.m());
-        assert!(multipliers.iter().all(|&u| u >= 0), "multipliers must be ≥ 0");
-        assert!(multipliers.iter().any(|&u| u > 0), "multipliers must not be all zero");
+        assert!(
+            multipliers.iter().all(|&u| u >= 0),
+            "multipliers must be ≥ 0"
+        );
+        assert!(
+            multipliers.iter().any(|&u| u > 0),
+            "multipliers must not be all zero"
+        );
         let weights: Vec<i64> = (0..inst.n())
             .map(|j| {
                 inst.item_weights(j)
@@ -72,7 +78,11 @@ impl Surrogate {
             .zip(&multipliers)
             .map(|(&b, &u)| u * b)
             .sum();
-        Surrogate { weights, capacity, multipliers }
+        Surrogate {
+            weights,
+            capacity,
+            multipliers,
+        }
     }
 
     /// Derive multipliers from LP duals: `μ_i = round(scale · y_i)`, with a
@@ -92,12 +102,7 @@ impl Surrogate {
     /// Dantzig (fractional) bound for the surrogate knapsack restricted to a
     /// subset of free items, given in **descending profit/surrogate-weight
     /// order**, with `capacity` remaining. O(len(order)).
-    pub fn dantzig_suffix(
-        &self,
-        inst: &Instance,
-        order: &[usize],
-        capacity: i64,
-    ) -> f64 {
+    pub fn dantzig_suffix(&self, inst: &Instance, order: &[usize], capacity: i64) -> f64 {
         let mut remaining = capacity;
         if remaining < 0 {
             return f64::NEG_INFINITY; // surrogate already violated
@@ -197,9 +202,8 @@ mod tests {
         let s = Surrogate::new(&inst, vec![3, 2]);
         for mask in 0u32..8 {
             let items: Vec<usize> = (0..3).filter(|&j| (mask >> j) & 1 == 1).collect();
-            let feasible = (0..inst.m()).all(|i| {
-                items.iter().map(|&j| inst.weight(i, j)).sum::<i64>() <= inst.capacity(i)
-            });
+            let feasible = (0..inst.m())
+                .all(|i| items.iter().map(|&j| inst.weight(i, j)).sum::<i64>() <= inst.capacity(i));
             if feasible {
                 let sw: i64 = items.iter().map(|&j| s.weights[j]).sum();
                 assert!(sw <= s.capacity);

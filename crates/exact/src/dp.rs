@@ -57,20 +57,13 @@ pub fn solve_single(inst: &Instance) -> Solution {
 mod tests {
     use super::*;
     use mkp::generate::uncorrelated_instance;
-    use proptest::prelude::*;
+    use mkp::prop_check;
 
     #[test]
     fn hand_example() {
         // Classic: profits 60/100/120, weights 10/20/30, cap 50 → 220.
-        let inst = Instance::new(
-            "k",
-            3,
-            1,
-            vec![60, 100, 120],
-            vec![10, 20, 30],
-            vec![50],
-        )
-        .unwrap();
+        let inst =
+            Instance::new("k", 3, 1, vec![60, 100, 120], vec![10, 20, 30], vec![50]).unwrap();
         let sol = solve_single(&inst);
         assert_eq!(sol.value(), 220);
         assert!(!sol.contains(0) && sol.contains(1) && sol.contains(2));
@@ -97,8 +90,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exactly one constraint")]
     fn rejects_multi_constraint() {
-        let inst =
-            Instance::new("m", 1, 2, vec![1], vec![1, 1], vec![1, 1]).unwrap();
+        let inst = Instance::new("m", 1, 2, vec![1], vec![1, 1], vec![1, 1]).unwrap();
         solve_single(&inst);
     }
 
@@ -125,13 +117,13 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_dp_solution_consistent(seed in any::<u64>()) {
-            let inst = uncorrelated_instance("p", 20, 1, 0.5, seed);
+    #[test]
+    fn prop_dp_solution_consistent() {
+        prop_check!(|rng| rng.next_u64(), |seed| {
+            let inst = uncorrelated_instance("p", 20, 1, 0.5, *seed);
             let sol = solve_single(&inst);
-            prop_assert!(sol.is_feasible(&inst));
-            prop_assert!(sol.check_consistent(&inst));
-        }
+            assert!(sol.is_feasible(&inst));
+            assert!(sol.check_consistent(&inst));
+        });
     }
 }

@@ -36,5 +36,5 @@ pub mod parallel;
 pub mod reduce;
 
 pub use best_first::solve_best_first;
-pub use parallel::solve_parallel;
 pub use branch_bound::{solve, solve_with_incumbent, BbConfig, BbResult};
+pub use parallel::solve_parallel;

@@ -14,8 +14,8 @@ use crate::branch_bound::{BbConfig, BbResult};
 use mkp::eval::Ratios;
 use mkp::greedy::greedy;
 use mkp::{BitVec, Instance, Solution};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Solve exactly with `workers` parallel subtree provers.
 ///
@@ -95,7 +95,9 @@ pub fn solve_parallel(inst: &Instance, cfg: &BbConfig, workers: usize) -> BbResu
         }
     });
 
-    let bits = best_bits.into_inner();
+    let bits = best_bits
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let solution = match bits {
         Some(b) => Solution::from_bits(inst, b),
         None => seed_incumbent,
@@ -136,7 +138,12 @@ impl CellProver<'_> {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    *self.best_bits.lock() = Some(partial.bits().clone());
+                    // The slot is replaced wholesale, never partially
+                    // written, so recovering a poisoned lock is safe.
+                    *self
+                        .best_bits
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(partial.bits().clone());
                     return;
                 }
                 Err(actual) => current = actual,
@@ -208,7 +215,12 @@ mod tests {
             let seq = solve(&inst, &BbConfig::default());
             let par = solve_parallel(&inst, &BbConfig::default(), 4);
             assert!(par.proven, "{}", inst.name());
-            assert_eq!(par.solution.value(), seq.solution.value(), "{}", inst.name());
+            assert_eq!(
+                par.solution.value(),
+                seq.solution.value(),
+                "{}",
+                inst.name()
+            );
         }
     }
 
@@ -228,7 +240,10 @@ mod tests {
         let inst = fp_instance(38);
         let r = solve_parallel(
             &inst,
-            &BbConfig { node_limit: 8, ..BbConfig::default() },
+            &BbConfig {
+                node_limit: 8,
+                ..BbConfig::default()
+            },
             4,
         );
         assert!(r.solution.is_feasible(&inst));

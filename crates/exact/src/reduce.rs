@@ -28,7 +28,9 @@ pub struct Fixing {
 impl Fixing {
     /// No variables fixed.
     pub fn none(n: usize) -> Self {
-        Fixing { fixed: vec![None; n] }
+        Fixing {
+            fixed: vec![None; n],
+        }
     }
 
     /// Number of pegged variables.
@@ -139,7 +141,10 @@ mod tests {
         for j in 0..inst.n() {
             if fixing.fixed[j].is_some() {
                 let xj = lp.x[j];
-                assert!(xj < EPS || xj > 1.0 - EPS, "fractional var {j} pegged");
+                assert!(
+                    !(EPS..=1.0 - EPS).contains(&xj),
+                    "fractional var {j} pegged"
+                );
             }
         }
     }

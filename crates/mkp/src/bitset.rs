@@ -173,7 +173,8 @@ impl Iterator for OnesIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prop_check;
+    use crate::testkit::gen;
 
     #[test]
     fn zeros_is_all_clear() {
@@ -294,41 +295,58 @@ mod tests {
         assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
-    proptest! {
-        #[test]
-        fn prop_from_bools_matches(bools in proptest::collection::vec(any::<bool>(), 0..300)) {
-            let bv = BitVec::from_bools(bools.clone());
-            prop_assert_eq!(bv.len(), bools.len());
+    #[test]
+    fn prop_from_bools_matches() {
+        prop_check!(|rng| gen::vec_of(rng, 0, 300, gen::boolean), |bools| {
+            let bv = BitVec::from_bools(bools.iter().copied());
+            assert_eq!(bv.len(), bools.len());
             for (j, &b) in bools.iter().enumerate() {
-                prop_assert_eq!(bv.get(j), b);
+                assert_eq!(bv.get(j), b);
             }
-            prop_assert_eq!(bv.count_ones(), bools.iter().filter(|&&b| b).count());
-        }
+            assert_eq!(bv.count_ones(), bools.iter().filter(|&&b| b).count());
+        });
+    }
 
-        #[test]
-        fn prop_iter_ones_sorted_and_exact(bools in proptest::collection::vec(any::<bool>(), 0..300)) {
-            let bv = BitVec::from_bools(bools.clone());
+    #[test]
+    fn prop_iter_ones_sorted_and_exact() {
+        prop_check!(|rng| gen::vec_of(rng, 0, 300, gen::boolean), |bools| {
+            let bv = BitVec::from_bools(bools.iter().copied());
             let ones = bv.ones();
-            let expected: Vec<usize> =
-                bools.iter().enumerate().filter(|(_, &b)| b).map(|(j, _)| j).collect();
-            prop_assert_eq!(ones, expected);
-        }
+            let expected: Vec<usize> = bools
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(j, _)| j)
+                .collect();
+            assert_eq!(ones, expected);
+        });
+    }
 
-        #[test]
-        fn prop_hamming_metric_axioms(
-            a in proptest::collection::vec(any::<bool>(), 1..200),
-            flips in proptest::collection::vec(any::<prop::sample::Index>(), 0..20),
-        ) {
-            let x = BitVec::from_bools(a.clone());
-            let mut y = x.clone();
-            for f in &flips {
-                y.toggle(f.index(a.len()));
+    #[test]
+    fn prop_hamming_metric_axioms() {
+        prop_check!(
+            |rng| {
+                let a = gen::vec_of(rng, 1, 200, gen::boolean);
+                let n = a.len();
+                let flips = gen::vec_of(rng, 0, 20, |r| gen::usize_in(r, 0, n));
+                (a, flips)
+            },
+            |input| {
+                let (a, flips) = input;
+                if a.is_empty() {
+                    return; // shrinking may empty `a`; nothing to flip then
+                }
+                let x = BitVec::from_bools(a.iter().copied());
+                let mut y = x.clone();
+                for &f in flips {
+                    y.toggle(f.min(a.len() - 1));
+                }
+                // symmetry and identity
+                assert_eq!(x.hamming(&y), y.hamming(&x));
+                assert_eq!(x.hamming(&x), 0);
+                // distance bounded by number of applied flips
+                assert!(x.hamming(&y) <= flips.len());
             }
-            // symmetry and identity
-            prop_assert_eq!(x.hamming(&y), y.hamming(&x));
-            prop_assert_eq!(x.hamming(&x), 0);
-            // distance bounded by number of applied flips
-            prop_assert!(x.hamming(&y) <= flips.len());
-        }
+        );
     }
 }

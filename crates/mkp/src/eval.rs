@@ -52,7 +52,11 @@ impl Ratios {
             });
             burden.push(if c == 0.0 {
                 // Profitless item carrying weight: infinitely burdensome.
-                if inst.item_weight_sum(j) > 0 { f64::INFINITY } else { 0.0 }
+                if inst.item_weight_sum(j) > 0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
             } else {
                 inst.item_weight_sum(j) as f64 / c
             });
@@ -97,7 +101,11 @@ pub fn drop_score(inst: &Instance, i: usize, j: usize) -> f64 {
     let c = inst.profit(j);
     let a = inst.weight(i, j);
     if c == 0 {
-        if a > 0 { f64::INFINITY } else { 0.0 }
+        if a > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
     } else {
         a as f64 / c as f64
     }

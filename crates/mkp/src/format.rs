@@ -33,9 +33,13 @@ pub enum ParseError {
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::UnexpectedEof { what } => write!(f, "unexpected end of input, expected {what}"),
+            ParseError::UnexpectedEof { what } => {
+                write!(f, "unexpected end of input, expected {what}")
+            }
             ParseError::BadToken { what, token } => write!(f, "cannot parse {what} from {token:?}"),
-            ParseError::TrailingData { token } => write!(f, "trailing data after instance: {token:?}"),
+            ParseError::TrailingData { token } => {
+                write!(f, "trailing data after instance: {token:?}")
+            }
             ParseError::Invalid(e) => write!(f, "invalid instance data: {e}"),
         }
     }
@@ -52,10 +56,7 @@ struct Tokens<'a> {
 
 impl<'a> Tokens<'a> {
     fn next_i64(&mut self, what: &'static str) -> Result<i64, ParseError> {
-        let token = self
-            .iter
-            .next()
-            .ok_or(ParseError::UnexpectedEof { what })?;
+        let token = self.iter.next().ok_or(ParseError::UnexpectedEof { what })?;
         token.parse().map_err(|_| ParseError::BadToken {
             what,
             token: token.to_string(),
@@ -73,7 +74,9 @@ impl<'a> Tokens<'a> {
 
 /// Parse a single instance from text. `name` labels the result.
 pub fn parse_instance(name: &str, text: &str) -> Result<Instance, ParseError> {
-    let mut t = Tokens { iter: text.split_whitespace() };
+    let mut t = Tokens {
+        iter: text.split_whitespace(),
+    };
     let n = t.next_usize("n")?;
     let m = t.next_usize("m")?;
     let optimum = t.next_i64("optimum")?;
@@ -93,10 +96,12 @@ pub fn parse_instance(name: &str, text: &str) -> Result<Instance, ParseError> {
         capacities.push(t.next_i64("capacity")?);
     }
     if let Some(extra) = t.iter.next() {
-        return Err(ParseError::TrailingData { token: extra.to_string() });
+        return Err(ParseError::TrailingData {
+            token: extra.to_string(),
+        });
     }
-    let inst = Instance::new(name, n, m, profits, weights, capacities)
-        .map_err(ParseError::Invalid)?;
+    let inst =
+        Instance::new(name, n, m, profits, weights, capacities).map_err(ParseError::Invalid)?;
     Ok(if optimum > 0 {
         inst.with_best_known(optimum)
     } else {
@@ -108,7 +113,9 @@ pub fn parse_instance(name: &str, text: &str) -> Result<Instance, ParseError> {
 /// count followed by the concatenated instances). Instance `k` is named
 /// `{name}#{k+1}`.
 pub fn parse_instances(name: &str, text: &str) -> Result<Vec<Instance>, ParseError> {
-    let mut t = Tokens { iter: text.split_whitespace() };
+    let mut t = Tokens {
+        iter: text.split_whitespace(),
+    };
     let count = t.next_usize("instance count")?;
     let mut out = Vec::with_capacity(count.min(CAP_HINT));
     for k in 0..count {
@@ -128,12 +135,25 @@ pub fn parse_instances(name: &str, text: &str) -> Result<Vec<Instance>, ParseErr
         for _ in 0..m {
             capacities.push(t.next_i64("capacity")?);
         }
-        let inst = Instance::new(format!("{name}#{}", k + 1), n, m, profits, weights, capacities)
-            .map_err(ParseError::Invalid)?;
-        out.push(if optimum > 0 { inst.with_best_known(optimum) } else { inst });
+        let inst = Instance::new(
+            format!("{name}#{}", k + 1),
+            n,
+            m,
+            profits,
+            weights,
+            capacities,
+        )
+        .map_err(ParseError::Invalid)?;
+        out.push(if optimum > 0 {
+            inst.with_best_known(optimum)
+        } else {
+            inst
+        });
     }
     if let Some(extra) = t.iter.next() {
-        return Err(ParseError::TrailingData { token: extra.to_string() });
+        return Err(ParseError::TrailingData {
+            token: extra.to_string(),
+        });
     }
     Ok(out)
 }
@@ -284,29 +304,33 @@ mod tests {
 
     mod fuzz {
         use super::*;
-        use proptest::prelude::*;
+        use crate::prop_check;
+        use crate::testkit::gen;
 
-        proptest! {
-            /// The parser must never panic, whatever bytes arrive.
-            #[test]
-            fn prop_parser_never_panics(text in ".{0,400}") {
-                let _ = parse_instance("fuzz", &text);
-                let _ = parse_instances("fuzz", &text);
-            }
+        /// The parser must never panic, whatever bytes arrive.
+        #[test]
+        fn prop_parser_never_panics() {
+            prop_check!(|rng| gen::string_any(rng, 400), |text| {
+                let _ = parse_instance("fuzz", text);
+                let _ = parse_instances("fuzz", text);
+            });
+        }
 
-            /// Random token streams of digits are also handled gracefully.
-            #[test]
-            fn prop_numeric_garbage_handled(
-                nums in proptest::collection::vec(-1000i64..1000, 0..60),
-            ) {
-                let text = nums
-                    .iter()
-                    .map(|n| n.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                let _ = parse_instance("fuzz", &text);
-                let _ = parse_instances("fuzz", &text);
-            }
+        /// Random token streams of digits are also handled gracefully.
+        #[test]
+        fn prop_numeric_garbage_handled() {
+            prop_check!(
+                |rng| gen::vec_of(rng, 0, 60, |r| gen::i64_in(r, -1000, 1000)),
+                |nums| {
+                    let text = nums
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let _ = parse_instance("fuzz", &text);
+                    let _ = parse_instances("fuzz", &text);
+                }
+            );
         }
     }
 

@@ -102,7 +102,9 @@ mod tests {
         // coefficient must be clearly positive (vs ~0 for the uncorrelated
         // class).
         let corr = |inst: &Instance| {
-            let xs: Vec<f64> = (0..inst.n()).map(|j| inst.item_weight_sum(j) as f64).collect();
+            let xs: Vec<f64> = (0..inst.n())
+                .map(|j| inst.item_weight_sum(j) as f64)
+                .collect();
             let ys: Vec<f64> = (0..inst.n()).map(|j| inst.profit(j) as f64).collect();
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
             let (mx, my) = (mean(&xs), mean(&ys));

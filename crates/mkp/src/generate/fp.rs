@@ -131,8 +131,15 @@ pub fn fp_instance(k: usize) -> Instance {
         let max_w = *weights[i * n..(i + 1) * n].iter().max().unwrap();
         capacities.push(cap.max(max_w));
     }
-    let inst = Instance::new(format!("FP{:02}_{m}x{n}", k + 1), n, m, profits, weights, capacities)
-        .expect("generator data valid");
+    let inst = Instance::new(
+        format!("FP{:02}_{m}x{n}", k + 1),
+        n,
+        m,
+        profits,
+        weights,
+        capacities,
+    )
+    .expect("generator data valid");
     debug_assert!(validate_generated(&inst).is_ok());
     inst
 }

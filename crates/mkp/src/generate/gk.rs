@@ -26,7 +26,12 @@ pub struct GkSpec {
 
 /// Generate a single GK-style instance.
 pub fn gk_instance(name: impl Into<String>, spec: GkSpec) -> Instance {
-    let GkSpec { n, m, tightness, seed } = spec;
+    let GkSpec {
+        n,
+        m,
+        tightness,
+        seed,
+    } = spec;
     assert!(n >= 2 && m >= 1, "degenerate GK spec");
     assert!(
         (0.05..=0.95).contains(&tightness),
@@ -50,7 +55,8 @@ pub fn gk_instance(name: impl Into<String>, spec: GkSpec) -> Instance {
         let max_w = *weights[i * n..(i + 1) * n].iter().max().unwrap();
         capacities.push(cap.max(max_w));
     }
-    let inst = Instance::new(name, n, m, profits, weights, capacities).expect("generator data valid");
+    let inst =
+        Instance::new(name, n, m, profits, weights, capacities).expect("generator data valid");
     debug_assert!(validate_generated(&inst).is_ok());
     inst
 }
@@ -103,7 +109,12 @@ pub fn mk_suite() -> Vec<Instance> {
         .map(|(k, &(n, m, t))| {
             gk_instance(
                 format!("MK{:02}_{m}x{n}", k + 1),
-                GkSpec { n, m, tightness: t, seed: 0x4D4B_0000 + k as u64 },
+                GkSpec {
+                    n,
+                    m,
+                    tightness: t,
+                    seed: 0x4D4B_0000 + k as u64,
+                },
             )
         })
         .collect()
@@ -117,7 +128,12 @@ mod tests {
     fn gk_instance_is_valid() {
         let inst = gk_instance(
             "t",
-            GkSpec { n: 50, m: 5, tightness: 0.5, seed: 1 },
+            GkSpec {
+                n: 50,
+                m: 5,
+                tightness: 0.5,
+                seed: 1,
+            },
         );
         assert_eq!(inst.n(), 50);
         assert_eq!(inst.m(), 5);
@@ -126,7 +142,12 @@ mod tests {
 
     #[test]
     fn gk_deterministic_in_seed() {
-        let spec = GkSpec { n: 30, m: 3, tightness: 0.5, seed: 7 };
+        let spec = GkSpec {
+            n: 30,
+            m: 3,
+            tightness: 0.5,
+            seed: 7,
+        };
         assert_eq!(gk_instance("a", spec), gk_instance("a", spec));
         let other = GkSpec { seed: 8, ..spec };
         assert_ne!(gk_instance("a", spec), gk_instance("a", other));
@@ -136,7 +157,12 @@ mod tests {
     fn gk_tightness_respected() {
         let inst = gk_instance(
             "t",
-            GkSpec { n: 200, m: 4, tightness: 0.25, seed: 3 },
+            GkSpec {
+                n: 200,
+                m: 4,
+                tightness: 0.25,
+                seed: 3,
+            },
         );
         for t in inst.tightness() {
             assert!((t - 0.25).abs() < 0.01, "tightness {t} far from 0.25");
@@ -149,9 +175,16 @@ mod tests {
         // positive (the construction adds mass/m to a uniform term).
         let inst = gk_instance(
             "c",
-            GkSpec { n: 300, m: 10, tightness: 0.5, seed: 11 },
+            GkSpec {
+                n: 300,
+                m: 10,
+                tightness: 0.5,
+                seed: 11,
+            },
         );
-        let xs: Vec<f64> = (0..inst.n()).map(|j| inst.item_weight_sum(j) as f64).collect();
+        let xs: Vec<f64> = (0..inst.n())
+            .map(|j| inst.item_weight_sum(j) as f64)
+            .collect();
         let ys: Vec<f64> = (0..inst.n()).map(|j| inst.profit(j) as f64).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (mx, my) = (mean(&xs), mean(&ys));
@@ -188,6 +221,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "tightness")]
     fn rejects_absurd_tightness() {
-        gk_instance("x", GkSpec { n: 10, m: 1, tightness: 1.5, seed: 0 });
+        gk_instance(
+            "x",
+            GkSpec {
+                n: 10,
+                m: 1,
+                tightness: 1.5,
+                seed: 0,
+            },
+        );
     }
 }

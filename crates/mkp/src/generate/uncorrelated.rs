@@ -59,7 +59,9 @@ mod tests {
     #[test]
     fn profits_not_correlated_with_mass() {
         let inst = uncorrelated_instance("u", 500, 10, 0.5, 9);
-        let xs: Vec<f64> = (0..inst.n()).map(|j| inst.item_weight_sum(j) as f64).collect();
+        let xs: Vec<f64> = (0..inst.n())
+            .map(|j| inst.item_weight_sum(j) as f64)
+            .collect();
         let ys: Vec<f64> = (0..inst.n()).map(|j| inst.profit(j) as f64).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (mx, my) = (mean(&xs), mean(&ys));

@@ -107,11 +107,7 @@ pub fn dynamic_greedy_fill(inst: &Instance, sol: &mut Solution) {
 /// GRASP-style randomized greedy over the **dynamic** utility: each step
 /// picks uniformly among the `rcl` best fitting items under the current
 /// slack-aware scores.
-pub fn dynamic_randomized_greedy(
-    inst: &Instance,
-    rng: &mut Xoshiro256,
-    rcl: usize,
-) -> Solution {
+pub fn dynamic_randomized_greedy(inst: &Instance, rng: &mut Xoshiro256, rcl: usize) -> Solution {
     assert!(rcl >= 1, "restricted candidate list must be non-empty");
     let mut sol = Solution::empty(inst);
     loop {
@@ -179,7 +175,8 @@ pub fn project_feasible(inst: &Instance, ratios: &Ratios, sol: &mut Solution) ->
 mod tests {
     use super::*;
     use crate::bitset::BitVec;
-    use proptest::prelude::*;
+    use crate::prop_check;
+    use crate::testkit::gen;
 
     fn inst() -> Instance {
         Instance::new(
@@ -341,38 +338,46 @@ mod tests {
         assert_eq!(project_feasible(&i, &r, &mut sol), 0);
     }
 
-    fn arb_instance() -> impl Strategy<Value = Instance> {
-        (2usize..25, 1usize..6).prop_flat_map(|(n, m)| {
-            let profits = proptest::collection::vec(1i64..100, n);
-            let weights = proptest::collection::vec(1i64..50, n * m);
-            let caps = proptest::collection::vec(20i64..300, m);
-            (profits, weights, caps)
-                .prop_map(move |(p, w, c)| Instance::new("prop", n, m, p, w, c).unwrap())
-        })
+    fn arb_instance(rng: &mut Xoshiro256) -> Instance {
+        let n = gen::usize_in(rng, 2, 25);
+        let m = gen::usize_in(rng, 1, 6);
+        let profits: Vec<i64> = (0..n).map(|_| gen::i64_in(rng, 1, 99)).collect();
+        let weights: Vec<i64> = (0..n * m).map(|_| gen::i64_in(rng, 1, 49)).collect();
+        let caps: Vec<i64> = (0..m).map(|_| gen::i64_in(rng, 20, 299)).collect();
+        Instance::new("prop", n, m, profits, weights, caps).unwrap()
     }
 
-    proptest! {
-        #[test]
-        fn prop_greedy_always_feasible(inst in arb_instance(), seed in any::<u64>()) {
-            let r = Ratios::new(&inst);
-            prop_assert!(greedy(&inst, &r).is_feasible(&inst));
-            let mut rng = Xoshiro256::seed_from_u64(seed);
-            prop_assert!(randomized_greedy(&inst, &r, &mut rng, 4).is_feasible(&inst));
-            prop_assert!(random_feasible(&inst, &mut rng).is_feasible(&inst));
-        }
+    #[test]
+    fn prop_greedy_always_feasible() {
+        prop_check!(|rng| (arb_instance(rng), rng.next_u64()), |input| {
+            let (inst, seed) = input;
+            let r = Ratios::new(inst);
+            assert!(greedy(inst, &r).is_feasible(inst));
+            let mut rng = Xoshiro256::seed_from_u64(*seed);
+            assert!(randomized_greedy(inst, &r, &mut rng, 4).is_feasible(inst));
+            assert!(random_feasible(inst, &mut rng).is_feasible(inst));
+        });
+    }
 
-        #[test]
-        fn prop_projection_always_feasible(
-            inst in arb_instance(),
-            bools in proptest::collection::vec(any::<bool>(), 25),
-        ) {
-            let r = Ratios::new(&inst);
-            let bits = BitVec::from_bools(bools.into_iter().take(inst.n())
-                .chain(std::iter::repeat(false)).take(inst.n()));
-            let mut sol = Solution::from_bits(&inst, bits);
-            project_feasible(&inst, &r, &mut sol);
-            prop_assert!(sol.is_feasible(&inst));
-            prop_assert!(sol.check_consistent(&inst));
-        }
+    #[test]
+    fn prop_projection_always_feasible() {
+        prop_check!(
+            |rng| (arb_instance(rng), gen::vec_of(rng, 25, 25, gen::boolean)),
+            |input| {
+                let (inst, bools) = input;
+                let r = Ratios::new(inst);
+                let bits = BitVec::from_bools(
+                    bools
+                        .iter()
+                        .copied()
+                        .chain(std::iter::repeat(false))
+                        .take(inst.n()),
+                );
+                let mut sol = Solution::from_bits(inst, bits);
+                project_feasible(inst, &r, &mut sol);
+                assert!(sol.is_feasible(inst));
+                assert!(sol.check_consistent(inst));
+            }
+        );
     }
 }

@@ -23,7 +23,11 @@ pub enum InstanceError {
     /// `capacities.len()` is not `m`.
     CapacityShape { expected: usize, got: usize },
     /// A profit, weight or capacity is negative.
-    NegativeData { what: &'static str, index: usize, value: i64 },
+    NegativeData {
+        what: &'static str,
+        index: usize,
+        value: i64,
+    },
     /// Item `j` cannot fit in any solution: some `a_ij > b_i`.
     // Not an error in general MKP, but generators should not emit such items;
     // kept as a *warning-level* validation available separately.
@@ -88,27 +92,48 @@ impl Instance {
             return Err(InstanceError::EmptyDimension { n, m });
         }
         if profits.len() != n {
-            return Err(InstanceError::WeightShape { expected: n, got: profits.len() });
+            return Err(InstanceError::WeightShape {
+                expected: n,
+                got: profits.len(),
+            });
         }
         if weights.len() != n * m {
-            return Err(InstanceError::WeightShape { expected: n * m, got: weights.len() });
+            return Err(InstanceError::WeightShape {
+                expected: n * m,
+                got: weights.len(),
+            });
         }
         if capacities.len() != m {
-            return Err(InstanceError::CapacityShape { expected: m, got: capacities.len() });
+            return Err(InstanceError::CapacityShape {
+                expected: m,
+                got: capacities.len(),
+            });
         }
         for (j, &c) in profits.iter().enumerate() {
             if c < 0 {
-                return Err(InstanceError::NegativeData { what: "profit", index: j, value: c });
+                return Err(InstanceError::NegativeData {
+                    what: "profit",
+                    index: j,
+                    value: c,
+                });
             }
         }
         for (k, &a) in weights.iter().enumerate() {
             if a < 0 {
-                return Err(InstanceError::NegativeData { what: "weight", index: k, value: a });
+                return Err(InstanceError::NegativeData {
+                    what: "weight",
+                    index: k,
+                    value: a,
+                });
             }
         }
         for (i, &b) in capacities.iter().enumerate() {
             if b < 0 {
-                return Err(InstanceError::NegativeData { what: "capacity", index: i, value: b });
+                return Err(InstanceError::NegativeData {
+                    what: "capacity",
+                    index: i,
+                    value: b,
+                });
             }
         }
         let mut by_item = vec![0i64; n * m];
@@ -303,28 +328,29 @@ mod tests {
 
     #[test]
     fn rejects_negative_data() {
-        let err =
-            Instance::new("e", 2, 1, vec![1, -2], vec![1, 2], vec![3]).unwrap_err();
-        assert!(matches!(err, InstanceError::NegativeData { what: "profit", .. }));
-        let err =
-            Instance::new("e", 2, 1, vec![1, 2], vec![1, -2], vec![3]).unwrap_err();
-        assert!(matches!(err, InstanceError::NegativeData { what: "weight", .. }));
-        let err =
-            Instance::new("e", 2, 1, vec![1, 2], vec![1, 2], vec![-3]).unwrap_err();
-        assert!(matches!(err, InstanceError::NegativeData { what: "capacity", .. }));
+        let err = Instance::new("e", 2, 1, vec![1, -2], vec![1, 2], vec![3]).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::NegativeData { what: "profit", .. }
+        ));
+        let err = Instance::new("e", 2, 1, vec![1, 2], vec![1, -2], vec![3]).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::NegativeData { what: "weight", .. }
+        ));
+        let err = Instance::new("e", 2, 1, vec![1, 2], vec![1, 2], vec![-3]).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::NegativeData {
+                what: "capacity",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn oversized_item_detection() {
-        let inst = Instance::new(
-            "o",
-            2,
-            1,
-            vec![5, 5],
-            vec![10, 3],
-            vec![4],
-        )
-        .unwrap();
+        let inst = Instance::new("o", 2, 1, vec![5, 5], vec![10, 3], vec![4]).unwrap();
         assert!(inst.item_oversized(0));
         assert!(!inst.item_oversized(1));
     }

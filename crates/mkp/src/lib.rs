@@ -16,7 +16,8 @@
 //! * [`stats`] — instance-class statistics (tightness, correlation, …);
 //! * [`restrict`] — variable-fixing subproblems for search-space decomposition;
 //! * [`mod@format`] — OR-Library-compatible text I/O;
-//! * [`rng::Xoshiro256`] — deterministic, forkable PRNG.
+//! * [`rng::Xoshiro256`] — deterministic, forkable PRNG;
+//! * [`testkit`] — in-tree property-testing harness ([`prop_check!`]).
 //!
 //! ```
 //! use mkp::generate::{gk_instance, GkSpec};
@@ -42,6 +43,7 @@ pub mod restrict;
 pub mod rng;
 pub mod solution;
 pub mod stats;
+pub mod testkit;
 
 pub use bitset::BitVec;
 pub use instance::{Instance, InstanceError};

@@ -142,7 +142,11 @@ impl Restriction {
     /// Lift a subproblem solution back to the parent's variable space.
     /// The result packs the forced-in items plus the lifted free items.
     pub fn lift(&self, parent: &Instance, sub_sol: &Solution) -> Solution {
-        assert_eq!(sub_sol.bits().len(), self.sub.n(), "solution not from this subproblem");
+        assert_eq!(
+            sub_sol.bits().len(),
+            self.sub.n(),
+            "solution not from this subproblem"
+        );
         assert_eq!(parent.n(), self.parent_n, "lift against a different parent");
         let mut bits = BitVec::zeros(self.parent_n);
         for &j in &self.forced_in {
@@ -210,7 +214,10 @@ mod tests {
         // Items 0 and 3 together load constraint 0 with 9 ≤ 9 but let's
         // force three heavy items: 0 + 1 + 3 → 12 > 9.
         let err = Restriction::new(&p, &[0, 1, 3], &[]).unwrap_err();
-        assert!(matches!(err, RestrictError::ForcedInfeasible { constraint: 0 }));
+        assert!(matches!(
+            err,
+            RestrictError::ForcedInfeasible { constraint: 0 }
+        ));
     }
 
     #[test]
@@ -277,10 +284,18 @@ mod tests {
         let split = [0usize, 1];
         let mut best_cell = -1i64;
         for pattern in 0u8..4 {
-            let f_in: Vec<usize> =
-                split.iter().enumerate().filter(|(b, _)| (pattern >> b) & 1 == 1).map(|(_, &j)| j).collect();
-            let f_out: Vec<usize> =
-                split.iter().enumerate().filter(|(b, _)| (pattern >> b) & 1 == 0).map(|(_, &j)| j).collect();
+            let f_in: Vec<usize> = split
+                .iter()
+                .enumerate()
+                .filter(|(b, _)| (pattern >> b) & 1 == 1)
+                .map(|(_, &j)| j)
+                .collect();
+            let f_out: Vec<usize> = split
+                .iter()
+                .enumerate()
+                .filter(|(b, _)| (pattern >> b) & 1 == 0)
+                .map(|(_, &j)| j)
+                .collect();
             best_cell = best_cell.max(brute(&f_in, &f_out));
             // And the Restriction-based cell optimum must agree where the
             // cell is feasible.
@@ -311,43 +326,51 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::prop_check;
+        use crate::testkit::gen;
 
-        proptest! {
-            /// Any valid restriction lifts greedy sub-solutions to feasible
-            /// parent solutions with the exact profit offset.
-            #[test]
-            fn prop_lift_is_feasible_and_offset_exact(
-                seed in any::<u64>(),
-                fix_in in proptest::collection::vec(0usize..25, 0..3),
-                fix_out in proptest::collection::vec(0usize..25, 0..3),
-            ) {
-                let parent = uncorrelated_instance("prop", 25, 3, 0.5, seed);
-                // Deduplicate and disjoin the fix sets.
-                let mut f_in: Vec<usize> = fix_in;
-                f_in.sort_unstable();
-                f_in.dedup();
-                let mut f_out: Vec<usize> = fix_out
-                    .into_iter()
-                    .filter(|j| !f_in.contains(j))
-                    .collect();
-                f_out.sort_unstable();
-                f_out.dedup();
-                if let Ok(r) = Restriction::new(&parent, &f_in, &f_out) {
-                    let ratios = Ratios::new(r.instance());
-                    let sub = greedy(r.instance(), &ratios);
-                    let lifted = r.lift(&parent, &sub);
-                    prop_assert!(lifted.is_feasible(&parent));
-                    prop_assert!(lifted.check_consistent(&parent));
-                    prop_assert_eq!(lifted.value(), sub.value() + r.offset());
-                    for &j in &f_in {
-                        prop_assert!(lifted.contains(j));
-                    }
-                    for &j in &f_out {
-                        prop_assert!(!lifted.contains(j));
+        /// Any valid restriction lifts greedy sub-solutions to feasible
+        /// parent solutions with the exact profit offset.
+        #[test]
+        fn prop_lift_is_feasible_and_offset_exact() {
+            prop_check!(
+                |rng| {
+                    (
+                        rng.next_u64(),
+                        gen::vec_of(rng, 0, 2, |r| gen::usize_in(r, 0, 25)),
+                        gen::vec_of(rng, 0, 2, |r| gen::usize_in(r, 0, 25)),
+                    )
+                },
+                |input| {
+                    let (seed, fix_in, fix_out) = input;
+                    let parent = uncorrelated_instance("prop", 25, 3, 0.5, *seed);
+                    // Deduplicate and disjoin the fix sets.
+                    let mut f_in: Vec<usize> = fix_in.iter().copied().filter(|&j| j < 25).collect();
+                    f_in.sort_unstable();
+                    f_in.dedup();
+                    let mut f_out: Vec<usize> = fix_out
+                        .iter()
+                        .copied()
+                        .filter(|j| *j < 25 && !f_in.contains(j))
+                        .collect();
+                    f_out.sort_unstable();
+                    f_out.dedup();
+                    if let Ok(r) = Restriction::new(&parent, &f_in, &f_out) {
+                        let ratios = Ratios::new(r.instance());
+                        let sub = greedy(r.instance(), &ratios);
+                        let lifted = r.lift(&parent, &sub);
+                        assert!(lifted.is_feasible(&parent));
+                        assert!(lifted.check_consistent(&parent));
+                        assert_eq!(lifted.value(), sub.value() + r.offset());
+                        for &j in &f_in {
+                            assert!(lifted.contains(j));
+                        }
+                        for &j in &f_out {
+                            assert!(!lifted.contains(j));
+                        }
                     }
                 }
-            }
+            );
         }
     }
 }

@@ -182,7 +182,9 @@ impl Solution {
 mod tests {
     use super::*;
     use crate::instance::Instance;
-    use proptest::prelude::*;
+    use crate::prop_check;
+    use crate::testkit::gen;
+    use crate::Xoshiro256;
 
     fn tiny() -> Instance {
         Instance::new(
@@ -301,65 +303,75 @@ mod tests {
         assert_eq!(a.hamming(&b), 1);
     }
 
-    /// Strategy producing a small random instance plus a random move script.
-    fn arb_instance_and_moves() -> impl Strategy<Value = (Instance, Vec<usize>)> {
-        (2usize..20, 1usize..6).prop_flat_map(|(n, m)| {
-            let profits = proptest::collection::vec(0i64..100, n);
-            let weights = proptest::collection::vec(0i64..50, n * m);
-            let caps = proptest::collection::vec(10i64..200, m);
-            let moves = proptest::collection::vec(0usize..n, 0..40);
-            (profits, weights, caps, moves).prop_map(move |(p, w, c, mv)| {
-                (Instance::new("prop", n, m, p, w, c).unwrap(), mv)
-            })
-        })
+    /// Generator producing a small random instance plus a random move
+    /// script (indices < n, so the script survives instance atomicity
+    /// under shrinking by simply skipping out-of-range entries).
+    fn arb_instance_and_moves(rng: &mut Xoshiro256) -> (Instance, Vec<usize>) {
+        let n = gen::usize_in(rng, 2, 20);
+        let m = gen::usize_in(rng, 1, 6);
+        let profits: Vec<i64> = (0..n).map(|_| gen::i64_in(rng, 0, 99)).collect();
+        let weights: Vec<i64> = (0..n * m).map(|_| gen::i64_in(rng, 0, 49)).collect();
+        let caps: Vec<i64> = (0..m).map(|_| gen::i64_in(rng, 10, 199)).collect();
+        let moves = gen::vec_of(rng, 0, 40, |r| gen::usize_in(r, 0, n));
+        (
+            Instance::new("prop", n, m, profits, weights, caps).unwrap(),
+            moves,
+        )
     }
 
-    proptest! {
-        /// Core invariant: any sequence of toggles keeps the incremental
-        /// caches equal to a from-scratch recomputation.
-        #[test]
-        fn prop_incremental_equals_scratch((inst, moves) in arb_instance_and_moves()) {
-            let mut sol = Solution::empty(&inst);
-            for j in moves {
+    /// Core invariant: any sequence of toggles keeps the incremental
+    /// caches equal to a from-scratch recomputation.
+    #[test]
+    fn prop_incremental_equals_scratch() {
+        prop_check!(|rng| arb_instance_and_moves(rng), |input| {
+            let (inst, moves) = input;
+            let mut sol = Solution::empty(inst);
+            for &j in moves.iter().filter(|&&j| j < inst.n()) {
                 if sol.contains(j) {
-                    sol.drop(&inst, j);
+                    sol.drop(inst, j);
                 } else {
-                    sol.add(&inst, j);
+                    sol.add(inst, j);
                 }
-                prop_assert!(sol.check_consistent(&inst));
+                assert!(sol.check_consistent(inst));
             }
-        }
+        });
+    }
 
-        /// `fits` is exactly "add would remain feasible" for feasible states.
-        #[test]
-        fn prop_fits_predicts_feasibility((inst, moves) in arb_instance_and_moves()) {
-            let mut sol = Solution::empty(&inst);
-            for j in moves {
+    /// `fits` is exactly "add would remain feasible" for feasible states.
+    #[test]
+    fn prop_fits_predicts_feasibility() {
+        prop_check!(|rng| arb_instance_and_moves(rng), |input| {
+            let (inst, moves) = input;
+            let mut sol = Solution::empty(inst);
+            for &j in moves.iter().filter(|&&j| j < inst.n()) {
                 if sol.contains(j) {
-                    sol.drop(&inst, j);
+                    sol.drop(inst, j);
                     continue;
                 }
-                if !sol.is_feasible(&inst) {
+                if !sol.is_feasible(inst) {
                     continue;
                 }
-                let fits = sol.fits(&inst, j);
-                sol.add(&inst, j);
-                prop_assert_eq!(fits, sol.is_feasible(&inst));
+                let fits = sol.fits(inst, j);
+                sol.add(inst, j);
+                assert_eq!(fits, sol.is_feasible(inst));
             }
-        }
+        });
+    }
 
-        /// Overload is zero iff feasible.
-        #[test]
-        fn prop_overload_zero_iff_feasible((inst, moves) in arb_instance_and_moves()) {
-            let mut sol = Solution::empty(&inst);
-            for j in moves {
+    /// Overload is zero iff feasible.
+    #[test]
+    fn prop_overload_zero_iff_feasible() {
+        prop_check!(|rng| arb_instance_and_moves(rng), |input| {
+            let (inst, moves) = input;
+            let mut sol = Solution::empty(inst);
+            for &j in moves.iter().filter(|&&j| j < inst.n()) {
                 if sol.contains(j) {
-                    sol.drop(&inst, j);
+                    sol.drop(inst, j);
                 } else {
-                    sol.add(&inst, j);
+                    sol.add(inst, j);
                 }
-                prop_assert_eq!(sol.total_overload(&inst) == 0, sol.is_feasible(&inst));
+                assert_eq!(sol.total_overload(inst) == 0, sol.is_feasible(inst));
             }
-        }
+        });
     }
 }

@@ -45,7 +45,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// Profit–weight-mass correlation of an instance.
 pub fn profit_weight_correlation(inst: &Instance) -> f64 {
-    let xs: Vec<f64> = (0..inst.n()).map(|j| inst.item_weight_sum(j) as f64).collect();
+    let xs: Vec<f64> = (0..inst.n())
+        .map(|j| inst.item_weight_sum(j) as f64)
+        .collect();
     let ys: Vec<f64> = (0..inst.n()).map(|j| inst.profit(j) as f64).collect();
     pearson(&xs, &ys)
 }
@@ -56,11 +58,20 @@ pub fn instance_stats(inst: &Instance) -> InstanceStats {
     let mean_tightness = tightness.iter().sum::<f64>() / tightness.len() as f64;
 
     let weights: Vec<f64> = (0..inst.m())
-        .flat_map(|i| inst.constraint_row(i).iter().map(|&w| w as f64).collect::<Vec<_>>())
+        .flat_map(|i| {
+            inst.constraint_row(i)
+                .iter()
+                .map(|&w| w as f64)
+                .collect::<Vec<_>>()
+        })
         .collect();
     let wmean = weights.iter().sum::<f64>() / weights.len() as f64;
     let wvar = weights.iter().map(|w| (w - wmean).powi(2)).sum::<f64>() / weights.len() as f64;
-    let weight_cv = if wmean > 0.0 { wvar.sqrt() / wmean } else { 0.0 };
+    let weight_cv = if wmean > 0.0 {
+        wvar.sqrt() / wmean
+    } else {
+        0.0
+    };
 
     InstanceStats {
         n: inst.n(),
@@ -108,7 +119,15 @@ mod tests {
 
     #[test]
     fn stats_reflect_generator_class() {
-        let gk = gk_instance("g", GkSpec { n: 200, m: 10, tightness: 0.5, seed: 1 });
+        let gk = gk_instance(
+            "g",
+            GkSpec {
+                n: 200,
+                m: 10,
+                tightness: 0.5,
+                seed: 1,
+            },
+        );
         let s = instance_stats(&gk);
         assert_eq!(s.n, 200);
         assert_eq!(s.m, 10);
@@ -117,7 +136,10 @@ mod tests {
 
         let un = uncorrelated_instance("u", 200, 10, 0.5, 1);
         let su = instance_stats(&un);
-        assert!(su.profit_weight_correlation.abs() < 0.2, "uncorrelated class");
+        assert!(
+            su.profit_weight_correlation.abs() < 0.2,
+            "uncorrelated class"
+        );
 
         let cb = chu_beasley_instance("c", 200, 10, 0.25, 1);
         let sc = instance_stats(&cb);
@@ -127,8 +149,24 @@ mod tests {
 
     #[test]
     fn expected_cardinality_tracks_tightness() {
-        let tight = gk_instance("t", GkSpec { n: 100, m: 5, tightness: 0.25, seed: 2 });
-        let loose = gk_instance("l", GkSpec { n: 100, m: 5, tightness: 0.75, seed: 2 });
+        let tight = gk_instance(
+            "t",
+            GkSpec {
+                n: 100,
+                m: 5,
+                tightness: 0.25,
+                seed: 2,
+            },
+        );
+        let loose = gk_instance(
+            "l",
+            GkSpec {
+                n: 100,
+                m: 5,
+                tightness: 0.75,
+                seed: 2,
+            },
+        );
         assert!(
             instance_stats(&tight).expected_cardinality
                 < instance_stats(&loose).expected_cardinality

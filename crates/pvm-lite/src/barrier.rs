@@ -5,9 +5,17 @@
 //! slave must wait until all other slaves terminate their search"). A
 //! sense-reversing barrier gives that rendezvous without re-allocating per
 //! round.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only (the workspace carries no
+//! registry dependencies). The standard mutex poisons when a participant
+//! panics while holding it; the barrier's critical section only updates a
+//! counter and a sense bit, which are never observable half-written, so
+//! every lock recovers from poisoning explicitly via
+//! [`std::sync::PoisonError::into_inner`]. A participant that panics
+//! *between* waits simply never arrives, which the farm surfaces as a task
+//! panic rather than a deadlock at this level.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 struct State {
     waiting: usize,
@@ -28,7 +36,13 @@ impl Barrier {
         assert!(parties >= 1, "barrier needs at least one party");
         Barrier {
             parties,
-            state: Arc::new((Mutex::new(State { waiting: 0, sense: false }), Condvar::new())),
+            state: Arc::new((
+                Mutex::new(State {
+                    waiting: 0,
+                    sense: false,
+                }),
+                Condvar::new(),
+            )),
         }
     }
 
@@ -41,7 +55,7 @@ impl Barrier {
     /// participant per round (the "leader", last to arrive).
     pub fn wait(&self) -> bool {
         let (lock, cvar) = &*self.state;
-        let mut st = lock.lock();
+        let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
         let my_sense = st.sense;
         st.waiting += 1;
         if st.waiting == self.parties {
@@ -52,7 +66,7 @@ impl Barrier {
             true
         } else {
             while st.sense == my_sense {
-                cvar.wait(&mut st);
+                st = cvar.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             false
         }
@@ -77,17 +91,16 @@ mod tests {
     fn releases_all_parties() {
         let b = Barrier::new(4);
         let counter = Arc::new(AtomicUsize::new(0));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
                 let b = b.clone();
                 let counter = counter.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     b.wait();
                     counter.fetch_add(1, Ordering::SeqCst);
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(counter.load(Ordering::SeqCst), 4);
     }
 
@@ -96,18 +109,17 @@ mod tests {
         let b = Barrier::new(3);
         for _ in 0..5 {
             let leaders = Arc::new(AtomicUsize::new(0));
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for _ in 0..3 {
                     let b = b.clone();
                     let leaders = leaders.clone();
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         if b.wait() {
                             leaders.fetch_add(1, Ordering::SeqCst);
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
             assert_eq!(leaders.load(Ordering::SeqCst), 1);
         }
     }
@@ -120,11 +132,11 @@ mod tests {
         let b = Barrier::new(3);
         let rounds = 50;
         let total = Arc::new(AtomicUsize::new(0));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..3usize {
                 let b = b.clone();
                 let total = total.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for r in 0..rounds {
                         if t == r % 3 {
                             std::thread::sleep(Duration::from_micros(50));
@@ -134,9 +146,33 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(total.load(Ordering::SeqCst), 3 * rounds);
+    }
+
+    #[test]
+    fn survives_a_panicked_nonparticipant() {
+        // A thread that panics while holding an unrelated clone poisons
+        // nothing observable: later rounds still complete.
+        let b = Barrier::new(2);
+        let poisoner = b.clone();
+        let h = std::thread::spawn(move || {
+            let _keep = poisoner; // held across the panic
+            panic!("injected panic");
+        });
+        assert!(h.join().is_err());
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let b = b.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    b.wait();
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
     }
 
     #[test]

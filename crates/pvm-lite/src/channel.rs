@@ -1,0 +1,468 @@
+//! In-tree MPMC channel on `std::sync::{Mutex, Condvar}`.
+//!
+//! The farm's mailboxes need exactly four things — `send`, blocking `recv`,
+//! `recv_timeout`, and disconnect detection — and the paper's PVM3 model
+//! (Niar & Fréville §4) needs nothing more than reliable, ordered,
+//! unbounded message passing between tasks. This module provides that on
+//! the standard library alone, so the whole workspace builds with zero
+//! registry dependencies and the channel layer stays ours to instrument.
+//!
+//! Semantics match the crossbeam API the farm previously used:
+//!
+//! * unbounded FIFO queue, multiple producers *and* multiple consumers
+//!   (every handle is `Clone`);
+//! * `send` fails with [`SendError`] once every receiver is gone;
+//! * `recv`/`recv_timeout` fail with a disconnect error once every sender
+//!   is gone *and* the queue has drained (messages in flight are never
+//!   lost);
+//! * dropping the last handle on either side wakes all blocked peers.
+//!
+//! # Poisoning
+//!
+//! The standard mutex poisons when a thread panics while holding it. The
+//! channel's critical sections only push/pop complete items onto a
+//! `VecDeque` and adjust handle counts, so the protected state can never
+//! be observed half-updated; every lock therefore recovers from poisoning
+//! explicitly via [`std::sync::PoisonError::into_inner`] instead of
+//! propagating an unrelated thread's panic.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver has been
+/// dropped. The unsent message is handed back to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a channel with no receivers")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`]: every sender is gone and the
+/// queue is empty, so no message can ever arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Every sender is gone and the queue is empty.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty (senders may still produce).
+    Empty,
+    /// Every sender is gone and the queue is empty.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel is empty"),
+            TryRecvError::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on every push and on last-sender disconnect.
+    not_empty: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Lock the state, recovering from poisoning (see module docs).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of an unbounded channel. Clone freely; the channel
+/// disconnects for receivers once *all* clones are dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an unbounded channel. Clone freely; sends fail
+/// once *all* clones are dropped.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded MPMC FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message. Never blocks (the queue is unbounded); fails
+    /// only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.senders -= 1;
+        let disconnected = st.senders == 0;
+        drop(st);
+        if disconnected {
+            // Wake every blocked receiver so it can observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives. Fails once every sender is gone and
+    /// the queue has drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _result) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            // Timeouts and spurious wakeups are indistinguishable here;
+            // the loop re-checks the queue and the deadline either way.
+            st = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        match st.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of messages currently queued (racy the instant it returns;
+    /// intended for diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when no message is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().receivers -= 1;
+        // Senders discover the disconnect on their next `send`; nothing
+        // blocks on the sending side, so no wakeup is needed.
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for k in 0..100 {
+            tx.send(k).unwrap();
+        }
+        for k in 0..100 {
+            assert_eq!(rx.recv().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn try_recv_empty_then_value() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = unbounded::<i32>();
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(30), "returned early");
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_delivers_late_message() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        // Queued messages survive the disconnect...
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        // ...then the disconnect surfaces.
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        let h = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors_and_returns_message() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn clone_keeps_channel_alive() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap(); // one sender clone still alive
+        assert_eq!(rx.recv(), Ok(5));
+        let rx2 = rx.clone();
+        drop(rx);
+        tx2.send(6).unwrap(); // one receiver clone still alive
+        assert_eq!(rx2.recv(), Ok(6));
+    }
+
+    #[test]
+    fn multi_producer_stress_no_loss_no_dup() {
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: usize = 2_000;
+        let (tx, rx) = unbounded();
+        thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for k in 0..PER_PRODUCER {
+                        tx.send(p * PER_PRODUCER + k).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut seen = vec![false; PRODUCERS * PER_PRODUCER];
+            while let Ok(v) = rx.recv() {
+                assert!(!seen[v], "duplicate delivery of {v}");
+                seen[v] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "lost messages");
+        });
+    }
+
+    #[test]
+    fn multi_consumer_stress_partitions_stream() {
+        const CONSUMERS: usize = 4;
+        const TOTAL: usize = 8_000;
+        let (tx, rx) = unbounded();
+        let received = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..CONSUMERS {
+                let rx = rx.clone();
+                let received = &received;
+                s.spawn(move || {
+                    while rx.recv().is_ok() {
+                        received.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            drop(rx);
+            for k in 0..TOTAL {
+                tx.send(k).unwrap();
+            }
+            drop(tx);
+        });
+        assert_eq!(received.load(Ordering::Relaxed), TOTAL);
+    }
+
+    #[test]
+    fn per_sender_order_is_preserved() {
+        let (tx, rx) = unbounded();
+        thread::scope(|s| {
+            for p in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for k in 0..500u64 {
+                        tx.send((p, k)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut last = [None::<u64>; 4];
+            while let Ok((p, k)) = rx.recv() {
+                let slot = &mut last[p as usize];
+                assert!(slot.is_none_or(|prev| prev < k), "sender {p} reordered");
+                *slot = Some(k);
+            }
+            for (p, slot) in last.iter().enumerate() {
+                assert_eq!(*slot, Some(499), "sender {p} incomplete");
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_sender_poisons_nothing_observable() {
+        // A thread that panics while the lock is held must not wedge the
+        // channel for everyone else (poisoning is recovered internally).
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let h = thread::spawn(move || {
+            tx2.send(1).unwrap();
+            panic!("injected panic after send");
+        });
+        assert!(h.join().is_err());
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+}

@@ -141,7 +141,10 @@ impl<'a> UnpackBuffer<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof { wanted: n, available: self.remaining() });
+            return Err(CodecError::UnexpectedEof {
+                wanted: n,
+                available: self.remaining(),
+            });
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -155,12 +158,16 @@ impl<'a> UnpackBuffer<'a> {
 
     /// Read a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read an `i64`.
     pub fn get_i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read an `f64`.
@@ -236,7 +243,8 @@ pub trait Wire: Sized {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mkp::prop_check;
+    use mkp::testkit::gen;
 
     #[test]
     fn scalar_roundtrips() {
@@ -283,7 +291,10 @@ mod tests {
         p.put_u64(u64::MAX); // absurd length prefix
         let bytes = p.into_bytes();
         let mut u = UnpackBuffer::new(&bytes);
-        assert!(matches!(u.get_bytes(), Err(CodecError::LengthOverflow { .. })));
+        assert!(matches!(
+            u.get_bytes(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -294,7 +305,10 @@ mod tests {
         p.put_u8(2);
         let bytes = p.into_bytes();
         let mut u = UnpackBuffer::new(&bytes);
-        assert!(matches!(u.get_bytes(), Err(CodecError::LengthOverflow { .. })));
+        assert!(matches!(
+            u.get_bytes(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -343,32 +357,58 @@ mod tests {
 
     #[test]
     fn wire_trait_roundtrip() {
-        let msg = Demo { id: 9, values: vec![5, -5], label: "x".into() };
+        let msg = Demo {
+            id: 9,
+            values: vec![5, -5],
+            label: "x".into(),
+        };
         let bytes = msg.to_bytes();
         assert_eq!(Demo::from_bytes(&bytes).unwrap(), msg);
     }
 
-    proptest! {
-        #[test]
-        fn prop_wire_roundtrip(
-            id in any::<u64>(),
-            values in proptest::collection::vec(any::<i64>(), 0..50),
-            label in ".{0,40}",
-        ) {
-            let msg = Demo { id, values, label };
-            prop_assert_eq!(Demo::from_bytes(&msg.to_bytes()).unwrap(), msg);
-        }
+    #[test]
+    fn prop_wire_roundtrip() {
+        prop_check!(
+            |rng| {
+                (
+                    rng.next_u64(),
+                    gen::vec_of(rng, 0, 50, |r| r.next_u64() as i64),
+                    gen::string_any(rng, 40),
+                )
+            },
+            |input| {
+                let (id, values, label) = input;
+                let msg = Demo {
+                    id: *id,
+                    values: values.clone(),
+                    label: label.clone(),
+                };
+                assert_eq!(Demo::from_bytes(&msg.to_bytes()).unwrap(), msg);
+            }
+        );
+    }
 
-        #[test]
-        fn prop_truncation_never_panics(
-            values in proptest::collection::vec(any::<i64>(), 0..20),
-            cut in any::<prop::sample::Index>(),
-        ) {
-            let msg = Demo { id: 1, values, label: "t".into() };
-            let bytes = msg.to_bytes();
-            let cut = cut.index(bytes.len().max(1));
-            // Decoding a truncated message must error, not panic.
-            let _ = Demo::from_bytes(&bytes[..cut]);
-        }
+    #[test]
+    fn prop_truncation_never_panics() {
+        prop_check!(
+            |rng| {
+                (
+                    gen::vec_of(rng, 0, 20, |r| r.next_u64() as i64),
+                    rng.next_u64(),
+                )
+            },
+            |input| {
+                let (values, cut_raw) = input;
+                let msg = Demo {
+                    id: 1,
+                    values: values.clone(),
+                    label: "t".into(),
+                };
+                let bytes = msg.to_bytes();
+                let cut = (*cut_raw as usize) % bytes.len().max(1);
+                // Decoding a truncated message must error, not panic.
+                let _ = Demo::from_bytes(&bytes[..cut]);
+            }
+        );
     }
 }

@@ -30,7 +30,10 @@ impl std::fmt::Display for CollectiveError {
         match self {
             CollectiveError::Comm(e) => write!(f, "transport failure: {e}"),
             CollectiveError::UnexpectedTag { got, expected } => {
-                write!(f, "unexpected tag {got} during collective (expected {expected})")
+                write!(
+                    f,
+                    "unexpected tag {got} during collective (expected {expected})"
+                )
             }
             CollectiveError::DuplicateSender { from } => {
                 write!(f, "task {from} contributed twice")
@@ -70,7 +73,10 @@ pub trait Collectives {
     ) -> Result<Vec<T>, CollectiveError> {
         self.gather(tag, from, timeout)?
             .iter()
-            .map(|env| env.decode::<T>().map_err(|_| CollectiveError::Comm(CommError::Disconnected)))
+            .map(|env| {
+                env.decode::<T>()
+                    .map_err(|_| CollectiveError::Comm(CommError::Disconnected))
+            })
             .collect()
     }
 }
@@ -96,7 +102,10 @@ impl Collectives for TaskCtx {
         for _ in 0..from.len() {
             let env = self.recv_timeout(timeout)?;
             if env.tag != tag {
-                return Err(CollectiveError::UnexpectedTag { got: env.tag, expected: tag });
+                return Err(CollectiveError::UnexpectedTag {
+                    got: env.tag,
+                    expected: tag,
+                });
             }
             let slot = from
                 .iter()
@@ -107,7 +116,10 @@ impl Collectives for TaskCtx {
             }
             slots[slot] = Some(env);
         }
-        Ok(slots.into_iter().map(|s| s.expect("all slots filled")).collect())
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
     }
 }
 
@@ -167,7 +179,10 @@ mod tests {
             if ctx.tid() == 0 {
                 matches!(
                     ctx.gather(7, &[1], T),
-                    Err(CollectiveError::UnexpectedTag { got: 9, expected: 7 })
+                    Err(CollectiveError::UnexpectedTag {
+                        got: 9,
+                        expected: 7
+                    })
                 )
             } else {
                 ctx.send(0, 9, &Num(1)).unwrap();
@@ -203,7 +218,9 @@ mod tests {
             if ctx.tid() == 0 {
                 matches!(
                     ctx.gather(7, &[1], Duration::from_millis(50)),
-                    Err(CollectiveError::Comm(CommError::Timeout | CommError::Disconnected))
+                    Err(CollectiveError::Comm(
+                        CommError::Timeout | CommError::Disconnected
+                    ))
                 )
             } else {
                 true

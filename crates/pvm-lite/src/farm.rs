@@ -7,8 +7,8 @@
 //! are the slaves — the library itself imposes no roles.
 
 use crate::barrier::Barrier;
+use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::codec::{CodecError, Wire};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::time::Duration;
 
@@ -100,7 +100,11 @@ impl TaskCtx {
     pub fn send_bytes(&self, to: TaskId, tag: u32, data: Vec<u8>) -> Result<(), CommError> {
         assert!(to < self.senders.len(), "task id {to} out of range");
         self.senders[to]
-            .send(Envelope { from: self.tid, tag, data })
+            .send(Envelope {
+                from: self.tid,
+                tag,
+                data,
+            })
             .map_err(|_| CommError::PeerGone { to })
     }
 

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod channel;
 pub mod codec;
 pub mod collectives;
 pub mod farm;

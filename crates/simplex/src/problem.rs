@@ -70,12 +70,7 @@ pub struct LpSolution {
 impl LpProblem {
     /// Validate and build a problem. `a` is row-major `m × n` where
     /// `m = b.len()` and `n = c.len()`.
-    pub fn new(
-        c: Vec<f64>,
-        a: Vec<f64>,
-        b: Vec<f64>,
-        upper: Vec<f64>,
-    ) -> Result<Self, LpError> {
+    pub fn new(c: Vec<f64>, a: Vec<f64>, b: Vec<f64>, upper: Vec<f64>) -> Result<Self, LpError> {
         let n = c.len();
         let m = b.len();
         if n == 0 || m == 0 {
@@ -96,17 +91,26 @@ impl LpProblem {
         }
         for (k, v) in c.iter().enumerate() {
             if !v.is_finite() {
-                return Err(LpError::NotFinite { what: "c", index: k });
+                return Err(LpError::NotFinite {
+                    what: "c",
+                    index: k,
+                });
             }
         }
         for (k, v) in a.iter().enumerate() {
             if !v.is_finite() {
-                return Err(LpError::NotFinite { what: "a", index: k });
+                return Err(LpError::NotFinite {
+                    what: "a",
+                    index: k,
+                });
             }
         }
         for (i, &v) in b.iter().enumerate() {
             if !v.is_finite() {
-                return Err(LpError::NotFinite { what: "b", index: i });
+                return Err(LpError::NotFinite {
+                    what: "b",
+                    index: i,
+                });
             }
             if v < 0.0 {
                 return Err(LpError::NegativeRhs { row: i, value: v });
@@ -117,7 +121,14 @@ impl LpProblem {
                 return Err(LpError::BadBound { index: j, value: u });
             }
         }
-        Ok(LpProblem { n, m, c, a, b, upper })
+        Ok(LpProblem {
+            n,
+            m,
+            c,
+            a,
+            b,
+            upper,
+        })
     }
 
     /// Number of structural variables.
@@ -227,13 +238,7 @@ mod tests {
 
     #[test]
     fn feasibility_checker() {
-        let p = LpProblem::new(
-            vec![1.0, 1.0],
-            vec![1.0, 1.0],
-            vec![1.5],
-            vec![1.0, 1.0],
-        )
-        .unwrap();
+        let p = LpProblem::new(vec![1.0, 1.0], vec![1.0, 1.0], vec![1.5], vec![1.0, 1.0]).unwrap();
         assert!(p.is_feasible(&[0.5, 1.0], 1e-9));
         assert!(!p.is_feasible(&[1.0, 1.0], 1e-9)); // row sum 2 > 1.5
         assert!(!p.is_feasible(&[-0.1, 0.0], 1e-9));
@@ -243,14 +248,16 @@ mod tests {
 
     #[test]
     fn objective_of_point() {
-        let p = LpProblem::new(vec![2.0, 3.0], vec![1.0, 1.0], vec![10.0], vec![5.0, 5.0])
-            .unwrap();
+        let p = LpProblem::new(vec![2.0, 3.0], vec![1.0, 1.0], vec![10.0], vec![5.0, 5.0]).unwrap();
         assert!((p.objective_of(&[1.0, 2.0]) - 8.0).abs() < 1e-12);
     }
 
     #[test]
     fn error_display() {
-        let e = LpError::NegativeRhs { row: 3, value: -2.0 };
+        let e = LpError::NegativeRhs {
+            row: 3,
+            value: -2.0,
+        };
         assert!(e.to_string().contains("b[3]"));
     }
 }

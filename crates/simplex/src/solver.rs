@@ -175,7 +175,11 @@ impl<'a> Simplex<'a> {
                 return Err(LpError::Unbounded);
             }
             let t = t_max.max(0.0);
-            self.degenerate_streak = if t <= TOL { self.degenerate_streak + 1 } else { 0 };
+            self.degenerate_streak = if t <= TOL {
+                self.degenerate_streak + 1
+            } else {
+                0
+            };
 
             match leaving {
                 None => {
@@ -183,7 +187,11 @@ impl<'a> Simplex<'a> {
                     for k in 0..self.m {
                         self.xb[k] -= t * dir * w[k];
                     }
-                    self.status[q] = if dir > 0.0 { Status::AtUpper } else { Status::AtLower };
+                    self.status[q] = if dir > 0.0 {
+                        Status::AtUpper
+                    } else {
+                        Status::AtLower
+                    };
                     self.pivots += 1;
                 }
                 Some((r, leave_status)) => {
@@ -217,11 +225,19 @@ impl<'a> Simplex<'a> {
                 Status::Basic => continue,
                 Status::AtLower => {
                     let d = self.reduced_cost(q, y);
-                    if d > TOL { Some(d) } else { None }
+                    if d > TOL {
+                        Some(d)
+                    } else {
+                        None
+                    }
                 }
                 Status::AtUpper => {
                     let d = self.reduced_cost(q, y);
-                    if d < -TOL { Some(d) } else { None }
+                    if d < -TOL {
+                        Some(d)
+                    } else {
+                        None
+                    }
                 }
             };
             if let Some(d) = eligible_d {
@@ -358,7 +374,8 @@ impl<'a> Simplex<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mkp::prop_check;
+    use mkp::testkit::gen;
 
     fn lp(c: Vec<f64>, a: Vec<f64>, b: Vec<f64>, u: Vec<f64>) -> LpSolution {
         solve(&LpProblem::new(c, a, b, u).unwrap()).unwrap()
@@ -471,7 +488,10 @@ mod tests {
             dual_bound += d.max(0.0) * p.upper()[j];
         }
         assert!(s.objective <= dual_bound + 1e-6);
-        assert!((s.objective - dual_bound).abs() < 1e-6, "strong duality at optimum");
+        assert!(
+            (s.objective - dual_bound).abs() < 1e-6,
+            "strong duality at optimum"
+        );
     }
 
     #[test]
@@ -491,8 +511,7 @@ mod tests {
     #[test]
     fn infinite_upper_bound_bounded_by_constraint() {
         // u = ∞ but the row binds: max 3x s.t. 2x ≤ 4 → x = 2 → 6.
-        let p = LpProblem::new(vec![3.0], vec![2.0], vec![4.0], vec![f64::INFINITY])
-            .unwrap();
+        let p = LpProblem::new(vec![3.0], vec![2.0], vec![4.0], vec![f64::INFINITY]).unwrap();
         let s = solve(&p).unwrap();
         assert!((s.objective - 6.0).abs() < 1e-9);
     }
@@ -500,13 +519,8 @@ mod tests {
     #[test]
     fn zero_upper_bound_pins_variable() {
         // u = 0 fixes x at 0; only y contributes.
-        let p = LpProblem::new(
-            vec![100.0, 1.0],
-            vec![1.0, 1.0],
-            vec![10.0],
-            vec![0.0, 1.0],
-        )
-        .unwrap();
+        let p =
+            LpProblem::new(vec![100.0, 1.0], vec![1.0, 1.0], vec![10.0], vec![0.0, 1.0]).unwrap();
         let s = solve(&p).unwrap();
         assert!(s.x[0].abs() < 1e-9);
         assert!((s.objective - 1.0).abs() < 1e-9);
@@ -572,7 +586,15 @@ mod tests {
         // 30 constraints × 200 vars exercises reinversion and bound flips.
         use mkp::generate::gk_instance;
         use mkp::generate::GkSpec;
-        let inst = gk_instance("big", GkSpec { n: 200, m: 30, tightness: 0.5, seed: 5 });
+        let inst = gk_instance(
+            "big",
+            GkSpec {
+                n: 200,
+                m: 30,
+                tightness: 0.5,
+                seed: 5,
+            },
+        );
         let n = inst.n();
         let m = inst.m();
         let c: Vec<f64> = inst.profits().iter().map(|&v| v as f64).collect();
@@ -592,33 +614,49 @@ mod tests {
         assert!(s.objective + 1e-6 >= g.value() as f64);
     }
 
-    proptest! {
-        /// Random LPs: solver returns a feasible point whose objective
-        /// dominates every vertex of a crude inner sample.
-        #[test]
-        fn prop_solver_feasible_and_dominant(
-            n in 1usize..8,
-            m in 1usize..5,
-            cs in proptest::collection::vec(0.0f64..20.0, 8),
-            aw in proptest::collection::vec(0.0f64..10.0, 40),
-            bs in proptest::collection::vec(1.0f64..30.0, 5),
-        ) {
-            let c: Vec<f64> = cs[..n].to_vec();
-            let a: Vec<f64> = (0..m * n).map(|k| aw[k % aw.len()]).collect();
-            let b: Vec<f64> = bs[..m].to_vec();
-            let p = LpProblem::new(c, a, b, vec![1.0; n]).unwrap();
-            let s = solve(&p).unwrap();
-            prop_assert!(p.is_feasible(&s.x, 1e-6));
-            // Compare against all 0/1 corner points that are feasible (n ≤ 7).
-            for mask in 0u32..(1 << n) {
-                let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
-                if p.is_feasible(&x, 1e-9) {
-                    prop_assert!(
-                        s.objective + 1e-6 >= p.objective_of(&x),
-                        "LP {} below integral point {}", s.objective, p.objective_of(&x)
-                    );
+    /// Random LPs: solver returns a feasible point whose objective
+    /// dominates every vertex of a crude inner sample.
+    #[test]
+    fn prop_solver_feasible_and_dominant() {
+        prop_check!(
+            |rng| {
+                let n = gen::usize_in(rng, 1, 8);
+                let m = gen::usize_in(rng, 1, 5);
+                let cs = gen::vec_of(rng, 8, 8, |r| gen::f64_in(r, 0.0, 20.0));
+                let aw = gen::vec_of(rng, 40, 40, |r| gen::f64_in(r, 0.0, 10.0));
+                let bs = gen::vec_of(rng, 5, 5, |r| gen::f64_in(r, 1.0, 30.0));
+                (n, m, cs, aw, bs)
+            },
+            |input| {
+                let (n, m, cs, aw, bs) = input;
+                let (n, m) = (*n, *m);
+                if !(1..8).contains(&n)
+                    || !(1..5).contains(&m)
+                    || cs.len() < n
+                    || bs.len() < m
+                    || aw.is_empty()
+                {
+                    return; // shrinking may void the shape invariants
+                }
+                let c: Vec<f64> = cs[..n].to_vec();
+                let a: Vec<f64> = (0..m * n).map(|k| aw[k % aw.len()]).collect();
+                let b: Vec<f64> = bs[..m].to_vec();
+                let p = LpProblem::new(c, a, b, vec![1.0; n]).unwrap();
+                let s = solve(&p).unwrap();
+                assert!(p.is_feasible(&s.x, 1e-6));
+                // Compare against all 0/1 corner points that are feasible (n ≤ 7).
+                for mask in 0u32..(1 << n) {
+                    let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
+                    if p.is_feasible(&x, 1e-9) {
+                        assert!(
+                            s.objective + 1e-6 >= p.objective_of(&x),
+                            "LP {} below integral point {}",
+                            s.objective,
+                            p.objective_of(&x)
+                        );
+                    }
                 }
             }
-        }
+        );
     }
 }

@@ -87,8 +87,7 @@ pub fn run_cets(
         // --- Constructive sweep: add to `span` items beyond the boundary.
         let mut beyond = 0usize;
         while beyond < span {
-            let Some(j) = pick_add(inst, &x, &tabu, now, config.noise, rng, &mut stats)
-            else {
+            let Some(j) = pick_add(inst, &x, &tabu, now, config.noise, rng, &mut stats) else {
                 break; // every item packed
             };
             x.add(inst, j);
@@ -111,8 +110,7 @@ pub fn run_cets(
         // --- Destructive sweep: drop until `span` items inside the domain.
         let mut inside = 0usize;
         while inside < span && x.cardinality() > 0 {
-            let Some(j) = pick_drop(inst, &x, &tabu, now, config.noise, rng, &mut stats)
-            else {
+            let Some(j) = pick_drop(inst, &x, &tabu, now, config.noise, rng, &mut stats) else {
                 break;
             };
             let was_infeasible = !x.is_feasible(inst);
@@ -225,8 +223,7 @@ fn pick_drop(
     let mut fallback: Option<(usize, f64)> = None;
     for j in x.bits().iter_ones() {
         stats.candidate_evals += 1;
-        let burden =
-            inst.item_weight_sum(j) as f64 / inst.profit(j).max(1) as f64;
+        let burden = inst.item_weight_sum(j) as f64 / inst.profit(j).max(1) as f64;
         if fallback.is_none_or(|(_, b)| burden > b) {
             fallback = Some((j, burden));
         }
@@ -308,7 +305,15 @@ mod tests {
     #[test]
     fn beats_or_matches_greedy() {
         for seed in 0..5 {
-            let inst = gk_instance("g", GkSpec { n: 80, m: 5, tightness: 0.5, seed });
+            let inst = gk_instance(
+                "g",
+                GkSpec {
+                    n: 80,
+                    m: 5,
+                    tightness: 0.5,
+                    seed,
+                },
+            );
             let ratios = Ratios::new(&inst);
             let g = greedy(&inst, &ratios);
             let r = run_default(&inst, seed, 300_000);
@@ -323,14 +328,30 @@ mod tests {
 
     #[test]
     fn respects_budget() {
-        let inst = gk_instance("b", GkSpec { n: 100, m: 5, tightness: 0.5, seed: 1 });
+        let inst = gk_instance(
+            "b",
+            GkSpec {
+                n: 100,
+                m: 5,
+                tightness: 0.5,
+                seed: 1,
+            },
+        );
         let r = run_default(&inst, 1, 20_000);
         assert!(r.stats.candidate_evals < 20_000 + 2 * inst.n() as u64 + 64);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let inst = gk_instance("d", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 2 });
+        let inst = gk_instance(
+            "d",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 2,
+            },
+        );
         let a = run_default(&inst, 7, 40_000);
         let b = run_default(&inst, 7, 40_000);
         assert_eq!(a.best.bits(), b.best.bits());
@@ -339,7 +360,15 @@ mod tests {
 
     #[test]
     fn elite_records_critical_events() {
-        let inst = gk_instance("e", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 3 });
+        let inst = gk_instance(
+            "e",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 3,
+            },
+        );
         let r = run_default(&inst, 3, 100_000);
         assert!(!r.elite.is_empty());
         for sol in &r.elite {

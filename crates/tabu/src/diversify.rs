@@ -24,7 +24,11 @@ pub struct DiversifyParams {
 
 impl Default for DiversifyParams {
     fn default() -> Self {
-        DiversifyParams { hi_threshold: 0.85, lo_threshold: 0.10, pin_tenure: 40 }
+        DiversifyParams {
+            hi_threshold: 0.85,
+            lo_threshold: 0.10,
+            pin_tenure: 40,
+        }
     }
 }
 
@@ -128,9 +132,12 @@ mod tests {
             history.record(&sol); // every packed item has frequency 1.0
         }
         let mut tabu = Recency::new(inst.n(), 5);
-        let params = DiversifyParams { hi_threshold: 0.9, lo_threshold: 0.0, pin_tenure: 30 };
-        let (next, forced) =
-            diversify(&inst, &ratios, &history, &sol, &params, &mut tabu, 100);
+        let params = DiversifyParams {
+            hi_threshold: 0.9,
+            lo_threshold: 0.0,
+            pin_tenure: 30,
+        };
+        let (next, forced) = diversify(&inst, &ratios, &history, &sol, &params, &mut tabu, 100);
         // Every previously packed component is over-used → forced out.
         for j in sol.bits().iter_ones() {
             assert!(!next.contains(j), "over-used {j} still packed");
@@ -187,7 +194,11 @@ mod tests {
         let sol = Solution::empty(&inst);
         let history = History::new(inst.n());
         let mut tabu = Recency::new(inst.n(), 5);
-        let params = DiversifyParams { hi_threshold: 0.1, lo_threshold: 0.9, pin_tenure: 10 };
+        let params = DiversifyParams {
+            hi_threshold: 0.1,
+            lo_threshold: 0.9,
+            pin_tenure: 10,
+        };
         diversify(&inst, &ratios, &history, &sol, &params, &mut tabu, 0);
     }
 }

@@ -19,7 +19,10 @@ impl ElitePool {
     /// Pool keeping at most `capacity` solutions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "elite pool must hold at least one solution");
-        ElitePool { sols: Vec::with_capacity(capacity + 1), capacity }
+        ElitePool {
+            sols: Vec::with_capacity(capacity + 1),
+            capacity,
+        }
     }
 
     /// Offer a solution; it is inserted when it is distinct from every pooled
@@ -34,9 +37,7 @@ impl ElitePool {
         {
             return false;
         }
-        let pos = self
-            .sols
-            .partition_point(|s| s.value() >= sol.value());
+        let pos = self.sols.partition_point(|s| s.value() >= sol.value());
         self.sols.insert(pos, sol.clone());
         if self.sols.len() > self.capacity {
             self.sols.pop();

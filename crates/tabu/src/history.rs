@@ -16,7 +16,10 @@ pub struct History {
 impl History {
     /// Fresh memory for `n` components.
     pub fn new(n: usize) -> Self {
-        History { counts: vec![0; n], iterations: 0 }
+        History {
+            counts: vec![0; n],
+            iterations: 0,
+        }
     }
 
     /// Record the current solution (call once per accepted move).

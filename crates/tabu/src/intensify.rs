@@ -13,11 +13,7 @@ use mkp::{Instance, Solution};
 ///
 /// Every swap strictly increases the objective, so termination is bounded by
 /// the profit sum; in practice a couple of passes suffice.
-pub fn swap_intensification(
-    inst: &Instance,
-    sol: &mut Solution,
-    stats: &mut MoveStats,
-) -> usize {
+pub fn swap_intensification(inst: &Instance, sol: &mut Solution, stats: &mut MoveStats) -> usize {
     let mut swaps = 0;
     loop {
         let mut improved = false;
@@ -37,10 +33,7 @@ pub fn swap_intensification(
                 }
                 stats.candidate_evals += 1;
                 let c_in = inst.profit(j);
-                if c_in > c_out
-                    && sol.fits(inst, j)
-                    && best_in.is_none_or(|(_, c)| c_in > c)
-                {
+                if c_in > c_out && sol.fits(inst, j) && best_in.is_none_or(|(_, c)| c_in > c) {
                     best_in = Some((j, c_in));
                 }
             }
@@ -263,7 +256,10 @@ mod tests {
         let inst = Instance::new("b", 2, 1, vec![10, 1], vec![3, 3], vec![3]).unwrap();
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
         let v = sol.value();
-        assert_eq!(swap_intensification(&inst, &mut sol, &mut MoveStats::default()), 0);
+        assert_eq!(
+            swap_intensification(&inst, &mut sol, &mut MoveStats::default()),
+            0
+        );
         assert_eq!(sol.value(), v);
     }
 
@@ -272,7 +268,10 @@ mod tests {
         // Higher-profit item is too heavy to swap in.
         let inst = Instance::new("f", 2, 1, vec![5, 50], vec![2, 10], vec![4]).unwrap();
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
-        assert_eq!(swap_intensification(&inst, &mut sol, &mut MoveStats::default()), 0);
+        assert_eq!(
+            swap_intensification(&inst, &mut sol, &mut MoveStats::default()),
+            0
+        );
         assert!(sol.contains(0));
     }
 
@@ -293,15 +292,7 @@ mod tests {
     #[test]
     fn multi_pass_chains_swaps() {
         // Swapping 0→1 frees weight that lets a later pass swap 2→3.
-        let inst = Instance::new(
-            "c",
-            4,
-            1,
-            vec![2, 6, 3, 7],
-            vec![4, 2, 4, 6],
-            vec![8],
-        )
-        .unwrap();
+        let inst = Instance::new("c", 4, 1, vec![2, 6, 3, 7], vec![4, 2, 4, 6], vec![8]).unwrap();
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, true, false]));
         let mut stats = MoveStats::default();
         let swaps = swap_intensification(&inst, &mut sol, &mut stats);
@@ -313,15 +304,7 @@ mod tests {
     fn lateral_swap_frees_capacity_for_refill() {
         // Items: 0 (profit 5, weight 4, packed) and 1 (profit 5, weight 2).
         // Swapping 0→1 frees 2 units, letting item 2 (profit 1, weight 2) in.
-        let inst = Instance::new(
-            "lat",
-            3,
-            1,
-            vec![5, 5, 1],
-            vec![4, 2, 2],
-            vec![4],
-        )
-        .unwrap();
+        let inst = Instance::new("lat", 3, 1, vec![5, 5, 1], vec![4, 2, 2], vec![4]).unwrap();
         let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, false]));
         let improved = lateral_swap_fill(&inst, &ratios, &mut sol, &mut MoveStats::default());
@@ -358,19 +341,9 @@ mod tests {
     #[test]
     fn drop_refill_finds_one_for_two_trade() {
         // Item 0 (profit 6, weight 4) blocks items 1+2 (profit 4+3, weight 2+2).
-        let inst = Instance::new(
-            "dr",
-            3,
-            1,
-            vec![6, 4, 3],
-            vec![4, 2, 2],
-            vec![4],
-        )
-        .unwrap();
-        let ratios = Ratios::new(&inst);
+        let inst = Instance::new("dr", 3, 1, vec![6, 4, 3], vec![4, 2, 2], vec![4]).unwrap();
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, false]));
-        let improvements =
-            drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default());
+        let improvements = drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default());
         assert_eq!(improvements, 1);
         assert_eq!(sol.value(), 7);
         assert!(!sol.contains(0));
@@ -381,7 +354,6 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(19);
         for seed in 0..10 {
             let inst = uncorrelated_instance("d", 40, 4, 0.5, seed);
-            let ratios = Ratios::new(&inst);
             let mut sol = random_feasible(&inst, &mut rng);
             let before = sol.value();
             drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default());
@@ -394,7 +366,6 @@ mod tests {
     #[test]
     fn drop_refill_noop_on_optimal_packing() {
         let inst = Instance::new("opt", 2, 1, vec![10, 1], vec![3, 3], vec![3]).unwrap();
-        let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
         assert_eq!(
             drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default()),
@@ -407,15 +378,7 @@ mod tests {
     fn ejection_chain_finds_two_for_one_trade() {
         // Item 2 (profit 12, weight 6) needs BOTH packed items (profit 5+5,
         // weights 3+3) ejected; no 1-1 swap or drop-refill sees the trade.
-        let inst = Instance::new(
-            "ej",
-            3,
-            1,
-            vec![5, 5, 12],
-            vec![3, 3, 6],
-            vec![6],
-        )
-        .unwrap();
+        let inst = Instance::new("ej", 3, 1, vec![5, 5, 12], vec![3, 3, 6], vec![6]).unwrap();
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, true, false]));
         let improvements =
             ejection_chain_intensification(&inst, &mut sol, &mut MoveStats::default(), 3);
@@ -428,17 +391,8 @@ mod tests {
     fn ejection_chain_respects_eject_bound() {
         // Getting item 3 in needs all three packed items out; with
         // max_eject = 2 the chain must give up and leave the solution alone.
-        let inst = Instance::new(
-            "eb",
-            4,
-            1,
-            vec![4, 4, 4, 20],
-            vec![2, 2, 2, 6],
-            vec![6],
-        )
-        .unwrap();
-        let mut sol =
-            Solution::from_bits(&inst, BitVec::from_bools([true, true, true, false]));
+        let inst = Instance::new("eb", 4, 1, vec![4, 4, 4, 20], vec![2, 2, 2, 6], vec![6]).unwrap();
+        let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, true, true, false]));
         let improvements =
             ejection_chain_intensification(&inst, &mut sol, &mut MoveStats::default(), 2);
         assert_eq!(improvements, 0);

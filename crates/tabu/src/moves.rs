@@ -55,7 +55,10 @@ struct TopK {
 
 impl TopK {
     fn new() -> Self {
-        TopK { items: [(usize::MAX, f64::NEG_INFINITY); RCL_WIDTH], len: 0 }
+        TopK {
+            items: [(usize::MAX, f64::NEG_INFINITY); RCL_WIDTH],
+            len: 0,
+        }
     }
 
     #[inline]
@@ -228,7 +231,11 @@ pub fn apply_move<M: TabuMemory>(
 
     stats.moves += 1;
     tabu.observe_solution(sol.bits().fingerprint(), &dropped, now);
-    MoveOutcome { dropped, added, aspired }
+    MoveOutcome {
+        dropped,
+        added,
+        aspired,
+    }
 }
 
 /// The saturating Add phase in O(n) + O(n · relaxed admissions):
@@ -353,8 +360,8 @@ mod tests {
         let mut sol = Solution::empty(&i);
         sol.add(&i, 0); // weights c0: 4, c1: 2
         sol.add(&i, 2); // weights c0: 2, c1: 1
-        // loads [6,3], slacks [1,3] → i* = 0.
-        // scores: item0 4/10=0.4, item2 2/6=0.33 → drop item 0.
+                        // loads [6,3], slacks [1,3] → i* = 0.
+                        // scores: item0 4/10=0.4, item2 2/6=0.33 → drop item 0.
         let tabu = Recency::new(5, 3);
         let mut stats = MoveStats::default();
         let j = select_drop(&i, &sol, &tabu, 0, 0, 0.0, &mut rng(), &mut stats).unwrap();
@@ -409,13 +416,33 @@ mod tests {
         // Make the best item tabu with an unreachable incumbent: it must be
         // skipped and the second-best chosen.
         let mut stats = MoveStats::default();
-        let (first, _) =
-            select_add(&i, &ratios, &sol, &tabu, 0, i64::MAX, 0.0, &[], &mut r, &mut stats)
-                .unwrap();
+        let (first, _) = select_add(
+            &i,
+            &ratios,
+            &sol,
+            &tabu,
+            0,
+            i64::MAX,
+            0.0,
+            &[],
+            &mut r,
+            &mut stats,
+        )
+        .unwrap();
         tabu.forbid(first, 0);
-        let (second, asp) =
-            select_add(&i, &ratios, &sol, &tabu, 0, i64::MAX, 0.0, &[], &mut r, &mut stats)
-                .unwrap();
+        let (second, asp) = select_add(
+            &i,
+            &ratios,
+            &sol,
+            &tabu,
+            0,
+            i64::MAX,
+            0.0,
+            &[],
+            &mut r,
+            &mut stats,
+        )
+        .unwrap();
         assert_ne!(second, first);
         assert!(!asp);
     }
@@ -431,8 +458,19 @@ mod tests {
         }
         // With incumbent 0, adding any profitable item improves → aspiration.
         let mut stats = MoveStats::default();
-        let (j, asp) =
-            select_add(&i, &ratios, &sol, &tabu, 0, 0, 0.0, &[], &mut rng(), &mut stats).unwrap();
+        let (j, asp) = select_add(
+            &i,
+            &ratios,
+            &sol,
+            &tabu,
+            0,
+            0,
+            0.0,
+            &[],
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap();
         assert!(asp);
         assert!(i.profit(j) > 0);
     }
@@ -445,9 +483,19 @@ mod tests {
         sol.add(&i, 0); // load 3 = cap
         let tabu = Recency::new(2, 3);
         let mut stats = MoveStats::default();
-        assert!(
-            select_add(&i, &ratios, &sol, &tabu, 0, 0, 0.0, &[], &mut rng(), &mut stats).is_none()
-        );
+        assert!(select_add(
+            &i,
+            &ratios,
+            &sol,
+            &tabu,
+            0,
+            0,
+            0.0,
+            &[],
+            &mut rng(),
+            &mut stats
+        )
+        .is_none());
     }
 
     #[test]
@@ -460,7 +508,9 @@ mod tests {
             let mut stats = MoveStats::default();
             let mut r = Xoshiro256::seed_from_u64(seed);
             for now in 0..100 {
-                apply_move(&i, &ratios, &mut sol, &mut tabu, now, 2, 0, 0.0, &mut r, &mut stats);
+                apply_move(
+                    &i, &ratios, &mut sol, &mut tabu, now, 2, 0, 0.0, &mut r, &mut stats,
+                );
             }
             sol.bits().clone()
         };
@@ -478,7 +528,9 @@ mod tests {
             let mut r = Xoshiro256::seed_from_u64(seed);
             let mut trail = Vec::new();
             for now in 0..100 {
-                apply_move(&i, &ratios, &mut sol, &mut tabu, now, 2, 0, 0.3, &mut r, &mut stats);
+                apply_move(
+                    &i, &ratios, &mut sol, &mut tabu, now, 2, 0, 0.3, &mut r, &mut stats,
+                );
                 trail.push(sol.value());
             }
             trail
@@ -539,7 +591,9 @@ mod tests {
             let mut r = Xoshiro256::seed_from_u64(seed);
             let mut best = 0i64;
             for now in 0..300u64 {
-                apply_move(&i, &ratios, &mut sol, &mut tabu, now, 1, best, 0.1, &mut r, &mut stats);
+                apply_move(
+                    &i, &ratios, &mut sol, &mut tabu, now, 1, best, 0.1, &mut r, &mut stats,
+                );
                 best = best.max(sol.value());
             }
             let g = greedy(&i, &ratios);

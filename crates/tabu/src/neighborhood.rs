@@ -80,7 +80,11 @@ fn evaluate_candidate<M: TabuMemory + Clone>(
         &mut stats,
     );
     outcome.dropped.insert(0, first_drop);
-    Candidate { solution: sol, outcome, stats }
+    Candidate {
+        solution: sol,
+        outcome,
+        stats,
+    }
 }
 
 /// Examine the width-K neighborhood and commit the best completion.
@@ -167,10 +171,7 @@ pub fn best_of_k_move<M: TabuMemory + Clone + Sync>(
         .iter()
         .enumerate()
         .max_by(|(ia, a), (ib, b)| {
-            a.solution
-                .value()
-                .cmp(&b.solution.value())
-                .then(ib.cmp(ia)) // prefer the lower index on ties
+            a.solution.value().cmp(&b.solution.value()).then(ib.cmp(ia)) // prefer the lower index on ties
         })
         .map(|(i, _)| i)
         .expect("at least one candidate");
@@ -211,8 +212,18 @@ mod tests {
         let mut stats = MoveStats::default();
         for now in 0..100 {
             best_of_k_move(
-                &inst, &ratios, &mut sol, &mut tabu, now, 2, i64::MAX, 0.1, 4, false,
-                &mut rng, &mut stats,
+                &inst,
+                &ratios,
+                &mut sol,
+                &mut tabu,
+                now,
+                2,
+                i64::MAX,
+                0.1,
+                4,
+                false,
+                &mut rng,
+                &mut stats,
             );
             assert!(sol.is_feasible(&inst));
             assert!(sol.check_consistent(&inst));
@@ -231,8 +242,18 @@ mod tests {
             let mut trail = Vec::new();
             for now in 0..60 {
                 best_of_k_move(
-                    &inst, &ratios, &mut sol, &mut tabu, now, 2, i64::MAX, 0.1, 4,
-                    parallel, &mut rng, &mut stats,
+                    &inst,
+                    &ratios,
+                    &mut sol,
+                    &mut tabu,
+                    now,
+                    2,
+                    i64::MAX,
+                    0.1,
+                    4,
+                    parallel,
+                    &mut rng,
+                    &mut stats,
                 );
                 trail.push(sol.value());
             }
@@ -255,7 +276,17 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(9);
         let mut stats = MoveStats::default();
         let outcome = best_of_k_move(
-            &inst, &ratios, &mut sol, &mut tabu, 0, 1, i64::MAX, 0.0, 1, false, &mut rng,
+            &inst,
+            &ratios,
+            &mut sol,
+            &mut tabu,
+            0,
+            1,
+            i64::MAX,
+            0.0,
+            1,
+            false,
+            &mut rng,
             &mut stats,
         );
         // The forced first drop is the best non-tabu drop-scored item.
@@ -284,8 +315,18 @@ mod tests {
             let mut rng = Xoshiro256::seed_from_u64(11);
             let mut stats = MoveStats::default();
             best_of_k_move(
-                &inst, &ratios, &mut sol, &mut tabu, 0, 2, i64::MAX, 0.0, width, false,
-                &mut rng, &mut stats,
+                &inst,
+                &ratios,
+                &mut sol,
+                &mut tabu,
+                0,
+                2,
+                i64::MAX,
+                0.0,
+                width,
+                false,
+                &mut rng,
+                &mut stats,
             );
             sol.value()
         };
@@ -300,17 +341,38 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(13);
         let mut stats = MoveStats::default();
         let outcome = best_of_k_move(
-            &inst, &ratios, &mut sol, &mut tabu, 0, 2, i64::MAX, 0.1, 4, false, &mut rng,
+            &inst,
+            &ratios,
+            &mut sol,
+            &mut tabu,
+            0,
+            2,
+            i64::MAX,
+            0.1,
+            4,
+            false,
+            &mut rng,
             &mut stats,
         );
         assert!(outcome.dropped.is_empty());
-        assert!(!outcome.added.is_empty(), "fallback move must fill the knapsack");
+        assert!(
+            !outcome.added.is_empty(),
+            "fallback move must fill the knapsack"
+        );
     }
 
     #[test]
     fn improves_quality_on_correlated_instance() {
         // Same move count, wider examination: best-of-K should not lose.
-        let inst = gk_instance("q", GkSpec { n: 80, m: 5, tightness: 0.5, seed: 6 });
+        let inst = gk_instance(
+            "q",
+            GkSpec {
+                n: 80,
+                m: 5,
+                tightness: 0.5,
+                seed: 6,
+            },
+        );
         let ratios = Ratios::new(&inst);
         let run = |width: usize| {
             let mut sol = greedy(&inst, &ratios);
@@ -320,8 +382,8 @@ mod tests {
             let mut stats = MoveStats::default();
             for now in 0..400 {
                 best_of_k_move(
-                    &inst, &ratios, &mut sol, &mut tabu, now, 2, best, 0.1, width, false,
-                    &mut rng, &mut stats,
+                    &inst, &ratios, &mut sol, &mut tabu, now, 2, best, 0.1, width, false, &mut rng,
+                    &mut stats,
                 );
                 best = best.max(sol.value());
             }

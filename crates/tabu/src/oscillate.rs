@@ -90,7 +90,15 @@ mod tests {
     fn never_decreases_value() {
         let mut rng = Xoshiro256::seed_from_u64(5);
         for seed in 0..10 {
-            let inst = gk_instance("g", GkSpec { n: 60, m: 5, tightness: 0.5, seed });
+            let inst = gk_instance(
+                "g",
+                GkSpec {
+                    n: 60,
+                    m: 5,
+                    tightness: 0.5,
+                    seed,
+                },
+            );
             let ratios = Ratios::new(&inst);
             let mut sol = random_feasible(&inst, &mut rng);
             let before = sol.value();
@@ -108,7 +116,15 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(7);
         let mut improvements = 0;
         for seed in 0..20 {
-            let inst = gk_instance("g", GkSpec { n: 80, m: 5, tightness: 0.5, seed });
+            let inst = gk_instance(
+                "g",
+                GkSpec {
+                    n: 80,
+                    m: 5,
+                    tightness: 0.5,
+                    seed,
+                },
+            );
             let ratios = Ratios::new(&inst);
             let mut sol = random_feasible(&inst, &mut rng);
             if strategic_oscillation(&inst, &ratios, &mut sol, 6, &mut MoveStats::default()) {
@@ -135,7 +151,13 @@ mod tests {
         let ratios = Ratios::new(&inst);
         let mut sol = greedy(&inst, &ratios);
         let v = sol.value();
-        assert!(!strategic_oscillation(&inst, &ratios, &mut sol, 0, &mut MoveStats::default()));
+        assert!(!strategic_oscillation(
+            &inst,
+            &ratios,
+            &mut sol,
+            0,
+            &mut MoveStats::default()
+        ));
         assert_eq!(sol.value(), v);
     }
 }

@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn quiet_stretch_decays_tenure() {
-        let params = ReactiveParams { smooth_window: 10, ..ReactiveParams::default() };
+        let params = ReactiveParams {
+            smooth_window: 10,
+            ..ReactiveParams::default()
+        };
         let mut mem = ReactiveTabu::new(5, 100, params);
         mem.observe_solution(1, &[], 0);
         mem.observe_solution(2, &[], 50); // > window since last reaction
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn tenure_ceiling_respected() {
-        let params = ReactiveParams { max_tenure: 30, ..ReactiveParams::default() };
+        let params = ReactiveParams {
+            max_tenure: 30,
+            ..ReactiveParams::default()
+        };
         let mut mem = ReactiveTabu::new(5, 25, params);
         for t in 0..50 {
             mem.observe_solution(0xCD, &[], t);
@@ -160,7 +166,10 @@ mod tests {
 
     #[test]
     fn tenure_floor_is_one() {
-        let params = ReactiveParams { smooth_window: 1, ..ReactiveParams::default() };
+        let params = ReactiveParams {
+            smooth_window: 1,
+            ..ReactiveParams::default()
+        };
         let mut mem = ReactiveTabu::new(5, 2, params);
         for t in 0..500u64 {
             mem.observe_solution(t.wrapping_mul(0x9E3779B9) | 1, &[], t * 10);

@@ -31,10 +31,16 @@ pub fn path_relink(
 
     loop {
         // Remaining symmetric difference.
-        let to_add: Vec<usize> =
-            b.bits().iter_ones().filter(|&j| !current.contains(j)).collect();
-        let to_drop: Vec<usize> =
-            current.bits().iter_ones().filter(|&j| !b.contains(j)).collect();
+        let to_add: Vec<usize> = b
+            .bits()
+            .iter_ones()
+            .filter(|&j| !current.contains(j))
+            .collect();
+        let to_drop: Vec<usize> = current
+            .bits()
+            .iter_ones()
+            .filter(|&j| !b.contains(j))
+            .collect();
         if to_add.is_empty() && to_drop.is_empty() {
             break;
         }
@@ -51,10 +57,7 @@ pub fn path_relink(
             // the walk keeps moving toward b.
             let mut dropped_guide = 0;
             while !trial.is_feasible(inst) {
-                let victim = to_drop
-                    .iter()
-                    .copied()
-                    .find(|&k| trial.contains(k));
+                let victim = to_drop.iter().copied().find(|&k| trial.contains(k));
                 match victim {
                     Some(k) => {
                         trial.drop(inst, k);
@@ -88,7 +91,9 @@ pub fn path_relink(
                 }
             }
         }
-        let Some((next, progress)) = best_step else { break };
+        let Some((next, progress)) = best_step else {
+            break;
+        };
         // Guard against non-progress (projection may restore dropped items).
         if next.bits() == current.bits() {
             break;
@@ -119,7 +124,15 @@ mod tests {
     use mkp::Xoshiro256;
 
     fn endpoints(seed: u64) -> (Instance, Ratios, Solution, Solution) {
-        let inst = gk_instance("pr", GkSpec { n: 60, m: 5, tightness: 0.5, seed });
+        let inst = gk_instance(
+            "pr",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed,
+            },
+        );
         let ratios = Ratios::new(&inst);
         let a = greedy(&inst, &ratios);
         let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xABCD);
@@ -134,7 +147,10 @@ mod tests {
             let (best, _) = path_relink(&inst, &ratios, &a, &b, &mut MoveStats::default());
             assert!(best.is_feasible(&inst));
             assert!(best.check_consistent(&inst));
-            assert!(best.value() >= a.value(), "seed {seed} lost the start point");
+            assert!(
+                best.value() >= a.value(),
+                "seed {seed} lost the start point"
+            );
         }
     }
 

@@ -165,8 +165,8 @@ mod tests {
         let mut rem = ReverseElimination::new(8, usize::MAX);
         rem.observe_solution(0, &[0, 1], 0); // A→B toggles {0,1}
         rem.observe_solution(0, &[0], 1); // B→C toggles {0}; C = A ⊕ {1}
-        // RCS walk: last move {0} → 0 tabu (returns to B);
-        // combined {0}⊕{0,1} = {1} → 1 tabu (returns to A).
+                                          // RCS walk: last move {0} → 0 tabu (returns to B);
+                                          // combined {0}⊕{0,1} = {1} → 1 tabu (returns to A).
         assert!(rem.is_tabu(0, 2));
         assert!(rem.is_tabu(1, 2));
         assert!(!rem.is_tabu(2, 2));

@@ -130,7 +130,16 @@ pub fn run(
 ) -> SearchReport {
     let mut memory = Recency::new(inst.n(), config.strategy.tabu_tenure);
     let mut history = History::new(inst.n());
-    run_with_memory(inst, ratios, initial, config, budget, rng, &mut memory, &mut history)
+    run_with_memory(
+        inst,
+        ratios,
+        initial,
+        config,
+        budget,
+        rng,
+        &mut memory,
+        &mut history,
+    )
 }
 
 /// Run the tabu search with caller-supplied memories.
@@ -152,7 +161,11 @@ pub fn run_with_memory<M: TabuMemory + Clone + Sync>(
     memory: &mut M,
     history: &mut History,
 ) -> SearchReport {
-    assert_eq!(history.len(), inst.n(), "history sized for another instance");
+    assert_eq!(
+        history.len(),
+        inst.n(),
+        "history sized for another instance"
+    );
     memory.set_tenure(config.strategy.tabu_tenure);
 
     // Repair + saturate the start so the search begins on the boundary.
@@ -230,18 +243,14 @@ pub fn run_with_memory<M: TabuMemory + Clone + Sync>(
                     swap_intensification(inst, &mut x_local, &mut stats);
                 }
                 Intensification::Oscillation => {
-                    strategic_oscillation(
-                        inst, ratios, &mut x_local, config.osc_depth, &mut stats,
-                    );
+                    strategic_oscillation(inst, ratios, &mut x_local, config.osc_depth, &mut stats);
                 }
                 Intensification::Both => {
                     swap_intensification(inst, &mut x_local, &mut stats);
                     lateral_swap_fill(inst, ratios, &mut x_local, &mut stats);
                     drop_refill_intensification(inst, &mut x_local, &mut stats);
                     ejection_chain_intensification(inst, &mut x_local, &mut stats, 3);
-                    strategic_oscillation(
-                        inst, ratios, &mut x_local, config.osc_depth, &mut stats,
-                    );
+                    strategic_oscillation(inst, ratios, &mut x_local, config.osc_depth, &mut stats);
                 }
             }
             if x_local.value() > best.value() {
@@ -256,15 +265,7 @@ pub fn run_with_memory<M: TabuMemory + Clone + Sync>(
         }
 
         // --- Diversification (Fig. 1 step 12) ---
-        let (next, _forced) = diversify(
-            inst,
-            ratios,
-            history,
-            &x,
-            &config.diversify,
-            memory,
-            now,
-        );
+        let (next, _forced) = diversify(inst, ratios, history, &x, &config.diversify, memory, now);
         x = next;
         elite.offer(&x);
         if x.value() > best.value() {
@@ -315,7 +316,15 @@ mod tests {
     #[test]
     fn beats_or_matches_greedy() {
         for seed in 0..5 {
-            let inst = gk_instance("g", GkSpec { n: 80, m: 5, tightness: 0.5, seed });
+            let inst = gk_instance(
+                "g",
+                GkSpec {
+                    n: 80,
+                    m: 5,
+                    tightness: 0.5,
+                    seed,
+                },
+            );
             let ratios = Ratios::new(&inst);
             let g = greedy(&inst, &ratios);
             let report = run_default(&inst, seed, 200_000);
@@ -330,7 +339,15 @@ mod tests {
 
     #[test]
     fn respects_budget() {
-        let inst = gk_instance("b", GkSpec { n: 100, m: 5, tightness: 0.5, seed: 1 });
+        let inst = gk_instance(
+            "b",
+            GkSpec {
+                n: 100,
+                m: 5,
+                tightness: 0.5,
+                seed: 1,
+            },
+        );
         let report = run_default(&inst, 1, 10_000);
         assert!(report.budget_exhausted);
         // Budget may overshoot by at most one move's worth of evaluations.
@@ -339,7 +356,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let inst = gk_instance("d", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 2 });
+        let inst = gk_instance(
+            "d",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 2,
+            },
+        );
         let a = run_default(&inst, 7, 30_000);
         let b = run_default(&inst, 7, 30_000);
         assert_eq!(a.best.bits(), b.best.bits());
@@ -348,7 +373,15 @@ mod tests {
 
     #[test]
     fn elite_pool_is_sorted_and_bounded() {
-        let inst = gk_instance("e", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 3 });
+        let inst = gk_instance(
+            "e",
+            GkSpec {
+                n: 60,
+                m: 5,
+                tightness: 0.5,
+                seed: 3,
+            },
+        );
         let report = run_default(&inst, 3, 100_000);
         assert!(!report.elite.is_empty());
         assert!(report.elite.len() <= TsConfig::default_for(inst.n()).b_best);
@@ -389,9 +422,20 @@ mod tests {
 
     #[test]
     fn improved_flag_matches_values() {
-        let inst = gk_instance("i", GkSpec { n: 80, m: 10, tightness: 0.5, seed: 5 });
+        let inst = gk_instance(
+            "i",
+            GkSpec {
+                n: 80,
+                m: 10,
+                tightness: 0.5,
+                seed: 5,
+            },
+        );
         let report = run_default(&inst, 5, 100_000);
-        assert_eq!(report.improved(), report.best.value() > report.initial_value);
+        assert_eq!(
+            report.improved(),
+            report.best.value() > report.initial_value
+        );
     }
 
     #[test]
@@ -454,7 +498,14 @@ mod tests {
             nb_int: 2,
             ..TsConfig::default_for(inst.n())
         };
-        let report = run(&inst, &ratios, init, &config, Budget::evals(u64::MAX), &mut rng);
+        let report = run(
+            &inst,
+            &ratios,
+            init,
+            &config,
+            Budget::evals(u64::MAX),
+            &mut rng,
+        );
         assert!(!report.budget_exhausted);
         assert!(report.stats.moves > 0);
     }
@@ -471,35 +522,49 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use mkp::prop_check;
+        use mkp::testkit::gen;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(12))]
-            /// The engine never returns an infeasible or cache-inconsistent
-            /// solution, for arbitrary instances, strategies and budgets.
-            #[test]
-            fn prop_engine_invariants(
-                seed in any::<u64>(),
-                n in 5usize..40,
-                m in 1usize..5,
-                tenure in 1usize..30,
-                nb_drop in 1usize..4,
-                budget in 2_000u64..40_000,
-            ) {
-                let inst = uncorrelated_instance("prop", n, m, 0.5, seed);
-                let ratios = Ratios::new(&inst);
-                let mut rng = Xoshiro256::seed_from_u64(seed);
-                let init = random_feasible(&inst, &mut rng);
-                let mut cfg = TsConfig::default_for(inst.n());
-                cfg.strategy = crate::Strategy { tabu_tenure: tenure, nb_drop, nb_local: 20 };
-                let report = run(&inst, &ratios, init, &cfg, Budget::evals(budget), &mut rng);
-                prop_assert!(report.best.is_feasible(&inst));
-                prop_assert!(report.best.check_consistent(&inst));
-                prop_assert!(report.best.value() >= report.initial_value);
-                for w in report.elite.windows(2) {
-                    prop_assert!(w[0].value() >= w[1].value());
+        /// The engine never returns an infeasible or cache-inconsistent
+        /// solution, for arbitrary instances, strategies and budgets.
+        #[test]
+        fn prop_engine_invariants() {
+            prop_check!(
+                cases = 12,
+                |rng| {
+                    (
+                        rng.next_u64(),
+                        gen::usize_in(rng, 5, 40),
+                        gen::usize_in(rng, 1, 5),
+                        gen::usize_in(rng, 1, 30),
+                        gen::usize_in(rng, 1, 4),
+                        rng.range_inclusive(2_000, 40_000),
+                    )
+                },
+                |input| {
+                    let (seed, n, m, tenure, nb_drop, budget) = *input;
+                    if n < 2 || m < 1 || tenure < 1 || nb_drop < 1 || budget < 1 {
+                        return; // shrinking may leave the engine's domain
+                    }
+                    let inst = uncorrelated_instance("prop", n, m, 0.5, seed);
+                    let ratios = Ratios::new(&inst);
+                    let mut rng = Xoshiro256::seed_from_u64(seed);
+                    let init = random_feasible(&inst, &mut rng);
+                    let mut cfg = TsConfig::default_for(inst.n());
+                    cfg.strategy = crate::Strategy {
+                        tabu_tenure: tenure,
+                        nb_drop,
+                        nb_local: 20,
+                    };
+                    let report = run(&inst, &ratios, init, &cfg, Budget::evals(budget), &mut rng);
+                    assert!(report.best.is_feasible(&inst));
+                    assert!(report.best.check_consistent(&inst));
+                    assert!(report.best.value() >= report.initial_value);
+                    for w in report.elite.windows(2) {
+                        assert!(w[0].value() >= w[1].value());
+                    }
                 }
-            }
+            );
         }
     }
 }

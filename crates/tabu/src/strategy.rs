@@ -50,12 +50,9 @@ impl StrategyBounds {
     /// Draw a uniformly random strategy within the bounds.
     pub fn random(&self, rng: &mut Xoshiro256) -> Strategy {
         Strategy {
-            tabu_tenure: rng.range_inclusive(self.tenure.0 as u64, self.tenure.1 as u64)
-                as usize,
-            nb_drop: rng.range_inclusive(self.nb_drop.0 as u64, self.nb_drop.1 as u64)
-                as usize,
-            nb_local: rng.range_inclusive(self.nb_local.0 as u64, self.nb_local.1 as u64)
-                as usize,
+            tabu_tenure: rng.range_inclusive(self.tenure.0 as u64, self.tenure.1 as u64) as usize,
+            nb_drop: rng.range_inclusive(self.nb_drop.0 as u64, self.nb_drop.1 as u64) as usize,
+            nb_local: rng.range_inclusive(self.nb_local.0 as u64, self.nb_local.1 as u64) as usize,
         }
     }
 
@@ -126,8 +123,16 @@ mod tests {
 
     #[test]
     fn clamp_restores_bounds() {
-        let bounds = StrategyBounds { tenure: (5, 10), nb_drop: (1, 3), nb_local: (10, 20) };
-        let wild = Strategy { tabu_tenure: 100, nb_drop: 0, nb_local: 5 };
+        let bounds = StrategyBounds {
+            tenure: (5, 10),
+            nb_drop: (1, 3),
+            nb_local: (10, 20),
+        };
+        let wild = Strategy {
+            tabu_tenure: 100,
+            nb_drop: 0,
+            nb_local: 5,
+        };
         let c = bounds.clamp(wild);
         assert_eq!(c.tabu_tenure, 10);
         assert_eq!(c.nb_drop, 1);
@@ -137,7 +142,11 @@ mod tests {
     #[test]
     fn diversify_widens_and_lengthens() {
         let bounds = StrategyBounds::for_instance_size(300);
-        let s = Strategy { tabu_tenure: 10, nb_drop: 2, nb_local: 100 };
+        let s = Strategy {
+            tabu_tenure: 10,
+            nb_drop: 2,
+            nb_local: 100,
+        };
         let d = s.diversify_step(&bounds);
         assert!(d.tabu_tenure > s.tabu_tenure);
         assert!(d.nb_drop > s.nb_drop);
@@ -147,7 +156,11 @@ mod tests {
     #[test]
     fn intensify_narrows_and_shortens() {
         let bounds = StrategyBounds::for_instance_size(300);
-        let s = Strategy { tabu_tenure: 30, nb_drop: 3, nb_local: 60 };
+        let s = Strategy {
+            tabu_tenure: 30,
+            nb_drop: 3,
+            nb_local: 60,
+        };
         let i = s.intensify_step(&bounds);
         assert!(i.tabu_tenure < s.tabu_tenure);
         assert!(i.nb_drop < s.nb_drop);

@@ -54,7 +54,10 @@ pub struct Recency {
 impl Recency {
     /// Memory for `n` items with the given tenure.
     pub fn new(n: usize, tenure: usize) -> Self {
-        Recency { expiry: vec![0; n], tenure }
+        Recency {
+            expiry: vec![0; n],
+            tenure,
+        }
     }
 }
 

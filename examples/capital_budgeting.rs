@@ -49,7 +49,11 @@ fn main() {
 
     // Small instance: certify the decision with the exact solver, and show
     // the tabu search reproduces it.
-    let cfg = RunConfig { p: 4, rounds: 12, ..RunConfig::new(3_000_000, 1) };
+    let cfg = RunConfig {
+        p: 4,
+        rounds: 12,
+        ..RunConfig::new(3_000_000, 1)
+    };
     let ts = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
     let exact = solve_with_incumbent(&inst, &BbConfig::default(), Some(&ts.best));
     assert!(exact.proven, "portfolio should be certifiable");
@@ -65,7 +69,10 @@ fn main() {
         );
     }
     // Report the *certified* plan below — the board wants the optimum.
-    let ts = parallel_tabu::ModeReport { best: exact.solution.clone(), ..ts };
+    let ts = parallel_tabu::ModeReport {
+        best: exact.solution.clone(),
+        ..ts
+    };
 
     println!("funded projects (total NPV {} k$):", ts.best.value());
     let mut spend = [0i64; 4];
@@ -80,38 +87,153 @@ fn main() {
     for (i, (&s, &b)) in spend.iter().zip(&budgets).enumerate() {
         assert!(s <= b, "period {i} over budget");
     }
-    println!("certified optimal : {} ({} B&B nodes)", exact.proven, exact.nodes);
+    println!(
+        "certified optimal : {} ({} B&B nodes)",
+        exact.proven, exact.nodes
+    );
 }
 
 fn portfolio() -> Vec<Project> {
     vec![
-        Project { name: "plant-retrofit", npv: 320, draw: [310, 120, 60, 30] },
-        Project { name: "new-warehouse", npv: 270, draw: [240, 150, 80, 20] },
-        Project { name: "erp-rollout", npv: 180, draw: [90, 140, 120, 60] },
-        Project { name: "fleet-renewal", npv: 145, draw: [160, 60, 40, 10] },
-        Project { name: "solar-roof", npv: 210, draw: [200, 30, 10, 10] },
-        Project { name: "lab-expansion", npv: 260, draw: [120, 180, 140, 50] },
-        Project { name: "export-campaign", npv: 95, draw: [40, 70, 60, 40] },
-        Project { name: "patent-portfolio", npv: 130, draw: [110, 40, 20, 5] },
-        Project { name: "line-automation", npv: 340, draw: [280, 200, 90, 40] },
-        Project { name: "quality-program", npv: 75, draw: [30, 40, 40, 30] },
-        Project { name: "training-center", npv: 60, draw: [50, 40, 20, 20] },
-        Project { name: "packaging-redesign", npv: 85, draw: [60, 50, 20, 10] },
-        Project { name: "cold-chain", npv: 190, draw: [150, 90, 70, 40] },
-        Project { name: "recycling-unit", npv: 110, draw: [90, 60, 30, 20] },
-        Project { name: "market-entry-east", npv: 230, draw: [100, 130, 130, 90] },
-        Project { name: "supplier-buyout", npv: 280, draw: [330, 60, 20, 10] },
-        Project { name: "rnd-materials", npv: 150, draw: [60, 80, 90, 70] },
-        Project { name: "web-platform", npv: 120, draw: [80, 70, 40, 20] },
-        Project { name: "safety-upgrade", npv: 55, draw: [45, 25, 15, 10] },
-        Project { name: "pilot-line-b", npv: 165, draw: [120, 90, 60, 30] },
-        Project { name: "brand-refresh", npv: 70, draw: [55, 45, 20, 10] },
-        Project { name: "data-center", npv: 250, draw: [210, 110, 70, 50] },
-        Project { name: "port-terminal", npv: 300, draw: [260, 170, 110, 60] },
-        Project { name: "field-sensors", npv: 90, draw: [50, 50, 40, 30] },
-        Project { name: "biogas-plant", npv: 205, draw: [170, 100, 60, 40] },
-        Project { name: "apprenticeships", npv: 45, draw: [20, 25, 25, 20] },
-        Project { name: "spare-parts-hub", npv: 135, draw: [100, 70, 40, 25] },
-        Project { name: "night-shift-tooling", npv: 100, draw: [85, 45, 25, 15] },
+        Project {
+            name: "plant-retrofit",
+            npv: 320,
+            draw: [310, 120, 60, 30],
+        },
+        Project {
+            name: "new-warehouse",
+            npv: 270,
+            draw: [240, 150, 80, 20],
+        },
+        Project {
+            name: "erp-rollout",
+            npv: 180,
+            draw: [90, 140, 120, 60],
+        },
+        Project {
+            name: "fleet-renewal",
+            npv: 145,
+            draw: [160, 60, 40, 10],
+        },
+        Project {
+            name: "solar-roof",
+            npv: 210,
+            draw: [200, 30, 10, 10],
+        },
+        Project {
+            name: "lab-expansion",
+            npv: 260,
+            draw: [120, 180, 140, 50],
+        },
+        Project {
+            name: "export-campaign",
+            npv: 95,
+            draw: [40, 70, 60, 40],
+        },
+        Project {
+            name: "patent-portfolio",
+            npv: 130,
+            draw: [110, 40, 20, 5],
+        },
+        Project {
+            name: "line-automation",
+            npv: 340,
+            draw: [280, 200, 90, 40],
+        },
+        Project {
+            name: "quality-program",
+            npv: 75,
+            draw: [30, 40, 40, 30],
+        },
+        Project {
+            name: "training-center",
+            npv: 60,
+            draw: [50, 40, 20, 20],
+        },
+        Project {
+            name: "packaging-redesign",
+            npv: 85,
+            draw: [60, 50, 20, 10],
+        },
+        Project {
+            name: "cold-chain",
+            npv: 190,
+            draw: [150, 90, 70, 40],
+        },
+        Project {
+            name: "recycling-unit",
+            npv: 110,
+            draw: [90, 60, 30, 20],
+        },
+        Project {
+            name: "market-entry-east",
+            npv: 230,
+            draw: [100, 130, 130, 90],
+        },
+        Project {
+            name: "supplier-buyout",
+            npv: 280,
+            draw: [330, 60, 20, 10],
+        },
+        Project {
+            name: "rnd-materials",
+            npv: 150,
+            draw: [60, 80, 90, 70],
+        },
+        Project {
+            name: "web-platform",
+            npv: 120,
+            draw: [80, 70, 40, 20],
+        },
+        Project {
+            name: "safety-upgrade",
+            npv: 55,
+            draw: [45, 25, 15, 10],
+        },
+        Project {
+            name: "pilot-line-b",
+            npv: 165,
+            draw: [120, 90, 60, 30],
+        },
+        Project {
+            name: "brand-refresh",
+            npv: 70,
+            draw: [55, 45, 20, 10],
+        },
+        Project {
+            name: "data-center",
+            npv: 250,
+            draw: [210, 110, 70, 50],
+        },
+        Project {
+            name: "port-terminal",
+            npv: 300,
+            draw: [260, 170, 110, 60],
+        },
+        Project {
+            name: "field-sensors",
+            npv: 90,
+            draw: [50, 50, 40, 30],
+        },
+        Project {
+            name: "biogas-plant",
+            npv: 205,
+            draw: [170, 100, 60, 40],
+        },
+        Project {
+            name: "apprenticeships",
+            npv: 45,
+            draw: [20, 25, 25, 20],
+        },
+        Project {
+            name: "spare-parts-hub",
+            npv: 135,
+            draw: [100, 70, 40, 25],
+        },
+        Project {
+            name: "night-shift-tooling",
+            npv: 100,
+            draw: [85, 45, 25, 15],
+        },
     ]
 }

@@ -11,7 +11,12 @@ use pts_mkp::prelude::*;
 fn main() {
     let inst = gk_instance(
         "tour_10x150",
-        GkSpec { n: 150, m: 10, tightness: 0.5, seed: 0x70 },
+        GkSpec {
+            n: 150,
+            m: 10,
+            tightness: 0.5,
+            seed: 0x70,
+        },
     );
     let ratios = Ratios::new(&inst);
     println!("== The instance ==");
@@ -44,7 +49,11 @@ fn main() {
     println!("== Table 2: the same total budget, four organizations ==");
     let budget = 8_000_000u64;
     for mode in Mode::table2() {
-        let cfg = RunConfig { p: 4, rounds: 12, ..RunConfig::new(budget, 7) };
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 12,
+            ..RunConfig::new(budget, 7)
+        };
         let r = run_mode(&inst, mode, &cfg);
         println!(
             "  {:<4} best {}   ({} strategy regenerations)",
@@ -71,7 +80,11 @@ fn main() {
 
     // --- The referee: certified optimum. ---
     println!("== Certification ==");
-    let cfg = RunConfig { p: 4, rounds: 12, ..RunConfig::new(budget, 7) };
+    let cfg = RunConfig {
+        p: 4,
+        rounds: 12,
+        ..RunConfig::new(budget, 7)
+    };
     let cts2 = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
     let lp = mkp_exact::bounds::lp_bound(&inst).expect("LP solvable");
     println!("  LP bound   : {:.1}", lp.objective);

@@ -13,7 +13,12 @@ fn main() {
     // knapsack constraints, capacities at 50% of total weight.
     let inst = gk_instance(
         "quickstart_5x100",
-        GkSpec { n: 100, m: 5, tightness: 0.5, seed: 42 },
+        GkSpec {
+            n: 100,
+            m: 5,
+            tightness: 0.5,
+            seed: 42,
+        },
     );
     println!(
         "instance {}: {} items, {} constraints",
@@ -29,7 +34,11 @@ fn main() {
 
     // The paper's method: 4 cooperative slaves, dynamically retuned by the
     // master (mode CTS2), under a fixed total work budget.
-    let cfg = RunConfig { p: 4, rounds: 8, ..RunConfig::new(4_000_000, 7) };
+    let cfg = RunConfig {
+        p: 4,
+        rounds: 8,
+        ..RunConfig::new(4_000_000, 7)
+    };
     let report = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
     println!(
         "parallel tabu (CTS2): {}   [{} moves, {} strategy regenerations, {:?}]",

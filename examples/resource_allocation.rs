@@ -61,7 +61,11 @@ fn main() {
         Mode::Asynchronous,
         Mode::Decomposed,
     ] {
-        let cfg = RunConfig { p: 4, rounds: 10, ..RunConfig::new(8_000_000, 31) };
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 10,
+            ..RunConfig::new(8_000_000, 31)
+        };
         let r = run_mode(&inst, mode, &cfg);
         println!(
             "  {:<4}  value {:>6}   jobs admitted {:>3}   {:?}",
@@ -70,7 +74,10 @@ fn main() {
             r.best.cardinality(),
             r.wall
         );
-        if best_overall.as_ref().is_none_or(|b| r.best.value() > b.value()) {
+        if best_overall
+            .as_ref()
+            .is_none_or(|b| r.best.value() > b.value())
+        {
             best_overall = Some(r.best);
         }
     }

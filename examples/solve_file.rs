@@ -32,7 +32,15 @@ fn usage() -> ExitCode {
 }
 
 fn write_demo(path: &str) -> ExitCode {
-    let inst = gk_instance("demo_5x80", GkSpec { n: 80, m: 5, tightness: 0.5, seed: 99 });
+    let inst = gk_instance(
+        "demo_5x80",
+        GkSpec {
+            n: 80,
+            m: 5,
+            tightness: 0.5,
+            seed: 99,
+        },
+    );
     let text = mkp::format::write_instance(&inst);
     if let Err(e) = std::fs::write(path, text) {
         eprintln!("cannot write {path}: {e}");
@@ -64,7 +72,11 @@ fn solve(path: &str, budget: u64) -> ExitCode {
         inst.m()
     );
 
-    let cfg = RunConfig { p: 4, rounds: 12, ..RunConfig::new(budget, 7) };
+    let cfg = RunConfig {
+        p: 4,
+        rounds: 12,
+        ..RunConfig::new(budget, 7)
+    };
     let report = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
     println!("best value : {}", report.best.value());
     println!("items      : {:?}", report.best.bits().ones());

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Offline CI pipeline — the gate every change must pass. Mirrors
+# .github/workflows/ci.yml so the same command runs locally and in CI.
+#
+# The build is fully offline by policy (DESIGN.md §7): no registry
+# dependencies, `--offline --locked` throughout. Any step failing fails
+# the script.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "rustfmt (check only)"
+cargo fmt --all -- --check
+
+step "clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+
+step "release build (offline, locked)"
+cargo build --release --offline --locked
+
+step "tests (offline)"
+cargo test -q --offline --locked
+
+step "bench smoke (kernels harness, JSON to results/)"
+mkdir -p results
+cargo run --release --offline --locked -p mkp-bench --bin kernels -- \
+  --smoke --json results/kernels-smoke.json
+test -s results/kernels-smoke.json
+
+step "no versioned registry dependencies"
+if grep -rn '^[a-z].*=.*"[0-9]' crates/*/Cargo.toml Cargo.toml; then
+  echo "error: versioned registry dependency found (policy: DESIGN.md §7)" >&2
+  exit 1
+fi
+
+printf '\nci: all checks passed\n'

@@ -20,7 +20,7 @@ for b in "${bins[@]}"; do
   cargo run --release -p mkp-bench --bin "$b" | tee "results/$b.txt"
 done
 
-echo "=== criterion microbenches ==="
-cargo bench -p mkp-bench 2>&1 | tee results/criterion.txt
+echo "=== kernel microbenches ==="
+cargo run --release -p mkp-bench --bin kernels -- --json results/kernels.json 2>&1 | tee results/kernels.txt
 
 echo "all experiment outputs in results/"

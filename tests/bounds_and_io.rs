@@ -16,12 +16,18 @@ fn bound_hierarchy_on_random_instances() {
         assert!(lp.objective + 1e-6 >= opt, "LP below optimum (seed {seed})");
 
         let dz = mkp::bounds::dantzig_bound(&inst);
-        assert!(dz + 1e-6 >= lp.objective, "min-Dantzig below LP (seed {seed})");
+        assert!(
+            dz + 1e-6 >= lp.objective,
+            "min-Dantzig below LP (seed {seed})"
+        );
 
         let sur = mkp_exact::bounds::Surrogate::from_duals(&inst, &lp.duals, 1000.0);
         let order = sur.ratio_order(&inst);
         let sbound = sur.dantzig_suffix(&inst, &order, sur.capacity);
-        assert!(sbound + 1e-6 >= opt, "surrogate below optimum (seed {seed})");
+        assert!(
+            sbound + 1e-6 >= opt,
+            "surrogate below optimum (seed {seed})"
+        );
     }
 }
 
@@ -43,7 +49,12 @@ fn instance_files_roundtrip_through_disk() {
     for seed in 0..3 {
         let inst = gk_instance(
             format!("disk_{seed}"),
-            GkSpec { n: 60, m: 6, tightness: 0.5, seed },
+            GkSpec {
+                n: 60,
+                m: 6,
+                tightness: 0.5,
+                seed,
+            },
         )
         .with_best_known(12345);
         let path = dir.join(format!("inst_{seed}.mkp"));
@@ -58,13 +69,29 @@ fn instance_files_roundtrip_through_disk() {
 #[test]
 fn solver_consumes_parsed_instances() {
     // Full persistence → search loop, as the solve_file example does.
-    let inst = gk_instance("loop", GkSpec { n: 50, m: 5, tightness: 0.5, seed: 7 });
+    let inst = gk_instance(
+        "loop",
+        GkSpec {
+            n: 50,
+            m: 5,
+            tightness: 0.5,
+            seed: 7,
+        },
+    );
     let text = mkp::format::write_instance(&inst);
     let parsed = mkp::format::parse_instance("loop", &text).unwrap();
-    let cfg = RunConfig { p: 2, rounds: 3, ..RunConfig::new(150_000, 1) };
+    let cfg = RunConfig {
+        p: 2,
+        rounds: 3,
+        ..RunConfig::new(150_000, 1)
+    };
     let a = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
     let b = run_mode(&parsed, Mode::CooperativeAdaptive, &cfg);
-    assert_eq!(a.best.value(), b.best.value(), "parse round-trip changed the search");
+    assert_eq!(
+        a.best.value(),
+        b.best.value(),
+        "parse round-trip changed the search"
+    );
 }
 
 #[test]
@@ -75,7 +102,11 @@ fn warm_start_never_hurts_the_proof() {
         let ts = run_mode(
             &inst,
             Mode::CooperativeAdaptive,
-            &RunConfig { p: 2, rounds: 3, ..RunConfig::new(200_000, seed) },
+            &RunConfig {
+                p: 2,
+                rounds: 3,
+                ..RunConfig::new(200_000, seed)
+            },
         );
         let warm = solve_with_incumbent(&inst, &BbConfig::default(), Some(&ts.best));
         assert!(cold.proven && warm.proven);
@@ -96,8 +127,15 @@ fn reduced_cost_fixing_consistent_with_proofs() {
         let with = solve_exact(&inst, &BbConfig::default());
         let without = solve_exact(
             &inst,
-            &BbConfig { use_fixing: false, ..BbConfig::default() },
+            &BbConfig {
+                use_fixing: false,
+                ..BbConfig::default()
+            },
         );
-        assert_eq!(with.solution.value(), without.solution.value(), "seed {seed}");
+        assert_eq!(
+            with.solution.value(),
+            without.solution.value(),
+            "seed {seed}"
+        );
     }
 }

@@ -6,9 +6,21 @@ use pts_mkp::prelude::*;
 
 #[test]
 fn synchronous_modes_bit_deterministic() {
-    let inst = gk_instance("det", GkSpec { n: 70, m: 6, tightness: 0.5, seed: 5 });
+    let inst = gk_instance(
+        "det",
+        GkSpec {
+            n: 70,
+            m: 6,
+            tightness: 0.5,
+            seed: 5,
+        },
+    );
     for mode in Mode::table2() {
-        let cfg = RunConfig { p: 3, rounds: 4, ..RunConfig::new(300_000, 77) };
+        let cfg = RunConfig {
+            p: 3,
+            rounds: 4,
+            ..RunConfig::new(300_000, 77)
+        };
         let a = run_mode(&inst, mode, &cfg);
         let b = run_mode(&inst, mode, &cfg);
         assert_eq!(a.best.bits(), b.best.bits(), "{mode:?} bits differ");
@@ -19,12 +31,24 @@ fn synchronous_modes_bit_deterministic() {
 
 #[test]
 fn different_seeds_explore_differently() {
-    let inst = gk_instance("seeds", GkSpec { n: 100, m: 10, tightness: 0.5, seed: 6 });
+    let inst = gk_instance(
+        "seeds",
+        GkSpec {
+            n: 100,
+            m: 10,
+            tightness: 0.5,
+            seed: 6,
+        },
+    );
     let run = |seed| {
         run_mode(
             &inst,
             Mode::CooperativeAdaptive,
-            &RunConfig { p: 3, rounds: 4, ..RunConfig::new(400_000, seed) },
+            &RunConfig {
+                p: 3,
+                rounds: 4,
+                ..RunConfig::new(400_000, seed)
+            },
         )
     };
     let a = run(1);
@@ -40,7 +64,12 @@ fn different_seeds_explore_differently() {
 #[test]
 fn generators_are_pure_functions_of_seed() {
     assert_eq!(fp_instance(7), fp_instance(7));
-    let spec = GkSpec { n: 50, m: 5, tightness: 0.5, seed: 9 };
+    let spec = GkSpec {
+        n: 50,
+        m: 5,
+        tightness: 0.5,
+        seed: 9,
+    };
     assert_eq!(gk_instance("g", spec), gk_instance("g", spec));
     assert_eq!(
         uncorrelated_instance("u", 30, 3, 0.5, 4),

@@ -7,7 +7,11 @@ use pts_mkp::prelude::*;
 #[test]
 fn decomposed_mode_competes_on_cb_instance() {
     let inst = mkp::generate::chu_beasley_instance("ext", 60, 5, 0.5, 3);
-    let cfg = RunConfig { p: 4, rounds: 1, ..RunConfig::new(400_000, 11) };
+    let cfg = RunConfig {
+        p: 4,
+        rounds: 1,
+        ..RunConfig::new(400_000, 11)
+    };
     let dts = run_mode(&inst, Mode::Decomposed, &cfg);
     assert!(dts.best.is_feasible(&inst));
     // Must at least beat the static greedy baseline.
@@ -57,7 +61,11 @@ fn multi_instance_files_feed_the_solver() {
     assert_eq!(parsed.len(), 3);
     for (orig, back) in suite.iter().zip(&parsed) {
         assert_eq!(orig.profits(), back.profits());
-        let cfg = RunConfig { p: 2, rounds: 2, ..RunConfig::new(60_000, 5) };
+        let cfg = RunConfig {
+            p: 2,
+            rounds: 2,
+            ..RunConfig::new(60_000, 5)
+        };
         let r = run_mode(back, Mode::CooperativeAdaptive, &cfg);
         assert!(r.best.is_feasible(back));
     }
@@ -74,7 +82,11 @@ fn parallel_exact_agrees_with_sequential_and_ts() {
         let ts = run_mode(
             &inst,
             Mode::CooperativeAdaptive,
-            &RunConfig { p: 2, rounds: 3, ..RunConfig::new(200_000, seed) },
+            &RunConfig {
+                p: 2,
+                rounds: 3,
+                ..RunConfig::new(200_000, seed)
+            },
         );
         assert!(ts.best.value() <= par.solution.value());
     }
@@ -84,18 +96,34 @@ fn parallel_exact_agrees_with_sequential_and_ts() {
 fn relink_improves_between_elite_endpoints() {
     // End-to-end: relinking two independently evolved solutions stays
     // feasible and never loses to the better endpoint.
-    let inst = gk_instance("rl", GkSpec { n: 80, m: 5, tightness: 0.5, seed: 9 });
+    let inst = gk_instance(
+        "rl",
+        GkSpec {
+            n: 80,
+            m: 5,
+            tightness: 0.5,
+            seed: 9,
+        },
+    );
     let ratios = Ratios::new(&inst);
     let a = run_mode(
         &inst,
         Mode::Sequential,
-        &RunConfig { p: 1, rounds: 1, ..RunConfig::new(150_000, 1) },
+        &RunConfig {
+            p: 1,
+            rounds: 1,
+            ..RunConfig::new(150_000, 1)
+        },
     )
     .best;
     let b = run_mode(
         &inst,
         Mode::Sequential,
-        &RunConfig { p: 1, rounds: 1, ..RunConfig::new(150_000, 2) },
+        &RunConfig {
+            p: 1,
+            rounds: 1,
+            ..RunConfig::new(150_000, 2)
+        },
     )
     .best;
     let mut stats = mkp_tabu::moves::MoveStats::default();

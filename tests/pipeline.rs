@@ -5,12 +5,24 @@
 use pts_mkp::prelude::*;
 
 fn cfg(seed: u64, evals: u64) -> RunConfig {
-    RunConfig { p: 3, rounds: 5, ..RunConfig::new(evals, seed) }
+    RunConfig {
+        p: 3,
+        rounds: 5,
+        ..RunConfig::new(evals, seed)
+    }
 }
 
 #[test]
 fn every_mode_full_pipeline_on_gk_instance() {
-    let inst = gk_instance("pipe", GkSpec { n: 80, m: 8, tightness: 0.5, seed: 11 });
+    let inst = gk_instance(
+        "pipe",
+        GkSpec {
+            n: 80,
+            m: 8,
+            tightness: 0.5,
+            seed: 11,
+        },
+    );
     let lp = mkp_exact::bounds::lp_bound(&inst).expect("LP solvable");
     for mode in [
         Mode::Sequential,
@@ -39,7 +51,11 @@ fn cooperative_modes_reach_exact_optimum_on_small_suite() {
         let ts = run_mode(
             &inst,
             Mode::CooperativeAdaptive,
-            &RunConfig { p: 4, rounds: 10, ..RunConfig::new(150_000 * inst.n() as u64, 0xF5) },
+            &RunConfig {
+                p: 4,
+                rounds: 10,
+                ..RunConfig::new(150_000 * inst.n() as u64, 0xF5)
+            },
         );
         let exact = solve_with_incumbent(&inst, &BbConfig::default(), Some(&ts.best));
         assert!(exact.proven, "{} unproven", inst.name());
@@ -71,7 +87,15 @@ fn value_chain_orders_correctly() {
 
 #[test]
 fn total_budget_is_shared_fairly_across_modes() {
-    let inst = gk_instance("fair", GkSpec { n: 60, m: 5, tightness: 0.5, seed: 4 });
+    let inst = gk_instance(
+        "fair",
+        GkSpec {
+            n: 60,
+            m: 5,
+            tightness: 0.5,
+            seed: 4,
+        },
+    );
     let budget = 600_000u64;
     for mode in Mode::table2() {
         let r = run_mode(&inst, mode, &cfg(9, budget));
@@ -86,7 +110,15 @@ fn total_budget_is_shared_fairly_across_modes() {
 #[test]
 fn facade_prelude_covers_the_workflow() {
     // The doc-advertised workflow compiles and runs through the prelude.
-    let inst = gk_instance("facade", GkSpec { n: 30, m: 3, tightness: 0.5, seed: 21 });
+    let inst = gk_instance(
+        "facade",
+        GkSpec {
+            n: 30,
+            m: 3,
+            tightness: 0.5,
+            seed: 21,
+        },
+    );
     let mut rng = Xoshiro256::seed_from_u64(1);
     let start = randomized_greedy(&inst, &Ratios::new(&inst), &mut rng, 3);
     let report = run_tabu(

@@ -13,7 +13,15 @@ const T: Duration = Duration::from_secs(10);
 #[test]
 fn problem_broadcast_survives_large_instances() {
     // A 25×500 instance crosses the codec intact.
-    let inst = gk_instance("wire", GkSpec { n: 500, m: 25, tightness: 0.5, seed: 1 });
+    let inst = gk_instance(
+        "wire",
+        GkSpec {
+            n: 500,
+            m: 25,
+            tightness: 0.5,
+            seed: 1,
+        },
+    );
     let msg = ProblemMsg::from_instance(&inst);
     let bytes = msg.to_bytes();
     assert!(bytes.len() > 500 * 25 * 8, "suspiciously small encoding");
@@ -29,7 +37,15 @@ fn full_master_slave_exchange_over_the_farm() {
     // A miniature hand-rolled master/slave round over raw pvm-lite,
     // independent of the production driver: proves the protocol types are
     // sufficient on their own.
-    let inst = gk_instance("mini", GkSpec { n: 40, m: 4, tightness: 0.5, seed: 2 });
+    let inst = gk_instance(
+        "mini",
+        GkSpec {
+            n: 40,
+            m: 4,
+            tightness: 0.5,
+            seed: 2,
+        },
+    );
     let p = 3;
     let results = run_farm(p + 1, |ctx| {
         if ctx.tid() == 0 {
@@ -98,8 +114,20 @@ fn full_master_slave_exchange_over_the_farm() {
 fn many_slaves_scale() {
     // 8 slaves + master on one core: the rendezvous protocol must not
     // deadlock regardless of scheduling.
-    let inst = gk_instance("scale", GkSpec { n: 50, m: 5, tightness: 0.5, seed: 3 });
-    let cfg = RunConfig { p: 8, rounds: 3, ..RunConfig::new(240_000, 17) };
+    let inst = gk_instance(
+        "scale",
+        GkSpec {
+            n: 50,
+            m: 5,
+            tightness: 0.5,
+            seed: 3,
+        },
+    );
+    let cfg = RunConfig {
+        p: 8,
+        rounds: 3,
+        ..RunConfig::new(240_000, 17)
+    };
     let r = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
     assert!(r.best.is_feasible(&inst));
     assert_eq!(r.round_best.len(), 3);
@@ -107,9 +135,25 @@ fn many_slaves_scale() {
 
 #[test]
 fn single_slave_degenerate_farm() {
-    let inst = gk_instance("p1", GkSpec { n: 40, m: 4, tightness: 0.5, seed: 4 });
-    let cfg = RunConfig { p: 1, rounds: 4, ..RunConfig::new(100_000, 23) };
-    for mode in [Mode::Cooperative, Mode::CooperativeAdaptive, Mode::Independent] {
+    let inst = gk_instance(
+        "p1",
+        GkSpec {
+            n: 40,
+            m: 4,
+            tightness: 0.5,
+            seed: 4,
+        },
+    );
+    let cfg = RunConfig {
+        p: 1,
+        rounds: 4,
+        ..RunConfig::new(100_000, 23)
+    };
+    for mode in [
+        Mode::Cooperative,
+        Mode::CooperativeAdaptive,
+        Mode::Independent,
+    ] {
         let r = run_mode(&inst, mode, &cfg);
         assert!(r.best.is_feasible(&inst), "{mode:?} with P=1 failed");
     }
@@ -135,7 +179,15 @@ fn slave_panic_is_contained_and_reported() {
 fn corrupted_report_is_rejected_not_trusted() {
     // Flip the claimed best_value in a packed report: decoding succeeds but
     // solution verification must catch the inconsistency.
-    let inst = gk_instance("tamper", GkSpec { n: 30, m: 3, tightness: 0.5, seed: 5 });
+    let inst = gk_instance(
+        "tamper",
+        GkSpec {
+            n: 30,
+            m: 3,
+            tightness: 0.5,
+            seed: 5,
+        },
+    );
     let ratios = mkp::eval::Ratios::new(&inst);
     let sol = mkp::greedy::greedy(&inst, &ratios);
     let msg = ReportMsg {
