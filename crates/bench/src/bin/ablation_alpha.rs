@@ -8,7 +8,7 @@
 
 use mkp::generate::mk_suite;
 use mkp_bench::{mean, TextTable};
-use parallel_tabu::{run_mode, IspConfig, Mode, RunConfig};
+use parallel_tabu::{Engine, IspConfig, Mode, RunConfig};
 
 const SEEDS: [u64; 3] = [5, 55, 555];
 const BUDGET: u64 = 20_000_000;
@@ -16,6 +16,7 @@ const BUDGET: u64 = 20_000_000;
 fn main() {
     println!("A3: ISP alpha sweep, CTS2, budget {BUDGET} evals\n");
     let instances: Vec<_> = mk_suite().into_iter().take(2).collect();
+    let mut engine = Engine::new(4); // one warm pool for the whole sweep
 
     let mut table = TextTable::new(vec![
         "alpha",
@@ -38,7 +39,10 @@ fn main() {
                         alpha,
                         ..IspConfig::default()
                     };
-                    run_mode(inst, Mode::CooperativeAdaptive, &cfg).best.value() as f64
+                    engine
+                        .run(inst, Mode::CooperativeAdaptive, &cfg)
+                        .best
+                        .value() as f64
                 })
                 .collect();
             cells.push(format!("{:.0}", mean(&values)));

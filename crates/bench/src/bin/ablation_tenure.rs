@@ -24,7 +24,7 @@ use mkp_tabu::rem::ReverseElimination;
 use mkp_tabu::search::{run_with_memory, Budget, TsConfig};
 use mkp_tabu::tabu_list::Recency;
 use mkp_tabu::Strategy;
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 use std::time::Instant;
 
 const SEEDS: [u64; 3] = [11, 22, 33];
@@ -153,6 +153,7 @@ fn main() {
     // CTS2: the paper's answer — master-tuned tenure.
     {
         let inst = &inst;
+        let mut engine = Engine::new(4); // warm pool across the seeds
         run_seeded(
             "CTS2 (master-tuned)".to_string(),
             Box::new(move |seed| {
@@ -161,7 +162,10 @@ fn main() {
                     rounds: 16,
                     ..RunConfig::new(BUDGET, seed)
                 };
-                run_mode(inst, Mode::CooperativeAdaptive, &cfg).best.value()
+                engine
+                    .run(inst, Mode::CooperativeAdaptive, &cfg)
+                    .best
+                    .value()
             }),
         );
     }

@@ -9,7 +9,7 @@
 
 use mkp::generate::mk_suite;
 use mkp_bench::{mean, TextTable};
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 use std::fmt::Write as _;
 
 const SEEDS: [u64; 3] = [42, 1337, 2024];
@@ -23,10 +23,11 @@ fn main() {
     );
     let instances: Vec<_> = mk_suite().into_iter().take(2).collect();
     let mut csv = String::from("instance,mode,round,mean_best\n");
+    let mut engine = Engine::new(4); // one warm pool for both modes
 
     for inst in &instances {
         let mut table = TextTable::new(vec!["round", "CTS1 mean", "CTS2 mean", "gap"]);
-        let curve = |mode: Mode| -> Vec<Vec<f64>> {
+        let mut curve = |mode: Mode| -> Vec<Vec<f64>> {
             SEEDS
                 .iter()
                 .map(|&seed| {
@@ -35,7 +36,8 @@ fn main() {
                         rounds: ROUNDS,
                         ..RunConfig::new(BUDGET, seed)
                     };
-                    run_mode(inst, mode, &cfg)
+                    engine
+                        .run(inst, mode, &cfg)
                         .round_best
                         .iter()
                         .map(|&v| v as f64)

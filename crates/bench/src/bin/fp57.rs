@@ -8,7 +8,7 @@
 use mkp::generate::fp_suite;
 use mkp_bench::TextTable;
 use mkp_exact::{solve_with_incumbent, BbConfig};
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 use std::time::Instant;
 
 /// Seeds tried per instance, stopping at the first optimum hit. The paper
@@ -35,12 +35,13 @@ fn main() {
     let mut hits = 0usize;
     let mut max_ms = 0u128;
     let start = Instant::now();
+    let mut engine = Engine::new(4); // one warm pool for all 57 instances
 
     for inst in fp_suite() {
         // Budget scaled to instance size; small problems need little.
         let budget = 400_000 * inst.n() as u64;
         let t = Instant::now();
-        let first = run_mode(
+        let first = engine.run(
             &inst,
             Mode::CooperativeAdaptive,
             &RunConfig {
@@ -66,7 +67,8 @@ fn main() {
                 ..RunConfig::new(budget, seed)
             };
             found = found.max(
-                run_mode(&inst, Mode::CooperativeAdaptive, &cfg)
+                engine
+                    .run(&inst, Mode::CooperativeAdaptive, &cfg)
                     .best
                     .value(),
             );

@@ -10,7 +10,7 @@
 use mkp::generate::table1_suite;
 use mkp_bench::{deviation_pct, mean, TextTable};
 use mkp_exact::bounds::lp_bound;
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 use std::time::Instant;
 
 struct Group {
@@ -74,6 +74,7 @@ fn main() {
     ];
 
     let suite = table1_suite();
+    let mut engine = Engine::new(4); // one warm pool for the whole suite
     let mut per_instance = TextTable::new(vec![
         "prob", "instance", "lp_bound", "cts2", "dev_%", "time_s",
     ]);
@@ -86,7 +87,7 @@ fn main() {
             ..RunConfig::new(budget, 0x6B + idx as u64)
         };
         let t = Instant::now();
-        let r = run_mode(inst, Mode::CooperativeAdaptive, &cfg);
+        let r = engine.run(inst, Mode::CooperativeAdaptive, &cfg);
         let secs = t.elapsed().as_secs_f64();
         let dev = deviation_pct(r.best.value(), lp);
         per_instance.row(vec![

@@ -8,7 +8,7 @@
 
 use mkp::generate::mk_suite;
 use mkp_bench::{mean, stddev, TextTable};
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 use std::time::Instant;
 
 const SEEDS: [u64; 5] = [42, 1337, 2024, 7, 99];
@@ -29,6 +29,7 @@ fn main() {
         Mode::table2().iter().map(|&m| (m, Vec::new())).collect();
 
     let start = Instant::now();
+    let mut engine = Engine::new(P); // one warm pool for all modes x seeds
     for inst in mk_suite() {
         let mut cells = vec![inst.name().to_string()];
         for mode in Mode::table2() {
@@ -40,7 +41,7 @@ fn main() {
                         rounds: ROUNDS,
                         ..RunConfig::new(BUDGET, seed)
                     };
-                    run_mode(&inst, mode, &cfg).best.value() as f64
+                    engine.run(&inst, mode, &cfg).best.value() as f64
                 })
                 .collect();
             cells.push(format!("{:.0}", mean(&values)));

@@ -11,7 +11,7 @@ use mkp::generate::cb_suite;
 use mkp::stats::instance_stats;
 use mkp_bench::{deviation_pct, TextTable};
 use mkp_exact::bounds::lp_bound;
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 use std::time::Instant;
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
         "time_s",
     ]);
     let start = Instant::now();
+    let mut engine = Engine::new(4); // one warm pool for the whole grid
     for (idx, inst) in cb_suite(0xCB).iter().enumerate() {
         let lp = lp_bound(inst).expect("LP solvable").objective;
         let budget = 60_000 * inst.n() as u64;
@@ -34,7 +35,7 @@ fn main() {
             ..RunConfig::new(budget, 0xCB + idx as u64)
         };
         let t = Instant::now();
-        let r = run_mode(inst, Mode::CooperativeAdaptive, &cfg);
+        let r = engine.run(inst, Mode::CooperativeAdaptive, &cfg);
         table.row(vec![
             inst.name().to_string(),
             instance_stats(inst).to_string(),

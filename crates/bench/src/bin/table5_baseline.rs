@@ -15,7 +15,7 @@ use mkp::greedy::dynamic_randomized_greedy;
 use mkp::Xoshiro256;
 use mkp_bench::{mean, stddev, TextTable};
 use mkp_tabu::cets::{run_cets, CetsConfig};
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 
 const SEEDS: [u64; 5] = [42, 1337, 2024, 7, 99];
 const BUDGET: u64 = 40_000_000;
@@ -23,6 +23,7 @@ const BUDGET: u64 = 40_000_000;
 fn main() {
     println!("E6: CTS2 (the paper) vs CETS (the cited baseline) at equal budget\n");
     let mut table = TextTable::new(vec!["Prob", "CETS mean", "sd", "CTS2 mean", "sd", "winner"]);
+    let mut engine = Engine::new(4); // one warm pool across the suite
     for inst in mk_suite() {
         let ratios = Ratios::new(&inst);
         let cets: Vec<f64> = SEEDS
@@ -50,7 +51,8 @@ fn main() {
                     rounds: 16,
                     ..RunConfig::new(BUDGET, seed)
                 };
-                run_mode(&inst, Mode::CooperativeAdaptive, &cfg)
+                engine
+                    .run(&inst, Mode::CooperativeAdaptive, &cfg)
                     .best
                     .value() as f64
             })

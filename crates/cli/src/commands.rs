@@ -7,7 +7,7 @@ use mkp::generate::{chu_beasley_instance, gk_instance, uncorrelated_instance, Gk
 use mkp::greedy::greedy;
 use mkp::stats::instance_stats;
 use mkp::Instance;
-use parallel_tabu::{run_mode, Mode, RunConfig};
+use parallel_tabu::{Engine, Mode, RunConfig};
 use std::fmt::Write as _;
 
 /// Top-level command failures.
@@ -51,7 +51,7 @@ USAGE:
   mkp stats    <instance.mkp>
   mkp solve    <instance.mkp> [--mode seq|its|cts1|cts2|ats|dts]
                [--p P] [--rounds R] [--budget EVALS] [--seed S]
-               [--relink true|false]
+               [--relink true|false] [--timeout SECS]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
   mkp help
 ";
@@ -150,9 +150,13 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
     let budget: u64 = args.get("budget", 40_000 * inst.n() as u64)?;
     let seed: u64 = args.get("seed", 7)?;
     let relink: bool = args.get("relink", false)?;
-    if p == 0 || rounds == 0 || budget == 0 {
+    let timeout: u64 = args.get(
+        "timeout",
+        parallel_tabu::runner::DEFAULT_REPORT_TIMEOUT.as_secs(),
+    )?;
+    if p == 0 || rounds == 0 || budget == 0 || timeout == 0 {
         return Err(CliError::Invalid(
-            "p, rounds and budget must be positive".into(),
+            "p, rounds, budget and timeout must be positive".into(),
         ));
     }
 
@@ -160,9 +164,10 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         p,
         rounds,
         relink,
+        report_timeout: std::time::Duration::from_secs(timeout),
         ..RunConfig::new(budget, seed)
     };
-    let report = run_mode(&inst, mode, &cfg);
+    let report = Engine::new(cfg.p).run(&inst, mode, &cfg);
     let mut out = String::new();
     let _ = writeln!(out, "mode       : {}", report.mode.label());
     let _ = writeln!(out, "best value : {}", report.best.value());
@@ -242,7 +247,7 @@ mod tests {
     }
 
     const GEN_FLAGS: &[&str] = &["class", "n", "m", "tightness", "seed"];
-    const SOLVE_FLAGS: &[&str] = &["mode", "p", "rounds", "budget", "seed", "relink"];
+    const SOLVE_FLAGS: &[&str] = &["mode", "p", "rounds", "budget", "seed", "relink", "timeout"];
     const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
 
     #[test]
@@ -296,6 +301,32 @@ mod tests {
         let path = tmp("zero.mkp");
         cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
         let err = cmd_solve(&args(&[&path, "--budget", "0"], SOLVE_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn solve_honors_timeout_flag() {
+        let path = tmp("timeout.mkp");
+        cmd_generate(&args(
+            &[&path, "--n", "12", "--m", "2", "--class", "uniform"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        let out = cmd_solve(&args(
+            &[
+                &path,
+                "--timeout",
+                "120",
+                "--budget",
+                "20000",
+                "--rounds",
+                "2",
+            ],
+            SOLVE_FLAGS,
+        ))
+        .unwrap();
+        assert!(out.contains("best value"));
+        let err = cmd_solve(&args(&[&path, "--timeout", "0"], SOLVE_FLAGS)).unwrap_err();
         assert!(err.to_string().contains("positive"));
     }
 

@@ -29,9 +29,12 @@ fn main() -> ExitCode {
         "stats" => Args::parse(rest, &[])
             .map_err(Into::into)
             .and_then(|a| cmd_stats(&a)),
-        "solve" => Args::parse(rest, &["mode", "p", "rounds", "budget", "seed", "relink"])
-            .map_err(Into::into)
-            .and_then(|a| cmd_solve(&a)),
+        "solve" => Args::parse(
+            rest,
+            &["mode", "p", "rounds", "budget", "seed", "relink", "timeout"],
+        )
+        .map_err(Into::into)
+        .and_then(|a| cmd_solve(&a)),
         "exact" => Args::parse(rest, &["nodes", "workers"])
             .map_err(Into::into)
             .and_then(|a| cmd_exact(&a)),

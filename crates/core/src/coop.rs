@@ -1,304 +1,283 @@
-//! The synchronous master/slave drivers: SEQ, ITS, CTS1 and CTS2.
+//! The trajectory-mode policies: SEQ, ITS, CTS1, CTS2 and ATS.
 //!
-//! The master (task 0, Fig. 2) broadcasts the problem, then per search
-//! iteration sends each slave an initial solution and a strategy, collects
-//! the B-best reports, and updates its per-slave data structure (strategy,
-//! initial solution, best solutions, score). CTS1 runs the cooperation
-//! (ISP) without touching strategies; CTS2 adds the dynamic strategy tuning
-//! (SGP) — the paper's contribution. ITS degenerates to one communication-
-//! free round per slave, and SEQ to a single thread holding the entire
-//! work budget.
+//! All five modes share one master data structure (Fig. 2: per slave a
+//! strategy, an initial solution, the B best solutions and a score) and one
+//! [`FarmPolicy`] implementation; they differ only in which of its switches
+//! are on:
+//!
+//! | mode | workers | rounds | ISP | SGP | delivery |
+//! |------|---------|--------|-----|-----|----------|
+//! | SEQ  | 1       | 1      |  —  |  —  | synchronous |
+//! | ITS  | P       | 1      |  —  |  —  | synchronous |
+//! | CTS1 | P       | R      |  ✓  |  —  | synchronous |
+//! | CTS2 | P       | R      |  ✓  |  ✓  | synchronous |
+//! | ATS  | P       | R      |  ✓  |  ✓  | pipelined |
+//!
+//! CTS2 is the paper's contribution: cooperation (the master's initial
+//! solution procedure, ISP) *plus* dynamic strategy tuning (the strategy
+//! generation procedure, SGP). ATS is the §6 future-work extension —
+//! the same cooperation without the round rendezvous (see
+//! [`Delivery::Pipelined`](crate::engine::Delivery)). The round loop itself
+//! lives in [`crate::engine`]; this module only decides what to assign and
+//! how to digest reports.
 
+use crate::engine::{assignment_seed, CoopPolicy, Delivery};
 use crate::isp::IspState;
-use crate::messages::{tags, AssignMsg, ProblemMsg, ReportMsg};
-use crate::runner::{Mode, ModeReport, RunConfig};
+use crate::messages::{AssignMsg, ReportMsg};
+use crate::runner::{Mode, RunConfig};
 use crate::score::Score;
 use crate::sgp::{elite_dispersion, next_strategy};
 
 use mkp::greedy::dynamic_randomized_greedy;
 use mkp::{Instance, Solution, Xoshiro256};
-use mkp_tabu::{search, Budget, StrategyBounds, TsConfig};
-use pvm_lite::{run_farm, Collectives, TaskCtx};
-use std::time::{Duration, Instant};
+use mkp_tabu::{Strategy, StrategyBounds};
 
-/// How long the master waits for a slave report before declaring the farm
-/// broken (a slave normally answers in milliseconds-to-seconds).
-const REPORT_TIMEOUT: Duration = Duration::from_secs(600);
-
-/// Per-task result of the farm.
-enum TaskOut {
-    Master(Box<ModeReport>),
-    Slave,
-}
-
-/// Run a synchronous cooperative search (CTS1 when `adaptive` is false,
-/// CTS2 when true).
-pub fn run_cooperative(inst: &Instance, cfg: &RunConfig, adaptive: bool) -> ModeReport {
-    assert!(cfg.p >= 1 && cfg.rounds >= 1);
-    let results = run_farm(cfg.p + 1, |ctx| {
-        if ctx.tid() == 0 {
-            TaskOut::Master(Box::new(master_task(ctx, inst, cfg, adaptive)))
-        } else {
-            slave_task(ctx);
-            TaskOut::Slave
-        }
-    })
-    .expect("farm task panicked");
-    for out in results {
-        if let TaskOut::Master(report) = out {
-            return *report;
-        }
-    }
-    unreachable!("task 0 always returns the master report")
-}
-
-/// Run P independent tabu searches (ITS): same farm, one fat round, no
-/// cooperation and no adaptation.
-pub fn run_independent(inst: &Instance, cfg: &RunConfig) -> ModeReport {
-    let one_round = RunConfig {
-        rounds: 1,
-        ..cfg.clone()
-    };
-    let mut report = run_cooperative_with_flags(inst, &one_round, false, false);
-    report.mode = Mode::Independent;
-    report
-}
-
-fn master_task(ctx: TaskCtx, inst: &Instance, cfg: &RunConfig, adaptive: bool) -> ModeReport {
-    master_task_with_flags(ctx, inst, cfg, adaptive, true)
-}
-
-/// Cooperative driver with an extra switch for the ISP (cooperation); used
-/// by [`run_independent`] to reuse the farm plumbing with cooperation off.
-fn run_cooperative_with_flags(
-    inst: &Instance,
-    cfg: &RunConfig,
-    adaptive: bool,
+/// The shared policy behind every trajectory mode (see the module table).
+pub struct FarmPolicy {
+    mode: Mode,
+    /// Exchange solutions through the master's ISP.
     cooperate: bool,
-) -> ModeReport {
-    let results = run_farm(cfg.p + 1, |ctx| {
-        if ctx.tid() == 0 {
-            TaskOut::Master(Box::new(master_task_with_flags(
-                ctx, inst, cfg, adaptive, cooperate,
-            )))
-        } else {
-            slave_task(ctx);
-            TaskOut::Slave
-        }
-    })
-    .expect("farm task panicked");
-    for out in results {
-        if let TaskOut::Master(report) = out {
-            return *report;
-        }
-    }
-    unreachable!("task 0 always returns the master report")
-}
-
-fn master_task_with_flags(
-    ctx: TaskCtx,
-    inst: &Instance,
-    cfg: &RunConfig,
+    /// Tune strategies with the SGP.
     adaptive: bool,
-    cooperate: bool,
-) -> ModeReport {
-    let start = Instant::now();
-    let p = cfg.p;
+    /// Fold the whole budget into a single round (SEQ/ITS).
+    one_round: bool,
+    /// Drive a single worker regardless of `cfg.p` (SEQ).
+    solo: bool,
+    /// Pipelined report delivery (ATS).
+    pipelined: bool,
 
-    let bounds = StrategyBounds::for_instance_size(inst.n());
-    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    // Master data structure, one entry per slave (Fig. 2).
+    strategies: Vec<Strategy>,
+    initials: Vec<Solution>,
+    scores: Vec<Score>,
+    isp_states: Vec<IspState>,
+    /// Per-slave best-so-far; the SGP scores a round as improving only when
+    /// the slave beat its own previous best (scoring against the round's
+    /// initial value would award every post-restart round a free point and
+    /// the zero-score regeneration would never fire).
+    prev_best: Vec<i64>,
+}
 
-    // "Read and send to slaves problem data" (Fig. 2) — a pvm_mcast.
-    let problem = ProblemMsg::from_instance(inst);
-    ctx.broadcast(tags::PROBLEM, &problem)
-        .expect("slaves alive at start");
-
-    // Master data structure: one entry per slave (Fig. 2: strategy, initial
-    // solution, B best solutions, score).
-    let mut strategies: Vec<_> = (0..p).map(|_| bounds.random(&mut rng)).collect();
-    let mut initials: Vec<Solution> = (0..p)
-        .map(|_| dynamic_randomized_greedy(inst, &mut rng, cfg.isp.rcl))
-        .collect();
-    let mut scores = vec![Score::new(); p];
-    let mut isp_states: Vec<IspState> = (0..p).map(|_| IspState::default()).collect();
-
-    // Per-slave best-so-far; the SGP scores a round as improving only when
-    // the slave beat its own previous best (scoring against the round's
-    // initial value would award every post-restart round a free point and
-    // the zero-score regeneration would never fire).
-    let mut prev_best: Vec<i64> = initials.iter().map(|s| s.value()).collect();
-    let mut global_best = initials
-        .iter()
-        .max_by_key(|s| s.value())
-        .expect("p >= 1")
-        .clone();
-    let mut round_best = Vec::with_capacity(cfg.rounds);
-    let mut total_moves = 0u64;
-    let mut total_evals = 0u64;
-    let mut regenerations = 0u64;
-
-    let budget_per_assignment = cfg.total_evals / (p as u64 * cfg.rounds as u64);
-
-    for round in 0..cfg.rounds {
-        // Launch the P slave searches.
-        for slave in 1..=p {
-            let k = slave - 1;
-            let assign = AssignMsg {
-                initial: initials[k].bits().clone(),
-                strategy: strategies[k],
-                budget_evals: budget_per_assignment,
-                seed: cfg.seed
-                    ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ (slave as u64) << 32,
-            };
-            ctx.send(slave, tags::ASSIGN, &assign).expect("slave alive");
+impl FarmPolicy {
+    fn new(mode: Mode) -> Self {
+        FarmPolicy {
+            mode,
+            cooperate: false,
+            adaptive: false,
+            one_round: false,
+            solo: false,
+            pipelined: false,
+            strategies: Vec::new(),
+            initials: Vec::new(),
+            scores: Vec::new(),
+            isp_states: Vec::new(),
+            prev_best: Vec::new(),
         }
-
-        // Rendezvous: gather all P reports (slaves finish ≈ simultaneously
-        // because the eval budget, not wall-clock, bounds each search). The
-        // gather orders reports by slave id, so the master update below is
-        // deterministic regardless of message arrival order.
-        let slave_ids: Vec<usize> = (1..=p).collect();
-        let reports: Vec<ReportMsg> = ctx
-            .gather_msgs(tags::REPORT, &slave_ids, REPORT_TIMEOUT)
-            .unwrap_or_else(|e| panic!("report rendezvous failed: {e}"));
-
-        // Optional master-side exploitation: relink the two best distinct
-        // slave solutions (information neither slave holds alone).
-        if cfg.relink {
-            let mut tops: Vec<Solution> = reports.iter().map(|r| r.best_solution(inst)).collect();
-            tops.sort_by_key(|s| std::cmp::Reverse(s.value()));
-            if tops.len() >= 2 && tops[0].bits() != tops[1].bits() {
-                let ratios = mkp::eval::Ratios::new(inst);
-                let mut stats = mkp_tabu::moves::MoveStats::default();
-                let (relinked, _) =
-                    mkp_tabu::relink::path_relink(inst, &ratios, &tops[0], &tops[1], &mut stats);
-                total_evals += stats.candidate_evals;
-                if relinked.value() > global_best.value() {
-                    global_best = relinked;
-                }
-            }
-        }
-
-        for (k, report) in reports.into_iter().enumerate() {
-            total_moves += report.moves;
-            total_evals += report.evals;
-            let slave_best = report.best_solution(inst);
-            if slave_best.value() > global_best.value() {
-                global_best = slave_best.clone();
-            }
-
-            if adaptive {
-                // SGP: score the strategy, regenerate at zero using the
-                // elite dispersion signal.
-                let regenerate = scores[k].update(report.best_value > prev_best[k]);
-                regenerations += regenerate as u64;
-                let dispersion = elite_dispersion(&report.elite);
-                let (next, _) = next_strategy(
-                    strategies[k],
-                    regenerate,
-                    dispersion,
-                    inst.n(),
-                    &cfg.sgp,
-                    &bounds,
-                    &mut rng,
-                );
-                strategies[k] = next;
-            }
-            prev_best[k] = prev_best[k].max(report.best_value);
-
-            if cooperate {
-                // ISP: own best / culled to global best / random restart.
-                let (next_init, _) =
-                    isp_states[k].next_initial(&cfg.isp, inst, &slave_best, &global_best, &mut rng);
-                initials[k] = next_init;
-            } else {
-                // Independent threads: continue from own best, nothing else.
-                initials[k] = slave_best;
-            }
-        }
-        round_best.push(global_best.value());
-        let _ = round; // (kept for symmetry with the paper's Fig. 2 loop)
     }
 
-    for slave in 1..=p {
-        let _ = ctx.send_bytes(slave, tags::STOP, Vec::new());
+    /// SEQ — one worker, one round, the entire budget, randomly drawn
+    /// strategy and start (the paper's baseline).
+    pub fn sequential() -> Self {
+        FarmPolicy {
+            solo: true,
+            one_round: true,
+            ..FarmPolicy::new(Mode::Sequential)
+        }
     }
 
-    debug_assert!(global_best.is_feasible(inst));
-    ModeReport {
-        mode: if !cooperate {
-            Mode::Independent
-        } else if adaptive {
-            Mode::CooperativeAdaptive
-        } else {
-            Mode::Cooperative
-        },
-        best: global_best,
-        round_best,
-        total_moves,
-        total_evals,
-        regenerations,
-        wall: start.elapsed(),
+    /// ITS — P independent workers, one fat round, no communication.
+    pub fn independent() -> Self {
+        FarmPolicy {
+            one_round: true,
+            ..FarmPolicy::new(Mode::Independent)
+        }
+    }
+
+    /// CTS1 — cooperation via the ISP, strategies fixed.
+    pub fn cooperative() -> Self {
+        FarmPolicy {
+            cooperate: true,
+            ..FarmPolicy::new(Mode::Cooperative)
+        }
+    }
+
+    /// CTS2 — cooperation plus dynamic strategy tuning (ISP + SGP).
+    pub fn cooperative_adaptive() -> Self {
+        FarmPolicy {
+            cooperate: true,
+            adaptive: true,
+            ..FarmPolicy::new(Mode::CooperativeAdaptive)
+        }
+    }
+
+    /// ATS — CTS2's cooperation without the rendezvous: pipelined delivery.
+    pub fn asynchronous() -> Self {
+        FarmPolicy {
+            cooperate: true,
+            adaptive: true,
+            pipelined: true,
+            ..FarmPolicy::new(Mode::Asynchronous)
+        }
     }
 }
 
-/// The slave loop: receive the problem once, then serve assignments until
-/// the stop message (or a dead master) ends the task.
-fn slave_task(ctx: TaskCtx) {
-    let env = match ctx.recv_timeout(REPORT_TIMEOUT) {
-        Ok(env) => env,
-        Err(_) => return, // master died before the broadcast
-    };
-    assert_eq!(env.tag, tags::PROBLEM, "protocol violation");
-    let inst = env
-        .decode::<ProblemMsg>()
-        .expect("well-formed problem")
-        .into_instance();
-    let ratios = mkp::eval::Ratios::new(&inst);
-    // The long-term frequency memory survives across rounds: each round's
-    // diversification then targets regions this slave has never visited in
-    // the whole session, which is what makes later rounds productive.
-    let mut history = mkp_tabu::history::History::new(inst.n());
+impl CoopPolicy for FarmPolicy {
+    fn mode(&self) -> Mode {
+        self.mode
+    }
 
-    loop {
-        let env = match ctx.recv_timeout(REPORT_TIMEOUT) {
-            Ok(env) => env,
-            Err(_) => return, // master gone: shut down quietly
+    fn active_workers(&self, cfg: &RunConfig) -> usize {
+        if self.solo {
+            1
+        } else {
+            cfg.p
+        }
+    }
+
+    fn rounds(&self, cfg: &RunConfig) -> usize {
+        if self.one_round {
+            1
+        } else {
+            cfg.rounds
+        }
+    }
+
+    fn delivery(&self) -> Delivery {
+        if self.pipelined {
+            Delivery::Pipelined
+        } else {
+            Delivery::Synchronous
+        }
+    }
+
+    fn relink(&self, cfg: &RunConfig) -> bool {
+        cfg.relink
+    }
+
+    fn prepare(&mut self, inst: &Instance, cfg: &RunConfig, rng: &mut Xoshiro256) -> Vec<Solution> {
+        let p = self.active_workers(cfg);
+        let bounds = StrategyBounds::for_instance_size(inst.n());
+        self.strategies = (0..p).map(|_| bounds.random(rng)).collect();
+        self.initials = (0..p)
+            .map(|_| dynamic_randomized_greedy(inst, rng, cfg.isp.rcl))
+            .collect();
+        self.scores = vec![Score::new(); p];
+        self.isp_states = (0..p).map(|_| IspState::default()).collect();
+        self.prev_best = self.initials.iter().map(|s| s.value()).collect();
+        self.initials.clone()
+    }
+
+    fn assign(
+        &mut self,
+        k: usize,
+        round: usize,
+        _inst: &Instance,
+        cfg: &RunConfig,
+        _rng: &mut Xoshiro256,
+    ) -> AssignMsg {
+        let budget = cfg.total_evals / (self.active_workers(cfg) as u64 * self.rounds(cfg) as u64);
+        AssignMsg::trajectory(
+            self.initials[k].bits().clone(),
+            self.strategies[k],
+            budget,
+            assignment_seed(cfg, round, k),
+        )
+    }
+
+    fn absorb(
+        &mut self,
+        k: usize,
+        _round: usize,
+        report: &ReportMsg,
+        slave_best: &Solution,
+        global_best: &Solution,
+        inst: &Instance,
+        cfg: &RunConfig,
+        rng: &mut Xoshiro256,
+    ) -> u64 {
+        let mut regenerations = 0;
+        if self.adaptive {
+            // SGP: score the strategy, regenerate at zero using the elite
+            // dispersion signal.
+            let bounds = StrategyBounds::for_instance_size(inst.n());
+            let regenerate = self.scores[k].update(report.best_value > self.prev_best[k]);
+            regenerations += regenerate as u64;
+            let dispersion = elite_dispersion(&report.elite);
+            let (next, _) = next_strategy(
+                self.strategies[k],
+                regenerate,
+                dispersion,
+                inst.n(),
+                &cfg.sgp,
+                &bounds,
+                rng,
+            );
+            self.strategies[k] = next;
+        }
+        self.prev_best[k] = self.prev_best[k].max(report.best_value);
+
+        if self.cooperate {
+            // ISP: own best / culled to global best / random restart.
+            let (next_init, _) =
+                self.isp_states[k].next_initial(&cfg.isp, inst, slave_best, global_best, rng);
+            self.initials[k] = next_init;
+        } else {
+            // Independent threads: continue from own best, nothing else.
+            self.initials[k] = slave_best.clone();
+        }
+        regenerations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_mode;
+    use mkp::generate::{gk_instance, GkSpec};
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            p: 3,
+            rounds: 3,
+            ..RunConfig::new(90_000, 17)
+        }
+    }
+
+    #[test]
+    fn switch_matrix_matches_modes() {
+        let cfg = cfg();
+        let seq = FarmPolicy::sequential();
+        assert_eq!(seq.active_workers(&cfg), 1);
+        assert_eq!(seq.rounds(&cfg), 1);
+        let its = FarmPolicy::independent();
+        assert_eq!(its.active_workers(&cfg), 3);
+        assert_eq!(its.rounds(&cfg), 1);
+        let cts2 = FarmPolicy::cooperative_adaptive();
+        assert_eq!(cts2.rounds(&cfg), 3);
+        assert_eq!(cts2.delivery(), Delivery::Synchronous);
+        assert_eq!(FarmPolicy::asynchronous().delivery(), Delivery::Pipelined);
+    }
+
+    #[test]
+    fn adaptive_modes_regenerate_eventually() {
+        // Over enough rounds the SGP must hit a zero score somewhere.
+        let inst = gk_instance(
+            "rg",
+            GkSpec {
+                n: 50,
+                m: 5,
+                tightness: 0.5,
+                seed: 4,
+            },
+        );
+        let cfg = RunConfig {
+            p: 3,
+            rounds: 12,
+            ..RunConfig::new(240_000, 23)
         };
-        match env.tag {
-            tags::STOP => return,
-            tags::ASSIGN => {
-                let assign: AssignMsg = env.decode().expect("well-formed assignment");
-                let mut rng = Xoshiro256::seed_from_u64(assign.seed);
-                let initial = Solution::from_bits(&inst, assign.initial);
-                let mut ts = TsConfig::default_for(inst.n());
-                ts.strategy = assign.strategy;
-                let mut memory =
-                    mkp_tabu::tabu_list::Recency::new(inst.n(), assign.strategy.tabu_tenure);
-                let report = search::run_with_memory(
-                    &inst,
-                    &ratios,
-                    initial,
-                    &ts,
-                    Budget::evals(assign.budget_evals),
-                    &mut rng,
-                    &mut memory,
-                    &mut history,
-                );
-                let msg = ReportMsg {
-                    best: report.best.bits().clone(),
-                    elite: report.elite.iter().map(|s| s.bits().clone()).collect(),
-                    initial_value: report.initial_value,
-                    best_value: report.best.value(),
-                    moves: report.stats.moves,
-                    evals: report.stats.candidate_evals,
-                };
-                if ctx.send(0, tags::REPORT, &msg).is_err() {
-                    return; // master gone
-                }
-            }
-            other => panic!("unexpected tag {other} in slave"),
-        }
+        let r = run_mode(&inst, Mode::CooperativeAdaptive, &cfg);
+        assert!(r.regenerations > 0, "SGP never regenerated in 12 rounds");
+        let r = run_mode(&inst, Mode::Cooperative, &cfg);
+        assert_eq!(r.regenerations, 0, "CTS1 must not touch strategies");
     }
 }

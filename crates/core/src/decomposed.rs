@@ -7,19 +7,20 @@
 //! utility rank sits at the expected solution boundary, where the packing
 //! decision is genuinely uncertain. With `D = ⌊log₂ P⌋` split variables,
 //! worker `k` receives the subproblem with those variables fixed to the
-//! bits of `k` (via [`mkp::restrict::Restriction`], which also shrinks the
-//! capacities), so the workers explore *provably disjoint* regions — a
-//! complementary regime to the overlapping trajectories of ITS/CTS.
-//! Workers whose cell is infeasible fall back to the full instance.
+//! bits of `k`: the assignment carries a [`CellMsg`] and the slave builds
+//! the [`mkp::restrict::Restriction`] itself (and lifts the sub-solution
+//! back — see `engine::serve_assignment`), so the workers explore *provably
+//! disjoint* regions — a complementary regime to the overlapping
+//! trajectories of ITS/CTS. Workers whose cell is infeasible fall back to
+//! the full instance.
 
-use crate::runner::{Mode, ModeReport, RunConfig};
+use crate::engine::{assignment_seed, CoopPolicy};
+use crate::messages::{AssignMsg, CellMsg, ReportMsg};
+use crate::runner::{Mode, RunConfig};
 use mkp::eval::Ratios;
-use mkp::greedy::dynamic_randomized_greedy;
-use mkp::restrict::Restriction;
 use mkp::stats::instance_stats;
-use mkp::{Instance, Solution, Xoshiro256};
-use mkp_tabu::{search, Budget, StrategyBounds, TsConfig};
-use std::time::Instant;
+use mkp::{BitVec, Instance, Solution, Xoshiro256};
+use mkp_tabu::{Strategy, StrategyBounds};
 
 /// Pick the `d` split variables: the items straddling the expected
 /// cardinality boundary in the static utility order (the most uncertain
@@ -31,124 +32,109 @@ pub fn split_variables(inst: &Instance, ratios: &Ratios, d: usize) -> Vec<usize>
     order[lo..(lo + d).min(inst.n())].to_vec()
 }
 
-/// Run the decomposed mode (DTS).
-pub fn run_decomposed(inst: &Instance, cfg: &RunConfig) -> ModeReport {
-    assert!(cfg.p >= 1);
-    let start = Instant::now();
-    let ratios = Ratios::new(inst);
-    let bounds = StrategyBounds::for_instance_size(inst.n());
+/// The decomposed mode (DTS): one round, each worker fixed to its cell.
+#[derive(Default)]
+pub struct DecomposedPolicy {
+    split: Vec<usize>,
+    cells: usize,
+    strategies: Vec<Strategy>,
+}
 
-    let d = (cfg.p as f64).log2().floor() as usize;
-    let cells = 1usize << d;
-    let split = split_variables(inst, &ratios, d);
-    let per_worker_budget = cfg.total_evals / cfg.p as u64;
+impl DecomposedPolicy {
+    /// A fresh DTS policy (the split is computed in `prepare`).
+    pub fn new() -> Self {
+        DecomposedPolicy::default()
+    }
+}
 
-    let mut seed_rng = Xoshiro256::seed_from_u64(cfg.seed);
-    let worker_seeds: Vec<u64> = (0..cfg.p).map(|_| seed_rng.next_u64()).collect();
+impl CoopPolicy for DecomposedPolicy {
+    fn mode(&self) -> Mode {
+        Mode::Decomposed
+    }
 
-    let results: Vec<(i64, Solution, u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.p)
-            .map(|k| {
-                let split = &split;
-                let ratios = &ratios;
-                let bounds = &bounds;
-                let seed = worker_seeds[k];
-                scope.spawn(move || {
-                    let mut rng = Xoshiro256::seed_from_u64(seed);
-                    let cell = k % cells;
-                    let forced_in: Vec<usize> = split
-                        .iter()
-                        .enumerate()
-                        .filter(|(b, _)| (cell >> b) & 1 == 1)
-                        .map(|(_, &j)| j)
-                        .collect();
-                    let forced_out: Vec<usize> = split
-                        .iter()
-                        .enumerate()
-                        .filter(|(b, _)| (cell >> b) & 1 == 0)
-                        .map(|(_, &j)| j)
-                        .collect();
+    fn active_workers(&self, cfg: &RunConfig) -> usize {
+        cfg.p
+    }
 
-                    let mut ts = TsConfig::default_for(inst.n());
-                    ts.strategy = bounds.random(&mut rng);
+    fn rounds(&self, _cfg: &RunConfig) -> usize {
+        1
+    }
 
-                    match Restriction::new(inst, &forced_in, &forced_out) {
-                        Ok(restriction) => {
-                            let sub = restriction.instance();
-                            let sub_ratios = Ratios::new(sub);
-                            let init = dynamic_randomized_greedy(sub, &mut rng, 4);
-                            let report = search::run(
-                                sub,
-                                &sub_ratios,
-                                init,
-                                &TsConfig::default_for(sub.n()),
-                                Budget::evals(per_worker_budget),
-                                &mut rng,
-                            );
-                            let lifted = restriction.lift(inst, &report.best);
-                            (
-                                lifted.value(),
-                                lifted,
-                                report.stats.moves,
-                                report.stats.candidate_evals,
-                            )
-                        }
-                        Err(_) => {
-                            // Infeasible cell: the worker searches the full
-                            // space instead of idling.
-                            let init = dynamic_randomized_greedy(inst, &mut rng, 4);
-                            let report = search::run(
-                                inst,
-                                ratios,
-                                init,
-                                &ts,
-                                Budget::evals(per_worker_budget),
-                                &mut rng,
-                            );
-                            (
-                                report.best.value(),
-                                report.best,
-                                report.stats.moves,
-                                report.stats.candidate_evals,
-                            )
-                        }
-                    }
-                })
-            })
+    fn prepare(&mut self, inst: &Instance, cfg: &RunConfig, rng: &mut Xoshiro256) -> Vec<Solution> {
+        let d = (cfg.p as f64).log2().floor() as usize;
+        self.cells = 1usize << d;
+        let ratios = Ratios::new(inst);
+        self.split = split_variables(inst, &ratios, d);
+        // Strategies only matter for infeasible-cell fallbacks, but drawing
+        // them unconditionally keeps the master rng stream independent of
+        // which cells happen to be feasible.
+        let bounds = StrategyBounds::for_instance_size(inst.n());
+        self.strategies = (0..cfg.p).map(|_| bounds.random(rng)).collect();
+        // No master-chosen starts: each worker builds its own inside its
+        // cell, so there is nothing to seed the global best with yet.
+        Vec::new()
+    }
+
+    fn assign(
+        &mut self,
+        k: usize,
+        round: usize,
+        inst: &Instance,
+        cfg: &RunConfig,
+        _rng: &mut Xoshiro256,
+    ) -> AssignMsg {
+        let cell = k % self.cells;
+        let forced_in: Vec<u64> = self
+            .split
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| (cell >> b) & 1 == 1)
+            .map(|(_, &j)| j as u64)
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("decomposition worker panicked"))
-            .collect()
-    });
-
-    // Deterministic reduction in worker order.
-    let mut best: Option<Solution> = None;
-    let mut total_moves = 0;
-    let mut total_evals = 0;
-    for (value, sol, moves, evals) in results {
-        total_moves += moves;
-        total_evals += evals;
-        if best.as_ref().is_none_or(|b| value > b.value()) {
-            best = Some(sol);
+        let forced_out: Vec<u64> = self
+            .split
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| (cell >> b) & 1 == 0)
+            .map(|(_, &j)| j as u64)
+            .collect();
+        AssignMsg {
+            // Ignored by the slave: it starts from a randomized greedy
+            // inside the (restricted) cell.
+            initial: BitVec::zeros(inst.n()),
+            strategy: self.strategies[k],
+            budget_evals: cfg.total_evals / cfg.p as u64,
+            seed: assignment_seed(cfg, round, k),
+            cell: Some(CellMsg {
+                forced_in,
+                forced_out,
+            }),
         }
     }
-    let best = best.expect("p >= 1");
-    debug_assert!(best.is_feasible(inst));
-    ModeReport {
-        mode: Mode::Decomposed,
-        best,
-        round_best: Vec::new(),
-        total_moves,
-        total_evals,
-        regenerations: 0,
-        wall: start.elapsed(),
+
+    fn absorb(
+        &mut self,
+        _k: usize,
+        _round: usize,
+        _report: &ReportMsg,
+        _slave_best: &Solution,
+        _global_best: &Solution,
+        _inst: &Instance,
+        _cfg: &RunConfig,
+        _rng: &mut Xoshiro256,
+    ) -> u64 {
+        // The cells are disjoint by construction; there is nothing to
+        // exchange and nothing to adapt in a single round. The engine's
+        // generic reduction (fold each report into the global best, in
+        // worker order) is the whole mode.
+        0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_mode;
     use mkp::generate::{gk_instance, uncorrelated_instance, GkSpec};
 
     #[test]
@@ -174,6 +160,42 @@ mod tests {
     }
 
     #[test]
+    fn cells_partition_the_split_variables() {
+        let inst = gk_instance(
+            "cp",
+            GkSpec {
+                n: 80,
+                m: 5,
+                tightness: 0.5,
+                seed: 7,
+            },
+        );
+        let cfg = RunConfig {
+            p: 4,
+            rounds: 1,
+            ..RunConfig::new(10_000, 3)
+        };
+        let mut policy = DecomposedPolicy::new();
+        let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+        policy.prepare(&inst, &cfg, &mut rng);
+        for k in 0..cfg.p {
+            let assign = policy.assign(k, 0, &inst, &cfg, &mut rng);
+            let cell = assign.cell.expect("DTS always assigns a cell");
+            // Every split variable is fixed one way or the other, none both.
+            let mut fixed: Vec<u64> = cell
+                .forced_in
+                .iter()
+                .chain(cell.forced_out.iter())
+                .copied()
+                .collect();
+            fixed.sort_unstable();
+            let mut expect: Vec<u64> = policy.split.iter().map(|&j| j as u64).collect();
+            expect.sort_unstable();
+            assert_eq!(fixed, expect, "worker {k} cell is not a full fixing");
+        }
+    }
+
+    #[test]
     fn decomposed_mode_is_feasible_and_deterministic() {
         let inst = gk_instance(
             "dts",
@@ -189,8 +211,8 @@ mod tests {
             rounds: 1,
             ..RunConfig::new(200_000, 9)
         };
-        let a = run_decomposed(&inst, &cfg);
-        let b = run_decomposed(&inst, &cfg);
+        let a = run_mode(&inst, Mode::Decomposed, &cfg);
+        let b = run_mode(&inst, Mode::Decomposed, &cfg);
         assert!(a.best.is_feasible(&inst));
         assert_eq!(a.best.value(), b.best.value());
         assert_eq!(a.mode, Mode::Decomposed);
@@ -198,16 +220,15 @@ mod tests {
 
     #[test]
     fn single_worker_degenerates_to_full_search() {
-        // p = 1 → d = 0 split variables → the one worker searches the full
-        // space (restriction with no fixes is rejected as degenerate-free,
-        // d = 0 means empty fix sets are never built).
+        // p = 1 → d = 0 split variables → an empty cell, which the slave's
+        // restriction rejects → the one worker searches the full space.
         let inst = uncorrelated_instance("one", 30, 3, 0.5, 3);
         let cfg = RunConfig {
             p: 1,
             rounds: 1,
             ..RunConfig::new(100_000, 5)
         };
-        let r = run_decomposed(&inst, &cfg);
+        let r = run_mode(&inst, Mode::Decomposed, &cfg);
         assert!(r.best.is_feasible(&inst));
         assert!(r.best.value() > 0);
     }
@@ -238,7 +259,7 @@ mod tests {
             rounds: 1,
             ..RunConfig::new(400_000, 6)
         };
-        let r = run_decomposed(&inst, &cfg);
+        let r = run_mode(&inst, Mode::Decomposed, &cfg);
         assert_eq!(r.best.value(), brute, "decomposition lost the optimum cell");
     }
 }

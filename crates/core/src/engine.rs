@@ -1,0 +1,657 @@
+//! The generic master/slave engine behind every search mode.
+//!
+//! One [`Engine`] owns a persistent [`pvm_lite::WorkerPool`] and drives the
+//! paper's Fig. 2 round loop — broadcast problem → assign → collect reports
+//! → update master data structure — for *any* cooperation scheme. What
+//! varies between SEQ/ITS/CTS1/CTS2/ATS/DTS is only the policy: how many
+//! workers and rounds, what each assignment contains, and what the master
+//! does with each report. That variation lives behind the [`CoopPolicy`]
+//! trait; the message loop, budget accounting, rendezvous, relinking and
+//! [`ModeReport`] assembly are written exactly once, here.
+//!
+//! The pool outlives individual runs: a service can keep one warm `Engine`
+//! and serve consecutive solve requests without respawning threads (the
+//! mailboxes are rebuilt per run, the OS threads are not — see
+//! `pvm_lite::farm`).
+//!
+//! Report delivery comes in two flavours ([`Delivery`]):
+//!
+//! * **Synchronous** — the paper's rendezvous: the master gathers all P
+//!   reports of a round before updating anything.
+//! * **Pipelined** — the §6 asynchronous extension (ATS): no global
+//!   rendezvous; a worker's next assignment leaves as soon as the master
+//!   has processed that worker's report. Reports may *arrive* in any
+//!   order, but the master buffers them and *processes* them in logical
+//!   `(round, worker)` order, so the run is bit-deterministic while the
+//!   workers still overlap rounds freely.
+
+use crate::messages::{tags, AssignMsg, ProblemMsg, ReportMsg};
+use crate::runner::{Mode, ModeReport, RunConfig};
+use mkp::eval::Ratios;
+use mkp::greedy::dynamic_randomized_greedy;
+use mkp::restrict::Restriction;
+use mkp::{Instance, Solution, Xoshiro256};
+use mkp_tabu::{search, Budget, TsConfig};
+use pvm_lite::{Collectives, TaskCtx, WorkerPool};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// How the master receives reports (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Gather all P reports per round before updating (SEQ/ITS/CTS/DTS).
+    Synchronous,
+    /// Process reports in logical order as they arrive; a worker's next
+    /// assignment leaves without waiting for its peers (ATS).
+    Pipelined,
+}
+
+/// The cooperation scheme: everything mode-specific the master does.
+///
+/// The engine calls the hooks in a fixed order: [`prepare`] once (after the
+/// problem broadcast), then per round and worker [`assign`] and — once the
+/// report is in — [`absorb`]. All randomness flows through the single master
+/// `rng` handed to each hook, which is what makes every mode a deterministic
+/// function of `RunConfig::seed`.
+///
+/// [`prepare`]: CoopPolicy::prepare
+/// [`assign`]: CoopPolicy::assign
+/// [`absorb`]: CoopPolicy::absorb
+pub trait CoopPolicy: Send {
+    /// Which mode this policy implements (stamped on the report).
+    fn mode(&self) -> Mode;
+
+    /// Number of worker tasks actually driven (SEQ: 1, everything else: P).
+    fn active_workers(&self, cfg: &RunConfig) -> usize;
+
+    /// Number of master rounds (SEQ/ITS/DTS fold everything into one).
+    fn rounds(&self, cfg: &RunConfig) -> usize;
+
+    /// Report delivery scheme.
+    fn delivery(&self) -> Delivery {
+        Delivery::Synchronous
+    }
+
+    /// Whether the master relinks the two best distinct slave solutions
+    /// after each synchronous rendezvous (ignored under pipelined
+    /// delivery, which has no rendezvous).
+    fn relink(&self, cfg: &RunConfig) -> bool {
+        let _ = cfg;
+        false
+    }
+
+    /// Build the master data structure; the returned solutions seed the
+    /// global best (may be empty for modes that start workers elsewhere,
+    /// e.g. inside decomposition cells).
+    fn prepare(&mut self, inst: &Instance, cfg: &RunConfig, rng: &mut Xoshiro256) -> Vec<Solution>;
+
+    /// The assignment for worker `k` in `round`.
+    fn assign(
+        &mut self,
+        k: usize,
+        round: usize,
+        inst: &Instance,
+        cfg: &RunConfig,
+        rng: &mut Xoshiro256,
+    ) -> AssignMsg;
+
+    /// Update the master data structure from worker `k`'s report (the
+    /// engine has already folded `slave_best` into `global_best`). Returns
+    /// the number of strategy regenerations performed (0 or 1).
+    #[allow(clippy::too_many_arguments)] // the full Fig. 2 update context
+    fn absorb(
+        &mut self,
+        k: usize,
+        round: usize,
+        report: &ReportMsg,
+        slave_best: &Solution,
+        global_best: &Solution,
+        inst: &Instance,
+        cfg: &RunConfig,
+        rng: &mut Xoshiro256,
+    ) -> u64;
+}
+
+/// The per-assignment slave seed: a deterministic function of the master
+/// seed, the round and the worker index, so every mode's search streams are
+/// reproducible and decorrelated.
+pub fn assignment_seed(cfg: &RunConfig, round: usize, k: usize) -> u64 {
+    let slave = k + 1;
+    cfg.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((slave as u64) << 32)
+}
+
+/// Per-task result of a run.
+enum TaskOut {
+    Master(Box<ModeReport>),
+    Slave,
+}
+
+/// A reusable parallel search engine: one persistent worker pool serving
+/// consecutive [`run`](Engine::run) calls for any [`Mode`].
+pub struct Engine {
+    pool: WorkerPool,
+    spawned_threads: usize,
+}
+
+impl Engine {
+    /// An engine whose pool can drive up to `p` slave workers (plus the
+    /// master task).
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "an engine needs at least one worker");
+        let pool = WorkerPool::new(p + 1);
+        let spawned_threads = pool.ntasks();
+        Engine {
+            pool,
+            spawned_threads,
+        }
+    }
+
+    /// Pool size (master + workers).
+    pub fn pool_size(&self) -> usize {
+        self.pool.ntasks()
+    }
+
+    /// Total OS threads spawned over the engine's lifetime. Stays constant
+    /// across runs unless a run needs a bigger pool — the respawn-free
+    /// reuse this counter exists to verify.
+    pub fn spawned_threads(&self) -> usize {
+        self.spawned_threads
+    }
+
+    /// Thread ids of the current pool (for reuse assertions in tests).
+    pub fn thread_ids(&self) -> Vec<std::thread::ThreadId> {
+        self.pool.thread_ids()
+    }
+
+    /// Grow the pool if `cfg.p` asks for more workers than it holds; a
+    /// smaller run leaves the pool alone (extra workers idle through it).
+    fn ensure_capacity(&mut self, ntasks: usize) {
+        if ntasks > self.pool.ntasks() {
+            self.pool = WorkerPool::new(ntasks);
+            self.spawned_threads += self.pool.ntasks();
+        }
+    }
+
+    /// Run `mode` on `inst` under `cfg`, reusing the warm pool.
+    pub fn run(&mut self, inst: &Instance, mode: Mode, cfg: &RunConfig) -> ModeReport {
+        assert!(cfg.p >= 1 && cfg.rounds >= 1);
+        self.run_policy(inst, &mut *policy_for(mode), cfg)
+    }
+
+    /// Run a custom policy (the extension point behind [`run`](Engine::run)).
+    pub fn run_policy(
+        &mut self,
+        inst: &Instance,
+        policy: &mut dyn CoopPolicy,
+        cfg: &RunConfig,
+    ) -> ModeReport {
+        let active = policy.active_workers(cfg);
+        assert!(active >= 1, "a run needs at least one active worker");
+        self.ensure_capacity(active + 1);
+
+        // Only task 0 touches the policy, but the job closure is shared by
+        // every pool thread; the mutex documents that to the compiler.
+        let policy = Mutex::new(policy);
+        let results = self
+            .pool
+            .run(|ctx| {
+                if ctx.tid() == 0 {
+                    let mut policy = policy.lock().unwrap_or_else(PoisonError::into_inner);
+                    TaskOut::Master(Box::new(master_loop(ctx, inst, &mut **policy, cfg)))
+                } else {
+                    slave_loop(ctx, cfg);
+                    TaskOut::Slave
+                }
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
+        for out in results {
+            if let TaskOut::Master(report) = out {
+                return *report;
+            }
+        }
+        unreachable!("task 0 always returns the master report")
+    }
+}
+
+/// Dispatch a mode to its policy.
+fn policy_for(mode: Mode) -> Box<dyn CoopPolicy> {
+    use crate::coop::FarmPolicy;
+    use crate::decomposed::DecomposedPolicy;
+    match mode {
+        Mode::Sequential => Box::new(FarmPolicy::sequential()),
+        Mode::Independent => Box::new(FarmPolicy::independent()),
+        Mode::Cooperative => Box::new(FarmPolicy::cooperative()),
+        Mode::CooperativeAdaptive => Box::new(FarmPolicy::cooperative_adaptive()),
+        Mode::Asynchronous => Box::new(FarmPolicy::asynchronous()),
+        Mode::Decomposed => Box::new(DecomposedPolicy::new()),
+    }
+}
+
+/// The generic Fig. 2 master: broadcast, assign, collect, update.
+fn master_loop(
+    ctx: TaskCtx,
+    inst: &Instance,
+    policy: &mut dyn CoopPolicy,
+    cfg: &RunConfig,
+) -> ModeReport {
+    let start = Instant::now();
+    let active = policy.active_workers(cfg);
+    let rounds = policy.rounds(cfg);
+    assert!(active < ctx.ntasks(), "pool too small for {active} workers");
+
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+
+    // "Read and send to slaves problem data" (Fig. 2) — a pvm_mcast. Idle
+    // pool workers beyond `active` also receive it; they simply never get
+    // an assignment and fold on the final STOP.
+    let problem = ProblemMsg::from_instance(inst);
+    ctx.broadcast(tags::PROBLEM, &problem)
+        .expect("slaves alive at start");
+
+    let initials = policy.prepare(inst, cfg, &mut rng);
+    let mut state = MasterState {
+        global_best: initials.iter().max_by_key(|s| s.value()).cloned(),
+        round_best: Vec::with_capacity(rounds),
+        total_moves: 0,
+        total_evals: 0,
+        regenerations: 0,
+    };
+
+    match policy.delivery() {
+        Delivery::Synchronous => {
+            for round in 0..rounds {
+                // Launch the P slave searches.
+                for k in 0..active {
+                    let assign = policy.assign(k, round, inst, cfg, &mut rng);
+                    ctx.send(k + 1, tags::ASSIGN, &assign).expect("slave alive");
+                }
+
+                // Rendezvous: gather all P reports (slaves finish ≈
+                // simultaneously because the eval budget, not wall-clock,
+                // bounds each search). The gather orders reports by slave
+                // id, so the update below is deterministic regardless of
+                // arrival order.
+                let slave_ids: Vec<usize> = (1..=active).collect();
+                let reports: Vec<ReportMsg> = ctx
+                    .gather_msgs(tags::REPORT, &slave_ids, cfg.report_timeout)
+                    .unwrap_or_else(|e| panic!("report rendezvous failed: {e}"));
+
+                // Optional master-side exploitation: relink the two best
+                // distinct slave solutions (information neither slave holds
+                // alone).
+                if policy.relink(cfg) {
+                    state.total_evals += relink_round(inst, &reports, &mut state.global_best);
+                }
+
+                for (k, report) in reports.iter().enumerate() {
+                    state.process_report(k, round, report, policy, inst, cfg, &mut rng);
+                }
+                let best = state.global_best.as_ref().expect("active >= 1");
+                state.round_best.push(best.value());
+            }
+        }
+        Delivery::Pipelined => {
+            // Bootstrap: every worker gets its round-0 assignment.
+            for k in 0..active {
+                let assign = policy.assign(k, 0, inst, cfg, &mut rng);
+                ctx.send(k + 1, tags::ASSIGN, &assign).expect("slave alive");
+            }
+
+            // Reports arrive in scheduler order; `arrived[k]` counts how
+            // many worker `k` has sent, which *is* the logical round of its
+            // next arrival (per-worker channels are FIFO). The buffer plus
+            // the (round, worker) cursor turn that arrival stream into a
+            // deterministic processing order — and each processed report
+            // immediately releases that worker's next assignment, so no
+            // worker ever waits for a rendezvous.
+            let mut arrived = vec![0usize; active];
+            let mut buffer: BTreeMap<(usize, usize), ReportMsg> = BTreeMap::new();
+            let mut cursor = (0usize, 0usize);
+            let mut processed = 0usize;
+            while processed < rounds * active {
+                let env = ctx
+                    .recv_timeout(cfg.report_timeout)
+                    .unwrap_or_else(|e| panic!("report wait failed: {e}"));
+                assert_eq!(env.tag, tags::REPORT, "protocol violation");
+                let k = env.from - 1;
+                let report: ReportMsg = env.decode().expect("well-formed report");
+                buffer.insert((arrived[k], k), report);
+                arrived[k] += 1;
+
+                while let Some(report) = buffer.remove(&cursor) {
+                    let (round, k) = cursor;
+                    state.process_report(k, round, &report, policy, inst, cfg, &mut rng);
+                    processed += 1;
+                    if round + 1 < rounds {
+                        let assign = policy.assign(k, round + 1, inst, cfg, &mut rng);
+                        ctx.send(k + 1, tags::ASSIGN, &assign).expect("slave alive");
+                    }
+                    cursor = if k + 1 < active {
+                        (round, k + 1)
+                    } else {
+                        let best = state.global_best.as_ref().expect("just processed");
+                        state.round_best.push(best.value());
+                        (round + 1, 0)
+                    };
+                }
+            }
+        }
+    }
+
+    // Fold the farm: STOP every pool worker, including idle ones.
+    for slave in 1..ctx.ntasks() {
+        let _ = ctx.send_bytes(slave, tags::STOP, Vec::new());
+    }
+
+    let best = state.global_best.expect("at least one report processed");
+    debug_assert!(best.is_feasible(inst));
+    ModeReport {
+        mode: policy.mode(),
+        best,
+        round_best: state.round_best,
+        total_moves: state.total_moves,
+        total_evals: state.total_evals,
+        regenerations: state.regenerations,
+        wall: start.elapsed(),
+    }
+}
+
+/// The master's running aggregation over reports.
+struct MasterState {
+    global_best: Option<Solution>,
+    round_best: Vec<i64>,
+    total_moves: u64,
+    total_evals: u64,
+    regenerations: u64,
+}
+
+impl MasterState {
+    /// Fold one report: counters, global best, then the policy's update.
+    /// Shared by both delivery schemes so their master updates are
+    /// identical given identical processing order.
+    #[allow(clippy::too_many_arguments)] // internal fold step
+    fn process_report(
+        &mut self,
+        k: usize,
+        round: usize,
+        report: &ReportMsg,
+        policy: &mut dyn CoopPolicy,
+        inst: &Instance,
+        cfg: &RunConfig,
+        rng: &mut Xoshiro256,
+    ) {
+        self.total_moves += report.moves;
+        self.total_evals += report.evals;
+        let slave_best = report.best_solution(inst);
+        if self
+            .global_best
+            .as_ref()
+            .is_none_or(|g| slave_best.value() > g.value())
+        {
+            self.global_best = Some(slave_best.clone());
+        }
+        self.regenerations += policy.absorb(
+            k,
+            round,
+            report,
+            &slave_best,
+            self.global_best.as_ref().expect("just folded a report"),
+            inst,
+            cfg,
+            rng,
+        );
+    }
+}
+
+/// Relink the two best distinct solutions of a rendezvous; returns the
+/// candidate evaluations spent.
+fn relink_round(inst: &Instance, reports: &[ReportMsg], global_best: &mut Option<Solution>) -> u64 {
+    let mut tops: Vec<Solution> = reports.iter().map(|r| r.best_solution(inst)).collect();
+    tops.sort_by_key(|s| std::cmp::Reverse(s.value()));
+    if tops.len() < 2 || tops[0].bits() == tops[1].bits() {
+        return 0;
+    }
+    let ratios = Ratios::new(inst);
+    let mut stats = mkp_tabu::moves::MoveStats::default();
+    let (relinked, _) =
+        mkp_tabu::relink::path_relink(inst, &ratios, &tops[0], &tops[1], &mut stats);
+    if global_best
+        .as_ref()
+        .is_none_or(|g| relinked.value() > g.value())
+    {
+        *global_best = Some(relinked);
+    }
+    stats.candidate_evals
+}
+
+/// The slave loop: receive the problem once, then serve assignments until
+/// the stop message (or a dead master) ends the task.
+fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
+    let env = match ctx.recv_timeout(cfg.report_timeout) {
+        Ok(env) => env,
+        Err(_) => return, // master died before the broadcast
+    };
+    assert_eq!(env.tag, tags::PROBLEM, "protocol violation");
+    let inst = env
+        .decode::<ProblemMsg>()
+        .expect("well-formed problem")
+        .into_instance();
+    let ratios = Ratios::new(&inst);
+    // The long-term frequency memory survives across rounds: each round's
+    // diversification then targets regions this slave has never visited in
+    // the whole session, which is what makes later rounds productive.
+    let mut history = mkp_tabu::history::History::new(inst.n());
+
+    loop {
+        let env = match ctx.recv_timeout(cfg.report_timeout) {
+            Ok(env) => env,
+            Err(_) => return, // master gone: shut down quietly
+        };
+        match env.tag {
+            tags::STOP => return,
+            tags::ASSIGN => {
+                let assign: AssignMsg = env.decode().expect("well-formed assignment");
+                let msg = serve_assignment(&inst, &ratios, &mut history, &assign);
+                if ctx.send(0, tags::REPORT, &msg).is_err() {
+                    return; // master gone
+                }
+            }
+            other => panic!("unexpected tag {other} in slave"),
+        }
+    }
+}
+
+/// Run one assignment to completion and build the report.
+fn serve_assignment(
+    inst: &Instance,
+    ratios: &Ratios,
+    history: &mut mkp_tabu::history::History,
+    assign: &AssignMsg,
+) -> ReportMsg {
+    let mut rng = Xoshiro256::seed_from_u64(assign.seed);
+
+    if let Some(cell) = &assign.cell {
+        // Decomposition cell (DTS): fix the split variables, search the
+        // sub-space, lift the result back to the full space.
+        let forced_in: Vec<usize> = cell.forced_in.iter().map(|&j| j as usize).collect();
+        let forced_out: Vec<usize> = cell.forced_out.iter().map(|&j| j as usize).collect();
+        return match Restriction::new(inst, &forced_in, &forced_out) {
+            Ok(restriction) => {
+                let sub = restriction.instance();
+                let sub_ratios = Ratios::new(sub);
+                let init = dynamic_randomized_greedy(sub, &mut rng, 4);
+                let report = search::run(
+                    sub,
+                    &sub_ratios,
+                    init,
+                    &TsConfig::default_for(sub.n()),
+                    Budget::evals(assign.budget_evals),
+                    &mut rng,
+                );
+                let lifted = restriction.lift(inst, &report.best);
+                ReportMsg {
+                    best: lifted.bits().clone(),
+                    // Sub-space elites don't lift for free; the DTS master
+                    // has no SGP to feed anyway.
+                    elite: Vec::new(),
+                    initial_value: report.initial_value,
+                    best_value: lifted.value(),
+                    moves: report.stats.moves,
+                    evals: report.stats.candidate_evals,
+                }
+            }
+            Err(_) => {
+                // Infeasible (or empty) cell: the worker searches the full
+                // space instead of idling.
+                let init = dynamic_randomized_greedy(inst, &mut rng, 4);
+                let mut ts = TsConfig::default_for(inst.n());
+                ts.strategy = assign.strategy;
+                let report = search::run(
+                    inst,
+                    ratios,
+                    init,
+                    &ts,
+                    Budget::evals(assign.budget_evals),
+                    &mut rng,
+                );
+                ReportMsg {
+                    best: report.best.bits().clone(),
+                    elite: report.elite.iter().map(|s| s.bits().clone()).collect(),
+                    initial_value: report.initial_value,
+                    best_value: report.best.value(),
+                    moves: report.stats.moves,
+                    evals: report.stats.candidate_evals,
+                }
+            }
+        };
+    }
+
+    // Trajectory assignment: continue from the master-chosen start with the
+    // master-chosen strategy.
+    let initial = Solution::from_bits(inst, assign.initial.clone());
+    let mut ts = TsConfig::default_for(inst.n());
+    ts.strategy = assign.strategy;
+    let mut memory = mkp_tabu::tabu_list::Recency::new(inst.n(), assign.strategy.tabu_tenure);
+    let report = search::run_with_memory(
+        inst,
+        ratios,
+        initial,
+        &ts,
+        Budget::evals(assign.budget_evals),
+        &mut rng,
+        &mut memory,
+        history,
+    );
+    ReportMsg {
+        best: report.best.bits().clone(),
+        elite: report.elite.iter().map(|s| s.bits().clone()).collect(),
+        initial_value: report.initial_value,
+        best_value: report.best.value(),
+        moves: report.stats.moves,
+        evals: report.stats.candidate_evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::generate::{gk_instance, GkSpec};
+
+    fn inst() -> Instance {
+        gk_instance(
+            "eng",
+            GkSpec {
+                n: 40,
+                m: 5,
+                tightness: 0.5,
+                seed: 7,
+            },
+        )
+    }
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            p: 3,
+            rounds: 3,
+            ..RunConfig::new(60_000, 11)
+        }
+    }
+
+    #[test]
+    fn one_engine_serves_all_modes() {
+        let inst = inst();
+        let mut engine = Engine::new(3);
+        for mode in Mode::all() {
+            let r = engine.run(&inst, mode, &cfg());
+            assert!(r.best.is_feasible(&inst), "{mode:?} infeasible");
+            assert_eq!(r.mode, mode);
+        }
+    }
+
+    #[test]
+    fn engine_runs_match_run_mode() {
+        // The warm-pool path and the one-shot path are the same search.
+        let inst = inst();
+        let cfg = cfg();
+        let mut engine = Engine::new(3);
+        for mode in [
+            Mode::Cooperative,
+            Mode::CooperativeAdaptive,
+            Mode::Asynchronous,
+        ] {
+            let warm = engine.run(&inst, mode, &cfg);
+            let cold = crate::runner::run_mode(&inst, mode, &cfg);
+            assert_eq!(warm.best.value(), cold.best.value(), "{mode:?} diverged");
+            assert_eq!(warm.round_best, cold.round_best);
+        }
+    }
+
+    #[test]
+    fn pool_grows_only_when_needed() {
+        let inst = inst();
+        let mut engine = Engine::new(2);
+        assert_eq!(engine.pool_size(), 3);
+        let spawned = engine.spawned_threads();
+
+        // Smaller run: pool untouched.
+        let mut small = cfg();
+        small.p = 1;
+        engine.run(&inst, Mode::Cooperative, &small);
+        assert_eq!(engine.spawned_threads(), spawned);
+        assert_eq!(engine.pool_size(), 3);
+
+        // Bigger run: pool rebuilt once, then stable.
+        let mut big = cfg();
+        big.p = 4;
+        engine.run(&inst, Mode::Cooperative, &big);
+        assert_eq!(engine.pool_size(), 5);
+        assert!(engine.spawned_threads() > spawned);
+        let grown = engine.spawned_threads();
+        engine.run(&inst, Mode::Cooperative, &big);
+        assert_eq!(engine.spawned_threads(), grown);
+    }
+
+    #[test]
+    fn pipelined_delivery_is_deterministic() {
+        let inst = inst();
+        let cfg = cfg();
+        let mut engine = Engine::new(3);
+        let a = engine.run(&inst, Mode::Asynchronous, &cfg);
+        let b = engine.run(&inst, Mode::Asynchronous, &cfg);
+        assert_eq!(a.best.value(), b.best.value());
+        assert_eq!(a.round_best, b.round_best);
+        assert_eq!(a.round_best.len(), cfg.rounds);
+    }
+
+    #[test]
+    fn assignment_seeds_are_decorrelated() {
+        let cfg = cfg();
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..8 {
+            for k in 0..8 {
+                assert!(seen.insert(assignment_seed(&cfg, round, k)));
+            }
+        }
+    }
+}

@@ -9,7 +9,9 @@
 //! top of the classic single-thread mechanisms.
 //!
 //! The crate exposes the five search organizations compared in the paper's
-//! evaluation (plus its future-work extension):
+//! evaluation (plus its future-work extension), all driven by one reusable
+//! [`Engine`] whose persistent worker pool survives across runs; each mode
+//! is a thin [`CoopPolicy`]:
 //!
 //! | mode | meaning |
 //! |------|---------|
@@ -17,7 +19,7 @@
 //! | [`Mode::Independent`] | P independent TS threads (ITS) |
 //! | [`Mode::Cooperative`] | cooperation via the master's ISP, fixed strategies (CTS1) |
 //! | [`Mode::CooperativeAdaptive`] | cooperation + dynamic strategy tuning (CTS2) |
-//! | [`Mode::Asynchronous`] | decentralized asynchronous cooperation (ATS, §6) |
+//! | [`Mode::Asynchronous`] | rendezvous-free pipelined cooperation (ATS, §6) |
 //! | [`Mode::Decomposed`] | search-space decomposition over critical variables (DTS, §2 taxonomy) |
 //!
 //! ```
@@ -32,15 +34,16 @@
 
 #![warn(missing_docs)]
 
-pub mod asynchronous;
 pub mod coop;
 pub mod decomposed;
+pub mod engine;
 pub mod isp;
 pub mod messages;
 pub mod runner;
 pub mod score;
 pub mod sgp;
 
+pub use engine::{CoopPolicy, Delivery, Engine};
 pub use isp::{IspConfig, StartKind};
 pub use runner::{run_mode, Mode, ModeReport, RunConfig};
 pub use score::Score;

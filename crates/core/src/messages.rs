@@ -113,11 +113,25 @@ fn unpack_bits(buf: &mut UnpackBuffer<'_>) -> Result<BitVec, CodecError> {
     Ok(bits)
 }
 
+/// A search-space cell for the decomposed mode (DTS): the split variables
+/// fixed in (`forced_in`) or out (`forced_out`) of the knapsack. The slave
+/// builds the [`mkp::restrict::Restriction`] itself so it can also lift the
+/// sub-solution back; an infeasible (or empty) cell falls back to the full
+/// instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CellMsg {
+    /// Item indices forced into the knapsack.
+    pub forced_in: Vec<u64>,
+    /// Item indices forced out of the knapsack.
+    pub forced_out: Vec<u64>,
+}
+
 /// A per-round slave assignment: where to start, how to search, how much
-/// work to spend.
+/// work to spend — and, for the decomposed mode, which cell to search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AssignMsg {
-    /// Starting solution (assignment bits).
+    /// Starting solution (assignment bits). Ignored when `cell` is set (the
+    /// slave constructs a randomized-greedy start inside its cell).
     pub initial: BitVec,
     /// The strategy triple for this round.
     pub strategy: Strategy,
@@ -125,6 +139,21 @@ pub struct AssignMsg {
     pub budget_evals: u64,
     /// Seed for the slave's stochastic components this round.
     pub seed: u64,
+    /// Decomposition cell (DTS); `None` for the trajectory modes.
+    pub cell: Option<CellMsg>,
+}
+
+impl AssignMsg {
+    /// A plain trajectory assignment (every mode except DTS).
+    pub fn trajectory(initial: BitVec, strategy: Strategy, budget_evals: u64, seed: u64) -> Self {
+        AssignMsg {
+            initial,
+            strategy,
+            budget_evals,
+            seed,
+            cell: None,
+        }
+    }
 }
 
 impl Wire for AssignMsg {
@@ -135,6 +164,14 @@ impl Wire for AssignMsg {
         buf.put_usize(self.strategy.nb_local);
         buf.put_u64(self.budget_evals);
         buf.put_u64(self.seed);
+        match &self.cell {
+            None => buf.put_u8(0),
+            Some(cell) => {
+                buf.put_u8(1);
+                buf.put_u64s(&cell.forced_in);
+                buf.put_u64s(&cell.forced_out);
+            }
+        }
     }
 
     fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
@@ -147,6 +184,13 @@ impl Wire for AssignMsg {
             },
             budget_evals: buf.get_u64()?,
             seed: buf.get_u64()?,
+            cell: match buf.get_u8()? {
+                0 => None,
+                _ => Some(CellMsg {
+                    forced_in: buf.get_u64s()?,
+                    forced_out: buf.get_u64s()?,
+                }),
+            },
         })
     }
 }
@@ -236,15 +280,36 @@ mod tests {
 
     #[test]
     fn assign_roundtrip() {
-        let msg = AssignMsg {
-            initial: BitVec::from_bools([true, false, true, true]),
-            strategy: Strategy {
+        let msg = AssignMsg::trajectory(
+            BitVec::from_bools([true, false, true, true]),
+            Strategy {
                 tabu_tenure: 9,
                 nb_drop: 3,
                 nb_local: 44,
             },
-            budget_evals: 1234,
-            seed: 99,
+            1234,
+            99,
+        );
+        assert_eq!(AssignMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn assign_roundtrip_with_cell() {
+        let msg = AssignMsg {
+            cell: Some(CellMsg {
+                forced_in: vec![3, 17],
+                forced_out: vec![4],
+            }),
+            ..AssignMsg::trajectory(
+                BitVec::zeros(20),
+                Strategy {
+                    tabu_tenure: 7,
+                    nb_drop: 2,
+                    nb_local: 30,
+                },
+                50_000,
+                5,
+            )
         };
         assert_eq!(AssignMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
     }
@@ -267,16 +332,16 @@ mod tests {
 
     #[test]
     fn corrupt_ones_index_rejected() {
-        let msg = AssignMsg {
-            initial: BitVec::from_bools([true, false]),
-            strategy: Strategy {
+        let msg = AssignMsg::trajectory(
+            BitVec::from_bools([true, false]),
+            Strategy {
                 tabu_tenure: 1,
                 nb_drop: 1,
                 nb_local: 1,
             },
-            budget_evals: 1,
-            seed: 0,
-        };
+            1,
+            0,
+        );
         let mut bytes = msg.to_bytes();
         // The first ones-index lives after len(8) + count(8); overwrite it
         // with an out-of-range value.
@@ -297,6 +362,137 @@ mod tests {
             evals: 0,
         };
         assert_eq!(msg.best_solution(&inst).value(), sol.value());
+    }
+
+    // --- testkit property tests: every protocol message survives an
+    // arbitrary pack/unpack round-trip, including the degenerate shapes
+    // (empty elite pools, zero-length solutions, empty cells). ---
+
+    use mkp::prop_check;
+    use mkp::testkit::gen;
+    use mkp::Xoshiro256;
+
+    fn arb_bits(rng: &mut Xoshiro256) -> Vec<bool> {
+        gen::vec_of(rng, 0, 40, gen::boolean)
+    }
+
+    #[test]
+    fn problem_msg_roundtrips_by_property() {
+        // Raw field round-trip: the codec must not depend on n·m
+        // consistency (that is `into_instance`'s job, not the wire's).
+        prop_check!(
+            |rng| (
+                gen::string_any(rng, 12),
+                (gen::usize_in(rng, 0, 16), gen::usize_in(rng, 0, 6)),
+                gen::vec_of(rng, 0, 16, |r| gen::i64_in(r, 0, 10_000)),
+                gen::vec_of(rng, 0, 96, |r| gen::i64_in(r, 0, 10_000)),
+                gen::vec_of(rng, 0, 6, |r| gen::i64_in(r, 0, 100_000))
+            ),
+            |input| {
+                let (name, (n, m), profits, weights, capacities) = input.clone();
+                let msg = ProblemMsg {
+                    name,
+                    n,
+                    m,
+                    profits,
+                    weights,
+                    capacities,
+                };
+                assert_eq!(ProblemMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+            }
+        );
+    }
+
+    #[test]
+    fn assign_msg_roundtrips_by_property() {
+        prop_check!(
+            |rng| (
+                arb_bits(rng),
+                (
+                    gen::usize_in(rng, 0, 100),
+                    gen::usize_in(rng, 0, 20),
+                    gen::usize_in(rng, 0, 500)
+                ),
+                (rng.next_u64(), rng.next_u64()),
+                gen::boolean(rng),
+                gen::vec_of(rng, 0, 8, |r| r.next_u64()),
+                gen::vec_of(rng, 0, 8, |r| r.next_u64())
+            ),
+            |input| {
+                let (bits, (tenure, drop, local), (budget, seed), has_cell, f_in, f_out) =
+                    input.clone();
+                let msg = AssignMsg {
+                    initial: BitVec::from_bools(bits),
+                    strategy: Strategy {
+                        tabu_tenure: tenure,
+                        nb_drop: drop,
+                        nb_local: local,
+                    },
+                    budget_evals: budget,
+                    seed,
+                    cell: has_cell.then_some(CellMsg {
+                        forced_in: f_in,
+                        forced_out: f_out,
+                    }),
+                };
+                assert_eq!(AssignMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+            }
+        );
+    }
+
+    #[test]
+    fn report_msg_roundtrips_by_property() {
+        prop_check!(
+            |rng| (
+                arb_bits(rng),
+                gen::vec_of(rng, 0, 5, arb_bits),
+                (
+                    gen::i64_in(rng, -1_000, 1_000_000),
+                    gen::i64_in(rng, -1_000, 1_000_000)
+                ),
+                (rng.next_u64(), rng.next_u64())
+            ),
+            |input| {
+                let (best, elite, (initial_value, best_value), (moves, evals)) = input.clone();
+                let msg = ReportMsg {
+                    best: BitVec::from_bools(best),
+                    elite: elite.into_iter().map(BitVec::from_bools).collect(),
+                    initial_value,
+                    best_value,
+                    moves,
+                    evals,
+                };
+                assert_eq!(ReportMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+            }
+        );
+    }
+
+    #[test]
+    fn degenerate_shapes_roundtrip() {
+        // Zero-length solution, empty elite, empty cell — explicitly.
+        let assign = AssignMsg {
+            cell: Some(CellMsg::default()),
+            ..AssignMsg::trajectory(
+                BitVec::zeros(0),
+                Strategy {
+                    tabu_tenure: 0,
+                    nb_drop: 0,
+                    nb_local: 0,
+                },
+                0,
+                0,
+            )
+        };
+        assert_eq!(AssignMsg::from_bytes(&assign.to_bytes()).unwrap(), assign);
+        let report = ReportMsg {
+            best: BitVec::zeros(0),
+            elite: vec![],
+            initial_value: 0,
+            best_value: 0,
+            moves: 0,
+            evals: 0,
+        };
+        assert_eq!(ReportMsg::from_bytes(&report.to_bytes()).unwrap(), report);
     }
 
     #[test]

@@ -1,19 +1,19 @@
-//! Unified entry point over the five search modes.
+//! Unified entry point over the six search modes.
 //!
 //! All modes consume the same *total* work budget (candidate evaluations,
 //! summed over every thread), which is the machine-independent stand-in for
 //! the paper's "fixed execution time" comparison — see DESIGN.md §4.
+//!
+//! [`run_mode`] is the one-shot convenience path: it builds a throwaway
+//! [`Engine`](crate::engine::Engine) per call. Callers running many
+//! searches (the bench tables, a solve service) should hold one `Engine`
+//! and call [`Engine::run`](crate::engine::Engine::run) directly so the
+//! worker pool stays warm across runs.
 
-use crate::asynchronous::run_async;
-use crate::coop::{run_cooperative, run_independent};
-use crate::decomposed::run_decomposed;
 use crate::isp::IspConfig;
 use crate::sgp::SgpConfig;
-use mkp::eval::Ratios;
-use mkp::greedy::dynamic_randomized_greedy;
-use mkp::{Instance, Solution, Xoshiro256};
-use mkp_tabu::{search, Budget, StrategyBounds, TsConfig};
-use std::time::Instant;
+use mkp::{Instance, Solution};
+use std::time::Duration;
 
 /// The compared search organizations (paper §5, Table 2, plus the §6
 /// asynchronous extension).
@@ -28,7 +28,9 @@ pub enum Mode {
     Cooperative,
     /// CTS2 — cooperation plus dynamic strategy tuning (ISP + SGP).
     CooperativeAdaptive,
-    /// ATS — decentralized asynchronous cooperation (future work, §6).
+    /// ATS — rendezvous-free cooperation (the §6 extension): reports are
+    /// delivered pipelined, each worker's next assignment leaving as soon
+    /// as its report is processed, in a deterministic logical order.
     Asynchronous,
     /// DTS — search-space decomposition over critical variables (the §2
     /// taxonomy's third parallelism source, implemented as an extension).
@@ -57,6 +59,18 @@ impl Mode {
             Mode::CooperativeAdaptive,
         ]
     }
+
+    /// Every mode the engine can drive, Table 2 first, extensions after.
+    pub fn all() -> [Mode; 6] {
+        [
+            Mode::Sequential,
+            Mode::Independent,
+            Mode::Cooperative,
+            Mode::CooperativeAdaptive,
+            Mode::Asynchronous,
+            Mode::Decomposed,
+        ]
+    }
 }
 
 /// Configuration shared by all modes.
@@ -64,8 +78,8 @@ impl Mode {
 pub struct RunConfig {
     /// Number of slave threads P (ignored by SEQ).
     pub p: usize,
-    /// Search iterations (master rounds). SEQ and ITS fold everything into
-    /// one round.
+    /// Search iterations (master rounds). SEQ, ITS and DTS fold everything
+    /// into one round.
     pub rounds: usize,
     /// Total candidate-evaluation budget across all threads and rounds.
     pub total_evals: u64,
@@ -79,7 +93,14 @@ pub struct RunConfig {
     /// solutions each round (an extension beyond the paper; off by
     /// default).
     pub relink: bool,
+    /// How long the master waits for a slave report (and a slave for its
+    /// next instruction) before declaring the farm broken; a slave
+    /// normally answers in milliseconds-to-seconds.
+    pub report_timeout: Duration,
 }
+
+/// Default [`RunConfig::report_timeout`].
+pub const DEFAULT_REPORT_TIMEOUT: Duration = Duration::from_secs(600);
 
 impl RunConfig {
     /// Defaults: P = 4 slaves, 8 rounds.
@@ -92,6 +113,7 @@ impl RunConfig {
             isp: IspConfig::default(),
             sgp: SgpConfig::default(),
             relink: false,
+            report_timeout: DEFAULT_REPORT_TIMEOUT,
         }
     }
 }
@@ -103,7 +125,8 @@ pub struct ModeReport {
     pub mode: Mode,
     /// Best solution found.
     pub best: Solution,
-    /// Global best value after each master round (empty for ATS).
+    /// Global best value after each master round (one entry per round in
+    /// every mode; SEQ/ITS/DTS have exactly one).
     pub round_best: Vec<i64>,
     /// Moves executed across all threads.
     pub total_moves: u64,
@@ -115,51 +138,17 @@ pub struct ModeReport {
     pub wall: std::time::Duration,
 }
 
-/// Run `mode` on `inst` under `cfg`.
+/// Run `mode` on `inst` under `cfg` with a throwaway engine (see the
+/// module docs for when to hold an [`Engine`](crate::engine::Engine)
+/// instead).
 pub fn run_mode(inst: &Instance, mode: Mode, cfg: &RunConfig) -> ModeReport {
-    match mode {
-        Mode::Sequential => run_seq(inst, cfg),
-        Mode::Independent => run_independent(inst, cfg),
-        Mode::Cooperative => run_cooperative(inst, cfg, false),
-        Mode::CooperativeAdaptive => run_cooperative(inst, cfg, true),
-        Mode::Asynchronous => run_async(inst, cfg),
-        Mode::Decomposed => run_decomposed(inst, cfg),
-    }
-}
-
-/// SEQ: one thread, the entire budget, randomly drawn strategy and start —
-/// the paper's baseline ("the strategy parameters and the initial solution
-/// are chosen randomly").
-fn run_seq(inst: &Instance, cfg: &RunConfig) -> ModeReport {
-    let start = Instant::now();
-    let ratios = Ratios::new(inst);
-    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
-    let bounds = StrategyBounds::for_instance_size(inst.n());
-    let mut ts = TsConfig::default_for(inst.n());
-    ts.strategy = bounds.random(&mut rng);
-    let initial = dynamic_randomized_greedy(inst, &mut rng, cfg.isp.rcl);
-    let report = search::run(
-        inst,
-        &ratios,
-        initial,
-        &ts,
-        Budget::evals(cfg.total_evals),
-        &mut rng,
-    );
-    ModeReport {
-        mode: Mode::Sequential,
-        best: report.best.clone(),
-        round_best: vec![report.best.value()],
-        total_moves: report.stats.moves,
-        total_evals: report.stats.candidate_evals,
-        regenerations: 0,
-        wall: start.elapsed(),
-    }
+    crate::engine::Engine::new(cfg.p).run(inst, mode, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mkp::eval::Ratios;
     use mkp::generate::{gk_instance, uncorrelated_instance, GkSpec};
     use mkp::greedy::greedy;
 
@@ -172,6 +161,7 @@ mod tests {
             isp: IspConfig::default(),
             sgp: SgpConfig::default(),
             relink: false,
+            report_timeout: DEFAULT_REPORT_TIMEOUT,
         }
     }
 
@@ -186,14 +176,7 @@ mod tests {
                 seed: 1,
             },
         );
-        for mode in [
-            Mode::Sequential,
-            Mode::Independent,
-            Mode::Cooperative,
-            Mode::CooperativeAdaptive,
-            Mode::Asynchronous,
-            Mode::Decomposed,
-        ] {
+        for mode in Mode::all() {
             let r = run_mode(&inst, mode, &small_cfg(7));
             assert!(r.best.is_feasible(&inst), "{mode:?} infeasible");
             assert!(r.best.value() > 0);
@@ -202,7 +185,7 @@ mod tests {
     }
 
     #[test]
-    fn synchronous_modes_are_deterministic() {
+    fn every_mode_is_deterministic() {
         let inst = gk_instance(
             "d",
             GkSpec {
@@ -212,7 +195,7 @@ mod tests {
                 seed: 2,
             },
         );
-        for mode in Mode::table2() {
+        for mode in Mode::all() {
             let a = run_mode(&inst, mode, &small_cfg(3));
             let b = run_mode(&inst, mode, &small_cfg(3));
             assert_eq!(a.best.value(), b.best.value(), "{mode:?} nondeterministic");
@@ -254,12 +237,14 @@ mod tests {
                 seed: 4,
             },
         );
-        let r = run_mode(&inst, Mode::CooperativeAdaptive, &small_cfg(9));
-        assert_eq!(r.round_best.len(), 4);
-        for w in r.round_best.windows(2) {
-            assert!(w[1] >= w[0], "global best regressed");
+        for mode in [Mode::CooperativeAdaptive, Mode::Asynchronous] {
+            let r = run_mode(&inst, mode, &small_cfg(9));
+            assert_eq!(r.round_best.len(), 4, "{mode:?}");
+            for w in r.round_best.windows(2) {
+                assert!(w[1] >= w[0], "{mode:?} global best regressed");
+            }
+            assert_eq!(*r.round_best.last().unwrap(), r.best.value(), "{mode:?}");
         }
-        assert_eq!(*r.round_best.last().unwrap(), r.best.value());
     }
 
     #[test]
@@ -305,6 +290,7 @@ mod tests {
         assert_eq!(Mode::Cooperative.label(), "CTS1");
         assert_eq!(Mode::CooperativeAdaptive.label(), "CTS2");
         assert_eq!(Mode::Asynchronous.label(), "ATS");
+        assert_eq!(Mode::Decomposed.label(), "DTS");
     }
 
     #[test]

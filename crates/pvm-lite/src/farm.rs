@@ -1,15 +1,21 @@
-//! The processor farm: task spawning, typed mailboxes, and addressing.
+//! The processor farm: persistent worker threads, typed mailboxes, and
+//! addressing.
 //!
-//! [`run_farm`] plays the role of PVM's `pvm_spawn` over a crossbar-connected
-//! farm: `ntasks` tasks run concurrently, each addressing the others by task
-//! id through reliable, ordered, unbounded mailboxes. By the convention of
-//! the paper's master/slave model, task 0 is the master and tasks `1..P+1`
-//! are the slaves — the library itself imposes no roles.
+//! [`WorkerPool`] plays the role of PVM's daemon: `ntasks` OS threads are
+//! spawned once and then serve any number of *runs*. Each [`WorkerPool::run`]
+//! hands every worker a task closure with a fresh [`TaskCtx`] — per-run
+//! mailboxes and barrier — so tasks address each other by dense task id
+//! through reliable, ordered, unbounded channels, exactly as before, but
+//! without paying thread spawn/join per run. [`run_farm`] remains the
+//! one-shot convenience (`pvm_spawn` + teardown) built on a throwaway pool.
+//! By the convention of the paper's master/slave model, task 0 is the master
+//! and tasks `1..P+1` are the slaves — the library itself imposes no roles.
 
 use crate::barrier::Barrier;
 use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::codec::{CodecError, Wire};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 /// Task address inside a farm (0-based, dense).
@@ -64,13 +70,18 @@ pub enum FarmError {
     TaskPanicked {
         /// Lowest id among the panicked tasks.
         tid: TaskId,
+        /// The panic payload of that task, stringified (`panic!` message, or
+        /// a placeholder for non-string payloads).
+        message: String,
     },
 }
 
 impl fmt::Display for FarmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FarmError::TaskPanicked { tid } => write!(f, "task {tid} panicked"),
+            FarmError::TaskPanicked { tid, message } => {
+                write!(f, "task {tid} panicked: {message}")
+            }
         }
     }
 }
@@ -140,26 +151,92 @@ impl TaskCtx {
     }
 }
 
-/// Run `ntasks` tasks, one OS thread each, all executing `f` with their own
-/// [`TaskCtx`]. Returns the per-task results in task-id order, or the first
-/// panicking task id.
-pub fn run_farm<R, F>(ntasks: usize, f: F) -> Result<Vec<R>, FarmError>
-where
-    R: Send,
-    F: Fn(TaskCtx) -> R + Sync,
-{
-    assert!(ntasks >= 1, "farm needs at least one task");
-    let mut senders = Vec::with_capacity(ntasks);
-    let mut receivers = Vec::with_capacity(ntasks);
-    for _ in 0..ntasks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let barrier = Barrier::new(ntasks);
+/// A job shipped to a pool worker. The `'static` bound is a lie the pool
+/// maintains internally: jobs borrow from the [`WorkerPool::run`] stack
+/// frame, and `run` never returns before every dispatched job has finished.
+type Job = Box<dyn FnOnce() + Send + 'static>;
 
-    std::thread::scope(|scope| {
+/// Stringify a panic payload (the common `&str` / `String` cases; anything
+/// else gets a placeholder — the task id still locates the failure).
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A persistent farm: `ntasks` worker threads spawned once, reused by every
+/// [`run`](WorkerPool::run) until the pool is dropped.
+///
+/// Each run gets fresh mailboxes and a fresh barrier, so runs are fully
+/// isolated from each other; only the OS threads are amortized. A task that
+/// panics is caught on its worker thread — the pool survives and the run
+/// reports [`FarmError::TaskPanicked`] with the original panic message.
+pub struct WorkerPool {
+    injectors: Vec<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `ntasks` worker threads (one per farm task).
+    pub fn new(ntasks: usize) -> Self {
+        assert!(ntasks >= 1, "farm needs at least one task");
+        let mut injectors = Vec::with_capacity(ntasks);
         let mut handles = Vec::with_capacity(ntasks);
+        for tid in 0..ntasks {
+            let (tx, rx) = unbounded::<Job>();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pvm-worker-{tid}"))
+                    .spawn(move || {
+                        // Serve jobs until the pool drops the injector. Jobs
+                        // never unwind here: `run` wraps each in catch_unwind.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker"),
+            );
+            injectors.push(tx);
+        }
+        WorkerPool { injectors, handles }
+    }
+
+    /// Number of tasks (worker threads) in the pool.
+    pub fn ntasks(&self) -> usize {
+        self.injectors.len()
+    }
+
+    /// The ids of the pool's OS threads, in task order. Stable across runs —
+    /// the observable guarantee that runs reuse threads instead of
+    /// respawning.
+    pub fn thread_ids(&self) -> Vec<std::thread::ThreadId> {
+        self.handles.iter().map(|h| h.thread().id()).collect()
+    }
+
+    /// Run one farm: every task executes `f` with its own [`TaskCtx`].
+    /// Returns the per-task results in task-id order, or the lowest
+    /// panicking task id with its panic message.
+    pub fn run<R, F>(&mut self, f: F) -> Result<Vec<R>, FarmError>
+    where
+        R: Send,
+        F: Fn(TaskCtx) -> R + Sync,
+    {
+        let ntasks = self.ntasks();
+        let mut senders = Vec::with_capacity(ntasks);
+        let mut receivers = Vec::with_capacity(ntasks);
+        for _ in 0..ntasks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Barrier::new(ntasks);
+        let (done_tx, done_rx) = unbounded::<(TaskId, Result<R, String>)>();
+
+        let mut dispatched = 0usize;
         for (tid, inbox) in receivers.into_iter().enumerate() {
             let ctx = TaskCtx {
                 tid,
@@ -168,25 +245,73 @@ where
                 barrier: barrier.clone(),
             };
             let f = &f;
-            handles.push(scope.spawn(move || f(ctx)));
+            let done = done_tx.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(ctx)))
+                    .map_err(|payload| panic_payload_message(payload.as_ref()));
+                // The receiver outlives every job; a failed send can only
+                // mean `run` already returned, which the protocol forbids.
+                let _ = done.send((tid, out));
+            });
+            // SAFETY: the closure borrows `f` and `done` from this stack
+            // frame. `run` blocks below until it has received exactly one
+            // completion per dispatched job, and jobs always send their
+            // completion (panics are caught), so no borrow outlives this
+            // frame. Workers only terminate when the pool is dropped, which
+            // requires `&mut self` exclusivity to have ended.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            if self.injectors[tid].send(job).is_ok() {
+                dispatched += 1;
+            }
         }
-        drop(senders); // tasks hold the only sender clones now
+        drop(senders); // tasks hold the only mailbox senders now
+        drop(done_tx);
 
-        let mut results = Vec::with_capacity(ntasks);
-        let mut panicked: Option<TaskId> = None;
-        for (tid, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(r) => results.push(r),
-                Err(_) => {
-                    panicked.get_or_insert(tid);
+        let mut results: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
+        let mut panicked: Option<(TaskId, String)> = None;
+        for _ in 0..dispatched {
+            let (tid, out) = done_rx
+                .recv()
+                .expect("every dispatched job sends one completion");
+            match out {
+                Ok(r) => results[tid] = Some(r),
+                Err(message) => {
+                    if panicked.as_ref().is_none_or(|(t, _)| tid < *t) {
+                        panicked = Some((tid, message));
+                    }
                 }
             }
         }
+        // All dispatched borrows are dead now; safe to unwind from here on.
+        assert_eq!(dispatched, ntasks, "pool worker thread died");
         match panicked {
-            Some(tid) => Err(FarmError::TaskPanicked { tid }),
-            None => Ok(results),
+            Some((tid, message)) => Err(FarmError::TaskPanicked { tid, message }),
+            None => Ok(results.into_iter().map(|r| r.expect("filled")).collect()),
         }
-    })
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.injectors.clear(); // disconnect: workers exit their serve loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Run `ntasks` tasks once, all executing `f` with their own [`TaskCtx`].
+/// Returns the per-task results in task-id order, or the first panicking
+/// task id with the original panic message. One-shot convenience over a
+/// throwaway [`WorkerPool`]; callers with repeated runs should hold a pool
+/// (or a `core` Engine) instead.
+pub fn run_farm<R, F>(ntasks: usize, f: F) -> Result<Vec<R>, FarmError>
+where
+    R: Send,
+    F: Fn(TaskCtx) -> R + Sync,
+{
+    WorkerPool::new(ntasks).run(f)
 }
 
 #[cfg(test)]
@@ -309,14 +434,19 @@ mod tests {
     }
 
     #[test]
-    fn panic_is_reported_with_task_id() {
+    fn panic_is_reported_with_task_id_and_message() {
         let err = run_farm(3, |ctx| {
             if ctx.tid() == 1 {
-                panic!("injected failure");
+                panic!("injected failure {}", 41 + 1);
             }
         })
         .unwrap_err();
-        assert_eq!(err, FarmError::TaskPanicked { tid: 1 });
+        let FarmError::TaskPanicked { tid, message } = err;
+        assert_eq!(tid, 1);
+        assert!(
+            message.contains("injected failure 42"),
+            "panic payload lost: {message:?}"
+        );
     }
 
     #[test]
@@ -363,12 +493,84 @@ mod tests {
 
     #[test]
     fn send_out_of_range_panics_the_task() {
-        // The panic happens on the task thread and surfaces as a farm error.
+        // The panic happens on the task thread and surfaces as a farm error
+        // carrying the original assertion message.
         let err = run_farm(1, |ctx| {
             let _ = ctx.send_bytes(5, 0, vec![]);
         })
         .unwrap_err();
-        assert_eq!(err, FarmError::TaskPanicked { tid: 0 });
+        let FarmError::TaskPanicked { tid, message } = err;
+        assert_eq!(tid, 0);
+        assert!(message.contains("out of range"), "got: {message:?}");
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_runs() {
+        let mut pool = WorkerPool::new(3);
+        let before = pool.thread_ids();
+        let ids1 = pool.run(|_ctx| std::thread::current().id()).unwrap();
+        let ids2 = pool.run(|_ctx| std::thread::current().id()).unwrap();
+        assert_eq!(ids1, ids2, "runs landed on different threads");
+        assert_eq!(ids1, before, "jobs ran off-pool");
+        assert_eq!(pool.thread_ids(), before, "pool respawned threads");
+    }
+
+    #[test]
+    fn pool_runs_are_isolated() {
+        // Messages from run 1 must not leak into run 2's mailboxes.
+        let mut pool = WorkerPool::new(2);
+        pool.run(|ctx| {
+            if ctx.tid() == 0 {
+                // Never received; peer may already be done (send may error),
+                // either way the message must die with this run's mailboxes.
+                let _ = ctx.send(1, 9, &Num(1));
+            }
+        })
+        .unwrap();
+        let r = pool
+            .run(|ctx| {
+                if ctx.tid() == 1 {
+                    matches!(
+                        ctx.recv_timeout(Duration::from_millis(50)),
+                        Err(CommError::Timeout | CommError::Disconnected)
+                    )
+                } else {
+                    true
+                }
+            })
+            .unwrap();
+        assert!(r[1], "stale message crossed runs");
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_run() {
+        let mut pool = WorkerPool::new(2);
+        let err = pool
+            .run(|ctx| {
+                if ctx.tid() == 1 {
+                    panic!("boom");
+                }
+            })
+            .unwrap_err();
+        let FarmError::TaskPanicked { tid, message } = err;
+        assert_eq!(tid, 1);
+        assert!(message.contains("boom"));
+        // The same pool serves the next run on the same threads.
+        let ok = pool.run(|ctx| ctx.tid()).unwrap();
+        assert_eq!(ok, vec![0, 1]);
+    }
+
+    #[test]
+    fn lowest_panicking_tid_wins() {
+        let err = run_farm(4, |ctx| {
+            if ctx.tid() >= 2 {
+                panic!("task {} down", ctx.tid());
+            }
+        })
+        .unwrap_err();
+        let FarmError::TaskPanicked { tid, message } = err;
+        assert_eq!(tid, 2);
+        assert!(message.contains("task 2 down"), "got: {message:?}");
     }
 
     #[test]

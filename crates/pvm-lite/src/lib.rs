@@ -48,4 +48,4 @@ pub mod farm;
 pub use barrier::Barrier;
 pub use codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
 pub use collectives::{CollectiveError, Collectives};
-pub use farm::{run_farm, CommError, Envelope, FarmError, TaskCtx, TaskId};
+pub use farm::{run_farm, CommError, Envelope, FarmError, TaskCtx, TaskId, WorkerPool};

@@ -30,6 +30,17 @@ cargo run --release --offline --locked -p mkp-bench --bin kernels -- \
   --smoke --json results/kernels-smoke.json
 test -s results/kernels-smoke.json
 
+step "engine smoke (all six modes, quick budget)"
+tmp_mkp="$(mktemp /tmp/ci-smoke-XXXXXX.mkp)"
+trap 'rm -f "$tmp_mkp"' EXIT
+cargo run --release --offline --locked -p mkp-cli -- \
+  generate "$tmp_mkp" --class gk --n 40 --m 5 --seed 7
+for mode in seq its cts1 cts2 ats dts; do
+  cargo run --release --offline --locked -p mkp-cli -- \
+    solve "$tmp_mkp" --mode "$mode" --p 2 --rounds 2 --budget 40000 --seed 1 \
+    | grep -q '^best value' || { echo "error: mode $mode smoke failed" >&2; exit 1; }
+done
+
 step "no versioned registry dependencies"
 if grep -rn '^[a-z].*=.*"[0-9]' crates/*/Cargo.toml Cargo.toml; then
   echo "error: versioned registry dependency found (policy: DESIGN.md §7)" >&2

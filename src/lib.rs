@@ -41,5 +41,7 @@ pub mod prelude {
     pub use mkp_exact::{solve as solve_exact, solve_with_incumbent, BbConfig};
     pub use mkp_tabu::search::{run as run_tabu, Budget, TsConfig};
     pub use mkp_tabu::{Strategy, StrategyBounds};
-    pub use parallel_tabu::{run_mode, IspConfig, Mode, ModeReport, RunConfig, SgpConfig};
+    pub use parallel_tabu::{
+        run_mode, CoopPolicy, Delivery, Engine, IspConfig, Mode, ModeReport, RunConfig, SgpConfig,
+    };
 }

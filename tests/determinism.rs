@@ -1,8 +1,40 @@
-//! Reproducibility guarantees across the stack: the synchronous modes are
+//! Reproducibility guarantees across the stack: every search mode is
 //! bit-deterministic in the master seed, generators are pure functions of
 //! their seeds, and distinct seeds genuinely decorrelate.
 
 use pts_mkp::prelude::*;
+
+#[test]
+fn every_mode_has_deterministic_best_value() {
+    // Regression gate for the engine refactor: same seed + same RunConfig
+    // must give the identical best value for all six modes — including ATS
+    // (pipelined delivery processes reports in a fixed logical order) and
+    // DTS (disjoint cells, deterministic reduction).
+    let inst = gk_instance(
+        "det6",
+        GkSpec {
+            n: 60,
+            m: 5,
+            tightness: 0.5,
+            seed: 11,
+        },
+    );
+    let cfg = RunConfig {
+        p: 3,
+        rounds: 3,
+        ..RunConfig::new(180_000, 41)
+    };
+    for mode in Mode::all() {
+        let a = run_mode(&inst, mode, &cfg);
+        let b = run_mode(&inst, mode, &cfg);
+        assert_eq!(
+            a.best.value(),
+            b.best.value(),
+            "{mode:?} best value not reproducible"
+        );
+        assert_eq!(a.round_best, b.round_best, "{mode:?} curves differ");
+    }
+}
 
 #[test]
 fn synchronous_modes_bit_deterministic() {

@@ -1,0 +1,75 @@
+//! Integration tests of the persistent engine: one warm worker pool serving
+//! consecutive runs of every mode without respawning threads.
+
+use pts_mkp::prelude::*;
+
+fn small_instance() -> Instance {
+    gk_instance(
+        "engine_it",
+        GkSpec {
+            n: 50,
+            m: 5,
+            tightness: 0.5,
+            seed: 21,
+        },
+    )
+}
+
+fn small_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        p: 3,
+        rounds: 3,
+        ..RunConfig::new(90_000, seed)
+    }
+}
+
+#[test]
+fn consecutive_runs_reuse_the_same_worker_pool() {
+    let inst = small_instance();
+    let mut engine = Engine::new(3);
+    let threads_before = engine.thread_ids();
+    let spawned_before = engine.spawned_threads();
+
+    let a = engine.run(&inst, Mode::CooperativeAdaptive, &small_cfg(1));
+    let b = engine.run(&inst, Mode::CooperativeAdaptive, &small_cfg(2));
+    assert!(a.best.is_feasible(&inst) && b.best.is_feasible(&inst));
+
+    // No thread respawn between runs: the pool holds the exact same OS
+    // threads it started with, and the lifetime spawn counter is unmoved.
+    assert_eq!(engine.thread_ids(), threads_before);
+    assert_eq!(engine.spawned_threads(), spawned_before);
+}
+
+#[test]
+fn one_warm_pool_serves_every_mode() {
+    let inst = small_instance();
+    let mut engine = Engine::new(3);
+    let threads_before = engine.thread_ids();
+    for mode in Mode::all() {
+        let warm = engine.run(&inst, mode, &small_cfg(9));
+        assert!(warm.best.is_feasible(&inst), "{mode:?} infeasible");
+        assert_eq!(warm.mode, mode);
+        // The warm-pool run is the same deterministic search as the
+        // one-shot convenience path.
+        let cold = run_mode(&inst, mode, &small_cfg(9));
+        assert_eq!(warm.best.value(), cold.best.value(), "{mode:?} diverged");
+    }
+    assert_eq!(
+        engine.thread_ids(),
+        threads_before,
+        "a mode respawned the pool"
+    );
+}
+
+#[test]
+fn custom_report_timeout_is_honored_end_to_end() {
+    // A generous custom timeout must not change results; it is plumbing,
+    // not search behaviour.
+    let inst = small_instance();
+    let mut cfg = small_cfg(5);
+    let baseline = run_mode(&inst, Mode::Cooperative, &cfg);
+    cfg.report_timeout = std::time::Duration::from_secs(30);
+    let custom = run_mode(&inst, Mode::Cooperative, &cfg);
+    assert_eq!(baseline.best.value(), custom.best.value());
+    assert_eq!(baseline.round_best, custom.round_best);
+}

@@ -52,12 +52,12 @@ fn full_master_slave_exchange_over_the_farm() {
             let problem = ProblemMsg::from_instance(&inst);
             for s in 1..=p {
                 ctx.send(s, tags::PROBLEM, &problem).unwrap();
-                let assign = AssignMsg {
-                    initial: BitVec::zeros(inst.n()),
-                    strategy: mkp_tabu::Strategy::default_for(inst.n()),
-                    budget_evals: 20_000,
-                    seed: s as u64,
-                };
+                let assign = AssignMsg::trajectory(
+                    BitVec::zeros(inst.n()),
+                    mkp_tabu::Strategy::default_for(inst.n()),
+                    20_000,
+                    s as u64,
+                );
                 ctx.send(s, tags::ASSIGN, &assign).unwrap();
             }
             let mut best = 0i64;
@@ -172,7 +172,12 @@ fn slave_panic_is_contained_and_reported() {
         }
     })
     .unwrap_err();
-    assert_eq!(err, FarmError::TaskPanicked { tid: 1 });
+    let FarmError::TaskPanicked { tid, message } = err;
+    assert_eq!(tid, 1);
+    assert!(
+        message.contains("injected slave crash"),
+        "panic payload lost: {message:?}"
+    );
 }
 
 #[test]
