@@ -41,6 +41,7 @@ fn main() {
                     };
                     engine
                         .run(inst, Mode::CooperativeAdaptive, &cfg)
+                        .expect("bench farm healthy")
                         .best
                         .value() as f64
                 })

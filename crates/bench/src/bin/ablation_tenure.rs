@@ -164,6 +164,7 @@ fn main() {
                 };
                 engine
                     .run(inst, Mode::CooperativeAdaptive, &cfg)
+                    .expect("bench farm healthy")
                     .best
                     .value()
             }),

@@ -38,6 +38,7 @@ fn main() {
                     };
                     engine
                         .run(inst, mode, &cfg)
+                        .expect("bench farm healthy")
                         .round_best
                         .iter()
                         .map(|&v| v as f64)

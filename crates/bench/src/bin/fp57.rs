@@ -50,6 +50,7 @@ fn main() {
                 ..RunConfig::new(budget, SEEDS[0])
             },
         );
+        let first = first.expect("bench farm healthy");
         // One proof certifies the optimum for every retry.
         let bb = solve_with_incumbent(&inst, &BbConfig::default(), Some(&first.best));
         assert!(bb.proven, "{}: optimum not certified", inst.name());
@@ -69,6 +70,7 @@ fn main() {
             found = found.max(
                 engine
                     .run(&inst, Mode::CooperativeAdaptive, &cfg)
+                    .expect("bench farm healthy")
                     .best
                     .value(),
             );

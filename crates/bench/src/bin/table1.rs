@@ -87,7 +87,9 @@ fn main() {
             ..RunConfig::new(budget, 0x6B + idx as u64)
         };
         let t = Instant::now();
-        let r = engine.run(inst, Mode::CooperativeAdaptive, &cfg);
+        let r = engine
+            .run(inst, Mode::CooperativeAdaptive, &cfg)
+            .expect("bench farm healthy");
         let secs = t.elapsed().as_secs_f64();
         let dev = deviation_pct(r.best.value(), lp);
         per_instance.row(vec![

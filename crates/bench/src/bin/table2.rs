@@ -41,7 +41,11 @@ fn main() {
                         rounds: ROUNDS,
                         ..RunConfig::new(BUDGET, seed)
                     };
-                    engine.run(&inst, mode, &cfg).best.value() as f64
+                    engine
+                        .run(&inst, mode, &cfg)
+                        .expect("bench farm healthy")
+                        .best
+                        .value() as f64
                 })
                 .collect();
             cells.push(format!("{:.0}", mean(&values)));

@@ -35,7 +35,9 @@ fn main() {
             ..RunConfig::new(budget, 0xCB + idx as u64)
         };
         let t = Instant::now();
-        let r = engine.run(inst, Mode::CooperativeAdaptive, &cfg);
+        let r = engine
+            .run(inst, Mode::CooperativeAdaptive, &cfg)
+            .expect("bench farm healthy");
         table.row(vec![
             inst.name().to_string(),
             instance_stats(inst).to_string(),

@@ -53,6 +53,7 @@ fn main() {
                 };
                 engine
                     .run(&inst, Mode::CooperativeAdaptive, &cfg)
+                    .expect("bench farm healthy")
                     .best
                     .value() as f64
             })

@@ -7,7 +7,7 @@ use mkp::generate::{chu_beasley_instance, gk_instance, uncorrelated_instance, Gk
 use mkp::greedy::greedy;
 use mkp::stats::instance_stats;
 use mkp::Instance;
-use parallel_tabu::{Engine, Mode, RunConfig};
+use parallel_tabu::{fault_at_round, Engine, FaultAction, FaultPlan, Mode, RunConfig};
 use std::fmt::Write as _;
 
 /// Top-level command failures.
@@ -21,6 +21,12 @@ pub enum CliError {
     Parse(String),
     /// Semantic problems (unknown class, unknown mode, …).
     Invalid(String),
+    /// The engine could not produce a result (e.g. every worker lost).
+    Engine(String),
+    /// The run *finished* but lost workers along the way. Carries the full
+    /// solve output; `main` prints it and exits with the degraded code so
+    /// scripts notice without losing the result.
+    Degraded(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -30,6 +36,8 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::Invalid(e) => write!(f, "{e}"),
+            CliError::Engine(e) => write!(f, "engine error: {e}"),
+            CliError::Degraded(out) => write!(f, "{out}"),
         }
     }
 }
@@ -52,8 +60,13 @@ USAGE:
   mkp solve    <instance.mkp> [--mode seq|its|cts1|cts2|ats|dts]
                [--p P] [--rounds R] [--budget EVALS] [--seed S]
                [--relink true|false] [--timeout SECS]
+               [--fault kill@K:R|delay@K:R:MS]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
   mkp help
+
+A solve that loses workers (e.g. under --fault) still prints its result,
+listing the losses, and exits with code 2 so scripts can tell a degraded
+run from a clean one.
 ";
 
 fn read_instance(path: &str) -> Result<Instance, CliError> {
@@ -141,6 +154,24 @@ fn parse_mode(raw: &str) -> Result<Mode, CliError> {
     })
 }
 
+/// Parse a `--fault` spec: `kill@K:R` kills worker K (0-based) at round R,
+/// `delay@K:R:MS` delays its round-R assignment by MS milliseconds.
+fn parse_fault(raw: &str) -> Result<FaultPlan, CliError> {
+    let invalid = || CliError::Invalid(format!("bad fault {raw:?} (use kill@K:R or delay@K:R:MS)"));
+    let (kind, spec) = raw.split_once('@').ok_or_else(invalid)?;
+    let fields: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| s.parse::<usize>().map_err(|_| invalid());
+    match (kind, fields.as_slice()) {
+        ("kill", [k, r]) => Ok(fault_at_round(num(k)?, num(r)?, FaultAction::Kill)),
+        ("delay", [k, r, ms]) => Ok(fault_at_round(
+            num(k)?,
+            num(r)?,
+            FaultAction::Delay(std::time::Duration::from_millis(num(ms)? as u64)),
+        )),
+        _ => Err(invalid()),
+    }
+}
+
 /// `mkp solve`.
 pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
     let inst = read_instance(args.positional(0, "instance.mkp")?)?;
@@ -154,6 +185,7 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         "timeout",
         parallel_tabu::runner::DEFAULT_REPORT_TIMEOUT.as_secs(),
     )?;
+    let fault = args.get_str("fault").map(parse_fault).transpose()?;
     if p == 0 || rounds == 0 || budget == 0 || timeout == 0 {
         return Err(CliError::Invalid(
             "p, rounds, budget and timeout must be positive".into(),
@@ -167,7 +199,13 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         report_timeout: std::time::Duration::from_secs(timeout),
         ..RunConfig::new(budget, seed)
     };
-    let report = Engine::new(cfg.p).run(&inst, mode, &cfg);
+    let mut engine = Engine::new(cfg.p);
+    if let Some(plan) = fault {
+        engine.inject_fault(plan);
+    }
+    let report = engine
+        .run(&inst, mode, &cfg)
+        .map_err(|e| CliError::Engine(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "mode       : {}", report.mode.label());
     let _ = writeln!(out, "best value : {}", report.best.value());
@@ -177,6 +215,15 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         "work       : {} moves / {} evals in {:?}",
         report.total_moves, report.total_evals, report.wall
     );
+    if report.is_degraded() {
+        let losses: Vec<String> = report.lost_workers.iter().map(|l| l.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "lost workers: {} ({})",
+            report.lost_workers.len(),
+            losses.join("; ")
+        );
+    }
     if let Ok(lp) = mkp_exact::bounds::lp_bound(&inst) {
         let gap = 100.0 * (lp.objective - report.best.value() as f64) / lp.objective;
         let _ = writeln!(out, "LP gap     : ≤ {gap:.3}%");
@@ -192,6 +239,9 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
                 "below"
             }
         );
+    }
+    if report.is_degraded() {
+        return Err(CliError::Degraded(out));
     }
     Ok(out)
 }
@@ -247,7 +297,9 @@ mod tests {
     }
 
     const GEN_FLAGS: &[&str] = &["class", "n", "m", "tightness", "seed"];
-    const SOLVE_FLAGS: &[&str] = &["mode", "p", "rounds", "budget", "seed", "relink", "timeout"];
+    const SOLVE_FLAGS: &[&str] = &[
+        "mode", "p", "rounds", "budget", "seed", "relink", "timeout", "fault",
+    ];
     const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
 
     #[test]
@@ -328,6 +380,49 @@ mod tests {
         assert!(out.contains("best value"));
         let err = cmd_solve(&args(&[&path, "--timeout", "0"], SOLVE_FLAGS)).unwrap_err();
         assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn fault_specs_parse() {
+        assert_eq!(
+            parse_fault("kill@1:2").unwrap(),
+            fault_at_round(1, 2, FaultAction::Kill)
+        );
+        assert_eq!(
+            parse_fault("delay@0:3:250").unwrap(),
+            fault_at_round(
+                0,
+                3,
+                FaultAction::Delay(std::time::Duration::from_millis(250))
+            )
+        );
+        for bad in ["kill@1", "delay@1:2", "boom@1:2", "kill@a:b", "kill"] {
+            assert!(parse_fault(bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn degraded_solve_reports_losses_and_keeps_result() {
+        let path = tmp("degraded.mkp");
+        cmd_generate(&args(
+            &[&path, "--n", "20", "--m", "2", "--class", "uniform"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        let err = cmd_solve(&args(
+            &[
+                &path, "--mode", "cts2", "--p", "4", "--rounds", "3", "--budget", "60000",
+                "--fault", "kill@1:1",
+            ],
+            SOLVE_FLAGS,
+        ))
+        .unwrap_err();
+        let CliError::Degraded(out) = err else {
+            panic!("expected a degraded run, got {err:?}");
+        };
+        assert!(out.contains("best value"), "result lost: {out}");
+        assert!(out.contains("lost workers: 1"), "losses missing: {out}");
+        assert!(out.contains("worker 1 @ round 1"), "wrong loss: {out}");
     }
 
     #[test]

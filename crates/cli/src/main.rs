@@ -31,7 +31,9 @@ fn main() -> ExitCode {
             .and_then(|a| cmd_stats(&a)),
         "solve" => Args::parse(
             rest,
-            &["mode", "p", "rounds", "budget", "seed", "relink", "timeout"],
+            &[
+                "mode", "p", "rounds", "budget", "seed", "relink", "timeout", "fault",
+            ],
         )
         .map_err(Into::into)
         .and_then(|a| cmd_solve(&a)),
@@ -56,6 +58,15 @@ fn main() -> ExitCode {
                 println!();
             }
             ExitCode::SUCCESS
+        }
+        // A degraded solve still produced a result: print it like a
+        // success, but exit 2 so scripts can tell the difference.
+        Err(commands::CliError::Degraded(text)) => {
+            print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
+            ExitCode::from(2)
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -26,16 +26,19 @@
 //!   workers still overlap rounds freely.
 
 use crate::messages::{tags, AssignMsg, ProblemMsg, ReportMsg};
-use crate::runner::{Mode, ModeReport, RunConfig};
+use crate::runner::{LossCause, Mode, ModeReport, RunConfig, WorkerLoss};
 use mkp::eval::Ratios;
 use mkp::greedy::dynamic_randomized_greedy;
 use mkp::restrict::Restriction;
 use mkp::{Instance, Solution, Xoshiro256};
 use mkp_tabu::{search, Budget, TsConfig};
-use pvm_lite::{Collectives, TaskCtx, WorkerPool};
+use pvm_lite::{
+    CollectiveError, Collectives, CommError, FaultAction, FaultPlan, TaskCtx, TaskOutcome,
+    WorkerPool,
+};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the master receives reports (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,9 +124,79 @@ pub fn assignment_seed(cfg: &RunConfig, round: usize, k: usize) -> u64 {
     cfg.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((slave as u64) << 32)
 }
 
+/// Unrecoverable engine failures. Losing *some* workers is not an error —
+/// the master quarantines them and finishes degraded (see
+/// [`ModeReport::lost_workers`]); these are the cases it cannot search
+/// around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Every worker was quarantined before the run could finish; the
+    /// losses tell the story in detection order.
+    AllWorkersLost {
+        /// The per-worker losses, in the order the master detected them.
+        losses: Vec<WorkerLoss>,
+    },
+    /// A task broke the master/slave protocol (wrong tag, out-of-range
+    /// sender, undecodable or inconsistent report).
+    ProtocolViolation {
+        /// What arrived and why it is invalid.
+        detail: String,
+    },
+    /// The master task itself panicked.
+    MasterPanicked {
+        /// The master's panic message.
+        message: String,
+    },
+    /// An invariant the engine relies on failed (a bug, not a worker
+    /// fault).
+    Internal {
+        /// Which invariant broke.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::AllWorkersLost { losses } => {
+                write!(f, "all workers lost:")?;
+                for loss in losses {
+                    write!(f, " [{loss}]")?;
+                }
+                Ok(())
+            }
+            EngineError::ProtocolViolation { detail } => {
+                write!(f, "protocol violation: {detail}")
+            }
+            EngineError::MasterPanicked { message } => {
+                write!(f, "master panicked: {message}")
+            }
+            EngineError::Internal { detail } => write!(f, "engine invariant broken: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Build a [`FaultPlan`] that fires when a worker dequeues its assignment
+/// for `round` (`worker` is 0-based, like [`WorkerLoss::worker`]). The
+/// mapping counts every delivery into the slave: one problem broadcast,
+/// then one assignment per round, so round `r`'s assignment is the
+/// `r + 2`-th message.
+///
+/// For modes that fold everything into one round (SEQ/ITS/DTS) only
+/// `round == 0` can fire; later triggers never arrive.
+pub fn fault_at_round(worker: usize, round: usize, action: FaultAction) -> FaultPlan {
+    FaultPlan {
+        tid: worker + 1,
+        on_receive: round + 2,
+        action,
+    }
+}
+
 /// Per-task result of a run.
 enum TaskOut {
-    Master(Box<ModeReport>),
+    Master(Result<Box<ModeReport>, EngineError>),
     Slave,
 }
 
@@ -132,6 +205,7 @@ enum TaskOut {
 pub struct Engine {
     pool: WorkerPool,
     spawned_threads: usize,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Engine {
@@ -144,6 +218,7 @@ impl Engine {
         Engine {
             pool,
             spawned_threads,
+            fault_plan: None,
         }
     }
 
@@ -153,10 +228,11 @@ impl Engine {
     }
 
     /// Total OS threads spawned over the engine's lifetime. Stays constant
-    /// across runs unless a run needs a bigger pool — the respawn-free
-    /// reuse this counter exists to verify.
+    /// across runs unless a run needs a bigger pool or a lost worker
+    /// thread is healed — the respawn-free reuse this counter exists to
+    /// verify.
     pub fn spawned_threads(&self) -> usize {
-        self.spawned_threads
+        self.spawned_threads + self.pool.respawned_threads()
     }
 
     /// Thread ids of the current pool (for reuse assertions in tests).
@@ -164,17 +240,36 @@ impl Engine {
         self.pool.thread_ids()
     }
 
+    /// Inject a one-shot fault into the *next* run (see [`fault_at_round`]
+    /// for the worker/round mapping). Testing hook for the degradation
+    /// paths.
+    pub fn inject_fault(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
     /// Grow the pool if `cfg.p` asks for more workers than it holds; a
     /// smaller run leaves the pool alone (extra workers idle through it).
     fn ensure_capacity(&mut self, ntasks: usize) {
         if ntasks > self.pool.ntasks() {
+            // Bank the old pool's healing count before dropping it so the
+            // lifetime total keeps every thread ever spawned.
+            self.spawned_threads += self.pool.respawned_threads() + ntasks;
             self.pool = WorkerPool::new(ntasks);
-            self.spawned_threads += self.pool.ntasks();
         }
     }
 
     /// Run `mode` on `inst` under `cfg`, reusing the warm pool.
-    pub fn run(&mut self, inst: &Instance, mode: Mode, cfg: &RunConfig) -> ModeReport {
+    ///
+    /// Losing workers mid-run is not an error: the master quarantines them
+    /// and the report comes back with [`ModeReport::lost_workers`]
+    /// non-empty. `Err` means the run produced no usable result (see
+    /// [`EngineError`]).
+    pub fn run(
+        &mut self,
+        inst: &Instance,
+        mode: Mode,
+        cfg: &RunConfig,
+    ) -> Result<ModeReport, EngineError> {
         assert!(cfg.p >= 1 && cfg.rounds >= 1);
         self.run_policy(inst, &mut *policy_for(mode), cfg)
     }
@@ -185,32 +280,67 @@ impl Engine {
         inst: &Instance,
         policy: &mut dyn CoopPolicy,
         cfg: &RunConfig,
-    ) -> ModeReport {
+    ) -> Result<ModeReport, EngineError> {
         let active = policy.active_workers(cfg);
         assert!(active >= 1, "a run needs at least one active worker");
         self.ensure_capacity(active + 1);
+        if let Some(plan) = self.fault_plan.take() {
+            self.pool.set_fault_plan(plan);
+        }
 
         // Only task 0 touches the policy, but the job closure is shared by
         // every pool thread; the mutex documents that to the compiler.
         let policy = Mutex::new(policy);
-        let results = self
-            .pool
-            .run(|ctx| {
-                if ctx.tid() == 0 {
-                    let mut policy = policy.lock().unwrap_or_else(PoisonError::into_inner);
-                    TaskOut::Master(Box::new(master_loop(ctx, inst, &mut **policy, cfg)))
-                } else {
-                    slave_loop(ctx, cfg);
-                    TaskOut::Slave
+        let outcomes = self.pool.run_collect(|ctx| {
+            if ctx.tid() == 0 {
+                let mut policy = policy.lock().unwrap_or_else(PoisonError::into_inner);
+                TaskOut::Master(master_loop(ctx, inst, &mut **policy, cfg).map(Box::new))
+            } else {
+                slave_loop(ctx, cfg);
+                TaskOut::Slave
+            }
+        });
+
+        // The master only observes *silence* from a lost slave (a missed
+        // deadline, a dead mailbox); the pool knows whether that silence
+        // was a panic. Rewrite the causes so the report carries the real
+        // story.
+        let ntasks = outcomes.len();
+        let mut slave_panics: Vec<Option<String>> = vec![None; ntasks];
+        let mut master_out = None;
+        for (tid, out) in outcomes.into_iter().enumerate() {
+            match out {
+                TaskOutcome::Done(TaskOut::Master(result)) => master_out = Some(result),
+                TaskOutcome::Done(TaskOut::Slave) => {}
+                TaskOutcome::Panicked(message) => {
+                    if tid == 0 {
+                        return Err(EngineError::MasterPanicked { message });
+                    }
+                    slave_panics[tid] = Some(message);
                 }
-            })
-            .unwrap_or_else(|e| panic!("{e}"));
-        for out in results {
-            if let TaskOut::Master(report) = out {
-                return *report;
             }
         }
-        unreachable!("task 0 always returns the master report")
+        let enrich = |losses: &mut Vec<WorkerLoss>| {
+            for loss in losses.iter_mut() {
+                if let Some(message) = &slave_panics[loss.worker + 1] {
+                    loss.cause = LossCause::Panicked(message.clone());
+                }
+            }
+        };
+        match master_out {
+            Some(Ok(mut report)) => {
+                enrich(&mut report.lost_workers);
+                Ok(*report)
+            }
+            Some(Err(EngineError::AllWorkersLost { mut losses })) => {
+                enrich(&mut losses);
+                Err(EngineError::AllWorkersLost { losses })
+            }
+            Some(Err(e)) => Err(e),
+            None => Err(EngineError::Internal {
+                detail: "master task returned no report".into(),
+            }),
+        }
     }
 }
 
@@ -228,13 +358,39 @@ fn policy_for(mode: Mode) -> Box<dyn CoopPolicy> {
     }
 }
 
-/// The generic Fig. 2 master: broadcast, assign, collect, update.
+/// Quarantine worker `k` (idempotent). Returns whether any worker is
+/// still alive — `false` is the caller's cue to give up with
+/// [`EngineError::AllWorkersLost`].
+fn mark_lost(
+    alive: &mut [bool],
+    losses: &mut Vec<WorkerLoss>,
+    k: usize,
+    round: usize,
+    cause: LossCause,
+) -> bool {
+    if alive[k] {
+        alive[k] = false;
+        losses.push(WorkerLoss {
+            worker: k,
+            round,
+            cause,
+        });
+    }
+    alive.iter().any(|&a| a)
+}
+
+/// The generic Fig. 2 master: broadcast, assign, collect, update — now
+/// tolerant of losing slaves along the way. A worker that becomes
+/// unreachable, misses its report deadline or (as the pool later reveals)
+/// panicked is *quarantined*: dropped from assignment and collection, its
+/// loss recorded, the round loop continuing with the survivors. Only
+/// losing the last worker aborts the run.
 fn master_loop(
     ctx: TaskCtx,
     inst: &Instance,
     policy: &mut dyn CoopPolicy,
     cfg: &RunConfig,
-) -> ModeReport {
+) -> Result<ModeReport, EngineError> {
     let start = Instant::now();
     let active = policy.active_workers(cfg);
     let rounds = policy.rounds(cfg);
@@ -244,10 +400,14 @@ fn master_loop(
 
     // "Read and send to slaves problem data" (Fig. 2) — a pvm_mcast. Idle
     // pool workers beyond `active` also receive it; they simply never get
-    // an assignment and fold on the final STOP.
+    // an assignment and fold on the final STOP. Every pool thread is fresh
+    // or healed at run start, so a failure here is a pool bug, not a
+    // recoverable worker loss.
     let problem = ProblemMsg::from_instance(inst);
     ctx.broadcast(tags::PROBLEM, &problem)
-        .expect("slaves alive at start");
+        .map_err(|e| EngineError::Internal {
+            detail: format!("problem broadcast failed: {e}"),
+        })?;
 
     let initials = policy.prepare(inst, cfg, &mut rng);
     let mut state = MasterState {
@@ -257,83 +417,223 @@ fn master_loop(
         total_evals: 0,
         regenerations: 0,
     };
+    let mut alive = vec![true; active];
+    let mut losses: Vec<WorkerLoss> = Vec::new();
 
     match policy.delivery() {
         Delivery::Synchronous => {
             for round in 0..rounds {
-                // Launch the P slave searches.
+                // Launch the surviving slave searches.
                 for k in 0..active {
+                    if !alive[k] {
+                        continue;
+                    }
                     let assign = policy.assign(k, round, inst, cfg, &mut rng);
-                    ctx.send(k + 1, tags::ASSIGN, &assign).expect("slave alive");
+                    if ctx.send(k + 1, tags::ASSIGN, &assign).is_err()
+                        && !mark_lost(&mut alive, &mut losses, k, round, LossCause::Unreachable)
+                    {
+                        return Err(EngineError::AllWorkersLost { losses });
+                    }
                 }
 
-                // Rendezvous: gather all P reports (slaves finish ≈
-                // simultaneously because the eval budget, not wall-clock,
-                // bounds each search). The gather orders reports by slave
-                // id, so the update below is deterministic regardless of
-                // arrival order.
-                let slave_ids: Vec<usize> = (1..=active).collect();
-                let reports: Vec<ReportMsg> = ctx
-                    .gather_msgs(tags::REPORT, &slave_ids, cfg.report_timeout)
-                    .unwrap_or_else(|e| panic!("report rendezvous failed: {e}"));
+                // Rendezvous: gather the survivors' reports (slaves finish
+                // ≈ simultaneously because the eval budget, not
+                // wall-clock, bounds each search). One deadline covers the
+                // whole gather; a worker that misses it is quarantined and
+                // any later, stale report from it is dropped. Slot order
+                // is slave-id order, so the update below is deterministic
+                // regardless of arrival order.
+                let expected: Vec<usize> =
+                    (0..active).filter(|&k| alive[k]).map(|k| k + 1).collect();
+                let quarantined: Vec<usize> =
+                    (0..active).filter(|&k| !alive[k]).map(|k| k + 1).collect();
+                let partial = ctx
+                    .gather_partial(tags::REPORT, &expected, &quarantined, cfg.report_timeout)
+                    .map_err(|e| match e {
+                        CollectiveError::Comm(e) => EngineError::Internal {
+                            detail: format!("report rendezvous failed: {e}"),
+                        },
+                        e => EngineError::ProtocolViolation {
+                            detail: format!("report rendezvous: {e}"),
+                        },
+                    })?;
+
+                let mut reports: Vec<(usize, ReportMsg)> = Vec::with_capacity(expected.len());
+                for env in partial.slots.iter().flatten() {
+                    let report =
+                        env.decode::<ReportMsg>()
+                            .map_err(|e| EngineError::ProtocolViolation {
+                                detail: format!("undecodable report from task {}: {e:?}", env.from),
+                            })?;
+                    reports.push((env.from - 1, report));
+                }
+                for &tid in &partial.missing {
+                    if !mark_lost(&mut alive, &mut losses, tid - 1, round, LossCause::Deadline) {
+                        return Err(EngineError::AllWorkersLost { losses });
+                    }
+                }
 
                 // Optional master-side exploitation: relink the two best
                 // distinct slave solutions (information neither slave holds
                 // alone).
                 if policy.relink(cfg) {
-                    state.total_evals += relink_round(inst, &reports, &mut state.global_best);
+                    state.total_evals += relink_round(inst, &reports, &mut state.global_best)?;
                 }
 
-                for (k, report) in reports.iter().enumerate() {
-                    state.process_report(k, round, report, policy, inst, cfg, &mut rng);
+                for (k, report) in &reports {
+                    state.process_report(*k, round, report, policy, inst, cfg, &mut rng)?;
                 }
-                let best = state.global_best.as_ref().expect("active >= 1");
+                let best = state
+                    .global_best
+                    .as_ref()
+                    .ok_or_else(|| EngineError::Internal {
+                        detail: "no global best after a processed round".into(),
+                    })?;
                 state.round_best.push(best.value());
             }
         }
         Delivery::Pipelined => {
-            // Bootstrap: every worker gets its round-0 assignment.
-            for k in 0..active {
-                let assign = policy.assign(k, 0, inst, cfg, &mut rng);
-                ctx.send(k + 1, tags::ASSIGN, &assign).expect("slave alive");
-            }
-
             // Reports arrive in scheduler order; `arrived[k]` counts how
             // many worker `k` has sent, which *is* the logical round of its
             // next arrival (per-worker channels are FIFO). The buffer plus
             // the (round, worker) cursor turn that arrival stream into a
             // deterministic processing order — and each processed report
             // immediately releases that worker's next assignment, so no
-            // worker ever waits for a rendezvous.
+            // worker ever waits for a rendezvous. `assigned[k]` counts
+            // assignments sent, so `assigned[k] > arrived[k]` means worker
+            // `k` owes a report — the workers a deadline expiry
+            // quarantines.
             let mut arrived = vec![0usize; active];
+            let mut assigned = vec![0usize; active];
             let mut buffer: BTreeMap<(usize, usize), ReportMsg> = BTreeMap::new();
             let mut cursor = (0usize, 0usize);
-            let mut processed = 0usize;
-            while processed < rounds * active {
-                let env = ctx
-                    .recv_timeout(cfg.report_timeout)
-                    .unwrap_or_else(|e| panic!("report wait failed: {e}"));
-                assert_eq!(env.tag, tags::REPORT, "protocol violation");
-                let k = env.from - 1;
-                let report: ReportMsg = env.decode().expect("well-formed report");
-                buffer.insert((arrived[k], k), report);
-                arrived[k] += 1;
 
-                while let Some(report) = buffer.remove(&cursor) {
-                    let (round, k) = cursor;
-                    state.process_report(k, round, &report, policy, inst, cfg, &mut rng);
-                    processed += 1;
-                    if round + 1 < rounds {
-                        let assign = policy.assign(k, round + 1, inst, cfg, &mut rng);
-                        ctx.send(k + 1, tags::ASSIGN, &assign).expect("slave alive");
+            // Bootstrap: every worker gets its round-0 assignment.
+            for (k, sent) in assigned.iter_mut().enumerate() {
+                let assign = policy.assign(k, 0, inst, cfg, &mut rng);
+                if ctx.send(k + 1, tags::ASSIGN, &assign).is_err() {
+                    if !mark_lost(&mut alive, &mut losses, k, 0, LossCause::Unreachable) {
+                        return Err(EngineError::AllWorkersLost { losses });
                     }
-                    cursor = if k + 1 < active {
-                        (round, k + 1)
-                    } else {
-                        let best = state.global_best.as_ref().expect("just processed");
-                        state.round_best.push(best.value());
-                        (round + 1, 0)
+                } else {
+                    *sent = 1;
+                }
+            }
+
+            'outer: loop {
+                // Drain: process buffered reports in logical order. A
+                // quarantined worker's never-coming report is skipped so
+                // the cursor keeps rotating over the survivors; a live
+                // worker's missing report sends us to the wait below.
+                loop {
+                    let (round, k) = cursor;
+                    if round >= rounds {
+                        break 'outer;
+                    }
+                    if let Some(report) = buffer.remove(&cursor) {
+                        state.process_report(k, round, &report, policy, inst, cfg, &mut rng)?;
+                        if round + 1 < rounds && alive[k] {
+                            let assign = policy.assign(k, round + 1, inst, cfg, &mut rng);
+                            if ctx.send(k + 1, tags::ASSIGN, &assign).is_err() {
+                                if !mark_lost(
+                                    &mut alive,
+                                    &mut losses,
+                                    k,
+                                    round + 1,
+                                    LossCause::Unreachable,
+                                ) {
+                                    return Err(EngineError::AllWorkersLost { losses });
+                                }
+                            } else {
+                                assigned[k] += 1;
+                            }
+                        }
+                    } else if alive[k] {
+                        break; // report still in flight: wait for it
+                    }
+                    cursor =
+                        if k + 1 < active {
+                            (round, k + 1)
+                        } else {
+                            let best = state.global_best.as_ref().ok_or_else(|| {
+                                EngineError::Internal {
+                                    detail: "no global best after a processed round".into(),
+                                }
+                            })?;
+                            state.round_best.push(best.value());
+                            (round + 1, 0)
+                        };
+                }
+
+                // Wait for one more report under a single deadline (the
+                // timeout budget is per expected report, not per arrival —
+                // stale stragglers burning the clock don't extend it).
+                let deadline = Instant::now().checked_add(cfg.report_timeout);
+                let deadline_expired = loop {
+                    let remaining = match deadline {
+                        None => Duration::MAX,
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                break true;
+                            }
+                            deadline - now
+                        }
                     };
+                    match ctx.recv_timeout(remaining) {
+                        Ok(env) => {
+                            let Some(k) = env.from.checked_sub(1).filter(|&k| k < active) else {
+                                return Err(EngineError::ProtocolViolation {
+                                    detail: format!("report from out-of-range task {}", env.from),
+                                });
+                            };
+                            if !alive[k] {
+                                continue; // stale report from a quarantined worker
+                            }
+                            if env.tag != tags::REPORT {
+                                return Err(EngineError::ProtocolViolation {
+                                    detail: format!(
+                                        "unexpected tag {} from task {} (expected {})",
+                                        env.tag,
+                                        env.from,
+                                        tags::REPORT
+                                    ),
+                                });
+                            }
+                            let report: ReportMsg =
+                                env.decode().map_err(|e| EngineError::ProtocolViolation {
+                                    detail: format!(
+                                        "undecodable report from task {}: {e:?}",
+                                        env.from
+                                    ),
+                                })?;
+                            buffer.insert((arrived[k], k), report);
+                            arrived[k] += 1;
+                            break false;
+                        }
+                        Err(CommError::Timeout) => break true,
+                        Err(_) => break true, // every sender gone: nothing will arrive
+                    }
+                };
+                // The deadline expired: every live worker still owing a
+                // report is out of time. The cursor's worker always owes
+                // one here, so each expiry quarantines at least one worker
+                // — the loop terminates.
+                if deadline_expired {
+                    for k in 0..active {
+                        if alive[k]
+                            && assigned[k] > arrived[k]
+                            && !mark_lost(
+                                &mut alive,
+                                &mut losses,
+                                k,
+                                arrived[k],
+                                LossCause::Deadline,
+                            )
+                        {
+                            return Err(EngineError::AllWorkersLost { losses });
+                        }
+                    }
                 }
             }
         }
@@ -344,9 +644,11 @@ fn master_loop(
         let _ = ctx.send_bytes(slave, tags::STOP, Vec::new());
     }
 
-    let best = state.global_best.expect("at least one report processed");
+    let best = state.global_best.ok_or_else(|| EngineError::Internal {
+        detail: "run finished without any processed report".into(),
+    })?;
     debug_assert!(best.is_feasible(inst));
-    ModeReport {
+    Ok(ModeReport {
         mode: policy.mode(),
         best,
         round_best: state.round_best,
@@ -354,7 +656,8 @@ fn master_loop(
         total_evals: state.total_evals,
         regenerations: state.regenerations,
         wall: start.elapsed(),
-    }
+        lost_workers: losses,
+    })
 }
 
 /// The master's running aggregation over reports.
@@ -369,7 +672,9 @@ struct MasterState {
 impl MasterState {
     /// Fold one report: counters, global best, then the policy's update.
     /// Shared by both delivery schemes so their master updates are
-    /// identical given identical processing order.
+    /// identical given identical processing order. A report whose claimed
+    /// value doesn't survive re-evaluation is a protocol violation, not a
+    /// panic.
     #[allow(clippy::too_many_arguments)] // internal fold step
     fn process_report(
         &mut self,
@@ -380,10 +685,14 @@ impl MasterState {
         inst: &Instance,
         cfg: &RunConfig,
         rng: &mut Xoshiro256,
-    ) {
+    ) -> Result<(), EngineError> {
         self.total_moves += report.moves;
         self.total_evals += report.evals;
-        let slave_best = report.best_solution(inst);
+        let slave_best = report.checked_best_solution(inst).map_err(|detail| {
+            EngineError::ProtocolViolation {
+                detail: format!("task {}: {detail}", k + 1),
+            }
+        })?;
         if self
             .global_best
             .as_ref()
@@ -391,26 +700,36 @@ impl MasterState {
         {
             self.global_best = Some(slave_best.clone());
         }
-        self.regenerations += policy.absorb(
-            k,
-            round,
-            report,
-            &slave_best,
-            self.global_best.as_ref().expect("just folded a report"),
-            inst,
-            cfg,
-            rng,
-        );
+        // Just folded: the global best is at least this report's best.
+        let global_best = match &self.global_best {
+            Some(g) => g.clone(),
+            None => slave_best.clone(),
+        };
+        self.regenerations +=
+            policy.absorb(k, round, report, &slave_best, &global_best, inst, cfg, rng);
+        Ok(())
     }
 }
 
 /// Relink the two best distinct solutions of a rendezvous; returns the
 /// candidate evaluations spent.
-fn relink_round(inst: &Instance, reports: &[ReportMsg], global_best: &mut Option<Solution>) -> u64 {
-    let mut tops: Vec<Solution> = reports.iter().map(|r| r.best_solution(inst)).collect();
+fn relink_round(
+    inst: &Instance,
+    reports: &[(usize, ReportMsg)],
+    global_best: &mut Option<Solution>,
+) -> Result<u64, EngineError> {
+    let mut tops = Vec::with_capacity(reports.len());
+    for (k, report) in reports {
+        let sol = report.checked_best_solution(inst).map_err(|detail| {
+            EngineError::ProtocolViolation {
+                detail: format!("task {}: {detail}", k + 1),
+            }
+        })?;
+        tops.push(sol);
+    }
     tops.sort_by_key(|s| std::cmp::Reverse(s.value()));
     if tops.len() < 2 || tops[0].bits() == tops[1].bits() {
-        return 0;
+        return Ok(0);
     }
     let ratios = Ratios::new(inst);
     let mut stats = mkp_tabu::moves::MoveStats::default();
@@ -422,13 +741,23 @@ fn relink_round(inst: &Instance, reports: &[ReportMsg], global_best: &mut Option
     {
         *global_best = Some(relinked);
     }
-    stats.candidate_evals
+    Ok(stats.candidate_evals)
 }
 
 /// The slave loop: receive the problem once, then serve assignments until
 /// the stop message (or a dead master) ends the task.
 fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
-    let env = match ctx.recv_timeout(cfg.report_timeout) {
+    // Slaves wait for instructions well beyond the master's report
+    // deadline: while the master sits out a full `report_timeout` on a
+    // straggler, its healthy peers are idle — were their patience the same
+    // deadline, they would give up moments before their next assignment
+    // arrives and a single straggler would cascade into losing the whole
+    // farm.
+    let patience = cfg
+        .report_timeout
+        .saturating_mul(4)
+        .saturating_add(Duration::from_secs(1));
+    let env = match ctx.recv_timeout(patience) {
         Ok(env) => env,
         Err(_) => return, // master died before the broadcast
     };
@@ -444,7 +773,7 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
     let mut history = mkp_tabu::history::History::new(inst.n());
 
     loop {
-        let env = match ctx.recv_timeout(cfg.report_timeout) {
+        let env = match ctx.recv_timeout(patience) {
             Ok(env) => env,
             Err(_) => return, // master gone: shut down quietly
         };
@@ -583,9 +912,10 @@ mod tests {
         let inst = inst();
         let mut engine = Engine::new(3);
         for mode in Mode::all() {
-            let r = engine.run(&inst, mode, &cfg());
+            let r = engine.run(&inst, mode, &cfg()).unwrap();
             assert!(r.best.is_feasible(&inst), "{mode:?} infeasible");
             assert_eq!(r.mode, mode);
+            assert!(!r.is_degraded(), "{mode:?} lost workers on a healthy farm");
         }
     }
 
@@ -600,7 +930,7 @@ mod tests {
             Mode::CooperativeAdaptive,
             Mode::Asynchronous,
         ] {
-            let warm = engine.run(&inst, mode, &cfg);
+            let warm = engine.run(&inst, mode, &cfg).unwrap();
             let cold = crate::runner::run_mode(&inst, mode, &cfg);
             assert_eq!(warm.best.value(), cold.best.value(), "{mode:?} diverged");
             assert_eq!(warm.round_best, cold.round_best);
@@ -617,18 +947,18 @@ mod tests {
         // Smaller run: pool untouched.
         let mut small = cfg();
         small.p = 1;
-        engine.run(&inst, Mode::Cooperative, &small);
+        engine.run(&inst, Mode::Cooperative, &small).unwrap();
         assert_eq!(engine.spawned_threads(), spawned);
         assert_eq!(engine.pool_size(), 3);
 
         // Bigger run: pool rebuilt once, then stable.
         let mut big = cfg();
         big.p = 4;
-        engine.run(&inst, Mode::Cooperative, &big);
+        engine.run(&inst, Mode::Cooperative, &big).unwrap();
         assert_eq!(engine.pool_size(), 5);
         assert!(engine.spawned_threads() > spawned);
         let grown = engine.spawned_threads();
-        engine.run(&inst, Mode::Cooperative, &big);
+        engine.run(&inst, Mode::Cooperative, &big).unwrap();
         assert_eq!(engine.spawned_threads(), grown);
     }
 
@@ -637,8 +967,8 @@ mod tests {
         let inst = inst();
         let cfg = cfg();
         let mut engine = Engine::new(3);
-        let a = engine.run(&inst, Mode::Asynchronous, &cfg);
-        let b = engine.run(&inst, Mode::Asynchronous, &cfg);
+        let a = engine.run(&inst, Mode::Asynchronous, &cfg).unwrap();
+        let b = engine.run(&inst, Mode::Asynchronous, &cfg).unwrap();
         assert_eq!(a.best.value(), b.best.value());
         assert_eq!(a.round_best, b.round_best);
         assert_eq!(a.round_best.len(), cfg.rounds);

@@ -43,8 +43,9 @@ pub mod runner;
 pub mod score;
 pub mod sgp;
 
-pub use engine::{CoopPolicy, Delivery, Engine};
+pub use engine::{fault_at_round, CoopPolicy, Delivery, Engine, EngineError};
 pub use isp::{IspConfig, StartKind};
-pub use runner::{run_mode, Mode, ModeReport, RunConfig};
+pub use pvm_lite::{FaultAction, FaultPlan};
+pub use runner::{run_mode, LossCause, Mode, ModeReport, RunConfig, WorkerLoss};
 pub use score::Score;
 pub use sgp::SgpConfig;

@@ -215,14 +215,28 @@ pub struct ReportMsg {
 
 impl ReportMsg {
     /// Rebuild (and verify) the best solution against the instance.
+    ///
+    /// # Panics
+    /// If the reported value does not match the rebuilt solution; masters
+    /// that must survive a lying slave use
+    /// [`checked_best_solution`](ReportMsg::checked_best_solution).
     pub fn best_solution(&self, inst: &Instance) -> Solution {
+        self.checked_best_solution(inst)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Rebuild the best solution, reporting a value mismatch as an error
+    /// instead of panicking.
+    pub fn checked_best_solution(&self, inst: &Instance) -> Result<Solution, String> {
         let sol = Solution::from_bits(inst, self.best.clone());
-        assert_eq!(
-            sol.value(),
-            self.best_value,
-            "slave reported inconsistent best value"
-        );
-        sol
+        if sol.value() != self.best_value {
+            return Err(format!(
+                "slave reported inconsistent best value: claimed {}, rebuilt {}",
+                self.best_value,
+                sol.value()
+            ));
+        }
+        Ok(sol)
     }
 }
 

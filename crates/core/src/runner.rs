@@ -118,6 +118,48 @@ impl RunConfig {
     }
 }
 
+/// Why the master quarantined a worker mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LossCause {
+    /// The worker's task panicked (message attached).
+    Panicked(String),
+    /// The worker missed its report deadline.
+    Deadline,
+    /// The master could no longer reach the worker's mailbox.
+    Unreachable,
+}
+
+impl std::fmt::Display for LossCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LossCause::Panicked(msg) => write!(f, "panicked: {msg}"),
+            LossCause::Deadline => write!(f, "missed report deadline"),
+            LossCause::Unreachable => write!(f, "unreachable"),
+        }
+    }
+}
+
+/// One worker the master lost and quarantined during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerLoss {
+    /// Worker index `k` (0-based; its farm task id is `k + 1`).
+    pub worker: usize,
+    /// Master round in which the loss was detected.
+    pub round: usize,
+    /// What went wrong.
+    pub cause: LossCause,
+}
+
+impl std::fmt::Display for WorkerLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {} @ round {}: {}",
+            self.worker, self.round, self.cause
+        )
+    }
+}
+
 /// Outcome of one mode run.
 #[derive(Debug, Clone)]
 pub struct ModeReport {
@@ -136,13 +178,32 @@ pub struct ModeReport {
     pub regenerations: u64,
     /// Wall-clock time of the run.
     pub wall: std::time::Duration,
+    /// Workers quarantined during the run (empty for a healthy farm). A
+    /// non-empty list means the run is *degraded*: the result is still a
+    /// feasible best over the surviving workers' reports.
+    pub lost_workers: Vec<WorkerLoss>,
+}
+
+impl ModeReport {
+    /// Whether the run lost any workers along the way.
+    pub fn is_degraded(&self) -> bool {
+        !self.lost_workers.is_empty()
+    }
 }
 
 /// Run `mode` on `inst` under `cfg` with a throwaway engine (see the
 /// module docs for when to hold an [`Engine`](crate::engine::Engine)
 /// instead).
+///
+/// # Panics
+/// On an unrecoverable engine failure (every worker lost). This
+/// convenience path assumes a healthy in-process farm; callers that
+/// inject faults or need the error should use
+/// [`Engine::run`](crate::engine::Engine::run) and handle the `Result`.
 pub fn run_mode(inst: &Instance, mode: Mode, cfg: &RunConfig) -> ModeReport {
-    crate::engine::Engine::new(cfg.p).run(inst, mode, cfg)
+    crate::engine::Engine::new(cfg.p)
+        .run(inst, mode, cfg)
+        .unwrap_or_else(|e| panic!("engine failed: {e}"))
 }
 
 #[cfg(test)]

@@ -203,9 +203,16 @@ impl<T> Receiver<T> {
         }
     }
 
-    /// Block until a message arrives or `timeout` elapses.
+    /// Block until a message arrives or `timeout` elapses. A timeout so
+    /// large that the deadline overflows `Instant` (e.g. `Duration::MAX`)
+    /// is treated as "no deadline": the call blocks like [`recv`] and can
+    /// only fail with a disconnect.
+    ///
+    /// [`recv`]: Receiver::recv
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        // `Instant + Duration` aborts on overflow; `checked_add` turns a
+        // huge timeout into an infinite wait instead.
+        let deadline = Instant::now().checked_add(timeout);
         let mut st = self.shared.lock();
         loop {
             if let Some(v) = st.queue.pop_front() {
@@ -214,18 +221,28 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(RecvTimeoutError::Timeout);
-            }
-            let (guard, _result) = self
-                .shared
-                .not_empty
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            // Timeouts and spurious wakeups are indistinguishable here;
-            // the loop re-checks the queue and the deadline either way.
-            st = guard;
+            st = match deadline {
+                None => self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    let (guard, _result) = self
+                        .shared
+                        .not_empty
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    // Timeouts and spurious wakeups are indistinguishable
+                    // here; the loop re-checks the queue and the deadline
+                    // either way.
+                    guard
+                }
+            };
         }
     }
 
@@ -316,6 +333,33 @@ mod tests {
         );
         assert!(t0.elapsed() >= Duration::from_millis(30), "returned early");
         drop(tx);
+    }
+
+    #[test]
+    fn huge_timeout_does_not_overflow() {
+        // `Instant::now() + Duration::MAX` aborts the process; the checked
+        // deadline must instead behave as "no deadline" and still deliver.
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(7).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(7));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn huge_timeout_still_sees_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::MAX),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        h.join().unwrap();
     }
 
     #[test]

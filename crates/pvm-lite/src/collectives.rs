@@ -4,7 +4,7 @@
 
 use crate::codec::Wire;
 use crate::farm::{CommError, Envelope, TaskCtx, TaskId};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors from gather-style collectives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +23,12 @@ pub enum CollectiveError {
         /// The offending task.
         from: TaskId,
     },
+    /// A contribution arrived from a task the collective did not expect
+    /// (and was not told to ignore).
+    UnknownSender {
+        /// The offending task.
+        from: TaskId,
+    },
 }
 
 impl std::fmt::Display for CollectiveError {
@@ -38,6 +44,9 @@ impl std::fmt::Display for CollectiveError {
             CollectiveError::DuplicateSender { from } => {
                 write!(f, "task {from} contributed twice")
             }
+            CollectiveError::UnknownSender { from } => {
+                write!(f, "unexpected contribution from task {from}")
+            }
         }
     }
 }
@@ -48,6 +57,17 @@ impl From<CommError> for CollectiveError {
     fn from(e: CommError) -> Self {
         CollectiveError::Comm(e)
     }
+}
+
+/// Outcome of a [`gather_partial`](Collectives::gather_partial): whichever
+/// contributions arrived before the deadline, plus the tasks that missed it.
+#[derive(Debug, Clone)]
+pub struct PartialGather {
+    /// One slot per requested sender, in request order; `None` for a
+    /// sender whose contribution never arrived.
+    pub slots: Vec<Option<Envelope>>,
+    /// Requested senders whose slots are empty, in request order.
+    pub missing: Vec<TaskId>,
 }
 
 /// Collective extensions on a task context.
@@ -63,6 +83,23 @@ pub trait Collectives {
         from: &[TaskId],
         timeout: Duration,
     ) -> Result<Vec<Envelope>, CollectiveError>;
+
+    /// Gather that tolerates absent peers: collect one `tag` message from
+    /// each task in `from` until all arrive or `timeout` elapses — the
+    /// deadline covers the whole gather, not each message — and report
+    /// whatever arrived. Messages from tasks in `ignore` are dropped
+    /// silently (stale contributions from quarantined peers); a message
+    /// from any other unexpected task is an [`UnknownSender`] error, a
+    /// wrong tag or duplicate is still an error.
+    ///
+    /// [`UnknownSender`]: CollectiveError::UnknownSender
+    fn gather_partial(
+        &self,
+        tag: u32,
+        from: &[TaskId],
+        ignore: &[TaskId],
+        timeout: Duration,
+    ) -> Result<PartialGather, CollectiveError>;
 
     /// Typed gather: decode each contribution.
     fn gather_msgs<T: Wire>(
@@ -98,28 +135,71 @@ impl Collectives for TaskCtx {
         from: &[TaskId],
         timeout: Duration,
     ) -> Result<Vec<Envelope>, CollectiveError> {
+        let partial = self.gather_partial(tag, from, &[], timeout)?;
+        if !partial.missing.is_empty() {
+            return Err(CollectiveError::Comm(CommError::Timeout));
+        }
+        Ok(partial
+            .slots
+            .into_iter()
+            .map(|s| s.expect("no slot missing"))
+            .collect())
+    }
+
+    fn gather_partial(
+        &self,
+        tag: u32,
+        from: &[TaskId],
+        ignore: &[TaskId],
+        timeout: Duration,
+    ) -> Result<PartialGather, CollectiveError> {
+        // One deadline for the whole collective: slow peers don't get a
+        // fresh timeout per message. `checked_add` overflow (a huge
+        // timeout) means "no deadline".
+        let deadline = Instant::now().checked_add(timeout);
         let mut slots: Vec<Option<Envelope>> = vec![None; from.len()];
-        for _ in 0..from.len() {
-            let env = self.recv_timeout(timeout)?;
+        let mut filled = 0usize;
+        while filled < from.len() {
+            let remaining = match deadline {
+                None => Duration::MAX,
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    deadline - now
+                }
+            };
+            let env = match self.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(CommError::Timeout) | Err(CommError::Disconnected) => break,
+                Err(e) => return Err(CollectiveError::Comm(e)),
+            };
+            if ignore.contains(&env.from) {
+                continue; // stale contribution from a quarantined peer
+            }
             if env.tag != tag {
                 return Err(CollectiveError::UnexpectedTag {
                     got: env.tag,
                     expected: tag,
                 });
             }
-            let slot = from
-                .iter()
-                .position(|&f| f == env.from)
-                .ok_or(CollectiveError::DuplicateSender { from: env.from })?;
+            let Some(slot) = from.iter().position(|&f| f == env.from) else {
+                return Err(CollectiveError::UnknownSender { from: env.from });
+            };
             if slots[slot].is_some() {
                 return Err(CollectiveError::DuplicateSender { from: env.from });
             }
             slots[slot] = Some(env);
+            filled += 1;
         }
-        Ok(slots
-            .into_iter()
-            .map(|s| s.expect("all slots filled"))
-            .collect())
+        let missing = from
+            .iter()
+            .zip(&slots)
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(&tid, _)| tid)
+            .collect();
+        Ok(PartialGather { slots, missing })
     }
 }
 
@@ -200,7 +280,7 @@ mod tests {
                 // Expect from task 1 only, but task 2 answers first or
                 // second — either way a contribution from 2 is an error.
                 let out = ctx.gather(7, &[1], T);
-                matches!(out, Err(CollectiveError::DuplicateSender { .. })) || out.is_ok()
+                matches!(out, Err(CollectiveError::UnknownSender { from: 2 })) || out.is_ok()
             } else if ctx.tid() == 2 {
                 ctx.send(0, 7, &Num(2)).unwrap();
                 true
@@ -228,6 +308,49 @@ mod tests {
         })
         .unwrap();
         assert!(r[0]);
+    }
+
+    #[test]
+    fn gather_partial_reports_missing_peer() {
+        let r = run_farm(3, |ctx| {
+            if ctx.tid() == 0 {
+                let out = ctx
+                    .gather_partial(7, &[1, 2], &[], Duration::from_millis(100))
+                    .unwrap();
+                let got: Vec<_> = out
+                    .slots
+                    .iter()
+                    .flatten()
+                    .map(|env| env.decode::<Num>().unwrap().0)
+                    .collect();
+                (got, out.missing)
+            } else if ctx.tid() == 1 {
+                ctx.send(0, 7, &Num(10)).unwrap();
+                (vec![], vec![])
+            } else {
+                (vec![], vec![]) // task 2 stays silent
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0], (vec![10], vec![2]));
+    }
+
+    #[test]
+    fn gather_partial_ignores_quarantined_peer() {
+        let r = run_farm(3, |ctx| {
+            if ctx.tid() == 0 {
+                // Task 2 is quarantined: its stale message must neither
+                // fill a slot nor trip the unknown-sender check.
+                let out = ctx.gather_partial(7, &[1], &[2], T).unwrap();
+                assert!(out.missing.is_empty());
+                out.slots[0].as_ref().unwrap().decode::<Num>().unwrap().0
+            } else {
+                ctx.send(0, 7, &Num(ctx.tid() as i64)).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0], 1);
     }
 
     #[test]

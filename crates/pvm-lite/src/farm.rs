@@ -14,6 +14,7 @@
 use crate::barrier::Barrier;
 use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::codec::{CodecError, Wire};
+use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -88,12 +89,87 @@ impl fmt::Display for FarmError {
 
 impl std::error::Error for FarmError {}
 
+/// Per-task outcome of a farm run (see [`WorkerPool::run_collect`]).
+#[derive(Debug)]
+pub enum TaskOutcome<R> {
+    /// The task ran to completion.
+    Done(R),
+    /// The task panicked; the payload is its stringified panic message.
+    Panicked(String),
+}
+
+impl<R> TaskOutcome<R> {
+    /// The panic message, if the task panicked.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            TaskOutcome::Done(_) => None,
+            TaskOutcome::Panicked(message) => Some(message),
+        }
+    }
+}
+
+/// What an injected fault does to its victim (see [`FaultPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic the task (a caught, task-level death: the pool thread
+    /// survives, the task's peers observe a lost worker).
+    Kill,
+    /// Sleep for the given duration before delivering the message,
+    /// turning the task into a straggler.
+    Delay(Duration),
+}
+
+/// A deterministic fault-injection plan for the *next* pool run: when the
+/// chosen task dequeues its `on_receive`-th message (1-based, counting
+/// every delivery into that task), the action fires — [`FaultAction::Kill`]
+/// panics the task instead of delivering, [`FaultAction::Delay`] delays
+/// the delivery. Exists so failure paths can be exercised reproducibly;
+/// production runs never install a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The victim task.
+    pub tid: TaskId,
+    /// 1-based index of the received message that triggers the action.
+    pub on_receive: usize,
+    /// What happens when the trigger fires.
+    pub action: FaultAction,
+}
+
+impl FaultPlan {
+    /// Kill `tid` when it dequeues its `on_receive`-th message.
+    pub fn kill(tid: TaskId, on_receive: usize) -> Self {
+        FaultPlan {
+            tid,
+            on_receive,
+            action: FaultAction::Kill,
+        }
+    }
+
+    /// Delay `tid`'s `on_receive`-th delivery by `delay`.
+    pub fn delay(tid: TaskId, on_receive: usize, delay: Duration) -> Self {
+        FaultPlan {
+            tid,
+            on_receive,
+            action: FaultAction::Delay(delay),
+        }
+    }
+}
+
+/// Installed fault state on a task's context (interior counter: the recv
+/// methods take `&self`).
+struct FaultState {
+    on_receive: usize,
+    action: FaultAction,
+    received: Cell<usize>,
+}
+
 /// Per-task handle to the farm: identity, mailbox and barrier.
 pub struct TaskCtx {
     tid: TaskId,
     senders: Vec<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
     barrier: Barrier,
+    fault: Option<FaultState>,
 }
 
 impl TaskCtx {
@@ -126,22 +202,47 @@ impl TaskCtx {
 
     /// Block until a message arrives.
     pub fn recv(&self) -> Result<Envelope, CommError> {
-        self.inbox.recv().map_err(|_| CommError::Disconnected)
+        self.inbox
+            .recv()
+            .map_err(|_| CommError::Disconnected)
+            .map(|env| self.deliver(env))
     }
 
     /// Block until a message arrives or the timeout elapses. Cooperative
     /// protocols should prefer this so a dead peer surfaces as an error
-    /// instead of a hang.
+    /// instead of a hang. Timeouts too large for an `Instant` deadline
+    /// mean "wait forever" (see [`Receiver::recv_timeout`]).
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, CommError> {
-        self.inbox.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => CommError::Timeout,
-            RecvTimeoutError::Disconnected => CommError::Disconnected,
-        })
+        self.inbox
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => CommError::Timeout,
+                RecvTimeoutError::Disconnected => CommError::Disconnected,
+            })
+            .map(|env| self.deliver(env))
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope> {
-        self.inbox.try_recv().ok()
+        self.inbox.try_recv().ok().map(|env| self.deliver(env))
+    }
+
+    /// Count a delivery against the installed fault plan, firing the
+    /// action when the trigger is reached (no-op without a plan).
+    fn deliver(&self, env: Envelope) -> Envelope {
+        if let Some(fault) = &self.fault {
+            let n = fault.received.get() + 1;
+            fault.received.set(n);
+            if n == fault.on_receive {
+                match fault.action {
+                    FaultAction::Kill => {
+                        panic!("fault injection: task {} killed on receive {n}", self.tid)
+                    }
+                    FaultAction::Delay(delay) => std::thread::sleep(delay),
+                }
+            }
+        }
+        env
     }
 
     /// Farm-wide rendezvous (all tasks). Returns `true` for the round
@@ -174,10 +275,37 @@ fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Each run gets fresh mailboxes and a fresh barrier, so runs are fully
 /// isolated from each other; only the OS threads are amortized. A task that
 /// panics is caught on its worker thread — the pool survives and the run
-/// reports [`FarmError::TaskPanicked`] with the original panic message.
+/// reports [`FarmError::TaskPanicked`] with the original panic message. A
+/// worker whose OS thread actually died (it can only die by unwinding
+/// outside a task, e.g. [`kill_thread`](WorkerPool::kill_thread)) is
+/// replaced at the start of the next run, so a degraded pool heals itself
+/// between runs.
 pub struct WorkerPool {
     injectors: Vec<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Threads respawned by healing over the pool's lifetime.
+    respawned: usize,
+    /// One-shot fault plan consumed by the next run (testing hook).
+    fault_plan: Option<FaultPlan>,
+}
+
+/// Spawn one pool worker: a thread serving jobs from its injector until
+/// the injector is dropped.
+fn spawn_worker(tid: TaskId) -> (Sender<Job>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = unbounded::<Job>();
+    let handle = std::thread::Builder::new()
+        .name(format!("pvm-worker-{tid}"))
+        .spawn(move || {
+            // Serve jobs until the pool drops the injector. Jobs dispatched
+            // by `run_collect` never unwind here (they wrap the task in
+            // catch_unwind); a job that does unwind kills this thread, and
+            // `heal` replaces it on the next run.
+            while let Ok(job) = rx.recv() {
+                job();
+            }
+        })
+        .expect("spawn pool worker");
+    (tx, handle)
 }
 
 impl WorkerPool {
@@ -187,22 +315,16 @@ impl WorkerPool {
         let mut injectors = Vec::with_capacity(ntasks);
         let mut handles = Vec::with_capacity(ntasks);
         for tid in 0..ntasks {
-            let (tx, rx) = unbounded::<Job>();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("pvm-worker-{tid}"))
-                    .spawn(move || {
-                        // Serve jobs until the pool drops the injector. Jobs
-                        // never unwind here: `run` wraps each in catch_unwind.
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn pool worker"),
-            );
+            let (tx, handle) = spawn_worker(tid);
             injectors.push(tx);
+            handles.push(handle);
         }
-        WorkerPool { injectors, handles }
+        WorkerPool {
+            injectors,
+            handles,
+            respawned: 0,
+            fault_plan: None,
+        }
     }
 
     /// Number of tasks (worker threads) in the pool.
@@ -212,19 +334,91 @@ impl WorkerPool {
 
     /// The ids of the pool's OS threads, in task order. Stable across runs —
     /// the observable guarantee that runs reuse threads instead of
-    /// respawning.
+    /// respawning — except for threads that died and were healed.
     pub fn thread_ids(&self) -> Vec<std::thread::ThreadId> {
         self.handles.iter().map(|h| h.thread().id()).collect()
     }
 
+    /// Threads the pool has respawned to replace dead ones (0 for a pool
+    /// that never lost a thread).
+    pub fn respawned_threads(&self) -> usize {
+        self.respawned
+    }
+
+    /// Install a one-shot [`FaultPlan`]: the next [`run`](WorkerPool::run)
+    /// (or [`run_collect`](WorkerPool::run_collect)) injects the fault into
+    /// the chosen task, then the plan is cleared. Testing hook.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Kill the OS thread behind task `tid` (it unwinds outside any task
+    /// job), then wait for it to die. The pool is degraded until the next
+    /// run heals it by respawning the thread. Testing hook for the healing
+    /// path; task-level failures should use [`FaultPlan`] instead.
+    pub fn kill_thread(&mut self, tid: TaskId) {
+        assert!(tid < self.ntasks(), "task id {tid} out of range");
+        let poison: Job = Box::new(|| panic!("fault injection: pool thread killed"));
+        if self.injectors[tid].send(poison).is_ok() {
+            while !self.handles[tid].is_finished() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Replace dead worker threads so the next run has a full farm.
+    fn heal(&mut self) {
+        for tid in 0..self.handles.len() {
+            if self.handles[tid].is_finished() {
+                let (tx, handle) = spawn_worker(tid);
+                let old = std::mem::replace(&mut self.handles[tid], handle);
+                self.injectors[tid] = tx;
+                let _ = old.join(); // reap; the panic payload is expected
+                self.respawned += 1;
+            }
+        }
+    }
+
     /// Run one farm: every task executes `f` with its own [`TaskCtx`].
     /// Returns the per-task results in task-id order, or the lowest
-    /// panicking task id with its panic message.
+    /// panicking task id with its panic message. Convenience over
+    /// [`run_collect`](WorkerPool::run_collect) for callers that treat any
+    /// task death as fatal.
     pub fn run<R, F>(&mut self, f: F) -> Result<Vec<R>, FarmError>
     where
         R: Send,
         F: Fn(TaskCtx) -> R + Sync,
     {
+        let outcomes = self.run_collect(f);
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut panicked: Option<(TaskId, String)> = None;
+        for (tid, out) in outcomes.into_iter().enumerate() {
+            match out {
+                TaskOutcome::Done(r) => results.push(r),
+                TaskOutcome::Panicked(message) => {
+                    if panicked.is_none() {
+                        panicked = Some((tid, message));
+                    }
+                }
+            }
+        }
+        match panicked {
+            Some((tid, message)) => Err(FarmError::TaskPanicked { tid, message }),
+            None => Ok(results),
+        }
+    }
+
+    /// Run one farm and report every task's individual outcome in task-id
+    /// order. A panicking task does not hide its peers' results — callers
+    /// that degrade gracefully (a master surviving slave loss) read the
+    /// survivors' results here and match panics to tasks themselves.
+    pub fn run_collect<R, F>(&mut self, f: F) -> Vec<TaskOutcome<R>>
+    where
+        R: Send,
+        F: Fn(TaskCtx) -> R + Sync,
+    {
+        self.heal();
+        let fault_plan = self.fault_plan.take();
         let ntasks = self.ntasks();
         let mut senders = Vec::with_capacity(ntasks);
         let mut receivers = Vec::with_capacity(ntasks);
@@ -243,6 +437,13 @@ impl WorkerPool {
                 senders: senders.clone(),
                 inbox,
                 barrier: barrier.clone(),
+                fault: fault_plan
+                    .filter(|plan| plan.tid == tid)
+                    .map(|plan| FaultState {
+                        on_receive: plan.on_receive,
+                        action: plan.action,
+                        received: Cell::new(0),
+                    }),
             };
             let f = &f;
             let done = done_tx.clone();
@@ -250,15 +451,19 @@ impl WorkerPool {
                 let out = catch_unwind(AssertUnwindSafe(|| f(ctx)))
                     .map_err(|payload| panic_payload_message(payload.as_ref()));
                 // The receiver outlives every job; a failed send can only
-                // mean `run` already returned, which the protocol forbids.
+                // mean `run_collect` already returned, which the protocol
+                // forbids.
                 let _ = done.send((tid, out));
             });
             // SAFETY: the closure borrows `f` and `done` from this stack
-            // frame. `run` blocks below until it has received exactly one
-            // completion per dispatched job, and jobs always send their
-            // completion (panics are caught), so no borrow outlives this
+            // frame. `run_collect` blocks below until every dispatched job
+            // has either sent its completion (panics are caught) or is
+            // provably dead (its `done` sender dropped with the dying
+            // thread, disconnecting `done_rx`), so no borrow outlives this
             // frame. Workers only terminate when the pool is dropped, which
-            // requires `&mut self` exclusivity to have ended.
+            // requires `&mut self` exclusivity to have ended — or by a
+            // non-task unwind, which drops the queued job and its borrows
+            // on that dead thread before `done_rx` can disconnect.
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
             if self.injectors[tid].send(job).is_ok() {
@@ -268,27 +473,23 @@ impl WorkerPool {
         drop(senders); // tasks hold the only mailbox senders now
         drop(done_tx);
 
-        let mut results: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
-        let mut panicked: Option<(TaskId, String)> = None;
+        let mut results: Vec<Option<TaskOutcome<R>>> = (0..ntasks).map(|_| None).collect();
         for _ in 0..dispatched {
-            let (tid, out) = done_rx
-                .recv()
-                .expect("every dispatched job sends one completion");
-            match out {
-                Ok(r) => results[tid] = Some(r),
-                Err(message) => {
-                    if panicked.as_ref().is_none_or(|(t, _)| tid < *t) {
-                        panicked = Some((tid, message));
-                    }
-                }
-            }
+            // A disconnect means a worker thread died with its job still
+            // queued (its `done` sender is gone); the unfilled slots below
+            // record that instead of wedging the caller.
+            let Ok((tid, out)) = done_rx.recv() else {
+                break;
+            };
+            results[tid] = Some(match out {
+                Ok(r) => TaskOutcome::Done(r),
+                Err(message) => TaskOutcome::Panicked(message),
+            });
         }
-        // All dispatched borrows are dead now; safe to unwind from here on.
-        assert_eq!(dispatched, ntasks, "pool worker thread died");
-        match panicked {
-            Some((tid, message)) => Err(FarmError::TaskPanicked { tid, message }),
-            None => Ok(results.into_iter().map(|r| r.expect("filled")).collect()),
-        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| TaskOutcome::Panicked("pool worker thread died".into())))
+            .collect()
     }
 }
 
@@ -571,6 +772,87 @@ mod tests {
         let FarmError::TaskPanicked { tid, message } = err;
         assert_eq!(tid, 2);
         assert!(message.contains("task 2 down"), "got: {message:?}");
+    }
+
+    #[test]
+    fn pool_replaces_dead_threads() {
+        let mut pool = WorkerPool::new(3);
+        let before = pool.thread_ids();
+        pool.kill_thread(1);
+        assert_eq!(pool.respawned_threads(), 0, "healing is lazy");
+        // The next run heals the pool: task 1 lands on a fresh thread,
+        // the survivors keep theirs, and the farm is whole again.
+        let ids = pool.run(|_ctx| std::thread::current().id()).unwrap();
+        assert_eq!(pool.respawned_threads(), 1);
+        assert_eq!(ids[0], before[0]);
+        assert_eq!(ids[2], before[2]);
+        assert_ne!(ids[1], before[1], "dead thread was not replaced");
+        // Subsequent runs reuse the healed thread.
+        let again = pool.run(|_ctx| std::thread::current().id()).unwrap();
+        assert_eq!(again, ids);
+        assert_eq!(pool.respawned_threads(), 1);
+    }
+
+    #[test]
+    fn fault_plan_kills_chosen_task_on_chosen_receive() {
+        let mut pool = WorkerPool::new(2);
+        pool.set_fault_plan(FaultPlan::kill(1, 2));
+        let outcomes = pool.run_collect(|ctx| {
+            if ctx.tid() == 0 {
+                ctx.send(1, 1, &Num(1)).unwrap();
+                ctx.send(1, 1, &Num(2)).unwrap();
+                0
+            } else {
+                let a = ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0;
+                // The fault fires inside this second receive.
+                let b = ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0;
+                a + b
+            }
+        });
+        assert!(matches!(outcomes[0], TaskOutcome::Done(0)));
+        match &outcomes[1] {
+            TaskOutcome::Panicked(msg) => assert!(msg.contains("fault injection"), "{msg:?}"),
+            other => panic!("task 1 survived its fault: {other:?}"),
+        }
+        // The plan is one-shot: the next run is fault-free.
+        let clean = pool.run(|ctx| ctx.tid()).unwrap();
+        assert_eq!(clean, vec![0, 1]);
+    }
+
+    #[test]
+    fn fault_plan_delays_chosen_task() {
+        let mut pool = WorkerPool::new(2);
+        pool.set_fault_plan(FaultPlan::delay(1, 1, Duration::from_millis(150)));
+        let outcomes = pool.run_collect(|ctx| {
+            if ctx.tid() == 0 {
+                ctx.send(1, 1, &Num(7)).unwrap();
+                Duration::ZERO
+            } else {
+                let start = std::time::Instant::now();
+                ctx.recv_timeout(T).unwrap();
+                start.elapsed()
+            }
+        });
+        match outcomes[1] {
+            TaskOutcome::Done(elapsed) => assert!(
+                elapsed >= Duration::from_millis(150),
+                "delay fault did not stall the receive: {elapsed:?}"
+            ),
+            ref other => panic!("task 1 failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_collect_reports_survivors_alongside_panics() {
+        let outcomes = WorkerPool::new(3).run_collect(|ctx| {
+            if ctx.tid() == 1 {
+                panic!("down");
+            }
+            ctx.tid() * 10
+        });
+        assert!(matches!(outcomes[0], TaskOutcome::Done(0)));
+        assert!(matches!(outcomes[1], TaskOutcome::Panicked(_)));
+        assert!(matches!(outcomes[2], TaskOutcome::Done(20)));
     }
 
     #[test]

@@ -47,5 +47,8 @@ pub mod farm;
 
 pub use barrier::Barrier;
 pub use codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
-pub use collectives::{CollectiveError, Collectives};
-pub use farm::{run_farm, CommError, Envelope, FarmError, TaskCtx, TaskId, WorkerPool};
+pub use collectives::{CollectiveError, Collectives, PartialGather};
+pub use farm::{
+    run_farm, CommError, Envelope, FarmError, FaultAction, FaultPlan, TaskCtx, TaskId, TaskOutcome,
+    WorkerPool,
+};

@@ -41,6 +41,28 @@ for mode in seq its cts1 cts2 ats dts; do
     | grep -q '^best value' || { echo "error: mode $mode smoke failed" >&2; exit 1; }
 done
 
+step "fault-injection smoke (degraded runs finish and exit 2)"
+# One mode per delivery kind: cts2 gathers synchronously, ats is
+# pipelined. Killing worker 1 mid-run must leave a finished, degraded
+# run: result printed, losses listed, exit code 2.
+for mode in cts2 ats; do
+  set +e
+  out="$(cargo run --release --offline --locked -p mkp-cli -- \
+    solve "$tmp_mkp" --mode "$mode" --p 4 --rounds 3 --budget 60000 --seed 1 \
+    --timeout 2 --fault kill@1:1 2>&1)"
+  status=$?
+  set -e
+  if [ "$status" -ne 2 ]; then
+    echo "error: mode $mode fault smoke exited $status (want 2)" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "$out" | grep -q '^best value' \
+    || { echo "error: mode $mode fault smoke lost the result" >&2; exit 1; }
+  echo "$out" | grep -q '^lost workers: 1' \
+    || { echo "error: mode $mode fault smoke did not report the loss" >&2; exit 1; }
+done
+
 step "no versioned registry dependencies"
 if grep -rn '^[a-z].*=.*"[0-9]' crates/*/Cargo.toml Cargo.toml; then
   echo "error: versioned registry dependency found (policy: DESIGN.md §7)" >&2

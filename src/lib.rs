@@ -42,6 +42,7 @@ pub mod prelude {
     pub use mkp_tabu::search::{run as run_tabu, Budget, TsConfig};
     pub use mkp_tabu::{Strategy, StrategyBounds};
     pub use parallel_tabu::{
-        run_mode, CoopPolicy, Delivery, Engine, IspConfig, Mode, ModeReport, RunConfig, SgpConfig,
+        fault_at_round, run_mode, CoopPolicy, Delivery, Engine, EngineError, FaultAction,
+        FaultPlan, IspConfig, LossCause, Mode, ModeReport, RunConfig, SgpConfig, WorkerLoss,
     };
 }

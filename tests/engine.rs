@@ -30,8 +30,12 @@ fn consecutive_runs_reuse_the_same_worker_pool() {
     let threads_before = engine.thread_ids();
     let spawned_before = engine.spawned_threads();
 
-    let a = engine.run(&inst, Mode::CooperativeAdaptive, &small_cfg(1));
-    let b = engine.run(&inst, Mode::CooperativeAdaptive, &small_cfg(2));
+    let a = engine
+        .run(&inst, Mode::CooperativeAdaptive, &small_cfg(1))
+        .unwrap();
+    let b = engine
+        .run(&inst, Mode::CooperativeAdaptive, &small_cfg(2))
+        .unwrap();
     assert!(a.best.is_feasible(&inst) && b.best.is_feasible(&inst));
 
     // No thread respawn between runs: the pool holds the exact same OS
@@ -46,7 +50,7 @@ fn one_warm_pool_serves_every_mode() {
     let mut engine = Engine::new(3);
     let threads_before = engine.thread_ids();
     for mode in Mode::all() {
-        let warm = engine.run(&inst, mode, &small_cfg(9));
+        let warm = engine.run(&inst, mode, &small_cfg(9)).unwrap();
         assert!(warm.best.is_feasible(&inst), "{mode:?} infeasible");
         assert_eq!(warm.mode, mode);
         // The warm-pool run is the same deterministic search as the
