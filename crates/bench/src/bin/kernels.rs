@@ -118,6 +118,9 @@ fn bench_codec(h: &mut Harness) {
         best_value: 2,
         moves: 3,
         evals: 4,
+        epoch: 0,
+        history_counts: vec![7; 500],
+        history_iterations: 1000,
     };
     h.bench("codec report 500-bit x9", || {
         let bytes = msg.to_bytes();

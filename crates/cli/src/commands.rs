@@ -7,8 +7,11 @@ use mkp::generate::{chu_beasley_instance, gk_instance, uncorrelated_instance, Gk
 use mkp::greedy::greedy;
 use mkp::stats::instance_stats;
 use mkp::Instance;
-use parallel_tabu::{fault_at_round, Engine, FaultAction, FaultPlan, Mode, RunConfig};
+use parallel_tabu::{
+    fault_at_round, CheckpointCfg, Engine, FaultAction, FaultPlan, Mode, RunConfig, Snapshot,
+};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Top-level command failures.
 #[derive(Debug)]
@@ -59,14 +62,24 @@ USAGE:
   mkp stats    <instance.mkp>
   mkp solve    <instance.mkp> [--mode seq|its|cts1|cts2|ats|dts]
                [--p P] [--rounds R] [--budget EVALS] [--seed S]
-               [--relink true|false] [--timeout SECS]
-               [--fault kill@K:R|delay@K:R:MS]
+               [--relink true|false] [--timeout SECS] [--patience SECS]
+               [--restarts N] [--backoff MS]
+               [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
+               [--fault kill@K:R|kill-repeat@K:R|delay@K:R:MS]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
   mkp help
 
-A solve that loses workers (e.g. under --fault) still prints its result,
+Fault specs number workers from 1 (worker 0 is the master). With
+--restarts N the master resurrects a lost worker up to N times per worker
+(exponential backoff from --backoff ms) before quarantining it; a fully
+healed run exits 0. A solve that still loses workers prints its result,
 listing the losses, and exits with code 2 so scripts can tell a degraded
 run from a clean one.
+
+--checkpoint FILE writes the complete master state to FILE every
+--checkpoint-every K rounds (synchronous modes only); --resume FILE
+continues such a snapshot — with the same instance and flags — to a result
+bit-identical to the uninterrupted run.
 ";
 
 fn read_instance(path: &str) -> Result<Instance, CliError> {
@@ -154,21 +167,75 @@ fn parse_mode(raw: &str) -> Result<Mode, CliError> {
     })
 }
 
-/// Parse a `--fault` spec: `kill@K:R` kills worker K (0-based) at round R,
-/// `delay@K:R:MS` delays its round-R assignment by MS milliseconds.
+/// Longest accepted `--fault` delay: a delay past the largest plausible
+/// report deadline only wedges the test run it was meant to exercise.
+const MAX_FAULT_DELAY_MS: u64 = 86_400_000; // 24 h
+
+/// Parse a `--fault` spec. Workers are numbered from 1, matching the task
+/// ids printed in loss reports; worker 0 is the master and cannot be a
+/// fault target. `kill@K:R` kills worker K when it dequeues its round-R
+/// assignment, `kill-repeat@K:R` additionally kills every resurrected
+/// incarnation (restart-budget exhaustion drills), `delay@K:R:MS` turns
+/// worker K into a straggler for MS milliseconds.
 fn parse_fault(raw: &str) -> Result<FaultPlan, CliError> {
-    let invalid = || CliError::Invalid(format!("bad fault {raw:?} (use kill@K:R or delay@K:R:MS)"));
-    let (kind, spec) = raw.split_once('@').ok_or_else(invalid)?;
+    let invalid = |what: &str| {
+        CliError::Invalid(format!(
+            "bad fault {raw:?}: {what} (use kill@K:R, kill-repeat@K:R or delay@K:R:MS, \
+             workers numbered from 1)"
+        ))
+    };
+    let (kind, spec) = raw
+        .split_once('@')
+        .ok_or_else(|| invalid("missing '@' between kind and position"))?;
     let fields: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| s.parse::<usize>().map_err(|_| invalid());
+    let num = |s: &str, what: &str| {
+        s.parse::<u64>()
+            .map_err(|_| invalid(&format!("{what} {s:?} is not a non-negative integer")))
+    };
+    let worker = |s: &str| -> Result<usize, CliError> {
+        match num(s, "worker")? {
+            0 => Err(invalid(
+                "worker 0 targets the master; slaves are numbered from 1",
+            )),
+            k => Ok(k as usize - 1),
+        }
+    };
+    let round = |s: &str| num(s, "round").map(|r| r as usize);
     match (kind, fields.as_slice()) {
-        ("kill", [k, r]) => Ok(fault_at_round(num(k)?, num(r)?, FaultAction::Kill)),
-        ("delay", [k, r, ms]) => Ok(fault_at_round(
-            num(k)?,
-            num(r)?,
-            FaultAction::Delay(std::time::Duration::from_millis(num(ms)? as u64)),
+        ("kill", [k, r]) => Ok(fault_at_round(worker(k)?, round(r)?, FaultAction::Kill)),
+        ("kill-repeat", [k, r]) => Ok(fault_at_round(
+            worker(k)?,
+            round(r)?,
+            FaultAction::KillRepeatedly,
         )),
-        _ => Err(invalid()),
+        ("delay", [k, r, ms]) => {
+            let (k, r) = (worker(k)?, round(r)?);
+            let ms = num(ms, "delay")?;
+            if ms == 0 {
+                return Err(invalid(
+                    "a zero delay never delays anything; drop the fault instead",
+                ));
+            }
+            if ms > MAX_FAULT_DELAY_MS {
+                return Err(invalid(&format!(
+                    "delay of {ms} ms exceeds the 24-hour cap ({MAX_FAULT_DELAY_MS} ms)"
+                )));
+            }
+            Ok(fault_at_round(
+                k,
+                r,
+                FaultAction::Delay(Duration::from_millis(ms)),
+            ))
+        }
+        ("kill" | "kill-repeat", f) => Err(invalid(&format!(
+            "{kind} takes exactly K:R, got {} fields",
+            f.len()
+        ))),
+        ("delay", f) => Err(invalid(&format!(
+            "delay takes exactly K:R:MS, got {} fields",
+            f.len()
+        ))),
+        (other, _) => Err(invalid(&format!("unknown fault kind {other:?}"))),
     }
 }
 
@@ -186,6 +253,26 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         parallel_tabu::runner::DEFAULT_REPORT_TIMEOUT.as_secs(),
     )?;
     let fault = args.get_str("fault").map(parse_fault).transpose()?;
+    let restarts: usize = args.get("restarts", 0)?;
+    let backoff: u64 = args.get("backoff", 50)?;
+    let patience: Option<u64> = args
+        .get_str("patience")
+        .map(|raw| {
+            raw.parse().map_err(|_| {
+                CliError::Invalid(format!("cannot parse value {raw:?} for --patience"))
+            })
+        })
+        .transpose()?;
+    let checkpoint_every: usize = args.get("checkpoint-every", 1)?;
+    let checkpoint = args.get_str("checkpoint").map(|path| CheckpointCfg {
+        path: path.into(),
+        every: checkpoint_every,
+    });
+    if checkpoint.is_none() && args.get_str("checkpoint-every").is_some() {
+        return Err(CliError::Invalid(
+            "--checkpoint-every needs --checkpoint FILE".into(),
+        ));
+    }
     if p == 0 || rounds == 0 || budget == 0 || timeout == 0 {
         return Err(CliError::Invalid(
             "p, rounds, budget and timeout must be positive".into(),
@@ -196,16 +283,29 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         p,
         rounds,
         relink,
-        report_timeout: std::time::Duration::from_secs(timeout),
+        report_timeout: Duration::from_secs(timeout),
+        max_restarts: restarts,
+        restart_backoff: Duration::from_millis(backoff),
+        slave_patience: patience.map(Duration::from_secs),
+        checkpoint,
         ..RunConfig::new(budget, seed)
     };
+    cfg.validate().map_err(CliError::Invalid)?;
     let mut engine = Engine::new(cfg.p);
     if let Some(plan) = fault {
         engine.inject_fault(plan);
     }
-    let report = engine
-        .run(&inst, mode, &cfg)
-        .map_err(|e| CliError::Engine(e.to_string()))?;
+    let report = match args.get_str("resume") {
+        None => engine.run(&inst, mode, &cfg),
+        Some(path) => {
+            // The snapshot, not --mode, decides the policy: resuming under
+            // a different mode could not reproduce the original run.
+            let snap = Snapshot::load(std::path::Path::new(path))
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            engine.resume(&inst, snap, &cfg)
+        }
+    }
+    .map_err(|e| CliError::Engine(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "mode       : {}", report.mode.label());
     let _ = writeln!(out, "best value : {}", report.best.value());
@@ -215,6 +315,15 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         "work       : {} moves / {} evals in {:?}",
         report.total_moves, report.total_evals, report.wall
     );
+    if !report.resurrections.is_empty() {
+        let revivals: Vec<String> = report.resurrections.iter().map(|r| r.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "resurrections: {} ({})",
+            report.resurrections.len(),
+            revivals.join("; ")
+        );
+    }
     if report.is_degraded() {
         let losses: Vec<String> = report.lost_workers.iter().map(|l| l.to_string()).collect();
         let _ = writeln!(
@@ -298,7 +407,20 @@ mod tests {
 
     const GEN_FLAGS: &[&str] = &["class", "n", "m", "tightness", "seed"];
     const SOLVE_FLAGS: &[&str] = &[
-        "mode", "p", "rounds", "budget", "seed", "relink", "timeout", "fault",
+        "mode",
+        "p",
+        "rounds",
+        "budget",
+        "seed",
+        "relink",
+        "timeout",
+        "patience",
+        "fault",
+        "restarts",
+        "backoff",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
     ];
     const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
 
@@ -384,21 +506,56 @@ mod tests {
 
     #[test]
     fn fault_specs_parse() {
+        // Workers are 1-based in specs, 0-based in fault_at_round.
         assert_eq!(
             parse_fault("kill@1:2").unwrap(),
-            fault_at_round(1, 2, FaultAction::Kill)
+            fault_at_round(0, 2, FaultAction::Kill)
         );
         assert_eq!(
-            parse_fault("delay@0:3:250").unwrap(),
-            fault_at_round(
-                0,
-                3,
-                FaultAction::Delay(std::time::Duration::from_millis(250))
-            )
+            parse_fault("kill-repeat@3:0").unwrap(),
+            fault_at_round(2, 0, FaultAction::KillRepeatedly)
+        );
+        assert_eq!(
+            parse_fault("delay@1:3:250").unwrap(),
+            fault_at_round(0, 3, FaultAction::Delay(Duration::from_millis(250)))
         );
         for bad in ["kill@1", "delay@1:2", "boom@1:2", "kill@a:b", "kill"] {
             assert!(parse_fault(bad).is_err(), "{bad} accepted");
         }
+    }
+
+    #[test]
+    fn fault_targeting_the_master_is_rejected() {
+        for spec in ["kill@0:1", "kill-repeat@0:1", "delay@0:1:100"] {
+            let err = parse_fault(spec).unwrap_err().to_string();
+            assert!(err.contains("targets the master"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_delay_fault_is_rejected() {
+        let err = parse_fault("delay@1:2:0").unwrap_err().to_string();
+        assert!(err.contains("zero delay"), "{err}");
+    }
+
+    #[test]
+    fn overlong_delay_fault_is_rejected() {
+        // Just past the 24h cap, and a u64-overflowing literal.
+        let err = parse_fault("delay@1:2:86400001").unwrap_err().to_string();
+        assert!(err.contains("24-hour cap"), "{err}");
+        let err = parse_fault("delay@1:2:99999999999999999999999")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("not a non-negative integer"), "{err}");
+    }
+
+    #[test]
+    fn trailing_fault_fields_are_rejected() {
+        let err = parse_fault("kill@1:2:3").unwrap_err().to_string();
+        assert!(err.contains("exactly K:R"), "{err}");
+        let err = parse_fault("delay@1:2:3:4").unwrap_err().to_string();
+        assert!(err.contains("exactly K:R:MS"), "{err}");
+        assert!(parse_fault("kill@1:2x").is_err(), "garbage round accepted");
     }
 
     #[test]
@@ -411,8 +568,19 @@ mod tests {
         .unwrap();
         let err = cmd_solve(&args(
             &[
-                &path, "--mode", "cts2", "--p", "4", "--rounds", "3", "--budget", "60000",
-                "--fault", "kill@1:1",
+                &path,
+                "--mode",
+                "cts2",
+                "--p",
+                "4",
+                "--rounds",
+                "3",
+                "--budget",
+                "60000",
+                "--fault",
+                "kill@1:1",
+                "--timeout",
+                "3",
             ],
             SOLVE_FLAGS,
         ))
@@ -422,7 +590,91 @@ mod tests {
         };
         assert!(out.contains("best value"), "result lost: {out}");
         assert!(out.contains("lost workers: 1"), "losses missing: {out}");
-        assert!(out.contains("worker 1 @ round 1"), "wrong loss: {out}");
+        assert!(out.contains("worker 0 @ round 1"), "wrong loss: {out}");
+    }
+
+    #[test]
+    fn restart_budget_heals_a_killed_worker() {
+        let path = tmp("healed.mkp");
+        cmd_generate(&args(
+            &[&path, "--n", "20", "--m", "2", "--class", "uniform"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        let out = cmd_solve(&args(
+            &[
+                &path,
+                "--mode",
+                "cts2",
+                "--p",
+                "4",
+                "--rounds",
+                "3",
+                "--budget",
+                "60000",
+                "--fault",
+                "kill@1:1",
+                "--restarts",
+                "2",
+                "--backoff",
+                "1",
+                "--timeout",
+                "5",
+            ],
+            SOLVE_FLAGS,
+        ))
+        .unwrap(); // Ok, not Degraded: the worker came back
+        assert!(out.contains("resurrections: 1"), "no revival: {out}");
+        assert!(
+            out.contains("worker 0 @ round 1: revived on attempt 1"),
+            "wrong revival: {out}"
+        );
+        assert!(!out.contains("lost workers"), "still degraded: {out}");
+    }
+
+    #[test]
+    fn checkpointed_solve_resumes_to_the_same_result() {
+        let path = tmp("resume.mkp");
+        let snap = tmp("resume.snap");
+        cmd_generate(&args(
+            &[
+                &path, "--n", "24", "--m", "3", "--class", "uniform", "--seed", "6",
+            ],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        let solve_flags: Vec<&str> = vec![
+            &path, "--mode", "cts2", "--p", "2", "--rounds", "4", "--budget", "80000",
+        ];
+        let full = cmd_solve(&args(&solve_flags, SOLVE_FLAGS)).unwrap();
+
+        let mut with_cp = solve_flags.clone();
+        with_cp.extend_from_slice(&["--checkpoint", &snap, "--checkpoint-every", "2"]);
+        cmd_solve(&args(&with_cp, SOLVE_FLAGS)).unwrap();
+
+        let mut resumed_args = solve_flags.clone();
+        resumed_args.extend_from_slice(&["--resume", &snap]);
+        let resumed = cmd_solve(&args(&resumed_args, SOLVE_FLAGS)).unwrap();
+        let line = |s: &str, key: &str| {
+            s.lines()
+                .find(|l| l.starts_with(key))
+                .map(str::to_string)
+                .unwrap_or_default()
+        };
+        assert_eq!(
+            line(&full, "best value"),
+            line(&resumed, "best value"),
+            "resume diverged\nfull:\n{full}\nresumed:\n{resumed}"
+        );
+        assert_eq!(line(&full, "items"), line(&resumed, "items"));
+    }
+
+    #[test]
+    fn checkpoint_every_without_checkpoint_is_rejected() {
+        let path = tmp("cp_orphan.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_solve(&args(&[&path, "--checkpoint-every", "2"], SOLVE_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("needs --checkpoint"), "{err}");
     }
 
     #[test]

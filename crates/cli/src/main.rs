@@ -32,7 +32,20 @@ fn main() -> ExitCode {
         "solve" => Args::parse(
             rest,
             &[
-                "mode", "p", "rounds", "budget", "seed", "relink", "timeout", "fault",
+                "mode",
+                "p",
+                "rounds",
+                "budget",
+                "seed",
+                "relink",
+                "timeout",
+                "patience",
+                "fault",
+                "restarts",
+                "backoff",
+                "checkpoint",
+                "checkpoint-every",
+                "resume",
             ],
         )
         .map_err(Into::into)

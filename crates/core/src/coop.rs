@@ -23,7 +23,7 @@
 
 use crate::engine::{assignment_seed, CoopPolicy, Delivery};
 use crate::isp::IspState;
-use crate::messages::{AssignMsg, ReportMsg};
+use crate::messages::{pack_bits, unpack_bits, AssignMsg, ReportMsg};
 use crate::runner::{Mode, RunConfig};
 use crate::score::Score;
 use crate::sgp::{elite_dispersion, next_strategy};
@@ -31,6 +31,7 @@ use crate::sgp::{elite_dispersion, next_strategy};
 use mkp::greedy::dynamic_randomized_greedy;
 use mkp::{Instance, Solution, Xoshiro256};
 use mkp_tabu::{Strategy, StrategyBounds};
+use pvm_lite::codec::{CodecError, PackBuffer, UnpackBuffer};
 
 /// The shared policy behind every trajectory mode (see the module table).
 pub struct FarmPolicy {
@@ -227,6 +228,111 @@ impl CoopPolicy for FarmPolicy {
         }
         regenerations
     }
+
+    /// Serialize the whole Fig. 2 master data structure — strategies,
+    /// initials, scores, ISP states and per-slave bests — for a
+    /// checkpoint. The blob is opaque to the engine; only
+    /// [`restore`](FarmPolicy::restore) reads it back.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut buf = PackBuffer::new();
+        buf.put_usize(self.strategies.len());
+        for s in &self.strategies {
+            buf.put_usize(s.tabu_tenure);
+            buf.put_usize(s.nb_drop);
+            buf.put_usize(s.nb_local);
+        }
+        buf.put_usize(self.initials.len());
+        for sol in &self.initials {
+            pack_bits(sol.bits(), &mut buf);
+        }
+        buf.put_usize(self.scores.len());
+        for score in &self.scores {
+            buf.put_u64(score.value() as u64);
+        }
+        buf.put_usize(self.isp_states.len());
+        for state in &self.isp_states {
+            let (last_start, stale_rounds) = state.parts();
+            match last_start {
+                Some(bits) => {
+                    buf.put_u8(1);
+                    pack_bits(bits, &mut buf);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u64(stale_rounds as u64);
+        }
+        buf.put_i64s(&self.prev_best);
+        Some(buf.into_bytes())
+    }
+
+    fn restore(&mut self, inst: &Instance, cfg: &RunConfig, blob: &[u8]) -> Result<(), String> {
+        let p = self.active_workers(cfg);
+        let decode = |e: CodecError| format!("policy blob does not decode: {e:?}");
+        let mut buf = UnpackBuffer::new(blob);
+
+        let n = buf.get_usize().map_err(decode)?;
+        let mut strategies = Vec::with_capacity(n.min(p));
+        for _ in 0..n {
+            strategies.push(Strategy {
+                tabu_tenure: buf.get_usize().map_err(decode)?,
+                nb_drop: buf.get_usize().map_err(decode)?,
+                nb_local: buf.get_usize().map_err(decode)?,
+            });
+        }
+        let n = buf.get_usize().map_err(decode)?;
+        let mut initials = Vec::with_capacity(n.min(p));
+        for _ in 0..n {
+            let bits = unpack_bits(&mut buf).map_err(decode)?;
+            if bits.len() != inst.n() {
+                return Err(format!(
+                    "initial solution has {} variables, instance has {}",
+                    bits.len(),
+                    inst.n()
+                ));
+            }
+            initials.push(Solution::from_bits(inst, bits));
+        }
+        let n = buf.get_usize().map_err(decode)?;
+        let mut scores = Vec::with_capacity(n.min(p));
+        for _ in 0..n {
+            scores.push(Score::from_value(buf.get_u64().map_err(decode)? as u32));
+        }
+        let n = buf.get_usize().map_err(decode)?;
+        let mut isp_states = Vec::with_capacity(n.min(p));
+        for _ in 0..n {
+            let last_start = match buf.get_u8().map_err(decode)? {
+                0 => None,
+                1 => Some(unpack_bits(&mut buf).map_err(decode)?),
+                other => return Err(format!("bad ISP last-start flag {other}")),
+            };
+            let stale_rounds = buf.get_u64().map_err(decode)? as u32;
+            isp_states.push(IspState::from_parts(last_start, stale_rounds));
+        }
+        let prev_best = buf.get_i64s().map_err(decode)?;
+        if buf.remaining() != 0 {
+            return Err(format!("{} trailing bytes in policy blob", buf.remaining()));
+        }
+
+        for (name, len) in [
+            ("strategies", strategies.len()),
+            ("initials", initials.len()),
+            ("scores", scores.len()),
+            ("ISP states", isp_states.len()),
+            ("per-slave bests", prev_best.len()),
+        ] {
+            if len != p {
+                return Err(format!(
+                    "policy blob holds {len} {name}, run configures {p} workers"
+                ));
+            }
+        }
+        self.strategies = strategies;
+        self.initials = initials;
+        self.scores = scores;
+        self.isp_states = isp_states;
+        self.prev_best = prev_best;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -279,5 +385,50 @@ mod tests {
         assert!(r.regenerations > 0, "SGP never regenerated in 12 rounds");
         let r = run_mode(&inst, Mode::Cooperative, &cfg);
         assert_eq!(r.regenerations, 0, "CTS1 must not touch strategies");
+    }
+
+    #[test]
+    fn policy_blob_round_trips_the_master_data_structure() {
+        let inst = gk_instance(
+            "snap",
+            GkSpec {
+                n: 30,
+                m: 4,
+                tightness: 0.5,
+                seed: 9,
+            },
+        );
+        let cfg = cfg();
+        let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+        let mut policy = FarmPolicy::cooperative_adaptive();
+        policy.prepare(&inst, &cfg, &mut rng);
+        // Dirty the state so the round trip covers more than the defaults.
+        policy.scores[1] = Score::from_value(1);
+        policy.prev_best[2] += 17;
+        let blob = policy.snapshot().expect("trajectory modes checkpoint");
+
+        let mut back = FarmPolicy::cooperative_adaptive();
+        back.restore(&inst, &cfg, &blob).unwrap();
+        assert_eq!(back.strategies, policy.strategies);
+        assert_eq!(back.prev_best, policy.prev_best);
+        for (a, b) in back.initials.iter().zip(&policy.initials) {
+            assert_eq!(a.bits(), b.bits());
+        }
+        for (a, b) in back.scores.iter().zip(&policy.scores) {
+            assert_eq!(a.value(), b.value());
+        }
+        // Same state ⇒ identical re-encoding.
+        assert_eq!(back.snapshot(), policy.snapshot());
+
+        // Wrong worker count is caught, not absorbed.
+        let mut small = cfg.clone();
+        small.p = 2;
+        let err = back.restore(&inst, &small, &blob).unwrap_err();
+        assert!(err.contains("configures 2 workers"), "{err}");
+
+        // Truncation is a clean error, never a panic.
+        for cut in 0..blob.len() {
+            assert!(back.restore(&inst, &cfg, &blob[..cut]).is_err());
+        }
     }
 }

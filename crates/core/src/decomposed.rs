@@ -105,6 +105,7 @@ impl CoopPolicy for DecomposedPolicy {
             strategy: self.strategies[k],
             budget_evals: cfg.total_evals / cfg.p as u64,
             seed: assignment_seed(cfg, round, k),
+            epoch: 0, // stamped by the engine before sending
             cell: Some(CellMsg {
                 forced_in,
                 forced_out,

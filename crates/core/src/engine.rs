@@ -24,18 +24,32 @@
 //!   order, but the master buffers them and *processes* them in logical
 //!   `(round, worker)` order, so the run is bit-deterministic while the
 //!   workers still overlap rounds freely.
+//!
+//! # Recovery (DESIGN.md §10)
+//!
+//! Losing a slave no longer has to cost its share of the search. With
+//! `RunConfig::max_restarts > 0` the master *resurrects* a lost worker:
+//! exponential backoff, respawn the task ([`TaskCtx::respawn`]), re-send
+//! the problem, transplant the worker's long-term History
+//! ([`tags::SEED`]), then redo the outstanding assignment seeded from the
+//! master's B-best elite. Each assignment carries an incarnation *epoch*
+//! that the slave echoes, so a superseded incarnation's stale report can
+//! never be mistaken for the redo. A worker whose restart budget runs dry
+//! falls back to the old behavior: permanent quarantine, the run finishing
+//! degraded over the survivors. Orthogonally, `RunConfig::checkpoint`
+//! makes the synchronous master serialize its complete state every K
+//! rounds ([`crate::snapshot`]); [`Engine::resume`] continues such a
+//! snapshot bit-identically to the uninterrupted run.
 
-use crate::messages::{tags, AssignMsg, ProblemMsg, ReportMsg};
-use crate::runner::{LossCause, Mode, ModeReport, RunConfig, WorkerLoss};
+use crate::messages::{tags, AssignMsg, ProblemMsg, ReportMsg, SeedMsg};
+use crate::runner::{LossCause, Mode, ModeReport, Resurrection, RunConfig, WorkerLoss};
+use crate::snapshot::{config_digest, instance_fingerprint, Snapshot};
 use mkp::eval::Ratios;
 use mkp::greedy::dynamic_randomized_greedy;
 use mkp::restrict::Restriction;
 use mkp::{Instance, Solution, Xoshiro256};
 use mkp_tabu::{search, Budget, TsConfig};
-use pvm_lite::{
-    CollectiveError, Collectives, CommError, FaultAction, FaultPlan, TaskCtx, TaskOutcome,
-    WorkerPool,
-};
+use pvm_lite::{Collectives, CommError, FaultAction, FaultPlan, TaskCtx, TaskOutcome, WorkerPool};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -49,6 +63,10 @@ pub enum Delivery {
     /// assignment leaves without waiting for its peers (ATS).
     Pipelined,
 }
+
+/// The B in "B best solutions" (Fig. 2): how many distinct elite solutions
+/// the master banks for reseeding resurrected workers and checkpoints.
+const ELITE_CAP: usize = 8;
 
 /// The cooperation scheme: everything mode-specific the master does.
 ///
@@ -114,6 +132,19 @@ pub trait CoopPolicy: Send {
         cfg: &RunConfig,
         rng: &mut Xoshiro256,
     ) -> u64;
+
+    /// Serialize the policy's internal state into a checkpoint blob;
+    /// `None` (the default) marks the policy as not checkpointable.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore internal state from a [`snapshot`](CoopPolicy::snapshot)
+    /// blob taken under the same instance and configuration.
+    fn restore(&mut self, inst: &Instance, cfg: &RunConfig, blob: &[u8]) -> Result<(), String> {
+        let _ = (inst, cfg, blob);
+        Err("this policy does not support checkpoint/resume".to_string())
+    }
 }
 
 /// The per-assignment slave seed: a deterministic function of the master
@@ -147,6 +178,13 @@ pub enum EngineError {
         /// The master's panic message.
         message: String,
     },
+    /// The request cannot be served as configured (invalid cross-field
+    /// configuration, checkpointing a mode that has no consistent round
+    /// boundary, resuming a snapshot that doesn't match the run).
+    Unsupported {
+        /// What was asked for and why it can't be done.
+        detail: String,
+    },
     /// An invariant the engine relies on failed (a bug, not a worker
     /// fault).
     Internal {
@@ -171,6 +209,7 @@ impl std::fmt::Display for EngineError {
             EngineError::MasterPanicked { message } => {
                 write!(f, "master panicked: {message}")
             }
+            EngineError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
             EngineError::Internal { detail } => write!(f, "engine invariant broken: {detail}"),
         }
     }
@@ -242,7 +281,7 @@ impl Engine {
 
     /// Inject a one-shot fault into the *next* run (see [`fault_at_round`]
     /// for the worker/round mapping). Testing hook for the degradation
-    /// paths.
+    /// and recovery paths.
     pub fn inject_fault(&mut self, plan: FaultPlan) {
         self.fault_plan = Some(plan);
     }
@@ -274,6 +313,64 @@ impl Engine {
         self.run_policy(inst, &mut *policy_for(mode), cfg)
     }
 
+    /// Continue a checkpointed run from `snap` (written by an earlier run
+    /// with `RunConfig::checkpoint` set). The instance and every
+    /// search-relevant configuration field must match the original run —
+    /// the resumed run is then bit-identical to the uninterrupted one
+    /// (objective, best solution, per-round curves; wall clock excluded).
+    pub fn resume(
+        &mut self,
+        inst: &Instance,
+        snap: Snapshot,
+        cfg: &RunConfig,
+    ) -> Result<ModeReport, EngineError> {
+        let reject = |detail: String| Err(EngineError::Unsupported { detail });
+        if snap.fingerprint != instance_fingerprint(inst) {
+            return reject("snapshot was taken from a different instance".to_string());
+        }
+        if snap.cfg_digest != config_digest(cfg) {
+            return reject(
+                "snapshot was taken under a different search configuration \
+                 (p, rounds, budget, seed, ISP/SGP and relink must match the original run)"
+                    .to_string(),
+            );
+        }
+        let mut policy = policy_for(snap.mode);
+        let active = policy.active_workers(cfg);
+        let rounds = policy.rounds(cfg);
+        if policy.delivery() == Delivery::Pipelined {
+            return reject("pipelined modes cannot be checkpointed or resumed".to_string());
+        }
+        if snap.alive.len() != active
+            || snap.epochs.len() != active
+            || snap.restarts_used.len() != active
+            || snap.histories.len() != active
+        {
+            return reject(format!(
+                "snapshot worker tables hold {} workers, run configures {active}",
+                snap.alive.len()
+            ));
+        }
+        if snap.next_round == 0
+            || snap.next_round >= rounds
+            || snap.round_best.len() != snap.next_round
+        {
+            return reject(format!(
+                "snapshot round counter {} is outside the resumable range 1..{rounds}",
+                snap.next_round
+            ));
+        }
+        if snap.rng == [0u64; 4] {
+            return reject("snapshot rng state is degenerate".to_string());
+        }
+        if !snap.alive.iter().any(|&a| a) {
+            return Err(EngineError::AllWorkersLost {
+                losses: snap.losses,
+            });
+        }
+        self.run_policy_inner(inst, &mut *policy, cfg, Some(snap))
+    }
+
     /// Run a custom policy (the extension point behind [`run`](Engine::run)).
     pub fn run_policy(
         &mut self,
@@ -281,6 +378,26 @@ impl Engine {
         policy: &mut dyn CoopPolicy,
         cfg: &RunConfig,
     ) -> Result<ModeReport, EngineError> {
+        self.run_policy_inner(inst, policy, cfg, None)
+    }
+
+    fn run_policy_inner(
+        &mut self,
+        inst: &Instance,
+        policy: &mut dyn CoopPolicy,
+        cfg: &RunConfig,
+        resume: Option<Snapshot>,
+    ) -> Result<ModeReport, EngineError> {
+        if let Err(detail) = cfg.validate() {
+            return Err(EngineError::Unsupported { detail });
+        }
+        if cfg.checkpoint.is_some() && policy.delivery() == Delivery::Pipelined {
+            return Err(EngineError::Unsupported {
+                detail: "checkpointing requires synchronous delivery: the pipelined ATS \
+                         master has no consistent round boundary to snapshot"
+                    .to_string(),
+            });
+        }
         let active = policy.active_workers(cfg);
         assert!(active >= 1, "a run needs at least one active worker");
         self.ensure_capacity(active + 1);
@@ -288,13 +405,16 @@ impl Engine {
             self.pool.set_fault_plan(plan);
         }
 
-        // Only task 0 touches the policy, but the job closure is shared by
-        // every pool thread; the mutex documents that to the compiler.
+        // Only task 0 touches the policy (and consumes the resume
+        // snapshot), but the job closure is shared by every pool thread;
+        // the mutexes document that to the compiler.
         let policy = Mutex::new(policy);
+        let resume = Mutex::new(resume);
         let outcomes = self.pool.run_collect(|ctx| {
             if ctx.tid() == 0 {
                 let mut policy = policy.lock().unwrap_or_else(PoisonError::into_inner);
-                TaskOut::Master(master_loop(ctx, inst, &mut **policy, cfg).map(Box::new))
+                let resume = resume.lock().unwrap_or_else(PoisonError::into_inner).take();
+                TaskOut::Master(master_loop(ctx, inst, &mut **policy, cfg, resume).map(Box::new))
             } else {
                 slave_loop(ctx, cfg);
                 TaskOut::Slave
@@ -304,7 +424,9 @@ impl Engine {
         // The master only observes *silence* from a lost slave (a missed
         // deadline, a dead mailbox); the pool knows whether that silence
         // was a panic. Rewrite the causes so the report carries the real
-        // story.
+        // story. A resurrected worker's final incarnation finished cleanly,
+        // so its earlier panics are gone from the outcome slot (last write
+        // wins) and its resurrection record is untouched here.
         let ntasks = outcomes.len();
         let mut slave_panics: Vec<Option<String>> = vec![None; ntasks];
         let mut master_out = None;
@@ -358,45 +480,211 @@ fn policy_for(mode: Mode) -> Box<dyn CoopPolicy> {
     }
 }
 
-/// Quarantine worker `k` (idempotent). Returns whether any worker is
-/// still alive — `false` is the caller's cue to give up with
-/// [`EngineError::AllWorkersLost`].
-fn mark_lost(
-    alive: &mut [bool],
-    losses: &mut Vec<WorkerLoss>,
+/// Per-worker supervision bookkeeping of one run: liveness, quarantine
+/// records, incarnation epochs, restart-budget consumption, each worker's
+/// latest long-term History and the successful resurrections.
+struct Workers {
+    alive: Vec<bool>,
+    losses: Vec<WorkerLoss>,
+    epochs: Vec<u64>,
+    restarts_used: Vec<usize>,
+    histories: Vec<SeedMsg>,
+    resurrections: Vec<Resurrection>,
+}
+
+impl Workers {
+    fn fresh(active: usize) -> Self {
+        Workers {
+            alive: vec![true; active],
+            losses: Vec::new(),
+            epochs: vec![0; active],
+            restarts_used: vec![0; active],
+            histories: vec![SeedMsg::default(); active],
+            resurrections: Vec::new(),
+        }
+    }
+
+    fn from_snapshot(snap: &Snapshot) -> Self {
+        Workers {
+            alive: snap.alive.clone(),
+            losses: snap.losses.clone(),
+            epochs: snap.epochs.clone(),
+            restarts_used: snap.restarts_used.iter().map(|&r| r as usize).collect(),
+            histories: snap.histories.clone(),
+            resurrections: snap.resurrections.clone(),
+        }
+    }
+
+    /// Quarantine worker `k` (idempotent). Returns whether any worker is
+    /// still alive — `false` is the caller's cue to give up with
+    /// [`EngineError::AllWorkersLost`].
+    fn mark_lost(&mut self, k: usize, round: usize, cause: LossCause) -> bool {
+        if self.alive[k] {
+            self.alive[k] = false;
+            self.losses.push(WorkerLoss {
+                worker: k,
+                round,
+                cause,
+            });
+        }
+        self.alive.iter().any(|&a| a)
+    }
+
+    /// Bank the History a report carries as the worker's latest memory.
+    fn bank_history(&mut self, k: usize, report: &ReportMsg) {
+        self.histories[k] = SeedMsg {
+            history_counts: report.history_counts.clone(),
+            history_iterations: report.history_iterations,
+        };
+    }
+}
+
+/// The exponential-backoff delay before restart attempt
+/// `attempts_so_far + 1`: `restart_backoff × 2^attempts_so_far`,
+/// saturating.
+fn backoff_delay(cfg: &RunConfig, attempts_so_far: usize) -> Duration {
+    cfg.restart_backoff
+        .saturating_mul(1u32 << attempts_so_far.min(16))
+}
+
+/// Gather reports from the workers flagged in `need` under a single
+/// deadline, clearing each flag as its report lands. Reports from
+/// un-needed workers (quarantined, already reported this round) and from
+/// superseded incarnations (stale epoch) are dropped silently; `need`
+/// entries still set on return are the workers that missed the deadline.
+fn gather_reports(
+    ctx: &TaskCtx,
+    epochs: &[u64],
+    timeout: Duration,
+    need: &mut [bool],
+) -> Result<Vec<(usize, ReportMsg)>, EngineError> {
+    let active = epochs.len();
+    let mut got = Vec::new();
+    let mut outstanding = need.iter().filter(|&&b| b).count();
+    let deadline = Instant::now().checked_add(timeout);
+    while outstanding > 0 {
+        let remaining = match deadline {
+            None => Duration::MAX,
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                deadline - now
+            }
+        };
+        let env = match ctx.recv_timeout(remaining) {
+            Ok(env) => env,
+            Err(CommError::Timeout) => break,
+            Err(_) => break, // every sender gone: nothing will arrive
+        };
+        let Some(k) = env.from.checked_sub(1).filter(|&k| k < active) else {
+            return Err(EngineError::ProtocolViolation {
+                detail: format!("report from out-of-range task {}", env.from),
+            });
+        };
+        if !need[k] {
+            continue; // stale: quarantined or already reported
+        }
+        if env.tag != tags::REPORT {
+            return Err(EngineError::ProtocolViolation {
+                detail: format!(
+                    "unexpected tag {} from task {} (expected {})",
+                    env.tag,
+                    env.from,
+                    tags::REPORT
+                ),
+            });
+        }
+        let report: ReportMsg = env.decode().map_err(|e| EngineError::ProtocolViolation {
+            detail: format!("undecodable report from task {}: {e:?}", env.from),
+        })?;
+        if report.epoch != epochs[k] {
+            continue; // a superseded incarnation's report
+        }
+        need[k] = false;
+        outstanding -= 1;
+        got.push((k, report));
+    }
+    Ok(got)
+}
+
+/// Try to bring worker `k` back mid-round (DESIGN.md §10: lost → backoff →
+/// respawn → reseed → rejoined): respawn its task, re-send the problem,
+/// transplant its History, redo `assign` with a bumped epoch and an
+/// elite-seeded start, and wait for the redo report. Consumes restart
+/// budget per attempt; returns the redo report on success, `None` when the
+/// budget ran dry.
+#[allow(clippy::too_many_arguments)] // the full recovery context
+fn resurrect(
+    ctx: &TaskCtx,
+    problem: &ProblemMsg,
+    workers: &mut Workers,
+    cfg: &RunConfig,
     k: usize,
     round: usize,
-    cause: LossCause,
-) -> bool {
-    if alive[k] {
-        alive[k] = false;
-        losses.push(WorkerLoss {
-            worker: k,
-            round,
-            cause,
-        });
+    assign: &AssignMsg,
+    elite: &[Solution],
+) -> Result<Option<ReportMsg>, EngineError> {
+    while workers.restarts_used[k] < cfg.max_restarts {
+        std::thread::sleep(backoff_delay(cfg, workers.restarts_used[k]));
+        workers.restarts_used[k] += 1;
+        let attempt = workers.restarts_used[k];
+        workers.epochs[k] += 1;
+        if !ctx.respawn(k + 1) {
+            return Ok(None); // supervision retired: no rebirth possible
+        }
+        // A send failure means the fresh incarnation died before its
+        // mailbox drained — burn the attempt and back off longer.
+        if ctx.send(k + 1, tags::PROBLEM, problem).is_err()
+            || ctx.send(k + 1, tags::SEED, &workers.histories[k]).is_err()
+        {
+            continue;
+        }
+        let mut redo = assign.clone();
+        redo.epoch = workers.epochs[k];
+        if !elite.is_empty() && redo.cell.is_none() {
+            // Reseed from the master's B-best elite instead of the dead
+            // incarnation's private trajectory; rotate through the bank so
+            // repeated attempts explore different restarts.
+            redo.initial = elite[(attempt - 1) % elite.len()].bits().clone();
+        }
+        if ctx.send(k + 1, tags::ASSIGN, &redo).is_err() {
+            continue;
+        }
+        let mut need = vec![false; workers.epochs.len()];
+        need[k] = true;
+        let mut got = gather_reports(ctx, &workers.epochs, cfg.report_timeout, &mut need)?;
+        if let Some((_, report)) = got.pop() {
+            workers.resurrections.push(Resurrection {
+                worker: k,
+                round,
+                attempt,
+            });
+            return Ok(Some(report));
+        }
     }
-    alive.iter().any(|&a| a)
+    Ok(None)
 }
 
 /// The generic Fig. 2 master: broadcast, assign, collect, update — now
-/// tolerant of losing slaves along the way. A worker that becomes
-/// unreachable, misses its report deadline or (as the pool later reveals)
-/// panicked is *quarantined*: dropped from assignment and collection, its
-/// loss recorded, the round loop continuing with the survivors. Only
-/// losing the last worker aborts the run.
+/// self-healing. A worker that becomes unreachable, misses its report
+/// deadline or (as the pool later reveals) panicked is *resurrected* while
+/// its restart budget lasts ([`resurrect`]); past the budget it is
+/// *quarantined*: dropped from assignment and collection, its loss
+/// recorded, the round loop continuing with the survivors. Only losing the
+/// last worker aborts the run.
 fn master_loop(
     ctx: TaskCtx,
     inst: &Instance,
     policy: &mut dyn CoopPolicy,
     cfg: &RunConfig,
+    resume: Option<Snapshot>,
 ) -> Result<ModeReport, EngineError> {
     let start = Instant::now();
     let active = policy.active_workers(cfg);
     let rounds = policy.rounds(cfg);
     assert!(active < ctx.ntasks(), "pool too small for {active} workers");
-
-    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
 
     // "Read and send to slaves problem data" (Fig. 2) — a pvm_mcast. Idle
     // pool workers beyond `active` also receive it; they simply never get
@@ -409,150 +697,237 @@ fn master_loop(
             detail: format!("problem broadcast failed: {e}"),
         })?;
 
-    let initials = policy.prepare(inst, cfg, &mut rng);
-    let mut state = MasterState {
-        global_best: initials.iter().max_by_key(|s| s.value()).cloned(),
-        round_best: Vec::with_capacity(rounds),
-        total_moves: 0,
-        total_evals: 0,
-        regenerations: 0,
-    };
-    let mut alive = vec![true; active];
-    let mut losses: Vec<WorkerLoss> = Vec::new();
-
-    match policy.delivery() {
-        Delivery::Synchronous => {
-            for round in 0..rounds {
-                // Launch the surviving slave searches.
-                for k in 0..active {
-                    if !alive[k] {
-                        continue;
-                    }
-                    let assign = policy.assign(k, round, inst, cfg, &mut rng);
-                    if ctx.send(k + 1, tags::ASSIGN, &assign).is_err()
-                        && !mark_lost(&mut alive, &mut losses, k, round, LossCause::Unreachable)
-                    {
-                        return Err(EngineError::AllWorkersLost { losses });
-                    }
-                }
-
-                // Rendezvous: gather the survivors' reports (slaves finish
-                // ≈ simultaneously because the eval budget, not
-                // wall-clock, bounds each search). One deadline covers the
-                // whole gather; a worker that misses it is quarantined and
-                // any later, stale report from it is dropped. Slot order
-                // is slave-id order, so the update below is deterministic
-                // regardless of arrival order.
-                let expected: Vec<usize> =
-                    (0..active).filter(|&k| alive[k]).map(|k| k + 1).collect();
-                let quarantined: Vec<usize> =
-                    (0..active).filter(|&k| !alive[k]).map(|k| k + 1).collect();
-                let partial = ctx
-                    .gather_partial(tags::REPORT, &expected, &quarantined, cfg.report_timeout)
-                    .map_err(|e| match e {
-                        CollectiveError::Comm(e) => EngineError::Internal {
-                            detail: format!("report rendezvous failed: {e}"),
-                        },
-                        e => EngineError::ProtocolViolation {
-                            detail: format!("report rendezvous: {e}"),
-                        },
-                    })?;
-
-                let mut reports: Vec<(usize, ReportMsg)> = Vec::with_capacity(expected.len());
-                for env in partial.slots.iter().flatten() {
-                    let report =
-                        env.decode::<ReportMsg>()
-                            .map_err(|e| EngineError::ProtocolViolation {
-                                detail: format!("undecodable report from task {}: {e:?}", env.from),
-                            })?;
-                    reports.push((env.from - 1, report));
-                }
-                for &tid in &partial.missing {
-                    if !mark_lost(&mut alive, &mut losses, tid - 1, round, LossCause::Deadline) {
-                        return Err(EngineError::AllWorkersLost { losses });
-                    }
-                }
-
-                // Optional master-side exploitation: relink the two best
-                // distinct slave solutions (information neither slave holds
-                // alone).
-                if policy.relink(cfg) {
-                    state.total_evals += relink_round(inst, &reports, &mut state.global_best)?;
-                }
-
-                for (k, report) in &reports {
-                    state.process_report(*k, round, report, policy, inst, cfg, &mut rng)?;
-                }
-                let best = state
-                    .global_best
-                    .as_ref()
-                    .ok_or_else(|| EngineError::Internal {
-                        detail: "no global best after a processed round".into(),
-                    })?;
-                state.round_best.push(best.value());
+    let (mut rng, mut state, mut workers, start_round) = match &resume {
+        None => {
+            let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+            let initials = policy.prepare(inst, cfg, &mut rng);
+            let mut state = MasterState {
+                global_best: initials.iter().max_by_key(|s| s.value()).cloned(),
+                round_best: Vec::with_capacity(rounds),
+                total_moves: 0,
+                total_evals: 0,
+                regenerations: 0,
+                elite: Vec::new(),
+            };
+            for sol in &initials {
+                state.fold_elite(sol);
             }
+            (rng, state, Workers::fresh(active), 0)
         }
-        Delivery::Pipelined => {
-            // Reports arrive in scheduler order; `arrived[k]` counts how
-            // many worker `k` has sent, which *is* the logical round of its
-            // next arrival (per-worker channels are FIFO). The buffer plus
-            // the (round, worker) cursor turn that arrival stream into a
-            // deterministic processing order — and each processed report
-            // immediately releases that worker's next assignment, so no
-            // worker ever waits for a rendezvous. `assigned[k]` counts
-            // assignments sent, so `assigned[k] > arrived[k]` means worker
-            // `k` owes a report — the workers a deadline expiry
-            // quarantines.
-            let mut arrived = vec![0usize; active];
-            let mut assigned = vec![0usize; active];
-            let mut buffer: BTreeMap<(usize, usize), ReportMsg> = BTreeMap::new();
-            let mut cursor = (0usize, 0usize);
-
-            // Bootstrap: every worker gets its round-0 assignment.
-            for (k, sent) in assigned.iter_mut().enumerate() {
-                let assign = policy.assign(k, 0, inst, cfg, &mut rng);
-                if ctx.send(k + 1, tags::ASSIGN, &assign).is_err() {
-                    if !mark_lost(&mut alive, &mut losses, k, 0, LossCause::Unreachable) {
-                        return Err(EngineError::AllWorkersLost { losses });
-                    }
-                } else {
-                    *sent = 1;
+        Some(snap) => {
+            policy
+                .restore(inst, cfg, &snap.policy)
+                .map_err(|detail| EngineError::Unsupported {
+                    detail: format!("policy state does not restore: {detail}"),
+                })?;
+            let state = MasterState {
+                global_best: Some(Solution::from_bits(inst, snap.global_best.clone())),
+                round_best: snap.round_best.clone(),
+                total_moves: snap.total_moves,
+                total_evals: snap.total_evals,
+                regenerations: snap.regenerations,
+                elite: snap
+                    .elite
+                    .iter()
+                    .map(|bits| Solution::from_bits(inst, bits.clone()))
+                    .collect(),
+            };
+            let workers = Workers::from_snapshot(snap);
+            // Transplant each surviving worker's long-term History into
+            // its fresh incarnation; a failed send surfaces as a loss at
+            // the next assignment.
+            for k in 0..active {
+                if workers.alive[k] && workers.histories[k].history_counts.len() == inst.n() {
+                    let _ = ctx.send(k + 1, tags::SEED, &workers.histories[k]);
                 }
             }
+            (
+                Xoshiro256::from_state(snap.rng),
+                state,
+                workers,
+                snap.next_round,
+            )
+        }
+    };
+    drop(resume);
 
-            'outer: loop {
-                // Drain: process buffered reports in logical order. A
-                // quarantined worker's never-coming report is skipped so
-                // the cursor keeps rotating over the survivors; a live
-                // worker's missing report sends us to the wait below.
-                loop {
-                    let (round, k) = cursor;
-                    if round >= rounds {
-                        break 'outer;
+    // The round loop proper, pulled into a closure so that *every* exit —
+    // success, all-workers-lost, protocol violation, checkpoint failure —
+    // still flows through the STOP fan-out below. Returning early without
+    // stopping the slaves would leave them blocked on their mailboxes for
+    // a full patience window, wedging the pool.
+    let mut run_rounds = || -> Result<(), EngineError> {
+        match policy.delivery() {
+            Delivery::Synchronous => {
+                for round in start_round..rounds {
+                    // Launch the surviving slave searches. The sent assignment
+                    // is kept per worker so a resurrection can redo it.
+                    let mut sent: Vec<Option<AssignMsg>> = vec![None; active];
+                    let mut send_failed = vec![false; active];
+                    for k in 0..active {
+                        if !workers.alive[k] {
+                            continue;
+                        }
+                        let mut assign = policy.assign(k, round, inst, cfg, &mut rng);
+                        assign.epoch = workers.epochs[k];
+                        send_failed[k] = ctx.send(k + 1, tags::ASSIGN, &assign).is_err();
+                        sent[k] = Some(assign);
                     }
-                    if let Some(report) = buffer.remove(&cursor) {
-                        state.process_report(k, round, &report, policy, inst, cfg, &mut rng)?;
-                        if round + 1 < rounds && alive[k] {
-                            let assign = policy.assign(k, round + 1, inst, cfg, &mut rng);
-                            if ctx.send(k + 1, tags::ASSIGN, &assign).is_err() {
-                                if !mark_lost(
-                                    &mut alive,
-                                    &mut losses,
-                                    k,
-                                    round + 1,
-                                    LossCause::Unreachable,
-                                ) {
-                                    return Err(EngineError::AllWorkersLost { losses });
+
+                    // Rendezvous: gather the survivors' reports (slaves finish
+                    // ≈ simultaneously because the eval budget, not
+                    // wall-clock, bounds each search). One deadline covers the
+                    // whole gather; a worker that misses it is resurrected
+                    // while its restart budget lasts, then quarantined. The
+                    // reports are processed in slave-id order below, so the
+                    // update is deterministic regardless of arrival order.
+                    let mut need: Vec<bool> = (0..active)
+                        .map(|k| workers.alive[k] && !send_failed[k])
+                        .collect();
+                    let mut reports =
+                        gather_reports(&ctx, &workers.epochs, cfg.report_timeout, &mut need)?;
+                    for k in 0..active {
+                        if !workers.alive[k] {
+                            continue;
+                        }
+                        let missed = need[k] || send_failed[k];
+                        if !missed {
+                            continue;
+                        }
+                        let assign = sent[k].as_ref().expect("alive workers were assigned");
+                        match resurrect(
+                            &ctx,
+                            &problem,
+                            &mut workers,
+                            cfg,
+                            k,
+                            round,
+                            assign,
+                            &state.elite,
+                        )? {
+                            Some(report) => reports.push((k, report)),
+                            None => {
+                                let cause = if send_failed[k] {
+                                    LossCause::Unreachable
+                                } else {
+                                    LossCause::Deadline
+                                };
+                                if !workers.mark_lost(k, round, cause) {
+                                    return Err(EngineError::AllWorkersLost {
+                                        losses: workers.losses.clone(),
+                                    });
                                 }
-                            } else {
-                                assigned[k] += 1;
                             }
                         }
-                    } else if alive[k] {
-                        break; // report still in flight: wait for it
                     }
-                    cursor =
-                        if k + 1 < active {
+                    reports.sort_by_key(|&(k, _)| k);
+                    for (k, report) in &reports {
+                        workers.bank_history(*k, report);
+                    }
+
+                    // Optional master-side exploitation: relink the two best
+                    // distinct slave solutions (information neither slave holds
+                    // alone).
+                    if policy.relink(cfg) {
+                        state.total_evals += relink_round(inst, &reports, &mut state.global_best)?;
+                    }
+
+                    for (k, report) in &reports {
+                        state.process_report(*k, round, report, policy, inst, cfg, &mut rng)?;
+                    }
+                    let best = state
+                        .global_best
+                        .as_ref()
+                        .ok_or_else(|| EngineError::Internal {
+                            detail: "no global best after a processed round".into(),
+                        })?;
+                    state.round_best.push(best.value());
+
+                    // Periodic checkpoint: the state as of the top of
+                    // `round + 1`. The final round is never checkpointed —
+                    // the run is over.
+                    if let Some(cp) = &cfg.checkpoint {
+                        if (round + 1) % cp.every == 0 && round + 1 < rounds {
+                            let snap = build_snapshot(
+                                policy,
+                                inst,
+                                cfg,
+                                round + 1,
+                                &rng,
+                                &state,
+                                &workers,
+                            )?;
+                            snap.save(&cp.path).map_err(|e| EngineError::Internal {
+                                detail: format!("checkpoint write failed: {e}"),
+                            })?;
+                        }
+                    }
+                }
+            }
+            Delivery::Pipelined => {
+                // Reports arrive in scheduler order; `arrived[k]` counts how
+                // many worker `k` has sent, which *is* the logical round of its
+                // next arrival (per-worker channels are FIFO). The buffer plus
+                // the (round, worker) cursor turn that arrival stream into a
+                // deterministic processing order — and each processed report
+                // immediately releases that worker's next assignment, so no
+                // worker ever waits for a rendezvous. `assigned[k]` counts
+                // assignments sent, so `assigned[k] > arrived[k]` means worker
+                // `k` owes a report — the workers a deadline expiry resurrects
+                // or quarantines.
+                let mut arrived = vec![0usize; active];
+                let mut assigned = vec![0usize; active];
+                let mut sent: Vec<Option<AssignMsg>> = vec![None; active];
+                // A rebirth in flight: (round it redoes, attempt); confirmed
+                // into a Resurrection record when the redo report arrives.
+                let mut rebirth: Vec<Option<(usize, usize)>> = vec![None; active];
+                let mut buffer: BTreeMap<(usize, usize), ReportMsg> = BTreeMap::new();
+                let mut cursor = (0usize, 0usize);
+
+                // Bootstrap: every worker gets its round-0 assignment.
+                for k in 0..active {
+                    let mut assign = policy.assign(k, 0, inst, cfg, &mut rng);
+                    assign.epoch = workers.epochs[k];
+                    let ok = ctx.send(k + 1, tags::ASSIGN, &assign).is_ok();
+                    sent[k] = Some(assign);
+                    if ok {
+                        assigned[k] = 1;
+                    } else if !workers.mark_lost(k, 0, LossCause::Unreachable) {
+                        return Err(EngineError::AllWorkersLost {
+                            losses: workers.losses.clone(),
+                        });
+                    }
+                }
+
+                'outer: loop {
+                    // Drain: process buffered reports in logical order. A
+                    // quarantined worker's never-coming report is skipped so
+                    // the cursor keeps rotating over the survivors; a live
+                    // worker's missing report sends us to the wait below.
+                    loop {
+                        let (round, k) = cursor;
+                        if round >= rounds {
+                            break 'outer;
+                        }
+                        if let Some(report) = buffer.remove(&cursor) {
+                            state.process_report(k, round, &report, policy, inst, cfg, &mut rng)?;
+                            if round + 1 < rounds && workers.alive[k] {
+                                let mut assign = policy.assign(k, round + 1, inst, cfg, &mut rng);
+                                assign.epoch = workers.epochs[k];
+                                let ok = ctx.send(k + 1, tags::ASSIGN, &assign).is_ok();
+                                sent[k] = Some(assign);
+                                if ok {
+                                    assigned[k] += 1;
+                                } else if !workers.mark_lost(k, round + 1, LossCause::Unreachable) {
+                                    return Err(EngineError::AllWorkersLost {
+                                        losses: workers.losses.clone(),
+                                    });
+                                }
+                            }
+                        } else if workers.alive[k] {
+                            break; // report still in flight: wait for it
+                        }
+                        cursor = if k + 1 < active {
                             (round, k + 1)
                         } else {
                             let best = state.global_best.as_ref().ok_or_else(|| {
@@ -563,86 +938,138 @@ fn master_loop(
                             state.round_best.push(best.value());
                             (round + 1, 0)
                         };
-                }
+                    }
 
-                // Wait for one more report under a single deadline (the
-                // timeout budget is per expected report, not per arrival —
-                // stale stragglers burning the clock don't extend it).
-                let deadline = Instant::now().checked_add(cfg.report_timeout);
-                let deadline_expired = loop {
-                    let remaining = match deadline {
-                        None => Duration::MAX,
-                        Some(deadline) => {
-                            let now = Instant::now();
-                            if now >= deadline {
-                                break true;
+                    // Wait for one more report under a single deadline (the
+                    // timeout budget is per expected report, not per arrival —
+                    // stale stragglers burning the clock don't extend it).
+                    let deadline = Instant::now().checked_add(cfg.report_timeout);
+                    let deadline_expired = loop {
+                        let remaining = match deadline {
+                            None => Duration::MAX,
+                            Some(deadline) => {
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    break true;
+                                }
+                                deadline - now
                             }
-                            deadline - now
+                        };
+                        match ctx.recv_timeout(remaining) {
+                            Ok(env) => {
+                                let Some(k) = env.from.checked_sub(1).filter(|&k| k < active)
+                                else {
+                                    return Err(EngineError::ProtocolViolation {
+                                        detail: format!(
+                                            "report from out-of-range task {}",
+                                            env.from
+                                        ),
+                                    });
+                                };
+                                if !workers.alive[k] {
+                                    continue; // stale report from a quarantined worker
+                                }
+                                if env.tag != tags::REPORT {
+                                    return Err(EngineError::ProtocolViolation {
+                                        detail: format!(
+                                            "unexpected tag {} from task {} (expected {})",
+                                            env.tag,
+                                            env.from,
+                                            tags::REPORT
+                                        ),
+                                    });
+                                }
+                                let report: ReportMsg =
+                                    env.decode().map_err(|e| EngineError::ProtocolViolation {
+                                        detail: format!(
+                                            "undecodable report from task {}: {e:?}",
+                                            env.from
+                                        ),
+                                    })?;
+                                if report.epoch != workers.epochs[k] {
+                                    continue; // a superseded incarnation's report
+                                }
+                                if let Some((round, attempt)) = rebirth[k].take() {
+                                    workers.resurrections.push(Resurrection {
+                                        worker: k,
+                                        round,
+                                        attempt,
+                                    });
+                                }
+                                workers.bank_history(k, &report);
+                                buffer.insert((arrived[k], k), report);
+                                arrived[k] += 1;
+                                break false;
+                            }
+                            Err(CommError::Timeout) => break true,
+                            Err(_) => break true, // every sender gone: nothing will arrive
                         }
                     };
-                    match ctx.recv_timeout(remaining) {
-                        Ok(env) => {
-                            let Some(k) = env.from.checked_sub(1).filter(|&k| k < active) else {
-                                return Err(EngineError::ProtocolViolation {
-                                    detail: format!("report from out-of-range task {}", env.from),
-                                });
-                            };
-                            if !alive[k] {
-                                continue; // stale report from a quarantined worker
+                    // The deadline expired: every live worker still owing a
+                    // report is out of time. While a worker's restart budget
+                    // lasts the master respawns it and re-sends the
+                    // outstanding assignment (one attempt per expiry); past
+                    // the budget it is quarantined. Each expiry thus either
+                    // consumes a restart credit or quarantines a worker, and
+                    // both are finite — the loop terminates.
+                    if deadline_expired {
+                        for k in 0..active {
+                            if !workers.alive[k] || assigned[k] <= arrived[k] {
+                                continue;
                             }
-                            if env.tag != tags::REPORT {
-                                return Err(EngineError::ProtocolViolation {
-                                    detail: format!(
-                                        "unexpected tag {} from task {} (expected {})",
-                                        env.tag,
-                                        env.from,
-                                        tags::REPORT
-                                    ),
+                            let round = arrived[k];
+                            if workers.restarts_used[k] < cfg.max_restarts {
+                                std::thread::sleep(backoff_delay(cfg, workers.restarts_used[k]));
+                                workers.restarts_used[k] += 1;
+                                let attempt = workers.restarts_used[k];
+                                workers.epochs[k] += 1;
+                                rebirth[k] = None;
+                                if ctx.respawn(k + 1) {
+                                    let mut redo = sent[k]
+                                        .clone()
+                                        .expect("an owed report implies a stored assignment");
+                                    redo.epoch = workers.epochs[k];
+                                    if !state.elite.is_empty() && redo.cell.is_none() {
+                                        redo.initial = state.elite
+                                            [(attempt - 1) % state.elite.len()]
+                                        .bits()
+                                        .clone();
+                                    }
+                                    let ok = ctx.send(k + 1, tags::PROBLEM, &problem).is_ok()
+                                        && ctx
+                                            .send(k + 1, tags::SEED, &workers.histories[k])
+                                            .is_ok()
+                                        && ctx.send(k + 1, tags::ASSIGN, &redo).is_ok();
+                                    if ok {
+                                        rebirth[k] = Some((round, attempt));
+                                    }
+                                }
+                                // Whether or not the rebirth took, the worker
+                                // still owes its report; the next deadline
+                                // window decides.
+                                continue;
+                            }
+                            if !workers.mark_lost(k, round, LossCause::Deadline) {
+                                return Err(EngineError::AllWorkersLost {
+                                    losses: workers.losses.clone(),
                                 });
                             }
-                            let report: ReportMsg =
-                                env.decode().map_err(|e| EngineError::ProtocolViolation {
-                                    detail: format!(
-                                        "undecodable report from task {}: {e:?}",
-                                        env.from
-                                    ),
-                                })?;
-                            buffer.insert((arrived[k], k), report);
-                            arrived[k] += 1;
-                            break false;
-                        }
-                        Err(CommError::Timeout) => break true,
-                        Err(_) => break true, // every sender gone: nothing will arrive
-                    }
-                };
-                // The deadline expired: every live worker still owing a
-                // report is out of time. The cursor's worker always owes
-                // one here, so each expiry quarantines at least one worker
-                // — the loop terminates.
-                if deadline_expired {
-                    for k in 0..active {
-                        if alive[k]
-                            && assigned[k] > arrived[k]
-                            && !mark_lost(
-                                &mut alive,
-                                &mut losses,
-                                k,
-                                arrived[k],
-                                LossCause::Deadline,
-                            )
-                        {
-                            return Err(EngineError::AllWorkersLost { losses });
                         }
                     }
                 }
             }
         }
-    }
+        Ok(())
+    };
+    let round_result = run_rounds();
 
-    // Fold the farm: STOP every pool worker, including idle ones.
+    // Fold the farm: STOP every pool worker, including idle ones, plus any
+    // superseded incarnations still blocked on their orphaned mailboxes.
     for slave in 1..ctx.ntasks() {
         let _ = ctx.send_bytes(slave, tags::STOP, Vec::new());
     }
+    ctx.notify_orphans(tags::STOP);
+    round_result?;
 
     let best = state.global_best.ok_or_else(|| EngineError::Internal {
         detail: "run finished without any processed report".into(),
@@ -656,7 +1083,49 @@ fn master_loop(
         total_evals: state.total_evals,
         regenerations: state.regenerations,
         wall: start.elapsed(),
-        lost_workers: losses,
+        lost_workers: workers.losses,
+        resurrections: workers.resurrections,
+    })
+}
+
+/// Serialize the master's complete state as of the top of `next_round`.
+fn build_snapshot(
+    policy: &mut dyn CoopPolicy,
+    inst: &Instance,
+    cfg: &RunConfig,
+    next_round: usize,
+    rng: &Xoshiro256,
+    state: &MasterState,
+    workers: &Workers,
+) -> Result<Snapshot, EngineError> {
+    let blob = policy.snapshot().ok_or_else(|| EngineError::Unsupported {
+        detail: format!("{:?} does not support checkpointing", policy.mode()),
+    })?;
+    let global_best = state
+        .global_best
+        .as_ref()
+        .ok_or_else(|| EngineError::Internal {
+            detail: "checkpoint requested before any processed report".into(),
+        })?;
+    Ok(Snapshot {
+        mode: policy.mode(),
+        fingerprint: instance_fingerprint(inst),
+        cfg_digest: config_digest(cfg),
+        next_round,
+        rng: rng.state(),
+        global_best: global_best.bits().clone(),
+        round_best: state.round_best.clone(),
+        total_moves: state.total_moves,
+        total_evals: state.total_evals,
+        regenerations: state.regenerations,
+        elite: state.elite.iter().map(|s| s.bits().clone()).collect(),
+        alive: workers.alive.clone(),
+        losses: workers.losses.clone(),
+        resurrections: workers.resurrections.clone(),
+        restarts_used: workers.restarts_used.iter().map(|&r| r as u64).collect(),
+        epochs: workers.epochs.clone(),
+        histories: workers.histories.clone(),
+        policy: blob,
     })
 }
 
@@ -667,11 +1136,27 @@ struct MasterState {
     total_moves: u64,
     total_evals: u64,
     regenerations: u64,
+    /// The B best distinct solutions seen so far, best first (Fig. 2's
+    /// "B best solutions" bank): the reseeding source for resurrected
+    /// workers and part of every checkpoint.
+    elite: Vec<Solution>,
 }
 
 impl MasterState {
-    /// Fold one report: counters, global best, then the policy's update.
-    /// Shared by both delivery schemes so their master updates are
+    /// Bank `sol` into the B-best elite (distinct assignments only,
+    /// best-first, capped at [`ELITE_CAP`]). The stable sort keeps
+    /// insertion order among equal values, so the bank is deterministic.
+    fn fold_elite(&mut self, sol: &Solution) {
+        if self.elite.iter().any(|e| e.bits() == sol.bits()) {
+            return;
+        }
+        self.elite.push(sol.clone());
+        self.elite.sort_by_key(|s| std::cmp::Reverse(s.value()));
+        self.elite.truncate(ELITE_CAP);
+    }
+
+    /// Fold one report: counters, global best, elite, then the policy's
+    /// update. Shared by both delivery schemes so their master updates are
     /// identical given identical processing order. A report whose claimed
     /// value doesn't survive re-evaluation is a protocol violation, not a
     /// panic.
@@ -700,6 +1185,7 @@ impl MasterState {
         {
             self.global_best = Some(slave_best.clone());
         }
+        self.fold_elite(&slave_best);
         // Just folded: the global best is at least this report's best.
         let global_best = match &self.global_best {
             Some(g) => g.clone(),
@@ -745,7 +1231,9 @@ fn relink_round(
 }
 
 /// The slave loop: receive the problem once, then serve assignments until
-/// the stop message (or a dead master) ends the task.
+/// the stop message (or a dead master) ends the task. A [`tags::SEED`]
+/// message transplants the long-term History of a previous incarnation
+/// (rebirth) or a checkpointed run (resume) into this one.
 fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
     // Slaves wait for instructions well beyond the master's report
     // deadline: while the master sits out a full `report_timeout` on a
@@ -753,10 +1241,7 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
     // deadline, they would give up moments before their next assignment
     // arrives and a single straggler would cascade into losing the whole
     // farm.
-    let patience = cfg
-        .report_timeout
-        .saturating_mul(4)
-        .saturating_add(Duration::from_secs(1));
+    let patience = cfg.patience();
     let env = match ctx.recv_timeout(patience) {
         Ok(env) => env,
         Err(_) => return, // master died before the broadcast
@@ -779,9 +1264,23 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
         };
         match env.tag {
             tags::STOP => return,
+            tags::SEED => {
+                let seed: SeedMsg = env.decode().expect("well-formed seed");
+                // An empty seed means the worker had no banked memory yet;
+                // keep the fresh History in that case.
+                if seed.history_counts.len() == inst.n() {
+                    history = mkp_tabu::history::History::from_parts(
+                        seed.history_counts,
+                        seed.history_iterations,
+                    );
+                }
+            }
             tags::ASSIGN => {
                 let assign: AssignMsg = env.decode().expect("well-formed assignment");
-                let msg = serve_assignment(&inst, &ratios, &mut history, &assign);
+                let mut msg = serve_assignment(&inst, &ratios, &mut history, &assign);
+                msg.epoch = assign.epoch;
+                msg.history_counts = history.counts().to_vec();
+                msg.history_iterations = history.iterations();
                 if ctx.send(0, tags::REPORT, &msg).is_err() {
                     return; // master gone
                 }
@@ -791,7 +1290,8 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
     }
 }
 
-/// Run one assignment to completion and build the report.
+/// Run one assignment to completion and build the report (epoch and
+/// History attachments are stamped by the caller).
 fn serve_assignment(
     inst: &Instance,
     ratios: &Ratios,
@@ -828,6 +1328,9 @@ fn serve_assignment(
                     best_value: lifted.value(),
                     moves: report.stats.moves,
                     evals: report.stats.candidate_evals,
+                    epoch: 0,
+                    history_counts: Vec::new(),
+                    history_iterations: 0,
                 }
             }
             Err(_) => {
@@ -851,6 +1354,9 @@ fn serve_assignment(
                     best_value: report.best.value(),
                     moves: report.stats.moves,
                     evals: report.stats.candidate_evals,
+                    epoch: 0,
+                    history_counts: Vec::new(),
+                    history_iterations: 0,
                 }
             }
         };
@@ -879,12 +1385,16 @@ fn serve_assignment(
         best_value: report.best.value(),
         moves: report.stats.moves,
         evals: report.stats.candidate_evals,
+        epoch: 0,
+        history_counts: Vec::new(),
+        history_iterations: 0,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::CheckpointCfg;
     use mkp::generate::{gk_instance, GkSpec};
 
     fn inst() -> Instance {
@@ -916,6 +1426,10 @@ mod tests {
             assert!(r.best.is_feasible(&inst), "{mode:?} infeasible");
             assert_eq!(r.mode, mode);
             assert!(!r.is_degraded(), "{mode:?} lost workers on a healthy farm");
+            assert!(
+                r.resurrections.is_empty(),
+                "{mode:?} resurrected on a healthy farm"
+            );
         }
     }
 
@@ -983,5 +1497,74 @@ mod tests {
                 assert!(seen.insert(assignment_seed(&cfg, round, k)));
             }
         }
+    }
+
+    #[test]
+    fn checkpointing_a_pipelined_mode_is_rejected_up_front() {
+        let inst = inst();
+        let mut engine = Engine::new(3);
+        let mut cfg = cfg();
+        cfg.checkpoint = Some(CheckpointCfg {
+            path: std::env::temp_dir().join("ats-reject.snap"),
+            every: 1,
+        });
+        let err = engine.run(&inst, Mode::Asynchronous, &cfg).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Unsupported { .. }),
+            "expected Unsupported, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let inst = inst();
+        let mut engine = Engine::new(3);
+        let mut cfg = cfg();
+        cfg.report_timeout = Duration::from_secs(10);
+        cfg.slave_patience = Some(Duration::from_secs(1));
+        let err = engine.run(&inst, Mode::Cooperative, &cfg).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn resume_rejects_foreign_snapshots() {
+        let dir = std::env::temp_dir().join(format!("mkp-resume-neg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.snap");
+        let inst = inst();
+        let mut cfg = cfg();
+        cfg.rounds = 4;
+        cfg.checkpoint = Some(CheckpointCfg {
+            path: path.clone(),
+            every: 2,
+        });
+        let mut engine = Engine::new(3);
+        engine.run(&inst, Mode::CooperativeAdaptive, &cfg).unwrap();
+        let snap = Snapshot::load(&path).unwrap();
+        assert_eq!(snap.next_round, 2);
+
+        // Wrong instance.
+        let other = gk_instance(
+            "other",
+            GkSpec {
+                n: 40,
+                m: 5,
+                tightness: 0.5,
+                seed: 8,
+            },
+        );
+        let err = engine.resume(&other, snap.clone(), &cfg).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }), "{err}");
+
+        // Wrong seed.
+        let mut drifted = cfg.clone();
+        drifted.seed += 1;
+        let err = engine.resume(&inst, snap.clone(), &drifted).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }), "{err}");
+
+        // Matching everything: resumes fine.
+        let resumed = engine.resume(&inst, snap, &cfg).unwrap();
+        assert_eq!(resumed.round_best.len(), cfg.rounds);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

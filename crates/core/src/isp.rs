@@ -60,6 +60,20 @@ pub struct IspState {
 }
 
 impl IspState {
+    /// The raw bookkeeping (last start, stale-round counter), for
+    /// checkpointing.
+    pub fn parts(&self) -> (Option<&BitVec>, u32) {
+        (self.last_start.as_ref(), self.stale_rounds)
+    }
+
+    /// Rebuild the bookkeeping from checkpointed [`parts`](IspState::parts).
+    pub fn from_parts(last_start: Option<BitVec>, stale_rounds: u32) -> Self {
+        IspState {
+            last_start,
+            stale_rounds,
+        }
+    }
+
     /// Decide the slave's next starting solution.
     pub fn next_initial(
         &mut self,

@@ -42,10 +42,14 @@ pub mod messages;
 pub mod runner;
 pub mod score;
 pub mod sgp;
+pub mod snapshot;
 
 pub use engine::{fault_at_round, CoopPolicy, Delivery, Engine, EngineError};
 pub use isp::{IspConfig, StartKind};
 pub use pvm_lite::{FaultAction, FaultPlan};
-pub use runner::{run_mode, LossCause, Mode, ModeReport, RunConfig, WorkerLoss};
+pub use runner::{
+    run_mode, CheckpointCfg, LossCause, Mode, ModeReport, Resurrection, RunConfig, WorkerLoss,
+};
 pub use score::Score;
 pub use sgp::SgpConfig;
+pub use snapshot::{config_digest, instance_fingerprint, Snapshot, SnapshotError};

@@ -20,6 +20,8 @@ pub mod tags {
     pub const REPORT: u32 = 3;
     /// Master → slave: terminate.
     pub const STOP: u32 = 4;
+    /// Master → slave: state transplant into a reborn or resumed slave.
+    pub const SEED: u32 = 5;
 }
 
 /// The problem broadcast ("Read and send to slaves problem data", Fig. 2).
@@ -93,14 +95,15 @@ impl Wire for ProblemMsg {
 }
 
 /// Pack a solution as (len, ones-list); value and loads are recomputed on
-/// arrival so a corrupt message cannot smuggle inconsistent caches.
-fn pack_bits(bits: &BitVec, buf: &mut PackBuffer) {
+/// arrival so a corrupt message cannot smuggle inconsistent caches. Shared
+/// with the policy and snapshot codecs (`pub(crate)`).
+pub(crate) fn pack_bits(bits: &BitVec, buf: &mut PackBuffer) {
     buf.put_usize(bits.len());
     let ones: Vec<u64> = bits.iter_ones().map(|j| j as u64).collect();
     buf.put_u64s(&ones);
 }
 
-fn unpack_bits(buf: &mut UnpackBuffer<'_>) -> Result<BitVec, CodecError> {
+pub(crate) fn unpack_bits(buf: &mut UnpackBuffer<'_>) -> Result<BitVec, CodecError> {
     let len = buf.get_usize()?;
     let ones = buf.get_u64s()?;
     let mut bits = BitVec::zeros(len);
@@ -139,18 +142,24 @@ pub struct AssignMsg {
     pub budget_evals: u64,
     /// Seed for the slave's stochastic components this round.
     pub seed: u64,
+    /// Incarnation epoch of the addressed worker (bumped by the master on
+    /// every resurrection); the slave echoes it in its report so the master
+    /// can discard reports from superseded incarnations.
+    pub epoch: u64,
     /// Decomposition cell (DTS); `None` for the trajectory modes.
     pub cell: Option<CellMsg>,
 }
 
 impl AssignMsg {
-    /// A plain trajectory assignment (every mode except DTS).
+    /// A plain trajectory assignment (every mode except DTS), at epoch 0
+    /// (the engine stamps the live epoch before sending).
     pub fn trajectory(initial: BitVec, strategy: Strategy, budget_evals: u64, seed: u64) -> Self {
         AssignMsg {
             initial,
             strategy,
             budget_evals,
             seed,
+            epoch: 0,
             cell: None,
         }
     }
@@ -164,6 +173,7 @@ impl Wire for AssignMsg {
         buf.put_usize(self.strategy.nb_local);
         buf.put_u64(self.budget_evals);
         buf.put_u64(self.seed);
+        buf.put_u64(self.epoch);
         match &self.cell {
             None => buf.put_u8(0),
             Some(cell) => {
@@ -184,6 +194,7 @@ impl Wire for AssignMsg {
             },
             budget_evals: buf.get_u64()?,
             seed: buf.get_u64()?,
+            epoch: buf.get_u64()?,
             cell: match buf.get_u8()? {
                 0 => None,
                 _ => Some(CellMsg {
@@ -191,6 +202,32 @@ impl Wire for AssignMsg {
                     forced_out: buf.get_u64s()?,
                 }),
             },
+        })
+    }
+}
+
+/// Master → slave state transplant (tag [`tags::SEED`]): the long-term
+/// [`History`](mkp_tabu::History) memory a reborn or resumed slave
+/// continues from, so recovery preserves the diversification pressure the
+/// worker had built up before the loss or checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeedMsg {
+    /// Residency counts, length `n`.
+    pub history_counts: Vec<u64>,
+    /// Iterations recorded into the counts.
+    pub history_iterations: u64,
+}
+
+impl Wire for SeedMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64s(&self.history_counts);
+        buf.put_u64(self.history_iterations);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(SeedMsg {
+            history_counts: buf.get_u64s()?,
+            history_iterations: buf.get_u64()?,
         })
     }
 }
@@ -211,6 +248,15 @@ pub struct ReportMsg {
     pub moves: u64,
     /// Candidate evaluations spent.
     pub evals: u64,
+    /// Echo of the assignment's incarnation epoch; the master discards
+    /// reports whose epoch does not match the worker's live incarnation.
+    pub epoch: u64,
+    /// The slave's long-term History residency counts after this round
+    /// (the master keeps the latest copy per worker so it can transplant
+    /// the memory into a reborn incarnation or a checkpoint).
+    pub history_counts: Vec<u64>,
+    /// Iterations recorded into `history_counts`.
+    pub history_iterations: u64,
 }
 
 impl ReportMsg {
@@ -251,6 +297,9 @@ impl Wire for ReportMsg {
         buf.put_i64(self.best_value);
         buf.put_u64(self.moves);
         buf.put_u64(self.evals);
+        buf.put_u64(self.epoch);
+        buf.put_u64s(&self.history_counts);
+        buf.put_u64(self.history_iterations);
     }
 
     fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
@@ -267,6 +316,9 @@ impl Wire for ReportMsg {
             best_value: buf.get_i64()?,
             moves: buf.get_u64()?,
             evals: buf.get_u64()?,
+            epoch: buf.get_u64()?,
+            history_counts: buf.get_u64s()?,
+            history_iterations: buf.get_u64()?,
         })
     }
 }
@@ -340,8 +392,40 @@ mod tests {
             best_value: 8,
             moves: 100,
             evals: 5000,
+            epoch: 3,
+            history_counts: vec![2, 100, 1],
+            history_iterations: 101,
         };
         assert_eq!(ReportMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn seed_roundtrip() {
+        let msg = SeedMsg {
+            history_counts: vec![0, 7, u64::MAX],
+            history_iterations: 42,
+        };
+        assert_eq!(SeedMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        let empty = SeedMsg::default();
+        assert_eq!(SeedMsg::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn assign_epoch_survives_the_wire() {
+        let msg = AssignMsg {
+            epoch: 7,
+            ..AssignMsg::trajectory(
+                BitVec::from_bools([true, false]),
+                Strategy {
+                    tabu_tenure: 1,
+                    nb_drop: 1,
+                    nb_local: 1,
+                },
+                1,
+                0,
+            )
+        };
+        assert_eq!(AssignMsg::from_bytes(&msg.to_bytes()).unwrap().epoch, 7);
     }
 
     #[test]
@@ -374,6 +458,9 @@ mod tests {
             best_value: sol.value(),
             moves: 0,
             evals: 0,
+            epoch: 0,
+            history_counts: vec![],
+            history_iterations: 0,
         };
         assert_eq!(msg.best_solution(&inst).value(), sol.value());
     }
@@ -427,13 +514,13 @@ mod tests {
                     gen::usize_in(rng, 0, 20),
                     gen::usize_in(rng, 0, 500)
                 ),
-                (rng.next_u64(), rng.next_u64()),
+                (rng.next_u64(), rng.next_u64(), rng.next_u64()),
                 gen::boolean(rng),
                 gen::vec_of(rng, 0, 8, |r| r.next_u64()),
                 gen::vec_of(rng, 0, 8, |r| r.next_u64())
             ),
             |input| {
-                let (bits, (tenure, drop, local), (budget, seed), has_cell, f_in, f_out) =
+                let (bits, (tenure, drop, local), (budget, seed, epoch), has_cell, f_in, f_out) =
                     input.clone();
                 let msg = AssignMsg {
                     initial: BitVec::from_bools(bits),
@@ -444,6 +531,7 @@ mod tests {
                     },
                     budget_evals: budget,
                     seed,
+                    epoch,
                     cell: has_cell.then_some(CellMsg {
                         forced_in: f_in,
                         forced_out: f_out,
@@ -464,10 +552,12 @@ mod tests {
                     gen::i64_in(rng, -1_000, 1_000_000),
                     gen::i64_in(rng, -1_000, 1_000_000)
                 ),
-                (rng.next_u64(), rng.next_u64())
+                (rng.next_u64(), rng.next_u64(), rng.next_u64()),
+                gen::vec_of(rng, 0, 40, |r| r.next_u64())
             ),
             |input| {
-                let (best, elite, (initial_value, best_value), (moves, evals)) = input.clone();
+                let (best, elite, (initial_value, best_value), (moves, evals, epoch), counts) =
+                    input.clone();
                 let msg = ReportMsg {
                     best: BitVec::from_bools(best),
                     elite: elite.into_iter().map(BitVec::from_bools).collect(),
@@ -475,6 +565,9 @@ mod tests {
                     best_value,
                     moves,
                     evals,
+                    epoch,
+                    history_iterations: counts.iter().fold(0u64, |a, &c| a.wrapping_add(c)),
+                    history_counts: counts,
                 };
                 assert_eq!(ReportMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
             }
@@ -505,6 +598,9 @@ mod tests {
             best_value: 0,
             moves: 0,
             evals: 0,
+            epoch: 0,
+            history_counts: vec![],
+            history_iterations: 0,
         };
         assert_eq!(ReportMsg::from_bytes(&report.to_bytes()).unwrap(), report);
     }
@@ -521,6 +617,9 @@ mod tests {
             best_value: sol.value() + 1,
             moves: 0,
             evals: 0,
+            epoch: 0,
+            history_counts: vec![],
+            history_iterations: 0,
         };
         msg.best_solution(&inst);
     }

@@ -97,6 +97,31 @@ pub struct RunConfig {
     /// next instruction) before declaring the farm broken; a slave
     /// normally answers in milliseconds-to-seconds.
     pub report_timeout: Duration,
+    /// How many times the master may resurrect each lost worker before
+    /// falling back to permanent quarantine. 0 (the default) disables
+    /// resurrection entirely, reproducing the pure degradation behavior.
+    pub max_restarts: usize,
+    /// Base delay before a resurrection attempt; doubles on every further
+    /// attempt for the same worker (exponential backoff, saturating).
+    pub restart_backoff: Duration,
+    /// How long a slave waits for its next instruction before concluding
+    /// the master is gone and exiting. `None` (the default) derives it
+    /// from the report deadline: `4 × report_timeout + 1 s`. When set, it
+    /// must be at least `report_timeout` (see [`RunConfig::validate`]).
+    pub slave_patience: Option<Duration>,
+    /// Periodic checkpointing of the master state; `None` disables it.
+    pub checkpoint: Option<CheckpointCfg>,
+}
+
+/// Where and how often the master checkpoints its state (see
+/// [`crate::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointCfg {
+    /// Snapshot file path (written atomically: tmp + rename).
+    pub path: std::path::PathBuf,
+    /// Write a snapshot after every `every`-th completed round (the final
+    /// round is never checkpointed — the run is over).
+    pub every: usize,
 }
 
 /// Default [`RunConfig::report_timeout`].
@@ -114,7 +139,43 @@ impl RunConfig {
             sgp: SgpConfig::default(),
             relink: false,
             report_timeout: DEFAULT_REPORT_TIMEOUT,
+            max_restarts: 0,
+            restart_backoff: Duration::from_millis(50),
+            slave_patience: None,
+            checkpoint: None,
         }
+    }
+
+    /// The effective slave patience: the explicit setting, or the derived
+    /// default `4 × report_timeout + 1 s` — generous enough that a slave
+    /// never gives up on a master still inside its own deadline window.
+    pub fn patience(&self) -> Duration {
+        self.slave_patience.unwrap_or_else(|| {
+            self.report_timeout
+                .saturating_mul(4)
+                .saturating_add(Duration::from_secs(1))
+        })
+    }
+
+    /// Check the cross-field invariants the engine relies on. Returns a
+    /// human-readable complaint for the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(patience) = self.slave_patience {
+            if patience < self.report_timeout {
+                return Err(format!(
+                    "slave patience ({patience:?}) must be at least the report timeout \
+                     ({:?}): a slave that gives up before the master's deadline window \
+                     closes turns every straggler into a cascade",
+                    self.report_timeout
+                ));
+            }
+        }
+        if let Some(cp) = &self.checkpoint {
+            if cp.every == 0 {
+                return Err("checkpoint interval must be at least 1 round".to_string());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -160,6 +221,30 @@ impl std::fmt::Display for WorkerLoss {
     }
 }
 
+/// One successful mid-run worker resurrection (see DESIGN.md §10): the
+/// master respawned the lost worker's task, re-sent the problem, seeded it
+/// from the B-best elite, and received a valid redo report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resurrection {
+    /// Worker index `k` (0-based; its farm task id is `k + 1`).
+    pub worker: usize,
+    /// Master round in which the worker died and was revived.
+    pub round: usize,
+    /// 1-based attempt number that succeeded (attempt `a` waited
+    /// `restart_backoff × 2^(a−1)` before respawning).
+    pub attempt: usize,
+}
+
+impl std::fmt::Display for Resurrection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {} @ round {}: revived on attempt {}",
+            self.worker, self.round, self.attempt
+        )
+    }
+}
+
 /// Outcome of one mode run.
 #[derive(Debug, Clone)]
 pub struct ModeReport {
@@ -182,10 +267,14 @@ pub struct ModeReport {
     /// non-empty list means the run is *degraded*: the result is still a
     /// feasible best over the surviving workers' reports.
     pub lost_workers: Vec<WorkerLoss>,
+    /// Workers that died and were successfully revived mid-run. A revived
+    /// worker does *not* appear in `lost_workers` — the run is whole.
+    pub resurrections: Vec<Resurrection>,
 }
 
 impl ModeReport {
-    /// Whether the run lost any workers along the way.
+    /// Whether the run lost any workers along the way (resurrected workers
+    /// don't count — they finished the run).
     pub fn is_degraded(&self) -> bool {
         !self.lost_workers.is_empty()
     }
@@ -223,7 +312,42 @@ mod tests {
             sgp: SgpConfig::default(),
             relink: false,
             report_timeout: DEFAULT_REPORT_TIMEOUT,
+            max_restarts: 0,
+            restart_backoff: Duration::from_millis(50),
+            slave_patience: None,
+            checkpoint: None,
         }
+    }
+
+    #[test]
+    fn patience_defaults_to_the_derived_formula() {
+        let mut cfg = small_cfg(1);
+        cfg.report_timeout = Duration::from_secs(2);
+        assert_eq!(cfg.patience(), Duration::from_secs(9));
+        cfg.slave_patience = Some(Duration::from_secs(3));
+        assert_eq!(cfg.patience(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn validate_rejects_patience_below_the_report_deadline() {
+        let mut cfg = small_cfg(1);
+        assert!(cfg.validate().is_ok());
+        cfg.report_timeout = Duration::from_secs(10);
+        cfg.slave_patience = Some(Duration::from_secs(5));
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("patience"), "{err}");
+        cfg.slave_patience = Some(Duration::from_secs(10));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_checkpoint_interval() {
+        let mut cfg = small_cfg(1);
+        cfg.checkpoint = Some(CheckpointCfg {
+            path: std::path::PathBuf::from("/tmp/x.snap"),
+            every: 0,
+        });
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -29,6 +29,11 @@ impl Score {
         self.0
     }
 
+    /// Rebuild a score from a checkpointed [`value`](Score::value).
+    pub fn from_value(value: u32) -> Self {
+        Score(value)
+    }
+
     /// Apply one round's outcome; returns `true` when the score hit zero and
     /// the strategy must be regenerated (the score resets to the initial
     /// value in that case).

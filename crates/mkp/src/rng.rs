@@ -59,6 +59,19 @@ impl Xoshiro256 {
         Xoshiro256 { s }
     }
 
+    /// The raw 256-bit state, for checkpointing a generator mid-stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`state`](Xoshiro256::state) snapshot,
+    /// continuing its stream exactly where the snapshot was taken. The
+    /// all-zero state is a fixed point of the transition and is rejected.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "all-zero xoshiro state is degenerate");
+        Xoshiro256 { s }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -240,11 +240,31 @@ pub trait Wire: Sized {
     }
 }
 
+/// FNV-1a 64-bit hash of a byte string. Used as the integrity checksum of
+/// on-disk snapshot frames and as an instance fingerprint: cheap, stable
+/// across platforms, and dependency-free — not cryptographic.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mkp::prop_check;
     use mkp::testkit::gen;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors (64-bit).
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
 
     #[test]
     fn scalar_roundtrips() {

@@ -92,6 +92,15 @@ pub trait Collectives {
     /// from any other unexpected task is an [`UnknownSender`] error, a
     /// wrong tag or duplicate is still an error.
     ///
+    /// Quarantine is per-call, not per-farm: a sender ignored in one
+    /// gather is re-admitted simply by listing it in `from` again later,
+    /// which is how a resurrected worker rejoins after a respawn. Note
+    /// that slot identity is the task id only — this collective cannot
+    /// tell a reborn incarnation from a leftover message of the dead one.
+    /// Callers that respawn mid-run (the engine's supervised round loop)
+    /// must tag payloads with an epoch and filter themselves rather than
+    /// rely on `ignore`.
+    ///
     /// [`UnknownSender`]: CollectiveError::UnknownSender
     fn gather_partial(
         &self,

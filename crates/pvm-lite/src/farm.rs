@@ -12,11 +12,12 @@
 //! and tasks `1..P+1` are the slaves — the library itself imposes no roles.
 
 use crate::barrier::Barrier;
-use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
 use crate::codec::{CodecError, Wire};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Task address inside a farm (0-based, dense).
@@ -114,6 +115,11 @@ pub enum FaultAction {
     /// Panic the task (a caught, task-level death: the pool thread
     /// survives, the task's peers observe a lost worker).
     Kill,
+    /// Like [`Kill`](FaultAction::Kill), but permanent: every incarnation
+    /// created by [`TaskCtx::respawn`] is re-armed to die on its first
+    /// delivery, so resurrection can never succeed. Exists to exercise
+    /// restart-budget exhaustion.
+    KillRepeatedly,
     /// Sleep for the given duration before delivering the message,
     /// turning the task into a straggler.
     Delay(Duration),
@@ -153,6 +159,16 @@ impl FaultPlan {
             action: FaultAction::Delay(delay),
         }
     }
+
+    /// Kill `tid` on its `on_receive`-th delivery, and kill every
+    /// respawned incarnation on its first.
+    pub fn kill_repeatedly(tid: TaskId, on_receive: usize) -> Self {
+        FaultPlan {
+            tid,
+            on_receive,
+            action: FaultAction::KillRepeatedly,
+        }
+    }
 }
 
 /// Installed fault state on a task's context (interior counter: the recv
@@ -163,13 +179,18 @@ struct FaultState {
     received: Cell<usize>,
 }
 
-/// Per-task handle to the farm: identity, mailbox and barrier.
+/// Per-task handle to the farm: identity, mailbox, barrier, and the run's
+/// shared supervision state (which lets a master task resurrect dead peers
+/// mid-run via [`respawn`](TaskCtx::respawn)).
 pub struct TaskCtx {
     tid: TaskId,
-    senders: Vec<Sender<Envelope>>,
+    /// This task's view of the address table. `RefCell` so a respawn can
+    /// repoint the caller's own entry at the reborn incarnation's mailbox.
+    senders: RefCell<Vec<Sender<Envelope>>>,
     inbox: Receiver<Envelope>,
     barrier: Barrier,
     fault: Option<FaultState>,
+    supervision: Arc<Supervision>,
 }
 
 impl TaskCtx {
@@ -180,13 +201,14 @@ impl TaskCtx {
 
     /// Number of tasks in the farm.
     pub fn ntasks(&self) -> usize {
-        self.senders.len()
+        self.senders.borrow().len()
     }
 
     /// Send packed bytes to task `to`. Sending to oneself is allowed.
     pub fn send_bytes(&self, to: TaskId, tag: u32, data: Vec<u8>) -> Result<(), CommError> {
-        assert!(to < self.senders.len(), "task id {to} out of range");
-        self.senders[to]
+        let senders = self.senders.borrow();
+        assert!(to < senders.len(), "task id {to} out of range");
+        senders[to]
             .send(Envelope {
                 from: self.tid,
                 tag,
@@ -235,7 +257,7 @@ impl TaskCtx {
             fault.received.set(n);
             if n == fault.on_receive {
                 match fault.action {
-                    FaultAction::Kill => {
+                    FaultAction::Kill | FaultAction::KillRepeatedly => {
                         panic!("fault injection: task {} killed on receive {n}", self.tid)
                     }
                     FaultAction::Delay(delay) => std::thread::sleep(delay),
@@ -249,6 +271,123 @@ impl TaskCtx {
     /// leader.
     pub fn barrier(&self) -> bool {
         self.barrier.wait()
+    }
+
+    /// Resurrect task `tid` mid-run: a fresh incarnation of the task — new
+    /// mailbox, fresh context, running the same task closure — is
+    /// dispatched onto the pool, and the canonical address table is
+    /// updated so this caller's subsequent sends to `tid` reach the reborn
+    /// incarnation. A superseded incarnation still alive (a straggler)
+    /// keeps running against its old mailbox until it exits on its own or
+    /// is nudged by [`notify_orphans`](TaskCtx::notify_orphans); only this
+    /// caller's sender table is refreshed — other live tasks keep their
+    /// stale entries, which fits a master/slave protocol where only the
+    /// master addresses workers. The reborn incarnation shares the run's
+    /// barrier; protocols that rendezvous on it must not respawn.
+    ///
+    /// Returns `false` if the run is already retiring (no new incarnation
+    /// can be admitted).
+    pub fn respawn(&self, tid: TaskId) -> bool {
+        assert!(tid != self.tid, "a task cannot respawn itself");
+        let mut inner = self.supervision.lock();
+        assert!(tid < inner.senders.len(), "task id {tid} out of range");
+        if inner.launch.is_none() {
+            return false;
+        }
+        let (tx, rx) = unbounded::<Envelope>();
+        let old = std::mem::replace(&mut inner.senders[tid], tx);
+        inner.orphans.push(old);
+        let fault = inner
+            .fault_plan
+            .filter(|p| p.tid == tid && p.action == FaultAction::KillRepeatedly)
+            .map(|p| FaultState {
+                on_receive: 1, // re-armed: the reborn victim dies on its first delivery
+                action: p.action,
+                received: Cell::new(0),
+            });
+        let ctx = TaskCtx {
+            tid,
+            senders: RefCell::new(inner.senders.clone()),
+            inbox: rx,
+            barrier: self.barrier.clone(),
+            fault,
+            supervision: Arc::clone(&self.supervision),
+        };
+        let job = (inner.launch.as_ref().expect("checked above"))(tid, ctx);
+        inner.extra_dispatched += 1;
+        // Prefer the task's pool thread (idle again after a caught panic);
+        // if it is truly dead (its injector disconnected), rebuild it with
+        // a fallback thread the pool adopts when the run ends.
+        let injector = inner
+            .replacements
+            .iter()
+            .rev()
+            .find(|(t, _, _)| *t == tid)
+            .map(|(_, tx, _)| tx)
+            .unwrap_or(&inner.injectors[tid]);
+        if let Err(SendError(job)) = injector.send(job) {
+            let (tx, handle) = spawn_worker(tid);
+            assert!(tx.send(job).is_ok(), "fresh worker rejected its job");
+            inner.replacements.push((tid, tx, handle));
+        }
+        // Refresh the caller's own address table.
+        self.senders.borrow_mut()[tid] = inner.senders[tid].clone();
+        true
+    }
+
+    /// Nudge every superseded incarnation with an empty message of `tag`
+    /// (typically the protocol's shutdown tag) so orphans blocked in a
+    /// receive can exit promptly instead of waiting out a timeout.
+    /// Incarnations already gone are skipped silently.
+    pub fn notify_orphans(&self, tag: u32) {
+        let inner = self.supervision.lock();
+        for tx in &inner.orphans {
+            let _ = tx.send(Envelope {
+                from: self.tid,
+                tag,
+                data: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Factory minting the job for one task incarnation, type-erased over the
+/// run's task closure and result type. Retired (`None`) once the run's
+/// collection loop has ended, after which no incarnation can be admitted.
+type Launch = Box<dyn Fn(TaskId, TaskCtx) -> Job + Send>;
+
+/// Mid-run supervision state shared by every task context of one run.
+struct SupervisionInner {
+    /// Canonical address table: index `tid` always points at the mailbox
+    /// of the *live* incarnation of task `tid`.
+    senders: Vec<Sender<Envelope>>,
+    /// Job injectors of the pool threads, in task order.
+    injectors: Vec<Sender<Job>>,
+    /// Job factory for reborn incarnations; `None` once the run retires.
+    launch: Option<Launch>,
+    /// Jobs dispatched beyond the initial one-per-task; each reports a
+    /// completion of its own, growing the collection target.
+    extra_dispatched: usize,
+    /// Fallback threads spawned because a pool thread was found dead
+    /// mid-run; adopted into the pool when the run ends.
+    replacements: Vec<(TaskId, Sender<Job>, std::thread::JoinHandle<()>)>,
+    /// Mailbox senders of superseded incarnations, kept so
+    /// [`TaskCtx::notify_orphans`] can unblock them at shutdown.
+    orphans: Vec<Sender<Envelope>>,
+    /// The run's fault plan; re-arms [`FaultAction::KillRepeatedly`] on
+    /// every respawn of its victim.
+    fault_plan: Option<FaultPlan>,
+}
+
+/// Shared wrapper around [`SupervisionInner`] (poison-recovering lock, like
+/// every lock in this crate).
+struct Supervision {
+    inner: Mutex<SupervisionInner>,
+}
+
+impl Supervision {
+    fn lock(&self) -> MutexGuard<'_, SupervisionInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -430,11 +569,62 @@ impl WorkerPool {
         let barrier = Barrier::new(ntasks);
         let (done_tx, done_rx) = unbounded::<(TaskId, Result<R, String>)>();
 
+        // The launch closure turns a (tid, ctx) pair into a dispatchable
+        // job; stashing it in the shared supervision state is what lets a
+        // running task mint *new* incarnations mid-run (TaskCtx::respawn).
+        let launch: Box<dyn Fn(TaskId, TaskCtx) -> Job + Send + '_> = {
+            let f = &f;
+            let done_tx = done_tx.clone();
+            Box::new(move |tid, ctx| {
+                let done = done_tx.clone();
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| f(ctx)))
+                        .map_err(|payload| panic_payload_message(payload.as_ref()));
+                    // The receiver outlives every job; a failed send can
+                    // only mean `run_collect` already returned, which the
+                    // protocol forbids.
+                    let _ = done.send((tid, out));
+                });
+                // SAFETY: jobs borrow `f` and the done sender from the
+                // `run_collect` stack frame. `run_collect` blocks below
+                // until every dispatched job — initial and respawned alike
+                // (the collection target counts extra_dispatched) — has
+                // either sent its completion (panics are caught) or is
+                // provably dead (its `done` sender dropped with the dying
+                // thread, disconnecting `done_rx`), so no borrow outlives
+                // that frame. Workers only terminate when the pool is
+                // dropped, which requires `&mut self` exclusivity to have
+                // ended — or by a non-task unwind, which drops the queued
+                // job and its borrows on that dead thread before `done_rx`
+                // can disconnect.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+            })
+        };
+        // SAFETY: the same frame-outliving argument covers the factory
+        // itself — it is retired (dropped from the supervision state)
+        // before `run_collect` returns, so erasing its borrow of `f` and
+        // the done sender to 'static never lets them dangle.
+        let launch: Launch = unsafe {
+            std::mem::transmute::<Box<dyn Fn(TaskId, TaskCtx) -> Job + Send + '_>, Launch>(launch)
+        };
+
+        let supervision = Arc::new(Supervision {
+            inner: Mutex::new(SupervisionInner {
+                senders: senders.clone(),
+                injectors: self.injectors.clone(),
+                launch: Some(launch),
+                extra_dispatched: 0,
+                replacements: Vec::new(),
+                orphans: Vec::new(),
+                fault_plan,
+            }),
+        });
+
         let mut dispatched = 0usize;
         for (tid, inbox) in receivers.into_iter().enumerate() {
             let ctx = TaskCtx {
                 tid,
-                senders: senders.clone(),
+                senders: RefCell::new(senders.clone()),
                 inbox,
                 barrier: barrier.clone(),
                 fault: fault_plan
@@ -444,48 +634,60 @@ impl WorkerPool {
                         action: plan.action,
                         received: Cell::new(0),
                     }),
+                supervision: Arc::clone(&supervision),
             };
-            let f = &f;
-            let done = done_tx.clone();
-            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let out = catch_unwind(AssertUnwindSafe(|| f(ctx)))
-                    .map_err(|payload| panic_payload_message(payload.as_ref()));
-                // The receiver outlives every job; a failed send can only
-                // mean `run_collect` already returned, which the protocol
-                // forbids.
-                let _ = done.send((tid, out));
-            });
-            // SAFETY: the closure borrows `f` and `done` from this stack
-            // frame. `run_collect` blocks below until every dispatched job
-            // has either sent its completion (panics are caught) or is
-            // provably dead (its `done` sender dropped with the dying
-            // thread, disconnecting `done_rx`), so no borrow outlives this
-            // frame. Workers only terminate when the pool is dropped, which
-            // requires `&mut self` exclusivity to have ended — or by a
-            // non-task unwind, which drops the queued job and its borrows
-            // on that dead thread before `done_rx` can disconnect.
-            let job: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            let job = {
+                let inner = supervision.lock();
+                (inner.launch.as_ref().expect("installed above"))(tid, ctx)
+            };
             if self.injectors[tid].send(job).is_ok() {
                 dispatched += 1;
             }
         }
-        drop(senders); // tasks hold the only mailbox senders now
-        drop(done_tx);
+        drop(senders); // tasks + supervision hold the only mailbox senders now
+        drop(done_tx); // jobs + the launch factory hold the remaining clones
 
         let mut results: Vec<Option<TaskOutcome<R>>> = (0..ntasks).map(|_| None).collect();
-        for _ in 0..dispatched {
+        let mut completed = 0usize;
+        // The target is re-read every round: a respawn performed by a
+        // still-running task grows it before that task's own completion
+        // can arrive, so the loop never exits with a reborn incarnation
+        // outstanding.
+        loop {
+            let target = dispatched + supervision.lock().extra_dispatched;
+            if completed >= target {
+                break;
+            }
             // A disconnect means a worker thread died with its job still
             // queued (its `done` sender is gone); the unfilled slots below
             // record that instead of wedging the caller.
             let Ok((tid, out)) = done_rx.recv() else {
                 break;
             };
+            completed += 1;
+            // Last write wins: a reborn incarnation's completion (always
+            // later on the FIFO done channel) supersedes the record of the
+            // incarnation it replaced.
             results[tid] = Some(match out {
                 Ok(r) => TaskOutcome::Done(r),
                 Err(message) => TaskOutcome::Panicked(message),
             });
         }
+
+        // Retire the run: drop the launch factory (and its borrows of this
+        // frame) and adopt fallback threads spawned mid-run into the pool.
+        let replacements = {
+            let mut inner = supervision.lock();
+            inner.launch = None;
+            std::mem::take(&mut inner.replacements)
+        };
+        for (tid, tx, handle) in replacements {
+            self.injectors[tid] = tx;
+            let old = std::mem::replace(&mut self.handles[tid], handle);
+            let _ = old.join(); // dead — that is why the fallback exists
+            self.respawned += 1;
+        }
+
         results
             .into_iter()
             .map(|r| r.unwrap_or_else(|| TaskOutcome::Panicked("pool worker thread died".into())))
@@ -853,6 +1055,109 @@ mod tests {
         assert!(matches!(outcomes[0], TaskOutcome::Done(0)));
         assert!(matches!(outcomes[1], TaskOutcome::Panicked(_)));
         assert!(matches!(outcomes[2], TaskOutcome::Done(20)));
+    }
+
+    #[test]
+    fn respawn_revives_a_killed_task_mid_run() {
+        let mut pool = WorkerPool::new(2);
+        pool.set_fault_plan(FaultPlan::kill(1, 1));
+        let outcomes = pool.run_collect(|ctx| {
+            if ctx.tid() == 0 {
+                // The first incarnation of task 1 dies inside this delivery.
+                ctx.send(1, 1, &Num(21)).unwrap();
+                assert!(matches!(
+                    ctx.recv_timeout(Duration::from_millis(300)),
+                    Err(CommError::Timeout)
+                ));
+                // The second incarnation is fault-free and answers.
+                assert!(ctx.respawn(1));
+                ctx.send(1, 1, &Num(21)).unwrap();
+                ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0
+            } else {
+                let n = ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0;
+                ctx.send(0, 2, &Num(n * 2)).unwrap();
+                n
+            }
+        });
+        match &outcomes[0] {
+            TaskOutcome::Done(n) => assert_eq!(*n, 42),
+            other => panic!("master failed: {other:?}"),
+        }
+        // The reborn incarnation's completion supersedes the panic record.
+        match &outcomes[1] {
+            TaskOutcome::Done(n) => assert_eq!(*n, 21),
+            other => panic!("reborn task not recorded: {other:?}"),
+        }
+        // The panic was task-level: no thread died, none was rebuilt.
+        assert_eq!(pool.respawned_threads(), 0);
+    }
+
+    #[test]
+    fn kill_repeatedly_downs_every_incarnation() {
+        let mut pool = WorkerPool::new(2);
+        pool.set_fault_plan(FaultPlan::kill_repeatedly(1, 1));
+        let outcomes = pool.run_collect(|ctx| {
+            if ctx.tid() == 0 {
+                ctx.send(1, 1, &Num(1)).unwrap();
+                for _ in 0..2 {
+                    assert!(matches!(
+                        ctx.recv_timeout(Duration::from_millis(200)),
+                        Err(CommError::Timeout)
+                    ));
+                    assert!(ctx.respawn(1));
+                    ctx.send(1, 1, &Num(1)).unwrap();
+                }
+                assert!(matches!(
+                    ctx.recv_timeout(Duration::from_millis(200)),
+                    Err(CommError::Timeout)
+                ));
+                0
+            } else {
+                // Every incarnation dies inside its first delivery.
+                let n = ctx.recv_timeout(T).unwrap().decode::<Num>().unwrap().0;
+                ctx.send(0, 2, &Num(n)).unwrap();
+                n
+            }
+        });
+        assert!(matches!(outcomes[0], TaskOutcome::Done(0)));
+        match &outcomes[1] {
+            TaskOutcome::Panicked(msg) => assert!(msg.contains("fault injection"), "{msg:?}"),
+            other => panic!("kill_repeatedly let an incarnation live: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn notify_orphans_wakes_superseded_incarnations() {
+        let mut pool = WorkerPool::new(2);
+        let outcomes = pool.run_collect(|ctx| {
+            if ctx.tid() == 0 {
+                ctx.send(1, 1, &Num(1)).unwrap(); // first incarnation consumes this
+                ctx.recv_timeout(T).unwrap(); // ack: it is now parked in recv()
+                assert!(ctx.respawn(1)); // supersede it while it still lives
+                ctx.send(1, 9, &Num(0)).unwrap(); // reborn incarnation exits on tag 9
+                ctx.notify_orphans(9); // ...and so must the orphan
+                0
+            } else {
+                let mut seen = 0;
+                loop {
+                    // Blocking receive on purpose: without the nudge the
+                    // orphan would wedge the run forever.
+                    let env = ctx.recv().unwrap();
+                    if env.tag == 9 {
+                        return seen;
+                    }
+                    seen += 1;
+                    let _ = ctx.send(0, 2, &Num(seen));
+                }
+            }
+        });
+        assert!(matches!(outcomes[0], TaskOutcome::Done(0)));
+        // Both incarnations exited cleanly (3 completions were collected:
+        // 2 dispatched + 1 respawned); whichever lands last wins the slot.
+        match outcomes[1] {
+            TaskOutcome::Done(n) => assert!(n <= 1),
+            ref other => panic!("an incarnation failed: {other:?}"),
+        }
     }
 
     #[test]

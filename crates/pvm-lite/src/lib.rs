@@ -46,7 +46,7 @@ pub mod collectives;
 pub mod farm;
 
 pub use barrier::Barrier;
-pub use codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
+pub use codec::{fnv1a_64, CodecError, PackBuffer, UnpackBuffer, Wire};
 pub use collectives::{CollectiveError, Collectives, PartialGather};
 pub use farm::{
     run_farm, CommError, Envelope, FarmError, FaultAction, FaultPlan, TaskCtx, TaskId, TaskOutcome,

@@ -35,6 +35,17 @@ impl History {
         self.iterations
     }
 
+    /// The raw residency counts, for transport and checkpointing.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild a memory from transported parts (the inverse of
+    /// [`counts`](History::counts) + [`iterations`](History::iterations)).
+    pub fn from_parts(counts: Vec<u64>, iterations: u64) -> Self {
+        History { counts, iterations }
+    }
+
     /// Raw residency count of component `j`.
     pub fn count(&self, j: usize) -> u64 {
         self.counts[j]

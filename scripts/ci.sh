@@ -63,6 +63,53 @@ for mode in cts2 ats; do
     || { echo "error: mode $mode fault smoke did not report the loss" >&2; exit 1; }
 done
 
+step "resurrection smoke (restart budget heals the kill, exit 0)"
+# Same kill as above, but with a restart budget: the master must resurrect
+# the worker, finish with zero losses and exit clean.
+for mode in cts2 ats; do
+  out="$(cargo run --release --offline --locked -p mkp-cli -- \
+    solve "$tmp_mkp" --mode "$mode" --p 4 --rounds 3 --budget 60000 --seed 1 \
+    --timeout 2 --fault kill@1:1 --restarts 2 --backoff 10 2>&1)" \
+    || { echo "error: mode $mode resurrection smoke exited non-zero" >&2; \
+         echo "$out" >&2; exit 1; }
+  echo "$out" | grep -q '^resurrections: ' \
+    || { echo "error: mode $mode resurrection smoke never revived" >&2; exit 1; }
+  if echo "$out" | grep -q '^lost workers'; then
+    echo "error: mode $mode resurrection smoke still lost workers" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+done
+
+step "checkpoint/resume smoke (resume outlives a post-checkpoint kill)"
+# Reference run, uninterrupted. Then the same run checkpointed at round 2
+# and killed at round 2 — after the snapshot is on disk — so the original
+# degrades (exit 2) while the file still holds the healthy state. Resuming
+# it must reproduce the reference objective exactly.
+tmp_snap="$(mktemp /tmp/ci-snap-XXXXXX)"
+trap 'rm -f "$tmp_mkp" "$tmp_snap"' EXIT
+full="$(cargo run --release --offline --locked -p mkp-cli -- \
+  solve "$tmp_mkp" --mode cts2 --p 4 --rounds 4 --budget 60000 --seed 1 \
+  | grep '^best value')"
+set +e
+cargo run --release --offline --locked -p mkp-cli -- \
+  solve "$tmp_mkp" --mode cts2 --p 4 --rounds 4 --budget 60000 --seed 1 \
+  --timeout 2 --fault kill@1:2 \
+  --checkpoint "$tmp_snap" --checkpoint-every 2 > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 2 ]; then
+  echo "error: checkpointed faulty run exited $status (want 2)" >&2
+  exit 1
+fi
+resumed="$(cargo run --release --offline --locked -p mkp-cli -- \
+  solve "$tmp_mkp" --mode cts2 --p 4 --rounds 4 --budget 60000 --seed 1 \
+  --resume "$tmp_snap" | grep '^best value')"
+if [ "$full" != "$resumed" ]; then
+  echo "error: resume diverged: full='$full' resumed='$resumed'" >&2
+  exit 1
+fi
+
 step "no versioned registry dependencies"
 if grep -rn '^[a-z].*=.*"[0-9]' crates/*/Cargo.toml Cargo.toml; then
   echo "error: versioned registry dependency found (policy: DESIGN.md §7)" >&2

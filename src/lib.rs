@@ -42,7 +42,8 @@ pub mod prelude {
     pub use mkp_tabu::search::{run as run_tabu, Budget, TsConfig};
     pub use mkp_tabu::{Strategy, StrategyBounds};
     pub use parallel_tabu::{
-        fault_at_round, run_mode, CoopPolicy, Delivery, Engine, EngineError, FaultAction,
-        FaultPlan, IspConfig, LossCause, Mode, ModeReport, RunConfig, SgpConfig, WorkerLoss,
+        fault_at_round, run_mode, CheckpointCfg, CoopPolicy, Delivery, Engine, EngineError,
+        FaultAction, FaultPlan, IspConfig, LossCause, Mode, ModeReport, Resurrection, RunConfig,
+        SgpConfig, Snapshot, SnapshotError, WorkerLoss,
     };
 }

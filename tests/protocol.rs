@@ -98,6 +98,9 @@ fn full_master_slave_exchange_over_the_farm() {
                     best_value: report.best.value(),
                     moves: report.stats.moves,
                     evals: report.stats.candidate_evals,
+                    epoch: 0,
+                    history_counts: vec![],
+                    history_iterations: 0,
                 },
             )
             .unwrap();
@@ -202,6 +205,9 @@ fn corrupted_report_is_rejected_not_trusted() {
         best_value: sol.value() + 100, // lie
         moves: 1,
         evals: 1,
+        epoch: 0,
+        history_counts: vec![],
+        history_iterations: 0,
     };
     let decoded = ReportMsg::from_bytes(&msg.to_bytes()).unwrap();
     let verified = std::panic::catch_unwind(|| decoded.best_solution(&inst));
