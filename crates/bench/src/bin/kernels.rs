@@ -275,6 +275,26 @@ fn bench_restriction(h: &mut Harness) {
     });
 }
 
+fn bench_telemetry(h: &mut Harness) {
+    use parallel_tabu::{Counter, EventKind, SpanKind, Telemetry};
+    // The three telemetry hot paths as seen by a slave's inner loop: a
+    // counter bump, a timed span open/close, and an event-ring push. Their
+    // cost bounds the per-iteration overhead the engine can possibly add.
+    let tel = Telemetry::new(4);
+    h.bench("telemetry counter add", || {
+        tel.add(1, Counter::MovesExecuted, 1);
+        black_box(tel.counter(1, Counter::MovesExecuted))
+    });
+    h.bench("telemetry span open/close", || {
+        black_box(tel.span(1, SpanKind::TsInner));
+        0u64
+    });
+    h.bench("telemetry event push", || {
+        tel.event(1, EventKind::NewIncumbent, 0, 1);
+        0u64
+    });
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_moves(&mut h);
@@ -289,5 +309,6 @@ fn main() {
     bench_rem(&mut h);
     bench_dynamic_greedy(&mut h);
     bench_restriction(&mut h);
+    bench_telemetry(&mut h);
     h.finish();
 }

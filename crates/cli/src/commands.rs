@@ -66,7 +66,9 @@ USAGE:
                [--restarts N] [--backoff MS]
                [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
                [--fault kill@K:R|kill-repeat@K:R|delay@K:R:MS]
+               [--metrics FILE] [--trace FILE]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
+  mkp validate-metrics <metrics.json>
   mkp help
 
 Fault specs number workers from 1 (worker 0 is the master). With
@@ -80,6 +82,12 @@ run from a clean one.
 --checkpoint-every K rounds (synchronous modes only); --resume FILE
 continues such a snapshot — with the same instance and flags — to a result
 bit-identical to the uninterrupted run.
+
+--metrics FILE dumps the run's telemetry counters as deterministic JSON
+(byte-identical across repeats of the same seeded run); --trace FILE dumps
+span timings and the causally ordered event trace as JSON lines. Both are
+written even when the solve exits degraded. `mkp validate-metrics` checks
+a metrics file against the schema and exits non-zero on any violation.
 ";
 
 fn read_instance(path: &str) -> Result<Instance, CliError> {
@@ -306,6 +314,16 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         }
     }
     .map_err(|e| CliError::Engine(e.to_string()))?;
+    // Telemetry dumps happen before the degraded/clean split so a run that
+    // lost workers still leaves its metrics behind for post-mortems.
+    if let Some(path) = args.get_str("metrics") {
+        std::fs::write(path, report.telemetry.to_metrics_json())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    }
+    if let Some(path) = args.get_str("trace") {
+        std::fs::write(path, report.telemetry.to_trace_jsonl())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    }
     let mut out = String::new();
     let _ = writeln!(out, "mode       : {}", report.mode.label());
     let _ = writeln!(out, "best value : {}", report.best.value());
@@ -391,6 +409,24 @@ pub fn cmd_exact(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `mkp validate-metrics`: schema-check a `--metrics` dump.
+pub fn cmd_validate_metrics(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "metrics.json")?;
+    if args.positional_count() > 1 {
+        return Err(CliError::Invalid(
+            "validate-metrics takes exactly one metrics file".into(),
+        ));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let doc = parallel_tabu::validate_metrics_json(&text)
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    Ok(format!(
+        "ok: {} tasks, schema {}",
+        doc.workers.len(),
+        doc.schema
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +457,8 @@ mod tests {
         "checkpoint",
         "checkpoint-every",
         "resume",
+        "metrics",
+        "trace",
     ];
     const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
 
@@ -701,5 +739,49 @@ mod tests {
             .unwrap();
             assert!(out.contains("best value"), "mode {mode} failed");
         }
+    }
+
+    #[test]
+    fn solve_writes_identical_metrics_across_repeats_and_they_validate() {
+        let path = tmp("metrics.mkp");
+        cmd_generate(&args(
+            &[&path, "--n", "20", "--m", "2", "--class", "uniform"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        let metrics = tmp("metrics.json");
+        let trace = tmp("trace.jsonl");
+        let solve_args = [
+            path.as_str(),
+            "--mode",
+            "cts1",
+            "--budget",
+            "50000",
+            "--rounds",
+            "2",
+            "--p",
+            "2",
+            "--metrics",
+            &metrics,
+            "--trace",
+            &trace,
+        ];
+        cmd_solve(&args(&solve_args, SOLVE_FLAGS)).unwrap();
+        let first = std::fs::read(&metrics).unwrap();
+        assert!(!std::fs::read_to_string(&trace).unwrap().is_empty());
+        let ok = cmd_validate_metrics(&args(&[&metrics], &[])).unwrap();
+        assert!(ok.contains("ok: 3 tasks"), "{ok}");
+
+        cmd_solve(&args(&solve_args, SOLVE_FLAGS)).unwrap();
+        let second = std::fs::read(&metrics).unwrap();
+        assert_eq!(first, second, "metrics JSON must be byte-identical");
+    }
+
+    #[test]
+    fn validate_metrics_rejects_malformed_files() {
+        let path = tmp("bad-metrics.json");
+        std::fs::write(&path, "{\"schema\": \"wrong/v9\"}").unwrap();
+        let err = cmd_validate_metrics(&args(&[&path], &[])).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
     }
 }

@@ -11,7 +11,7 @@ mod args;
 mod commands;
 
 use args::Args;
-use commands::{cmd_exact, cmd_generate, cmd_solve, cmd_stats, USAGE};
+use commands::{cmd_exact, cmd_generate, cmd_solve, cmd_stats, cmd_validate_metrics, USAGE};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -46,6 +46,8 @@ fn main() -> ExitCode {
                 "checkpoint",
                 "checkpoint-every",
                 "resume",
+                "metrics",
+                "trace",
             ],
         )
         .map_err(Into::into)
@@ -53,6 +55,9 @@ fn main() -> ExitCode {
         "exact" => Args::parse(rest, &["nodes", "workers"])
             .map_err(Into::into)
             .and_then(|a| cmd_exact(&a)),
+        "validate-metrics" => Args::parse(rest, &[])
+            .map_err(Into::into)
+            .and_then(|a| cmd_validate_metrics(&a)),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -44,10 +44,12 @@
 use crate::messages::{tags, AssignMsg, ProblemMsg, ReportMsg, SeedMsg};
 use crate::runner::{LossCause, Mode, ModeReport, Resurrection, RunConfig, WorkerLoss};
 use crate::snapshot::{config_digest, instance_fingerprint, Snapshot};
+use crate::telemetry::{Counter, EventKind, SpanKind, Telemetry, TelemetrySnapshot};
 use mkp::eval::Ratios;
 use mkp::greedy::dynamic_randomized_greedy;
 use mkp::restrict::Restriction;
 use mkp::{Instance, Solution, Xoshiro256};
+use mkp_tabu::moves::MoveStats;
 use mkp_tabu::{search, Budget, TsConfig};
 use pvm_lite::{Collectives, CommError, FaultAction, FaultPlan, TaskCtx, TaskOutcome, WorkerPool};
 use std::collections::BTreeMap;
@@ -245,6 +247,7 @@ pub struct Engine {
     pool: WorkerPool,
     spawned_threads: usize,
     fault_plan: Option<FaultPlan>,
+    telemetry: bool,
 }
 
 impl Engine {
@@ -258,7 +261,15 @@ impl Engine {
             pool,
             spawned_threads,
             fault_plan: None,
+            telemetry: true,
         }
+    }
+
+    /// Toggle telemetry recording for subsequent runs (on by default).
+    /// Disabled runs return an empty [`ModeReport::telemetry`]; this is
+    /// the baseline for overhead measurement.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
     }
 
     /// Pool size (master + workers).
@@ -405,6 +416,16 @@ impl Engine {
             self.pool.set_fault_plan(plan);
         }
 
+        // One shared telemetry registry per run (slot per pool task); the
+        // master and slave closures record into it directly — pvm-lite
+        // runs every task in this process, so observability needs no wire
+        // protocol (see crate::telemetry).
+        let tel = if self.telemetry {
+            Telemetry::new(self.pool.ntasks())
+        } else {
+            Telemetry::disabled(self.pool.ntasks())
+        };
+
         // Only task 0 touches the policy (and consumes the resume
         // snapshot), but the job closure is shared by every pool thread;
         // the mutexes document that to the compiler.
@@ -414,12 +435,23 @@ impl Engine {
             if ctx.tid() == 0 {
                 let mut policy = policy.lock().unwrap_or_else(PoisonError::into_inner);
                 let resume = resume.lock().unwrap_or_else(PoisonError::into_inner).take();
-                TaskOut::Master(master_loop(ctx, inst, &mut **policy, cfg, resume).map(Box::new))
+                TaskOut::Master(
+                    master_loop(ctx, inst, &mut **policy, cfg, resume, &tel).map(Box::new),
+                )
             } else {
-                slave_loop(ctx, cfg);
+                slave_loop(ctx, cfg, &tel);
                 TaskOut::Slave
             }
         });
+
+        // Fold the transport's per-task comm totals in after the pool
+        // joined (the join is the synchronization point for the relaxed
+        // counter atomics).
+        for (tid, comm) in self.pool.last_comm_stats().iter().enumerate() {
+            tel.add(tid, Counter::MsgsSent, comm.sent);
+            tel.add(tid, Counter::MsgsReceived, comm.received);
+            tel.add(tid, Counter::BytesSent, comm.bytes_sent);
+        }
 
         // The master only observes *silence* from a lost slave (a missed
         // deadline, a dead mailbox); the pool knows whether that silence
@@ -452,6 +484,7 @@ impl Engine {
         match master_out {
             Some(Ok(mut report)) => {
                 enrich(&mut report.lost_workers);
+                report.telemetry = tel.snapshot();
                 Ok(*report)
             }
             Some(Err(EngineError::AllWorkersLost { mut losses })) => {
@@ -518,7 +551,7 @@ impl Workers {
     /// Quarantine worker `k` (idempotent). Returns whether any worker is
     /// still alive — `false` is the caller's cue to give up with
     /// [`EngineError::AllWorkersLost`].
-    fn mark_lost(&mut self, k: usize, round: usize, cause: LossCause) -> bool {
+    fn mark_lost(&mut self, k: usize, round: usize, cause: LossCause, tel: &Telemetry) -> bool {
         if self.alive[k] {
             self.alive[k] = false;
             self.losses.push(WorkerLoss {
@@ -526,6 +559,7 @@ impl Workers {
                 round,
                 cause,
             });
+            tel.event(0, EventKind::Quarantine, round, k as i64);
         }
         self.alive.iter().any(|&a| a)
     }
@@ -557,6 +591,7 @@ fn gather_reports(
     epochs: &[u64],
     timeout: Duration,
     need: &mut [bool],
+    tel: &Telemetry,
 ) -> Result<Vec<(usize, ReportMsg)>, EngineError> {
     let active = epochs.len();
     let mut got = Vec::new();
@@ -584,6 +619,7 @@ fn gather_reports(
             });
         };
         if !need[k] {
+            tel.add(0, Counter::StaleIgnored, 1);
             continue; // stale: quarantined or already reported
         }
         if env.tag != tags::REPORT {
@@ -600,8 +636,10 @@ fn gather_reports(
             detail: format!("undecodable report from task {}: {e:?}", env.from),
         })?;
         if report.epoch != epochs[k] {
+            tel.add(0, Counter::EpochsDropped, 1);
             continue; // a superseded incarnation's report
         }
+        tel.add(0, Counter::ReportsReceived, 1);
         need[k] = false;
         outstanding -= 1;
         got.push((k, report));
@@ -625,10 +663,12 @@ fn resurrect(
     round: usize,
     assign: &AssignMsg,
     elite: &[Solution],
+    tel: &Telemetry,
 ) -> Result<Option<ReportMsg>, EngineError> {
     while workers.restarts_used[k] < cfg.max_restarts {
         std::thread::sleep(backoff_delay(cfg, workers.restarts_used[k]));
         workers.restarts_used[k] += 1;
+        tel.add(0, Counter::Restarts, 1);
         let attempt = workers.restarts_used[k];
         workers.epochs[k] += 1;
         if !ctx.respawn(k + 1) {
@@ -636,11 +676,14 @@ fn resurrect(
         }
         // A send failure means the fresh incarnation died before its
         // mailbox drained — burn the attempt and back off longer.
-        if ctx.send(k + 1, tags::PROBLEM, problem).is_err()
-            || ctx.send(k + 1, tags::SEED, &workers.histories[k]).is_err()
-        {
+        if ctx.send(k + 1, tags::PROBLEM, problem).is_err() {
             continue;
         }
+        tel.add(0, Counter::ProblemMsgsSent, 1);
+        if ctx.send(k + 1, tags::SEED, &workers.histories[k]).is_err() {
+            continue;
+        }
+        tel.add(0, Counter::SeedMsgsSent, 1);
         let mut redo = assign.clone();
         redo.epoch = workers.epochs[k];
         if !elite.is_empty() && redo.cell.is_none() {
@@ -652,15 +695,17 @@ fn resurrect(
         if ctx.send(k + 1, tags::ASSIGN, &redo).is_err() {
             continue;
         }
+        tel.add(0, Counter::AssignMsgsSent, 1);
         let mut need = vec![false; workers.epochs.len()];
         need[k] = true;
-        let mut got = gather_reports(ctx, &workers.epochs, cfg.report_timeout, &mut need)?;
+        let mut got = gather_reports(ctx, &workers.epochs, cfg.report_timeout, &mut need, tel)?;
         if let Some((_, report)) = got.pop() {
             workers.resurrections.push(Resurrection {
                 worker: k,
                 round,
                 attempt,
             });
+            tel.event(0, EventKind::Resurrection, round, k as i64);
             return Ok(Some(report));
         }
     }
@@ -680,6 +725,7 @@ fn master_loop(
     policy: &mut dyn CoopPolicy,
     cfg: &RunConfig,
     resume: Option<Snapshot>,
+    tel: &Telemetry,
 ) -> Result<ModeReport, EngineError> {
     let start = Instant::now();
     let active = policy.active_workers(cfg);
@@ -696,6 +742,7 @@ fn master_loop(
         .map_err(|e| EngineError::Internal {
             detail: format!("problem broadcast failed: {e}"),
         })?;
+    tel.add(0, Counter::ProblemMsgsSent, (ctx.ntasks() - 1) as u64);
 
     let (mut rng, mut state, mut workers, start_round) = match &resume {
         None => {
@@ -737,8 +784,11 @@ fn master_loop(
             // its fresh incarnation; a failed send surfaces as a loss at
             // the next assignment.
             for k in 0..active {
-                if workers.alive[k] && workers.histories[k].history_counts.len() == inst.n() {
-                    let _ = ctx.send(k + 1, tags::SEED, &workers.histories[k]);
+                if workers.alive[k]
+                    && workers.histories[k].history_counts.len() == inst.n()
+                    && ctx.send(k + 1, tags::SEED, &workers.histories[k]).is_ok()
+                {
+                    tel.add(0, Counter::SeedMsgsSent, 1);
                 }
             }
             (
@@ -760,18 +810,25 @@ fn master_loop(
         match policy.delivery() {
             Delivery::Synchronous => {
                 for round in start_round..rounds {
+                    let _round_span = tel.span(0, SpanKind::Round);
                     // Launch the surviving slave searches. The sent assignment
                     // is kept per worker so a resurrection can redo it.
                     let mut sent: Vec<Option<AssignMsg>> = vec![None; active];
                     let mut send_failed = vec![false; active];
-                    for k in 0..active {
-                        if !workers.alive[k] {
-                            continue;
+                    {
+                        let _assign_span = tel.span(0, SpanKind::Assign);
+                        for k in 0..active {
+                            if !workers.alive[k] {
+                                continue;
+                            }
+                            let mut assign = policy.assign(k, round, inst, cfg, &mut rng);
+                            assign.epoch = workers.epochs[k];
+                            send_failed[k] = ctx.send(k + 1, tags::ASSIGN, &assign).is_err();
+                            if !send_failed[k] {
+                                tel.add(0, Counter::AssignMsgsSent, 1);
+                            }
+                            sent[k] = Some(assign);
                         }
-                        let mut assign = policy.assign(k, round, inst, cfg, &mut rng);
-                        assign.epoch = workers.epochs[k];
-                        send_failed[k] = ctx.send(k + 1, tags::ASSIGN, &assign).is_err();
-                        sent[k] = Some(assign);
                     }
 
                     // Rendezvous: gather the survivors' reports (slaves finish
@@ -784,8 +841,10 @@ fn master_loop(
                     let mut need: Vec<bool> = (0..active)
                         .map(|k| workers.alive[k] && !send_failed[k])
                         .collect();
-                    let mut reports =
-                        gather_reports(&ctx, &workers.epochs, cfg.report_timeout, &mut need)?;
+                    let mut reports = {
+                        let _gather_span = tel.span(0, SpanKind::Gather);
+                        gather_reports(&ctx, &workers.epochs, cfg.report_timeout, &mut need, tel)?
+                    };
                     for k in 0..active {
                         if !workers.alive[k] {
                             continue;
@@ -804,6 +863,7 @@ fn master_loop(
                             round,
                             assign,
                             &state.elite,
+                            tel,
                         )? {
                             Some(report) => reports.push((k, report)),
                             None => {
@@ -812,7 +872,7 @@ fn master_loop(
                                 } else {
                                     LossCause::Deadline
                                 };
-                                if !workers.mark_lost(k, round, cause) {
+                                if !workers.mark_lost(k, round, cause, tel) {
                                     return Err(EngineError::AllWorkersLost {
                                         losses: workers.losses.clone(),
                                     });
@@ -833,7 +893,8 @@ fn master_loop(
                     }
 
                     for (k, report) in &reports {
-                        state.process_report(*k, round, report, policy, inst, cfg, &mut rng)?;
+                        state
+                            .process_report(*k, round, report, policy, inst, cfg, &mut rng, tel)?;
                     }
                     let best = state
                         .global_best
@@ -848,6 +909,7 @@ fn master_loop(
                     // the run is over.
                     if let Some(cp) = &cfg.checkpoint {
                         if (round + 1) % cp.every == 0 && round + 1 < rounds {
+                            let _snap_span = tel.span(0, SpanKind::SnapshotWrite);
                             let snap = build_snapshot(
                                 policy,
                                 inst,
@@ -857,9 +919,13 @@ fn master_loop(
                                 &state,
                                 &workers,
                             )?;
+                            let nbytes = snap.to_file_bytes().len() as u64;
                             snap.save(&cp.path).map_err(|e| EngineError::Internal {
                                 detail: format!("checkpoint write failed: {e}"),
                             })?;
+                            tel.add(0, Counter::CheckpointsWritten, 1);
+                            tel.add(0, Counter::CheckpointBytes, nbytes);
+                            tel.event(0, EventKind::Checkpoint, round + 1, nbytes as i64);
                         }
                     }
                 }
@@ -883,16 +949,21 @@ fn master_loop(
                 let mut rebirth: Vec<Option<(usize, usize)>> = vec![None; active];
                 let mut buffer: BTreeMap<(usize, usize), ReportMsg> = BTreeMap::new();
                 let mut cursor = (0usize, 0usize);
+                // The pipeline has no rendezvous, so one Round span covers the
+                // whole asynchronous run; Assign/Gather spans nest inside it.
+                let _round_span = tel.span(0, SpanKind::Round);
 
                 // Bootstrap: every worker gets its round-0 assignment.
                 for k in 0..active {
+                    let _assign_span = tel.span(0, SpanKind::Assign);
                     let mut assign = policy.assign(k, 0, inst, cfg, &mut rng);
                     assign.epoch = workers.epochs[k];
                     let ok = ctx.send(k + 1, tags::ASSIGN, &assign).is_ok();
                     sent[k] = Some(assign);
                     if ok {
                         assigned[k] = 1;
-                    } else if !workers.mark_lost(k, 0, LossCause::Unreachable) {
+                        tel.add(0, Counter::AssignMsgsSent, 1);
+                    } else if !workers.mark_lost(k, 0, LossCause::Unreachable, tel) {
                         return Err(EngineError::AllWorkersLost {
                             losses: workers.losses.clone(),
                         });
@@ -910,15 +981,24 @@ fn master_loop(
                             break 'outer;
                         }
                         if let Some(report) = buffer.remove(&cursor) {
-                            state.process_report(k, round, &report, policy, inst, cfg, &mut rng)?;
+                            state.process_report(
+                                k, round, &report, policy, inst, cfg, &mut rng, tel,
+                            )?;
                             if round + 1 < rounds && workers.alive[k] {
+                                let _assign_span = tel.span(0, SpanKind::Assign);
                                 let mut assign = policy.assign(k, round + 1, inst, cfg, &mut rng);
                                 assign.epoch = workers.epochs[k];
                                 let ok = ctx.send(k + 1, tags::ASSIGN, &assign).is_ok();
                                 sent[k] = Some(assign);
                                 if ok {
                                     assigned[k] += 1;
-                                } else if !workers.mark_lost(k, round + 1, LossCause::Unreachable) {
+                                    tel.add(0, Counter::AssignMsgsSent, 1);
+                                } else if !workers.mark_lost(
+                                    k,
+                                    round + 1,
+                                    LossCause::Unreachable,
+                                    tel,
+                                ) {
                                     return Err(EngineError::AllWorkersLost {
                                         losses: workers.losses.clone(),
                                     });
@@ -944,6 +1024,7 @@ fn master_loop(
                     // timeout budget is per expected report, not per arrival —
                     // stale stragglers burning the clock don't extend it).
                     let deadline = Instant::now().checked_add(cfg.report_timeout);
+                    let gather_span = tel.span(0, SpanKind::Gather);
                     let deadline_expired = loop {
                         let remaining = match deadline {
                             None => Duration::MAX,
@@ -967,6 +1048,7 @@ fn master_loop(
                                     });
                                 };
                                 if !workers.alive[k] {
+                                    tel.add(0, Counter::StaleIgnored, 1);
                                     continue; // stale report from a quarantined worker
                                 }
                                 if env.tag != tags::REPORT {
@@ -987,6 +1069,7 @@ fn master_loop(
                                         ),
                                     })?;
                                 if report.epoch != workers.epochs[k] {
+                                    tel.add(0, Counter::EpochsDropped, 1);
                                     continue; // a superseded incarnation's report
                                 }
                                 if let Some((round, attempt)) = rebirth[k].take() {
@@ -995,8 +1078,10 @@ fn master_loop(
                                         round,
                                         attempt,
                                     });
+                                    tel.event(0, EventKind::Resurrection, round, k as i64);
                                 }
                                 workers.bank_history(k, &report);
+                                tel.add(0, Counter::ReportsReceived, 1);
                                 buffer.insert((arrived[k], k), report);
                                 arrived[k] += 1;
                                 break false;
@@ -1005,6 +1090,7 @@ fn master_loop(
                             Err(_) => break true, // every sender gone: nothing will arrive
                         }
                     };
+                    drop(gather_span);
                     // The deadline expired: every live worker still owing a
                     // report is out of time. While a worker's restart budget
                     // lasts the master respawns it and re-sends the
@@ -1021,6 +1107,7 @@ fn master_loop(
                             if workers.restarts_used[k] < cfg.max_restarts {
                                 std::thread::sleep(backoff_delay(cfg, workers.restarts_used[k]));
                                 workers.restarts_used[k] += 1;
+                                tel.add(0, Counter::Restarts, 1);
                                 let attempt = workers.restarts_used[k];
                                 workers.epochs[k] += 1;
                                 rebirth[k] = None;
@@ -1035,12 +1122,19 @@ fn master_loop(
                                         .bits()
                                         .clone();
                                     }
-                                    let ok = ctx.send(k + 1, tags::PROBLEM, &problem).is_ok()
-                                        && ctx
-                                            .send(k + 1, tags::SEED, &workers.histories[k])
-                                            .is_ok()
-                                        && ctx.send(k + 1, tags::ASSIGN, &redo).is_ok();
+                                    let mut ok = ctx.send(k + 1, tags::PROBLEM, &problem).is_ok();
                                     if ok {
+                                        tel.add(0, Counter::ProblemMsgsSent, 1);
+                                        ok = ctx
+                                            .send(k + 1, tags::SEED, &workers.histories[k])
+                                            .is_ok();
+                                    }
+                                    if ok {
+                                        tel.add(0, Counter::SeedMsgsSent, 1);
+                                        ok = ctx.send(k + 1, tags::ASSIGN, &redo).is_ok();
+                                    }
+                                    if ok {
+                                        tel.add(0, Counter::AssignMsgsSent, 1);
                                         rebirth[k] = Some((round, attempt));
                                     }
                                 }
@@ -1049,7 +1143,7 @@ fn master_loop(
                                 // window decides.
                                 continue;
                             }
-                            if !workers.mark_lost(k, round, LossCause::Deadline) {
+                            if !workers.mark_lost(k, round, LossCause::Deadline, tel) {
                                 return Err(EngineError::AllWorkersLost {
                                     losses: workers.losses.clone(),
                                 });
@@ -1085,6 +1179,9 @@ fn master_loop(
         wall: start.elapsed(),
         lost_workers: workers.losses,
         resurrections: workers.resurrections,
+        // Filled by the engine after the farm joins; the master loop only
+        // sees its own (still-live) side of the registry.
+        telemetry: TelemetrySnapshot::default(),
     })
 }
 
@@ -1170,6 +1267,7 @@ impl MasterState {
         inst: &Instance,
         cfg: &RunConfig,
         rng: &mut Xoshiro256,
+        tel: &Telemetry,
     ) -> Result<(), EngineError> {
         self.total_moves += report.moves;
         self.total_evals += report.evals;
@@ -1184,6 +1282,8 @@ impl MasterState {
             .is_none_or(|g| slave_best.value() > g.value())
         {
             self.global_best = Some(slave_best.clone());
+            tel.add(0, Counter::IncumbentUpdates, 1);
+            tel.event(0, EventKind::NewIncumbent, round, slave_best.value());
         }
         self.fold_elite(&slave_best);
         // Just folded: the global best is at least this report's best.
@@ -1191,8 +1291,12 @@ impl MasterState {
             Some(g) => g.clone(),
             None => slave_best.clone(),
         };
-        self.regenerations +=
-            policy.absorb(k, round, report, &slave_best, &global_best, inst, cfg, rng);
+        let regen = policy.absorb(k, round, report, &slave_best, &global_best, inst, cfg, rng);
+        self.regenerations += regen;
+        if regen > 0 {
+            tel.add(0, Counter::Retunes, regen);
+            tel.event(0, EventKind::Retune, round, k as i64);
+        }
         Ok(())
     }
 }
@@ -1234,7 +1338,8 @@ fn relink_round(
 /// the stop message (or a dead master) ends the task. A [`tags::SEED`]
 /// message transplants the long-term History of a previous incarnation
 /// (rebirth) or a checkpointed run (resume) into this one.
-fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
+fn slave_loop(ctx: TaskCtx, cfg: &RunConfig, tel: &Telemetry) {
+    let tid = ctx.tid();
     // Slaves wait for instructions well beyond the master's report
     // deadline: while the master sits out a full `report_timeout` on a
     // straggler, its healthy peers are idle — were their patience the same
@@ -1273,11 +1378,26 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
                         seed.history_counts,
                         seed.history_iterations,
                     );
+                    tel.add(tid, Counter::HistoryResets, 1);
                 }
             }
             tags::ASSIGN => {
                 let assign: AssignMsg = env.decode().expect("well-formed assignment");
-                let mut msg = serve_assignment(&inst, &ratios, &mut history, &assign);
+                let (mut msg, stats) = {
+                    let _ts_span = tel.span(tid, SpanKind::TsInner);
+                    serve_assignment(&inst, &ratios, &mut history, &assign)
+                };
+                tel.add(tid, Counter::MovesExecuted, stats.moves);
+                tel.add(tid, Counter::CandidateEvals, stats.candidate_evals);
+                tel.add(tid, Counter::Drops, stats.drops);
+                tel.add(tid, Counter::Adds, stats.adds);
+                tel.add(tid, Counter::AspirationHits, stats.aspiration_hits);
+                tel.add(tid, Counter::TabuRejections, stats.tabu_rejections);
+                tel.record_max(
+                    tid,
+                    Counter::OscillationMaxDepth,
+                    stats.oscillation_max_depth,
+                );
                 msg.epoch = assign.epoch;
                 msg.history_counts = history.counts().to_vec();
                 msg.history_iterations = history.iterations();
@@ -1291,13 +1411,16 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig) {
 }
 
 /// Run one assignment to completion and build the report (epoch and
-/// History attachments are stamped by the caller).
+/// History attachments are stamped by the caller). Returns the wire
+/// message plus the full kernel [`MoveStats`] so the slave loop can fold
+/// the fine-grained counters into its telemetry without widening the wire
+/// format.
 fn serve_assignment(
     inst: &Instance,
     ratios: &Ratios,
     history: &mut mkp_tabu::history::History,
     assign: &AssignMsg,
-) -> ReportMsg {
+) -> (ReportMsg, MoveStats) {
     let mut rng = Xoshiro256::seed_from_u64(assign.seed);
 
     if let Some(cell) = &assign.cell {
@@ -1319,7 +1442,7 @@ fn serve_assignment(
                     &mut rng,
                 );
                 let lifted = restriction.lift(inst, &report.best);
-                ReportMsg {
+                let msg = ReportMsg {
                     best: lifted.bits().clone(),
                     // Sub-space elites don't lift for free; the DTS master
                     // has no SGP to feed anyway.
@@ -1331,7 +1454,8 @@ fn serve_assignment(
                     epoch: 0,
                     history_counts: Vec::new(),
                     history_iterations: 0,
-                }
+                };
+                (msg, report.stats)
             }
             Err(_) => {
                 // Infeasible (or empty) cell: the worker searches the full
@@ -1347,7 +1471,7 @@ fn serve_assignment(
                     Budget::evals(assign.budget_evals),
                     &mut rng,
                 );
-                ReportMsg {
+                let msg = ReportMsg {
                     best: report.best.bits().clone(),
                     elite: report.elite.iter().map(|s| s.bits().clone()).collect(),
                     initial_value: report.initial_value,
@@ -1357,7 +1481,8 @@ fn serve_assignment(
                     epoch: 0,
                     history_counts: Vec::new(),
                     history_iterations: 0,
-                }
+                };
+                (msg, report.stats)
             }
         };
     }
@@ -1378,7 +1503,7 @@ fn serve_assignment(
         &mut memory,
         history,
     );
-    ReportMsg {
+    let msg = ReportMsg {
         best: report.best.bits().clone(),
         elite: report.elite.iter().map(|s| s.bits().clone()).collect(),
         initial_value: report.initial_value,
@@ -1388,7 +1513,8 @@ fn serve_assignment(
         epoch: 0,
         history_counts: Vec::new(),
         history_iterations: 0,
-    }
+    };
+    (msg, report.stats)
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ pub mod runner;
 pub mod score;
 pub mod sgp;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use engine::{fault_at_round, CoopPolicy, Delivery, Engine, EngineError};
 pub use isp::{IspConfig, StartKind};
@@ -53,3 +54,8 @@ pub use runner::{
 pub use score::Score;
 pub use sgp::SgpConfig;
 pub use snapshot::{config_digest, instance_fingerprint, Snapshot, SnapshotError};
+pub use telemetry::{
+    parse_metrics_json, validate_metrics_json, Clock, Counter, Event, EventKind, MetricsDoc,
+    MonoClock, SpanKind, SpanSummary, Telemetry, TelemetrySnapshot, TestClock, WorkerCounters,
+    METRICS_SCHEMA,
+};

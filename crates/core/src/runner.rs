@@ -270,6 +270,10 @@ pub struct ModeReport {
     /// Workers that died and were successfully revived mid-run. A revived
     /// worker does *not* appear in `lost_workers` — the run is whole.
     pub resurrections: Vec<Resurrection>,
+    /// Per-task telemetry of the run: counters, span timings, and the
+    /// merged event trace (see [`crate::telemetry`]). Empty when the
+    /// engine's telemetry is disabled.
+    pub telemetry: crate::telemetry::TelemetrySnapshot,
 }
 
 impl ModeReport {

@@ -68,6 +68,10 @@ pub struct PartialGather {
     pub slots: Vec<Option<Envelope>>,
     /// Requested senders whose slots are empty, in request order.
     pub missing: Vec<TaskId>,
+    /// Messages dropped because their sender was quarantined (listed in
+    /// `ignore`). Previously these vanished silently; exposing the count
+    /// lets callers keep a truthful `stale_ignored` telemetry counter.
+    pub ignored: usize,
 }
 
 /// Collective extensions on a task context.
@@ -168,6 +172,7 @@ impl Collectives for TaskCtx {
         let deadline = Instant::now().checked_add(timeout);
         let mut slots: Vec<Option<Envelope>> = vec![None; from.len()];
         let mut filled = 0usize;
+        let mut ignored = 0usize;
         while filled < from.len() {
             let remaining = match deadline {
                 None => Duration::MAX,
@@ -185,7 +190,8 @@ impl Collectives for TaskCtx {
                 Err(e) => return Err(CollectiveError::Comm(e)),
             };
             if ignore.contains(&env.from) {
-                continue; // stale contribution from a quarantined peer
+                ignored += 1; // stale contribution from a quarantined peer
+                continue;
             }
             if env.tag != tag {
                 return Err(CollectiveError::UnexpectedTag {
@@ -208,7 +214,11 @@ impl Collectives for TaskCtx {
             .filter(|(_, slot)| slot.is_none())
             .map(|(&tid, _)| tid)
             .collect();
-        Ok(PartialGather { slots, missing })
+        Ok(PartialGather {
+            slots,
+            missing,
+            ignored,
+        })
     }
 }
 
@@ -326,6 +336,7 @@ mod tests {
                 let out = ctx
                     .gather_partial(7, &[1, 2], &[], Duration::from_millis(100))
                     .unwrap();
+                assert_eq!(out.ignored, 0, "nothing was quarantined");
                 let got: Vec<_> = out
                     .slots
                     .iter()
@@ -349,12 +360,21 @@ mod tests {
         let r = run_farm(3, |ctx| {
             if ctx.tid() == 0 {
                 // Task 2 is quarantined: its stale message must neither
-                // fill a slot nor trip the unknown-sender check.
+                // fill a slot nor trip the unknown-sender check — but it
+                // must be counted, not silently dropped. Task 2 sends
+                // before task 1 (enforced by the go-message below), so the
+                // stale message is guaranteed to be dequeued mid-gather.
                 let out = ctx.gather_partial(7, &[1], &[2], T).unwrap();
                 assert!(out.missing.is_empty());
+                assert_eq!(out.ignored, 1, "quarantined message not counted");
                 out.slots[0].as_ref().unwrap().decode::<Num>().unwrap().0
+            } else if ctx.tid() == 2 {
+                ctx.send(0, 7, &Num(2)).unwrap();
+                ctx.send(1, 9, &Num(0)).unwrap(); // go: the master's mailbox holds our message
+                0
             } else {
-                ctx.send(0, 7, &Num(ctx.tid() as i64)).unwrap();
+                ctx.recv_timeout(T).unwrap(); // wait for task 2's go
+                ctx.send(0, 7, &Num(1)).unwrap();
                 0
             }
         })

@@ -17,6 +17,7 @@ use crate::codec::{CodecError, Wire};
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -179,6 +180,39 @@ struct FaultState {
     received: Cell<usize>,
 }
 
+/// Per-task communication totals for one pool run (see
+/// [`WorkerPool::last_comm_stats`]). Counts are cumulative across every
+/// incarnation of the task within that run — a resurrected task keeps
+/// adding to the same slot, so the totals describe the *logical* task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Envelopes successfully handed to a peer's mailbox.
+    pub sent: u64,
+    /// Envelopes dequeued from this task's own mailbox.
+    pub received: u64,
+    /// Payload bytes of the successfully sent envelopes.
+    pub bytes_sent: u64,
+}
+
+/// Interior atomic cell backing one task's [`CommStats`]; one per task id,
+/// shared (via `Arc`) by every incarnation the run creates.
+#[derive(Default)]
+struct CommCell {
+    sent: AtomicU64,
+    received: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+impl CommCell {
+    fn snapshot(&self) -> CommStats {
+        CommStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Per-task handle to the farm: identity, mailbox, barrier, and the run's
 /// shared supervision state (which lets a master task resurrect dead peers
 /// mid-run via [`respawn`](TaskCtx::respawn)).
@@ -191,6 +225,9 @@ pub struct TaskCtx {
     barrier: Barrier,
     fault: Option<FaultState>,
     supervision: Arc<Supervision>,
+    /// The run's comm accounting, indexed by task id; every incarnation of
+    /// a task charges the same slot.
+    comm: Arc<Vec<CommCell>>,
 }
 
 impl TaskCtx {
@@ -208,6 +245,7 @@ impl TaskCtx {
     pub fn send_bytes(&self, to: TaskId, tag: u32, data: Vec<u8>) -> Result<(), CommError> {
         let senders = self.senders.borrow();
         assert!(to < senders.len(), "task id {to} out of range");
+        let nbytes = data.len() as u64;
         senders[to]
             .send(Envelope {
                 from: self.tid,
@@ -215,6 +253,11 @@ impl TaskCtx {
                 data,
             })
             .map_err(|_| CommError::PeerGone { to })
+            .inspect(|()| {
+                let cell = &self.comm[self.tid];
+                cell.sent.fetch_add(1, Ordering::Relaxed);
+                cell.bytes_sent.fetch_add(nbytes, Ordering::Relaxed);
+            })
     }
 
     /// Pack and send a typed message.
@@ -252,6 +295,7 @@ impl TaskCtx {
     /// Count a delivery against the installed fault plan, firing the
     /// action when the trigger is reached (no-op without a plan).
     fn deliver(&self, env: Envelope) -> Envelope {
+        self.comm[self.tid].received.fetch_add(1, Ordering::Relaxed);
         if let Some(fault) = &self.fault {
             let n = fault.received.get() + 1;
             fault.received.set(n);
@@ -312,6 +356,7 @@ impl TaskCtx {
             barrier: self.barrier.clone(),
             fault,
             supervision: Arc::clone(&self.supervision),
+            comm: Arc::clone(&self.comm),
         };
         let job = (inner.launch.as_ref().expect("checked above"))(tid, ctx);
         inner.extra_dispatched += 1;
@@ -426,6 +471,8 @@ pub struct WorkerPool {
     respawned: usize,
     /// One-shot fault plan consumed by the next run (testing hook).
     fault_plan: Option<FaultPlan>,
+    /// Per-task comm totals of the most recent run (empty before any run).
+    last_comm: Vec<CommStats>,
 }
 
 /// Spawn one pool worker: a thread serving jobs from its injector until
@@ -463,6 +510,7 @@ impl WorkerPool {
             handles,
             respawned: 0,
             fault_plan: None,
+            last_comm: Vec::new(),
         }
     }
 
@@ -482,6 +530,14 @@ impl WorkerPool {
     /// that never lost a thread).
     pub fn respawned_threads(&self) -> usize {
         self.respawned
+    }
+
+    /// Per-task communication totals of the most recent
+    /// [`run`](WorkerPool::run) / [`run_collect`](WorkerPool::run_collect),
+    /// in task-id order (empty before the first run). Totals are cumulative
+    /// over every incarnation a task had within that run.
+    pub fn last_comm_stats(&self) -> &[CommStats] {
+        &self.last_comm
     }
 
     /// Install a one-shot [`FaultPlan`]: the next [`run`](WorkerPool::run)
@@ -567,6 +623,7 @@ impl WorkerPool {
             receivers.push(rx);
         }
         let barrier = Barrier::new(ntasks);
+        let comm: Arc<Vec<CommCell>> = Arc::new((0..ntasks).map(|_| CommCell::default()).collect());
         let (done_tx, done_rx) = unbounded::<(TaskId, Result<R, String>)>();
 
         // The launch closure turns a (tid, ctx) pair into a dispatchable
@@ -635,6 +692,7 @@ impl WorkerPool {
                         received: Cell::new(0),
                     }),
                 supervision: Arc::clone(&supervision),
+                comm: Arc::clone(&comm),
             };
             let job = {
                 let inner = supervision.lock();
@@ -687,6 +745,9 @@ impl WorkerPool {
             let _ = old.join(); // dead — that is why the fallback exists
             self.respawned += 1;
         }
+        // Every task has completed (or provably died), so the totals are
+        // final; publish them for the caller's telemetry.
+        self.last_comm = comm.iter().map(CommCell::snapshot).collect();
 
         results
             .into_iter()
@@ -1158,6 +1219,36 @@ mod tests {
             TaskOutcome::Done(n) => assert!(n <= 1),
             ref other => panic!("an incarnation failed: {other:?}"),
         }
+    }
+
+    #[test]
+    fn comm_stats_count_sends_receives_and_bytes() {
+        let mut pool = WorkerPool::new(2);
+        assert!(pool.last_comm_stats().is_empty(), "stats before any run");
+        pool.run(|ctx| {
+            if ctx.tid() == 0 {
+                ctx.send(1, 1, &Num(3)).unwrap(); // 8 payload bytes
+                ctx.send(1, 1, &Num(4)).unwrap();
+                ctx.recv_timeout(T).unwrap();
+            } else {
+                ctx.recv_timeout(T).unwrap();
+                ctx.recv_timeout(T).unwrap();
+                ctx.send(0, 2, &Num(7)).unwrap();
+            }
+        })
+        .unwrap();
+        let stats = pool.last_comm_stats().to_vec();
+        assert_eq!(stats[0].sent, 2);
+        assert_eq!(stats[0].received, 1);
+        assert_eq!(stats[0].bytes_sent, 16);
+        assert_eq!(stats[1].sent, 1);
+        assert_eq!(stats[1].received, 2);
+        assert_eq!(stats[1].bytes_sent, 8);
+        // A later run replaces the totals rather than accumulating.
+        pool.run(|_ctx| ()).unwrap();
+        let quiet = pool.last_comm_stats();
+        assert_eq!(quiet[0], CommStats::default());
+        assert_eq!(quiet[1], CommStats::default());
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub use barrier::Barrier;
 pub use codec::{fnv1a_64, CodecError, PackBuffer, UnpackBuffer, Wire};
 pub use collectives::{CollectiveError, Collectives, PartialGather};
 pub use farm::{
-    run_farm, CommError, Envelope, FarmError, FaultAction, FaultPlan, TaskCtx, TaskId, TaskOutcome,
-    WorkerPool,
+    run_farm, CommError, CommStats, Envelope, FarmError, FaultAction, FaultPlan, TaskCtx, TaskId,
+    TaskOutcome, WorkerPool,
 };

@@ -33,6 +33,17 @@ pub struct MoveStats {
     pub moves: u64,
     /// Candidate items examined across drop and add scans.
     pub candidate_evals: u64,
+    /// Items removed by Drop steps.
+    pub drops: u64,
+    /// Items inserted by Add phases.
+    pub adds: u64,
+    /// Tabu candidates admitted by the aspiration criterion.
+    pub aspiration_hits: u64,
+    /// Candidates rejected for being tabu (and not aspired).
+    pub tabu_rejections: u64,
+    /// Deepest infeasible excursion strategic oscillation reached (a
+    /// high-water gauge, not a running sum).
+    pub oscillation_max_depth: u64,
 }
 
 /// Result of applying one move.
@@ -119,6 +130,8 @@ pub fn select_drop<M: TabuMemory>(
         }
         if !tabu.is_tabu(j, now) {
             top.push(j, score);
+        } else {
+            stats.tabu_rejections += 1;
         }
     }
     top.pick(rng, noise).or(best_any.map(|(j, _)| j))
@@ -164,8 +177,11 @@ pub fn select_add<M: TabuMemory>(
             count += 1;
         } else if sol.value() + inst.profit(j) > best_value {
             // Aspiration: the tabu barrier falls for a strictly improving add.
+            stats.aspiration_hits += 1;
             found[count] = (j, true);
             count += 1;
+        } else {
+            stats.tabu_rejections += 1;
         }
         if count == want {
             break;
@@ -229,6 +245,8 @@ pub fn apply_move<M: TabuMemory>(
         inst, ratios, sol, tabu, now, best_value, noise, &dropped, rng, stats,
     );
 
+    stats.drops += dropped.len() as u64;
+    stats.adds += added.len() as u64;
     stats.moves += 1;
     tabu.observe_solution(sol.bits().fingerprint(), &dropped, now);
     MoveOutcome {
@@ -276,9 +294,11 @@ fn add_phase<M: TabuMemory>(
         let admissible = if !tabu.is_tabu(j, now) {
             true
         } else if sol.value() + inst.profit(j) > best_value {
+            stats.aspiration_hits += 1;
             aspired = true;
             true
         } else {
+            stats.tabu_rejections += 1;
             false
         };
         if !admissible {

@@ -45,6 +45,7 @@ pub fn strategic_oscillation(
     if pushed == 0 {
         return false; // knapsack already holds every item
     }
+    stats.oscillation_max_depth = stats.oscillation_max_depth.max(pushed as u64);
 
     // Phase 2: project back onto the feasible domain.
     let dropped = project_feasible(inst, ratios, &mut trial);

@@ -24,6 +24,9 @@ cargo build --release --offline --locked
 step "tests (offline)"
 cargo test -q --offline --locked
 
+step "telemetry tests (deterministic counters, spans, event ring)"
+cargo test -q --offline --locked --test telemetry
+
 step "bench smoke (kernels harness, JSON to results/)"
 mkdir -p results
 cargo run --release --offline --locked -p mkp-bench --bin kernels -- \
@@ -40,6 +43,32 @@ for mode in seq its cts1 cts2 ats dts; do
     solve "$tmp_mkp" --mode "$mode" --p 2 --rounds 2 --budget 40000 --seed 1 \
     | grep -q '^best value' || { echo "error: mode $mode smoke failed" >&2; exit 1; }
 done
+
+step "telemetry smoke (metrics dumped, validated, deterministic)"
+# One synchronous mode and the sequential baseline: each must dump a
+# metrics document the in-tree validator accepts, and two identically
+# seeded runs must produce byte-identical files.
+tmp_m1="$(mktemp /tmp/ci-metrics-XXXXXX.json)"
+tmp_m2="$(mktemp /tmp/ci-metrics-XXXXXX.json)"
+trap 'rm -f "$tmp_mkp" "$tmp_m1" "$tmp_m2"' EXIT
+for mode in seq cts1; do
+  cargo run --release --offline --locked -p mkp-cli -- \
+    solve "$tmp_mkp" --mode "$mode" --p 2 --rounds 2 --budget 40000 --seed 1 \
+    --metrics "$tmp_m1" > /dev/null
+  cargo run --release --offline --locked -p mkp-cli -- \
+    solve "$tmp_mkp" --mode "$mode" --p 2 --rounds 2 --budget 40000 --seed 1 \
+    --metrics "$tmp_m2" > /dev/null
+  cmp -s "$tmp_m1" "$tmp_m2" \
+    || { echo "error: mode $mode metrics are not deterministic" >&2; exit 1; }
+  cargo run --release --offline --locked -p mkp-cli -- \
+    validate-metrics "$tmp_m1" \
+    || { echo "error: mode $mode metrics failed validation" >&2; exit 1; }
+done
+
+step "telemetry overhead smoke (A/B harness runs, JSON to results/)"
+cargo run --release --offline --locked -p mkp-bench --bin telemetry_overhead -- \
+  --smoke --json results/telemetry-overhead-smoke.json
+test -s results/telemetry-overhead-smoke.json
 
 step "fault-injection smoke (degraded runs finish and exit 2)"
 # One mode per delivery kind: cts2 gathers synchronously, ats is
@@ -87,7 +116,7 @@ step "checkpoint/resume smoke (resume outlives a post-checkpoint kill)"
 # degrades (exit 2) while the file still holds the healthy state. Resuming
 # it must reproduce the reference objective exactly.
 tmp_snap="$(mktemp /tmp/ci-snap-XXXXXX)"
-trap 'rm -f "$tmp_mkp" "$tmp_snap"' EXIT
+trap 'rm -f "$tmp_mkp" "$tmp_m1" "$tmp_m2" "$tmp_snap"' EXIT
 full="$(cargo run --release --offline --locked -p mkp-cli -- \
   solve "$tmp_mkp" --mode cts2 --p 4 --rounds 4 --budget 60000 --seed 1 \
   | grep '^best value')"

@@ -46,4 +46,8 @@ pub mod prelude {
         FaultAction, FaultPlan, IspConfig, LossCause, Mode, ModeReport, Resurrection, RunConfig,
         SgpConfig, Snapshot, SnapshotError, WorkerLoss,
     };
+    pub use parallel_tabu::{
+        parse_metrics_json, validate_metrics_json, Counter, EventKind, SpanKind, Telemetry,
+        TelemetrySnapshot, METRICS_SCHEMA,
+    };
 }

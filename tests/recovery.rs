@@ -65,6 +65,21 @@ fn killed_slave_is_resurrected_with_zero_losses() {
         assert_eq!(rev.worker, 1, "{mode:?} revived the wrong worker");
         assert_eq!(rev.attempt, 1, "{mode:?} needed more than one attempt");
         assert_eq!(r.round_best.len(), healing_cfg(5).rounds, "{mode:?}");
+        // Telemetry agrees with the recovery records, and the rebirth
+        // protocol sent exactly one extra problem + seed: the initial
+        // broadcast reaches the 4 pool slaves, the resurrected
+        // incarnation gets one re-send of each.
+        let t = &r.telemetry;
+        assert_eq!(t.counter(0, Counter::Restarts), 1, "{mode:?}");
+        assert_eq!(t.counter(0, Counter::ProblemMsgsSent), 5, "{mode:?}");
+        assert_eq!(t.counter(0, Counter::SeedMsgsSent), 1, "{mode:?}");
+        let revivals: Vec<&parallel_tabu::Event> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Resurrection)
+            .collect();
+        assert_eq!(revivals.len(), 1, "{mode:?}");
+        assert_eq!(revivals[0].value, 1, "{mode:?}: event names the worker");
     }
 }
 
@@ -87,6 +102,9 @@ fn resurrection_outcomes_are_deterministic() {
     assert_eq!(a.round_best, b.round_best);
     assert_eq!(a.resurrections, b.resurrections);
     assert!(a.lost_workers.is_empty() && b.lost_workers.is_empty());
+    // The deterministic-counters guarantee must survive fault injection
+    // and healing, not just clean runs.
+    assert_eq!(a.telemetry.to_metrics_json(), b.telemetry.to_metrics_json());
 }
 
 #[test]
@@ -110,6 +128,73 @@ fn exhausted_restart_budget_degrades_to_quarantine() {
         r.resurrections
     );
     assert_eq!(r.round_best.len(), cfg.rounds, "survivors must finish");
+    // The telemetry trace shows the whole arc: every budgeted restart was
+    // attempted, then the worker was quarantined — exactly once.
+    assert_eq!(
+        r.telemetry.counter(0, Counter::Restarts),
+        cfg.max_restarts as u64
+    );
+    let quarantines: Vec<&parallel_tabu::Event> = r
+        .telemetry
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Quarantine)
+        .collect();
+    assert_eq!(quarantines.len(), 1);
+    assert_eq!(quarantines[0].value, 1, "event names the worker");
+}
+
+#[test]
+fn delayed_straggler_report_is_dropped_by_epoch_not_processed() {
+    // A slave delayed past the report deadline is resurrected; its late
+    // report then arrives from a *superseded* incarnation and must be
+    // dropped by the epoch check — visible in `epochs_dropped` — rather
+    // than processed twice or crashing the gather.
+    //
+    // Timing: unlike a killed slave, a delayed one *survives* and keeps
+    // its pool thread until it gives up on the silent master, so the
+    // reborn incarnation (queued on the same thread) only runs after the
+    // straggler's patience expires. The schedule below makes that fit
+    // inside the first rebirth window: the straggler wakes at ~700 ms,
+    // files its stale report, idles out after the explicit 600 ms
+    // patience (~1305 ms) — well before the rebirth gather deadline
+    // (600 ms round timeout + 400 ms backoff + 600 ms gather = 1600 ms).
+    // The stale report lands during the backoff, so the rebirth gather
+    // dequeues it first and must count it in `epochs_dropped`. The short
+    // patience also makes the *healthy* slaves give up during the long
+    // rebirth round, so it must be the final round: nothing further is
+    // asked of them, and their early exit is the benign kind the master
+    // never observes.
+    let inst = small_instance();
+    let cfg = RunConfig {
+        p: 4,
+        rounds: 2,
+        report_timeout: Duration::from_millis(600),
+        max_restarts: 2,
+        restart_backoff: Duration::from_millis(400),
+        slave_patience: Some(Duration::from_millis(600)),
+        ..RunConfig::new(60_000, 17)
+    };
+    let mut engine = Engine::new(4);
+    engine.inject_fault(fault_at_round(
+        1,
+        1,
+        FaultAction::Delay(Duration::from_millis(700)),
+    ));
+    let r = engine.run(&inst, Mode::CooperativeAdaptive, &cfg).unwrap();
+    assert!(r.lost_workers.is_empty(), "{:?}", r.lost_workers);
+    assert_eq!(r.resurrections.len(), 1, "{:?}", r.resurrections);
+    assert_eq!(r.round_best.len(), cfg.rounds);
+    let t = &r.telemetry;
+    assert_eq!(t.counter(0, Counter::Restarts), 1);
+    assert_eq!(
+        t.counter(0, Counter::EpochsDropped),
+        1,
+        "the straggler's stale report must be dropped by epoch"
+    );
+    // 4 workers x 2 rounds of accepted reports, plus the rebirth redo,
+    // minus the one the straggler never usefully delivered.
+    assert_eq!(t.counter(0, Counter::ReportsReceived), 8);
 }
 
 #[test]
