@@ -1,0 +1,143 @@
+//! CI bench-regression gate: compare a fresh smoke run of the `kernels`
+//! harness against the committed baseline and fail on slowdowns.
+//!
+//! ```text
+//! cargo run --release -p mkp-bench --bin bench_diff -- \
+//!     [--fresh results/kernels-smoke.json] \
+//!     [--baseline results/kernels-baseline.json] \
+//!     [--tolerance 0.15] [--bless]
+//! ```
+//!
+//! Without `--bless`, reads both reports, compares each benchmark's
+//! fastest sample (`min_ns` — the robust statistic for deterministic
+//! kernels on a noisy host; see [`mkp_bench::report::diff_reports`]),
+//! prints the table, and exits 1 if any benchmark is slower than
+//! baseline beyond the tolerance or has vanished from the fresh run.
+//! The default ±15% is sized for smoke-mode sampling on shared CI
+//! hardware — wide enough that scheduler jitter doesn't flake the gate,
+//! narrow enough that a real kernel regression (the ISSUE-6 kernels
+//! moved 3–6×) cannot hide.
+//!
+//! With `--bless`, copies the fresh report over the baseline (after
+//! validating it parses) so the next gate run compares against it.
+//! Re-bless whenever a deliberate perf change lands.
+
+use std::process::ExitCode;
+
+use mkp_bench::report::{diff_reports, gate_passes, parse_report, render_diff};
+
+struct Args {
+    fresh: String,
+    baseline: String,
+    tolerance: f64,
+    bless: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff [--fresh PATH] [--baseline PATH] [--tolerance FRACTION] [--bless]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fresh: "results/kernels-smoke.json".to_string(),
+        baseline: "results/kernels-baseline.json".to_string(),
+        tolerance: 0.15,
+        bless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fresh" => args.fresh = it.next().unwrap_or_else(|| usage()),
+            "--baseline" => args.baseline = it.next().unwrap_or_else(|| usage()),
+            "--tolerance" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                match raw.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t > 0.0 && t < 10.0 => args.tolerance = t,
+                    _ => {
+                        eprintln!("bench_diff: --tolerance wants a fraction like 0.15, got {raw}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--bless" => args.bless = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bench_diff: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn read_report(path: &str) -> Result<mkp_bench::report::BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_report(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let fresh = match read_report(&args.fresh) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            eprintln!("hint: produce it with `cargo run --release -p mkp-bench --bin kernels -- --smoke --json {}`", args.fresh);
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.bless {
+        // Validated above; the baseline becomes a byte copy of the fresh
+        // report so the provenance (sample arrays and all) is preserved.
+        if let Err(e) = std::fs::copy(&args.fresh, &args.baseline) {
+            eprintln!("bench_diff: cannot bless {}: {e}", args.baseline);
+            return ExitCode::from(2);
+        }
+        println!(
+            "blessed: {} -> {} ({} benches)",
+            args.fresh,
+            args.baseline,
+            fresh.benches.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match read_report(&args.baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            eprintln!("hint: create the baseline with `bench_diff --bless` on a known-good tree");
+            return ExitCode::from(2);
+        }
+    };
+    if !baseline.smoke || !fresh.smoke {
+        // Full-mode and smoke-mode figures differ systematically (sample
+        // counts, warmup, suite passes); comparing across modes would
+        // mis-gate.
+        eprintln!(
+            "bench_diff: both reports must be --smoke runs (baseline smoke={}, fresh smoke={})",
+            baseline.smoke, fresh.smoke
+        );
+        return ExitCode::from(2);
+    }
+
+    let diff = diff_reports(&baseline, &fresh, args.tolerance);
+    println!(
+        "bench gate: {} vs {} (tolerance +/-{:.0}% after common-mode normalization)",
+        args.fresh,
+        args.baseline,
+        args.tolerance * 100.0
+    );
+    println!("{}", render_diff(&diff));
+    if gate_passes(&diff.rows) {
+        println!("bench gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench gate: FAIL (re-bless with --bless only for deliberate perf changes)");
+        ExitCode::FAILURE
+    }
+}

@@ -72,7 +72,7 @@ fn bench_intensification(h: &mut Harness) {
     let base = greedy(&inst, &ratios);
     h.bench("swap_intensification 10x250", || {
         let mut sol = base.clone();
-        swap_intensification(&inst, &mut sol, &mut MoveStats::default());
+        swap_intensification(&inst, &ratios, &mut sol, &mut MoveStats::default());
         black_box(sol.value())
     });
     h.bench("strategic_oscillation 10x250 depth6", || {
@@ -167,6 +167,74 @@ fn bench_history(h: &mut Harness) {
         hist.record(&sol);
         black_box(hist.iterations())
     });
+}
+
+fn bench_soa(h: &mut Harness) {
+    use mkp::soa::ResidualLanes;
+    use mkp::Solution;
+    use mkp_tabu::moves::select_drop;
+    for &(n, m) in &[(100usize, 5usize), (250, 10), (500, 25)] {
+        let inst = gk_instance(
+            "b",
+            GkSpec {
+                n,
+                m,
+                tightness: 0.5,
+                seed: 1,
+            },
+        );
+        let ratios = Ratios::new(&inst);
+        let sol = greedy(&inst, &ratios);
+        let view = ratios.view();
+        let mut lanes = ResidualLanes::new();
+        lanes.sync(view, &inst, &sol);
+        // Throughput of the SWAR fits predicate across every item (the
+        // scalar equivalent is Solution::fits in a loop).
+        h.bench(&format!("lane_fits_scan {m}x{n}"), || {
+            let mut hits = 0usize;
+            for j in 0..inst.n() {
+                hits += lanes.fits(view, j) as usize;
+            }
+            black_box(hits)
+        });
+        h.bench(&format!("scalar_fits_scan {m}x{n}"), || {
+            let mut hits = 0usize;
+            for j in 0..inst.n() {
+                hits += sol.fits(&inst, j) as usize;
+            }
+            black_box(hits)
+        });
+        let mut tabu = Recency::new(inst.n(), 15);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        h.bench(&format!("select_drop {m}x{n}"), || {
+            let mut stats = MoveStats::default();
+            black_box(select_drop(
+                &inst, &ratios, &sol, &mut tabu, 0, 0, 0.1, &mut rng, &mut stats,
+            ))
+        });
+        let mut add_sol = Solution::empty(&inst);
+        let mut add_tabu = Recency::new(inst.n(), 15);
+        let mut add_rng = Xoshiro256::seed_from_u64(4);
+        let mut add_stats = MoveStats::default();
+        let mut now = 0u64;
+        // nb_drop = 0 isolates the Add phase (plus fingerprint/observe).
+        h.bench(&format!("add_phase {m}x{n}"), || {
+            apply_move(
+                &inst,
+                &ratios,
+                &mut add_sol,
+                &mut add_tabu,
+                now,
+                0,
+                i64::MAX,
+                0.1,
+                &mut add_rng,
+                &mut add_stats,
+            );
+            now += 1;
+            black_box(add_sol.value())
+        });
+    }
 }
 
 fn bench_neighborhood(h: &mut Harness) {
@@ -297,18 +365,24 @@ fn bench_telemetry(h: &mut Harness) {
 
 fn main() {
     let mut h = Harness::from_args();
-    bench_moves(&mut h);
-    bench_intensification(&mut h);
-    bench_lp(&mut h);
-    bench_exact(&mut h);
-    bench_codec(&mut h);
-    bench_hamming(&mut h);
-    bench_greedy(&mut h);
-    bench_history(&mut h);
-    bench_neighborhood(&mut h);
-    bench_rem(&mut h);
-    bench_dynamic_greedy(&mut h);
-    bench_restriction(&mut h);
-    bench_telemetry(&mut h);
+    // Smoke mode runs the whole suite several times, merging samples per
+    // bench (see Harness::suite_passes) so the bench-diff gate compares
+    // medians that mix independent noise-regime draws.
+    for _ in 0..h.suite_passes() {
+        bench_moves(&mut h);
+        bench_soa(&mut h);
+        bench_intensification(&mut h);
+        bench_lp(&mut h);
+        bench_exact(&mut h);
+        bench_codec(&mut h);
+        bench_hamming(&mut h);
+        bench_greedy(&mut h);
+        bench_history(&mut h);
+        bench_neighborhood(&mut h);
+        bench_rem(&mut h);
+        bench_dynamic_greedy(&mut h);
+        bench_restriction(&mut h);
+        bench_telemetry(&mut h);
+    }
     h.finish();
 }

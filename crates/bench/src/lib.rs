@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 use std::fmt::Write as _;
 

@@ -6,10 +6,27 @@
 //! the natural kernel for that.
 
 /// A fixed-length vector of bits, packed into `u64` words.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct BitVec {
     len: usize,
     words: Vec<u64>,
+}
+
+// Manual `Clone` so `clone_from` reuses the existing word buffer: the
+// best-of-K scan clones solutions into per-slot scratch every move, and the
+// derived impl's `*self = source.clone()` would allocate each time.
+impl Clone for BitVec {
+    fn clone(&self) -> Self {
+        BitVec {
+            len: self.len,
+            words: self.words.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.len = source.len;
+        self.words.clone_from(&source.words);
+    }
 }
 
 const WORD_BITS: usize = 64;
@@ -112,6 +129,14 @@ impl BitVec {
     /// Collect set-bit indices into a `Vec`.
     pub fn ones(&self) -> Vec<usize> {
         self.iter_ones().collect()
+    }
+
+    /// The backing `u64` words, least-significant bit first. Bits at
+    /// `len..` are zero. Exposed for word-parallel kernels (e.g. the tabu
+    /// census of the Drop scan).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// 64-bit fingerprint of the contents (SplitMix64 over the words).

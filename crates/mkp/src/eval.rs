@@ -14,6 +14,7 @@
 //! computed on the fly by the move code.
 
 use crate::instance::Instance;
+use crate::soa::SoaView;
 
 /// Precomputed per-item ratios for an instance.
 #[derive(Debug, Clone)]
@@ -22,6 +23,10 @@ pub struct Ratios {
     burden: Vec<f64>,
     /// Item indices sorted by descending pseudo-utility (ties by index).
     by_utility_desc: Vec<usize>,
+    /// Structure-of-arrays evaluation view (lane-packed weights, drop-score
+    /// tables) built alongside the ratios so every hot path that already
+    /// carries a `&Ratios` gets the word-parallel kernels for free.
+    view: SoaView,
 }
 
 impl Ratios {
@@ -68,10 +73,15 @@ impl Ratios {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
+        let mut view = SoaView::new(inst);
+        // The Add scan walks the utility ranking; give the view's
+        // pre-filter rows the same order so those loads stream.
+        view.set_scan_order(&by_utility_desc);
         Ratios {
             pseudo_utility,
             burden,
             by_utility_desc,
+            view,
         }
     }
 
@@ -91,6 +101,12 @@ impl Ratios {
     #[inline]
     pub fn by_utility_desc(&self) -> &[usize] {
         &self.by_utility_desc
+    }
+
+    /// The structure-of-arrays evaluation view (see [`crate::soa`]).
+    #[inline]
+    pub fn view(&self) -> &SoaView {
+        &self.view
     }
 }
 

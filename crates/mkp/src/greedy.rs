@@ -104,6 +104,37 @@ pub fn dynamic_greedy_fill(inst: &Instance, sol: &mut Solution) {
     }
 }
 
+/// [`dynamic_greedy_fill`] with the word-parallel fits kernel: the residual
+/// lane cache prunes non-fitting candidates four constraints at a time, and
+/// the slack-aware utility is only computed for survivors. Selection is
+/// bit-identical to the scalar fill — the lane check is an exact predicate
+/// and the scoring path is untouched. Falls back to the scalar fill when the
+/// instance's weights exceed the lane payload.
+pub fn dynamic_greedy_fill_view(inst: &Instance, ratios: &Ratios, sol: &mut Solution) {
+    let view = ratios.view();
+    let mut lanes = crate::soa::ResidualLanes::new();
+    loop {
+        lanes.sync(view, inst, sol);
+        if !lanes.usable(view) {
+            return dynamic_greedy_fill(inst, sol);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..inst.n() {
+            if sol.contains(j) || !lanes.fits(view, j) {
+                continue;
+            }
+            let u = dynamic_utility(inst, sol, j);
+            if best.is_none_or(|(_, bu)| u > bu) {
+                best = Some((j, u));
+            }
+        }
+        match best {
+            Some((j, _)) => sol.add(inst, j),
+            None => break,
+        }
+    }
+}
+
 /// GRASP-style randomized greedy over the **dynamic** utility: each step
 /// picks uniformly among the `rcl` best fitting items under the current
 /// slack-aware scores.
@@ -345,6 +376,21 @@ mod tests {
         let weights: Vec<i64> = (0..n * m).map(|_| gen::i64_in(rng, 1, 49)).collect();
         let caps: Vec<i64> = (0..m).map(|_| gen::i64_in(rng, 20, 299)).collect();
         Instance::new("prop", n, m, profits, weights, caps).unwrap()
+    }
+
+    #[test]
+    fn prop_view_fill_matches_scalar_fill() {
+        prop_check!(|rng| (arb_instance(rng), rng.next_u64()), |input| {
+            let (inst, seed) = input;
+            let r = Ratios::new(inst);
+            let mut rng = Xoshiro256::seed_from_u64(*seed);
+            let start = random_feasible(inst, &mut rng);
+            let mut scalar = start.clone();
+            let mut lane = start;
+            dynamic_greedy_fill(inst, &mut scalar);
+            dynamic_greedy_fill_view(inst, &r, &mut lane);
+            assert_eq!(scalar.bits(), lane.bits());
+        });
     }
 
     #[test]

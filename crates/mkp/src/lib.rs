@@ -10,6 +10,9 @@
 //! * [`bitset::BitVec`] — packed bit vectors (Hamming distances between
 //!   slave solutions drive the master's strategy adaptation);
 //! * [`eval::Ratios`] — precomputed pseudo-utility/burden tables;
+//! * [`soa::SoaView`] — structure-of-arrays evaluation view: lane-packed
+//!   weight columns and cached residual capacities for word-parallel
+//!   (SWAR) feasibility tests in the move kernels;
 //! * [`greedy`] — constructive heuristics and the feasibility projection;
 //! * [`generate`] — seeded re-creations of the paper's benchmark suites;
 //! * [`bounds`] — Dantzig-style upper bounds;
@@ -41,6 +44,7 @@ pub mod greedy;
 pub mod instance;
 pub mod restrict;
 pub mod rng;
+pub mod soa;
 pub mod solution;
 pub mod stats;
 pub mod testkit;

@@ -15,11 +15,30 @@ use crate::instance::Instance;
 /// A `Solution` may be infeasible (strategic oscillation deliberately crosses
 /// the feasibility boundary); [`Solution::is_feasible`] reports the current
 /// state and [`Solution::total_overload`] quantifies the violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Solution {
     bits: BitVec,
     value: i64,
     loads: Vec<i64>,
+}
+
+// Manual `Clone` so `clone_from` recycles the bit and load buffers — the
+// move kernels restore trial solutions from scratch space every candidate
+// evaluation, which must not touch the allocator on the steady-state path.
+impl Clone for Solution {
+    fn clone(&self) -> Self {
+        Solution {
+            bits: self.bits.clone(),
+            value: self.value,
+            loads: self.loads.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.bits.clone_from(&source.bits);
+        self.value = source.value;
+        self.loads.clone_from(&source.loads);
+    }
 }
 
 impl Solution {

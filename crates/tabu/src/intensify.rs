@@ -6,6 +6,8 @@
 //! feasible couple is applied, strictly increasing the objective.
 
 use crate::moves::MoveStats;
+use mkp::eval::Ratios;
+use mkp::soa::ResidualLanes;
 use mkp::{Instance, Solution};
 
 /// Apply all profitable feasible 1-1 swaps to `sol`, repeating until a full
@@ -13,7 +15,20 @@ use mkp::{Instance, Solution};
 ///
 /// Every swap strictly increases the objective, so termination is bounded by
 /// the profit sum; in practice a couple of passes suffice.
-pub fn swap_intensification(inst: &Instance, sol: &mut Solution, stats: &mut MoveStats) -> usize {
+///
+/// The entrant scan walks the precomputed profit-descending order and stops
+/// at the first fitting item — identical winner to the full scan (max profit,
+/// ties to the lowest index) at a fraction of the candidate checks. The
+/// legacy full-scan evaluation count is preserved in `stats` so budget
+/// accounting is bit-identical to the scalar implementation.
+pub fn swap_intensification(
+    inst: &Instance,
+    ratios: &Ratios,
+    sol: &mut Solution,
+    stats: &mut MoveStats,
+) -> usize {
+    let view = ratios.view();
+    let mut lanes = ResidualLanes::new();
     let mut swaps = 0;
     loop {
         let mut improved = false;
@@ -26,19 +41,30 @@ pub fn swap_intensification(inst: &Instance, sol: &mut Solution, stats: &mut Mov
             let c_out = inst.profit(out);
             // Tentatively remove, then look for the best profitable entrant.
             sol.drop(inst, out);
-            let mut best_in: Option<(usize, i64)> = None;
-            for j in 0..inst.n() {
+            // The full scan evaluated every unpacked item except `out`.
+            stats.candidate_evals += (inst.n() - sol.cardinality() - 1) as u64;
+            lanes.sync(view, inst, sol);
+            let lanes_live = lanes.usable(view);
+            let mut entrant: Option<usize> = None;
+            for &j in view.by_profit_desc() {
+                if inst.profit(j) <= c_out {
+                    break; // profits only descend from here: no entrant left
+                }
                 if sol.contains(j) || j == out {
                     continue;
                 }
-                stats.candidate_evals += 1;
-                let c_in = inst.profit(j);
-                if c_in > c_out && sol.fits(inst, j) && best_in.is_none_or(|(_, c)| c_in > c) {
-                    best_in = Some((j, c_in));
+                let fits = if lanes_live {
+                    lanes.fits(view, j)
+                } else {
+                    sol.fits(inst, j)
+                };
+                if fits {
+                    entrant = Some(j);
+                    break;
                 }
             }
-            match best_in {
-                Some((j, _)) => {
+            match entrant {
+                Some(j) => {
                     sol.add(inst, j);
                     swaps += 1;
                     improved = true;
@@ -64,10 +90,12 @@ pub fn swap_intensification(inst: &Instance, sol: &mut Solution, stats: &mut Mov
 /// terminates. Returns `true` when the refill improved the objective.
 pub fn lateral_swap_fill(
     inst: &Instance,
-    ratios: &mkp::eval::Ratios,
+    ratios: &Ratios,
     sol: &mut Solution,
     stats: &mut MoveStats,
 ) -> bool {
+    let view = ratios.view();
+    let mut lanes = ResidualLanes::new();
     let before = sol.value();
     loop {
         let mut swapped = false;
@@ -79,13 +107,22 @@ pub fn lateral_swap_fill(
             let c_out = inst.profit(out);
             let w_out = inst.item_weight_sum(out);
             sol.drop(inst, out);
+            // Bulk-count the full scan's per-candidate evaluations, then
+            // filter on the (rare) profit tie before touching the weights.
+            stats.candidate_evals += (inst.n() - sol.cardinality() - 1) as u64;
+            lanes.sync(view, inst, sol);
+            let lanes_live = lanes.usable(view);
             let mut best_in: Option<(usize, i64)> = None;
             for j in 0..inst.n() {
-                if sol.contains(j) || j == out {
+                if sol.contains(j) || j == out || inst.profit(j) != c_out {
                     continue;
                 }
-                stats.candidate_evals += 1;
-                if inst.profit(j) == c_out && sol.fits(inst, j) {
+                let fits = if lanes_live {
+                    lanes.fits(view, j)
+                } else {
+                    sol.fits(inst, j)
+                };
+                if fits {
                     let w_in = inst.item_weight_sum(j);
                     if w_in < w_out && best_in.is_none_or(|(_, w)| w_in < w) {
                         best_in = Some((j, w_in));
@@ -104,8 +141,7 @@ pub fn lateral_swap_fill(
             break;
         }
     }
-    let _ = ratios; // static table no longer needed for the refill
-    mkp::greedy::dynamic_greedy_fill(inst, sol);
+    mkp::greedy::dynamic_greedy_fill_view(inst, ratios, sol);
     debug_assert!(sol.is_feasible(inst));
     sol.value() > before
 }
@@ -118,9 +154,13 @@ pub fn lateral_swap_fill(
 /// nor lateral 1-1 swaps can see. O(cardinality · n) per pass.
 pub fn drop_refill_intensification(
     inst: &Instance,
+    ratios: &Ratios,
     sol: &mut Solution,
     stats: &mut MoveStats,
 ) -> usize {
+    let view = ratios.view();
+    let mut lanes = ResidualLanes::new();
+    let mut trial = sol.clone();
     let mut improvements = 0;
     loop {
         let mut improved = false;
@@ -128,19 +168,26 @@ pub fn drop_refill_intensification(
             if !sol.contains(out) {
                 continue;
             }
-            let mut trial = sol.clone();
+            trial.clone_from(sol);
             trial.drop(inst, out);
             // Refill everything except the expelled item itself (otherwise
             // the fill just restores the status quo), choosing by dynamic
             // slack-aware utility.
             loop {
+                lanes.sync(view, inst, &trial);
+                let lanes_live = lanes.usable(view);
                 let mut best: Option<(usize, f64)> = None;
                 for j in 0..inst.n() {
                     if j == out || trial.contains(j) {
                         continue;
                     }
                     stats.candidate_evals += 1;
-                    if !trial.fits(inst, j) {
+                    let fits = if lanes_live {
+                        lanes.fits(view, j)
+                    } else {
+                        trial.fits(inst, j)
+                    };
+                    if !fits {
                         continue;
                     }
                     let u = mkp::greedy::dynamic_utility(inst, &trial, j);
@@ -154,7 +201,7 @@ pub fn drop_refill_intensification(
                 }
             }
             if trial.value() > sol.value() {
-                *sol = trial;
+                sol.clone_from(&trial);
                 improvements += 1;
                 improved = true;
             }
@@ -243,9 +290,10 @@ mod tests {
     fn swap_improves_suboptimal_solution() {
         // Items: profit 1 (light) packed, profit 10 (same weight) outside.
         let inst = Instance::new("s", 2, 1, vec![1, 10], vec![3, 3], vec![3]).unwrap();
+        let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
         let mut stats = MoveStats::default();
-        let swaps = swap_intensification(&inst, &mut sol, &mut stats);
+        let swaps = swap_intensification(&inst, &ratios, &mut sol, &mut stats);
         assert_eq!(swaps, 1);
         assert_eq!(sol.value(), 10);
         assert!(sol.contains(1) && !sol.contains(0));
@@ -254,10 +302,11 @@ mod tests {
     #[test]
     fn no_swap_when_already_best() {
         let inst = Instance::new("b", 2, 1, vec![10, 1], vec![3, 3], vec![3]).unwrap();
+        let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
         let v = sol.value();
         assert_eq!(
-            swap_intensification(&inst, &mut sol, &mut MoveStats::default()),
+            swap_intensification(&inst, &ratios, &mut sol, &mut MoveStats::default()),
             0
         );
         assert_eq!(sol.value(), v);
@@ -267,9 +316,10 @@ mod tests {
     fn respects_feasibility() {
         // Higher-profit item is too heavy to swap in.
         let inst = Instance::new("f", 2, 1, vec![5, 50], vec![2, 10], vec![4]).unwrap();
+        let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
         assert_eq!(
-            swap_intensification(&inst, &mut sol, &mut MoveStats::default()),
+            swap_intensification(&inst, &ratios, &mut sol, &mut MoveStats::default()),
             0
         );
         assert!(sol.contains(0));
@@ -280,9 +330,10 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(11);
         for seed in 0..10 {
             let inst = uncorrelated_instance("r", 30, 3, 0.5, seed);
+            let ratios = Ratios::new(&inst);
             let mut sol = random_feasible(&inst, &mut rng);
             let before = sol.value();
-            swap_intensification(&inst, &mut sol, &mut MoveStats::default());
+            swap_intensification(&inst, &ratios, &mut sol, &mut MoveStats::default());
             assert!(sol.value() >= before);
             assert!(sol.is_feasible(&inst));
             assert!(sol.check_consistent(&inst));
@@ -293,9 +344,10 @@ mod tests {
     fn multi_pass_chains_swaps() {
         // Swapping 0→1 frees weight that lets a later pass swap 2→3.
         let inst = Instance::new("c", 4, 1, vec![2, 6, 3, 7], vec![4, 2, 4, 6], vec![8]).unwrap();
+        let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, true, false]));
         let mut stats = MoveStats::default();
-        let swaps = swap_intensification(&inst, &mut sol, &mut stats);
+        let swaps = swap_intensification(&inst, &ratios, &mut sol, &mut stats);
         assert!(swaps >= 2, "expected chained swaps, got {swaps}");
         assert_eq!(sol.value(), 13); // items 1 and 3
     }
@@ -342,8 +394,10 @@ mod tests {
     fn drop_refill_finds_one_for_two_trade() {
         // Item 0 (profit 6, weight 4) blocks items 1+2 (profit 4+3, weight 2+2).
         let inst = Instance::new("dr", 3, 1, vec![6, 4, 3], vec![4, 2, 2], vec![4]).unwrap();
+        let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false, false]));
-        let improvements = drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default());
+        let improvements =
+            drop_refill_intensification(&inst, &ratios, &mut sol, &mut MoveStats::default());
         assert_eq!(improvements, 1);
         assert_eq!(sol.value(), 7);
         assert!(!sol.contains(0));
@@ -354,9 +408,10 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(19);
         for seed in 0..10 {
             let inst = uncorrelated_instance("d", 40, 4, 0.5, seed);
+            let ratios = Ratios::new(&inst);
             let mut sol = random_feasible(&inst, &mut rng);
             let before = sol.value();
-            drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default());
+            drop_refill_intensification(&inst, &ratios, &mut sol, &mut MoveStats::default());
             assert!(sol.value() >= before);
             assert!(sol.is_feasible(&inst));
             assert!(sol.check_consistent(&inst));
@@ -366,9 +421,10 @@ mod tests {
     #[test]
     fn drop_refill_noop_on_optimal_packing() {
         let inst = Instance::new("opt", 2, 1, vec![10, 1], vec![3, 3], vec![3]).unwrap();
+        let ratios = Ratios::new(&inst);
         let mut sol = Solution::from_bits(&inst, BitVec::from_bools([true, false]));
         assert_eq!(
-            drop_refill_intensification(&inst, &mut sol, &mut MoveStats::default()),
+            drop_refill_intensification(&inst, &ratios, &mut sol, &mut MoveStats::default()),
             0
         );
         assert_eq!(sol.value(), 10);
@@ -424,7 +480,7 @@ mod tests {
         let ratios = Ratios::new(&inst);
         let mut sol = mkp::greedy::greedy(&inst, &ratios);
         let mut stats = MoveStats::default();
-        swap_intensification(&inst, &mut sol, &mut stats);
+        swap_intensification(&inst, &ratios, &mut sol, &mut stats);
         assert!(stats.candidate_evals > 0);
     }
 }

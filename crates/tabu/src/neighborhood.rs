@@ -15,10 +15,21 @@
 //! deterministically derived RNG stream); thread-per-move overhead makes it
 //! slower on one core, which is exactly the paper's point about granularity
 //! (§2: coarse-grain thread parallelism minimizes communication overhead).
+//!
+//! # Hot path
+//!
+//! The sequential scan is allocation-free at steady state: the K-best drop
+//! candidates go through a bounded stable insert into reusable scratch
+//! (no sort, no temporary `Vec`), candidate completions are evaluated into
+//! per-slot scratch solutions restored with `clone_from`, and drop scores
+//! stream from the SoA view's precomputed row for the saturated constraint
+//! (one contiguous table walk per scan). Callers that loop — the engine —
+//! hold a [`NeighborhoodScratch`] and use [`best_of_k_move_in`];
+//! [`best_of_k_move`] wraps it with fresh scratch for one-shot use.
 
 use crate::moves::{apply_move, MoveOutcome, MoveStats};
 use crate::tabu_list::TabuMemory;
-use mkp::eval::{drop_score, Ratios};
+use mkp::eval::Ratios;
 use mkp::{Instance, Solution, Xoshiro256};
 
 /// How the engine picks each move.
@@ -43,8 +54,55 @@ struct Candidate {
     stats: MoveStats,
 }
 
+/// Reusable per-engine scratch for [`best_of_k_move_in`]: the bounded
+/// K-best drop buffer and one evaluation slot per candidate, restored with
+/// `clone_from` so the steady-state sequential path never allocates.
+pub struct NeighborhoodScratch<M> {
+    /// K best (item, drop-score) candidates, descending score, stable.
+    top: Vec<(usize, f64)>,
+    slots: Vec<Slot<M>>,
+}
+
+struct Slot<M> {
+    sol: Solution,
+    mem: M,
+    outcome: MoveOutcome,
+    stats: MoveStats,
+}
+
+impl<M: TabuMemory + Clone> NeighborhoodScratch<M> {
+    /// Empty scratch; buffers grow to the first move's width and are
+    /// reused thereafter.
+    pub fn new() -> Self {
+        NeighborhoodScratch {
+            top: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Make sure `k` evaluation slots exist (cloning the live state only
+    /// when a slot is first created).
+    fn ensure_slots(&mut self, k: usize, base: &Solution, tabu: &M) {
+        while self.slots.len() < k {
+            self.slots.push(Slot {
+                sol: base.clone(),
+                mem: tabu.clone(),
+                outcome: MoveOutcome::empty(),
+                stats: MoveStats::default(),
+            });
+        }
+    }
+}
+
+impl<M: TabuMemory + Clone> Default for NeighborhoodScratch<M> {
+    fn default() -> Self {
+        NeighborhoodScratch::new()
+    }
+}
+
 /// Evaluate one candidate: force `first_drop`, then complete the move with
-/// the standard machinery under an independent RNG stream.
+/// the standard machinery under an independent RNG stream. Used by the
+/// parallel path, which clones per thread.
 #[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
 fn evaluate_candidate<M: TabuMemory + Clone>(
     inst: &Instance,
@@ -79,7 +137,7 @@ fn evaluate_candidate<M: TabuMemory + Clone>(
         &mut rng,
         &mut stats,
     );
-    outcome.dropped.insert(0, first_drop);
+    outcome.dropped.insert_front(first_drop);
     Candidate {
         solution: sol,
         outcome,
@@ -87,10 +145,201 @@ fn evaluate_candidate<M: TabuMemory + Clone>(
     }
 }
 
-/// Examine the width-K neighborhood and commit the best completion.
+/// Evaluate one candidate into a reusable slot (sequential hot path):
+/// identical computation to [`evaluate_candidate`], zero allocations once
+/// the slot's buffers have grown.
+#[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
+fn evaluate_candidate_into<M: TabuMemory + Clone>(
+    inst: &Instance,
+    ratios: &Ratios,
+    base: &Solution,
+    tabu: &M,
+    now: u64,
+    nb_drop: usize,
+    best_value: i64,
+    noise: f64,
+    first_drop: usize,
+    seed: u64,
+    slot: &mut Slot<M>,
+) {
+    slot.sol.clone_from(base);
+    slot.mem.clone_from(tabu);
+    slot.stats = MoveStats::default();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+
+    slot.sol.drop(inst, first_drop);
+    slot.mem.forbid(first_drop, now);
+    let outcome = apply_move(
+        inst,
+        ratios,
+        &mut slot.sol,
+        &mut slot.mem,
+        now,
+        nb_drop.saturating_sub(1),
+        best_value,
+        noise,
+        &mut rng,
+        &mut slot.stats,
+    );
+    slot.outcome = outcome;
+    slot.outcome.dropped.insert_front(first_drop);
+}
+
+/// Examine the width-K neighborhood and commit the best completion,
+/// reusing `scratch` across calls (the engine's steady-state path).
 ///
 /// Falls back to the constructive move when the knapsack is empty or no
 /// non-tabu drop candidate exists. Returns the committed move outcome.
+#[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
+pub fn best_of_k_move_in<M: TabuMemory + Clone + Sync>(
+    inst: &Instance,
+    ratios: &Ratios,
+    sol: &mut Solution,
+    tabu: &mut M,
+    now: u64,
+    nb_drop: usize,
+    best_value: i64,
+    noise: f64,
+    width: usize,
+    parallel: bool,
+    rng: &mut Xoshiro256,
+    stats: &mut MoveStats,
+    scratch: &mut NeighborhoodScratch<M>,
+) -> MoveOutcome {
+    assert!(width >= 1, "neighborhood width must be positive");
+    if sol.cardinality() == 0 {
+        return apply_move(
+            inst, ratios, sol, tabu, now, nb_drop, best_value, noise, rng, stats,
+        );
+    }
+
+    // The K best non-tabu drop candidates against the most saturated
+    // constraint: a bounded stable insert over the set bits, reading the
+    // precomputed score row (equal scores keep scan order, so the result
+    // is exactly "stable sort descending, truncate to width").
+    let i_star = sol.most_saturated_constraint(inst);
+    let row = ratios.view().drop_score_row(i_star);
+    let top = &mut scratch.top;
+    top.clear();
+    top.reserve(width);
+    for j in sol.bits().iter_ones() {
+        stats.candidate_evals += 1;
+        if tabu.is_tabu(j, now) {
+            continue;
+        }
+        let score = row[j];
+        if top.len() == width && score <= top[width - 1].1 {
+            continue;
+        }
+        let pos = top.partition_point(|&(_, s)| s >= score);
+        if top.len() == width {
+            top.pop();
+        }
+        top.insert(pos, (j, score));
+    }
+    if top.is_empty() {
+        return apply_move(
+            inst, ratios, sol, tabu, now, nb_drop, best_value, noise, rng, stats,
+        );
+    }
+
+    // Independent per-candidate RNG streams derived once, so parallel and
+    // sequential evaluation are bit-identical.
+    let base_seed = rng.next_u64();
+    let seed_of = |idx: usize| base_seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let k = top.len();
+
+    if parallel && k > 1 {
+        // Parallel path: clone-per-thread, as before (exists for
+        // architectural completeness; granularity makes it slower here).
+        let candidates: Vec<Candidate> = std::thread::scope(|scope| {
+            let handles: Vec<_> = top
+                .iter()
+                .enumerate()
+                .map(|(idx, &(first_drop, _))| {
+                    let sol = &*sol;
+                    let tabu = &*tabu;
+                    scope.spawn(move || {
+                        evaluate_candidate(
+                            inst,
+                            ratios,
+                            sol,
+                            tabu,
+                            now,
+                            nb_drop,
+                            best_value,
+                            noise,
+                            first_drop,
+                            seed_of(idx),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("candidate evaluation panicked"))
+                .collect()
+        });
+        // Best completion wins; ties break toward the better drop score
+        // (earlier candidate) for determinism.
+        let mut best_idx = 0;
+        for idx in 1..k {
+            if candidates[idx].solution.value() > candidates[best_idx].solution.value() {
+                best_idx = idx;
+            }
+        }
+        for c in &candidates {
+            stats.candidate_evals += c.stats.candidate_evals;
+        }
+        stats.moves += 1;
+        let winner = &candidates[best_idx];
+        sol.clone_from(&winner.solution);
+        for &d in &winner.outcome.dropped {
+            tabu.forbid(d, now);
+        }
+        tabu.observe_solution(sol.bits().fingerprint(), &winner.outcome.dropped, now);
+        return winner.outcome.clone();
+    }
+
+    // Sequential path: evaluate into reusable slots.
+    scratch.ensure_slots(k, sol, tabu);
+    for (idx, slot) in scratch.slots[..k].iter_mut().enumerate() {
+        let first_drop = scratch.top[idx].0;
+        evaluate_candidate_into(
+            inst,
+            ratios,
+            sol,
+            tabu,
+            now,
+            nb_drop,
+            best_value,
+            noise,
+            first_drop,
+            seed_of(idx),
+            slot,
+        );
+    }
+    let mut best_idx = 0;
+    for idx in 1..k {
+        if scratch.slots[idx].sol.value() > scratch.slots[best_idx].sol.value() {
+            best_idx = idx;
+        }
+    }
+    for slot in &scratch.slots[..k] {
+        stats.candidate_evals += slot.stats.candidate_evals;
+    }
+    stats.moves += 1;
+    let winner = &scratch.slots[best_idx];
+    sol.clone_from(&winner.sol);
+    for &d in &winner.outcome.dropped {
+        tabu.forbid(d, now);
+    }
+    tabu.observe_solution(sol.bits().fingerprint(), &winner.outcome.dropped, now);
+    winner.outcome.clone()
+}
+
+/// Examine the width-K neighborhood and commit the best completion
+/// (one-shot wrapper over [`best_of_k_move_in`] with fresh scratch).
 #[allow(clippy::too_many_arguments)] // mirrors apply_move's knob set
 pub fn best_of_k_move<M: TabuMemory + Clone + Sync>(
     inst: &Instance,
@@ -106,94 +355,29 @@ pub fn best_of_k_move<M: TabuMemory + Clone + Sync>(
     rng: &mut Xoshiro256,
     stats: &mut MoveStats,
 ) -> MoveOutcome {
-    assert!(width >= 1, "neighborhood width must be positive");
-    if sol.cardinality() == 0 {
-        return apply_move(
-            inst, ratios, sol, tabu, now, nb_drop, best_value, noise, rng, stats,
-        );
-    }
-
-    // The K best non-tabu drop candidates against the most saturated
-    // constraint (ties by index for determinism).
-    let i_star = sol.most_saturated_constraint(inst);
-    let mut scored: Vec<(usize, f64)> = Vec::new();
-    for j in sol.bits().iter_ones() {
-        stats.candidate_evals += 1;
-        if !tabu.is_tabu(j, now) {
-            scored.push((j, drop_score(inst, i_star, j)));
-        }
-    }
-    if scored.is_empty() {
-        return apply_move(
-            inst, ratios, sol, tabu, now, nb_drop, best_value, noise, rng, stats,
-        );
-    }
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    scored.truncate(width);
-
-    // Independent per-candidate RNG streams derived once, so parallel and
-    // sequential evaluation are bit-identical.
-    let base_seed = rng.next_u64();
-    let eval = |(idx, &(first_drop, _)): (usize, &(usize, f64))| {
-        evaluate_candidate(
-            inst,
-            ratios,
-            sol,
-            tabu,
-            now,
-            nb_drop,
-            best_value,
-            noise,
-            first_drop,
-            base_seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        )
-    };
-
-    let candidates: Vec<Candidate> = if parallel && scored.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = scored
-                .iter()
-                .enumerate()
-                .map(|pair| scope.spawn(move || eval(pair)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("candidate evaluation panicked"))
-                .collect()
-        })
-    } else {
-        scored.iter().enumerate().map(eval).collect()
-    };
-
-    // Best completion wins; ties break toward the better drop score
-    // (earlier candidate) for determinism.
-    let best_idx = candidates
-        .iter()
-        .enumerate()
-        .max_by(|(ia, a), (ib, b)| {
-            a.solution.value().cmp(&b.solution.value()).then(ib.cmp(ia)) // prefer the lower index on ties
-        })
-        .map(|(i, _)| i)
-        .expect("at least one candidate");
-
-    let winner = &candidates[best_idx];
-    for c in &candidates {
-        stats.candidate_evals += c.stats.candidate_evals;
-    }
-    stats.moves += 1;
-
-    *sol = winner.solution.clone();
-    for &d in &winner.outcome.dropped {
-        tabu.forbid(d, now);
-    }
-    tabu.observe_solution(sol.bits().fingerprint(), &winner.outcome.dropped, now);
-    winner.outcome.clone()
+    let mut scratch = NeighborhoodScratch::new();
+    best_of_k_move_in(
+        inst,
+        ratios,
+        sol,
+        tabu,
+        now,
+        nb_drop,
+        best_value,
+        noise,
+        width,
+        parallel,
+        rng,
+        stats,
+        &mut scratch,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tabu_list::Recency;
+    use mkp::eval::drop_score;
     use mkp::generate::{gk_instance, uncorrelated_instance, GkSpec};
     use mkp::greedy::greedy;
 
@@ -263,6 +447,70 @@ mod tests {
         let (par_trail, par_bits) = run(true);
         assert_eq!(seq_trail, par_trail, "value trails diverged");
         assert_eq!(seq_bits, par_bits, "final assignments diverged");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot() {
+        // The engine's scratch-reusing entry point must replay the
+        // one-shot wrapper exactly, move for move.
+        let (inst, ratios) = setup(7);
+        let run_fresh = || {
+            let mut sol = greedy(&inst, &ratios);
+            let mut tabu = Recency::new(inst.n(), 5);
+            let mut rng = Xoshiro256::seed_from_u64(21);
+            let mut stats = MoveStats::default();
+            let mut trail = Vec::new();
+            for now in 0..80 {
+                best_of_k_move(
+                    &inst,
+                    &ratios,
+                    &mut sol,
+                    &mut tabu,
+                    now,
+                    2,
+                    i64::MAX,
+                    0.1,
+                    3,
+                    false,
+                    &mut rng,
+                    &mut stats,
+                );
+                trail.push(sol.value());
+            }
+            (trail, sol.bits().clone(), stats)
+        };
+        let run_reused = || {
+            let mut sol = greedy(&inst, &ratios);
+            let mut tabu = Recency::new(inst.n(), 5);
+            let mut rng = Xoshiro256::seed_from_u64(21);
+            let mut stats = MoveStats::default();
+            let mut scratch = NeighborhoodScratch::new();
+            let mut trail = Vec::new();
+            for now in 0..80 {
+                best_of_k_move_in(
+                    &inst,
+                    &ratios,
+                    &mut sol,
+                    &mut tabu,
+                    now,
+                    2,
+                    i64::MAX,
+                    0.1,
+                    3,
+                    false,
+                    &mut rng,
+                    &mut stats,
+                    &mut scratch,
+                );
+                trail.push(sol.value());
+            }
+            (trail, sol.bits().clone(), stats)
+        };
+        let (ft, fb, fs) = run_fresh();
+        let (rt, rb, rs) = run_reused();
+        assert_eq!(ft, rt, "value trails diverged");
+        assert_eq!(fb, rb, "final assignments diverged");
+        assert_eq!(fs, rs, "stats diverged");
     }
 
     #[test]

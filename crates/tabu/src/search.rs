@@ -14,7 +14,7 @@ use crate::intensify::{
     swap_intensification,
 };
 use crate::moves::{apply_move, MoveStats};
-use crate::neighborhood::{best_of_k_move, MoveSelection};
+use crate::neighborhood::{best_of_k_move_in, MoveSelection, NeighborhoodScratch};
 use crate::oscillate::strategic_oscillation;
 use crate::strategy::Strategy;
 use crate::tabu_list::{Recency, TabuMemory};
@@ -180,6 +180,10 @@ pub fn run_with_memory<M: TabuMemory + Clone + Sync>(
     let mut stats = MoveStats::default();
     let mut now: u64 = 0;
     let mut exhausted = false;
+    // Engine-lifetime scratch for the best-of-K scan: slot solutions,
+    // memories, and the drop-score top list live across moves so the
+    // steady-state path never allocates.
+    let mut scratch: NeighborhoodScratch<M> = NeighborhoodScratch::new();
 
     'outer: for _div in 0..config.nb_div {
         for _int in 0..config.nb_int {
@@ -203,7 +207,7 @@ pub fn run_with_memory<M: TabuMemory + Clone + Sync>(
                         );
                     }
                     MoveSelection::BestOfK { width, parallel } => {
-                        best_of_k_move(
+                        best_of_k_move_in(
                             inst,
                             ratios,
                             &mut x,
@@ -216,6 +220,7 @@ pub fn run_with_memory<M: TabuMemory + Clone + Sync>(
                             parallel,
                             rng,
                             &mut stats,
+                            &mut scratch,
                         );
                     }
                 }
@@ -240,15 +245,15 @@ pub fn run_with_memory<M: TabuMemory + Clone + Sync>(
             // --- Intensification (Fig. 1 step 11) ---
             match config.intensification {
                 Intensification::Swap => {
-                    swap_intensification(inst, &mut x_local, &mut stats);
+                    swap_intensification(inst, ratios, &mut x_local, &mut stats);
                 }
                 Intensification::Oscillation => {
                     strategic_oscillation(inst, ratios, &mut x_local, config.osc_depth, &mut stats);
                 }
                 Intensification::Both => {
-                    swap_intensification(inst, &mut x_local, &mut stats);
+                    swap_intensification(inst, ratios, &mut x_local, &mut stats);
                     lateral_swap_fill(inst, ratios, &mut x_local, &mut stats);
-                    drop_refill_intensification(inst, &mut x_local, &mut stats);
+                    drop_refill_intensification(inst, ratios, &mut x_local, &mut stats);
                     ejection_chain_intensification(inst, &mut x_local, &mut stats, 3);
                     strategic_oscillation(inst, ratios, &mut x_local, config.osc_depth, &mut stats);
                 }

@@ -41,14 +41,64 @@ pub trait TabuMemory {
         let _ = item;
         0
     }
+
+    /// How many set bits of `bits` are currently tabu — the census the Drop
+    /// selection takes before ranking its candidates. Must equal iterating
+    /// [`TabuMemory::is_tabu`] over the set bits; implementations may
+    /// override with a word-parallel version (`&mut self` admits lazily
+    /// maintained caches).
+    fn count_tabu(&mut self, bits: &mkp::BitVec, now: u64) -> usize {
+        bits.iter_ones().filter(|&j| self.is_tabu(j, now)).count()
+    }
 }
 
 /// Fixed-tenure recency memory: item `j` is tabu until `forbid`-time +
 /// tenure. O(1) everything; the memory the paper's slaves run.
-#[derive(Debug, Clone)]
+///
+/// Beside the expiry array (the source of truth for [`Recency::is_tabu`])
+/// it keeps a packed tabu bitmask plus a FIFO of pending expiries, so the
+/// Drop census is an AND-and-popcount over `u64` words instead of a gather
+/// per packed item. The mask is cleaned lazily at census time; entries whose
+/// item was re-forbidden in the meantime are recognised by an expiry
+/// mismatch and skipped.
+#[derive(Debug)]
 pub struct Recency {
     expiry: Vec<u64>,
     tenure: usize,
+    /// Packed tabu bits; exact for clock `t` once cleaned to `t`.
+    mask: Vec<u64>,
+    /// Pending `(expiry, item)` pairs, non-decreasing by expiry unless a
+    /// tenure retune broke monotonicity (then `sorted` is false and the
+    /// next census re-sorts).
+    queue: std::collections::VecDeque<(u64, u32)>,
+    sorted: bool,
+    /// Clock the queue was last cleaned to; a census probing an earlier
+    /// clock falls back to the exact per-item scan.
+    cleaned_to: u64,
+}
+
+// Manual `Clone` so `clone_from` reuses the buffers when best-of-K restores
+// a trial memory from scratch space (allocation-free steady state).
+impl Clone for Recency {
+    fn clone(&self) -> Self {
+        Recency {
+            expiry: self.expiry.clone(),
+            tenure: self.tenure,
+            mask: self.mask.clone(),
+            queue: self.queue.clone(),
+            sorted: self.sorted,
+            cleaned_to: self.cleaned_to,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.expiry.clone_from(&source.expiry);
+        self.tenure = source.tenure;
+        self.mask.clone_from(&source.mask);
+        self.queue.clone_from(&source.queue);
+        self.sorted = source.sorted;
+        self.cleaned_to = source.cleaned_to;
+    }
 }
 
 impl Recency {
@@ -57,6 +107,10 @@ impl Recency {
         Recency {
             expiry: vec![0; n],
             tenure,
+            mask: vec![0; n.div_ceil(64)],
+            queue: std::collections::VecDeque::new(),
+            sorted: true,
+            cleaned_to: 0,
         }
     }
 }
@@ -64,7 +118,30 @@ impl Recency {
 impl TabuMemory for Recency {
     #[inline]
     fn forbid(&mut self, item: usize, now: u64) {
-        self.expiry[item] = now + self.tenure as u64;
+        let exp = now + self.tenure as u64;
+        self.expiry[item] = exp;
+        self.mask[item / 64] |= 1u64 << (item % 64);
+        if self.queue.back().is_some_and(|&(back, _)| exp < back) {
+            self.sorted = false;
+        }
+        self.queue.push_back((exp, item as u32));
+        // Opportunistically drain expired entries so the queue stays
+        // bounded even when no census ever runs (the best-of-K path calls
+        // the census only on its scratch clones). Same cleaning rule as
+        // `count_tabu`; amortized O(1) — each entry is popped once.
+        if self.sorted && now >= self.cleaned_to {
+            while let Some(&(e, it)) = self.queue.front() {
+                if e > now {
+                    break;
+                }
+                self.queue.pop_front();
+                let j = it as usize;
+                if self.expiry[j] == e {
+                    self.mask[j / 64] &= !(1u64 << (j % 64));
+                }
+            }
+            self.cleaned_to = now;
+        }
     }
 
     #[inline]
@@ -84,10 +161,48 @@ impl TabuMemory for Recency {
 
     fn reset(&mut self) {
         self.expiry.iter_mut().for_each(|e| *e = 0);
+        self.mask.iter_mut().for_each(|w| *w = 0);
+        self.queue.clear();
+        self.sorted = true;
+        self.cleaned_to = 0;
     }
 
     fn relaxation_key(&self, item: usize) -> u64 {
         self.expiry[item]
+    }
+
+    // Word-parallel census: clean the pending queue up to `now` (amortized
+    // O(1) — each forbid is popped once), then AND the tabu mask with the
+    // solution words and popcount. No per-item gather.
+    fn count_tabu(&mut self, bits: &mkp::BitVec, now: u64) -> usize {
+        debug_assert_eq!(bits.len(), self.expiry.len());
+        if now < self.cleaned_to {
+            // The mask already reflects a later clock; serve the probe
+            // from the exact expiry array instead.
+            return bits.iter_ones().filter(|&j| self.is_tabu(j, now)).count();
+        }
+        if !self.sorted {
+            self.queue.make_contiguous().sort_unstable();
+            self.sorted = true;
+        }
+        while let Some(&(exp, item)) = self.queue.front() {
+            if exp > now {
+                break;
+            }
+            self.queue.pop_front();
+            let j = item as usize;
+            // A mismatch means the item was re-forbidden after this entry
+            // was queued; its newer entry will clear the bit on time.
+            if self.expiry[j] == exp {
+                self.mask[j / 64] &= !(1u64 << (j % 64));
+            }
+        }
+        self.cleaned_to = now;
+        self.mask
+            .iter()
+            .zip(bits.words())
+            .map(|(&m, &w)| (m & w).count_ones() as usize)
+            .sum()
     }
 }
 
@@ -146,5 +261,43 @@ mod tests {
         mem.forbid(1, 0);
         mem.reset();
         assert!(!mem.is_tabu(1, 1));
+    }
+
+    #[test]
+    fn count_tabu_matches_per_item_scan() {
+        // n crosses a word boundary; forbids and packed bits interleave.
+        let n = 130;
+        let mut mem = Recency::new(n, 7);
+        for j in (0..n).step_by(3) {
+            mem.forbid(j, j as u64); // staggered expiries
+        }
+        let bits = mkp::BitVec::from_bools((0..n).map(|j| j % 2 == 0));
+        for now in [0u64, 5, 60, 129, 140] {
+            let naive = bits.iter_ones().filter(|&j| mem.is_tabu(j, now)).count();
+            assert_eq!(mem.count_tabu(&bits, now), naive, "now={now}");
+        }
+    }
+
+    #[test]
+    fn count_tabu_survives_retunes_reforbids_and_clock_rewind() {
+        let n = 70;
+        let mut mem = Recency::new(n, 10);
+        let bits = mkp::BitVec::from_bools((0..n).map(|j| j % 3 != 1));
+        let naive =
+            |mem: &Recency, now: u64| bits.iter_ones().filter(|&j| mem.is_tabu(j, now)).count();
+        mem.forbid(0, 0); // expiry 10
+        mem.forbid(3, 2); // expiry 12
+        assert_eq!(mem.count_tabu(&bits, 5), naive(&mem, 5));
+        // Tenure shrink breaks queue monotonicity (expiry 7 < 12).
+        mem.set_tenure(3);
+        mem.forbid(6, 4); // expiry 7
+        mem.forbid(3, 5); // re-forbid: expiry drops from 12 to 8
+        for now in [6u64, 7, 8, 9, 11, 13] {
+            assert_eq!(mem.count_tabu(&bits, now), naive(&mem, now), "now={now}");
+        }
+        // A rewound probe (best-of-K style) must still be exact.
+        assert_eq!(mem.count_tabu(&bits, 6), naive(&mem, 6));
+        mem.reset();
+        assert_eq!(mem.count_tabu(&bits, 0), 0);
     }
 }

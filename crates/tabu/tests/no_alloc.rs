@@ -1,0 +1,180 @@
+//! Regression gate: the best-of-K neighborhood scan must not touch the
+//! heap once its scratch buffers are warm. A counting global allocator
+//! watches a long steady-state run of [`best_of_k_move_in`]; any
+//! allocation (or reallocation) on the hot path fails the test.
+//!
+//! This lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use mkp::eval::Ratios;
+use mkp::generate::{gk_instance, GkSpec};
+use mkp::greedy::greedy;
+use mkp::Xoshiro256;
+use mkp_tabu::moves::MoveStats;
+use mkp_tabu::neighborhood::{best_of_k_move_in, NeighborhoodScratch};
+use mkp_tabu::tabu_list::Recency;
+
+/// Pass-through allocator that counts heap traffic while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn apply_move_steady_state_is_allocation_free() {
+    use mkp_tabu::moves::apply_move;
+    let inst = gk_instance(
+        "na2",
+        GkSpec {
+            n: 250,
+            m: 10,
+            tightness: 0.5,
+            seed: 7,
+        },
+    );
+    let ratios = Ratios::new(&inst);
+    let mut sol = greedy(&inst, &ratios);
+    let mut tabu = Recency::new(inst.n(), 15);
+    let mut stats = MoveStats::default();
+    let mut rng = Xoshiro256::seed_from_u64(8);
+    let mut now = 0u64;
+    for _ in 0..5_000 {
+        apply_move(
+            &inst,
+            &ratios,
+            &mut sol,
+            &mut tabu,
+            now,
+            2,
+            i64::MAX,
+            0.1,
+            &mut rng,
+            &mut stats,
+        );
+        now += 1;
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..10_000 {
+        apply_move(
+            &inst,
+            &ratios,
+            &mut sol,
+            &mut tabu,
+            now,
+            2,
+            i64::MAX,
+            0.1,
+            &mut rng,
+            &mut stats,
+        );
+        now += 1;
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "apply_move allocated {allocs} time(s) over 10k steady-state moves"
+    );
+}
+
+#[test]
+fn best_of_k_steady_state_is_allocation_free() {
+    let inst = gk_instance(
+        "na",
+        GkSpec {
+            n: 250,
+            m: 10,
+            tightness: 0.5,
+            seed: 7,
+        },
+    );
+    let ratios = Ratios::new(&inst);
+    let mut sol = greedy(&inst, &ratios);
+    let mut tabu = Recency::new(inst.n(), 15);
+    let mut stats = MoveStats::default();
+    let mut rng = Xoshiro256::seed_from_u64(8);
+    let mut scratch = NeighborhoodScratch::new();
+    let mut now = 0u64;
+
+    // Warm-up: let every lazily-grown buffer (neighborhood slots, the
+    // move workspace, tabu census queue, stats) reach its steady size.
+    for _ in 0..5_000 {
+        best_of_k_move_in(
+            &inst,
+            &ratios,
+            &mut sol,
+            &mut tabu,
+            now,
+            2,
+            i64::MAX,
+            0.1,
+            4,
+            false,
+            &mut rng,
+            &mut stats,
+            &mut scratch,
+        );
+        now += 1;
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..10_000 {
+        best_of_k_move_in(
+            &inst,
+            &ratios,
+            &mut sol,
+            &mut tabu,
+            now,
+            2,
+            i64::MAX,
+            0.1,
+            4,
+            false,
+            &mut rng,
+            &mut stats,
+            &mut scratch,
+        );
+        now += 1;
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "best_of_k_move_in allocated {allocs} time(s) over 10k steady-state moves"
+    );
+}

@@ -10,7 +10,35 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-step() { printf '\n=== %s ===\n' "$*"; }
+# One EXIT trap for the whole script: every temp file registers itself in
+# CLEANUP_FILES instead of re-arming its own trap (which silently replaced
+# the previous one and leaked earlier files on mid-script failure).
+CLEANUP_FILES=()
+cleanup() { rm -f -- ${CLEANUP_FILES[@]+"${CLEANUP_FILES[@]}"}; }
+trap cleanup EXIT
+tmpfile() {
+  local f
+  f="$(mktemp "$1")"
+  CLEANUP_FILES+=("$f")
+  printf '%s' "$f"
+}
+
+# step NAME — close the previous step (printing its elapsed seconds, so a
+# slow CI stage is attributable from the log alone) and open the next.
+CURRENT_STEP=""
+STEP_START=$SECONDS
+step() {
+  step_done
+  CURRENT_STEP="$*"
+  STEP_START=$SECONDS
+  printf '\n=== %s ===\n' "$*"
+}
+step_done() {
+  if [ -n "$CURRENT_STEP" ]; then
+    printf -- '--- %s: %ds\n' "$CURRENT_STEP" "$((SECONDS - STEP_START))"
+  fi
+  CURRENT_STEP=""
+}
 
 step "rustfmt (check only)"
 cargo fmt --all -- --check
@@ -33,9 +61,14 @@ cargo run --release --offline --locked -p mkp-bench --bin kernels -- \
   --smoke --json results/kernels-smoke.json
 test -s results/kernels-smoke.json
 
+step "bench regression gate (fresh smoke vs committed baseline)"
+# Fails when any kernel median is slower than results/kernels-baseline.json
+# beyond ±15%. After a deliberate perf change, re-bless with:
+#   cargo run --release -p mkp-bench --bin bench_diff -- --bless
+cargo run --release --offline --locked -p mkp-bench --bin bench_diff
+
 step "engine smoke (all six modes, quick budget)"
-tmp_mkp="$(mktemp /tmp/ci-smoke-XXXXXX.mkp)"
-trap 'rm -f "$tmp_mkp"' EXIT
+tmp_mkp="$(tmpfile /tmp/ci-smoke-XXXXXX.mkp)"
 cargo run --release --offline --locked -p mkp-cli -- \
   generate "$tmp_mkp" --class gk --n 40 --m 5 --seed 7
 for mode in seq its cts1 cts2 ats dts; do
@@ -48,9 +81,8 @@ step "telemetry smoke (metrics dumped, validated, deterministic)"
 # One synchronous mode and the sequential baseline: each must dump a
 # metrics document the in-tree validator accepts, and two identically
 # seeded runs must produce byte-identical files.
-tmp_m1="$(mktemp /tmp/ci-metrics-XXXXXX.json)"
-tmp_m2="$(mktemp /tmp/ci-metrics-XXXXXX.json)"
-trap 'rm -f "$tmp_mkp" "$tmp_m1" "$tmp_m2"' EXIT
+tmp_m1="$(tmpfile /tmp/ci-metrics-XXXXXX.json)"
+tmp_m2="$(tmpfile /tmp/ci-metrics-XXXXXX.json)"
 for mode in seq cts1; do
   cargo run --release --offline --locked -p mkp-cli -- \
     solve "$tmp_mkp" --mode "$mode" --p 2 --rounds 2 --budget 40000 --seed 1 \
@@ -115,8 +147,7 @@ step "checkpoint/resume smoke (resume outlives a post-checkpoint kill)"
 # and killed at round 2 — after the snapshot is on disk — so the original
 # degrades (exit 2) while the file still holds the healthy state. Resuming
 # it must reproduce the reference objective exactly.
-tmp_snap="$(mktemp /tmp/ci-snap-XXXXXX)"
-trap 'rm -f "$tmp_mkp" "$tmp_m1" "$tmp_m2" "$tmp_snap"' EXIT
+tmp_snap="$(tmpfile /tmp/ci-snap-XXXXXX)"
 full="$(cargo run --release --offline --locked -p mkp-cli -- \
   solve "$tmp_mkp" --mode cts2 --p 4 --rounds 4 --budget 60000 --seed 1 \
   | grep '^best value')"
@@ -145,4 +176,5 @@ if grep -rn '^[a-z].*=.*"[0-9]' crates/*/Cargo.toml Cargo.toml; then
   exit 1
 fi
 
+step_done
 printf '\nci: all checks passed\n'
