@@ -363,6 +363,49 @@ fn bench_telemetry(h: &mut Harness) {
     });
 }
 
+fn bench_transport(h: &mut Harness) {
+    use pvm_lite::{read_frame, write_frame};
+    use std::io::{Cursor, Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    // Frame codec alone: one mid-sized report-like payload through the
+    // length-prefixed framer and back, no socket underneath.
+    let payload: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+    let mut wire = Vec::with_capacity(payload.len() + 64);
+    h.bench("frame encode+decode 4KiB", || {
+        wire.clear();
+        write_frame(&mut wire, 3, 7, &payload).unwrap();
+        let env = read_frame(&mut Cursor::new(&wire)).unwrap().unwrap();
+        black_box(env.data.len())
+    });
+
+    // Loopback round-trip: a framed ping over a Unix socketpair against an
+    // echo thread — the floor for a master↔slave exchange on one box.
+    let (mut ours, mut theirs) = UnixStream::pair().expect("socketpair");
+    let echo = std::thread::spawn(move || {
+        let mut buf = [0u8; 256];
+        loop {
+            match theirs.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    if theirs.write_all(&buf[..n]).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    });
+    let ping: Vec<u8> = (0..64u8).collect();
+    let mut buf = vec![0u8; ping.len()];
+    h.bench("socket loopback round-trip 64B", || {
+        ours.write_all(&ping).unwrap();
+        ours.read_exact(&mut buf).unwrap();
+        black_box(buf[0])
+    });
+    drop(ours);
+    let _ = echo.join();
+}
+
 fn main() {
     let mut h = Harness::from_args();
     // Smoke mode runs the whole suite several times, merging samples per
@@ -383,6 +426,7 @@ fn main() {
         bench_dynamic_greedy(&mut h);
         bench_restriction(&mut h);
         bench_telemetry(&mut h);
+        bench_transport(&mut h);
     }
     h.finish();
 }

@@ -8,7 +8,8 @@ use mkp::greedy::greedy;
 use mkp::stats::instance_stats;
 use mkp::Instance;
 use parallel_tabu::{
-    fault_at_round, CheckpointCfg, Engine, FaultAction, FaultPlan, Mode, RunConfig, Snapshot,
+    fault_at_round, run_remote, serve_slave, CheckpointCfg, Endpoint, Engine, FaultAction,
+    FaultPlan, Mode, RunConfig, ServeOutcome, Snapshot,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -67,6 +68,8 @@ USAGE:
                [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
                [--fault kill@K:R|kill-repeat@K:R|delay@K:R:MS]
                [--metrics FILE] [--trace FILE]
+               [--listen unix:PATH|tcp:HOST:PORT]
+  mkp slave    --connect unix:PATH|tcp:HOST:PORT [--patience SECS]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
   mkp validate-metrics <metrics.json>
   mkp help
@@ -82,6 +85,15 @@ run from a clean one.
 --checkpoint-every K rounds (synchronous modes only); --resume FILE
 continues such a snapshot — with the same instance and flags — to a result
 bit-identical to the uninterrupted run.
+
+--listen ADDR runs the solve as a *distributed* master: instead of the
+in-process pool it waits for P `mkp slave --connect ADDR` processes (which
+may be on other machines for tcp:), drives the identical protocol over the
+socket, and heals a killed slave by adopting its reconnect. Fault injection
+(--fault) and checkpointing are in-process features and are rejected with
+--listen. `mkp slave` serves one run and exits 0 after the master's STOP;
+--patience bounds every wait (for the master to appear, for the next
+instruction, for a reconnect to succeed).
 
 --metrics FILE dumps the run's telemetry counters as deterministic JSON
 (byte-identical across repeats of the same seeded run); --trace FILE dumps
@@ -286,6 +298,28 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
             "p, rounds, budget and timeout must be positive".into(),
         ));
     }
+    let listen = args
+        .get_str("listen")
+        .map(Endpoint::parse)
+        .transpose()
+        .map_err(|e| CliError::Invalid(format!("--listen: {e}")))?;
+    if listen.is_some() {
+        // A distributed master farms work out to real processes; the
+        // in-process-pool features make no sense over it and silently
+        // ignoring them would mislead.
+        if fault.is_some() {
+            return Err(CliError::Invalid(
+                "--fault injects faults into the in-process pool and cannot be combined \
+                 with --listen; kill the slave process instead"
+                    .into(),
+            ));
+        }
+        if args.get_str("checkpoint").is_some() || args.get_str("resume").is_some() {
+            return Err(CliError::Invalid(
+                "--checkpoint/--resume are not yet supported with --listen".into(),
+            ));
+        }
+    }
 
     let cfg = RunConfig {
         p,
@@ -299,18 +333,24 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         ..RunConfig::new(budget, seed)
     };
     cfg.validate().map_err(CliError::Invalid)?;
-    let mut engine = Engine::new(cfg.p);
-    if let Some(plan) = fault {
-        engine.inject_fault(plan);
-    }
-    let report = match args.get_str("resume") {
-        None => engine.run(&inst, mode, &cfg),
-        Some(path) => {
-            // The snapshot, not --mode, decides the policy: resuming under
-            // a different mode could not reproduce the original run.
-            let snap = Snapshot::load(std::path::Path::new(path))
-                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-            engine.resume(&inst, snap, &cfg)
+    let report = match &listen {
+        Some(endpoint) => run_remote(&inst, mode, &cfg, endpoint),
+        None => {
+            let mut engine = Engine::new(cfg.p);
+            if let Some(plan) = fault {
+                engine.inject_fault(plan);
+            }
+            match args.get_str("resume") {
+                None => engine.run(&inst, mode, &cfg),
+                Some(path) => {
+                    // The snapshot, not --mode, decides the policy: resuming
+                    // under a different mode could not reproduce the
+                    // original run.
+                    let snap = Snapshot::load(std::path::Path::new(path))
+                        .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                    engine.resume(&inst, snap, &cfg)
+                }
+            }
         }
     }
     .map_err(|e| CliError::Engine(e.to_string()))?;
@@ -371,6 +411,40 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Degraded(out));
     }
     Ok(out)
+}
+
+/// Default `mkp slave --patience`, matching the engine's derived slave
+/// patience for the default report timeout.
+const DEFAULT_SLAVE_PATIENCE_SECS: u64 = 121;
+
+/// `mkp slave`: serve one distributed run as a remote worker process.
+pub fn cmd_slave(args: &Args) -> Result<String, CliError> {
+    if args.positional_count() > 0 {
+        return Err(CliError::Invalid(
+            "slave takes no positional arguments; the master sends the instance over \
+             the connection"
+                .into(),
+        ));
+    }
+    let raw = args.get_str("connect").ok_or_else(|| {
+        CliError::Invalid("slave needs --connect unix:PATH or --connect tcp:HOST:PORT".into())
+    })?;
+    let endpoint =
+        Endpoint::parse(raw).map_err(|e| CliError::Invalid(format!("--connect: {e}")))?;
+    let patience: u64 = args.get("patience", DEFAULT_SLAVE_PATIENCE_SECS)?;
+    if patience == 0 {
+        return Err(CliError::Invalid(
+            "--patience must be positive: a zero-patience slave gives up before the \
+             master can say anything"
+                .into(),
+        ));
+    }
+    match serve_slave(&endpoint, Duration::from_secs(patience)).map_err(CliError::Engine)? {
+        ServeOutcome::Finished => Ok(format!("slave done: run at {endpoint} stopped cleanly")),
+        ServeOutcome::MasterLost => Err(CliError::Degraded(format!(
+            "slave done: master at {endpoint} went silent beyond {patience} s"
+        ))),
+    }
 }
 
 /// `mkp exact`.
@@ -459,8 +533,10 @@ mod tests {
         "resume",
         "metrics",
         "trace",
+        "listen",
     ];
     const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
+    const SLAVE_FLAGS: &[&str] = &["connect", "patience"];
 
     #[test]
     fn generate_then_stats_then_solve_then_exact() {
@@ -713,6 +789,90 @@ mod tests {
         cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
         let err = cmd_solve(&args(&[&path, "--checkpoint-every", "2"], SOLVE_FLAGS)).unwrap_err();
         assert!(err.to_string().contains("needs --checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn listen_rejects_malformed_addresses_with_specific_messages() {
+        let path = tmp("listen_bad.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        for (addr, needle) in [
+            ("localhost:9000", "malformed address"),
+            ("unix:", "empty unix socket path"),
+            ("tcp:localhost", "missing a port"),
+            ("tcp:localhost:0", "port 0"),
+            ("tcp::9000", "empty host"),
+        ] {
+            let err = cmd_solve(&args(&[&path, "--listen", addr], SOLVE_FLAGS))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "{addr}: {err}");
+        }
+    }
+
+    #[test]
+    fn listen_rejects_fault_injection_and_zero_workers() {
+        let path = tmp("listen_combo.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_solve(&args(
+            &[&path, "--listen", "unix:/tmp/x.sock", "--fault", "kill@1:0"],
+            SOLVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("cannot be combined with --listen"), "{err}");
+        let err = cmd_solve(&args(
+            &[&path, "--listen", "unix:/tmp/x.sock", "--p", "0"],
+            SOLVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn listen_rejects_patience_below_the_report_deadline() {
+        let path = tmp("listen_patience.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_solve(&args(
+            &[
+                &path,
+                "--listen",
+                "unix:/tmp/x.sock",
+                "--timeout",
+                "10",
+                "--patience",
+                "2",
+            ],
+            SOLVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("patience"), "{err}");
+        assert!(err.contains("report timeout"), "{err}");
+    }
+
+    #[test]
+    fn slave_validates_its_arguments() {
+        let err = cmd_slave(&args(&[], SLAVE_FLAGS)).unwrap_err().to_string();
+        assert!(err.contains("needs --connect"), "{err}");
+        let err = cmd_slave(&args(&["--connect", "nonsense"], SLAVE_FLAGS))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("malformed address"), "{err}");
+        let err = cmd_slave(&args(
+            &["--connect", "unix:/tmp/x.sock", "--patience", "0"],
+            SLAVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("must be positive"), "{err}");
+        let err = cmd_slave(&args(
+            &["stray.mkp", "--connect", "unix:/tmp/x.sock"],
+            SLAVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("no positional"), "{err}");
     }
 
     #[test]

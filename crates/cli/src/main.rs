@@ -11,7 +11,9 @@ mod args;
 mod commands;
 
 use args::Args;
-use commands::{cmd_exact, cmd_generate, cmd_solve, cmd_stats, cmd_validate_metrics, USAGE};
+use commands::{
+    cmd_exact, cmd_generate, cmd_slave, cmd_solve, cmd_stats, cmd_validate_metrics, USAGE,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -48,10 +50,14 @@ fn main() -> ExitCode {
                 "resume",
                 "metrics",
                 "trace",
+                "listen",
             ],
         )
         .map_err(Into::into)
         .and_then(|a| cmd_solve(&a)),
+        "slave" => Args::parse(rest, &["connect", "patience"])
+            .map_err(Into::into)
+            .and_then(|a| cmd_slave(&a)),
         "exact" => Args::parse(rest, &["nodes", "workers"])
             .map_err(Into::into)
             .and_then(|a| cmd_exact(&a)),

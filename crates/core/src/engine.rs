@@ -51,7 +51,9 @@ use mkp::restrict::Restriction;
 use mkp::{Instance, Solution, Xoshiro256};
 use mkp_tabu::moves::MoveStats;
 use mkp_tabu::{search, Budget, TsConfig};
-use pvm_lite::{Collectives, CommError, FaultAction, FaultPlan, TaskCtx, TaskOutcome, WorkerPool};
+use pvm_lite::{
+    Collectives, CommError, FaultAction, FaultPlan, TaskOutcome, Transport, WorkerPool,
+};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -432,14 +434,14 @@ impl Engine {
         let policy = Mutex::new(policy);
         let resume = Mutex::new(resume);
         let outcomes = self.pool.run_collect(|ctx| {
-            if ctx.tid() == 0 {
+            if Transport::tid(&ctx) == 0 {
                 let mut policy = policy.lock().unwrap_or_else(PoisonError::into_inner);
                 let resume = resume.lock().unwrap_or_else(PoisonError::into_inner).take();
                 TaskOut::Master(
-                    master_loop(ctx, inst, &mut **policy, cfg, resume, &tel).map(Box::new),
+                    master_loop(&ctx, inst, &mut **policy, cfg, resume, &tel).map(Box::new),
                 )
             } else {
-                slave_loop(ctx, cfg, &tel);
+                slave_loop(&ctx, cfg.patience(), &tel);
                 TaskOut::Slave
             }
         });
@@ -451,6 +453,7 @@ impl Engine {
             tel.add(tid, Counter::MsgsSent, comm.sent);
             tel.add(tid, Counter::MsgsReceived, comm.received);
             tel.add(tid, Counter::BytesSent, comm.bytes_sent);
+            tel.add(tid, Counter::BytesReceived, comm.bytes_received);
         }
 
         // The master only observes *silence* from a lost slave (a missed
@@ -500,7 +503,7 @@ impl Engine {
 }
 
 /// Dispatch a mode to its policy.
-fn policy_for(mode: Mode) -> Box<dyn CoopPolicy> {
+pub(crate) fn policy_for(mode: Mode) -> Box<dyn CoopPolicy> {
     use crate::coop::FarmPolicy;
     use crate::decomposed::DecomposedPolicy;
     match mode {
@@ -586,8 +589,8 @@ fn backoff_delay(cfg: &RunConfig, attempts_so_far: usize) -> Duration {
 /// un-needed workers (quarantined, already reported this round) and from
 /// superseded incarnations (stale epoch) are dropped silently; `need`
 /// entries still set on return are the workers that missed the deadline.
-fn gather_reports(
-    ctx: &TaskCtx,
+fn gather_reports<C: Transport>(
+    ctx: &C,
     epochs: &[u64],
     timeout: Duration,
     need: &mut [bool],
@@ -654,8 +657,8 @@ fn gather_reports(
 /// budget per attempt; returns the redo report on success, `None` when the
 /// budget ran dry.
 #[allow(clippy::too_many_arguments)] // the full recovery context
-fn resurrect(
-    ctx: &TaskCtx,
+fn resurrect<C: Transport>(
+    ctx: &C,
     problem: &ProblemMsg,
     workers: &mut Workers,
     cfg: &RunConfig,
@@ -719,8 +722,8 @@ fn resurrect(
 /// *quarantined*: dropped from assignment and collection, its loss
 /// recorded, the round loop continuing with the survivors. Only losing the
 /// last worker aborts the run.
-fn master_loop(
-    ctx: TaskCtx,
+pub(crate) fn master_loop<C: Transport>(
+    ctx: &C,
     inst: &Instance,
     policy: &mut dyn CoopPolicy,
     cfg: &RunConfig,
@@ -843,7 +846,7 @@ fn master_loop(
                         .collect();
                     let mut reports = {
                         let _gather_span = tel.span(0, SpanKind::Gather);
-                        gather_reports(&ctx, &workers.epochs, cfg.report_timeout, &mut need, tel)?
+                        gather_reports(ctx, &workers.epochs, cfg.report_timeout, &mut need, tel)?
                     };
                     for k in 0..active {
                         if !workers.alive[k] {
@@ -855,7 +858,7 @@ fn master_loop(
                         }
                         let assign = sent[k].as_ref().expect("alive workers were assigned");
                         match resurrect(
-                            &ctx,
+                            ctx,
                             &problem,
                             &mut workers,
                             cfg,
@@ -1334,22 +1337,32 @@ fn relink_round(
     Ok(stats.candidate_evals)
 }
 
+/// Why a slave loop ended — the remote serve loop reconnects after a
+/// [`Lost`](SlaveExit::Lost) master but exits cleanly after a STOP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlaveExit {
+    /// The master said STOP: the run is over.
+    Stopped,
+    /// The master went silent or the transport failed mid-run.
+    Lost,
+}
+
 /// The slave loop: receive the problem once, then serve assignments until
 /// the stop message (or a dead master) ends the task. A [`tags::SEED`]
 /// message transplants the long-term History of a previous incarnation
 /// (rebirth) or a checkpointed run (resume) into this one.
-fn slave_loop(ctx: TaskCtx, cfg: &RunConfig, tel: &Telemetry) {
+///
+/// `patience` is how long the slave waits for each instruction before
+/// concluding the master is gone — in-process callers pass
+/// [`RunConfig::patience`], remote slaves their `--patience` flag; both
+/// stretch well beyond the master's report deadline so a straggling peer
+/// can't starve a healthy slave into giving up moments before its next
+/// assignment arrives.
+pub(crate) fn slave_loop<C: Transport>(ctx: &C, patience: Duration, tel: &Telemetry) -> SlaveExit {
     let tid = ctx.tid();
-    // Slaves wait for instructions well beyond the master's report
-    // deadline: while the master sits out a full `report_timeout` on a
-    // straggler, its healthy peers are idle — were their patience the same
-    // deadline, they would give up moments before their next assignment
-    // arrives and a single straggler would cascade into losing the whole
-    // farm.
-    let patience = cfg.patience();
     let env = match ctx.recv_timeout(patience) {
         Ok(env) => env,
-        Err(_) => return, // master died before the broadcast
+        Err(_) => return SlaveExit::Lost, // master died before the broadcast
     };
     assert_eq!(env.tag, tags::PROBLEM, "protocol violation");
     let inst = env
@@ -1365,10 +1378,10 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig, tel: &Telemetry) {
     loop {
         let env = match ctx.recv_timeout(patience) {
             Ok(env) => env,
-            Err(_) => return, // master gone: shut down quietly
+            Err(_) => return SlaveExit::Lost, // master gone: shut down quietly
         };
         match env.tag {
-            tags::STOP => return,
+            tags::STOP => return SlaveExit::Stopped,
             tags::SEED => {
                 let seed: SeedMsg = env.decode().expect("well-formed seed");
                 // An empty seed means the worker had no banked memory yet;
@@ -1402,7 +1415,7 @@ fn slave_loop(ctx: TaskCtx, cfg: &RunConfig, tel: &Telemetry) {
                 msg.history_counts = history.counts().to_vec();
                 msg.history_iterations = history.iterations();
                 if ctx.send(0, tags::REPORT, &msg).is_err() {
-                    return; // master gone
+                    return SlaveExit::Lost; // master gone
                 }
             }
             other => panic!("unexpected tag {other} in slave"),

@@ -39,6 +39,7 @@ pub mod decomposed;
 pub mod engine;
 pub mod isp;
 pub mod messages;
+pub mod remote;
 pub mod runner;
 pub mod score;
 pub mod sgp;
@@ -47,7 +48,8 @@ pub mod telemetry;
 
 pub use engine::{fault_at_round, CoopPolicy, Delivery, Engine, EngineError};
 pub use isp::{IspConfig, StartKind};
-pub use pvm_lite::{FaultAction, FaultPlan};
+pub use pvm_lite::{Endpoint, FaultAction, FaultPlan};
+pub use remote::{run_remote, serve_slave, ServeOutcome};
 pub use runner::{
     run_mode, CheckpointCfg, LossCause, Mode, ModeReport, Resurrection, RunConfig, WorkerLoss,
 };

@@ -1,0 +1,149 @@
+//! Distributed runs: the same master/slave protocol across process
+//! boundaries (DESIGN.md §13).
+//!
+//! [`run_remote`] is the master side — it binds a [`SocketHub`], waits for
+//! `cfg.p` slave processes to connect, and drives the *identical*
+//! [`master_loop`] the in-process engine uses, now over the socket
+//! transport. [`serve_slave`] is the slave side — a connect-with-backoff
+//! loop around the engine's [`slave_loop`], reconnecting when the link
+//! drops (which is exactly what the master's resurrection machinery waits
+//! for) and exiting cleanly on STOP.
+//!
+//! What the engine calls a *resurrection* becomes, over sockets, a
+//! *reconnect*: [`Transport::respawn`] on the hub fences the dead
+//! connection's leftover frames and adopts the slave's fresh connection,
+//! after which the master re-sends `ProblemMsg`/`SeedMsg`/`AssignMsg`
+//! exactly as for an in-process rebirth. The epoch tags on assignments and
+//! reports (PR 4) plus the hub's generation fencing together guarantee a
+//! reborn slave's stale reports never reach the round loop.
+
+use crate::engine::{master_loop, policy_for, slave_loop, EngineError, SlaveExit};
+use crate::runner::{Mode, ModeReport, RunConfig};
+use crate::telemetry::{Counter, Telemetry};
+use mkp::Instance;
+use pvm_lite::{Endpoint, SocketError, SocketHub, SocketTransport, Transport};
+use std::time::{Duration, Instant};
+
+/// Delay between a remote slave's reconnect attempts. Flat rather than
+/// exponential: the master's own resurrection backoff already paces the
+/// recovery, and a reconnecting slave that dawdles risks missing the
+/// master's respawn patience window.
+const RECONNECT_DELAY: Duration = Duration::from_millis(100);
+
+/// Run `mode` as a distributed master: listen on `listen`, wait up to the
+/// configured patience for `cfg.p` slave processes, then drive the engine's
+/// round loop over the socket transport. Socket transport counters
+/// (reconnects, fenced frame drops) are folded into the report's telemetry
+/// next to the message/byte totals.
+///
+/// Fault injection is an in-process pool feature and is rejected here by
+/// the CLI; real process death plays its role in distributed runs.
+pub fn run_remote(
+    inst: &Instance,
+    mode: Mode,
+    cfg: &RunConfig,
+    listen: &Endpoint,
+) -> Result<ModeReport, EngineError> {
+    if let Err(detail) = cfg.validate() {
+        return Err(EngineError::Unsupported { detail });
+    }
+    let mut policy = policy_for(mode);
+    let active = policy.active_workers(cfg);
+    let patience = cfg.patience();
+    let hub = SocketHub::bind(listen, active, patience).map_err(|e| EngineError::Internal {
+        detail: format!("cannot listen on {listen}: {e}"),
+    })?;
+    let connected = hub.wait_ready(patience);
+    if connected < active {
+        return Err(EngineError::Unsupported {
+            detail: format!(
+                "only {connected} of {active} slaves connected to {listen} within {patience:?}; \
+                 start the missing `mkp slave --connect {listen}` processes first"
+            ),
+        });
+    }
+
+    // Slot 0 is the master; remote slaves keep their own counters in their
+    // own processes, so only the master row is filled here.
+    let tel = Telemetry::new(hub.ntasks());
+    let result = master_loop(&hub, inst, &mut *policy, cfg, None, &tel);
+
+    let comm = Transport::comm_stats(&hub);
+    tel.add(0, Counter::MsgsSent, comm.sent);
+    tel.add(0, Counter::MsgsReceived, comm.received);
+    tel.add(0, Counter::BytesSent, comm.bytes_sent);
+    tel.add(0, Counter::BytesReceived, comm.bytes_received);
+    let hub_stats = hub.hub_stats();
+    tel.add(0, Counter::Reconnects, hub_stats.reconnects);
+    tel.add(0, Counter::FencedDrops, hub_stats.fenced_drops);
+
+    result.map(|mut report| {
+        report.telemetry = tel.snapshot();
+        report
+    })
+}
+
+/// How a completed [`serve_slave`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The master said STOP: the run finished.
+    Finished,
+    /// The link dropped and no reconnect succeeded within `patience`.
+    MasterLost,
+}
+
+/// Serve as a remote slave: connect to `connect` (retrying with a flat
+/// delay for up to `patience`), run the engine's slave loop, and reconnect
+/// whenever the link drops mid-run — a dropped link is either a master
+/// restart or our own eviction by the master's resurrection, and in both
+/// cases the correct move is to come back for a fresh `ProblemMsg`.
+/// Returns [`ServeOutcome::Finished`] on a clean STOP.
+pub fn serve_slave(connect: &Endpoint, patience: Duration) -> Result<ServeOutcome, String> {
+    let mut slot: Option<usize> = None;
+    let mut attempt: u64 = 0;
+    loop {
+        // Connect phase: keep trying for a patience window. A slave that
+        // outlives its master must not spin forever.
+        let deadline = Instant::now().checked_add(patience);
+        let transport = loop {
+            match SocketTransport::connect(connect, slot, attempt) {
+                Ok(t) => break Some(t),
+                Err(SocketError::Rejected) => {
+                    return Err(format!(
+                        "hub at {connect} has no free slot: too many slaves for this master"
+                    ));
+                }
+                Err(_) if attempt == 0 && slot.is_none() => {
+                    // First contact: the master may simply not be up yet.
+                    match deadline {
+                        Some(d) if Instant::now() >= d => break None,
+                        _ => std::thread::sleep(RECONNECT_DELAY),
+                    }
+                }
+                Err(_) => match deadline {
+                    Some(d) if Instant::now() >= d => break None,
+                    _ => std::thread::sleep(RECONNECT_DELAY),
+                },
+            }
+        };
+        let Some(transport) = transport else {
+            return if attempt == 0 {
+                Err(format!(
+                    "no master reachable at {connect} within {patience:?}"
+                ))
+            } else {
+                Ok(ServeOutcome::MasterLost)
+            };
+        };
+        // Remember our identity so a reconnect reclaims the same slot (and
+        // with it the master's banked History for this worker).
+        slot = Some(transport.tid() - 1);
+        attempt += 1;
+
+        let tel = Telemetry::new(transport.ntasks());
+        match slave_loop(&transport, patience, &tel) {
+            SlaveExit::Stopped => return Ok(ServeOutcome::Finished),
+            SlaveExit::Lost => continue, // link dropped: reconnect
+        }
+    }
+}

@@ -61,6 +61,8 @@ pub enum Counter {
     MsgsReceived,
     /// Payload bytes this task encoded and sent.
     BytesSent,
+    /// Payload bytes delivered into this task's mailbox.
+    BytesReceived,
     /// ProblemMsg sends by the master (broadcast + resurrection resends).
     ProblemMsgsSent,
     /// SeedMsg (History transplant) sends by the master.
@@ -73,6 +75,12 @@ pub enum Counter {
     Restarts,
     /// Reports dropped because their incarnation epoch was stale.
     EpochsDropped,
+    /// Socket transport: connections accepted beyond a slot's first
+    /// (remote slave rebirths).
+    Reconnects,
+    /// Socket transport: frames dropped because their connection
+    /// generation was fenced off by a respawn.
+    FencedDrops,
     /// Reports ignored as stale for non-epoch reasons (quarantined
     /// sender, already reported this round).
     StaleIgnored,
@@ -89,7 +97,7 @@ pub enum Counter {
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 23;
+pub const COUNTER_COUNT: usize = 26;
 
 impl Counter {
     /// Every counter, in canonical (declaration) order.
@@ -105,12 +113,15 @@ impl Counter {
         Counter::MsgsSent,
         Counter::MsgsReceived,
         Counter::BytesSent,
+        Counter::BytesReceived,
         Counter::ProblemMsgsSent,
         Counter::SeedMsgsSent,
         Counter::AssignMsgsSent,
         Counter::ReportsReceived,
         Counter::Restarts,
         Counter::EpochsDropped,
+        Counter::Reconnects,
+        Counter::FencedDrops,
         Counter::StaleIgnored,
         Counter::IncumbentUpdates,
         Counter::Retunes,
@@ -133,12 +144,15 @@ impl Counter {
             Counter::MsgsSent => "msgs_sent",
             Counter::MsgsReceived => "msgs_received",
             Counter::BytesSent => "bytes_sent",
+            Counter::BytesReceived => "bytes_received",
             Counter::ProblemMsgsSent => "problem_msgs_sent",
             Counter::SeedMsgsSent => "seed_msgs_sent",
             Counter::AssignMsgsSent => "assign_msgs_sent",
             Counter::ReportsReceived => "reports_received",
             Counter::Restarts => "restarts",
             Counter::EpochsDropped => "epochs_dropped",
+            Counter::Reconnects => "reconnects",
+            Counter::FencedDrops => "fenced_drops",
             Counter::StaleIgnored => "stale_ignored",
             Counter::IncumbentUpdates => "incumbent_updates",
             Counter::Retunes => "retunes",

@@ -1,9 +1,11 @@
 //! Collective operations over the farm, in the spirit of `pvm_mcast` and
 //! the master-side gather loop every PVM master hand-rolled. Built purely
-//! on the public [`TaskCtx`] API.
+//! on the [`Transport`] surface, so every backend — in-process mailboxes
+//! and sockets alike — gets them via the blanket impl.
 
 use crate::codec::Wire;
-use crate::farm::{CommError, Envelope, TaskCtx, TaskId};
+use crate::farm::{CommError, Envelope, TaskId};
+use crate::transport::Transport;
 use std::time::{Duration, Instant};
 
 /// Errors from gather-style collectives.
@@ -131,7 +133,7 @@ pub trait Collectives {
     }
 }
 
-impl Collectives for TaskCtx {
+impl<C: Transport> Collectives for C {
     fn broadcast<T: Wire>(&self, tag: u32, msg: &T) -> Result<(), CommError> {
         let bytes = msg.to_bytes();
         for to in 0..self.ntasks() {

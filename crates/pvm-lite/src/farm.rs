@@ -184,6 +184,12 @@ struct FaultState {
 /// [`WorkerPool::last_comm_stats`]). Counts are cumulative across every
 /// incarnation of the task within that run — a resurrected task keeps
 /// adding to the same slot, so the totals describe the *logical* task.
+///
+/// Accounting happens exactly once, at the transport boundary: sends are
+/// counted inside [`TaskCtx::send_bytes`] (the socket backends count at
+/// their frame writer), receives inside the delivery path. Call sites
+/// never tally bytes themselves, so every [`Transport`](crate::Transport)
+/// implementation reports comparable figures.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Envelopes successfully handed to a peer's mailbox.
@@ -192,24 +198,41 @@ pub struct CommStats {
     pub received: u64,
     /// Payload bytes of the successfully sent envelopes.
     pub bytes_sent: u64,
+    /// Payload bytes of the dequeued envelopes.
+    pub bytes_received: u64,
 }
 
 /// Interior atomic cell backing one task's [`CommStats`]; one per task id,
-/// shared (via `Arc`) by every incarnation the run creates.
+/// shared (via `Arc`) by every incarnation the run creates. Also reused by
+/// the socket backends so all transports count identically.
 #[derive(Default)]
-struct CommCell {
-    sent: AtomicU64,
-    received: AtomicU64,
-    bytes_sent: AtomicU64,
+pub(crate) struct CommCell {
+    pub(crate) sent: AtomicU64,
+    pub(crate) received: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
 }
 
 impl CommCell {
-    fn snapshot(&self) -> CommStats {
+    pub(crate) fn snapshot(&self) -> CommStats {
         CommStats {
             sent: self.sent.load(Ordering::Relaxed),
             received: self.received.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
         }
+    }
+
+    /// Count one successful send of `nbytes` payload bytes.
+    pub(crate) fn count_sent(&self, nbytes: u64) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(nbytes, Ordering::Relaxed);
+    }
+
+    /// Count one delivered envelope of `nbytes` payload bytes.
+    pub(crate) fn count_received(&self, nbytes: u64) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(nbytes, Ordering::Relaxed);
     }
 }
 
@@ -253,11 +276,13 @@ impl TaskCtx {
                 data,
             })
             .map_err(|_| CommError::PeerGone { to })
-            .inspect(|()| {
-                let cell = &self.comm[self.tid];
-                cell.sent.fetch_add(1, Ordering::Relaxed);
-                cell.bytes_sent.fetch_add(nbytes, Ordering::Relaxed);
-            })
+            .inspect(|()| self.comm[self.tid].count_sent(nbytes))
+    }
+
+    /// This task's cumulative communication totals so far in the run
+    /// (shared across every incarnation of the task id).
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm[self.tid].snapshot()
     }
 
     /// Pack and send a typed message.
@@ -295,7 +320,7 @@ impl TaskCtx {
     /// Count a delivery against the installed fault plan, firing the
     /// action when the trigger is reached (no-op without a plan).
     fn deliver(&self, env: Envelope) -> Envelope {
-        self.comm[self.tid].received.fetch_add(1, Ordering::Relaxed);
+        self.comm[self.tid].count_received(env.data.len() as u64);
         if let Some(fault) = &self.fault {
             let n = fault.received.get() + 1;
             fault.received.set(n);
@@ -1241,9 +1266,11 @@ mod tests {
         assert_eq!(stats[0].sent, 2);
         assert_eq!(stats[0].received, 1);
         assert_eq!(stats[0].bytes_sent, 16);
+        assert_eq!(stats[0].bytes_received, 8);
         assert_eq!(stats[1].sent, 1);
         assert_eq!(stats[1].received, 2);
         assert_eq!(stats[1].bytes_sent, 8);
+        assert_eq!(stats[1].bytes_received, 16);
         // A later run replaces the totals rather than accumulating.
         pool.run(|_ctx| ()).unwrap();
         let quiet = pool.last_comm_stats();

@@ -44,6 +44,9 @@ pub mod channel;
 pub mod codec;
 pub mod collectives;
 pub mod farm;
+pub mod frame;
+pub mod socket;
+pub mod transport;
 
 pub use barrier::Barrier;
 pub use codec::{fnv1a_64, CodecError, PackBuffer, UnpackBuffer, Wire};
@@ -52,3 +55,6 @@ pub use farm::{
     run_farm, CommError, CommStats, Envelope, FarmError, FaultAction, FaultPlan, TaskCtx, TaskId,
     TaskOutcome, WorkerPool,
 };
+pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+pub use socket::{Endpoint, HubStats, SocketError, SocketHub, SocketTransport};
+pub use transport::{InProc, Transport};

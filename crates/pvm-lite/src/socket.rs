@@ -1,0 +1,965 @@
+//! Socket transports: the farm protocol across process boundaries.
+//!
+//! Two endpoint roles implement [`Transport`](crate::Transport):
+//!
+//! * [`SocketTransport`] — a *slave* endpoint in its own process. It
+//!   connects to the master's listener, performs the handshake below, and
+//!   then exchanges [`Envelope`]s as length-prefixed frames
+//!   ([`crate::frame`]) over the stream. A background reader thread feeds
+//!   an in-tree channel so timed receives work exactly like the
+//!   in-process mailboxes.
+//! * [`SocketHub`] — the *master* endpoint: a listener owning one *slot*
+//!   per slave task. Incoming connections are handshaken and installed
+//!   into slots; each slot carries a monotonically increasing
+//!   *connection generation* so a superseded connection's leftover frames
+//!   can be fenced off deterministically.
+//!
+//! # Handshake
+//!
+//! The connecting slave sends one `HELLO` frame carrying the slot it
+//! wants (or "any"); the hub answers with a `WELCOME` frame carrying the
+//! assigned task id and the farm size, or closes the connection when no
+//! slot is free. Task ids follow the farm convention: the hub is task 0,
+//! slots `k` serve tasks `k + 1`.
+//!
+//! # Reconnect, resurrection and fencing
+//!
+//! A slave process that loses its stream reconnects with backoff and is
+//! handed a slot again (its old one if free). On the hub side the
+//! engine's supervision drives [`Transport::respawn`]: the hub *fences*
+//! the slot's current connection (its generation is retired, its
+//! not-yet-consumed frames dropped and counted) and waits for a fresh
+//! connection to land in the slot. The master then re-sends
+//! `ProblemMsg`/`SeedMsg`/`AssignMsg` exactly as it does for an
+//! in-process rebirth — the epoch tags on assignments and reports (PR 4)
+//! keep stale *reports* out even when the transport delivered them
+//! before the fence.
+//!
+//! [`Transport::respawn`]: crate::Transport::respawn
+
+use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
+use crate::farm::{CommCell, CommError, CommStats, Envelope, TaskId};
+use crate::frame::{read_frame, write_frame};
+use crate::transport::Transport;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Handshake tags live outside the protocol's tag space (the engine's
+/// tags are small integers).
+const TAG_HELLO: u32 = 0xFFFF_FF01;
+const TAG_WELCOME: u32 = 0xFFFF_FF02;
+
+/// How often blocked waiters (accept loop, respawn, ready-wait) poll
+/// shared state.
+const POLL: Duration = Duration::from_millis(10);
+
+/// A parsed `unix:PATH` / `tcp:HOST:PORT` transport address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at the given filesystem path.
+    Unix(PathBuf),
+    /// A TCP socket at `host:port`.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse an address argument. Accepted forms, with specific errors
+    /// for everything else (mirroring the CLI's fault-spec hardening):
+    ///
+    /// * `unix:PATH` — Unix-domain socket at PATH.
+    /// * `tcp:HOST:PORT` — TCP, with a numeric non-zero port.
+    pub fn parse(raw: &str) -> Result<Endpoint, String> {
+        if let Some(path) = raw.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(format!(
+                    "address {raw:?} has an empty unix socket path (want unix:PATH)"
+                ));
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = raw.strip_prefix("tcp:") {
+            let Some((host, port)) = addr.rsplit_once(':') else {
+                return Err(format!(
+                    "address {raw:?} is missing a port (want tcp:HOST:PORT)"
+                ));
+            };
+            if host.is_empty() {
+                return Err(format!(
+                    "address {raw:?} has an empty host (want tcp:HOST:PORT)"
+                ));
+            }
+            match port.parse::<u16>() {
+                Ok(0) => Err(format!("address {raw:?} has port 0 (want 1..=65535)")),
+                Ok(_) => Ok(Endpoint::Tcp(addr.to_string())),
+                Err(_) => Err(format!(
+                    "address {raw:?} has a malformed port {port:?} (want a number in 1..=65535)"
+                )),
+            }
+        } else {
+            Err(format!(
+                "malformed address {raw:?} (want unix:PATH or tcp:HOST:PORT)"
+            ))
+        }
+    }
+
+    fn connect(&self) -> io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A connected byte stream of either flavour.
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Close both directions; unblocks a peer (or our own reader thread)
+    /// parked in a read.
+    fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Socket-layer failures (connect/handshake time).
+#[derive(Debug)]
+pub enum SocketError {
+    /// The underlying socket operation failed.
+    Io(io::Error),
+    /// The peer broke the handshake protocol.
+    Handshake(String),
+    /// The hub had no free slot for this slave.
+    Rejected,
+}
+
+impl fmt::Display for SocketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocketError::Io(e) => write!(f, "socket i/o failed: {e}"),
+            SocketError::Handshake(detail) => write!(f, "handshake failed: {detail}"),
+            SocketError::Rejected => write!(f, "hub rejected the connection (no free slot)"),
+        }
+    }
+}
+
+impl std::error::Error for SocketError {}
+
+impl From<io::Error> for SocketError {
+    fn from(e: io::Error) -> Self {
+        SocketError::Io(e)
+    }
+}
+
+/// `HELLO`: the slave's opening claim. `want == u64::MAX` means "any
+/// slot"; otherwise it names the 0-based slot of a previous incarnation
+/// so a restarted slave process reclaims its identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Hello {
+    want: u64,
+    /// The connecting process's reconnect attempt counter (diagnostic).
+    attempt: u64,
+}
+
+impl Wire for Hello {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64(self.want);
+        buf.put_u64(self.attempt);
+    }
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(Hello {
+            want: buf.get_u64()?,
+            attempt: buf.get_u64()?,
+        })
+    }
+}
+
+/// `WELCOME`: the hub's answer — the assigned task id, the farm size and
+/// the slot's connection generation (diagnostic; fencing is hub-side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Welcome {
+    tid: u64,
+    ntasks: u64,
+    generation: u64,
+}
+
+impl Wire for Welcome {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64(self.tid);
+        buf.put_u64(self.ntasks);
+        buf.put_u64(self.generation);
+    }
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(Welcome {
+            tid: buf.get_u64()?,
+            ntasks: buf.get_u64()?,
+            generation: buf.get_u64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slave side
+// ---------------------------------------------------------------------------
+
+/// A slave's socket endpoint: one stream to the hub, envelopes framed on
+/// the wire, received frames pumped into a channel by a reader thread so
+/// [`Transport::recv_timeout`] has in-process semantics.
+pub struct SocketTransport {
+    tid: TaskId,
+    ntasks: usize,
+    generation: u64,
+    writer: Mutex<Stream>,
+    /// Kept so `Drop` can unblock the reader thread.
+    stream: Stream,
+    inbox: Receiver<Envelope>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    comm: Arc<CommCell>,
+}
+
+impl SocketTransport {
+    /// Connect to a hub and handshake. `want` names the slot of a
+    /// previous incarnation (`None` = any free slot).
+    pub fn connect(
+        endpoint: &Endpoint,
+        want: Option<TaskId>,
+        attempt: u64,
+    ) -> Result<SocketTransport, SocketError> {
+        let mut stream = endpoint.connect()?;
+        let comm = Arc::new(CommCell::default());
+        let hello = Hello {
+            want: want.map_or(u64::MAX, |tid| tid as u64),
+            attempt,
+        };
+        write_frame(&mut stream, 0, TAG_HELLO, &hello.to_bytes())?;
+        let Some(env) = read_frame(&mut stream).map_err(|e| match e {
+            crate::frame::FrameError::Io(e) => SocketError::Io(e),
+            other => SocketError::Handshake(other.to_string()),
+        })?
+        else {
+            // The hub closing the stream instead of welcoming us is the
+            // "no free slot" signal.
+            return Err(SocketError::Rejected);
+        };
+        if env.tag != TAG_WELCOME {
+            return Err(SocketError::Handshake(format!(
+                "expected WELCOME, got tag {:#x}",
+                env.tag
+            )));
+        }
+        let welcome: Welcome = env
+            .decode()
+            .map_err(|e| SocketError::Handshake(format!("undecodable WELCOME: {e:?}")))?;
+        let tid = welcome.tid as TaskId;
+        let ntasks = welcome.ntasks as usize;
+        if tid == 0 || tid >= ntasks {
+            return Err(SocketError::Handshake(format!(
+                "WELCOME assigned task {tid} outside 1..{ntasks}"
+            )));
+        }
+
+        let (tx, rx) = unbounded::<Envelope>();
+        let reader_stream = stream.try_clone()?;
+        let reader_comm = Arc::clone(&comm);
+        let reader = std::thread::Builder::new()
+            .name(format!("mkp-sock-rx-{tid}"))
+            .spawn(move || pump_frames(reader_stream, tx, reader_comm))
+            .expect("spawn socket reader");
+        let writer = Mutex::new(stream.try_clone()?);
+        Ok(SocketTransport {
+            tid,
+            ntasks,
+            generation: welcome.generation,
+            writer,
+            stream,
+            inbox: rx,
+            reader: Some(reader),
+            comm,
+        })
+    }
+
+    /// The slot generation the hub assigned this connection.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// Reader-thread body: frames off the stream into the inbox, counting at
+/// the transport boundary; exits on EOF or any stream error (dropping the
+/// sender disconnects the inbox, which the owner observes as
+/// [`CommError::Disconnected`]).
+fn pump_frames(mut stream: Stream, tx: Sender<Envelope>, comm: Arc<CommCell>) {
+    while let Ok(Some(env)) = read_frame(&mut stream) {
+        comm.count_received(env.data.len() as u64);
+        if tx.send(env).is_err() {
+            break; // owner gone
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn tid(&self) -> TaskId {
+        self.tid
+    }
+
+    fn ntasks(&self) -> usize {
+        self.ntasks
+    }
+
+    fn send_bytes(&self, to: TaskId, tag: u32, data: Vec<u8>) -> Result<(), CommError> {
+        assert!(to < self.ntasks, "task id {to} out of range");
+        // The stream topology is a star: every frame physically goes to
+        // the hub, which is also the only peer the slave protocol
+        // addresses.
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        write_frame(&mut *writer, self.tid, tag, &data)
+            .map_err(|_| CommError::PeerGone { to })
+            .inspect(|()| self.comm.count_sent(data.len() as u64))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, CommError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout,
+            RecvTimeoutError::Disconnected => CommError::Disconnected,
+        })
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
+    }
+
+    fn comm_stats(&self) -> CommStats {
+        self.comm.snapshot()
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.stream.shutdown();
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hub (master) side
+// ---------------------------------------------------------------------------
+
+/// One remote slave's connection slot.
+struct Slot {
+    /// Generation of the installed connection; 0 = never connected.
+    generation: u64,
+    /// Whether the installed connection is believed live.
+    live: bool,
+    /// Write half of the installed connection.
+    writer: Option<Stream>,
+    /// Generations `<=` this are fenced: their buffered frames drop.
+    fenced: u64,
+    /// Generation of the last successful master→slot send; lets
+    /// [`respawn`](Transport::respawn) tell a fresh, never-addressed
+    /// connection from the straggler it is meant to replace.
+    last_sent: u64,
+}
+
+/// Transport counters specific to the socket hub.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubStats {
+    /// Connections accepted beyond each slot's first (slave rebirths).
+    pub reconnects: u64,
+    /// Frames dropped because their connection generation was fenced.
+    pub fenced_drops: u64,
+}
+
+struct HubShared {
+    slots: Mutex<Vec<Slot>>,
+    comm: CommCell,
+    reconnects: AtomicU64,
+    fenced_drops: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl HubShared {
+    fn lock_slots(&self) -> MutexGuard<'_, Vec<Slot>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The master's socket endpoint: listener, slots, merged inbox.
+///
+/// Implements [`Transport`] with `tid() == 0`; sends route to the
+/// addressed slot's installed connection, receives pull from the merged
+/// inbox in arrival order (frames from fenced generations are dropped and
+/// counted). [`Transport::respawn`] implements supervision as described
+/// in the module docs.
+pub struct SocketHub {
+    shared: Arc<HubShared>,
+    inbox: Receiver<(u64, Envelope)>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Patience for a replacement connection inside `respawn`.
+    reconnect_patience: Duration,
+    /// Unix listener path, unlinked on drop.
+    unlink: Option<PathBuf>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+impl SocketHub {
+    /// Bind a hub for `p` slave slots. `reconnect_patience` bounds how
+    /// long [`Transport::respawn`] waits for a replacement connection.
+    pub fn bind(
+        endpoint: &Endpoint,
+        p: usize,
+        reconnect_patience: Duration,
+    ) -> Result<SocketHub, SocketError> {
+        assert!(p >= 1, "a hub needs at least one slave slot");
+        let mut unlink = None;
+        let listener = match endpoint {
+            Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr.as_str())?),
+            Endpoint::Unix(path) => {
+                // A stale socket file from a crashed run blocks the bind;
+                // connecting to it would fail, so replacing it is safe.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                unlink = Some(path.clone());
+                Listener::Unix(l)
+            }
+        };
+        // Nonblocking accept + poll: lets the accept loop observe the
+        // shutdown flag (closing a listener does not portably unblock a
+        // blocking accept).
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(HubShared {
+            slots: Mutex::new(
+                (0..p)
+                    .map(|_| Slot {
+                        generation: 0,
+                        live: false,
+                        writer: None,
+                        fenced: 0,
+                        last_sent: 0,
+                    })
+                    .collect(),
+            ),
+            comm: CommCell::default(),
+            reconnects: AtomicU64::new(0),
+            fenced_drops: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let (inbox_tx, inbox_rx) = unbounded::<(u64, Envelope)>();
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("mkp-hub-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared, inbox_tx, p))
+            .expect("spawn hub accept thread");
+        Ok(SocketHub {
+            shared,
+            inbox: inbox_rx,
+            accept_thread: Some(accept_thread),
+            reconnect_patience,
+            unlink,
+        })
+    }
+
+    /// Block until every slot has a live connection, or the deadline
+    /// passes. Returns how many slots are connected.
+    pub fn wait_ready(&self, timeout: Duration) -> usize {
+        let deadline = Instant::now().checked_add(timeout);
+        loop {
+            let live = self.shared.lock_slots().iter().filter(|s| s.live).count();
+            if live == self.nslots() {
+                return live;
+            }
+            match deadline {
+                Some(d) if Instant::now() >= d => return live,
+                _ => std::thread::sleep(POLL),
+            }
+        }
+    }
+
+    /// Number of slave slots.
+    pub fn nslots(&self) -> usize {
+        self.shared.lock_slots().len()
+    }
+
+    /// Hub-specific transport counters (reconnects, fenced drops).
+    pub fn hub_stats(&self) -> HubStats {
+        HubStats {
+            reconnects: self.shared.reconnects.load(Ordering::Relaxed),
+            fenced_drops: self.shared.fenced_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Accept-thread body: handshake every incoming connection into a slot.
+fn accept_loop(
+    listener: Listener,
+    shared: Arc<HubShared>,
+    inbox_tx: Sender<(u64, Envelope)>,
+    p: usize,
+) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let mut stream = match listener.accept() {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+                continue;
+            }
+            Err(_) => break,
+        };
+        // Handshake inline: HELLO must already be in flight (the client
+        // sends it immediately after connect), so this cannot stall the
+        // accept loop for long against a well-behaved peer.
+        let hello: Hello = match read_frame(&mut stream) {
+            Ok(Some(env)) if env.tag == TAG_HELLO => match env.decode() {
+                Ok(h) => h,
+                Err(_) => continue, // garbage peer: drop it
+            },
+            _ => continue,
+        };
+        let mut slots = shared.lock_slots();
+        let want = usize::try_from(hello.want).ok().filter(|&w| w < p);
+        let free = |k: usize, slots: &Vec<Slot>| !slots[k].live;
+        let slot_k = match want {
+            Some(w) if free(w, &slots) => Some(w),
+            _ => (0..p).find(|&k| free(k, &slots)),
+        };
+        let Some(k) = slot_k else {
+            drop(slots);
+            stream.shutdown(); // reject: every slot is occupied
+            continue;
+        };
+        let generation = slots[k].generation + 1;
+        let welcome = Welcome {
+            tid: (k + 1) as u64,
+            ntasks: (p + 1) as u64,
+            generation,
+        };
+        if write_frame(&mut stream, 0, TAG_WELCOME, &welcome.to_bytes()).is_err() {
+            continue; // peer vanished mid-handshake
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        slots[k].generation = generation;
+        slots[k].live = true;
+        slots[k].writer = Some(stream);
+        if generation > 1 {
+            shared.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(slots);
+
+        let conn_shared = Arc::clone(&shared);
+        let conn_tx = inbox_tx.clone();
+        // One reader thread per connection; it marks the slot dead when
+        // the stream ends, provided the slot still holds its generation.
+        let _ = std::thread::Builder::new()
+            .name(format!("mkp-hub-rx-{}", k + 1))
+            .spawn(move || {
+                let mut stream = read_half;
+                while let Ok(Some(mut env)) = read_frame(&mut stream) {
+                    // Trust the slot, not the wire, for the sender id.
+                    env.from = k + 1;
+                    if conn_tx.send((generation, env)).is_err() {
+                        break;
+                    }
+                }
+                let mut slots = conn_shared.lock_slots();
+                if slots[k].generation == generation {
+                    slots[k].live = false;
+                    slots[k].writer = None;
+                }
+            });
+    }
+}
+
+impl Transport for SocketHub {
+    fn tid(&self) -> TaskId {
+        0
+    }
+
+    fn ntasks(&self) -> usize {
+        self.nslots() + 1
+    }
+
+    fn send_bytes(&self, to: TaskId, tag: u32, data: Vec<u8>) -> Result<(), CommError> {
+        assert!(
+            to >= 1 && to <= self.nslots(),
+            "task id {to} out of range for the hub"
+        );
+        let k = to - 1;
+        let mut slots = self.shared.lock_slots();
+        let slot = &mut slots[k];
+        let Some(writer) = slot.writer.as_mut().filter(|_| slot.live) else {
+            return Err(CommError::PeerGone { to });
+        };
+        match write_frame(writer, 0, tag, &data) {
+            Ok(()) => {
+                slot.last_sent = slot.generation;
+                self.shared.comm.count_sent(data.len() as u64);
+                Ok(())
+            }
+            Err(_) => {
+                slot.live = false;
+                slot.writer = None;
+                Err(CommError::PeerGone { to })
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, CommError> {
+        let deadline = Instant::now().checked_add(timeout);
+        loop {
+            let remaining = match deadline {
+                None => Duration::MAX,
+                Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+            };
+            let (generation, env) = self.inbox.recv_timeout(remaining).map_err(|e| match e {
+                RecvTimeoutError::Timeout => CommError::Timeout,
+                RecvTimeoutError::Disconnected => CommError::Disconnected,
+            })?;
+            let fenced = {
+                let slots = self.shared.lock_slots();
+                generation <= slots[env.from - 1].fenced
+            };
+            if fenced {
+                self.shared.fenced_drops.fetch_add(1, Ordering::Relaxed);
+                continue; // a superseded connection's leftover frame
+            }
+            self.shared.comm.count_received(env.data.len() as u64);
+            return Ok(env);
+        }
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        loop {
+            let (generation, env) = self.inbox.try_recv().ok()?;
+            let fenced = {
+                let slots = self.shared.lock_slots();
+                generation <= slots[env.from - 1].fenced
+            };
+            if fenced {
+                self.shared.fenced_drops.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.shared.comm.count_received(env.data.len() as u64);
+            return Some(env);
+        }
+    }
+
+    fn comm_stats(&self) -> CommStats {
+        self.shared.comm.snapshot()
+    }
+
+    /// Supervision over sockets: ensure slot `tid - 1` holds a *fresh*
+    /// connection the master has never addressed. A live connection that
+    /// arrived after the master's last send (the slave already
+    /// reconnected on its own) is adopted as-is; otherwise the current
+    /// connection — straggler or corpse — is fenced and the call waits up
+    /// to the hub's reconnect patience for a replacement.
+    fn respawn(&self, tid: TaskId) -> bool {
+        assert!(
+            tid >= 1 && tid <= self.nslots(),
+            "task id {tid} out of range for the hub"
+        );
+        let k = tid - 1;
+        let fenced_up_to = {
+            let mut slots = self.shared.lock_slots();
+            let slot = &mut slots[k];
+            if slot.live && slot.generation > slot.last_sent {
+                return true; // a fresh, never-addressed connection is waiting
+            }
+            slot.fenced = slot.fenced.max(slot.generation);
+            if let Some(writer) = slot.writer.take() {
+                writer.shutdown(); // evict the straggler
+                slot.live = false;
+            }
+            slot.fenced
+        };
+        let deadline = Instant::now().checked_add(self.reconnect_patience);
+        loop {
+            {
+                let slots = self.shared.lock_slots();
+                if slots[k].live && slots[k].generation > fenced_up_to {
+                    return true;
+                }
+            }
+            match deadline {
+                Some(d) if Instant::now() >= d => return false,
+                _ => std::thread::sleep(POLL),
+            }
+        }
+    }
+}
+
+impl Drop for SocketHub {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Closing every connection unblocks the per-connection readers;
+        // the accept loop notices the flag at its next poll.
+        for slot in self.shared.lock_slots().iter_mut() {
+            if let Some(writer) = slot.writer.take() {
+                writer.shutdown();
+            }
+            slot.live = false;
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.unlink {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_unix(tag: &str) -> Endpoint {
+        let path = std::env::temp_dir().join(format!(
+            "mkp-sock-{tag}-{}-{:?}.sock",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        Endpoint::Unix(path)
+    }
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn endpoint_parse_accepts_and_rejects() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("/tmp/x.sock")))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:9000"),
+            Ok(Endpoint::Tcp("127.0.0.1:9000".to_string()))
+        );
+        for (raw, needle) in [
+            ("", "malformed address"),
+            ("/tmp/x.sock", "malformed address"),
+            ("unix:", "empty unix socket path"),
+            ("tcp:9000", "missing a port"),
+            ("tcp::9000", "empty host"),
+            ("tcp:localhost:port", "malformed port"),
+            ("tcp:localhost:0", "port 0"),
+            ("tcp:localhost:99999", "malformed port"),
+        ] {
+            let err = Endpoint::parse(raw).unwrap_err();
+            assert!(err.contains(needle), "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn handshake_assigns_slots_and_envelopes_flow() {
+        let ep = temp_unix("flow");
+        let hub = SocketHub::bind(&ep, 2, T).unwrap();
+        let a = SocketTransport::connect(&ep, None, 0).unwrap();
+        let b = SocketTransport::connect(&ep, None, 0).unwrap();
+        let mut tids = [a.tid(), b.tid()];
+        tids.sort();
+        assert_eq!(tids, [1, 2]);
+        assert_eq!(a.ntasks(), 3);
+        assert_eq!(hub.wait_ready(T), 2);
+
+        // Hub → slave and back.
+        hub.send_bytes(b.tid(), 7, vec![0; 8]).unwrap();
+        hub.send_bytes(a.tid(), 7, vec![1, 2, 3]).unwrap();
+        let env = a.recv_timeout(T).unwrap();
+        assert_eq!(
+            (env.from, env.tag, env.data.as_slice()),
+            (0, 7, &[1u8, 2, 3][..])
+        );
+        a.send_bytes(0, 9, vec![4, 5]).unwrap();
+        let env = hub.recv_timeout(T).unwrap();
+        assert_eq!(
+            (env.from, env.tag, env.data.as_slice()),
+            (a.tid(), 9, &[4u8, 5][..])
+        );
+
+        // Both ends counted once, at the boundary.
+        let hs = Transport::comm_stats(&hub);
+        assert_eq!((hs.sent, hs.received), (2, 1));
+        assert_eq!((hs.bytes_sent, hs.bytes_received), (11, 2));
+    }
+
+    #[test]
+    fn requested_slot_is_honored_when_free() {
+        let ep = temp_unix("slot");
+        let _hub = SocketHub::bind(&ep, 3, T).unwrap();
+        // Slot 1 serves task 2.
+        let b = SocketTransport::connect(&ep, Some(1), 0).unwrap();
+        assert_eq!(b.tid(), 2);
+        let a = SocketTransport::connect(&ep, Some(1), 0).unwrap();
+        assert_ne!(a.tid(), 2, "occupied slot handed out twice");
+    }
+
+    #[test]
+    fn full_hub_rejects_extra_connections() {
+        let ep = temp_unix("full");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let _a = SocketTransport::connect(&ep, None, 0).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        match SocketTransport::connect(&ep, None, 0) {
+            Err(SocketError::Rejected) => {}
+            Err(SocketError::Io(_)) => {} // close may race the handshake read
+            Err(other) => panic!("expected rejection, got {other:?}"),
+            Ok(t) => panic!("expected rejection, got slot {}", t.tid()),
+        }
+    }
+
+    #[test]
+    fn reconnect_reclaims_the_slot_and_respawn_fences_stale_frames() {
+        let ep = temp_unix("fence");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let first = SocketTransport::connect(&ep, None, 0).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        hub.send_bytes(1, 2, vec![0]).unwrap(); // an "assignment"
+        first.recv_timeout(T).unwrap();
+        // The straggler pushes a frame the master has not consumed yet,
+        // then the supervision decides to replace it.
+        first.send_bytes(0, 3, vec![9, 9]).unwrap();
+        // Give the hub's reader a moment to buffer the stale frame.
+        std::thread::sleep(Duration::from_millis(50));
+        let respawned = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| Transport::respawn(&hub, 1));
+            // The evicted slave observes the shutdown and reconnects, as
+            // the remote serve loop would.
+            let reborn = loop {
+                match SocketTransport::connect(&ep, Some(0), 1) {
+                    Ok(t) => break t,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            assert_eq!(reborn.tid(), 1);
+            let ok = waiter.join().expect("respawn waiter");
+            (ok, reborn)
+        });
+        assert!(respawned.0, "respawn never saw the reconnect");
+        // The stale pre-fence frame is dropped, not delivered.
+        assert!(matches!(
+            hub.recv_timeout(Duration::from_millis(200)),
+            Err(CommError::Timeout)
+        ));
+        assert_eq!(hub.hub_stats().fenced_drops, 1);
+        assert_eq!(hub.hub_stats().reconnects, 1);
+        // The reborn connection's frames flow.
+        respawned.1.send_bytes(0, 3, vec![7]).unwrap();
+        let env = hub.recv_timeout(T).unwrap();
+        assert_eq!(env.data, vec![7]);
+    }
+
+    #[test]
+    fn respawn_adopts_a_fresh_unaddressed_connection() {
+        let ep = temp_unix("adopt");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        {
+            let first = SocketTransport::connect(&ep, None, 0).unwrap();
+            assert_eq!(hub.wait_ready(T), 1);
+            hub.send_bytes(1, 2, vec![0]).unwrap();
+            first.recv_timeout(T).unwrap();
+            // first dies (dropped: stream shut down).
+        }
+        // The replacement connects before the master notices the death.
+        let reborn = SocketTransport::connect(&ep, Some(0), 1).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        // respawn must adopt it instantly instead of fencing it.
+        assert!(Transport::respawn(&hub, 1));
+        hub.send_bytes(1, 2, vec![5]).unwrap();
+        let env = reborn.recv_timeout(T).unwrap();
+        assert_eq!(env.data, vec![5]);
+        assert_eq!(hub.hub_stats().fenced_drops, 0);
+    }
+
+    #[test]
+    fn dead_slot_send_reports_peer_gone() {
+        let ep = temp_unix("gone");
+        let hub = SocketHub::bind(&ep, 1, Duration::from_millis(100));
+        let hub = hub.unwrap();
+        assert!(matches!(
+            hub.send_bytes(1, 1, vec![1]),
+            Err(CommError::PeerGone { to: 1 })
+        ));
+        // And respawn on a never-connected slot times out cleanly.
+        assert!(!Transport::respawn(&hub, 1));
+    }
+}

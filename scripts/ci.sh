@@ -13,8 +13,14 @@ cd "$(dirname "$0")/.."
 # One EXIT trap for the whole script: every temp file registers itself in
 # CLEANUP_FILES instead of re-arming its own trap (which silently replaced
 # the previous one and leaked earlier files on mid-script failure).
+# Background processes (the distributed smoke's master and slaves) register
+# their PIDs in CLEANUP_PIDS so a mid-step failure never leaves orphans.
 CLEANUP_FILES=()
-cleanup() { rm -f -- ${CLEANUP_FILES[@]+"${CLEANUP_FILES[@]}"}; }
+CLEANUP_PIDS=()
+cleanup() {
+  kill -9 ${CLEANUP_PIDS[@]+"${CLEANUP_PIDS[@]}"} 2>/dev/null || true
+  rm -f -- ${CLEANUP_FILES[@]+"${CLEANUP_FILES[@]}"}
+}
 trap cleanup EXIT
 tmpfile() {
   local f
@@ -169,6 +175,64 @@ if [ "$full" != "$resumed" ]; then
   echo "error: resume diverged: full='$full' resumed='$resumed'" >&2
   exit 1
 fi
+
+step "distributed smoke (two slave processes, one killed mid-run)"
+# Real process boundaries over a Unix socket: a master with --listen, two
+# `mkp slave` processes, SIGKILL one mid-run and start a replacement. The
+# master must resurrect the worker over the fresh connection and exit 0.
+# The budget is sized so the run takes seconds — long enough that the kill
+# at 1s always lands mid-run, on this machine and on slower CI runners.
+mkp_bin=target/release/mkp
+tmp_sock="$(tmpfile /tmp/ci-dist-XXXXXX.sock)"
+tmp_dist="$(tmpfile /tmp/ci-dist-XXXXXX.out)"
+"$mkp_bin" solve "$tmp_mkp" --mode cts2 --p 2 --rounds 6 --budget 240000000 \
+  --seed 1 --timeout 5 --restarts 2 --backoff 10 \
+  --listen "unix:$tmp_sock" > "$tmp_dist" 2>&1 &
+master_pid=$!
+CLEANUP_PIDS+=("$master_pid")
+"$mkp_bin" slave --connect "unix:$tmp_sock" > /dev/null 2>&1 &
+victim_pid=$!
+CLEANUP_PIDS+=("$victim_pid")
+"$mkp_bin" slave --connect "unix:$tmp_sock" > /dev/null 2>&1 &
+survivor_pid=$!
+CLEANUP_PIDS+=("$survivor_pid")
+sleep 1
+kill -9 "$victim_pid" 2>/dev/null \
+  || { echo "error: distributed run finished before the kill; raise --budget" >&2; \
+       cat "$tmp_dist" >&2; exit 1; }
+"$mkp_bin" slave --connect "unix:$tmp_sock" > /dev/null 2>&1 &
+replacement_pid=$!
+CLEANUP_PIDS+=("$replacement_pid")
+set +e
+wait "$master_pid"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+  echo "error: distributed master exited $status (want 0)" >&2
+  cat "$tmp_dist" >&2
+  exit 1
+fi
+grep -q '^best value' "$tmp_dist" \
+  || { echo "error: distributed smoke lost the result" >&2; cat "$tmp_dist" >&2; exit 1; }
+grep -q '^resurrections: ' "$tmp_dist" \
+  || { echo "error: distributed smoke never revived the killed slave" >&2; \
+       cat "$tmp_dist" >&2; exit 1; }
+if grep -q '^lost workers' "$tmp_dist"; then
+  echo "error: distributed smoke still lost workers" >&2
+  cat "$tmp_dist" >&2
+  exit 1
+fi
+# The surviving and replacement slaves both saw the STOP broadcast.
+for pid in "$survivor_pid" "$replacement_pid"; do
+  set +e
+  wait "$pid"
+  status=$?
+  set -e
+  if [ "$status" -ne 0 ]; then
+    echo "error: slave $pid exited $status (want 0 after STOP)" >&2
+    exit 1
+  fi
+done
 
 step "no versioned registry dependencies"
 if grep -rn '^[a-z].*=.*"[0-9]' crates/*/Cargo.toml Cargo.toml; then

@@ -50,4 +50,5 @@ pub mod prelude {
         parse_metrics_json, validate_metrics_json, Counter, EventKind, SpanKind, Telemetry,
         TelemetrySnapshot, METRICS_SCHEMA,
     };
+    pub use parallel_tabu::{run_remote, serve_slave, Endpoint, ServeOutcome};
 }
