@@ -8,8 +8,9 @@ use mkp::greedy::greedy;
 use mkp::stats::instance_stats;
 use mkp::Instance;
 use parallel_tabu::{
-    fault_at_round, run_remote, serve_slave, CheckpointCfg, Endpoint, Engine, FaultAction,
-    FaultPlan, Mode, RunConfig, ServeOutcome, Snapshot,
+    fault_at_round, run_remote, serve, serve_slave, submit_job, CheckpointCfg, Endpoint, Engine,
+    FaultAction, FaultPlan, Mode, RunConfig, ServeBackend, ServeConfig, ServeOutcome, Snapshot,
+    SubmitEvent, SubmitOutcome, SubmitSpec,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -70,6 +71,14 @@ USAGE:
                [--metrics FILE] [--trace FILE]
                [--listen unix:PATH|tcp:HOST:PORT]
   mkp slave    --connect unix:PATH|tcp:HOST:PORT [--patience SECS]
+  mkp serve    --clients unix:PATH|tcp:HOST:PORT [--slaves ADDR] [--p P]
+               [--quantum ROUNDS] [--max-queue N] [--max-inflight N]
+               [--max-jobs N] [--park-mem BYTES] [--spool DIR]
+               [--patience SECS]
+  mkp submit   <instance.mkp> --connect unix:PATH|tcp:HOST:PORT
+               [--mode seq|its|cts1|cts2|ats|dts] [--p P] [--rounds R]
+               [--budget EVALS] [--seed S] [--deadline-ms MS]
+               [--patience SECS]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
   mkp validate-metrics <metrics.json>
   mkp help
@@ -94,6 +103,18 @@ socket, and heals a killed slave by adopting its reconnect. Fault injection
 --listen. `mkp slave` serves one run and exits 0 after the master's STOP;
 --patience bounds every wait (for the master to appear, for the next
 instruction, for a reconnect to succeed).
+
+`mkp serve` runs a multi-tenant job server: clients `mkp submit` whole
+jobs (instance + mode + budget + optional --deadline-ms) to --clients and
+stream back acceptance, per-slice incumbents, and the final report. The
+scheduler time-slices one persistent farm across jobs in --quantum-round
+turns; --max-queue and --max-inflight bound admission, --max-jobs N makes
+the server exit 0 after N jobs settle (for scripted runs). Without
+--slaves the farm is an in-process pool of P workers; with --slaves ADDR
+it is P `mkp slave --connect ADDR` processes, which stay connected across
+jobs and exit 0 when the server shuts down. A submit whose job is refused
+or misses its deadline exits 1 with the server's reason; a submit (or
+slave) whose far end goes silent exits 2, the shared degraded code.
 
 --metrics FILE dumps the run's telemetry counters as deterministic JSON
 (byte-identical across repeats of the same seeded run); --trace FILE dumps
@@ -441,9 +462,167 @@ pub fn cmd_slave(args: &Args) -> Result<String, CliError> {
     }
     match serve_slave(&endpoint, Duration::from_secs(patience)).map_err(CliError::Engine)? {
         ServeOutcome::Finished => Ok(format!("slave done: run at {endpoint} stopped cleanly")),
-        ServeOutcome::MasterLost => Err(CliError::Degraded(format!(
-            "slave done: master at {endpoint} went silent beyond {patience} s"
+        ServeOutcome::MasterLost => Err(peer_lost("slave done", "master", &endpoint, patience)),
+    }
+}
+
+/// The one degraded exit for a lost far end: `mkp slave` losing its
+/// master and `mkp submit` losing its job server end the same way —
+/// result unknown, work possibly still running — so both report through
+/// this and exit with code 2.
+fn peer_lost(task: &str, peer: &str, endpoint: &Endpoint, patience_secs: u64) -> CliError {
+    CliError::Degraded(format!(
+        "{task}: {peer} at {endpoint} went silent beyond {patience_secs} s"
+    ))
+}
+
+/// `mkp serve`.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    if args.positional_count() > 0 {
+        return Err(CliError::Invalid(
+            "serve takes no positional arguments; clients send instances over the \
+             connection"
+                .into(),
+        ));
+    }
+    let clients = args.get_str("clients").ok_or_else(|| {
+        CliError::Invalid("serve needs --clients unix:PATH or --clients tcp:HOST:PORT".into())
+    })?;
+    let clients =
+        Endpoint::parse(clients).map_err(|e| CliError::Invalid(format!("--clients: {e}")))?;
+    let p: usize = args.get("p", 4)?;
+    let quantum: usize = args.get("quantum", 1)?;
+    let max_queue: usize = args.get("max-queue", 16)?;
+    let max_inflight: usize = args.get("max-inflight", 4)?;
+    let max_jobs: u64 = args.get("max-jobs", 0)?;
+    let patience: u64 = args.get("patience", DEFAULT_SLAVE_PATIENCE_SECS)?;
+    let park_mem: usize = args.get("park-mem", 64 << 20)?;
+    if p == 0 || quantum == 0 || max_queue == 0 || max_inflight == 0 || patience == 0 {
+        return Err(CliError::Invalid(
+            "p, quantum, max-queue, max-inflight and patience must be positive".into(),
+        ));
+    }
+    let backend = match args.get_str("slaves") {
+        Some(raw) => ServeBackend::Socket {
+            slaves: Endpoint::parse(raw)
+                .map_err(|e| CliError::Invalid(format!("--slaves: {e}")))?,
+            p,
+        },
+        None => ServeBackend::InProc { p },
+    };
+    let mut cfg = ServeConfig {
+        quantum,
+        max_queue,
+        max_inflight,
+        park_mem_cap: park_mem,
+        max_jobs,
+        patience: Duration::from_secs(patience),
+        ..ServeConfig::default()
+    };
+    if let Some(dir) = args.get_str("spool") {
+        cfg.spool_dir = dir.into();
+    }
+    let stats = serve(&clients, backend, &cfg).map_err(CliError::Engine)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "server done: {} jobs accepted", stats.accepted);
+    let _ = writeln!(
+        out,
+        "verdicts   : {} done / {} expired / {} failed / {} canceled / {} refused",
+        stats.done, stats.expired, stats.failed, stats.canceled, stats.rejected
+    );
+    let _ = writeln!(
+        out,
+        "scheduling : {} slices, {} evictions, {} restores",
+        stats.slices, stats.evictions, stats.restores
+    );
+    Ok(out)
+}
+
+/// `mkp submit`.
+pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
+    let inst = read_instance(args.positional(0, "instance.mkp")?)?;
+    let raw = args.get_str("connect").ok_or_else(|| {
+        CliError::Invalid("submit needs --connect unix:PATH or --connect tcp:HOST:PORT".into())
+    })?;
+    let endpoint =
+        Endpoint::parse(raw).map_err(|e| CliError::Invalid(format!("--connect: {e}")))?;
+    let mode = parse_mode(args.get_str("mode").unwrap_or("cts2"))?;
+    let p: usize = args.get("p", 4)?;
+    let rounds: usize = args.get("rounds", 12)?;
+    let budget: u64 = args.get("budget", 40_000 * inst.n() as u64)?;
+    let seed: u64 = args.get("seed", 7)?;
+    let deadline_ms: u64 = args.get("deadline-ms", 0)?;
+    let patience: u64 = args.get("patience", DEFAULT_SLAVE_PATIENCE_SECS)?;
+    if p == 0 || rounds == 0 || budget == 0 || patience == 0 {
+        return Err(CliError::Invalid(
+            "p, rounds, budget and patience must be positive".into(),
+        ));
+    }
+    let spec = SubmitSpec {
+        mode,
+        p,
+        rounds,
+        budget_evals: budget,
+        seed,
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+    };
+    let mut events = Vec::new();
+    let outcome = submit_job(
+        &endpoint,
+        &inst,
+        &spec,
+        Duration::from_secs(patience),
+        |ev| events.push(ev),
+    )
+    .map_err(CliError::Engine)?;
+
+    let mut out = String::new();
+    for ev in &events {
+        match ev {
+            SubmitEvent::Accepted { job_id } => {
+                let _ = writeln!(out, "job        : {job_id} accepted at {endpoint}");
+            }
+            SubmitEvent::Incumbent { value, round, .. } => {
+                let _ = writeln!(out, "incumbent  : {value} after round {round}");
+            }
+        }
+    }
+    match outcome {
+        SubmitOutcome::Done(report) => {
+            if report.best_bits.len() != inst.n() {
+                return Err(CliError::Engine(format!(
+                    "server answered for a {}-item instance, ours has {}",
+                    report.best_bits.len(),
+                    inst.n()
+                )));
+            }
+            let best = report.best_solution(&inst);
+            if !best.is_feasible(&inst) {
+                return Err(CliError::Engine(
+                    "server returned an infeasible assignment".into(),
+                ));
+            }
+            let _ = writeln!(out, "mode       : {}", report.mode.label());
+            let _ = writeln!(out, "best value : {}", best.value());
+            let _ = writeln!(out, "items      : {:?}", best.bits().ones());
+            let _ = writeln!(
+                out,
+                "work       : {} moves / {} evals in {} ms server-side{}",
+                report.total_moves,
+                report.total_evals,
+                report.wall_ms,
+                if report.degraded {
+                    " (degraded: the server lost workers)"
+                } else {
+                    ""
+                }
+            );
+            Ok(out)
+        }
+        SubmitOutcome::Rejected { reason } => Err(CliError::Engine(format!(
+            "job rejected by the server at {endpoint}: {reason}"
         ))),
+        SubmitOutcome::ServerLost => Err(peer_lost("job lost", "server", &endpoint, patience)),
     }
 }
 
@@ -537,6 +716,96 @@ mod tests {
     ];
     const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
     const SLAVE_FLAGS: &[&str] = &["connect", "patience"];
+    const SERVE_FLAGS: &[&str] = &[
+        "clients",
+        "slaves",
+        "p",
+        "quantum",
+        "max-queue",
+        "max-inflight",
+        "max-jobs",
+        "park-mem",
+        "spool",
+        "patience",
+    ];
+    const SUBMIT_FLAGS: &[&str] = &[
+        "connect",
+        "mode",
+        "p",
+        "rounds",
+        "budget",
+        "seed",
+        "deadline-ms",
+        "patience",
+    ];
+
+    #[test]
+    fn serve_then_submit_round_trip() {
+        let path = tmp("jobsrv.mkp");
+        cmd_generate(&args(
+            &[&path, "--class", "uniform", "--n", "24", "--m", "3"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        let sock = tmp("jobsrv.sock");
+        let _ = std::fs::remove_file(&sock);
+        let addr = format!("unix:{sock}");
+
+        let server = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                cmd_serve(&args(
+                    &["--clients", &addr, "--p", "2", "--max-jobs", "1"],
+                    SERVE_FLAGS,
+                ))
+            })
+        };
+        let out = cmd_submit(&args(
+            &[
+                &path,
+                "--connect",
+                &addr,
+                "--mode",
+                "cts1",
+                "--p",
+                "2",
+                "--rounds",
+                "3",
+                "--budget",
+                "60000",
+            ],
+            SUBMIT_FLAGS,
+        ))
+        .unwrap();
+        assert!(out.contains("accepted"));
+        assert!(out.contains("incumbent  :"));
+        assert!(out.contains("best value"));
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("server done: 1 jobs accepted"));
+        assert!(served.contains("1 done"));
+    }
+
+    #[test]
+    fn serve_and_submit_validate_their_arguments() {
+        let err = cmd_serve(&args(&["--p", "2"], SERVE_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("--clients"));
+
+        let err = cmd_serve(&args(
+            &["--clients", "unix:/tmp/x.sock", "--quantum", "0"],
+            SERVE_FLAGS,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("positive"));
+
+        let path = tmp("submit_args.mkp");
+        cmd_generate(&args(&[&path, "--n", "12", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_submit(&args(&[&path], SUBMIT_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("--connect"));
+
+        let err = cmd_submit(&args(&[&path, "--connect", "nonsense"], SUBMIT_FLAGS)).unwrap_err();
+        assert!(err.to_string().contains("--connect"));
+    }
 
     #[test]
     fn generate_then_stats_then_solve_then_exact() {

@@ -12,7 +12,8 @@ mod commands;
 
 use args::Args;
 use commands::{
-    cmd_exact, cmd_generate, cmd_slave, cmd_solve, cmd_stats, cmd_validate_metrics, USAGE,
+    cmd_exact, cmd_generate, cmd_serve, cmd_slave, cmd_solve, cmd_stats, cmd_submit,
+    cmd_validate_metrics, USAGE,
 };
 use std::process::ExitCode;
 
@@ -58,6 +59,38 @@ fn main() -> ExitCode {
         "slave" => Args::parse(rest, &["connect", "patience"])
             .map_err(Into::into)
             .and_then(|a| cmd_slave(&a)),
+        "serve" => Args::parse(
+            rest,
+            &[
+                "clients",
+                "slaves",
+                "p",
+                "quantum",
+                "max-queue",
+                "max-inflight",
+                "max-jobs",
+                "park-mem",
+                "spool",
+                "patience",
+            ],
+        )
+        .map_err(Into::into)
+        .and_then(|a| cmd_serve(&a)),
+        "submit" => Args::parse(
+            rest,
+            &[
+                "connect",
+                "mode",
+                "p",
+                "rounds",
+                "budget",
+                "seed",
+                "deadline-ms",
+                "patience",
+            ],
+        )
+        .map_err(Into::into)
+        .and_then(|a| cmd_submit(&a)),
         "exact" => Args::parse(rest, &["nodes", "workers"])
             .map_err(Into::into)
             .and_then(|a| cmd_exact(&a)),

@@ -239,8 +239,45 @@ pub fn fault_at_round(worker: usize, round: usize, action: FaultAction) -> Fault
 
 /// Per-task result of a run.
 enum TaskOut {
-    Master(Result<Box<ModeReport>, EngineError>),
+    Master(Result<Box<SliceOutcome>, EngineError>),
     Slave,
+}
+
+/// Master-side exit control for one [`master_loop`] invocation.
+///
+/// The defaults reproduce the classic one-shot run: never park, STOP the
+/// farm on the way out. The job server overrides both to time-slice one
+/// persistent farm across jobs — parking at quantum boundaries and
+/// keeping the slaves alive between slices.
+pub(crate) struct MasterCtl {
+    /// Park (snapshot and return) after this many newly executed rounds
+    /// if the run has not finished first. `None` runs to completion.
+    /// Requires synchronous delivery and a snapshot-capable policy.
+    pub(crate) park_after: Option<usize>,
+    /// Whether to fan out STOP (and notify orphans) on exit. In-process
+    /// pools need it to fold the farm; the job server keeps its remote
+    /// slaves alive between slices and STOPs only at shutdown.
+    pub(crate) stop_on_exit: bool,
+}
+
+impl Default for MasterCtl {
+    fn default() -> Self {
+        MasterCtl {
+            park_after: None,
+            stop_on_exit: true,
+        }
+    }
+}
+
+/// How a bounded run slice ended (see [`Engine::run_slice`]).
+#[derive(Debug)]
+pub enum SliceOutcome {
+    /// The run finished inside the slice; the complete report. Boxed so
+    /// the variant stays as small as `Parked`'s snapshot pointer.
+    Finished(Box<ModeReport>),
+    /// The slice's round budget elapsed first: the master's complete
+    /// state at a round boundary, ready to resume bit-identically.
+    Parked(Box<Snapshot>),
 }
 
 /// A reusable parallel search engine: one persistent worker pool serving
@@ -337,51 +374,48 @@ impl Engine {
         snap: Snapshot,
         cfg: &RunConfig,
     ) -> Result<ModeReport, EngineError> {
-        let reject = |detail: String| Err(EngineError::Unsupported { detail });
-        if snap.fingerprint != instance_fingerprint(inst) {
-            return reject("snapshot was taken from a different instance".to_string());
-        }
-        if snap.cfg_digest != config_digest(cfg) {
-            return reject(
-                "snapshot was taken under a different search configuration \
-                 (p, rounds, budget, seed, ISP/SGP and relink must match the original run)"
-                    .to_string(),
-            );
-        }
-        let mut policy = policy_for(snap.mode);
-        let active = policy.active_workers(cfg);
-        let rounds = policy.rounds(cfg);
-        if policy.delivery() == Delivery::Pipelined {
-            return reject("pipelined modes cannot be checkpointed or resumed".to_string());
-        }
-        if snap.alive.len() != active
-            || snap.epochs.len() != active
-            || snap.restarts_used.len() != active
-            || snap.histories.len() != active
-        {
-            return reject(format!(
-                "snapshot worker tables hold {} workers, run configures {active}",
-                snap.alive.len()
-            ));
-        }
-        if snap.next_round == 0
-            || snap.next_round >= rounds
-            || snap.round_best.len() != snap.next_round
-        {
-            return reject(format!(
-                "snapshot round counter {} is outside the resumable range 1..{rounds}",
-                snap.next_round
-            ));
-        }
-        if snap.rng == [0u64; 4] {
-            return reject("snapshot rng state is degenerate".to_string());
-        }
-        if !snap.alive.iter().any(|&a| a) {
-            return Err(EngineError::AllWorkersLost {
-                losses: snap.losses,
-            });
-        }
-        self.run_policy_inner(inst, &mut *policy, cfg, Some(snap))
+        let mut policy = validated_resume_policy(inst, &snap, cfg)?;
+        finished_only(self.run_policy_inner(
+            inst,
+            &mut *policy,
+            cfg,
+            Some(snap),
+            &MasterCtl::default(),
+        )?)
+    }
+
+    /// Run at most `park_after` rounds of `mode` (all of them if `None`),
+    /// optionally continuing a parked or checkpointed [`Snapshot`], and
+    /// either finish or park again. Parking serializes the master's
+    /// complete state at a round boundary — the same artifact a periodic
+    /// checkpoint writes — so a chain of slices is bit-identical to one
+    /// uninterrupted run. This is the preemption primitive behind the job
+    /// server's time-slicing ([`crate::jobserver`]).
+    pub fn run_slice(
+        &mut self,
+        inst: &Instance,
+        mode: Mode,
+        cfg: &RunConfig,
+        resume: Option<Snapshot>,
+        park_after: Option<usize>,
+    ) -> Result<SliceOutcome, EngineError> {
+        assert!(cfg.p >= 1 && cfg.rounds >= 1);
+        let mut policy = match &resume {
+            Some(snap) => {
+                if snap.mode != mode {
+                    return Err(EngineError::Unsupported {
+                        detail: format!("snapshot was taken under {:?}, not {mode:?}", snap.mode),
+                    });
+                }
+                validated_resume_policy(inst, snap, cfg)?
+            }
+            None => policy_for(mode),
+        };
+        let ctl = MasterCtl {
+            park_after,
+            stop_on_exit: true,
+        };
+        self.run_policy_inner(inst, &mut *policy, cfg, resume, &ctl)
     }
 
     /// Run a custom policy (the extension point behind [`run`](Engine::run)).
@@ -391,7 +425,7 @@ impl Engine {
         policy: &mut dyn CoopPolicy,
         cfg: &RunConfig,
     ) -> Result<ModeReport, EngineError> {
-        self.run_policy_inner(inst, policy, cfg, None)
+        finished_only(self.run_policy_inner(inst, policy, cfg, None, &MasterCtl::default())?)
     }
 
     fn run_policy_inner(
@@ -400,7 +434,8 @@ impl Engine {
         policy: &mut dyn CoopPolicy,
         cfg: &RunConfig,
         resume: Option<Snapshot>,
-    ) -> Result<ModeReport, EngineError> {
+        ctl: &MasterCtl,
+    ) -> Result<SliceOutcome, EngineError> {
         if let Err(detail) = cfg.validate() {
             return Err(EngineError::Unsupported { detail });
         }
@@ -438,7 +473,7 @@ impl Engine {
                 let mut policy = policy.lock().unwrap_or_else(PoisonError::into_inner);
                 let resume = resume.lock().unwrap_or_else(PoisonError::into_inner).take();
                 TaskOut::Master(
-                    master_loop(&ctx, inst, &mut **policy, cfg, resume, &tel).map(Box::new),
+                    master_loop(&ctx, inst, &mut **policy, cfg, resume, ctl, &tel).map(Box::new),
                 )
             } else {
                 slave_loop(&ctx, cfg.patience(), &tel);
@@ -485,11 +520,16 @@ impl Engine {
             }
         };
         match master_out {
-            Some(Ok(mut report)) => {
-                enrich(&mut report.lost_workers);
-                report.telemetry = tel.snapshot();
-                Ok(*report)
-            }
+            Some(Ok(outcome)) => match *outcome {
+                SliceOutcome::Finished(mut report) => {
+                    enrich(&mut report.lost_workers);
+                    report.telemetry = tel.snapshot();
+                    Ok(SliceOutcome::Finished(report))
+                }
+                // A parked slice carries its losses inside the snapshot;
+                // panic details resurface when the job resumes.
+                parked => Ok(parked),
+            },
             Some(Err(EngineError::AllWorkersLost { mut losses })) => {
                 enrich(&mut losses);
                 Err(EngineError::AllWorkersLost { losses })
@@ -500,6 +540,70 @@ impl Engine {
             }),
         }
     }
+}
+
+/// Unwrap a [`SliceOutcome`] from a run that set no park bound — parking
+/// is impossible there, so a parked outcome is an engine bug.
+fn finished_only(outcome: SliceOutcome) -> Result<ModeReport, EngineError> {
+    match outcome {
+        SliceOutcome::Finished(report) => Ok(*report),
+        SliceOutcome::Parked(_) => Err(EngineError::Internal {
+            detail: "unbounded run returned a parked outcome".into(),
+        }),
+    }
+}
+
+/// Validate `snap` against `inst`/`cfg` and hand back the restorable
+/// policy — the shared admission path of [`Engine::resume`] and
+/// [`Engine::run_slice`].
+pub(crate) fn validated_resume_policy(
+    inst: &Instance,
+    snap: &Snapshot,
+    cfg: &RunConfig,
+) -> Result<Box<dyn CoopPolicy>, EngineError> {
+    let reject = |detail: String| Err(EngineError::Unsupported { detail });
+    if snap.fingerprint != instance_fingerprint(inst) {
+        return reject("snapshot was taken from a different instance".to_string());
+    }
+    if snap.cfg_digest != config_digest(cfg) {
+        return reject(
+            "snapshot was taken under a different search configuration \
+             (p, rounds, budget, seed, ISP/SGP and relink must match the original run)"
+                .to_string(),
+        );
+    }
+    let policy = policy_for(snap.mode);
+    let active = policy.active_workers(cfg);
+    let rounds = policy.rounds(cfg);
+    if policy.delivery() == Delivery::Pipelined {
+        return reject("pipelined modes cannot be checkpointed or resumed".to_string());
+    }
+    if snap.alive.len() != active
+        || snap.epochs.len() != active
+        || snap.restarts_used.len() != active
+        || snap.histories.len() != active
+    {
+        return reject(format!(
+            "snapshot worker tables hold {} workers, run configures {active}",
+            snap.alive.len()
+        ));
+    }
+    if snap.next_round == 0 || snap.next_round >= rounds || snap.round_best.len() != snap.next_round
+    {
+        return reject(format!(
+            "snapshot round counter {} is outside the resumable range 1..{rounds}",
+            snap.next_round
+        ));
+    }
+    if snap.rng == [0u64; 4] {
+        return reject("snapshot rng state is degenerate".to_string());
+    }
+    if !snap.alive.iter().any(|&a| a) {
+        return Err(EngineError::AllWorkersLost {
+            losses: snap.losses.clone(),
+        });
+    }
+    Ok(policy)
 }
 
 /// Dispatch a mode to its policy.
@@ -728,12 +832,27 @@ pub(crate) fn master_loop<C: Transport>(
     policy: &mut dyn CoopPolicy,
     cfg: &RunConfig,
     resume: Option<Snapshot>,
+    ctl: &MasterCtl,
     tel: &Telemetry,
-) -> Result<ModeReport, EngineError> {
+) -> Result<SliceOutcome, EngineError> {
     let start = Instant::now();
     let active = policy.active_workers(cfg);
     let rounds = policy.rounds(cfg);
     assert!(active < ctx.ntasks(), "pool too small for {active} workers");
+    if let Some(park) = ctl.park_after {
+        // Checked before the broadcast: nothing is in flight yet, so the
+        // early return cannot strand a slave waiting for instructions.
+        if park == 0 {
+            return Err(EngineError::Unsupported {
+                detail: "park_after must be at least one round".to_string(),
+            });
+        }
+        if policy.delivery() == Delivery::Pipelined {
+            return Err(EngineError::Unsupported {
+                detail: "pipelined modes have no round boundary to park at".to_string(),
+            });
+        }
+    }
 
     // "Read and send to slaves problem data" (Fig. 2) — a pvm_mcast. Idle
     // pool workers beyond `active` also receive it; they simply never get
@@ -805,11 +924,13 @@ pub(crate) fn master_loop<C: Transport>(
     drop(resume);
 
     // The round loop proper, pulled into a closure so that *every* exit —
-    // success, all-workers-lost, protocol violation, checkpoint failure —
-    // still flows through the STOP fan-out below. Returning early without
+    // success, park, all-workers-lost, protocol violation, checkpoint
+    // failure — still flows through the STOP fan-out below (when this
+    // invocation owns the farm's shutdown). Returning early without
     // stopping the slaves would leave them blocked on their mailboxes for
-    // a full patience window, wedging the pool.
-    let mut run_rounds = || -> Result<(), EngineError> {
+    // a full patience window, wedging the pool. `Ok(Some(snap))` means the
+    // slice parked at a round boundary instead of finishing.
+    let mut run_rounds = || -> Result<Option<Box<Snapshot>>, EngineError> {
         match policy.delivery() {
             Delivery::Synchronous => {
                 for round in start_round..rounds {
@@ -929,6 +1050,27 @@ pub(crate) fn master_loop<C: Transport>(
                             tel.add(0, Counter::CheckpointsWritten, 1);
                             tel.add(0, Counter::CheckpointBytes, nbytes);
                             tel.event(0, EventKind::Checkpoint, round + 1, nbytes as i64);
+                        }
+                    }
+
+                    // Quantum boundary: park once the slice's round budget
+                    // is spent and the run is not already over. The parked
+                    // snapshot is the identical artifact a periodic
+                    // checkpoint writes, so a resumed job continues
+                    // bit-identically to one that never parked.
+                    if let Some(park) = ctl.park_after {
+                        if round + 1 < rounds && round + 1 - start_round >= park {
+                            let _snap_span = tel.span(0, SpanKind::SnapshotWrite);
+                            let snap = build_snapshot(
+                                policy,
+                                inst,
+                                cfg,
+                                round + 1,
+                                &rng,
+                                &state,
+                                &workers,
+                            )?;
+                            return Ok(Some(Box::new(snap)));
                         }
                     }
                 }
@@ -1156,23 +1298,29 @@ pub(crate) fn master_loop<C: Transport>(
                 }
             }
         }
-        Ok(())
+        Ok(None)
     };
     let round_result = run_rounds();
 
     // Fold the farm: STOP every pool worker, including idle ones, plus any
     // superseded incarnations still blocked on their orphaned mailboxes.
-    for slave in 1..ctx.ntasks() {
-        let _ = ctx.send_bytes(slave, tags::STOP, Vec::new());
+    // A caller that keeps the farm alive across slices (the job server)
+    // opts out and STOPs once, at shutdown.
+    if ctl.stop_on_exit {
+        for slave in 1..ctx.ntasks() {
+            let _ = ctx.send_bytes(slave, tags::STOP, Vec::new());
+        }
+        ctx.notify_orphans(tags::STOP);
     }
-    ctx.notify_orphans(tags::STOP);
-    round_result?;
+    if let Some(snap) = round_result? {
+        return Ok(SliceOutcome::Parked(snap));
+    }
 
     let best = state.global_best.ok_or_else(|| EngineError::Internal {
         detail: "run finished without any processed report".into(),
     })?;
     debug_assert!(best.is_feasible(inst));
-    Ok(ModeReport {
+    Ok(SliceOutcome::Finished(Box::new(ModeReport {
         mode: policy.mode(),
         best,
         round_best: state.round_best,
@@ -1185,7 +1333,7 @@ pub(crate) fn master_loop<C: Transport>(
         // Filled by the engine after the farm joins; the master loop only
         // sees its own (still-live) side of the registry.
         telemetry: TelemetrySnapshot::default(),
-    })
+    })))
 }
 
 /// Serialize the master's complete state as of the top of `next_round`.
@@ -1347,10 +1495,14 @@ pub(crate) enum SlaveExit {
     Lost,
 }
 
-/// The slave loop: receive the problem once, then serve assignments until
-/// the stop message (or a dead master) ends the task. A [`tags::SEED`]
+/// The slave loop: receive a problem, then serve assignments until the
+/// stop message (or a dead master) ends the task. A [`tags::SEED`]
 /// message transplants the long-term History of a previous incarnation
-/// (rebirth) or a checkpointed run (resume) into this one.
+/// (rebirth) or a checkpointed run (resume) into this one. A *new*
+/// [`tags::PROBLEM`] mid-loop replaces the instance and resets the
+/// per-problem memory — that is how one persistent slave serves
+/// consecutive jobs under the job server, which broadcasts each job's
+/// problem at the top of every slice instead of STOPping between jobs.
 ///
 /// `patience` is how long the slave waits for each instruction before
 /// concluding the master is gone — in-process callers pass
@@ -1365,11 +1517,11 @@ pub(crate) fn slave_loop<C: Transport>(ctx: &C, patience: Duration, tel: &Teleme
         Err(_) => return SlaveExit::Lost, // master died before the broadcast
     };
     assert_eq!(env.tag, tags::PROBLEM, "protocol violation");
-    let inst = env
+    let mut inst = env
         .decode::<ProblemMsg>()
         .expect("well-formed problem")
         .into_instance();
-    let ratios = Ratios::new(&inst);
+    let mut ratios = Ratios::new(&inst);
     // The long-term frequency memory survives across rounds: each round's
     // diversification then targets regions this slave has never visited in
     // the whole session, which is what makes later rounds productive.
@@ -1382,6 +1534,17 @@ pub(crate) fn slave_loop<C: Transport>(ctx: &C, patience: Duration, tel: &Teleme
         };
         match env.tag {
             tags::STOP => return SlaveExit::Stopped,
+            tags::PROBLEM => {
+                // The next job's instance: per-problem state starts over.
+                // (A resumed job re-seeds the History right after, via
+                // SEED, exactly as a checkpoint resume does.)
+                inst = env
+                    .decode::<ProblemMsg>()
+                    .expect("well-formed problem")
+                    .into_instance();
+                ratios = Ratios::new(&inst);
+                history = mkp_tabu::history::History::new(inst.n());
+            }
             tags::SEED => {
                 let seed: SeedMsg = env.decode().expect("well-formed seed");
                 // An empty seed means the worker had no banked memory yet;

@@ -1,0 +1,1203 @@
+//! Multi-tenant job server: many MKP jobs time-sliced over one farm
+//! (DESIGN.md §14).
+//!
+//! [`serve`] runs a long-lived daemon that accepts *jobs* over the socket
+//! layer's framed codec: a client dials in, sends one `SUBMIT` frame
+//! (instance + mode + budget + optional wall-clock deadline) and then
+//! just reads — `ACCEPTED`, a stream of `INCUMBENT` updates, and finally
+//! `DONE` with the full report, or `REJECTED` with a reason. Admission
+//! control bounds the total queue depth and the per-client in-flight
+//! count, so one greedy tenant cannot starve the rest.
+//!
+//! Scheduling is round-robin in *round-granularity quanta*: a job runs
+//! for [`ServeConfig::quantum`] master rounds, is **parked** — the
+//! engine snapshots its complete master state at the round boundary
+//! (PR 4's checkpoint artifact) — and the next job resumes from its own
+//! snapshot. Because a parked snapshot is bit-identical to a periodic
+//! checkpoint, a job sliced into N quanta produces *exactly* the report
+//! an uninterrupted run would (asserted by `tests/jobserver.rs`). Modes
+//! without a round boundary to park at (pipelined ATS, or SEQ/ITS/DTS
+//! which fold into one round) run their whole budget in a single turn.
+//!
+//! Parked snapshots are held in memory as their serialized file bytes;
+//! when the total exceeds [`ServeConfig::park_mem_cap`], the snapshots
+//! of the jobs furthest from their next turn are spooled to
+//! [`ServeConfig::spool_dir`] and read back on resume.
+//!
+//! Deadlines and budgets are enforced at quantum boundaries: a job whose
+//! deadline has passed when its turn comes is terminated with `REJECTED`
+//! rather than rescheduled; the evaluation budget is the engine's own
+//! `total_evals` and runs out inside the slice machinery.
+//!
+//! The farm behind the scheduler is one persistent pool for the whole
+//! server lifetime: in-process worker threads ([`ServeBackend::InProc`])
+//! or remote `mkp slave` processes on a [`SocketHub`]
+//! ([`ServeBackend::Socket`]). On the socket backend slaves are kept
+//! alive *between* slices (the engine's STOP fan-out is suppressed) and
+//! released with a single STOP broadcast at server shutdown, so `mkp
+//! slave` exits 0 after serving any number of jobs. A slave that dies
+//! mid-slice is handled by the engine's resurrection machinery as usual;
+//! a slave missing at the *start* of a slice fails that job's slice, not
+//! the server.
+
+use crate::engine::{
+    master_loop, policy_for, validated_resume_policy, Delivery, Engine, EngineError, MasterCtl,
+    SliceOutcome,
+};
+use crate::messages::{pack_bits, tags, unpack_bits, ProblemMsg};
+use crate::runner::{Mode, ModeReport, RunConfig};
+use crate::snapshot::Snapshot;
+use crate::telemetry::Telemetry;
+use mkp::{BitVec, Instance, Solution};
+use pvm_lite::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use pvm_lite::codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
+use pvm_lite::{Endpoint, FramedConn, FramedListener, SocketHub, Transport};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client-protocol frame tags. Disjoint from the engine's slave-facing
+/// [`tags`] — clients and slaves connect to different endpoints, but
+/// distinct values keep a misdirected frame loudly unrecognizable.
+pub(crate) mod jtags {
+    /// Client → server: submit one job.
+    pub const SUBMIT: u32 = 0x4A42_0001;
+    /// Server → client: the job is queued; here is its id.
+    pub const ACCEPTED: u32 = 0x4A42_0002;
+    /// Server → client: best value after a slice of this job.
+    pub const INCUMBENT: u32 = 0x4A42_0003;
+    /// Server → client: the job finished; full report attached.
+    pub const DONE: u32 = 0x4A42_0004;
+    /// Server → client: the job was refused or terminated; reason attached.
+    pub const REJECTED: u32 = 0x4A42_0005;
+}
+
+/// How often the scheduler polls for client events when the run queue is
+/// empty (and the bound on how stale a `max_jobs` shutdown check can be).
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Delay between a client's connect attempts in [`submit_job`].
+const DIAL_DELAY: Duration = Duration::from_millis(100);
+
+fn mode_code(mode: Mode) -> u8 {
+    match mode {
+        Mode::Sequential => 0,
+        Mode::Independent => 1,
+        Mode::Cooperative => 2,
+        Mode::CooperativeAdaptive => 3,
+        Mode::Asynchronous => 4,
+        Mode::Decomposed => 5,
+    }
+}
+
+fn mode_from_code(code: u8) -> Option<Mode> {
+    Some(match code {
+        0 => Mode::Sequential,
+        1 => Mode::Independent,
+        2 => Mode::Cooperative,
+        3 => Mode::CooperativeAdaptive,
+        4 => Mode::Asynchronous,
+        5 => Mode::Decomposed,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// The client's submission: problem + run shape. `deadline_ms == 0`
+/// means no deadline.
+pub(crate) struct SubmitMsg {
+    pub(crate) problem: ProblemMsg,
+    pub(crate) mode: u8,
+    pub(crate) p: u64,
+    pub(crate) rounds: u64,
+    pub(crate) budget_evals: u64,
+    pub(crate) seed: u64,
+    pub(crate) deadline_ms: u64,
+}
+
+impl Wire for SubmitMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        self.problem.pack(buf);
+        buf.put_u8(self.mode);
+        buf.put_u64(self.p);
+        buf.put_u64(self.rounds);
+        buf.put_u64(self.budget_evals);
+        buf.put_u64(self.seed);
+        buf.put_u64(self.deadline_ms);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(SubmitMsg {
+            problem: ProblemMsg::unpack(buf)?,
+            mode: buf.get_u8()?,
+            p: buf.get_u64()?,
+            rounds: buf.get_u64()?,
+            budget_evals: buf.get_u64()?,
+            seed: buf.get_u64()?,
+            deadline_ms: buf.get_u64()?,
+        })
+    }
+}
+
+struct AcceptedMsg {
+    job_id: u64,
+}
+
+impl Wire for AcceptedMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64(self.job_id);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(AcceptedMsg {
+            job_id: buf.get_u64()?,
+        })
+    }
+}
+
+struct IncumbentMsg {
+    job_id: u64,
+    value: i64,
+    round: u64,
+}
+
+impl Wire for IncumbentMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64(self.job_id);
+        buf.put_i64(self.value);
+        buf.put_u64(self.round);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(IncumbentMsg {
+            job_id: buf.get_u64()?,
+            value: buf.get_i64()?,
+            round: buf.get_u64()?,
+        })
+    }
+}
+
+struct DoneMsg {
+    job_id: u64,
+    report: JobReport,
+}
+
+impl Wire for DoneMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64(self.job_id);
+        self.report.pack(buf);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(DoneMsg {
+            job_id: buf.get_u64()?,
+            report: JobReport::unpack(buf)?,
+        })
+    }
+}
+
+struct RejectedMsg {
+    /// 0 when the job was refused before acceptance.
+    job_id: u64,
+    reason: String,
+}
+
+impl Wire for RejectedMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64(self.job_id);
+        buf.put_str(&self.reason);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(RejectedMsg {
+            job_id: buf.get_u64()?,
+            reason: buf.get_str()?,
+        })
+    }
+}
+
+/// A finished job's result, as delivered over the wire — a
+/// [`ModeReport`] minus the parts that don't serialize (telemetry, loss
+/// records) plus the best assignment as raw bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// The mode that ran.
+    pub mode: Mode,
+    /// Best assignment found.
+    pub best_bits: BitVec,
+    /// Value of the best assignment.
+    pub best_value: i64,
+    /// Global best value after each master round.
+    pub round_best: Vec<i64>,
+    /// Moves executed across all threads.
+    pub total_moves: u64,
+    /// Candidate evaluations spent across all threads.
+    pub total_evals: u64,
+    /// Strategy regenerations the SGP performed.
+    pub regenerations: u64,
+    /// Server-side wall-clock total across this job's slices, in ms.
+    pub wall_ms: u64,
+    /// Whether any slice lost workers (the result is still feasible).
+    pub degraded: bool,
+}
+
+impl JobReport {
+    fn from_report(report: &ModeReport, wall: Duration) -> JobReport {
+        JobReport {
+            mode: report.mode,
+            best_bits: report.best.bits().clone(),
+            best_value: report.best.value(),
+            round_best: report.round_best.clone(),
+            total_moves: report.total_moves,
+            total_evals: report.total_evals,
+            regenerations: report.regenerations,
+            wall_ms: wall.as_millis() as u64,
+            degraded: report.is_degraded(),
+        }
+    }
+
+    /// Rebuild the best solution against the instance the client holds
+    /// (re-deriving value and loads; panics if the lengths disagree —
+    /// that means the client submitted a different instance).
+    pub fn best_solution(&self, inst: &Instance) -> Solution {
+        Solution::from_bits(inst, self.best_bits.clone())
+    }
+}
+
+impl Wire for JobReport {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u8(mode_code(self.mode));
+        pack_bits(&self.best_bits, buf);
+        buf.put_i64(self.best_value);
+        buf.put_i64s(&self.round_best);
+        buf.put_u64(self.total_moves);
+        buf.put_u64(self.total_evals);
+        buf.put_u64(self.regenerations);
+        buf.put_u64(self.wall_ms);
+        buf.put_u8(self.degraded as u8);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        let code = buf.get_u8()?;
+        let mode = mode_from_code(code).ok_or(CodecError::LengthOverflow {
+            length: code as u64,
+        })?;
+        Ok(JobReport {
+            mode,
+            best_bits: unpack_bits(buf)?,
+            best_value: buf.get_i64()?,
+            round_best: buf.get_i64s()?,
+            total_moves: buf.get_u64()?,
+            total_evals: buf.get_u64()?,
+            regenerations: buf.get_u64()?,
+            wall_ms: buf.get_u64()?,
+            degraded: buf.get_u8()? != 0,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration
+// ---------------------------------------------------------------------------
+
+/// The farm a [`serve`] call schedules jobs onto.
+#[derive(Debug, Clone)]
+pub enum ServeBackend {
+    /// One in-process [`Engine`] with `p` persistent worker threads.
+    InProc {
+        /// Worker threads in the pool; jobs may use any `p` up to this.
+        p: usize,
+    },
+    /// A [`SocketHub`] with `p` slots for remote `mkp slave` processes.
+    /// All `p` slaves must connect within the configured patience before
+    /// the server starts accepting jobs.
+    Socket {
+        /// Endpoint the slaves dial.
+        slaves: Endpoint,
+        /// Slave slots; jobs may use any `p` up to this.
+        p: usize,
+    },
+}
+
+/// Knobs for [`serve`]. [`Default`] gives a single-round quantum, a
+/// 16-job queue, 4 jobs per client, a 64 MiB park-memory cap, a spool
+/// directory under the system temp dir, no job limit, and ~2 minutes of
+/// patience.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Master rounds a job runs per turn before parking. Jobs without a
+    /// round boundary (pipelined delivery, single-round modes) run their
+    /// whole budget in one turn regardless.
+    pub quantum: usize,
+    /// Cap on accepted-but-unfinished jobs across all clients.
+    pub max_queue: usize,
+    /// Cap on one client's accepted-but-unfinished jobs.
+    pub max_inflight: usize,
+    /// Bytes of parked snapshots held in memory before spilling the
+    /// longest-waiting jobs' snapshots to `spool_dir`.
+    pub park_mem_cap: usize,
+    /// Where evicted snapshots live (`job-<id>.snap`, removed on resume
+    /// and on job termination).
+    pub spool_dir: PathBuf,
+    /// Stop after this many accepted jobs reach a terminal state
+    /// (done, deadline-expired, failed, or canceled). 0 serves forever.
+    pub max_jobs: u64,
+    /// Socket-backend patience: how long to wait for the initial slave
+    /// fleet, and the reconnect window during slices.
+    pub patience: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            quantum: 1,
+            max_queue: 16,
+            max_inflight: 4,
+            park_mem_cap: 64 << 20,
+            spool_dir: std::env::temp_dir().join("mkp-jobserver"),
+            max_jobs: 0,
+            patience: Duration::from_secs(121),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.quantum == 0 {
+            return Err("quantum must be at least one round".to_string());
+        }
+        if self.max_queue == 0 {
+            return Err("max queue depth must be at least 1".to_string());
+        }
+        if self.max_inflight == 0 {
+            return Err("per-client in-flight cap must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// What a completed [`serve`] call did, for logs and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Submissions refused at admission (queue full, caps, bad config).
+    pub rejected: u64,
+    /// Accepted jobs that finished with a report.
+    pub done: u64,
+    /// Accepted jobs terminated at a quantum boundary past their deadline.
+    pub expired: u64,
+    /// Accepted jobs terminated by an engine error.
+    pub failed: u64,
+    /// Accepted jobs dropped because their client disconnected.
+    pub canceled: u64,
+    /// Scheduler turns executed (slices run on the farm).
+    pub slices: u64,
+    /// Parked snapshots spooled to disk under memory pressure.
+    pub evictions: u64,
+    /// Parked snapshots read back from the spool.
+    pub restores: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Server internals
+// ---------------------------------------------------------------------------
+
+enum Pool {
+    InProc(Engine),
+    Socket(SocketHub),
+}
+
+impl Pool {
+    /// Worker capacity: jobs asking for more than this are refused at
+    /// admission, so the persistent pool is never grown mid-serve.
+    fn capacity(&self) -> usize {
+        match self {
+            Pool::InProc(engine) => engine.pool_size() - 1, // minus the master task
+            Pool::Socket(hub) => hub.nslots(),
+        }
+    }
+}
+
+enum Event {
+    /// A new client connection; `writer` is the scheduler's send half.
+    Conn {
+        client: u64,
+        writer: FramedConn,
+    },
+    Submit {
+        client: u64,
+        msg: Box<SubmitMsg>,
+    },
+    BadSubmit {
+        client: u64,
+        detail: String,
+    },
+    Gone {
+        client: u64,
+    },
+}
+
+/// Where a job between turns keeps its master state.
+enum JobState {
+    /// Never ran; starts from scratch on its first turn.
+    Fresh,
+    /// Parked in memory as serialized snapshot bytes.
+    ParkedMem(Vec<u8>),
+    /// Parked on disk (evicted under the memory cap); size remembered
+    /// for the stats.
+    ParkedDisk(PathBuf),
+}
+
+struct Job {
+    id: u64,
+    client: u64,
+    inst: Instance,
+    mode: Mode,
+    cfg: RunConfig,
+    deadline: Option<Instant>,
+    /// `Some(quantum)` when the mode has round boundaries to park at.
+    park_after: Option<usize>,
+    /// Wall-clock spent in this job's slices so far.
+    spent: Duration,
+    state: JobState,
+}
+
+struct Scheduler {
+    cfg: ServeConfig,
+    pool: Pool,
+    writers: HashMap<u64, FramedConn>,
+    jobs: HashMap<u64, Job>,
+    runq: VecDeque<u64>,
+    inflight: HashMap<u64, usize>,
+    next_job: u64,
+    /// Accepted jobs that reached a terminal state (drives `max_jobs`).
+    terminal: u64,
+    /// Bytes of snapshots currently in `JobState::ParkedMem`.
+    park_mem: usize,
+    stats: ServeStats,
+}
+
+/// Run the job server on `listen` until `cfg.max_jobs` accepted jobs
+/// have reached a terminal state (forever if 0). Binds the client
+/// listener and — for the socket backend — the slave hub, waits for the
+/// full slave fleet, then schedules jobs round-robin in
+/// `cfg.quantum`-round slices. Returns the tally of what was served.
+pub fn serve(
+    listen: &Endpoint,
+    backend: ServeBackend,
+    cfg: &ServeConfig,
+) -> Result<ServeStats, String> {
+    cfg.validate()?;
+    std::fs::create_dir_all(&cfg.spool_dir).map_err(|e| {
+        format!(
+            "cannot create spool directory {}: {e}",
+            cfg.spool_dir.display()
+        )
+    })?;
+    let pool = match backend {
+        ServeBackend::InProc { p } => {
+            if p == 0 {
+                return Err("the in-process pool needs at least one worker".to_string());
+            }
+            Pool::InProc(Engine::new(p))
+        }
+        ServeBackend::Socket { slaves, p } => {
+            if p == 0 {
+                return Err("the slave hub needs at least one slot".to_string());
+            }
+            let hub = SocketHub::bind(&slaves, p, cfg.patience)
+                .map_err(|e| format!("cannot listen for slaves on {slaves}: {e}"))?;
+            let connected = hub.wait_ready(cfg.patience);
+            if connected < p {
+                return Err(format!(
+                    "only {connected} of {p} slaves connected to {slaves} within {:?}; \
+                     start the missing `mkp slave --connect {slaves}` processes first",
+                    cfg.patience
+                ));
+            }
+            Pool::Socket(hub)
+        }
+    };
+    let listener = FramedListener::bind(listen)
+        .map_err(|e| format!("cannot listen for clients on {listen}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure the client listener: {e}"))?;
+
+    let (tx, rx) = unbounded();
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(listener, tx, stop))
+    };
+
+    let mut sched = Scheduler {
+        cfg: cfg.clone(),
+        pool,
+        writers: HashMap::new(),
+        jobs: HashMap::new(),
+        runq: VecDeque::new(),
+        inflight: HashMap::new(),
+        next_job: 1,
+        terminal: 0,
+        park_mem: 0,
+        stats: ServeStats::default(),
+    };
+    sched.run(&rx);
+
+    // Shut down: stop accepting, close every client link (which also
+    // unblocks their reader threads into a clean exit), release the
+    // remote slaves with the STOP the slices withheld.
+    stop.store(true, Ordering::Relaxed);
+    let _ = accept.join();
+    for (_, writer) in sched.writers.drain() {
+        writer.shutdown();
+    }
+    if let Pool::Socket(hub) = &sched.pool {
+        for slot in 1..hub.ntasks() {
+            let _ = hub.send_bytes(slot, tags::STOP, Vec::new());
+        }
+    }
+    Ok(sched.stats)
+}
+
+/// Accept client connections and hand each a reader thread. Nonblocking
+/// so the `stop` flag is honored within one poll interval.
+fn accept_loop(listener: FramedListener, tx: Sender<Event>, stop: Arc<AtomicBool>) {
+    let mut next_client: u64 = 1;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok(conn) => {
+                let client = next_client;
+                next_client += 1;
+                let tx = tx.clone();
+                std::thread::spawn(move || client_reader(client, conn, tx));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break, // listener died: the server is going down
+        }
+    }
+}
+
+/// Per-client reader: announce the connection (with the scheduler's
+/// writer half), then forward SUBMIT frames until the client hangs up.
+/// Sending Conn and Submit from the same thread keeps them ordered in
+/// the scheduler's single event queue.
+fn client_reader(client: u64, mut conn: FramedConn, tx: Sender<Event>) {
+    match conn.try_clone() {
+        Ok(writer) => {
+            if tx.send(Event::Conn { client, writer }).is_err() {
+                return; // server already shut down
+            }
+        }
+        Err(_) => return,
+    }
+    loop {
+        let event = match conn.recv() {
+            Ok(Some(env)) if env.tag == jtags::SUBMIT => match SubmitMsg::from_bytes(&env.data) {
+                Ok(msg) => Event::Submit {
+                    client,
+                    msg: Box::new(msg),
+                },
+                Err(e) => Event::BadSubmit {
+                    client,
+                    detail: format!("malformed SUBMIT payload: {e}"),
+                },
+            },
+            Ok(Some(env)) => Event::BadSubmit {
+                client,
+                detail: format!("unexpected frame tag {:#x}", env.tag),
+            },
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Event::Gone { client });
+                return;
+            }
+        };
+        if tx.send(event).is_err() {
+            return;
+        }
+    }
+}
+
+impl Scheduler {
+    fn run(&mut self, rx: &Receiver<Event>) {
+        loop {
+            while let Ok(event) = rx.try_recv() {
+                self.handle(event);
+            }
+            if self.cfg.max_jobs > 0 && self.terminal >= self.cfg.max_jobs {
+                return;
+            }
+            if let Some(id) = self.runq.pop_front() {
+                self.run_turn(id);
+            } else {
+                match rx.recv_timeout(IDLE_POLL) {
+                    Ok(event) => self.handle(event),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Conn { client, writer } => {
+                self.writers.insert(client, writer);
+            }
+            Event::Submit { client, msg } => self.admit(client, *msg),
+            Event::BadSubmit { client, detail } => {
+                self.stats.rejected += 1;
+                self.send(
+                    client,
+                    jtags::REJECTED,
+                    &RejectedMsg {
+                        job_id: 0,
+                        reason: detail,
+                    },
+                );
+            }
+            Event::Gone { client } => {
+                self.writers.remove(&client);
+                self.inflight.remove(&client);
+                let orphans: Vec<u64> = self
+                    .jobs
+                    .values()
+                    .filter(|j| j.client == client)
+                    .map(|j| j.id)
+                    .collect();
+                for id in orphans {
+                    let job = self.jobs.remove(&id).expect("orphan id came from the map");
+                    self.runq.retain(|&q| q != id);
+                    self.discard_state(&job.state);
+                    self.terminal += 1;
+                    self.stats.canceled += 1;
+                }
+            }
+        }
+    }
+
+    /// Admission control: validate the submission and either enqueue it
+    /// (ACCEPTED) or refuse it (REJECTED with job id 0).
+    fn admit(&mut self, client: u64, msg: SubmitMsg) {
+        let reject = |this: &mut Self, reason: String| {
+            this.stats.rejected += 1;
+            this.send(client, jtags::REJECTED, &RejectedMsg { job_id: 0, reason });
+        };
+        let Some(mode) = mode_from_code(msg.mode) else {
+            return reject(self, format!("unknown mode code {}", msg.mode));
+        };
+        let pb = &msg.problem;
+        if pb.n == 0
+            || pb.m == 0
+            || pb.profits.len() != pb.n
+            || pb.weights.len() != pb.n * pb.m
+            || pb.capacities.len() != pb.m
+        {
+            return reject(
+                self,
+                "malformed instance: array lengths disagree with n/m".into(),
+            );
+        }
+        let capacity = self.pool.capacity();
+        let p = msg.p as usize;
+        if p == 0 || p > capacity {
+            return reject(
+                self,
+                format!("p={p} outside this server's capacity of {capacity} workers"),
+            );
+        }
+        if msg.rounds == 0 {
+            return reject(self, "rounds must be at least 1".into());
+        }
+        if msg.budget_evals == 0 {
+            return reject(self, "evaluation budget must be at least 1".into());
+        }
+        if self.jobs.len() >= self.cfg.max_queue {
+            return reject(
+                self,
+                format!("job queue is full ({} jobs pending)", self.jobs.len()),
+            );
+        }
+        let inflight = self.inflight.get(&client).copied().unwrap_or(0);
+        if inflight >= self.cfg.max_inflight {
+            return reject(
+                self,
+                format!(
+                    "client already has {inflight} jobs in flight (cap {})",
+                    self.cfg.max_inflight
+                ),
+            );
+        }
+        let cfg = RunConfig {
+            p,
+            rounds: msg.rounds as usize,
+            ..RunConfig::new(msg.budget_evals, msg.seed)
+        };
+        if let Err(detail) = cfg.validate() {
+            return reject(self, detail);
+        }
+
+        let id = self.next_job;
+        self.next_job += 1;
+        let policy = policy_for(mode);
+        let parkable = policy.delivery() == Delivery::Synchronous && policy.rounds(&cfg) > 1;
+        let deadline =
+            (msg.deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(msg.deadline_ms));
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                client,
+                inst: msg.problem.into_instance(),
+                mode,
+                cfg,
+                deadline,
+                park_after: parkable.then_some(self.cfg.quantum),
+                spent: Duration::ZERO,
+                state: JobState::Fresh,
+            },
+        );
+        self.runq.push_back(id);
+        *self.inflight.entry(client).or_insert(0) += 1;
+        self.stats.accepted += 1;
+        self.send(client, jtags::ACCEPTED, &AcceptedMsg { job_id: id });
+    }
+
+    /// One scheduler turn: resume the job, run a slice, then finish it
+    /// or park it at the back of the queue.
+    fn run_turn(&mut self, id: u64) {
+        let mut job = match self.jobs.remove(&id) {
+            Some(job) => job,
+            None => return, // canceled while queued
+        };
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                self.stats.expired += 1;
+                let msg = RejectedMsg {
+                    job_id: job.id,
+                    reason: format!("deadline exceeded after {:?} of search", job.spent),
+                };
+                self.send(job.client, jtags::REJECTED, &msg);
+                self.finish(job);
+                return;
+            }
+        }
+        let resume = match std::mem::replace(&mut job.state, JobState::Fresh) {
+            JobState::Fresh => None,
+            JobState::ParkedMem(bytes) => {
+                self.park_mem -= bytes.len();
+                match Snapshot::from_file_bytes(&bytes) {
+                    Ok(snap) => Some(snap),
+                    Err(e) => return self.fail(job, format!("parked state is corrupt: {e}")),
+                }
+            }
+            JobState::ParkedDisk(path) => {
+                self.stats.restores += 1;
+                let snap = Snapshot::load(&path);
+                let _ = std::fs::remove_file(&path);
+                match snap {
+                    Ok(snap) => Some(snap),
+                    Err(e) => return self.fail(job, format!("cannot restore spooled state: {e}")),
+                }
+            }
+        };
+
+        let turn_start = Instant::now();
+        let outcome = match &mut self.pool {
+            Pool::InProc(engine) => {
+                engine.run_slice(&job.inst, job.mode, &job.cfg, resume, job.park_after)
+            }
+            Pool::Socket(hub) => socket_slice(hub, &job, resume),
+        };
+        job.spent += turn_start.elapsed();
+        self.stats.slices += 1;
+
+        match outcome {
+            Ok(SliceOutcome::Finished(report)) => {
+                let incumbent = IncumbentMsg {
+                    job_id: job.id,
+                    value: report.best.value(),
+                    round: report.round_best.len() as u64,
+                };
+                self.send(job.client, jtags::INCUMBENT, &incumbent);
+                let done = DoneMsg {
+                    job_id: job.id,
+                    report: JobReport::from_report(&report, job.spent),
+                };
+                self.send(job.client, jtags::DONE, &done);
+                self.stats.done += 1;
+                self.finish(job);
+            }
+            Ok(SliceOutcome::Parked(snap)) => {
+                let incumbent = IncumbentMsg {
+                    job_id: job.id,
+                    value: *snap
+                        .round_best
+                        .last()
+                        .expect("a parked run completed a round"),
+                    round: snap.next_round as u64,
+                };
+                self.send(job.client, jtags::INCUMBENT, &incumbent);
+                let bytes = snap.to_file_bytes();
+                self.park_mem += bytes.len();
+                job.state = JobState::ParkedMem(bytes);
+                self.jobs.insert(id, job);
+                self.runq.push_back(id);
+                self.enforce_mem_cap();
+            }
+            Err(e) => self.fail(job, format!("search failed: {e}")),
+        }
+    }
+
+    /// Terminate an accepted job with a REJECTED explaining the failure.
+    fn fail(&mut self, job: Job, reason: String) {
+        self.stats.failed += 1;
+        let msg = RejectedMsg {
+            job_id: job.id,
+            reason,
+        };
+        self.send(job.client, jtags::REJECTED, &msg);
+        self.finish(job);
+    }
+
+    /// Terminal bookkeeping shared by done/expired/failed paths. The job
+    /// must already be out of `jobs` and `runq`.
+    fn finish(&mut self, job: Job) {
+        self.discard_state(&job.state);
+        if let Some(count) = self.inflight.get_mut(&job.client) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.inflight.remove(&job.client);
+            }
+        }
+        self.terminal += 1;
+    }
+
+    fn discard_state(&mut self, state: &JobState) {
+        match state {
+            JobState::Fresh => {}
+            JobState::ParkedMem(bytes) => self.park_mem -= bytes.len(),
+            JobState::ParkedDisk(path) => {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+
+    /// Spool parked snapshots to disk, longest-waiting jobs first (the
+    /// back of the run queue is furthest from its next turn), until the
+    /// in-memory total fits the cap again.
+    fn enforce_mem_cap(&mut self) {
+        if self.park_mem <= self.cfg.park_mem_cap {
+            return;
+        }
+        let victims: Vec<u64> = self.runq.iter().rev().copied().collect();
+        for id in victims {
+            if self.park_mem <= self.cfg.park_mem_cap {
+                return;
+            }
+            let Some(job) = self.jobs.get_mut(&id) else {
+                continue;
+            };
+            let JobState::ParkedMem(bytes) = &job.state else {
+                continue;
+            };
+            let path = self.cfg.spool_dir.join(format!("job-{id}.snap"));
+            if std::fs::write(&path, bytes).is_err() {
+                // Disk trouble: better over the cap than losing the job.
+                return;
+            }
+            self.park_mem -= bytes.len();
+            job.state = JobState::ParkedDisk(path);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Send one message to a client; a dead link just drops the message
+    /// (the reader thread's Gone event will cancel the client's jobs).
+    fn send<T: Wire>(&mut self, client: u64, tag: u32, msg: &T) {
+        if let Some(writer) = self.writers.get_mut(&client) {
+            if writer.send(0, tag, msg).is_err() {
+                self.writers.remove(&client);
+            }
+        }
+    }
+}
+
+fn socket_slice(
+    hub: &SocketHub,
+    job: &Job,
+    resume: Option<Snapshot>,
+) -> Result<SliceOutcome, EngineError> {
+    let mut policy = match &resume {
+        Some(snap) => {
+            if snap.mode != job.mode {
+                return Err(EngineError::Internal {
+                    detail: format!(
+                        "parked state is for mode {} but the job runs {}",
+                        snap.mode.label(),
+                        job.mode.label()
+                    ),
+                });
+            }
+            validated_resume_policy(&job.inst, snap, &job.cfg)?
+        }
+        None => policy_for(job.mode),
+    };
+    let ctl = MasterCtl {
+        park_after: job.park_after,
+        stop_on_exit: false,
+    };
+    let tel = Telemetry::new(hub.ntasks());
+    master_loop(hub, &job.inst, &mut *policy, &job.cfg, resume, &ctl, &tel)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Shape of a job for [`submit_job`].
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// Search organization to run.
+    pub mode: Mode,
+    /// Slave threads for this job (must fit the server's farm).
+    pub p: usize,
+    /// Master rounds.
+    pub rounds: usize,
+    /// Total candidate-evaluation budget.
+    pub budget_evals: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Wall-clock deadline, measured by the server from acceptance;
+    /// enforced at quantum boundaries. `None` runs to completion.
+    pub deadline: Option<Duration>,
+}
+
+/// Progress updates streamed to [`submit_job`]'s callback while the job
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitEvent {
+    /// The server queued the job.
+    Accepted {
+        /// Server-assigned job id.
+        job_id: u64,
+    },
+    /// The server finished a slice of the job.
+    Incumbent {
+        /// Which job.
+        job_id: u64,
+        /// Best value so far.
+        value: i64,
+        /// Master rounds completed so far.
+        round: u64,
+    },
+}
+
+/// How a [`submit_job`] call ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// The job ran to completion; here is its report.
+    Done(Box<JobReport>),
+    /// The server refused or terminated the job (admission control,
+    /// deadline expiry, or an engine failure).
+    Rejected {
+        /// The server's explanation.
+        reason: String,
+    },
+    /// The link to the server dropped after the job was accepted — the
+    /// job's fate is unknown (the degraded-link exit, like a slave's
+    /// lost master).
+    ServerLost,
+}
+
+/// Submit one job to the server at `server` and wait for its outcome.
+/// Dials with retries for up to `patience` (the server may still be
+/// starting), then applies the same window as a read timeout — so
+/// `patience` must also cover the longest gap between two server
+/// messages (one full scheduling cycle of the queue ahead of this job).
+/// Progress (acceptance, per-slice incumbents) streams to `on_event`.
+///
+/// Failures *before* the server accepts the job are hard errors;
+/// afterwards the job may still be running, so a dropped link returns
+/// [`SubmitOutcome::ServerLost`] for the caller to map to its
+/// degraded-exit convention.
+pub fn submit_job(
+    server: &Endpoint,
+    inst: &Instance,
+    spec: &SubmitSpec,
+    patience: Duration,
+    mut on_event: impl FnMut(SubmitEvent),
+) -> Result<SubmitOutcome, String> {
+    let deadline = Instant::now().checked_add(patience);
+    let mut conn = loop {
+        match FramedConn::dial(server) {
+            Ok(conn) => break conn,
+            Err(_) => match deadline {
+                Some(d) if Instant::now() >= d => {
+                    return Err(format!(
+                        "no job server reachable at {server} within {patience:?}"
+                    ));
+                }
+                _ => std::thread::sleep(DIAL_DELAY),
+            },
+        }
+    };
+    conn.set_read_timeout(Some(patience))
+        .map_err(|e| format!("cannot configure the server link: {e}"))?;
+
+    let msg = SubmitMsg {
+        problem: ProblemMsg::from_instance(inst),
+        mode: mode_code(spec.mode),
+        p: spec.p as u64,
+        rounds: spec.rounds as u64,
+        budget_evals: spec.budget_evals,
+        seed: spec.seed,
+        deadline_ms: spec
+            .deadline
+            .map(|d| (d.as_millis() as u64).max(1))
+            .unwrap_or(0),
+    };
+    if conn.send(0, jtags::SUBMIT, &msg).is_err() {
+        return Err(format!(
+            "server at {server} closed the link before the job could be submitted"
+        ));
+    }
+
+    let mut accepted = false;
+    loop {
+        let env = match conn.recv() {
+            Ok(Some(env)) => env,
+            Ok(None) | Err(_) => {
+                return if accepted {
+                    Ok(SubmitOutcome::ServerLost)
+                } else {
+                    Err(format!(
+                        "server at {server} went silent before answering the submission"
+                    ))
+                };
+            }
+        };
+        let decode_err =
+            |what: &str, e: CodecError| format!("malformed {what} from the job server: {e}");
+        match env.tag {
+            jtags::ACCEPTED => {
+                let msg =
+                    AcceptedMsg::from_bytes(&env.data).map_err(|e| decode_err("ACCEPTED", e))?;
+                accepted = true;
+                on_event(SubmitEvent::Accepted { job_id: msg.job_id });
+            }
+            jtags::INCUMBENT => {
+                let msg =
+                    IncumbentMsg::from_bytes(&env.data).map_err(|e| decode_err("INCUMBENT", e))?;
+                on_event(SubmitEvent::Incumbent {
+                    job_id: msg.job_id,
+                    value: msg.value,
+                    round: msg.round,
+                });
+            }
+            jtags::DONE => {
+                let msg = DoneMsg::from_bytes(&env.data).map_err(|e| decode_err("DONE", e))?;
+                return Ok(SubmitOutcome::Done(Box::new(msg.report)));
+            }
+            jtags::REJECTED => {
+                let msg =
+                    RejectedMsg::from_bytes(&env.data).map_err(|e| decode_err("REJECTED", e))?;
+                return Ok(SubmitOutcome::Rejected { reason: msg.reason });
+            }
+            tag => {
+                return Err(format!(
+                    "protocol violation: unexpected tag {tag:#x} from the job server"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkp::generate::{gk_instance, GkSpec};
+
+    fn tiny_instance(seed: u64) -> Instance {
+        gk_instance(
+            "jobsrv-test",
+            GkSpec {
+                n: 40,
+                m: 5,
+                tightness: 0.5,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn job_report_round_trips_through_the_codec() {
+        let inst = tiny_instance(7);
+        let mut bits = BitVec::zeros(inst.n());
+        bits.set(3, true);
+        bits.set(17, true);
+        let report = JobReport {
+            mode: Mode::CooperativeAdaptive,
+            best_bits: bits,
+            best_value: 4321,
+            round_best: vec![100, 4321],
+            total_moves: 999,
+            total_evals: 12_345,
+            regenerations: 3,
+            wall_ms: 250,
+            degraded: false,
+        };
+        let back = JobReport::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.best_solution(&inst).bits(), &report.best_bits);
+    }
+
+    #[test]
+    fn submit_msg_round_trips_through_the_codec() {
+        let inst = tiny_instance(9);
+        let msg = SubmitMsg {
+            problem: ProblemMsg::from_instance(&inst),
+            mode: mode_code(Mode::Cooperative),
+            p: 3,
+            rounds: 6,
+            budget_evals: 50_000,
+            seed: 42,
+            deadline_ms: 1500,
+        };
+        let back = SubmitMsg::from_bytes(&msg.to_bytes()).unwrap();
+        assert_eq!(back.problem, msg.problem);
+        assert_eq!(back.mode, msg.mode);
+        assert_eq!(back.p, 3);
+        assert_eq!(back.rounds, 6);
+        assert_eq!(back.budget_evals, 50_000);
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.deadline_ms, 1500);
+    }
+
+    #[test]
+    fn every_mode_code_round_trips() {
+        for mode in [
+            Mode::Sequential,
+            Mode::Independent,
+            Mode::Cooperative,
+            Mode::CooperativeAdaptive,
+            Mode::Asynchronous,
+            Mode::Decomposed,
+        ] {
+            assert_eq!(mode_from_code(mode_code(mode)), Some(mode));
+        }
+        assert_eq!(mode_from_code(6), None);
+    }
+}

@@ -38,6 +38,7 @@ pub mod coop;
 pub mod decomposed;
 pub mod engine;
 pub mod isp;
+pub mod jobserver;
 pub mod messages;
 pub mod remote;
 pub mod runner;
@@ -46,8 +47,12 @@ pub mod sgp;
 pub mod snapshot;
 pub mod telemetry;
 
-pub use engine::{fault_at_round, CoopPolicy, Delivery, Engine, EngineError};
+pub use engine::{fault_at_round, CoopPolicy, Delivery, Engine, EngineError, SliceOutcome};
 pub use isp::{IspConfig, StartKind};
+pub use jobserver::{
+    serve, submit_job, JobReport, ServeBackend, ServeConfig, ServeStats, SubmitEvent,
+    SubmitOutcome, SubmitSpec,
+};
 pub use pvm_lite::{Endpoint, FaultAction, FaultPlan};
 pub use remote::{run_remote, serve_slave, ServeOutcome};
 pub use runner::{

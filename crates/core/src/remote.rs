@@ -17,7 +17,9 @@
 //! reports (PR 4) plus the hub's generation fencing together guarantee a
 //! reborn slave's stale reports never reach the round loop.
 
-use crate::engine::{master_loop, policy_for, slave_loop, EngineError, SlaveExit};
+use crate::engine::{
+    master_loop, policy_for, slave_loop, EngineError, MasterCtl, SlaveExit, SliceOutcome,
+};
 use crate::runner::{Mode, ModeReport, RunConfig};
 use crate::telemetry::{Counter, Telemetry};
 use mkp::Instance;
@@ -66,7 +68,15 @@ pub fn run_remote(
     // Slot 0 is the master; remote slaves keep their own counters in their
     // own processes, so only the master row is filled here.
     let tel = Telemetry::new(hub.ntasks());
-    let result = master_loop(&hub, inst, &mut *policy, cfg, None, &tel);
+    let result = master_loop(
+        &hub,
+        inst,
+        &mut *policy,
+        cfg,
+        None,
+        &MasterCtl::default(),
+        &tel,
+    );
 
     let comm = Transport::comm_stats(&hub);
     tel.add(0, Counter::MsgsSent, comm.sent);
@@ -77,9 +87,14 @@ pub fn run_remote(
     tel.add(0, Counter::Reconnects, hub_stats.reconnects);
     tel.add(0, Counter::FencedDrops, hub_stats.fenced_drops);
 
-    result.map(|mut report| {
-        report.telemetry = tel.snapshot();
-        report
+    result.and_then(|outcome| match outcome {
+        SliceOutcome::Finished(mut report) => {
+            report.telemetry = tel.snapshot();
+            Ok(*report)
+        }
+        SliceOutcome::Parked(_) => Err(EngineError::Internal {
+            detail: "unbounded run returned a parked outcome".into(),
+        }),
     })
 }
 

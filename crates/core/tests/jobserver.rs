@@ -1,0 +1,248 @@
+//! Job-server integration: concurrent jobs time-sliced over one farm
+//! must be bit-identical to solo runs, and the protocol's stream order
+//! and admission/deadline verdicts must hold (DESIGN.md §14).
+
+use mkp::generate::{gk_instance, GkSpec};
+use mkp::Instance;
+use parallel_tabu::{
+    run_mode, serve, submit_job, Mode, ModeReport, RunConfig, ServeBackend, ServeConfig,
+    SubmitEvent, SubmitOutcome, SubmitSpec,
+};
+use pvm_lite::Endpoint;
+use std::time::Duration;
+
+const PATIENCE: Duration = Duration::from_secs(60);
+
+fn instance(seed: u64) -> Instance {
+    gk_instance(
+        "jobsrv-it",
+        GkSpec {
+            n: 60,
+            m: 5,
+            tightness: 0.5,
+            seed,
+        },
+    )
+}
+
+fn endpoint(dir: &std::path::Path, name: &str) -> Endpoint {
+    Endpoint::Unix(dir.join(name))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mkp-jobsrv-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Assert the job server's answer matches a solo, uninterrupted run of
+/// the same job — the bit-identity the parked-snapshot machinery owes.
+fn assert_matches_solo(outcome: &SubmitOutcome, solo: &ModeReport) {
+    let SubmitOutcome::Done(report) = outcome else {
+        panic!("expected a completed job, got {outcome:?}");
+    };
+    assert_eq!(report.best_bits, *solo.best.bits());
+    assert_eq!(report.best_value, solo.best.value());
+    assert_eq!(report.round_best, solo.round_best);
+    assert_eq!(report.total_moves, solo.total_moves);
+    assert_eq!(report.total_evals, solo.total_evals);
+    assert_eq!(report.regenerations, solo.regenerations);
+    assert!(!report.degraded);
+}
+
+/// The events a client sees must be ordered: ACCEPTED first, then
+/// incumbents with strictly increasing rounds.
+fn assert_stream_order(events: &[SubmitEvent], rounds: u64) {
+    assert!(
+        matches!(events.first(), Some(SubmitEvent::Accepted { .. })),
+        "first event must be the acceptance: {events:?}"
+    );
+    let mut last_round = 0;
+    for ev in &events[1..] {
+        let SubmitEvent::Incumbent { round, .. } = ev else {
+            panic!("acceptance may only come first: {events:?}");
+        };
+        assert!(
+            *round > last_round,
+            "incumbent rounds must increase: {events:?}"
+        );
+        last_round = *round;
+    }
+    assert_eq!(
+        last_round, rounds,
+        "the final incumbent covers the full run"
+    );
+}
+
+#[test]
+fn interleaved_jobs_are_bit_identical_to_solo_runs() {
+    let dir = tmp_dir("interleave");
+    let ep = endpoint(&dir, "clients.sock");
+
+    // Two cooperative jobs with different shapes, sliced one round at a
+    // time over the same 4-worker pool. A 1-byte park-memory cap forces
+    // every parked snapshot through the disk spool as well.
+    let jobs = [
+        (
+            instance(11),
+            Mode::CooperativeAdaptive,
+            3usize,
+            4usize,
+            80_000u64,
+            7u64,
+        ),
+        (
+            instance(22),
+            Mode::Cooperative,
+            4usize,
+            5usize,
+            60_000u64,
+            13u64,
+        ),
+    ];
+    let solo: Vec<ModeReport> = jobs
+        .iter()
+        .map(|(inst, mode, p, rounds, budget, seed)| {
+            let cfg = RunConfig {
+                p: *p,
+                rounds: *rounds,
+                ..RunConfig::new(*budget, *seed)
+            };
+            run_mode(inst, *mode, &cfg)
+        })
+        .collect();
+
+    let server = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            quantum: 1,
+            park_mem_cap: 1,
+            spool_dir: dir.join("spool"),
+            max_jobs: 2,
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 4 }, &cfg))
+    };
+
+    let clients: Vec<_> = jobs
+        .iter()
+        .map(|(inst, mode, p, rounds, budget, seed)| {
+            let ep = ep.clone();
+            let inst = inst.clone();
+            let spec = SubmitSpec {
+                mode: *mode,
+                p: *p,
+                rounds: *rounds,
+                budget_evals: *budget,
+                seed: *seed,
+                deadline: None,
+            };
+            std::thread::spawn(move || {
+                let mut events = Vec::new();
+                let outcome =
+                    submit_job(&ep, &inst, &spec, PATIENCE, |ev| events.push(ev)).unwrap();
+                (outcome, events)
+            })
+        })
+        .collect();
+
+    let results: Vec<_> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    let stats = server.join().unwrap().unwrap();
+
+    for ((outcome, events), (solo, (_, _, _, rounds, _, _))) in
+        results.iter().zip(solo.iter().zip(jobs.iter()))
+    {
+        assert_matches_solo(outcome, solo);
+        assert_stream_order(events, *rounds as u64);
+    }
+
+    // Each job ran one round per slice: the pool really was time-sliced,
+    // and the tiny memory cap pushed parked snapshots through the spool.
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.done, 2);
+    assert_eq!(stats.slices, (jobs[0].3 + jobs[1].3) as u64);
+    assert!(stats.evictions > 0, "the 1-byte cap must evict: {stats:?}");
+    assert_eq!(stats.restores, stats.evictions);
+    let leftovers: Vec<_> = std::fs::read_dir(dir.join("spool")).unwrap().collect();
+    assert!(leftovers.is_empty(), "spool must be drained: {leftovers:?}");
+}
+
+#[test]
+fn deadline_and_admission_verdicts_are_reported() {
+    let dir = tmp_dir("deadline");
+    let ep = endpoint(&dir, "clients.sock");
+
+    let server = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            quantum: 1,
+            spool_dir: dir.join("spool"),
+            max_jobs: 1,
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 2 }, &cfg))
+    };
+
+    let inst = instance(33);
+
+    // Admission refusal: asks for more workers than the farm has. Does
+    // not count toward max_jobs — the server keeps serving.
+    let outcome = submit_job(
+        &ep,
+        &inst,
+        &SubmitSpec {
+            mode: Mode::Cooperative,
+            p: 99,
+            rounds: 4,
+            budget_evals: 10_000,
+            seed: 1,
+            deadline: None,
+        },
+        PATIENCE,
+        |_| {},
+    )
+    .unwrap();
+    match outcome {
+        SubmitOutcome::Rejected { reason } => {
+            assert!(reason.contains("capacity"), "unexpected reason: {reason}")
+        }
+        other => panic!("expected an admission rejection, got {other:?}"),
+    }
+
+    // Deadline expiry: a multi-round job whose 1 ms deadline lapses
+    // during its first slice is terminated at the next quantum boundary.
+    let mut events = Vec::new();
+    let outcome = submit_job(
+        &ep,
+        &inst,
+        &SubmitSpec {
+            mode: Mode::Cooperative,
+            p: 2,
+            rounds: 8,
+            budget_evals: 400_000,
+            seed: 2,
+            deadline: Some(Duration::from_millis(1)),
+        },
+        PATIENCE,
+        |ev| events.push(ev),
+    )
+    .unwrap();
+    match outcome {
+        SubmitOutcome::Rejected { reason } => {
+            assert!(reason.contains("deadline"), "unexpected reason: {reason}")
+        }
+        other => panic!("expected a deadline rejection, got {other:?}"),
+    }
+    assert!(
+        matches!(events.first(), Some(SubmitEvent::Accepted { .. })),
+        "the job must be accepted before its deadline can expire: {events:?}"
+    );
+
+    let stats = server.join().unwrap().unwrap();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.done, 0);
+}

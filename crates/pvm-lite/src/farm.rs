@@ -52,6 +52,10 @@ pub enum CommError {
     Timeout,
     /// Every possible sender has terminated; no message can ever arrive.
     Disconnected,
+    /// The message cannot be encoded for the transport's wire format
+    /// (payload over the frame cap). The connection is untouched and
+    /// still usable — this rejects the *message*, not the peer.
+    Oversized { len: u64 },
 }
 
 impl fmt::Display for CommError {
@@ -60,6 +64,9 @@ impl fmt::Display for CommError {
             CommError::PeerGone { to } => write!(f, "task {to} has terminated"),
             CommError::Timeout => write!(f, "receive timed out"),
             CommError::Disconnected => write!(f, "all peers terminated"),
+            CommError::Oversized { len } => {
+                write!(f, "message of {len} bytes exceeds the transport frame cap")
+            }
         }
     }
 }

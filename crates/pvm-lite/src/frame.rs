@@ -34,11 +34,18 @@ pub enum FrameError {
     Io(io::Error),
     /// The stream ended in the middle of a frame.
     Truncated,
-    /// The length header exceeds [`MAX_FRAME_PAYLOAD`]; nothing was
-    /// allocated.
+    /// A frame's payload exceeds [`MAX_FRAME_PAYLOAD`]. On the read side
+    /// the length header claimed too much and nothing was allocated; on
+    /// the write side the payload was too large and nothing was written.
     Oversized {
-        /// The length the header claimed.
+        /// The length claimed (read side) or attempted (write side).
         len: u64,
+    },
+    /// The sender's [`TaskId`] does not fit the frame header's 32-bit
+    /// `from` field; nothing was written.
+    BadSender {
+        /// The id that overflowed the header field.
+        from: u64,
     },
 }
 
@@ -52,6 +59,9 @@ impl fmt::Display for FrameError {
                     f,
                     "frame length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
                 )
+            }
+            FrameError::BadSender { from } => {
+                write!(f, "sender id {from} does not fit the frame header")
             }
         }
     }
@@ -67,15 +77,32 @@ impl From<io::Error> for FrameError {
 
 /// Write one envelope as a frame. The sender's identity goes on the wire
 /// explicitly — a socket carries no implicit task id.
-pub fn write_frame<W: Write>(w: &mut W, from: TaskId, tag: u32, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD, "oversized send");
+///
+/// Both header fields are range-checked in every build profile *before*
+/// anything is written: a payload over [`MAX_FRAME_PAYLOAD`] or a `from`
+/// id wider than 32 bits would otherwise truncate in the `u32` casts and
+/// desynchronise the stream for every later frame on the connection. On
+/// error the stream has not been touched and stays usable.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    from: TaskId,
+    tag: u32,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized {
+            len: payload.len() as u64,
+        });
+    }
+    let from = u32::try_from(from).map_err(|_| FrameError::BadSender { from: from as u64 })?;
     let mut header = [0u8; FRAME_HEADER_LEN];
     header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[4..8].copy_from_slice(&(from as u32).to_le_bytes());
+    header[4..8].copy_from_slice(&from.to_le_bytes());
     header[8..12].copy_from_slice(&tag.to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Fill `buf` from the reader, tolerating short and interrupted reads.
@@ -250,6 +277,97 @@ mod tests {
         };
         let env = round_trip(2, 5, &msg.to_bytes(), 3);
         assert_eq!(env.decode::<Sample>().unwrap(), msg);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_any_write() {
+        // One byte over the cap: a hard error in every build profile, and
+        // the wire must stay untouched (the old code asserted only in
+        // debug builds and silently truncated the length in release).
+        let payload = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, 1, 2, &payload).unwrap_err();
+        match err {
+            FrameError::Oversized { len } => assert_eq!(len, (MAX_FRAME_PAYLOAD + 1) as u64),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(wire.is_empty(), "nothing may reach the stream on error");
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn wide_sender_id_is_rejected_before_any_write() {
+        let from: TaskId = (u32::MAX as usize) + 1;
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, from, 0, b"x").unwrap_err();
+        assert!(matches!(err, FrameError::BadSender { .. }), "{err:?}");
+        assert!(wire.is_empty());
+    }
+
+    /// A writer that keeps only the 12 header bytes and counts the rest —
+    /// lets the oversized property probe lengths around the 64 MiB cap
+    /// without materialising a Vec per case.
+    struct HeaderSink {
+        header: Vec<u8>,
+        written: u64,
+    }
+
+    impl Write for HeaderSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let room = FRAME_HEADER_LEN.saturating_sub(self.header.len());
+            self.header.extend_from_slice(&buf[..room.min(buf.len())]);
+            self.written += buf.len() as u64;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    // Property (satellite: send-side oversized rejection): for lengths on
+    // both sides of the cap, a send either writes a header whose length
+    // field is *exactly* the payload length, or errors having written
+    // nothing — the length on the wire never truncates.
+    #[test]
+    fn prop_send_side_length_is_exact_or_rejected() {
+        let backing = vec![0u8; MAX_FRAME_PAYLOAD + 9];
+        let mut state = 0xA076_1D64_78BD_642Fu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let mut lens: Vec<usize> = (0..40)
+            .map(|_| (next() % (MAX_FRAME_PAYLOAD as u64 + 10)) as usize)
+            .collect();
+        lens.extend([
+            0,
+            1,
+            MAX_FRAME_PAYLOAD - 1,
+            MAX_FRAME_PAYLOAD,
+            MAX_FRAME_PAYLOAD + 1,
+        ]);
+        for len in lens {
+            let mut sink = HeaderSink {
+                header: Vec::new(),
+                written: 0,
+            };
+            let res = write_frame(&mut sink, 7, 3, &backing[..len]);
+            if len <= MAX_FRAME_PAYLOAD {
+                res.unwrap();
+                assert_eq!(sink.written, (FRAME_HEADER_LEN + len) as u64, "len {len}");
+                let on_wire =
+                    u32::from_le_bytes(sink.header[0..4].try_into().expect("4 bytes")) as usize;
+                assert_eq!(on_wire, len, "length field must never truncate");
+            } else {
+                assert!(
+                    matches!(res, Err(FrameError::Oversized { .. })),
+                    "len {len}"
+                );
+                assert_eq!(sink.written, 0, "rejected send must not touch the wire");
+            }
+        }
     }
 
     // Property: arbitrary payloads survive the framer under arbitrary

@@ -56,5 +56,7 @@ pub use farm::{
     TaskOutcome, WorkerPool,
 };
 pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
-pub use socket::{Endpoint, HubStats, SocketError, SocketHub, SocketTransport};
+pub use socket::{
+    Endpoint, FramedConn, FramedListener, HubStats, SocketError, SocketHub, SocketTransport,
+};
 pub use transport::{InProc, Transport};

@@ -40,7 +40,7 @@
 use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
 use crate::farm::{CommCell, CommError, CommStats, Envelope, TaskId};
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, FrameError};
 use crate::transport::Transport;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -141,6 +141,13 @@ impl Stream {
         }
     }
 
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
     /// Close both directions; unblocks a peer (or our own reader thread)
     /// parked in a read.
     fn shutdown(&self) {
@@ -188,6 +195,12 @@ pub enum SocketError {
     Handshake(String),
     /// The hub had no free slot for this slave.
     Rejected,
+    /// The endpoint is already served by a live listener. Binding over it
+    /// would destroy that server's endpoint, so the bind is refused.
+    AddrInUse {
+        /// The contested endpoint, displayable.
+        endpoint: String,
+    },
 }
 
 impl fmt::Display for SocketError {
@@ -196,6 +209,9 @@ impl fmt::Display for SocketError {
             SocketError::Io(e) => write!(f, "socket i/o failed: {e}"),
             SocketError::Handshake(detail) => write!(f, "handshake failed: {detail}"),
             SocketError::Rejected => write!(f, "hub rejected the connection (no free slot)"),
+            SocketError::AddrInUse { endpoint } => {
+                write!(f, "{endpoint} is already served by a live listener")
+            }
         }
     }
 }
@@ -205,6 +221,15 @@ impl std::error::Error for SocketError {}
 impl From<io::Error> for SocketError {
     fn from(e: io::Error) -> Self {
         SocketError::Io(e)
+    }
+}
+
+impl From<FrameError> for SocketError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => SocketError::Io(io),
+            other => SocketError::Handshake(other.to_string()),
+        }
     }
 }
 
@@ -370,7 +395,12 @@ impl Transport for SocketTransport {
         // addresses.
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         write_frame(&mut *writer, self.tid, tag, &data)
-            .map_err(|_| CommError::PeerGone { to })
+            .map_err(|e| match e {
+                // An unencodable message is rejected outright; nothing
+                // reached the wire and the link is still good.
+                FrameError::Oversized { len } => CommError::Oversized { len },
+                _ => CommError::PeerGone { to },
+            })
             .inspect(|()| self.comm.count_sent(data.len() as u64))
     }
 
@@ -480,27 +510,55 @@ impl Listener {
     }
 }
 
+/// Bind a listener on `endpoint`. For Unix endpoints an existing socket
+/// file is *probed* before it is reclaimed: if a listener answers, the
+/// path belongs to a live server and the bind is refused with
+/// [`SocketError::AddrInUse`] — unconditionally unlinking would destroy
+/// that server's endpoint while its clients still point at the path. Only
+/// a genuinely stale file (connect refused: its owner is gone) is
+/// removed. TCP gets the same behaviour for free from the OS.
+///
+/// Returns the listener plus the path to unlink on shutdown.
+fn bind_listener(endpoint: &Endpoint) -> Result<(Listener, Option<PathBuf>), SocketError> {
+    match endpoint {
+        Endpoint::Tcp(addr) => Ok((Listener::Tcp(TcpListener::bind(addr.as_str())?), None)),
+        Endpoint::Unix(path) => {
+            if path.exists() {
+                match UnixStream::connect(path) {
+                    Ok(probe) => {
+                        // A live listener accepted the probe; back off. The
+                        // probe connection is dropped immediately — the
+                        // server sees a clean EOF and discards it.
+                        drop(probe);
+                        return Err(SocketError::AddrInUse {
+                            endpoint: endpoint.to_string(),
+                        });
+                    }
+                    Err(_) => {
+                        // Nobody answers: a leftover from a crashed run.
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+            }
+            let l = UnixListener::bind(path)?;
+            Ok((Listener::Unix(l), Some(path.clone())))
+        }
+    }
+}
+
 impl SocketHub {
     /// Bind a hub for `p` slave slots. `reconnect_patience` bounds how
     /// long [`Transport::respawn`] waits for a replacement connection.
+    /// Refuses to displace a live listener on the same endpoint
+    /// ([`SocketError::AddrInUse`]); only stale Unix socket files are
+    /// reclaimed.
     pub fn bind(
         endpoint: &Endpoint,
         p: usize,
         reconnect_patience: Duration,
     ) -> Result<SocketHub, SocketError> {
         assert!(p >= 1, "a hub needs at least one slave slot");
-        let mut unlink = None;
-        let listener = match endpoint {
-            Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr.as_str())?),
-            Endpoint::Unix(path) => {
-                // A stale socket file from a crashed run blocks the bind;
-                // connecting to it would fail, so replacing it is safe.
-                let _ = std::fs::remove_file(path);
-                let l = UnixListener::bind(path)?;
-                unlink = Some(path.clone());
-                Listener::Unix(l)
-            }
-        };
+        let (listener, unlink) = bind_listener(endpoint)?;
         // Nonblocking accept + poll: lets the accept loop observe the
         // shutdown flag (closing a listener does not portably unblock a
         // blocking accept).
@@ -676,6 +734,9 @@ impl Transport for SocketHub {
                 self.shared.comm.count_sent(data.len() as u64);
                 Ok(())
             }
+            // The message was rejected before any byte was written: keep
+            // the connection — only this send failed, not the peer.
+            Err(FrameError::Oversized { len }) => Err(CommError::Oversized { len }),
             Err(_) => {
                 slot.live = false;
                 slot.writer = None;
@@ -783,6 +844,98 @@ impl Drop for SocketHub {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        if let Some(path) = &self.unlink {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain framed connections (no farm semantics)
+// ---------------------------------------------------------------------------
+
+/// A plain framed byte-stream connection: the farm's wire format
+/// ([`crate::frame`]) without its handshake, slots or task identities.
+/// This is the client side of ad-hoc request/stream protocols layered on
+/// the same framing — e.g. the job server's SUBMIT/ACCEPTED/…/DONE
+/// exchange — and, via [`FramedListener`], the server side too.
+pub struct FramedConn {
+    stream: Stream,
+}
+
+impl FramedConn {
+    /// Connect to a framed listener at `endpoint`.
+    pub fn dial(endpoint: &Endpoint) -> io::Result<FramedConn> {
+        endpoint.connect().map(|stream| FramedConn { stream })
+    }
+
+    /// Bound how long [`recv`](FramedConn::recv) blocks; `None` blocks
+    /// forever. A lapsed timeout surfaces as a
+    /// [`FrameError::Io`] with kind `WouldBlock`/`TimedOut`.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Send one message as a frame. `from` is free-form peer identity
+    /// (clients conventionally send 0).
+    pub fn send<T: Wire>(&mut self, from: TaskId, tag: u32, msg: &T) -> Result<(), FrameError> {
+        self.send_bytes(from, tag, &msg.to_bytes())
+    }
+
+    /// Send one pre-encoded payload as a frame.
+    pub fn send_bytes(&mut self, from: TaskId, tag: u32, data: &[u8]) -> Result<(), FrameError> {
+        write_frame(&mut self.stream, from, tag, data)
+    }
+
+    /// Receive one frame; `Ok(None)` is the peer's clean close.
+    pub fn recv(&mut self) -> Result<Option<Envelope>, FrameError> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Clone the connection (shared underlying stream) — lets one half
+    /// read while the other writes.
+    pub fn try_clone(&self) -> io::Result<FramedConn> {
+        self.stream.try_clone().map(|stream| FramedConn { stream })
+    }
+
+    /// Close both directions; unblocks a peer (or a clone) parked in a
+    /// read.
+    pub fn shutdown(&self) {
+        self.stream.shutdown();
+    }
+}
+
+/// A listener handing out [`FramedConn`]s: the server side of plain
+/// framed protocols. Shares the hub's bind safety — a Unix endpoint
+/// already served by a live listener is refused with
+/// [`SocketError::AddrInUse`], and only stale socket files are reclaimed.
+pub struct FramedListener {
+    inner: Listener,
+    unlink: Option<PathBuf>,
+}
+
+impl FramedListener {
+    /// Bind on `endpoint` (probe-before-reclaim, like
+    /// [`SocketHub::bind`]).
+    pub fn bind(endpoint: &Endpoint) -> Result<FramedListener, SocketError> {
+        let (inner, unlink) = bind_listener(endpoint)?;
+        Ok(FramedListener { inner, unlink })
+    }
+
+    /// Toggle nonblocking accepts. When nonblocking, a pending-less
+    /// [`accept`](FramedListener::accept) fails with kind `WouldBlock`.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(nb)
+    }
+
+    /// Accept one connection.
+    pub fn accept(&self) -> io::Result<FramedConn> {
+        self.inner.accept().map(|stream| FramedConn { stream })
+    }
+}
+
+impl Drop for FramedListener {
+    fn drop(&mut self) {
         if let Some(path) = &self.unlink {
             let _ = std::fs::remove_file(path);
         }
@@ -948,6 +1101,96 @@ mod tests {
         let env = reborn.recv_timeout(T).unwrap();
         assert_eq!(env.data, vec![5]);
         assert_eq!(hub.hub_stats().fenced_drops, 0);
+    }
+
+    #[test]
+    fn second_bind_on_a_live_endpoint_is_refused_and_the_server_survives() {
+        // Regression: SocketHub::bind used to remove_file the path
+        // unconditionally, silently destroying a live server's endpoint.
+        let ep = temp_unix("inuse");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        match SocketHub::bind(&ep, 1, T) {
+            Err(SocketError::AddrInUse { endpoint }) => {
+                assert_eq!(endpoint, ep.to_string());
+            }
+            Err(other) => panic!("expected AddrInUse, got {other:?}"),
+            Ok(_) => panic!("expected AddrInUse, got a second hub"),
+        }
+        // The first hub's endpoint still works end to end (the failed
+        // bind neither unlinked the path nor consumed a slot with its
+        // probe connection).
+        let slave = SocketTransport::connect(&ep, None, 0).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        hub.send_bytes(1, 2, vec![8]).unwrap();
+        assert_eq!(slave.recv_timeout(T).unwrap().data, vec![8]);
+    }
+
+    #[test]
+    fn stale_socket_file_is_reclaimed() {
+        // A socket file whose owner is gone (dropped listener leaves the
+        // file when unlink is skipped) must not block a fresh bind.
+        let ep = temp_unix("stale");
+        let Endpoint::Unix(path) = &ep else {
+            unreachable!()
+        };
+        let dead = UnixListener::bind(path).unwrap();
+        drop(dead); // close without unlinking: the stale-file shape
+        assert!(path.exists(), "stale socket file should linger");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let slave = SocketTransport::connect(&ep, None, 0).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        drop(slave);
+    }
+
+    #[test]
+    fn oversized_send_is_rejected_and_the_link_survives() {
+        use crate::frame::MAX_FRAME_PAYLOAD;
+        let ep = temp_unix("bigsend");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let slave = SocketTransport::connect(&ep, None, 0).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+
+        let big = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        let err = slave.send_bytes(0, 3, big).unwrap_err();
+        assert!(matches!(err, CommError::Oversized { .. }), "{err:?}");
+        let err = hub
+            .send_bytes(1, 3, vec![0u8; MAX_FRAME_PAYLOAD + 1])
+            .unwrap_err();
+        assert!(matches!(err, CommError::Oversized { .. }), "{err:?}");
+
+        // Neither direction tore the connection down: ordinary traffic
+        // still flows both ways after the rejections.
+        slave.send_bytes(0, 4, vec![1]).unwrap();
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![1]);
+        hub.send_bytes(1, 5, vec![2]).unwrap();
+        assert_eq!(slave.recv_timeout(T).unwrap().data, vec![2]);
+    }
+
+    #[test]
+    fn framed_conn_round_trips_over_a_framed_listener() {
+        let ep = temp_unix("framed");
+        let listener = FramedListener::bind(&ep).unwrap();
+        let client = std::thread::spawn({
+            let ep = ep.clone();
+            move || {
+                let mut conn = FramedConn::dial(&ep).unwrap();
+                conn.send_bytes(0, 11, b"ping").unwrap();
+                let reply = conn.recv().unwrap().expect("reply");
+                assert_eq!((reply.tag, reply.data.as_slice()), (12, &b"pong"[..]));
+                assert!(conn.recv().unwrap().is_none(), "clean close after");
+            }
+        });
+        let mut server = listener.accept().unwrap();
+        let env = server.recv().unwrap().expect("request");
+        assert_eq!((env.tag, env.data.as_slice()), (11, &b"ping"[..]));
+        server.send_bytes(0, 12, b"pong").unwrap();
+        server.shutdown();
+        client.join().unwrap();
+        // And the listener refuses to be displaced while alive.
+        assert!(matches!(
+            FramedListener::bind(&ep),
+            Err(SocketError::AddrInUse { .. })
+        ));
     }
 
     #[test]

@@ -234,6 +234,109 @@ for pid in "$survivor_pid" "$replacement_pid"; do
   fi
 done
 
+step "jobserver smoke (3 concurrent jobs over 2 slave processes)"
+# Multi-tenant serving end to end (DESIGN.md §14): a job server farming
+# to two slave processes, three concurrent submits — two that complete
+# and one whose 1 ms deadline must expire at a quantum boundary. Checks
+# the per-client stream ordering, the per-verdict exit codes, and that
+# server and slaves all shut down with exit 0.
+tmp_jobs_sock="$(tmpfile /tmp/ci-jobs-XXXXXX.sock)"
+tmp_slv_sock="$(tmpfile /tmp/ci-jslv-XXXXXX.sock)"
+tmp_serve="$(tmpfile /tmp/ci-serve-XXXXXX.out)"
+tmp_sub_a="$(tmpfile /tmp/ci-suba-XXXXXX.out)"
+tmp_sub_b="$(tmpfile /tmp/ci-subb-XXXXXX.out)"
+tmp_sub_c="$(tmpfile /tmp/ci-subc-XXXXXX.out)"
+rm -f "$tmp_jobs_sock" "$tmp_slv_sock"   # mktemp made plain files; the sockets bind fresh
+"$mkp_bin" serve --clients "unix:$tmp_jobs_sock" --slaves "unix:$tmp_slv_sock" \
+  --p 2 --max-jobs 3 --patience 60 > "$tmp_serve" 2>&1 &
+serve_pid=$!
+CLEANUP_PIDS+=("$serve_pid")
+"$mkp_bin" slave --connect "unix:$tmp_slv_sock" --patience 60 > /dev/null 2>&1 &
+jslave1_pid=$!
+CLEANUP_PIDS+=("$jslave1_pid")
+"$mkp_bin" slave --connect "unix:$tmp_slv_sock" --patience 60 > /dev/null 2>&1 &
+jslave2_pid=$!
+CLEANUP_PIDS+=("$jslave2_pid")
+"$mkp_bin" submit "$tmp_mkp" --connect "unix:$tmp_jobs_sock" --mode cts2 \
+  --p 2 --rounds 4 --budget 1000000 --seed 11 --patience 60 > "$tmp_sub_a" 2>&1 &
+sub_a_pid=$!
+CLEANUP_PIDS+=("$sub_a_pid")
+"$mkp_bin" submit "$tmp_mkp" --connect "unix:$tmp_jobs_sock" --mode cts1 \
+  --p 2 --rounds 4 --budget 1000000 --seed 22 --patience 60 > "$tmp_sub_b" 2>&1 &
+sub_b_pid=$!
+CLEANUP_PIDS+=("$sub_b_pid")
+"$mkp_bin" submit "$tmp_mkp" --connect "unix:$tmp_jobs_sock" --mode cts2 \
+  --p 2 --rounds 6 --budget 1000000 --seed 33 --deadline-ms 1 --patience 60 \
+  > "$tmp_sub_c" 2>&1 &
+sub_c_pid=$!
+CLEANUP_PIDS+=("$sub_c_pid")
+for spec in "$sub_a_pid:$tmp_sub_a" "$sub_b_pid:$tmp_sub_b"; do
+  pid="${spec%%:*}"; out="${spec#*:}"
+  set +e
+  wait "$pid"
+  status=$?
+  set -e
+  if [ "$status" -ne 0 ]; then
+    echo "error: completing submit exited $status (want 0)" >&2
+    cat "$out" >&2
+    exit 1
+  fi
+  # Stream ordering: acceptance first, then one incumbent per round with
+  # strictly increasing round numbers, then the report.
+  head -1 "$out" | grep -q '^job .*accepted' \
+    || { echo "error: submit stream did not open with the acceptance" >&2; \
+         cat "$out" >&2; exit 1; }
+  awk '/^incumbent/ { n++; r=$NF+0; if (r <= last) exit 1; last=r }
+       END { exit (n == 4) ? 0 : 1 }' "$out" \
+    || { echo "error: submit incumbents out of order or missing" >&2; \
+         cat "$out" >&2; exit 1; }
+  grep -q '^best value' "$out" \
+    || { echo "error: submit lost its report" >&2; cat "$out" >&2; exit 1; }
+done
+set +e
+wait "$sub_c_pid"
+status=$?
+set -e
+if [ "$status" -ne 1 ]; then
+  echo "error: deadline submit exited $status (want 1)" >&2
+  cat "$tmp_sub_c" >&2
+  exit 1
+fi
+grep -q 'deadline' "$tmp_sub_c" \
+  || { echo "error: deadline submit did not explain itself" >&2; \
+       cat "$tmp_sub_c" >&2; exit 1; }
+set +e
+wait "$serve_pid"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+  echo "error: job server exited $status (want 0 after --max-jobs)" >&2
+  cat "$tmp_serve" >&2
+  exit 1
+fi
+grep -q '2 done' "$tmp_serve" && grep -q '1 expired' "$tmp_serve" \
+  || { echo "error: job server miscounted its verdicts" >&2; cat "$tmp_serve" >&2; exit 1; }
+# Both slaves served all three jobs' slices and saw the shutdown STOP.
+for pid in "$jslave1_pid" "$jslave2_pid"; do
+  set +e
+  wait "$pid"
+  status=$?
+  set -e
+  if [ "$status" -ne 0 ]; then
+    echo "error: jobserver slave $pid exited $status (want 0 after STOP)" >&2
+    exit 1
+  fi
+done
+
+step "jobserver bench (smoke)"
+cargo run -q --release --offline --locked -p mkp-bench --bin jobserver_bench -- --smoke
+test -s results/jobserver-bench.json \
+  || { echo "error: jobserver bench wrote no JSON" >&2; exit 1; }
+grep -q '"jobs_per_sec"' results/jobserver-bench.json \
+  && grep -q '"time_to_target_p95_ms"' results/jobserver-bench.json \
+  || { echo "error: jobserver bench JSON is missing its headline figures" >&2; \
+       cat results/jobserver-bench.json >&2; exit 1; }
+
 step "no versioned registry dependencies"
 if grep -rn '^[a-z].*=.*"[0-9]' crates/*/Cargo.toml Cargo.toml; then
   echo "error: versioned registry dependency found (policy: DESIGN.md §7)" >&2
