@@ -8,11 +8,14 @@ use mkp::greedy::greedy;
 use mkp::stats::instance_stats;
 use mkp::Instance;
 use parallel_tabu::{
-    fault_at_round, run_remote, serve, serve_slave, submit_job, CheckpointCfg, Endpoint, Engine,
-    FaultAction, FaultPlan, Mode, RunConfig, ServeBackend, ServeConfig, ServeOutcome, Snapshot,
-    SubmitEvent, SubmitOutcome, SubmitSpec,
+    attach_job, fault_at_round, run_remote_with, serve, serve_slave_with, submit_job,
+    CheckpointCfg, Endpoint, Engine, FaultAction, FaultPlan, Mode, NetFaultPlan, NetFaultState,
+    RunConfig, ServeBackend, ServeConfig, ServeOutcome, Snapshot, SubmitEvent, SubmitOutcome,
+    SubmitSpec,
 };
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Top-level command failures.
@@ -69,16 +72,17 @@ USAGE:
                [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
                [--fault kill@K:R|kill-repeat@K:R|delay@K:R:MS]
                [--metrics FILE] [--trace FILE]
-               [--listen unix:PATH|tcp:HOST:PORT]
+               [--listen unix:PATH|tcp:HOST:PORT] [--net-fault SPEC]
   mkp slave    --connect unix:PATH|tcp:HOST:PORT [--patience SECS]
+               [--net-fault SPEC]
   mkp serve    --clients unix:PATH|tcp:HOST:PORT [--slaves ADDR] [--p P]
                [--quantum ROUNDS] [--max-queue N] [--max-inflight N]
                [--max-jobs N] [--park-mem BYTES] [--spool DIR]
-               [--patience SECS]
+               [--state-dir DIR] [--patience SECS]
   mkp submit   <instance.mkp> --connect unix:PATH|tcp:HOST:PORT
                [--mode seq|its|cts1|cts2|ats|dts] [--p P] [--rounds R]
                [--budget EVALS] [--seed S] [--deadline-ms MS]
-               [--patience SECS]
+               [--attach JOB_ID] [--patience SECS]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
   mkp validate-metrics <metrics.json>
   mkp help
@@ -115,6 +119,25 @@ it is P `mkp slave --connect ADDR` processes, which stay connected across
 jobs and exit 0 when the server shuts down. A submit whose job is refused
 or misses its deadline exits 1 with the server's reason; a submit (or
 slave) whose far end goes silent exits 2, the shared degraded code.
+
+--state-dir DIR makes the job server crash-safe: accepted jobs are
+journaled to DIR/journal.mkpj (appended and fsynced before the client
+hears ACCEPTED), parked snapshots are written through to DIR/spool/, and
+a server restarted on the same --state-dir replays the journal and
+resumes every in-flight job from its last parked snapshot, bit-identical
+to an uninterrupted run. Submissions carry an idempotency token, so a
+client that loses the link after acceptance auto-reattaches on its own;
+`mkp submit --attach JOB_ID` reattaches *explicitly* — after a client
+restart — and streams the rest of the job (or fetches its recently
+retained final report). SIGTERM drains the server gracefully: it stops
+admitting, parks everything durably, compacts the journal, and exits 0.
+
+--net-fault SPEC arms one planned network fault on the sending side —
+drop@N, dup@N, truncate@N, corrupt@N or delay@N:MS, counting data frames
+from 1 — on `mkp slave` (slave→master sends) or on `mkp solve --listen`
+(master→slave sends). Every frame carries a checksum trailer, so a
+corrupt frame is dropped and counted (see corrupt_drops in --metrics)
+rather than trusted, and the link-level retry machinery heals the rest.
 
 --metrics FILE dumps the run's telemetry counters as deterministic JSON
 (byte-identical across repeats of the same seeded run); --trace FILE dumps
@@ -324,6 +347,18 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
         .map(Endpoint::parse)
         .transpose()
         .map_err(|e| CliError::Invalid(format!("--listen: {e}")))?;
+    let net_fault = args
+        .get_str("net-fault")
+        .map(NetFaultPlan::parse)
+        .transpose()
+        .map_err(CliError::Invalid)?;
+    if net_fault.is_some() && listen.is_none() {
+        return Err(CliError::Invalid(
+            "--net-fault injects faults into the socket transport and needs --listen; \
+             for the in-process pool use --fault"
+                .into(),
+        ));
+    }
     if listen.is_some() {
         // A distributed master farms work out to real processes; the
         // in-process-pool features make no sense over it and silently
@@ -355,7 +390,10 @@ pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
     };
     cfg.validate().map_err(CliError::Invalid)?;
     let report = match &listen {
-        Some(endpoint) => run_remote(&inst, mode, &cfg, endpoint),
+        Some(endpoint) => {
+            let fault_state = net_fault.map(|plan| Arc::new(NetFaultState::new(plan)));
+            run_remote_with(&inst, mode, &cfg, endpoint, fault_state)
+        }
         None => {
             let mut engine = Engine::new(cfg.p);
             if let Some(plan) = fault {
@@ -460,7 +498,15 @@ pub fn cmd_slave(args: &Args) -> Result<String, CliError> {
                 .into(),
         ));
     }
-    match serve_slave(&endpoint, Duration::from_secs(patience)).map_err(CliError::Engine)? {
+    let fault = args
+        .get_str("net-fault")
+        .map(NetFaultPlan::parse)
+        .transpose()
+        .map_err(CliError::Invalid)?
+        .map(|plan| Arc::new(NetFaultState::new(plan)));
+    match serve_slave_with(&endpoint, Duration::from_secs(patience), fault)
+        .map_err(CliError::Engine)?
+    {
         ServeOutcome::Finished => Ok(format!("slave done: run at {endpoint} stopped cleanly")),
         ServeOutcome::MasterLost => Err(peer_lost("slave done", "master", &endpoint, patience)),
     }
@@ -474,6 +520,39 @@ fn peer_lost(task: &str, peer: &str, endpoint: &Endpoint, patience_secs: u64) ->
     CliError::Degraded(format!(
         "{task}: {peer} at {endpoint} went silent beyond {patience_secs} s"
     ))
+}
+
+/// Install a SIGTERM handler that flips a shared drain flag, and return
+/// the flag. The job server polls it between slices: on SIGTERM it stops
+/// admitting, parks every job (durably with `--state-dir`), compacts the
+/// journal, and exits 0 — the graceful half of crash-safety, next to the
+/// journal's kill-9 half. Raw `signal(2)` keeps the zero-dependency rule;
+/// an atomic store is all the handler does, which is async-signal-safe.
+#[cfg(unix)]
+fn drain_on_sigterm() -> Arc<AtomicBool> {
+    use std::sync::OnceLock;
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    extern "C" fn on_sigterm(_sig: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+    flag
+}
+
+/// Without signals there is no graceful drain; the journal still covers
+/// hard kills.
+#[cfg(not(unix))]
+fn drain_on_sigterm() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(false))
 }
 
 /// `mkp serve`.
@@ -522,6 +601,10 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     if let Some(dir) = args.get_str("spool") {
         cfg.spool_dir = dir.into();
     }
+    if let Some(dir) = args.get_str("state-dir") {
+        cfg.state_dir = Some(dir.into());
+    }
+    cfg.drain = Some(drain_on_sigterm());
     let stats = serve(&clients, backend, &cfg).map_err(CliError::Engine)?;
     let mut out = String::new();
     let _ = writeln!(out, "server done: {} jobs accepted", stats.accepted);
@@ -534,6 +617,13 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         out,
         "scheduling : {} slices, {} evictions, {} restores",
         stats.slices, stats.evictions, stats.restores
+    );
+    let _ = writeln!(
+        out,
+        "durability : {} recovered, {} spool corrupt{}",
+        stats.recovered,
+        stats.spool_corrupt,
+        if stats.drained { ", drained" } else { "" }
     );
     Ok(out)
 }
@@ -558,29 +648,45 @@ pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
             "p, rounds, budget and patience must be positive".into(),
         ));
     }
-    let spec = SubmitSpec {
-        mode,
-        p,
-        rounds,
-        budget_evals: budget,
-        seed,
-        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
-    };
+    let attach: u64 = args.get("attach", 0)?;
+    if args.get_str("attach").is_some() && attach == 0 {
+        return Err(CliError::Invalid(
+            "--attach needs the job id a previous submit printed (ids start at 1)".into(),
+        ));
+    }
     let mut events = Vec::new();
-    let outcome = submit_job(
-        &endpoint,
-        &inst,
-        &spec,
-        Duration::from_secs(patience),
-        |ev| events.push(ev),
-    )
+    let outcome = if attach > 0 {
+        // Reattach to a job this client (or a predecessor) already
+        // submitted — after either side restarted. The search flags are
+        // ignored: the server already has the job's configuration.
+        attach_job(&endpoint, attach, Duration::from_secs(patience), |ev| {
+            events.push(ev)
+        })
+    } else {
+        let spec = SubmitSpec {
+            mode,
+            p,
+            rounds,
+            budget_evals: budget,
+            seed,
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        };
+        submit_job(
+            &endpoint,
+            &inst,
+            &spec,
+            Duration::from_secs(patience),
+            |ev| events.push(ev),
+        )
+    }
     .map_err(CliError::Engine)?;
 
     let mut out = String::new();
     for ev in &events {
         match ev {
             SubmitEvent::Accepted { job_id } => {
-                let _ = writeln!(out, "job        : {job_id} accepted at {endpoint}");
+                let verb = if attach > 0 { "reattached" } else { "accepted" };
+                let _ = writeln!(out, "job        : {job_id} {verb} at {endpoint}");
             }
             SubmitEvent::Incumbent { value, round, .. } => {
                 let _ = writeln!(out, "incumbent  : {value} after round {round}");
@@ -713,9 +819,10 @@ mod tests {
         "metrics",
         "trace",
         "listen",
+        "net-fault",
     ];
     const EXACT_FLAGS: &[&str] = &["nodes", "workers"];
-    const SLAVE_FLAGS: &[&str] = &["connect", "patience"];
+    const SLAVE_FLAGS: &[&str] = &["connect", "patience", "net-fault"];
     const SERVE_FLAGS: &[&str] = &[
         "clients",
         "slaves",
@@ -726,6 +833,7 @@ mod tests {
         "max-jobs",
         "park-mem",
         "spool",
+        "state-dir",
         "patience",
     ];
     const SUBMIT_FLAGS: &[&str] = &[
@@ -736,6 +844,7 @@ mod tests {
         "budget",
         "seed",
         "deadline-ms",
+        "attach",
         "patience",
     ];
 
@@ -784,6 +893,127 @@ mod tests {
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("server done: 1 jobs accepted"));
         assert!(served.contains("1 done"));
+    }
+
+    #[test]
+    fn serve_with_state_dir_retains_terminals_for_attach() {
+        let path = tmp("attach_rt.mkp");
+        cmd_generate(&args(
+            &[&path, "--class", "uniform", "--n", "20", "--m", "2"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        let sock = tmp("attach_rt.sock");
+        let _ = std::fs::remove_file(&sock);
+        let addr = format!("unix:{sock}");
+        let state = tmp("attach_rt_state");
+        let _ = std::fs::remove_dir_all(&state);
+
+        // Two terminals stop the server: the first submit, and a second
+        // submit fired after the attach has fetched the retained report.
+        let server = {
+            let (addr, state) = (addr.clone(), state.clone());
+            std::thread::spawn(move || {
+                cmd_serve(&args(
+                    &[
+                        "--clients",
+                        &addr,
+                        "--p",
+                        "2",
+                        "--max-jobs",
+                        "2",
+                        "--state-dir",
+                        &state,
+                    ],
+                    SERVE_FLAGS,
+                ))
+            })
+        };
+        let submit_args: Vec<&str> = vec![
+            &path,
+            "--connect",
+            &addr,
+            "--mode",
+            "cts1",
+            "--p",
+            "2",
+            "--rounds",
+            "2",
+            "--budget",
+            "40000",
+        ];
+        let first = cmd_submit(&args(&submit_args, SUBMIT_FLAGS)).unwrap();
+        assert!(first.contains("job        : 1 accepted"));
+
+        let attached = cmd_submit(&args(
+            &[&path, "--connect", &addr, "--attach", "1"],
+            SUBMIT_FLAGS,
+        ))
+        .unwrap();
+        assert!(attached.contains("job        : 1 reattached"), "{attached}");
+        let value = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("best value"))
+                .map(str::to_string)
+        };
+        assert_eq!(value(&first), value(&attached), "{first}\n{attached}");
+
+        cmd_submit(&args(&submit_args, SUBMIT_FLAGS)).unwrap();
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("2 done"), "{served}");
+        assert!(served.contains("durability : 0 recovered"), "{served}");
+        assert!(
+            std::path::Path::new(&state).join("journal.mkpj").exists(),
+            "serving with --state-dir must leave a journal"
+        );
+    }
+
+    #[test]
+    fn attach_rejects_a_zero_or_malformed_job_id() {
+        let path = tmp("attach_bad.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_submit(&args(
+            &[&path, "--connect", "unix:/tmp/x.sock", "--attach", "0"],
+            SUBMIT_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("ids start at 1"), "{err}");
+        assert!(cmd_submit(&args(
+            &[&path, "--connect", "unix:/tmp/x.sock", "--attach", "one"],
+            SUBMIT_FLAGS,
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn net_fault_requires_listen_and_a_wellformed_spec() {
+        let path = tmp("netfault.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_solve(&args(&[&path, "--net-fault", "corrupt@2"], SOLVE_FLAGS))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("needs --listen"), "{err}");
+        let err = cmd_solve(&args(
+            &[
+                &path,
+                "--listen",
+                "unix:/tmp/x.sock",
+                "--net-fault",
+                "melt@1",
+            ],
+            SOLVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown net-fault kind"), "{err}");
+        let err = cmd_slave(&args(
+            &["--connect", "unix:/tmp/x.sock", "--net-fault", "drop@0"],
+            SLAVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("frame 0"), "{err}");
     }
 
     #[test]

@@ -52,11 +52,12 @@ fn main() -> ExitCode {
                 "metrics",
                 "trace",
                 "listen",
+                "net-fault",
             ],
         )
         .map_err(Into::into)
         .and_then(|a| cmd_solve(&a)),
-        "slave" => Args::parse(rest, &["connect", "patience"])
+        "slave" => Args::parse(rest, &["connect", "patience", "net-fault"])
             .map_err(Into::into)
             .and_then(|a| cmd_slave(&a)),
         "serve" => Args::parse(
@@ -71,6 +72,7 @@ fn main() -> ExitCode {
                 "max-jobs",
                 "park-mem",
                 "spool",
+                "state-dir",
                 "patience",
             ],
         )
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
                 "budget",
                 "seed",
                 "deadline-ms",
+                "attach",
                 "patience",
             ],
         )

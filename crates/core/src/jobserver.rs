@@ -39,11 +39,32 @@
 //! mid-slice is handled by the engine's resurrection machinery as usual;
 //! a slave missing at the *start* of a slice fails that job's slice, not
 //! the server.
+//!
+//! # Durability (DESIGN.md §15)
+//!
+//! With [`ServeConfig::state_dir`] set the server is crash-safe end to
+//! end: every accepted job is recorded in a write-ahead journal
+//! ([`crate::journal`]) at `<state_dir>/journal.mkpj`, every park
+//! writes the snapshot through to `<state_dir>/spool/job-<id>.snap`
+//! (the PR 4 checkpoint format, checksummed and atomically renamed),
+//! and per-slice incumbents and terminal outcomes are journaled as they
+//! happen. A restarted server replays the journal, re-adopts the spool,
+//! and resumes every in-flight job *bit-identically* from its last
+//! parked snapshot. Clients reattach by durable job id (the `ATTACH`
+//! verb, [`attach_job`]) or transparently by idempotent resubmit token
+//! ([`submit_job`] retries its own SUBMIT with the same token after a
+//! link drop, and the server answers with the existing job instead of
+//! admitting a duplicate). The journal is compacted — live jobs'
+//! records rewritten, finished jobs dropped — every few terminals and
+//! on drain. A drain request ([`ServeConfig::drain`], typically wired
+//! to SIGTERM) stops admission, finishes the current slice, leaves
+//! every job parked durably and releases the slaves with one STOP.
 
 use crate::engine::{
     master_loop, policy_for, validated_resume_policy, Delivery, Engine, EngineError, MasterCtl,
     SliceOutcome,
 };
+use crate::journal::{Journal, Record};
 use crate::messages::{pack_bits, tags, unpack_bits, ProblemMsg};
 use crate::runner::{Mode, ModeReport, RunConfig};
 use crate::snapshot::Snapshot;
@@ -72,6 +93,24 @@ pub(crate) mod jtags {
     pub const DONE: u32 = 0x4A42_0004;
     /// Server → client: the job was refused or terminated; reason attached.
     pub const REJECTED: u32 = 0x4A42_0005;
+    /// Client → server: reattach to a previously submitted job by id.
+    pub const ATTACH: u32 = 0x4A42_0006;
+}
+
+/// Journal record kinds (see [`crate::journal`]). Payloads reuse the
+/// client-protocol wire encodings so a retained terminal record can be
+/// replayed to a late `ATTACH` verbatim.
+mod jkind {
+    /// `[job_id: u64 LE][SubmitMsg bytes]` — a job was admitted.
+    pub const SUBMIT: u8 = 1;
+    /// `[job_id: u64 LE]` — the job parked; its snapshot is in the spool.
+    pub const PARKED: u8 = 2;
+    /// `IncumbentMsg` bytes — the job's best value after a slice.
+    pub const INCUMBENT: u8 = 3;
+    /// `DoneMsg` bytes — the job finished with a report.
+    pub const DONE: u8 = 4;
+    /// `RejectedMsg` bytes — the job was terminated with a reason.
+    pub const REJECTED: u8 = 5;
 }
 
 /// How often the scheduler polls for client events when the run queue is
@@ -80,6 +119,21 @@ const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// Delay between a client's connect attempts in [`submit_job`].
 const DIAL_DELAY: Duration = Duration::from_millis(100);
+
+/// Terminal frames kept around (and preserved across compaction) so a
+/// late `ATTACH` to a finished job still gets its DONE/REJECTED.
+const RETAINED_CAP: usize = 64;
+
+/// Compact the journal after this many terminals since the last
+/// compaction — often enough that the file tracks the live set, rarely
+/// enough that compaction cost stays negligible.
+const COMPACT_EVERY: u64 = 8;
+
+/// How many times [`submit_job`]/[`attach_job`] re-dial and reattach
+/// after the link drops post-acceptance before giving up with
+/// [`SubmitOutcome::ServerLost`]. Each cycle already waits up to
+/// `patience` inside the dial loop.
+const MAX_REATTACHES: u32 = 5;
 
 fn mode_code(mode: Mode) -> u8 {
     match mode {
@@ -109,7 +163,9 @@ fn mode_from_code(code: u8) -> Option<Mode> {
 // ---------------------------------------------------------------------------
 
 /// The client's submission: problem + run shape. `deadline_ms == 0`
-/// means no deadline.
+/// means no deadline; `token == 0` means no idempotency token (a resend
+/// of a nonzero token reattaches to the already-admitted job instead of
+/// admitting a duplicate).
 pub(crate) struct SubmitMsg {
     pub(crate) problem: ProblemMsg,
     pub(crate) mode: u8,
@@ -118,6 +174,7 @@ pub(crate) struct SubmitMsg {
     pub(crate) budget_evals: u64,
     pub(crate) seed: u64,
     pub(crate) deadline_ms: u64,
+    pub(crate) token: u64,
 }
 
 impl Wire for SubmitMsg {
@@ -129,6 +186,7 @@ impl Wire for SubmitMsg {
         buf.put_u64(self.budget_evals);
         buf.put_u64(self.seed);
         buf.put_u64(self.deadline_ms);
+        buf.put_u64(self.token);
     }
 
     fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
@@ -140,6 +198,25 @@ impl Wire for SubmitMsg {
             budget_evals: buf.get_u64()?,
             seed: buf.get_u64()?,
             deadline_ms: buf.get_u64()?,
+            token: buf.get_u64()?,
+        })
+    }
+}
+
+/// Client → server: reattach to job `job_id` (live or recently
+/// finished) and stream its remaining events.
+struct AttachMsg {
+    job_id: u64,
+}
+
+impl Wire for AttachMsg {
+    fn pack(&self, buf: &mut PackBuffer) {
+        buf.put_u64(self.job_id);
+    }
+
+    fn unpack(buf: &mut UnpackBuffer<'_>) -> Result<Self, CodecError> {
+        Ok(AttachMsg {
+            job_id: buf.get_u64()?,
         })
     }
 }
@@ -346,10 +423,26 @@ pub struct ServeConfig {
     pub spool_dir: PathBuf,
     /// Stop after this many accepted jobs reach a terminal state
     /// (done, deadline-expired, failed, or canceled). 0 serves forever.
+    /// With a `state_dir`, terminals recovered from the journal count
+    /// toward the limit, so a restarted `--max-jobs` server still stops
+    /// after the same total.
     pub max_jobs: u64,
     /// Socket-backend patience: how long to wait for the initial slave
     /// fleet, and the reconnect window during slices.
     pub patience: Duration,
+    /// Durable state directory. When set, accepted jobs are journaled
+    /// to `<state_dir>/journal.mkpj`, parked snapshots are written
+    /// through to `<state_dir>/spool/` (which overrides `spool_dir`),
+    /// client disconnects *detach* jobs instead of canceling them, and
+    /// a restarted server resumes every in-flight job from its last
+    /// parked snapshot. `None` keeps the server purely in-memory.
+    pub state_dir: Option<PathBuf>,
+    /// Cooperative drain flag, typically flipped by a SIGTERM handler.
+    /// When it reads `true` the scheduler stops admitting (submissions
+    /// are REJECTED with a "draining" reason), finishes the slice in
+    /// progress, leaves every job parked — durably when `state_dir` is
+    /// set — compacts the journal, and returns.
+    pub drain: Option<Arc<AtomicBool>>,
 }
 
 impl Default for ServeConfig {
@@ -362,6 +455,8 @@ impl Default for ServeConfig {
             spool_dir: std::env::temp_dir().join("mkp-jobserver"),
             max_jobs: 0,
             patience: Duration::from_secs(121),
+            state_dir: None,
+            drain: None,
         }
     }
 }
@@ -402,6 +497,13 @@ pub struct ServeStats {
     pub evictions: u64,
     /// Parked snapshots read back from the spool.
     pub restores: u64,
+    /// In-flight jobs re-adopted from the journal at startup.
+    pub recovered: u64,
+    /// Spooled snapshots that failed their checksum on restore
+    /// (surfaced to the client as a `SpoolCorrupt:` rejection).
+    pub spool_corrupt: u64,
+    /// Whether the server exited through a drain request.
+    pub drained: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -434,6 +536,10 @@ enum Event {
         client: u64,
         msg: Box<SubmitMsg>,
     },
+    Attach {
+        client: u64,
+        job_id: u64,
+    },
     BadSubmit {
         client: u64,
         detail: String,
@@ -456,16 +562,32 @@ enum JobState {
 
 struct Job {
     id: u64,
+    /// Owning client, or 0 when detached (client gone, job journaled —
+    /// it keeps running and waits for an ATTACH or token resubmit).
     client: u64,
     inst: Instance,
     mode: Mode,
     cfg: RunConfig,
     deadline: Option<Instant>,
+    /// The submission's idempotency token; 0 means none.
+    token: u64,
     /// `Some(quantum)` when the mode has round boundaries to park at.
     park_after: Option<usize>,
     /// Wall-clock spent in this job's slices so far.
     spent: Duration,
+    /// Best (value, rounds-done) announced so far — replayed to a
+    /// reattaching client so it never sees a silent gap.
+    last_incumbent: Option<(i64, u64)>,
     state: JobState,
+}
+
+/// A finished job's final frame, retained for late `ATTACH`es: replayed
+/// verbatim (same tag, same payload). The token rides along so its
+/// idempotency mapping can be dropped when the terminal is evicted.
+struct Terminal {
+    tag: u32,
+    payload: Vec<u8>,
+    token: u64,
 }
 
 struct Scheduler {
@@ -476,24 +598,52 @@ struct Scheduler {
     runq: VecDeque<u64>,
     inflight: HashMap<u64, usize>,
     next_job: u64,
-    /// Accepted jobs that reached a terminal state (drives `max_jobs`).
+    /// Accepted jobs that reached a terminal state (drives `max_jobs`);
+    /// seeded with the journal's terminal count on recovery.
     terminal: u64,
     /// Bytes of snapshots currently in `JobState::ParkedMem`.
     park_mem: usize,
+    /// Write-ahead journal (`Some` iff `cfg.state_dir` is set).
+    journal: Option<Journal>,
+    /// Idempotency token → job id, covering live and retained jobs.
+    tokens: HashMap<u64, u64>,
+    /// Terminal frames kept for late ATTACH, newest last, capped at
+    /// [`RETAINED_CAP`].
+    retained: HashMap<u64, Terminal>,
+    retained_order: VecDeque<u64>,
+    /// Terminals since the last compaction (drives [`COMPACT_EVERY`]).
+    terminal_since_compact: u64,
     stats: ServeStats,
 }
 
 /// Run the job server on `listen` until `cfg.max_jobs` accepted jobs
-/// have reached a terminal state (forever if 0). Binds the client
-/// listener and — for the socket backend — the slave hub, waits for the
-/// full slave fleet, then schedules jobs round-robin in
-/// `cfg.quantum`-round slices. Returns the tally of what was served.
+/// have reached a terminal state (forever if 0), or until the drain
+/// flag flips. Binds the client listener and — for the socket backend —
+/// the slave hub, waits for the full slave fleet, then schedules jobs
+/// round-robin in `cfg.quantum`-round slices. With a
+/// [`ServeConfig::state_dir`], first replays the journal and re-adopts
+/// any spooled jobs a previous incarnation left behind. Returns the
+/// tally of what was served.
 pub fn serve(
     listen: &Endpoint,
     backend: ServeBackend,
     cfg: &ServeConfig,
 ) -> Result<ServeStats, String> {
     cfg.validate()?;
+    let mut cfg = cfg.clone();
+    let mut journal = None;
+    let mut recovered_records = Vec::new();
+    if let Some(state_dir) = &cfg.state_dir {
+        // The state dir owns the spool: write-through parks and the
+        // journal must land on the same filesystem to recover together.
+        cfg.spool_dir = state_dir.join("spool");
+        std::fs::create_dir_all(&cfg.spool_dir)
+            .map_err(|e| format!("cannot create state directory {}: {e}", state_dir.display()))?;
+        let (j, records) = Journal::open(&state_dir.join("journal.mkpj"))
+            .map_err(|e| format!("cannot open the job journal: {e}"))?;
+        journal = Some(j);
+        recovered_records = records;
+    }
     std::fs::create_dir_all(&cfg.spool_dir).map_err(|e| {
         format!(
             "cannot create spool directory {}: {e}",
@@ -547,13 +697,22 @@ pub fn serve(
         next_job: 1,
         terminal: 0,
         park_mem: 0,
+        journal,
+        tokens: HashMap::new(),
+        retained: HashMap::new(),
+        retained_order: VecDeque::new(),
+        terminal_since_compact: 0,
         stats: ServeStats::default(),
     };
+    sched.recover(recovered_records);
     sched.run(&rx);
 
-    // Shut down: stop accepting, close every client link (which also
-    // unblocks their reader threads into a clean exit), release the
-    // remote slaves with the STOP the slices withheld.
+    // Shut down: compact the journal down to what still matters (live
+    // jobs on a drain, retained terminals either way), stop accepting,
+    // close every client link (which also unblocks their reader threads
+    // into a clean exit), release the remote slaves with the STOP the
+    // slices withheld.
+    sched.compact_journal();
     stop.store(true, Ordering::Relaxed);
     let _ = accept.join();
     for (_, writer) in sched.writers.drain() {
@@ -615,6 +774,16 @@ fn client_reader(client: u64, mut conn: FramedConn, tx: Sender<Event>) {
                     detail: format!("malformed SUBMIT payload: {e}"),
                 },
             },
+            Ok(Some(env)) if env.tag == jtags::ATTACH => match AttachMsg::from_bytes(&env.data) {
+                Ok(msg) => Event::Attach {
+                    client,
+                    job_id: msg.job_id,
+                },
+                Err(e) => Event::BadSubmit {
+                    client,
+                    detail: format!("malformed ATTACH payload: {e}"),
+                },
+            },
             Ok(Some(env)) => Event::BadSubmit {
                 client,
                 detail: format!("unexpected frame tag {:#x}", env.tag),
@@ -636,6 +805,11 @@ impl Scheduler {
             while let Ok(event) = rx.try_recv() {
                 self.handle(event);
             }
+            if self.drain_requested() {
+                self.stats.drained = true;
+                return;
+            }
+            self.expire_overdue();
             if self.cfg.max_jobs > 0 && self.terminal >= self.cfg.max_jobs {
                 return;
             }
@@ -651,12 +825,20 @@ impl Scheduler {
         }
     }
 
+    fn drain_requested(&self) -> bool {
+        self.cfg
+            .drain
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::Conn { client, writer } => {
                 self.writers.insert(client, writer);
             }
             Event::Submit { client, msg } => self.admit(client, *msg),
+            Event::Attach { client, job_id } => self.reattach(client, job_id),
             Event::BadSubmit { client, detail } => {
                 self.stats.rejected += 1;
                 self.send(
@@ -670,6 +852,16 @@ impl Scheduler {
             }
             Event::Gone { client } => {
                 self.writers.remove(&client);
+                if self.journal.is_some() {
+                    // Durable server: a vanished client *detaches* its
+                    // jobs — they keep running under their journal entry
+                    // and wait for an ATTACH or token resubmit.
+                    self.inflight.remove(&client);
+                    for job in self.jobs.values_mut().filter(|j| j.client == client) {
+                        job.client = 0;
+                    }
+                    return;
+                }
                 self.inflight.remove(&client);
                 let orphans: Vec<u64> = self
                     .jobs
@@ -688,16 +880,60 @@ impl Scheduler {
         }
     }
 
+    /// Satellite: enforce deadlines on *parked* jobs at the scheduler
+    /// tick, not only when their quantum comes up — with a long queue a
+    /// job could otherwise sit expired for many turns before being told.
+    fn expire_overdue(&mut self) {
+        let now = Instant::now();
+        let overdue: Vec<u64> = self
+            .runq
+            .iter()
+            .filter(|id| {
+                self.jobs
+                    .get(id)
+                    .and_then(|j| j.deadline)
+                    .is_some_and(|d| now >= d)
+            })
+            .copied()
+            .collect();
+        for id in overdue {
+            self.runq.retain(|&q| q != id);
+            let job = self
+                .jobs
+                .remove(&id)
+                .expect("overdue id came from the queue");
+            self.stats.expired += 1;
+            let reason = format!(
+                "deadline exceeded between turns after {:?} of search",
+                job.spent
+            );
+            self.terminate_rejected(job, reason);
+        }
+    }
+
     /// Admission control: validate the submission and either enqueue it
-    /// (ACCEPTED) or refuse it (REJECTED with job id 0).
+    /// (ACCEPTED) or refuse it (REJECTED with job id 0). A resent
+    /// nonzero token short-circuits into a reattach — the idempotency
+    /// that makes the client's retry-after-link-drop safe.
     fn admit(&mut self, client: u64, msg: SubmitMsg) {
+        if msg.token != 0 {
+            if let Some(&id) = self.tokens.get(&msg.token) {
+                return self.reattach(client, id);
+            }
+        }
         let reject = |this: &mut Self, reason: String| {
             this.stats.rejected += 1;
             this.send(client, jtags::REJECTED, &RejectedMsg { job_id: 0, reason });
         };
-        let Some(mode) = mode_from_code(msg.mode) else {
+        if self.drain_requested() {
+            return reject(
+                self,
+                "server is draining; resubmit after its restart".into(),
+            );
+        }
+        if mode_from_code(msg.mode).is_none() {
             return reject(self, format!("unknown mode code {}", msg.mode));
-        };
+        }
         let pb = &msg.problem;
         if pb.n == 0
             || pb.m == 0
@@ -751,28 +987,70 @@ impl Scheduler {
 
         let id = self.next_job;
         self.next_job += 1;
-        let policy = policy_for(mode);
-        let parkable = policy.delivery() == Delivery::Synchronous && policy.rounds(&cfg) > 1;
-        let deadline =
-            (msg.deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(msg.deadline_ms));
-        self.jobs.insert(
-            id,
-            Job {
-                id,
-                client,
-                inst: msg.problem.into_instance(),
-                mode,
-                cfg,
-                deadline,
-                park_after: parkable.then_some(self.cfg.quantum),
-                spent: Duration::ZERO,
-                state: JobState::Fresh,
-            },
-        );
+        // Journal first, admit second: a job the client was told about
+        // must survive a crash, so the SUBMIT record hits disk before
+        // the ACCEPTED frame leaves.
+        if self.journal.is_some() {
+            let mut payload = id.to_le_bytes().to_vec();
+            payload.extend_from_slice(&msg.to_bytes());
+            self.journal_append(jkind::SUBMIT, &payload);
+        }
+        let job = build_job(id, client, &self.cfg, msg);
+        if job.token != 0 {
+            self.tokens.insert(job.token, id);
+        }
+        self.jobs.insert(id, job);
         self.runq.push_back(id);
         *self.inflight.entry(client).or_insert(0) += 1;
         self.stats.accepted += 1;
         self.send(client, jtags::ACCEPTED, &AcceptedMsg { job_id: id });
+    }
+
+    /// Point `job_id` — live or retained — at `client` and replay what
+    /// it missed: ACCEPTED plus the last incumbent for a live job, the
+    /// verbatim terminal frame for a finished one.
+    fn reattach(&mut self, client: u64, job_id: u64) {
+        if let Some(job) = self.jobs.get_mut(&job_id) {
+            let old = job.client;
+            job.client = client;
+            let last = job.last_incumbent;
+            if old != client {
+                if let Some(count) = self.inflight.get_mut(&old) {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        self.inflight.remove(&old);
+                    }
+                }
+                *self.inflight.entry(client).or_insert(0) += 1;
+            }
+            self.send(client, jtags::ACCEPTED, &AcceptedMsg { job_id });
+            if let Some((value, round)) = last {
+                self.send(
+                    client,
+                    jtags::INCUMBENT,
+                    &IncumbentMsg {
+                        job_id,
+                        value,
+                        round,
+                    },
+                );
+            }
+        } else if let Some(terminal) = self.retained.get(&job_id) {
+            let (tag, payload) = (terminal.tag, terminal.payload.clone());
+            self.send(client, jtags::ACCEPTED, &AcceptedMsg { job_id });
+            self.send_raw(client, tag, &payload);
+        } else {
+            self.send(
+                client,
+                jtags::REJECTED,
+                &RejectedMsg {
+                    job_id,
+                    reason: format!(
+                        "unknown job id {job_id}: never submitted here, or finished too long ago"
+                    ),
+                },
+            );
+        }
     }
 
     /// One scheduler turn: resume the job, run a slice, then finish it
@@ -785,15 +1063,12 @@ impl Scheduler {
         if let Some(deadline) = job.deadline {
             if Instant::now() >= deadline {
                 self.stats.expired += 1;
-                let msg = RejectedMsg {
-                    job_id: job.id,
-                    reason: format!("deadline exceeded after {:?} of search", job.spent),
-                };
-                self.send(job.client, jtags::REJECTED, &msg);
-                self.finish(job);
+                let reason = format!("deadline exceeded after {:?} of search", job.spent);
+                self.terminate_rejected(job, reason);
                 return;
             }
         }
+        let durable = self.journal.is_some();
         let resume = match std::mem::replace(&mut job.state, JobState::Fresh) {
             JobState::Fresh => None,
             JobState::ParkedMem(bytes) => {
@@ -806,10 +1081,25 @@ impl Scheduler {
             JobState::ParkedDisk(path) => {
                 self.stats.restores += 1;
                 let snap = Snapshot::load(&path);
-                let _ = std::fs::remove_file(&path);
+                // A durable server keeps the spool file until the next
+                // park overwrites it (or the job ends): a crash between
+                // restore and re-park must not lose the state.
+                if !durable {
+                    let _ = std::fs::remove_file(&path);
+                }
                 match snap {
                     Ok(snap) => Some(snap),
-                    Err(e) => return self.fail(job, format!("cannot restore spooled state: {e}")),
+                    Err(e) => {
+                        // Satellite: a spool file that fails its
+                        // checksum gets a *specific* verdict, its own
+                        // telemetry count, and takes only this job down.
+                        self.stats.spool_corrupt += 1;
+                        let _ = std::fs::remove_file(&path);
+                        return self.fail(
+                            job,
+                            format!("SpoolCorrupt: cannot restore spooled state: {e}"),
+                        );
+                    }
                 }
             }
         };
@@ -836,8 +1126,11 @@ impl Scheduler {
                     job_id: job.id,
                     report: JobReport::from_report(&report, job.spent),
                 };
-                self.send(job.client, jtags::DONE, &done);
+                let payload = done.to_bytes();
+                self.journal_append(jkind::DONE, &payload);
+                self.send_raw(job.client, jtags::DONE, &payload);
                 self.stats.done += 1;
+                self.retain_terminal(job.id, job.token, jtags::DONE, payload);
                 self.finish(job);
             }
             Ok(SliceOutcome::Parked(snap)) => {
@@ -849,6 +1142,19 @@ impl Scheduler {
                         .expect("a parked run completed a round"),
                     round: snap.next_round as u64,
                 };
+                job.last_incumbent = Some((incumbent.value, incumbent.round));
+                if durable {
+                    // Write-through park: snapshot to the spool
+                    // (atomic rename), then journal the incumbent
+                    // high-water mark and the park itself. After this
+                    // a kill -9 costs at most the slice in progress.
+                    let path = self.spool_path(id);
+                    if let Err(e) = snap.save(&path) {
+                        return self.fail(job, format!("cannot spool parked state: {e}"));
+                    }
+                    self.journal_append(jkind::INCUMBENT, &incumbent.to_bytes());
+                    self.journal_append(jkind::PARKED, &id.to_le_bytes());
+                }
                 self.send(job.client, jtags::INCUMBENT, &incumbent);
                 let bytes = snap.to_file_bytes();
                 self.park_mem += bytes.len();
@@ -864,11 +1170,21 @@ impl Scheduler {
     /// Terminate an accepted job with a REJECTED explaining the failure.
     fn fail(&mut self, job: Job, reason: String) {
         self.stats.failed += 1;
+        self.terminate_rejected(job, reason);
+    }
+
+    /// Shared terminal REJECTED path (expiry and failure): journal the
+    /// outcome, tell the client, retain the frame for late ATTACHes,
+    /// then do the terminal bookkeeping.
+    fn terminate_rejected(&mut self, job: Job, reason: String) {
         let msg = RejectedMsg {
             job_id: job.id,
             reason,
         };
-        self.send(job.client, jtags::REJECTED, &msg);
+        let payload = msg.to_bytes();
+        self.journal_append(jkind::REJECTED, &payload);
+        self.send_raw(job.client, jtags::REJECTED, &payload);
+        self.retain_terminal(job.id, job.token, jtags::REJECTED, payload);
         self.finish(job);
     }
 
@@ -876,6 +1192,10 @@ impl Scheduler {
     /// must already be out of `jobs` and `runq`.
     fn finish(&mut self, job: Job) {
         self.discard_state(&job.state);
+        if self.journal.is_some() {
+            // Drop the write-through spool file a ParkedMem job leaves.
+            let _ = std::fs::remove_file(self.spool_path(job.id));
+        }
         if let Some(count) = self.inflight.get_mut(&job.client) {
             *count = count.saturating_sub(1);
             if *count == 0 {
@@ -883,6 +1203,10 @@ impl Scheduler {
             }
         }
         self.terminal += 1;
+        self.terminal_since_compact += 1;
+        if self.journal.is_some() && self.terminal_since_compact >= COMPACT_EVERY {
+            self.compact_journal();
+        }
     }
 
     fn discard_state(&mut self, state: &JobState) {
@@ -897,11 +1221,14 @@ impl Scheduler {
 
     /// Spool parked snapshots to disk, longest-waiting jobs first (the
     /// back of the run queue is furthest from its next turn), until the
-    /// in-memory total fits the cap again.
+    /// in-memory total fits the cap again. On a durable server the
+    /// write-through park already put the snapshot in the spool, so
+    /// eviction just drops the in-memory copy.
     fn enforce_mem_cap(&mut self) {
         if self.park_mem <= self.cfg.park_mem_cap {
             return;
         }
+        let durable = self.journal.is_some();
         let victims: Vec<u64> = self.runq.iter().rev().copied().collect();
         for id in victims {
             if self.park_mem <= self.cfg.park_mem_cap {
@@ -914,13 +1241,219 @@ impl Scheduler {
                 continue;
             };
             let path = self.cfg.spool_dir.join(format!("job-{id}.snap"));
-            if std::fs::write(&path, bytes).is_err() {
+            let already_spooled = durable && path.exists();
+            if !already_spooled && std::fs::write(&path, bytes).is_err() {
                 // Disk trouble: better over the cap than losing the job.
                 return;
             }
             self.park_mem -= bytes.len();
             job.state = JobState::ParkedDisk(path);
             self.stats.evictions += 1;
+        }
+    }
+
+    fn spool_path(&self, id: u64) -> PathBuf {
+        self.cfg.spool_dir.join(format!("job-{id}.snap"))
+    }
+
+    /// Append one record to the journal, if there is one. An append
+    /// failure (disk full, dying device) is reported but does not take
+    /// the server down: serving degrades to non-durable rather than
+    /// dropping live jobs.
+    fn journal_append(&mut self, kind: u8, payload: &[u8]) {
+        if let Some(journal) = &mut self.journal {
+            if let Err(e) = journal.append(kind, payload) {
+                eprintln!("warning: job journal append failed ({e}); durability degraded");
+            }
+        }
+    }
+
+    /// Remember a finished job's final frame for late ATTACHes, evicting
+    /// the oldest retained terminal (and its token mapping) past the cap.
+    fn retain_terminal(&mut self, id: u64, token: u64, tag: u32, payload: Vec<u8>) {
+        self.retained.insert(
+            id,
+            Terminal {
+                tag,
+                payload,
+                token,
+            },
+        );
+        self.retained_order.push_back(id);
+        while self.retained_order.len() > RETAINED_CAP {
+            let Some(old) = self.retained_order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = self.retained.remove(&old) {
+                if evicted.token != 0 {
+                    self.tokens.remove(&evicted.token);
+                }
+            }
+        }
+    }
+
+    /// Rewrite the journal down to what still matters: each live job's
+    /// SUBMIT (re-encoded with its remaining deadline), latest
+    /// incumbent and park marker, plus the retained terminal frames.
+    /// Atomic (temp-and-rename) via [`Journal::compact`].
+    fn compact_journal(&mut self) {
+        if self.journal.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let mut records = Vec::new();
+        let mut live: Vec<u64> = self.jobs.keys().copied().collect();
+        live.sort_unstable();
+        for id in &live {
+            let job = &self.jobs[id];
+            let deadline_ms = match job.deadline {
+                Some(d) => (d.saturating_duration_since(now).as_millis() as u64).max(1),
+                None => 0,
+            };
+            let msg = SubmitMsg {
+                problem: ProblemMsg::from_instance(&job.inst),
+                mode: mode_code(job.mode),
+                p: job.cfg.p as u64,
+                rounds: job.cfg.rounds as u64,
+                budget_evals: job.cfg.total_evals,
+                seed: job.cfg.seed,
+                deadline_ms,
+                token: job.token,
+            };
+            let mut payload = id.to_le_bytes().to_vec();
+            payload.extend_from_slice(&msg.to_bytes());
+            records.push(Record {
+                kind: jkind::SUBMIT,
+                payload,
+            });
+            if let Some((value, round)) = job.last_incumbent {
+                let incumbent = IncumbentMsg {
+                    job_id: *id,
+                    value,
+                    round,
+                };
+                records.push(Record {
+                    kind: jkind::INCUMBENT,
+                    payload: incumbent.to_bytes(),
+                });
+            }
+            if !matches!(job.state, JobState::Fresh) {
+                records.push(Record {
+                    kind: jkind::PARKED,
+                    payload: id.to_le_bytes().to_vec(),
+                });
+            }
+        }
+        for id in &self.retained_order {
+            if let Some(terminal) = self.retained.get(id) {
+                let kind = if terminal.tag == jtags::DONE {
+                    jkind::DONE
+                } else {
+                    jkind::REJECTED
+                };
+                records.push(Record {
+                    kind,
+                    payload: terminal.payload.clone(),
+                });
+            }
+        }
+        if let Some(journal) = &mut self.journal {
+            if let Err(e) = journal.compact(&records) {
+                eprintln!("warning: job journal compaction failed ({e})");
+            }
+        }
+        self.terminal_since_compact = 0;
+    }
+
+    /// Rebuild the scheduler's world from a replayed journal: re-admit
+    /// every job that never reached a terminal record (parked state
+    /// from the spool when its snapshot exists, from scratch
+    /// otherwise), re-arm deadlines from now, restore token mappings
+    /// and retained terminals, and seed the terminal count so
+    /// `max_jobs` keeps meaning "total since the journal began".
+    fn recover(&mut self, records: Vec<Record>) {
+        struct Pending {
+            msg: SubmitMsg,
+            incumbent: Option<(i64, u64)>,
+        }
+        let mut pending: HashMap<u64, Pending> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        let job_id_of = |payload: &[u8]| -> Option<u64> {
+            payload
+                .get(..8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        };
+        for record in records {
+            match record.kind {
+                jkind::SUBMIT => {
+                    let Some(id) = job_id_of(&record.payload) else {
+                        continue;
+                    };
+                    let Ok(msg) = SubmitMsg::from_bytes(&record.payload[8..]) else {
+                        continue;
+                    };
+                    self.next_job = self.next_job.max(id + 1);
+                    if pending
+                        .insert(
+                            id,
+                            Pending {
+                                msg,
+                                incumbent: None,
+                            },
+                        )
+                        .is_none()
+                    {
+                        order.push(id);
+                    }
+                }
+                jkind::INCUMBENT => {
+                    let Ok(msg) = IncumbentMsg::from_bytes(&record.payload) else {
+                        continue;
+                    };
+                    if let Some(p) = pending.get_mut(&msg.job_id) {
+                        p.incumbent = Some((msg.value, msg.round));
+                    }
+                }
+                jkind::PARKED => {} // the spool file is the authority
+                jkind::DONE | jkind::REJECTED => {
+                    let Some(id) = job_id_of(&record.payload) else {
+                        continue;
+                    };
+                    let token = pending.remove(&id).map(|p| p.msg.token).unwrap_or(0);
+                    order.retain(|&q| q != id);
+                    self.terminal += 1;
+                    let tag = if record.kind == jkind::DONE {
+                        jtags::DONE
+                    } else {
+                        jtags::REJECTED
+                    };
+                    if token != 0 {
+                        self.tokens.insert(token, id);
+                    }
+                    self.retain_terminal(id, token, tag, record.payload);
+                }
+                _ => {} // unknown kind from a future version: skip
+            }
+        }
+        for id in order {
+            let Some(p) = pending.remove(&id) else {
+                continue;
+            };
+            if mode_from_code(p.msg.mode).is_none() {
+                continue; // journal from a stranger build: skip, don't die
+            }
+            let mut job = build_job(id, 0, &self.cfg, p.msg);
+            job.last_incumbent = p.incumbent;
+            let spool = self.spool_path(id);
+            if spool.exists() {
+                job.state = JobState::ParkedDisk(spool);
+            }
+            if job.token != 0 {
+                self.tokens.insert(job.token, id);
+            }
+            self.jobs.insert(id, job);
+            self.runq.push_back(id);
+            self.stats.recovered += 1;
         }
     }
 
@@ -932,6 +1465,46 @@ impl Scheduler {
                 self.writers.remove(&client);
             }
         }
+    }
+
+    /// [`Scheduler::send`] for a pre-encoded payload (journaled bytes
+    /// are reused verbatim as the wire frame).
+    fn send_raw(&mut self, client: u64, tag: u32, payload: &[u8]) {
+        if let Some(writer) = self.writers.get_mut(&client) {
+            if writer.send_bytes(0, tag, payload).is_err() {
+                self.writers.remove(&client);
+            }
+        }
+    }
+}
+
+/// Construct a [`Job`] from a validated submission. Shared by admission
+/// and journal recovery so a recovered job is built *identically* to a
+/// freshly admitted one (same parkability, same re-armed deadline
+/// semantics) — the bit-identity guarantee depends on it.
+fn build_job(id: u64, client: u64, serve_cfg: &ServeConfig, msg: SubmitMsg) -> Job {
+    let mode = mode_from_code(msg.mode).expect("caller validated the mode code");
+    let cfg = RunConfig {
+        p: msg.p as usize,
+        rounds: msg.rounds as usize,
+        ..RunConfig::new(msg.budget_evals, msg.seed)
+    };
+    let policy = policy_for(mode);
+    let parkable = policy.delivery() == Delivery::Synchronous && policy.rounds(&cfg) > 1;
+    let deadline =
+        (msg.deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(msg.deadline_ms));
+    Job {
+        id,
+        client,
+        inst: msg.problem.into_instance(),
+        mode,
+        cfg,
+        deadline,
+        token: msg.token,
+        park_after: parkable.then_some(serve_cfg.quantum),
+        spent: Duration::ZERO,
+        last_incumbent: None,
+        state: JobState::Fresh,
     }
 }
 
@@ -1022,72 +1595,67 @@ pub enum SubmitOutcome {
     ServerLost,
 }
 
-/// Submit one job to the server at `server` and wait for its outcome.
-/// Dials with retries for up to `patience` (the server may still be
-/// starting), then applies the same window as a read timeout — so
-/// `patience` must also cover the longest gap between two server
-/// messages (one full scheduling cycle of the queue ahead of this job).
-/// Progress (acceptance, per-slice incumbents) streams to `on_event`.
-///
-/// Failures *before* the server accepts the job are hard errors;
-/// afterwards the job may still be running, so a dropped link returns
-/// [`SubmitOutcome::ServerLost`] for the caller to map to its
-/// degraded-exit convention.
-pub fn submit_job(
-    server: &Endpoint,
-    inst: &Instance,
-    spec: &SubmitSpec,
-    patience: Duration,
-    mut on_event: impl FnMut(SubmitEvent),
-) -> Result<SubmitOutcome, String> {
+/// A fresh nonzero idempotency token: random per call (via the standard
+/// library's randomly keyed hasher — no external RNG dependency), so
+/// resubmitting the same payload after a link drop is recognizably the
+/// *same* job while two independent submissions never collide.
+fn fresh_token() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+    hasher.write_u64(std::process::id() as u64);
+    loop {
+        let token = hasher.finish();
+        if token != 0 {
+            return token;
+        }
+        hasher.write_u64(1);
+    }
+}
+
+/// Dial `server` with retries and jittered backoff for up to `patience`.
+fn dial_retry(server: &Endpoint, patience: Duration) -> Result<FramedConn, String> {
     let deadline = Instant::now().checked_add(patience);
-    let mut conn = loop {
+    let mut attempt: u64 = 0;
+    loop {
         match FramedConn::dial(server) {
-            Ok(conn) => break conn,
+            Ok(conn) => return Ok(conn),
             Err(_) => match deadline {
                 Some(d) if Instant::now() >= d => {
                     return Err(format!(
                         "no job server reachable at {server} within {patience:?}"
                     ));
                 }
-                _ => std::thread::sleep(DIAL_DELAY),
+                _ => {
+                    // Fibonacci-hash jitter decorrelates a fleet of
+                    // clients all retrying against the same restart.
+                    let jitter = Duration::from_millis(attempt.wrapping_mul(0x9E37_79B9) % 43);
+                    std::thread::sleep(DIAL_DELAY + jitter);
+                    attempt += 1;
+                }
             },
         }
-    };
-    conn.set_read_timeout(Some(patience))
-        .map_err(|e| format!("cannot configure the server link: {e}"))?;
-
-    let msg = SubmitMsg {
-        problem: ProblemMsg::from_instance(inst),
-        mode: mode_code(spec.mode),
-        p: spec.p as u64,
-        rounds: spec.rounds as u64,
-        budget_evals: spec.budget_evals,
-        seed: spec.seed,
-        deadline_ms: spec
-            .deadline
-            .map(|d| (d.as_millis() as u64).max(1))
-            .unwrap_or(0),
-    };
-    if conn.send(0, jtags::SUBMIT, &msg).is_err() {
-        return Err(format!(
-            "server at {server} closed the link before the job could be submitted"
-        ));
     }
+}
 
-    let mut accepted = false;
+/// How one connection's event stream ended.
+enum Streamed {
+    /// A terminal frame arrived.
+    Outcome(SubmitOutcome),
+    /// The link dropped mid-stream; the caller may reattach.
+    Lost,
+}
+
+/// Drain one connection's job events into `on_event` until a terminal
+/// frame or a link drop. Protocol violations are hard errors.
+fn read_job_stream(
+    conn: &mut FramedConn,
+    accepted: &mut bool,
+    on_event: &mut impl FnMut(SubmitEvent),
+) -> Result<Streamed, String> {
     loop {
         let env = match conn.recv() {
             Ok(Some(env)) => env,
-            Ok(None) | Err(_) => {
-                return if accepted {
-                    Ok(SubmitOutcome::ServerLost)
-                } else {
-                    Err(format!(
-                        "server at {server} went silent before answering the submission"
-                    ))
-                };
-            }
+            Ok(None) | Err(_) => return Ok(Streamed::Lost),
         };
         let decode_err =
             |what: &str, e: CodecError| format!("malformed {what} from the job server: {e}");
@@ -1095,8 +1663,12 @@ pub fn submit_job(
             jtags::ACCEPTED => {
                 let msg =
                     AcceptedMsg::from_bytes(&env.data).map_err(|e| decode_err("ACCEPTED", e))?;
-                accepted = true;
-                on_event(SubmitEvent::Accepted { job_id: msg.job_id });
+                // Only announce the first acceptance: a reattach's echo
+                // is bookkeeping, not progress.
+                if !*accepted {
+                    *accepted = true;
+                    on_event(SubmitEvent::Accepted { job_id: msg.job_id });
+                }
             }
             jtags::INCUMBENT => {
                 let msg =
@@ -1109,17 +1681,139 @@ pub fn submit_job(
             }
             jtags::DONE => {
                 let msg = DoneMsg::from_bytes(&env.data).map_err(|e| decode_err("DONE", e))?;
-                return Ok(SubmitOutcome::Done(Box::new(msg.report)));
+                return Ok(Streamed::Outcome(SubmitOutcome::Done(Box::new(msg.report))));
             }
             jtags::REJECTED => {
                 let msg =
                     RejectedMsg::from_bytes(&env.data).map_err(|e| decode_err("REJECTED", e))?;
-                return Ok(SubmitOutcome::Rejected { reason: msg.reason });
+                return Ok(Streamed::Outcome(SubmitOutcome::Rejected {
+                    reason: msg.reason,
+                }));
             }
             tag => {
                 return Err(format!(
                     "protocol violation: unexpected tag {tag:#x} from the job server"
                 ));
+            }
+        }
+    }
+}
+
+/// Submit one job to the server at `server` and wait for its outcome.
+/// Dials with retries for up to `patience` (the server may still be
+/// starting), then applies the same window as a read timeout — so
+/// `patience` must also cover the longest gap between two server
+/// messages (one full scheduling cycle of the queue ahead of this job).
+/// Progress (acceptance, per-slice incumbents) streams to `on_event`.
+///
+/// Failures *before* the server accepts the job are hard errors. After
+/// acceptance a dropped link is survivable: the submission carries a
+/// random idempotency token, so the client re-dials (bounded retries
+/// with jittered backoff, up to [`MAX_REATTACHES`] cycles of
+/// `patience`) and resends the same SUBMIT — a server that still knows
+/// the job, including one restarted from its journal, reattaches
+/// instead of admitting a duplicate. Only when the reattach budget runs
+/// out does the call return [`SubmitOutcome::ServerLost`] for the
+/// caller to map to its degraded-exit convention.
+pub fn submit_job(
+    server: &Endpoint,
+    inst: &Instance,
+    spec: &SubmitSpec,
+    patience: Duration,
+    mut on_event: impl FnMut(SubmitEvent),
+) -> Result<SubmitOutcome, String> {
+    let msg = SubmitMsg {
+        problem: ProblemMsg::from_instance(inst),
+        mode: mode_code(spec.mode),
+        p: spec.p as u64,
+        rounds: spec.rounds as u64,
+        budget_evals: spec.budget_evals,
+        seed: spec.seed,
+        deadline_ms: spec
+            .deadline
+            .map(|d| (d.as_millis() as u64).max(1))
+            .unwrap_or(0),
+        token: fresh_token(),
+    };
+    run_job_protocol(
+        server,
+        jtags::SUBMIT,
+        &msg.to_bytes(),
+        patience,
+        &mut on_event,
+    )
+}
+
+/// Reattach to job `job_id` on the server at `server` — after either
+/// side restarted — and stream its remaining events exactly like
+/// [`submit_job`]: ACCEPTED confirms the job is known (live or recently
+/// finished), the last incumbent is replayed so no progress is silently
+/// lost, and the terminal DONE/REJECTED ends the call. An unknown id is
+/// a [`SubmitOutcome::Rejected`]. Link drops reattach with the same
+/// bounded, jitter-backed retry as a submission.
+pub fn attach_job(
+    server: &Endpoint,
+    job_id: u64,
+    patience: Duration,
+    mut on_event: impl FnMut(SubmitEvent),
+) -> Result<SubmitOutcome, String> {
+    let msg = AttachMsg { job_id };
+    run_job_protocol(
+        server,
+        jtags::ATTACH,
+        &msg.to_bytes(),
+        patience,
+        &mut on_event,
+    )
+}
+
+/// Shared client loop: send `payload` under `tag`, stream events, and
+/// reattach by resending the same payload when the link drops after
+/// acceptance. Both SUBMIT (token-idempotent) and ATTACH (naturally
+/// idempotent) are safe to resend verbatim.
+fn run_job_protocol(
+    server: &Endpoint,
+    tag: u32,
+    payload: &[u8],
+    patience: Duration,
+    on_event: &mut impl FnMut(SubmitEvent),
+) -> Result<SubmitOutcome, String> {
+    let mut accepted = false;
+    let mut reattaches: u32 = 0;
+    loop {
+        let mut conn = match dial_retry(server, patience) {
+            Ok(conn) => conn,
+            Err(e) if !accepted => return Err(e),
+            Err(_) => return Ok(SubmitOutcome::ServerLost),
+        };
+        conn.set_read_timeout(Some(patience))
+            .map_err(|e| format!("cannot configure the server link: {e}"))?;
+        if conn.send_bytes(0, tag, payload).is_err() {
+            if accepted {
+                // The server vanished between accept and send: burn one
+                // reattach cycle and dial again.
+                reattaches += 1;
+                if reattaches > MAX_REATTACHES {
+                    return Ok(SubmitOutcome::ServerLost);
+                }
+                continue;
+            }
+            return Err(format!(
+                "server at {server} closed the link before the job could be submitted"
+            ));
+        }
+        match read_job_stream(&mut conn, &mut accepted, on_event)? {
+            Streamed::Outcome(outcome) => return Ok(outcome),
+            Streamed::Lost if !accepted => {
+                return Err(format!(
+                    "server at {server} went silent before answering the submission"
+                ));
+            }
+            Streamed::Lost => {
+                reattaches += 1;
+                if reattaches > MAX_REATTACHES {
+                    return Ok(SubmitOutcome::ServerLost);
+                }
             }
         }
     }
@@ -1175,6 +1869,7 @@ mod tests {
             budget_evals: 50_000,
             seed: 42,
             deadline_ms: 1500,
+            token: 0xDEAD_BEEF,
         };
         let back = SubmitMsg::from_bytes(&msg.to_bytes()).unwrap();
         assert_eq!(back.problem, msg.problem);
@@ -1184,6 +1879,16 @@ mod tests {
         assert_eq!(back.budget_evals, 50_000);
         assert_eq!(back.seed, 42);
         assert_eq!(back.deadline_ms, 1500);
+        assert_eq!(back.token, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn fresh_tokens_are_nonzero_and_distinct() {
+        let a = fresh_token();
+        let b = fresh_token();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b, "two submissions must never share a token");
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Write-ahead job journal: append-only, checksummed, torn-tail-tolerant.
+//!
+//! The job server's durability (DESIGN.md §15) rests on this file format.
+//! A journal is a header followed by records:
+//!
+//! ```text
+//! [magic: b"MKPJRNL1"] [version: u32 LE]
+//! repeated: [len: u32 LE] [kind: u8] [payload: len-1 bytes] [fnv: u64 LE]
+//! ```
+//!
+//! `len` counts the kind byte plus the payload; `fnv` is the FNV-1a
+//! checksum of those `len` bytes. The format deliberately mirrors the
+//! socket framing and `core::snapshot`: length-prefixed, checksummed,
+//! validated before allocation.
+//!
+//! The layer is *mechanism only*: records carry an opaque `kind` tag and
+//! payload bytes, and the job server upstairs decides what they mean.
+//! What this module guarantees:
+//!
+//! * **Appends are durable** — each [`Journal::append`] flushes and
+//!   fsyncs before returning, so an accepted record survives a crash.
+//! * **Replay never panics and recovers the longest valid prefix** — a
+//!   torn tail (the process died mid-append), a damaged checksum or a
+//!   garbage length all just end the replay at the last intact record.
+//! * **Reopen truncates the tear** — [`Journal::open`] cuts the file
+//!   back to its valid prefix so the next append extends intact state.
+//! * **Compaction is atomic** — [`Journal::compact`] rewrites the file
+//!   through a temp-and-rename, never leaving a half-written journal.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pvm_lite::fnv1a_64;
+
+/// First bytes of every journal file.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"MKPJRNL1";
+
+/// Format version written after the magic.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Header length: magic plus version.
+const HEADER_LEN: usize = 12;
+
+/// Per-record overhead: length prefix plus checksum trailer.
+const RECORD_OVERHEAD: usize = 12;
+
+/// Upper bound on one record's `len` field, checked before allocating —
+/// same rationale as the frame layer's payload cap.
+pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// Journal failures. Torn tails and damaged records are *not* errors —
+/// replay absorbs them — so this covers only I/O and a file that is not
+/// a journal at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(String),
+    /// The file exists but does not start with the journal magic: it is
+    /// some other file, and appending to it would destroy it.
+    NotAJournal(String),
+    /// The file's format version is newer than this build understands.
+    Version {
+        /// The version found in the header.
+        found: u32,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(detail) => write!(f, "journal i/o failed: {detail}"),
+            JournalError::NotAJournal(path) => {
+                write!(f, "{path} is not a job journal (bad magic)")
+            }
+            JournalError::Version { found } => {
+                write!(
+                    f,
+                    "journal format version {found} is newer than this build ({JOURNAL_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// One replayed record: the kind tag and its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Caller-defined record kind.
+    pub kind: u8,
+    /// Caller-defined payload.
+    pub payload: Vec<u8>,
+}
+
+/// Encode one record's on-disk bytes.
+fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() + 1;
+    let mut bytes = Vec::with_capacity(RECORD_OVERHEAD + len);
+    bytes.extend_from_slice(&(len as u32).to_le_bytes());
+    bytes.push(kind);
+    bytes.extend_from_slice(payload);
+    let body_start = 4;
+    let sum = fnv1a_64(&bytes[body_start..]);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Replay a journal's bytes (header included): decode records until the
+/// first tear, damage or garbage, and return them together with the
+/// byte length of the valid prefix. Never panics; a file too short to
+/// hold the header replays as empty with a zero-length prefix.
+pub fn replay(bytes: &[u8]) -> (Vec<Record>, usize) {
+    if bytes.len() < HEADER_LEN || bytes[..8] != JOURNAL_MAGIC {
+        return (Vec::new(), 0);
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    while let Some(len_bytes) = bytes.get(pos..pos + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_RECORD_LEN {
+            break; // garbage length: stop at the last intact record
+        }
+        let Some(body) = bytes.get(pos + 4..pos + 4 + len) else {
+            break; // torn mid-body
+        };
+        let Some(sum_bytes) = bytes.get(pos + 4 + len..pos + 4 + len + 8) else {
+            break; // torn mid-checksum
+        };
+        let sum = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+        if sum != fnv1a_64(body) {
+            break; // damaged record
+        }
+        records.push(Record {
+            kind: body[0],
+            payload: body[1..].to_vec(),
+        });
+        pos += 4 + len + 8;
+    }
+    // `pos` stops at the last intact record on any tear, damaged
+    // checksum or garbage length encountered above.
+    (records, pos)
+}
+
+/// An open journal: an append handle positioned after the last valid
+/// record. See the module docs for the format and guarantees.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path`, replay its records, cut
+    /// any torn tail, and leave the file ready for appends. Returns the
+    /// journal and the replayed records.
+    pub fn open(path: &Path) -> Result<(Journal, Vec<Record>), JournalError> {
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        if !existing.is_empty() {
+            if existing.len() < 8 || existing[..8] != JOURNAL_MAGIC {
+                return Err(JournalError::NotAJournal(path.display().to_string()));
+            }
+            if existing.len() >= HEADER_LEN {
+                let version = u32::from_le_bytes(existing[8..12].try_into().expect("4 bytes"));
+                if version > JOURNAL_VERSION {
+                    return Err(JournalError::Version { found: version });
+                }
+            }
+        }
+        let (records, valid_len) = replay(&existing);
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        if existing.is_empty() || valid_len == 0 {
+            // Fresh file (or one torn inside its own header): start over.
+            file.set_len(0)?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&JOURNAL_MAGIC);
+            header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+            write_at_start(&file, &header)?;
+        } else if valid_len < existing.len() {
+            // Torn tail: cut back to the valid prefix.
+            file.set_len(valid_len as u64)?;
+        }
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        file.sync_all()?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                records: records.len() as u64,
+            },
+            records,
+        ))
+    }
+
+    /// Append one record durably: the bytes are written, flushed and
+    /// fsynced before this returns.
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), JournalError> {
+        let bytes = encode_record(kind, payload);
+        self.file.write_all(&bytes)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Atomically replace the journal's contents with `records`
+    /// (compaction: drop records that no longer matter). Written to a
+    /// sibling temp file, fsynced, then renamed over the journal — a
+    /// crash at any point leaves either the old file or the new one.
+    pub fn compact(&mut self, records: &[Record]) -> Result<(), JournalError> {
+        let tmp = self.path.with_extension("mkpj.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(&JOURNAL_MAGIC)?;
+            out.write_all(&JOURNAL_VERSION.to_le_bytes())?;
+            for rec in records {
+                out.write_all(&encode_record(rec.kind, &rec.payload))?;
+            }
+            out.flush()?;
+            out.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().write(true).open(&self.path)?;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        self.records = records.len() as u64;
+        Ok(())
+    }
+
+    /// How many records the journal currently holds.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Write `bytes` at offset 0 of `file` regardless of its cursor.
+fn write_at_start(file: &File, bytes: &[u8]) -> Result<(), JournalError> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(bytes, 0)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "mkp-journal-{tag}-{}-{:?}.mkpj",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, replayed) = Journal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            j.append(1, b"alpha").unwrap();
+            j.append(2, b"").unwrap();
+            j.append(3, &[0xFF; 100]).unwrap();
+            assert_eq!(j.records(), 3);
+        }
+        let (j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), 3);
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(
+            (replayed[0].kind, replayed[0].payload.as_slice()),
+            (1, &b"alpha"[..])
+        );
+        assert_eq!(
+            (replayed[1].kind, replayed[1].payload.as_slice()),
+            (2, &b""[..])
+        );
+        assert_eq!(replayed[2].payload, vec![0xFF; 100]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_cut_and_appends_continue() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(1, b"keep me").unwrap();
+            j.append(2, b"tear me").unwrap();
+        }
+        // Tear the last record in half, as a crash mid-append would.
+        let bytes = std::fs::read(&path).unwrap();
+        let keep = replay(&bytes[..bytes.len() - 5]).1;
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].payload, b"keep me");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep as u64);
+        // The next append lands cleanly after the cut.
+        j.append(3, b"after the tear").unwrap();
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[1].payload, b"after the tear");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_rewrites_atomically_and_reopens() {
+        let path = tmp("compact");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path).unwrap();
+        for k in 0..10u8 {
+            j.append(k, &[k; 4]).unwrap();
+        }
+        let keep = vec![Record {
+            kind: 7,
+            payload: b"survivor".to_vec(),
+        }];
+        j.compact(&keep).unwrap();
+        assert_eq!(j.records(), 1);
+        // Appends after compaction extend the rewritten file.
+        j.append(9, b"appended").unwrap();
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].payload, b"survivor");
+        assert_eq!(replayed[1].payload, b"appended");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_refused_not_clobbered() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        match Journal::open(&path) {
+            Err(JournalError::NotAJournal(_)) => {}
+            other => panic!("expected NotAJournal, got {other:?}"),
+        }
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"definitely not a journal",
+            "the refused file must be untouched"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn newer_version_is_refused() {
+        let path = tmp("version");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&JOURNAL_MAGIC);
+        bytes.extend_from_slice(&(JOURNAL_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match Journal::open(&path) {
+            Err(JournalError::Version { found }) => assert_eq!(found, JOURNAL_VERSION + 1),
+            other => panic!("expected Version, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    // Property (satellite: journal replay): random record sequences,
+    // truncated at *every* byte boundary of the last record, replay
+    // without panicking and recover exactly the longest valid prefix. A
+    // bit flip anywhere in the last record likewise costs only that
+    // record.
+    #[test]
+    fn prop_replay_recovers_the_longest_valid_prefix() {
+        let mut state = 0xC0FF_EE00_DEAD_BEEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..30 {
+            let nrecords = 1 + (next() % 6) as usize;
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&JOURNAL_MAGIC);
+            bytes.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+            let mut offsets = vec![bytes.len()];
+            let mut records = Vec::new();
+            for _ in 0..nrecords {
+                let kind = (next() % 250) as u8;
+                let len = (next() % 40) as usize;
+                let payload: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                bytes.extend_from_slice(&encode_record(kind, &payload));
+                offsets.push(bytes.len());
+                records.push(Record { kind, payload });
+            }
+
+            // Intact replay: everything, and the prefix is the file.
+            let (full, prefix) = replay(&bytes);
+            assert_eq!(full, records);
+            assert_eq!(prefix, bytes.len());
+
+            // Truncate at every byte boundary of the last record.
+            let last_start = offsets[nrecords - 1];
+            for cut in last_start..bytes.len() {
+                let (got, prefix) = replay(&bytes[..cut]);
+                assert_eq!(got.len(), nrecords - 1, "cut {cut}");
+                assert_eq!(got, records[..nrecords - 1], "cut {cut}");
+                assert_eq!(prefix, last_start, "cut {cut}");
+            }
+
+            // Flip one bit somewhere inside the last record: replay
+            // stops before it, never panics, earlier records survive.
+            let flip = last_start + (next() as usize % (bytes.len() - last_start));
+            let mut damaged = bytes.clone();
+            damaged[flip] ^= 0x10;
+            let (got, prefix) = replay(&damaged);
+            assert!(got.len() <= nrecords, "flip {flip}");
+            if got.len() == nrecords {
+                // A flip in the length prefix can, rarely, still frame a
+                // checksum-valid suffix; accept only full equality then.
+                assert_eq!(got, records, "flip {flip}");
+            } else {
+                assert_eq!(got, records[..got.len()], "flip {flip}");
+                assert_eq!(prefix, last_start, "flip {flip}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_tolerates_garbage_without_panicking() {
+        // Arbitrary byte soup — short files, bad magic, random tails.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..100 {
+            let len = (next() % 200) as usize;
+            let mut bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let (records, prefix) = replay(&bytes);
+            assert!(prefix <= bytes.len());
+            let _ = records;
+            // With a valid header stapled on, still no panic.
+            if bytes.len() >= HEADER_LEN {
+                bytes[..8].copy_from_slice(&JOURNAL_MAGIC);
+                bytes[8..12].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+                let (_, prefix) = replay(&bytes);
+                assert!(prefix >= HEADER_LEN && prefix <= bytes.len());
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod decomposed;
 pub mod engine;
 pub mod isp;
 pub mod jobserver;
+pub mod journal;
 pub mod messages;
 pub mod remote;
 pub mod runner;
@@ -50,11 +51,12 @@ pub mod telemetry;
 pub use engine::{fault_at_round, CoopPolicy, Delivery, Engine, EngineError, SliceOutcome};
 pub use isp::{IspConfig, StartKind};
 pub use jobserver::{
-    serve, submit_job, JobReport, ServeBackend, ServeConfig, ServeStats, SubmitEvent,
+    attach_job, serve, submit_job, JobReport, ServeBackend, ServeConfig, ServeStats, SubmitEvent,
     SubmitOutcome, SubmitSpec,
 };
-pub use pvm_lite::{Endpoint, FaultAction, FaultPlan};
-pub use remote::{run_remote, serve_slave, ServeOutcome};
+pub use journal::{Journal, JournalError, Record};
+pub use pvm_lite::{Endpoint, FaultAction, FaultPlan, NetFaultAction, NetFaultPlan, NetFaultState};
+pub use remote::{run_remote, run_remote_with, serve_slave, serve_slave_with, ServeOutcome};
 pub use runner::{
     run_mode, CheckpointCfg, LossCause, Mode, ModeReport, Resurrection, RunConfig, WorkerLoss,
 };

@@ -23,14 +23,16 @@ use crate::engine::{
 use crate::runner::{Mode, ModeReport, RunConfig};
 use crate::telemetry::{Counter, Telemetry};
 use mkp::Instance;
-use pvm_lite::{Endpoint, SocketError, SocketHub, SocketTransport, Transport};
-use std::time::{Duration, Instant};
+use pvm_lite::{Endpoint, NetFaultState, SocketError, SocketHub, SocketTransport, Transport};
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Delay between a remote slave's reconnect attempts. Flat rather than
-/// exponential: the master's own resurrection backoff already paces the
-/// recovery, and a reconnecting slave that dawdles risks missing the
-/// master's respawn patience window.
-const RECONNECT_DELAY: Duration = Duration::from_millis(100);
+/// How many consecutive connect-then-hear-nothing cycles a slave rides
+/// out before concluding the listener is a zombie. Each cycle already
+/// waits the full patience inside the slave loop, so three silent
+/// cycles mean 3× patience with zero master traffic — long past any
+/// plausible master restart.
+const MAX_SILENT_RECONNECTS: u32 = 3;
 
 /// Run `mode` as a distributed master: listen on `listen`, wait up to the
 /// configured patience for `cfg.p` slave processes, then drive the engine's
@@ -46,14 +48,28 @@ pub fn run_remote(
     cfg: &RunConfig,
     listen: &Endpoint,
 ) -> Result<ModeReport, EngineError> {
+    run_remote_with(inst, mode, cfg, listen, None)
+}
+
+/// [`run_remote`] with a hub-side [`NetFaultState`] armed on the send
+/// path (the CLI's `--net-fault` on `solve --listen`).
+pub fn run_remote_with(
+    inst: &Instance,
+    mode: Mode,
+    cfg: &RunConfig,
+    listen: &Endpoint,
+    fault: Option<Arc<NetFaultState>>,
+) -> Result<ModeReport, EngineError> {
     if let Err(detail) = cfg.validate() {
         return Err(EngineError::Unsupported { detail });
     }
     let mut policy = policy_for(mode);
     let active = policy.active_workers(cfg);
     let patience = cfg.patience();
-    let hub = SocketHub::bind(listen, active, patience).map_err(|e| EngineError::Internal {
-        detail: format!("cannot listen on {listen}: {e}"),
+    let hub = SocketHub::bind_with(listen, active, patience, fault).map_err(|e| {
+        EngineError::Internal {
+            detail: format!("cannot listen on {listen}: {e}"),
+        }
     })?;
     let connected = hub.wait_ready(patience);
     if connected < active {
@@ -86,6 +102,7 @@ pub fn run_remote(
     let hub_stats = hub.hub_stats();
     tel.add(0, Counter::Reconnects, hub_stats.reconnects);
     tel.add(0, Counter::FencedDrops, hub_stats.fenced_drops);
+    tel.add(0, Counter::CorruptDrops, hub_stats.corrupt_drops);
 
     result.and_then(|outcome| match outcome {
         SliceOutcome::Finished(mut report) => {
@@ -107,48 +124,59 @@ pub enum ServeOutcome {
     MasterLost,
 }
 
-/// Serve as a remote slave: connect to `connect` (retrying with a flat
-/// delay for up to `patience`), run the engine's slave loop, and reconnect
-/// whenever the link drops mid-run — a dropped link is either a master
-/// restart or our own eviction by the master's resurrection, and in both
-/// cases the correct move is to come back for a fresh `ProblemMsg`.
-/// Returns [`ServeOutcome::Finished`] on a clean STOP.
+/// Serve as a remote slave: connect to `connect` (retrying with jittered
+/// backoff under a total deadline of `patience`), run the engine's slave
+/// loop, and reconnect whenever the link drops mid-run — a dropped link
+/// is either a master restart or our own eviction by the master's
+/// resurrection, and in both cases the correct move is to come back for
+/// a fresh `ProblemMsg`. Returns [`ServeOutcome::Finished`] on a clean
+/// STOP.
+///
+/// Two bounds keep an orphan from spinning forever: the connect loop
+/// itself gives up once `patience` lapses without a listener answering
+/// ([`SocketTransport::connect_with_retry`]), and a listener that
+/// accepts but never speaks is abandoned after
+/// [`MAX_SILENT_RECONNECTS`] consecutive traffic-less cycles. Both end
+/// as [`ServeOutcome::MasterLost`] (exit 2 at the CLI) when the master
+/// had ever been reached, and as an error (exit 1) when it never was.
 pub fn serve_slave(connect: &Endpoint, patience: Duration) -> Result<ServeOutcome, String> {
+    serve_slave_with(connect, patience, None)
+}
+
+/// [`serve_slave`] with a slave-side [`NetFaultState`] armed on the send
+/// path (the CLI's `--net-fault` on `mkp slave`). The state is shared
+/// across reconnects, so a one-shot fault stays one-shot.
+pub fn serve_slave_with(
+    connect: &Endpoint,
+    patience: Duration,
+    fault: Option<Arc<NetFaultState>>,
+) -> Result<ServeOutcome, String> {
     let mut slot: Option<usize> = None;
     let mut attempt: u64 = 0;
+    let mut silent_cycles: u32 = 0;
     loop {
-        // Connect phase: keep trying for a patience window. A slave that
-        // outlives its master must not spin forever.
-        let deadline = Instant::now().checked_add(patience);
-        let transport = loop {
-            match SocketTransport::connect(connect, slot, attempt) {
-                Ok(t) => break Some(t),
-                Err(SocketError::Rejected) => {
-                    return Err(format!(
-                        "hub at {connect} has no free slot: too many slaves for this master"
-                    ));
-                }
-                Err(_) if attempt == 0 && slot.is_none() => {
-                    // First contact: the master may simply not be up yet.
-                    match deadline {
-                        Some(d) if Instant::now() >= d => break None,
-                        _ => std::thread::sleep(RECONNECT_DELAY),
-                    }
-                }
-                Err(_) => match deadline {
-                    Some(d) if Instant::now() >= d => break None,
-                    _ => std::thread::sleep(RECONNECT_DELAY),
-                },
+        let transport = match SocketTransport::connect_with_retry(
+            connect,
+            slot,
+            attempt,
+            patience,
+            fault.clone(),
+        ) {
+            Ok((t, _tries)) => t,
+            Err(SocketError::Rejected) => {
+                return Err(format!(
+                    "hub at {connect} has no free slot: too many slaves for this master"
+                ));
             }
-        };
-        let Some(transport) = transport else {
-            return if attempt == 0 {
-                Err(format!(
-                    "no master reachable at {connect} within {patience:?}"
-                ))
-            } else {
-                Ok(ServeOutcome::MasterLost)
-            };
+            Err(e @ SocketError::Unreachable { .. }) => {
+                return if attempt == 0 {
+                    // First contact: the master never came up at all.
+                    Err(format!("no master reachable: {e}"))
+                } else {
+                    Ok(ServeOutcome::MasterLost)
+                };
+            }
+            Err(e) => return Err(format!("cannot connect to {connect}: {e}")),
         };
         // Remember our identity so a reconnect reclaims the same slot (and
         // with it the master's banked History for this worker).
@@ -156,9 +184,22 @@ pub fn serve_slave(connect: &Endpoint, patience: Duration) -> Result<ServeOutcom
         attempt += 1;
 
         let tel = Telemetry::new(transport.ntasks());
+        let heard_before = Transport::comm_stats(&transport).received;
         match slave_loop(&transport, patience, &tel) {
             SlaveExit::Stopped => return Ok(ServeOutcome::Finished),
-            SlaveExit::Lost => continue, // link dropped: reconnect
+            SlaveExit::Lost => {
+                // Link dropped: reconnect — unless the listener keeps
+                // accepting us and then saying nothing, in which case it
+                // is a zombie and we are the orphan that must stop.
+                if Transport::comm_stats(&transport).received > heard_before {
+                    silent_cycles = 0;
+                } else {
+                    silent_cycles += 1;
+                    if silent_cycles >= MAX_SILENT_RECONNECTS {
+                        return Ok(ServeOutcome::MasterLost);
+                    }
+                }
+            }
         }
     }
 }

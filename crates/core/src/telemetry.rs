@@ -94,10 +94,13 @@ pub enum Counter {
     CheckpointBytes,
     /// Events lost to ring-buffer overflow (filled at snapshot time).
     EventsDropped,
+    /// Socket transport: frames that arrived damaged (checksum
+    /// mismatch) and were dropped without desynchronising the stream.
+    CorruptDrops,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 26;
+pub const COUNTER_COUNT: usize = 27;
 
 impl Counter {
     /// Every counter, in canonical (declaration) order.
@@ -128,6 +131,7 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::CheckpointBytes,
         Counter::EventsDropped,
+        Counter::CorruptDrops,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -159,6 +163,7 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::CheckpointBytes => "checkpoint_bytes",
             Counter::EventsDropped => "events_dropped",
+            Counter::CorruptDrops => "corrupt_drops",
         }
     }
 

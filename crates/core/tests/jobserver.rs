@@ -5,10 +5,12 @@
 use mkp::generate::{gk_instance, GkSpec};
 use mkp::Instance;
 use parallel_tabu::{
-    run_mode, serve, submit_job, Mode, ModeReport, RunConfig, ServeBackend, ServeConfig,
-    SubmitEvent, SubmitOutcome, SubmitSpec,
+    attach_job, run_mode, serve, submit_job, Mode, ModeReport, RunConfig, ServeBackend,
+    ServeConfig, SubmitEvent, SubmitOutcome, SubmitSpec,
 };
 use pvm_lite::Endpoint;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const PATIENCE: Duration = Duration::from_secs(60);
@@ -245,4 +247,301 @@ fn deadline_and_admission_verdicts_are_reported() {
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.expired, 1);
     assert_eq!(stats.done, 0);
+}
+
+/// Tentpole: a drained server leaves its in-flight job parked durably
+/// (journal + spool under `state_dir`), a restarted server re-adopts
+/// it, and the client — whose idempotent token resubmit rides out the
+/// outage — receives a result bit-identical to an uninterrupted solo
+/// run. The kill-9 variant of this lives in `scripts/ci.sh`; here the
+/// outage is a graceful drain so the test stays in-process.
+#[test]
+fn drained_server_restarts_and_finishes_the_job_bit_identically() {
+    let dir = tmp_dir("drain-restart");
+    let ep = endpoint(&dir, "clients.sock");
+    let state_dir = dir.join("state");
+
+    let (mode, p, rounds, budget, seed) = (Mode::Cooperative, 2usize, 24usize, 480_000u64, 5u64);
+    let solo = run_mode(
+        &instance(44),
+        mode,
+        &RunConfig {
+            p,
+            rounds,
+            ..RunConfig::new(budget, seed)
+        },
+    );
+
+    let drain = Arc::new(AtomicBool::new(false));
+    let server1 = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            quantum: 1,
+            state_dir: Some(state_dir.clone()),
+            drain: Some(Arc::clone(&drain)),
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 2 }, &cfg))
+    };
+
+    // The client pulls the plug itself: the first incumbent proves a
+    // parked snapshot is on disk, so it flips the drain flag — with 23
+    // slices still to go, the server cannot finish before draining.
+    let client = {
+        let ep = ep.clone();
+        let inst = instance(44);
+        let drain = Arc::clone(&drain);
+        let spec = SubmitSpec {
+            mode,
+            p,
+            rounds,
+            budget_evals: budget,
+            seed,
+            deadline: None,
+        };
+        std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let outcome = submit_job(&ep, &inst, &spec, PATIENCE, |ev| {
+                if matches!(ev, SubmitEvent::Incumbent { .. }) {
+                    drain.store(true, Ordering::Relaxed);
+                }
+                events.push(ev);
+            })
+            .unwrap();
+            (outcome, events)
+        })
+    };
+
+    let stats1 = server1.join().unwrap().unwrap();
+    assert!(stats1.drained, "server must exit through the drain");
+    assert_eq!(stats1.accepted, 1);
+    assert_eq!(stats1.done, 0, "the job must still be in flight");
+    assert!(
+        state_dir.join("spool").join("job-1.snap").exists(),
+        "a drained in-flight job leaves its snapshot in the spool"
+    );
+    assert!(state_dir.join("journal.mkpj").exists());
+
+    // Restart on the same state dir: the journal replays, the spool is
+    // re-adopted, and the job runs to completion. The restarted server
+    // must outlive the client's re-dial — a recovered job is detached
+    // and can finish before its owner reattaches, with the retained
+    // DONE frame answering the late resubmit — so it drains only after
+    // the client has its result.
+    let drain2 = Arc::new(AtomicBool::new(false));
+    let server2 = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            quantum: 1,
+            state_dir: Some(state_dir.clone()),
+            drain: Some(Arc::clone(&drain2)),
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 2 }, &cfg))
+    };
+
+    let (outcome, events) = client.join().unwrap();
+    drain2.store(true, Ordering::Relaxed);
+    let stats2 = server2.join().unwrap().unwrap();
+    assert_matches_solo(&outcome, &solo);
+    assert!(
+        matches!(events.first(), Some(SubmitEvent::Accepted { .. })),
+        "acceptance still leads the stream: {events:?}"
+    );
+    assert_eq!(stats2.recovered, 1, "the journal must re-admit the job");
+    assert_eq!(stats2.done, 1);
+    assert_eq!(stats2.spool_corrupt, 0);
+}
+
+/// Satellite: with a 1-slice quantum, a parked job whose deadline
+/// lapses while *another* job holds the farm is expired at the
+/// scheduler tick — promptly, and without ever getting another slice —
+/// not at its own far-away turn.
+#[test]
+fn parked_job_past_its_deadline_expires_at_the_tick() {
+    let dir = tmp_dir("tick-expiry");
+    let ep = endpoint(&dir, "clients.sock");
+
+    let server = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            quantum: 1,
+            spool_dir: dir.join("spool"),
+            max_jobs: 2,
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 2 }, &cfg))
+    };
+
+    // Job A hogs the farm with ten fat slices.
+    let job_a = {
+        let ep = ep.clone();
+        let inst = instance(55);
+        let spec = SubmitSpec {
+            mode: Mode::Cooperative,
+            p: 2,
+            rounds: 10,
+            budget_evals: 2_000_000,
+            seed: 3,
+            deadline: None,
+        };
+        std::thread::spawn(move || submit_job(&ep, &inst, &spec, PATIENCE, |_| {}).unwrap())
+    };
+    // Give A's submission a head start in the event queue.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Job B queues behind A and its 1 ms deadline lapses during A's
+    // current slice; the tick check must expire it *between* turns.
+    let outcome_b = submit_job(
+        &ep,
+        &instance(66),
+        &SubmitSpec {
+            mode: Mode::Cooperative,
+            p: 2,
+            rounds: 4,
+            budget_evals: 100_000,
+            seed: 4,
+            deadline: Some(Duration::from_millis(1)),
+        },
+        PATIENCE,
+        |_| {},
+    )
+    .unwrap();
+
+    match outcome_b {
+        SubmitOutcome::Rejected { reason } => assert!(
+            reason.contains("between turns"),
+            "expiry must come from the scheduler tick, not job B's own turn: {reason}"
+        ),
+        other => panic!("expected a deadline rejection, got {other:?}"),
+    }
+    let outcome_a = job_a.join().unwrap();
+    assert!(matches!(outcome_a, SubmitOutcome::Done(_)), "{outcome_a:?}");
+
+    let stats = server.join().unwrap().unwrap();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(
+        stats.slices, 10,
+        "the expired job must never have gotten a slice: {stats:?}"
+    );
+}
+
+/// Satellite: a spooled snapshot that rots on disk is detected by its
+/// checksum, surfaced as a specific `SpoolCorrupt` verdict, and counted
+/// in telemetry — it costs that job, not the server.
+#[test]
+fn bit_flipped_spool_file_is_a_spool_corrupt_verdict() {
+    let dir = tmp_dir("spool-corrupt");
+    let ep = endpoint(&dir, "clients.sock");
+    let state_dir = dir.join("state");
+
+    let drain = Arc::new(AtomicBool::new(false));
+    let server1 = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            quantum: 1,
+            state_dir: Some(state_dir.clone()),
+            drain: Some(Arc::clone(&drain)),
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 2 }, &cfg))
+    };
+
+    let client = {
+        let ep = ep.clone();
+        let inst = instance(77);
+        let drain = Arc::clone(&drain);
+        let spec = SubmitSpec {
+            mode: Mode::Cooperative,
+            p: 2,
+            rounds: 24,
+            budget_evals: 480_000,
+            seed: 6,
+            deadline: None,
+        };
+        std::thread::spawn(move || {
+            submit_job(&ep, &inst, &spec, PATIENCE, |ev| {
+                if matches!(ev, SubmitEvent::Incumbent { .. }) {
+                    drain.store(true, Ordering::Relaxed);
+                }
+            })
+            .unwrap()
+        })
+    };
+
+    let stats1 = server1.join().unwrap().unwrap();
+    assert!(stats1.drained);
+    assert_eq!(stats1.done, 0);
+
+    // Rot sets in while the server is down.
+    let spool_file = state_dir.join("spool").join("job-1.snap");
+    let mut bytes = std::fs::read(&spool_file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&spool_file, &bytes).unwrap();
+
+    let drain2 = Arc::new(AtomicBool::new(false));
+    let server2 = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            quantum: 1,
+            state_dir: Some(state_dir.clone()),
+            drain: Some(Arc::clone(&drain2)),
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 2 }, &cfg))
+    };
+
+    let outcome = client.join().unwrap();
+    drain2.store(true, Ordering::Relaxed);
+    let stats2 = server2.join().unwrap().unwrap();
+    match outcome {
+        SubmitOutcome::Rejected { reason } => assert!(
+            reason.starts_with("SpoolCorrupt:"),
+            "corruption must get its specific verdict: {reason}"
+        ),
+        other => panic!("expected a SpoolCorrupt rejection, got {other:?}"),
+    }
+    assert_eq!(stats2.recovered, 1);
+    assert_eq!(stats2.spool_corrupt, 1, "{stats2:?}");
+    assert_eq!(stats2.done, 0);
+}
+
+/// An ATTACH for a job this server never admitted is answered with a
+/// specific rejection, not silence.
+#[test]
+fn attach_to_an_unknown_job_id_is_rejected() {
+    let dir = tmp_dir("attach-unknown");
+    let ep = endpoint(&dir, "clients.sock");
+
+    let drain = Arc::new(AtomicBool::new(false));
+    let server = {
+        let ep = ep.clone();
+        let cfg = ServeConfig {
+            spool_dir: dir.join("spool"),
+            drain: Some(Arc::clone(&drain)),
+            patience: PATIENCE,
+            ..ServeConfig::default()
+        };
+        std::thread::spawn(move || serve(&ep, ServeBackend::InProc { p: 2 }, &cfg))
+    };
+
+    let outcome = attach_job(&ep, 4242, PATIENCE, |_| {}).unwrap();
+    match outcome {
+        SubmitOutcome::Rejected { reason } => assert!(
+            reason.contains("unknown job id 4242"),
+            "unexpected reason: {reason}"
+        ),
+        other => panic!("expected an unknown-id rejection, got {other:?}"),
+    }
+
+    drain.store(true, Ordering::Relaxed);
+    let stats = server.join().unwrap().unwrap();
+    assert!(stats.drained);
+    assert_eq!(stats.accepted, 0);
 }

@@ -3,17 +3,22 @@
 //! The socket transports ship every envelope as one frame:
 //!
 //! ```text
-//! [len: u32 LE] [from: u32 LE] [tag: u32 LE] [payload: len bytes]
+//! [len: u32 LE] [from: u32 LE] [tag: u32 LE] [payload: len bytes] [fnv: u64 LE]
 //! ```
 //!
 //! `len` counts payload bytes only, and is validated against
 //! [`MAX_FRAME_PAYLOAD`] *before* any allocation — a corrupt or hostile
 //! length header is rejected with [`FrameError::Oversized`], never
-//! trusted with memory. Reads tolerate arbitrary splits (a frame may
-//! arrive one byte at a time); a clean EOF on a frame boundary is a
-//! regular end-of-stream (`Ok(None)`), an EOF mid-frame is
+//! trusted with memory. The trailing `fnv` word is the FNV-1a checksum
+//! of the payload: a frame whose payload arrives damaged surfaces as
+//! [`FrameError::Corrupt`], and because the length header still framed
+//! the bytes correctly the stream stays synchronised — the caller may
+//! drop the frame and keep reading. Reads tolerate arbitrary splits (a
+//! frame may arrive one byte at a time); a clean EOF on a frame boundary
+//! is a regular end-of-stream (`Ok(None)`), an EOF mid-frame is
 //! [`FrameError::Truncated`].
 
+use crate::codec::fnv1a_64;
 use crate::farm::{Envelope, TaskId};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -26,6 +31,9 @@ pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
 
 /// Size of the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Size of the checksum trailer after the payload.
+pub const FRAME_TRAILER_LEN: usize = 8;
 
 /// Framing failures.
 #[derive(Debug)]
@@ -47,6 +55,11 @@ pub enum FrameError {
         /// The id that overflowed the header field.
         from: u64,
     },
+    /// The payload's FNV-1a checksum did not match its trailer: the
+    /// frame arrived damaged. The stream is still synchronised (the
+    /// length header framed the bytes correctly), so the caller may
+    /// drop this frame and keep reading.
+    Corrupt,
 }
 
 impl fmt::Display for FrameError {
@@ -63,6 +76,7 @@ impl fmt::Display for FrameError {
             FrameError::BadSender { from } => {
                 write!(f, "sender id {from} does not fit the frame header")
             }
+            FrameError::Corrupt => write!(f, "frame payload failed its checksum"),
         }
     }
 }
@@ -101,8 +115,19 @@ pub fn write_frame<W: Write>(
     header[8..12].copy_from_slice(&tag.to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
+    w.write_all(&fnv1a_64(payload).to_le_bytes())?;
     w.flush()?;
     Ok(())
+}
+
+/// Encode one frame to a buffer instead of a stream: the exact bytes
+/// [`write_frame`] would emit, checksum trailer included. This is what
+/// the fault injector mangles before putting bytes on the wire, and the
+/// same range checks apply — on error nothing is returned.
+pub fn encode_frame(from: TaskId, tag: u32, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let mut wire = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + FRAME_TRAILER_LEN);
+    write_frame(&mut wire, from, tag, payload)?;
+    Ok(wire)
 }
 
 /// Fill `buf` from the reader, tolerating short and interrupted reads.
@@ -123,7 +148,9 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, FrameError> {
 /// Read one frame. `Ok(None)` is a clean end-of-stream (EOF exactly on a
 /// frame boundary); an EOF anywhere inside a frame is
 /// [`FrameError::Truncated`]. The payload buffer is only allocated after
-/// the length header passes the [`MAX_FRAME_PAYLOAD`] check.
+/// the length header passes the [`MAX_FRAME_PAYLOAD`] check, and the
+/// payload must match its checksum trailer ([`FrameError::Corrupt`]
+/// otherwise — the stream stays synchronised, see the module docs).
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Envelope>, FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     match read_full(r, &mut header)? {
@@ -140,6 +167,13 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Envelope>, FrameError> {
     let mut data = vec![0u8; len];
     if read_full(r, &mut data)? < len {
         return Err(FrameError::Truncated);
+    }
+    let mut trailer = [0u8; FRAME_TRAILER_LEN];
+    if read_full(r, &mut trailer)? < FRAME_TRAILER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    if u64::from_le_bytes(trailer) != fnv1a_64(&data) {
+        return Err(FrameError::Corrupt);
     }
     Ok(Some(Envelope { from, tag, data }))
 }
@@ -244,11 +278,54 @@ mod tests {
     fn truncated_header_and_payload_error() {
         let mut wire = Vec::new();
         write_frame(&mut wire, 1, 2, b"full payload").unwrap();
-        // Cut inside the header, then inside the payload.
-        for cut in [1, FRAME_HEADER_LEN - 1, FRAME_HEADER_LEN + 3] {
+        // Cut inside the header, the payload, then the checksum trailer.
+        for cut in [
+            1,
+            FRAME_HEADER_LEN - 1,
+            FRAME_HEADER_LEN + 3,
+            wire.len() - 3,
+        ] {
             let err = read_frame(&mut Cursor::new(&wire[..cut])).unwrap_err();
             assert!(matches!(err, FrameError::Truncated), "cut {cut}: {err:?}");
         }
+    }
+
+    #[test]
+    fn damaged_payload_is_corrupt_and_the_stream_stays_in_sync() {
+        // Two frames back to back; a bit flip anywhere in the first
+        // frame's payload or trailer must surface as Corrupt — and the
+        // second frame must still decode afterwards, because the length
+        // header kept the stream framed.
+        let mut first = Vec::new();
+        write_frame(&mut first, 1, 2, b"damaged goods").unwrap();
+        let mut second = Vec::new();
+        write_frame(&mut second, 3, 4, b"survivor").unwrap();
+        for flip in FRAME_HEADER_LEN..first.len() {
+            let mut wire = first.clone();
+            wire[flip] ^= 0x40;
+            wire.extend_from_slice(&second);
+            let mut r = Cursor::new(&wire);
+            let err = read_frame(&mut r).unwrap_err();
+            assert!(matches!(err, FrameError::Corrupt), "flip {flip}: {err:?}");
+            let env = read_frame(&mut r).unwrap().expect("second frame");
+            assert_eq!(
+                (env.from, env.tag, env.data.as_slice()),
+                (3, 4, &b"survivor"[..])
+            );
+            assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after");
+        }
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        let encoded = encode_frame(5, 9, b"same bytes").unwrap();
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, 5, 9, b"same bytes").unwrap();
+        assert_eq!(encoded, streamed);
+        assert_eq!(
+            encoded.len(),
+            FRAME_HEADER_LEN + b"same bytes".len() + FRAME_TRAILER_LEN
+        );
     }
 
     #[test]
@@ -338,7 +415,10 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             state
         };
-        let mut lens: Vec<usize> = (0..40)
+        // A handful of random lengths is enough: each in-range case now
+        // also pays an FNV pass over the whole payload, and the cap is
+        // 64 MiB — forty samples made this test crawl in debug builds.
+        let mut lens: Vec<usize> = (0..10)
             .map(|_| (next() % (MAX_FRAME_PAYLOAD as u64 + 10)) as usize)
             .collect();
         lens.extend([
@@ -356,7 +436,11 @@ mod tests {
             let res = write_frame(&mut sink, 7, 3, &backing[..len]);
             if len <= MAX_FRAME_PAYLOAD {
                 res.unwrap();
-                assert_eq!(sink.written, (FRAME_HEADER_LEN + len) as u64, "len {len}");
+                assert_eq!(
+                    sink.written,
+                    (FRAME_HEADER_LEN + len + FRAME_TRAILER_LEN) as u64,
+                    "len {len}"
+                );
                 let on_wire =
                     u32::from_le_bytes(sink.header[0..4].try_into().expect("4 bytes")) as usize;
                 assert_eq!(on_wire, len, "length field must never truncate");

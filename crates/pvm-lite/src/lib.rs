@@ -45,6 +45,7 @@ pub mod codec;
 pub mod collectives;
 pub mod farm;
 pub mod frame;
+pub mod netfault;
 pub mod socket;
 pub mod transport;
 
@@ -55,7 +56,11 @@ pub use farm::{
     run_farm, CommError, CommStats, Envelope, FarmError, FaultAction, FaultPlan, TaskCtx, TaskId,
     TaskOutcome, WorkerPool,
 };
-pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+pub use frame::{
+    encode_frame, read_frame, write_frame, FrameError, FRAME_HEADER_LEN, FRAME_TRAILER_LEN,
+    MAX_FRAME_PAYLOAD,
+};
+pub use netfault::{NetFaultAction, NetFaultPlan, NetFaultState};
 pub use socket::{
     Endpoint, FramedConn, FramedListener, HubStats, SocketError, SocketHub, SocketTransport,
 };

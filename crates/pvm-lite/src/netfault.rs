@@ -1,0 +1,236 @@
+//! Deterministic network fault injection for the socket transports.
+//!
+//! A [`NetFaultPlan`] names one data frame by its 1-based position on a
+//! peer's send path and one [`NetFaultAction`] to apply to it — drop it,
+//! duplicate it, truncate the stream mid-frame, corrupt its payload, or
+//! delay it. The plan is armed as a [`NetFaultState`] and handed to
+//! [`SocketTransport::connect_with`](crate::SocketTransport::connect_with)
+//! (client side) or [`SocketHub::bind_with`](crate::SocketHub::bind_with)
+//! (hub side); the state's frame counter lives in an [`Arc`] so it spans
+//! reconnects — a fault that fired once stays fired, exactly like the
+//! in-process `FaultPlan`'s one-shot kills.
+//!
+//! Handshake frames (`HELLO`/`WELCOME`) are never counted or faulted:
+//! the plan indexes *data* frames, so `corrupt@1` means the first real
+//! message regardless of how many reconnect handshakes preceded it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Longest delay `delay@N:MS` accepts, in milliseconds. A send path
+/// sleeping for more than a minute is indistinguishable from a hang.
+pub const MAX_NET_FAULT_DELAY_MS: u64 = 60_000;
+
+/// What to do to the chosen frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultAction {
+    /// Swallow the frame: nothing reaches the wire.
+    Drop,
+    /// Send the frame twice, back to back.
+    Duplicate,
+    /// Write only the first half of the frame's bytes, then shut the
+    /// stream down — the peer sees a stream that dies mid-frame.
+    Truncate,
+    /// Flip one payload bit but keep the original checksum trailer, so
+    /// the receiver detects the damage and drops the frame.
+    Corrupt,
+    /// Sleep this long before sending the frame intact.
+    Delay(Duration),
+}
+
+/// One planned fault: apply `action` to the `nth` (1-based) data frame
+/// on the instrumented send path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// 1-based index of the victim frame in send order.
+    pub nth: u64,
+    /// What happens to it.
+    pub action: NetFaultAction,
+}
+
+impl NetFaultPlan {
+    /// Parse a `--net-fault` spec. Accepted forms, with specific errors
+    /// for everything else (mirroring the CLI's `--fault` hardening):
+    ///
+    /// * `drop@N` — swallow the Nth frame.
+    /// * `dup@N` — send the Nth frame twice.
+    /// * `truncate@N` — cut the stream mid-way through the Nth frame.
+    /// * `corrupt@N` — flip a payload bit in the Nth frame.
+    /// * `delay@N:MS` — delay the Nth frame by MS milliseconds.
+    pub fn parse(raw: &str) -> Result<NetFaultPlan, String> {
+        let Some((kind, rest)) = raw.split_once('@') else {
+            return Err(format!(
+                "malformed net-fault {raw:?} (want drop@N, dup@N, truncate@N, corrupt@N \
+                 or delay@N:MS)"
+            ));
+        };
+        let nth = |s: &str| -> Result<u64, String> {
+            match s.parse::<u64>() {
+                Ok(0) => Err(format!(
+                    "net-fault {raw:?} names frame 0 (frames are counted from 1)"
+                )),
+                Ok(n) => Ok(n),
+                Err(_) => Err(format!(
+                    "net-fault {raw:?} has a malformed frame index {s:?} (want a positive number)"
+                )),
+            }
+        };
+        let action = match kind {
+            "drop" => NetFaultAction::Drop,
+            "dup" => NetFaultAction::Duplicate,
+            "truncate" => NetFaultAction::Truncate,
+            "corrupt" => NetFaultAction::Corrupt,
+            "delay" => {
+                let Some((n, ms)) = rest.split_once(':') else {
+                    return Err(format!(
+                        "net-fault {raw:?} is missing its delay (want delay@N:MS)"
+                    ));
+                };
+                let ms: u64 = ms.parse().map_err(|_| {
+                    format!("net-fault {raw:?} has a malformed delay {ms:?} (want milliseconds)")
+                })?;
+                if ms > MAX_NET_FAULT_DELAY_MS {
+                    return Err(format!(
+                        "net-fault {raw:?} delays longer than the {MAX_NET_FAULT_DELAY_MS} ms cap"
+                    ));
+                }
+                return Ok(NetFaultPlan {
+                    nth: nth(n)?,
+                    action: NetFaultAction::Delay(Duration::from_millis(ms)),
+                });
+            }
+            other => {
+                return Err(format!(
+                    "unknown net-fault kind {other:?} (want drop, dup, truncate, corrupt or delay)"
+                ));
+            }
+        };
+        Ok(NetFaultPlan {
+            nth: nth(rest)?,
+            action,
+        })
+    }
+}
+
+impl fmt::Display for NetFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.action {
+            NetFaultAction::Drop => write!(f, "drop@{}", self.nth),
+            NetFaultAction::Duplicate => write!(f, "dup@{}", self.nth),
+            NetFaultAction::Truncate => write!(f, "truncate@{}", self.nth),
+            NetFaultAction::Corrupt => write!(f, "corrupt@{}", self.nth),
+            NetFaultAction::Delay(d) => write!(f, "delay@{}:{}", self.nth, d.as_millis()),
+        }
+    }
+}
+
+/// An armed plan: the plan plus the send-path frame counter. Shared via
+/// [`Arc`] across every connection the instrumented endpoint makes, so
+/// the count — and the one-shot firing — survives reconnects.
+#[derive(Debug)]
+pub struct NetFaultState {
+    plan: NetFaultPlan,
+    seen: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl NetFaultState {
+    /// Arm a plan.
+    pub fn new(plan: NetFaultPlan) -> NetFaultState {
+        NetFaultState {
+            plan,
+            seen: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one outgoing data frame; returns the action to apply if
+    /// this frame is the plan's victim.
+    pub fn on_send(&self) -> Option<NetFaultAction> {
+        let seen = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        (seen == self.plan.nth).then(|| {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.plan.action
+        })
+    }
+
+    /// How many faults have fired (0 or 1 for a single plan).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_action() {
+        assert_eq!(
+            NetFaultPlan::parse("drop@3").unwrap(),
+            NetFaultPlan {
+                nth: 3,
+                action: NetFaultAction::Drop
+            }
+        );
+        assert_eq!(
+            NetFaultPlan::parse("dup@1").unwrap().action,
+            NetFaultAction::Duplicate
+        );
+        assert_eq!(
+            NetFaultPlan::parse("truncate@7").unwrap().action,
+            NetFaultAction::Truncate
+        );
+        assert_eq!(
+            NetFaultPlan::parse("corrupt@2").unwrap(),
+            NetFaultPlan {
+                nth: 2,
+                action: NetFaultAction::Corrupt
+            }
+        );
+        assert_eq!(
+            NetFaultPlan::parse("delay@4:250").unwrap(),
+            NetFaultPlan {
+                nth: 4,
+                action: NetFaultAction::Delay(Duration::from_millis(250))
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_with_specific_errors() {
+        for (raw, needle) in [
+            ("", "malformed net-fault"),
+            ("drop", "malformed net-fault"),
+            ("jam@3", "unknown net-fault kind"),
+            ("drop@0", "frames are counted from 1"),
+            ("drop@x", "malformed frame index"),
+            ("delay@3", "missing its delay"),
+            ("delay@3:soon", "malformed delay"),
+            ("delay@3:9999999", "ms cap"),
+        ] {
+            let err = NetFaultPlan::parse(raw).unwrap_err();
+            assert!(err.contains(needle), "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for raw in ["drop@3", "dup@1", "truncate@7", "corrupt@2", "delay@4:250"] {
+            let plan = NetFaultPlan::parse(raw).unwrap();
+            assert_eq!(plan.to_string(), raw);
+            assert_eq!(NetFaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        }
+    }
+
+    #[test]
+    fn state_fires_exactly_once_on_the_nth_send() {
+        let state = NetFaultState::new(NetFaultPlan::parse("drop@3").unwrap());
+        assert_eq!(state.on_send(), None);
+        assert_eq!(state.on_send(), None);
+        assert_eq!(state.on_send(), Some(NetFaultAction::Drop));
+        assert_eq!(state.on_send(), None);
+        assert_eq!(state.injected(), 1);
+    }
+}

@@ -40,7 +40,8 @@
 use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::codec::{CodecError, PackBuffer, UnpackBuffer, Wire};
 use crate::farm::{CommCell, CommError, CommStats, Envelope, TaskId};
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{read_frame, write_frame, FrameError, FRAME_HEADER_LEN};
+use crate::netfault::{NetFaultAction, NetFaultState};
 use crate::transport::Transport;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -201,6 +202,17 @@ pub enum SocketError {
         /// The contested endpoint, displayable.
         endpoint: String,
     },
+    /// [`SocketTransport::connect_with_retry`] exhausted its total
+    /// deadline without a listener ever answering. The caller is spinning
+    /// against a dead address and must stop.
+    Unreachable {
+        /// The dead endpoint, displayable.
+        endpoint: String,
+        /// How many connect attempts were made before giving up.
+        attempts: u64,
+        /// The total deadline that lapsed.
+        patience: Duration,
+    },
 }
 
 impl fmt::Display for SocketError {
@@ -212,6 +224,15 @@ impl fmt::Display for SocketError {
             SocketError::AddrInUse { endpoint } => {
                 write!(f, "{endpoint} is already served by a live listener")
             }
+            SocketError::Unreachable {
+                endpoint,
+                attempts,
+                patience,
+            } => write!(
+                f,
+                "no listener at {endpoint} answered within {patience:?} \
+                 ({attempts} connect attempts)"
+            ),
         }
     }
 }
@@ -280,6 +301,62 @@ impl Wire for Welcome {
     }
 }
 
+/// Send one data frame through an optional fault injector. Without a
+/// fault (or when this frame is not the plan's victim) this is exactly
+/// [`write_frame`]. A fired fault mangles only this frame: `Drop` writes
+/// nothing, `Duplicate` writes the frame twice, `Truncate` writes half
+/// the frame's bytes and shuts the stream down, `Corrupt` flips a
+/// payload bit under the original checksum, `Delay` sleeps first. Every
+/// branch validates the frame exactly as a clean send would, so a fault
+/// never masks an oversized payload or a bad sender id.
+fn send_frame_faulty(
+    stream: &mut Stream,
+    fault: Option<&NetFaultState>,
+    from: TaskId,
+    tag: u32,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    use crate::frame::encode_frame;
+    let Some(action) = fault.and_then(NetFaultState::on_send) else {
+        return write_frame(stream, from, tag, payload);
+    };
+    match action {
+        NetFaultAction::Drop => encode_frame(from, tag, payload).map(drop),
+        NetFaultAction::Duplicate => {
+            write_frame(stream, from, tag, payload)?;
+            write_frame(stream, from, tag, payload)
+        }
+        NetFaultAction::Truncate => {
+            let wire = encode_frame(from, tag, payload)?;
+            stream.write_all(&wire[..wire.len() / 2])?;
+            let _ = stream.flush();
+            // Cut the stream here so the peer observes a mid-frame death
+            // rather than blocking on the missing tail.
+            stream.shutdown();
+            Ok(())
+        }
+        NetFaultAction::Corrupt => {
+            let mut wire = encode_frame(from, tag, payload)?;
+            // Flip a payload bit but keep the checksum trailer computed
+            // over the original bytes: the receiver must detect this. An
+            // empty payload gets a trailer bit flipped — same detection.
+            let at = if payload.is_empty() {
+                wire.len() - 1
+            } else {
+                FRAME_HEADER_LEN
+            };
+            wire[at] ^= 0x01;
+            stream.write_all(&wire)?;
+            stream.flush()?;
+            Ok(())
+        }
+        NetFaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            write_frame(stream, from, tag, payload)
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Slave side
 // ---------------------------------------------------------------------------
@@ -297,6 +374,10 @@ pub struct SocketTransport {
     inbox: Receiver<Envelope>,
     reader: Option<std::thread::JoinHandle<()>>,
     comm: Arc<CommCell>,
+    /// Armed send-path fault plan (tests and `--net-fault`).
+    fault: Option<Arc<NetFaultState>>,
+    /// Frames this endpoint received damaged and dropped.
+    corrupt_drops: Arc<AtomicU64>,
 }
 
 impl SocketTransport {
@@ -306,6 +387,19 @@ impl SocketTransport {
         endpoint: &Endpoint,
         want: Option<TaskId>,
         attempt: u64,
+    ) -> Result<SocketTransport, SocketError> {
+        SocketTransport::connect_with(endpoint, want, attempt, None)
+    }
+
+    /// [`connect`](SocketTransport::connect) with a send-path fault
+    /// injector. The [`NetFaultState`] is shared by reference so its
+    /// frame counter spans this connection and any later reconnects;
+    /// handshake frames are not counted.
+    pub fn connect_with(
+        endpoint: &Endpoint,
+        want: Option<TaskId>,
+        attempt: u64,
+        fault: Option<Arc<NetFaultState>>,
     ) -> Result<SocketTransport, SocketError> {
         let mut stream = endpoint.connect()?;
         let comm = Arc::new(CommCell::default());
@@ -341,11 +435,13 @@ impl SocketTransport {
         }
 
         let (tx, rx) = unbounded::<Envelope>();
+        let corrupt_drops = Arc::new(AtomicU64::new(0));
         let reader_stream = stream.try_clone()?;
         let reader_comm = Arc::clone(&comm);
+        let reader_corrupt = Arc::clone(&corrupt_drops);
         let reader = std::thread::Builder::new()
             .name(format!("mkp-sock-rx-{tid}"))
-            .spawn(move || pump_frames(reader_stream, tx, reader_comm))
+            .spawn(move || pump_frames(reader_stream, tx, reader_comm, reader_corrupt))
             .expect("spawn socket reader");
         let writer = Mutex::new(stream.try_clone()?);
         Ok(SocketTransport {
@@ -357,24 +453,92 @@ impl SocketTransport {
             inbox: rx,
             reader: Some(reader),
             comm,
+            fault,
+            corrupt_drops,
         })
+    }
+
+    /// [`connect_with`](SocketTransport::connect_with) under a *total*
+    /// deadline: retry failed connects with jittered backoff until
+    /// `patience` lapses, then give up with [`SocketError::Unreachable`]
+    /// instead of spinning forever against a dead address. A
+    /// [`SocketError::Rejected`] (the hub answered: no free slot) is a
+    /// protocol verdict, not unreachability, and returns immediately.
+    /// On success also returns how many connect attempts it took.
+    pub fn connect_with_retry(
+        endpoint: &Endpoint,
+        want: Option<TaskId>,
+        first_attempt: u64,
+        patience: Duration,
+        fault: Option<Arc<NetFaultState>>,
+    ) -> Result<(SocketTransport, u64), SocketError> {
+        let deadline = Instant::now().checked_add(patience);
+        let mut attempts: u64 = 0;
+        loop {
+            match SocketTransport::connect_with(
+                endpoint,
+                want,
+                first_attempt + attempts,
+                fault.clone(),
+            ) {
+                Ok(t) => return Ok((t, attempts + 1)),
+                Err(SocketError::Rejected) => return Err(SocketError::Rejected),
+                Err(_) => {
+                    attempts += 1;
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(SocketError::Unreachable {
+                            endpoint: endpoint.to_string(),
+                            attempts,
+                            patience,
+                        });
+                    }
+                    // Backoff grows from 10 ms towards 500 ms with a
+                    // deterministic per-attempt jitter, so a herd of
+                    // orphans does not retry in lockstep.
+                    let base = 10u64.saturating_mul(1 << attempts.min(6));
+                    let jitter = attempts.wrapping_mul(0x9E37_79B9) % 23;
+                    std::thread::sleep(Duration::from_millis(base.min(500) + jitter));
+                }
+            }
+        }
     }
 
     /// The slot generation the hub assigned this connection.
     pub fn generation(&self) -> u64 {
         self.generation
     }
+
+    /// Frames this endpoint received damaged (checksum mismatch) and
+    /// dropped without desynchronising the stream.
+    pub fn corrupt_drops(&self) -> u64 {
+        self.corrupt_drops.load(Ordering::Relaxed)
+    }
 }
 
 /// Reader-thread body: frames off the stream into the inbox, counting at
 /// the transport boundary; exits on EOF or any stream error (dropping the
 /// sender disconnects the inbox, which the owner observes as
-/// [`CommError::Disconnected`]).
-fn pump_frames(mut stream: Stream, tx: Sender<Envelope>, comm: Arc<CommCell>) {
-    while let Ok(Some(env)) = read_frame(&mut stream) {
-        comm.count_received(env.data.len() as u64);
-        if tx.send(env).is_err() {
-            break; // owner gone
+/// [`CommError::Disconnected`]). A frame that arrives damaged is dropped
+/// and counted — the checksummed framing keeps the stream synchronised,
+/// so one corrupt frame never kills the connection.
+fn pump_frames(
+    mut stream: Stream,
+    tx: Sender<Envelope>,
+    comm: Arc<CommCell>,
+    corrupt_drops: Arc<AtomicU64>,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(env)) => {
+                comm.count_received(env.data.len() as u64);
+                if tx.send(env).is_err() {
+                    break; // owner gone
+                }
+            }
+            Err(FrameError::Corrupt) => {
+                corrupt_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(None) | Err(_) => break,
         }
     }
 }
@@ -394,7 +558,7 @@ impl Transport for SocketTransport {
         // the hub, which is also the only peer the slave protocol
         // addresses.
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        write_frame(&mut *writer, self.tid, tag, &data)
+        send_frame_faulty(&mut writer, self.fault.as_deref(), self.tid, tag, &data)
             .map_err(|e| match e {
                 // An unencodable message is rejected outright; nothing
                 // reached the wire and the link is still good.
@@ -456,6 +620,8 @@ pub struct HubStats {
     pub reconnects: u64,
     /// Frames dropped because their connection generation was fenced.
     pub fenced_drops: u64,
+    /// Frames that arrived damaged (checksum mismatch) and were dropped.
+    pub corrupt_drops: u64,
 }
 
 struct HubShared {
@@ -463,7 +629,10 @@ struct HubShared {
     comm: CommCell,
     reconnects: AtomicU64,
     fenced_drops: AtomicU64,
+    corrupt_drops: AtomicU64,
     shutdown: AtomicBool,
+    /// Armed send-path fault plan (tests and `--net-fault`).
+    fault: Option<Arc<NetFaultState>>,
 }
 
 impl HubShared {
@@ -557,6 +726,17 @@ impl SocketHub {
         p: usize,
         reconnect_patience: Duration,
     ) -> Result<SocketHub, SocketError> {
+        SocketHub::bind_with(endpoint, p, reconnect_patience, None)
+    }
+
+    /// [`bind`](SocketHub::bind) with a send-path fault injector shared
+    /// across every slot (frames are counted in hub send order).
+    pub fn bind_with(
+        endpoint: &Endpoint,
+        p: usize,
+        reconnect_patience: Duration,
+        fault: Option<Arc<NetFaultState>>,
+    ) -> Result<SocketHub, SocketError> {
         assert!(p >= 1, "a hub needs at least one slave slot");
         let (listener, unlink) = bind_listener(endpoint)?;
         // Nonblocking accept + poll: lets the accept loop observe the
@@ -579,7 +759,9 @@ impl SocketHub {
             comm: CommCell::default(),
             reconnects: AtomicU64::new(0),
             fenced_drops: AtomicU64::new(0),
+            corrupt_drops: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            fault,
         });
         let (inbox_tx, inbox_rx) = unbounded::<(u64, Envelope)>();
         let accept_shared = Arc::clone(&shared);
@@ -622,6 +804,7 @@ impl SocketHub {
         HubStats {
             reconnects: self.shared.reconnects.load(Ordering::Relaxed),
             fenced_drops: self.shared.fenced_drops.load(Ordering::Relaxed),
+            corrupt_drops: self.shared.corrupt_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -692,11 +875,21 @@ fn accept_loop(
             .name(format!("mkp-hub-rx-{}", k + 1))
             .spawn(move || {
                 let mut stream = read_half;
-                while let Ok(Some(mut env)) = read_frame(&mut stream) {
-                    // Trust the slot, not the wire, for the sender id.
-                    env.from = k + 1;
-                    if conn_tx.send((generation, env)).is_err() {
-                        break;
+                loop {
+                    match read_frame(&mut stream) {
+                        Ok(Some(mut env)) => {
+                            // Trust the slot, not the wire, for the sender id.
+                            env.from = k + 1;
+                            if conn_tx.send((generation, env)).is_err() {
+                                break;
+                            }
+                        }
+                        // A damaged frame is dropped and counted; the
+                        // checksummed framing keeps the stream in sync.
+                        Err(FrameError::Corrupt) => {
+                            conn_shared.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(None) | Err(_) => break,
                     }
                 }
                 let mut slots = conn_shared.lock_slots();
@@ -728,7 +921,7 @@ impl Transport for SocketHub {
         let Some(writer) = slot.writer.as_mut().filter(|_| slot.live) else {
             return Err(CommError::PeerGone { to });
         };
-        match write_frame(writer, 0, tag, &data) {
+        match send_frame_faulty(writer, self.shared.fault.as_deref(), 0, tag, &data) {
             Ok(()) => {
                 slot.last_sent = slot.generation;
                 self.shared.comm.count_sent(data.len() as u64);
@@ -1191,6 +1384,150 @@ mod tests {
             FramedListener::bind(&ep),
             Err(SocketError::AddrInUse { .. })
         ));
+    }
+
+    use crate::netfault::NetFaultPlan;
+
+    /// Short recv window for "nothing must arrive" assertions.
+    const SHORT: Duration = Duration::from_millis(200);
+
+    fn armed(spec: &str) -> Arc<NetFaultState> {
+        Arc::new(NetFaultState::new(NetFaultPlan::parse(spec).unwrap()))
+    }
+
+    #[test]
+    fn net_fault_drop_swallows_the_nth_slave_frame() {
+        let ep = temp_unix("nfdrop");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let fault = armed("drop@2");
+        let slave = SocketTransport::connect_with(&ep, None, 0, Some(Arc::clone(&fault))).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        for k in 1..=3u8 {
+            slave.send_bytes(0, 1, vec![k]).unwrap();
+        }
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![1]);
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![3]);
+        assert!(matches!(hub.recv_timeout(SHORT), Err(CommError::Timeout)));
+        assert_eq!(fault.injected(), 1);
+    }
+
+    #[test]
+    fn net_fault_duplicate_sends_the_hub_frame_twice() {
+        let ep = temp_unix("nfdup");
+        let fault = armed("dup@1");
+        let hub = SocketHub::bind_with(&ep, 1, T, Some(Arc::clone(&fault))).unwrap();
+        let slave = SocketTransport::connect(&ep, None, 0).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        hub.send_bytes(1, 2, vec![7]).unwrap();
+        hub.send_bytes(1, 2, vec![8]).unwrap();
+        assert_eq!(slave.recv_timeout(T).unwrap().data, vec![7]);
+        assert_eq!(slave.recv_timeout(T).unwrap().data, vec![7]);
+        assert_eq!(slave.recv_timeout(T).unwrap().data, vec![8]);
+        assert_eq!(fault.injected(), 1);
+    }
+
+    #[test]
+    fn net_fault_corrupt_frame_is_dropped_and_counted_hub_side() {
+        let ep = temp_unix("nfcorrupt");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let fault = armed("corrupt@2");
+        let slave = SocketTransport::connect_with(&ep, None, 0, Some(Arc::clone(&fault))).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        for k in 1..=3u8 {
+            slave.send_bytes(0, 1, vec![k]).unwrap();
+        }
+        // The damaged frame vanishes; the stream stays in sync and the
+        // frame after it arrives intact.
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![1]);
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![3]);
+        assert_eq!(hub.hub_stats().corrupt_drops, 1);
+        assert_eq!(fault.injected(), 1);
+    }
+
+    #[test]
+    fn net_fault_corrupt_frame_is_dropped_and_counted_client_side() {
+        let ep = temp_unix("nfcorrupt2");
+        let fault = armed("corrupt@1");
+        let hub = SocketHub::bind_with(&ep, 1, T, Some(Arc::clone(&fault))).unwrap();
+        let slave = SocketTransport::connect(&ep, None, 0).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        hub.send_bytes(1, 2, vec![9]).unwrap();
+        hub.send_bytes(1, 2, vec![5]).unwrap();
+        assert_eq!(slave.recv_timeout(T).unwrap().data, vec![5]);
+        assert_eq!(slave.corrupt_drops(), 1);
+        assert_eq!(fault.injected(), 1);
+    }
+
+    #[test]
+    fn net_fault_truncate_kills_the_link_mid_frame_without_hanging() {
+        let ep = temp_unix("nftrunc");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let fault = armed("truncate@2");
+        let slave = SocketTransport::connect_with(&ep, None, 0, Some(Arc::clone(&fault))).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        slave.send_bytes(0, 1, vec![1]).unwrap();
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![1]);
+        // The truncated frame's tail never arrives; the hub sees the
+        // stream die mid-frame, not a hang.
+        slave.send_bytes(0, 1, vec![2]).unwrap();
+        assert!(matches!(hub.recv_timeout(SHORT), Err(CommError::Timeout)));
+        assert_eq!(fault.injected(), 1);
+        // The cut is fatal for the connection — exactly what a flaky
+        // network does — and a reconnect restores service.
+        let reborn = SocketTransport::connect(&ep, Some(0), 1).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        reborn.send_bytes(0, 1, vec![3]).unwrap();
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![3]);
+    }
+
+    #[test]
+    fn net_fault_delay_holds_the_frame_then_delivers_it_intact() {
+        let ep = temp_unix("nfdelay");
+        let hub = SocketHub::bind(&ep, 1, T).unwrap();
+        let fault = armed("delay@1:300");
+        let slave = SocketTransport::connect_with(&ep, None, 0, Some(Arc::clone(&fault))).unwrap();
+        assert_eq!(hub.wait_ready(T), 1);
+        let before = Instant::now();
+        slave.send_bytes(0, 1, vec![4]).unwrap();
+        assert_eq!(hub.recv_timeout(T).unwrap().data, vec![4]);
+        assert!(
+            before.elapsed() >= Duration::from_millis(300),
+            "frame arrived before the delay lapsed"
+        );
+        assert_eq!(fault.injected(), 1);
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_against_a_dead_address() {
+        let ep = temp_unix("nfretry");
+        let before = Instant::now();
+        let err = match SocketTransport::connect_with_retry(
+            &ep,
+            None,
+            0,
+            Duration::from_millis(300),
+            None,
+        ) {
+            Ok(_) => panic!("expected Unreachable, got a transport"),
+            Err(e) => e,
+        };
+        match &err {
+            SocketError::Unreachable {
+                endpoint,
+                attempts,
+                patience,
+            } => {
+                assert_eq!(*endpoint, ep.to_string());
+                assert!(*attempts >= 1);
+                assert_eq!(*patience, Duration::from_millis(300));
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+        assert!(
+            before.elapsed() < Duration::from_secs(5),
+            "retry loop overshot its total deadline"
+        );
+        assert!(err.to_string().contains("no listener at"));
     }
 
     #[test]

@@ -328,6 +328,141 @@ for pid in "$jslave1_pid" "$jslave2_pid"; do
   fi
 done
 
+step "server-crash smoke (kill -9 mid-job, restart recovers bit-identically)"
+# Crash-safety end to end (DESIGN.md §15): three jobs against a --state-dir
+# server, SIGKILL the server mid-run, restart it on the same state dir. The
+# journal replays, the spool restores, the clients' idempotent resubmits
+# reattach on their own, and every job's value matches an uninterrupted
+# reference run exactly.
+tmp_crash_sock="$(tmpfile /tmp/ci-crash-XXXXXX.sock)"
+tmp_crash_slv="$(tmpfile /tmp/ci-crash-slv-XXXXXX.sock)"
+tmp_state_dir="$(mktemp -d /tmp/ci-crash-state-XXXXXX)"
+tmp_crash_srv="$(tmpfile /tmp/ci-crash-srv-XXXXXX.out)"
+rm -f "$tmp_crash_sock" "$tmp_crash_slv"
+crash_seeds="11 22 33"
+declare -A crash_ref
+for seed in $crash_seeds; do
+  crash_ref[$seed]="$("$mkp_bin" solve "$tmp_mkp" --mode cts2 --p 2 --rounds 4 \
+    --budget 150000000 --seed "$seed" | grep '^best value')"
+done
+"$mkp_bin" serve --clients "unix:$tmp_crash_sock" --slaves "unix:$tmp_crash_slv" \
+  --p 2 --quantum 1 --max-jobs 3 --state-dir "$tmp_state_dir" --patience 60 \
+  > /dev/null 2>&1 &
+crash_srv_pid=$!
+CLEANUP_PIDS+=("$crash_srv_pid")
+# The slave fleet outlives the server crash: a dropped link sends each
+# slave back into its reconnect loop, and the restarted server adopts
+# the same two processes.
+"$mkp_bin" slave --connect "unix:$tmp_crash_slv" --patience 60 > /dev/null 2>&1 &
+crash_slv1_pid=$!
+CLEANUP_PIDS+=("$crash_slv1_pid")
+"$mkp_bin" slave --connect "unix:$tmp_crash_slv" --patience 60 > /dev/null 2>&1 &
+crash_slv2_pid=$!
+CLEANUP_PIDS+=("$crash_slv2_pid")
+crash_sub_pids=()
+crash_sub_outs=()
+for seed in $crash_seeds; do
+  out="$(tmpfile /tmp/ci-crash-sub-XXXXXX.out)"
+  "$mkp_bin" submit "$tmp_mkp" --connect "unix:$tmp_crash_sock" --mode cts2 \
+    --p 2 --rounds 4 --budget 150000000 --seed "$seed" --patience 60 \
+    > "$out" 2>&1 &
+  crash_sub_pids+=("$!")
+  crash_sub_outs+=("$out")
+  CLEANUP_PIDS+=("$!")
+done
+sleep 1.5
+kill -9 "$crash_srv_pid" 2>/dev/null \
+  || { echo "error: job server finished before the kill; raise --budget" >&2; exit 1; }
+wait "$crash_srv_pid" 2>/dev/null || true
+# Restart on the same state dir; recovery counts the journal's terminals,
+# so the same --max-jobs 3 still stops after three total.
+"$mkp_bin" serve --clients "unix:$tmp_crash_sock" --slaves "unix:$tmp_crash_slv" \
+  --p 2 --quantum 1 --max-jobs 3 --state-dir "$tmp_state_dir" --patience 60 \
+  > "$tmp_crash_srv" 2>&1 &
+crash_srv2_pid=$!
+CLEANUP_PIDS+=("$crash_srv2_pid")
+i=0
+for seed in $crash_seeds; do
+  pid="${crash_sub_pids[$i]}"; out="${crash_sub_outs[$i]}"; i=$((i + 1))
+  set +e
+  wait "$pid"
+  status=$?
+  set -e
+  if [ "$status" -ne 0 ]; then
+    echo "error: crash-smoke submit (seed $seed) exited $status (want 0)" >&2
+    cat "$out" >&2
+    cat "$tmp_crash_srv" >&2
+    exit 1
+  fi
+  got="$(grep '^best value' "$out")"
+  if [ "$got" != "${crash_ref[$seed]}" ]; then
+    echo "error: crash-smoke seed $seed diverged: got '$got' want '${crash_ref[$seed]}'" >&2
+    exit 1
+  fi
+done
+set +e
+wait "$crash_srv2_pid"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+  echo "error: restarted job server exited $status (want 0)" >&2
+  cat "$tmp_crash_srv" >&2
+  exit 1
+fi
+grep -q 'recovered' "$tmp_crash_srv" \
+  || { echo "error: restarted server printed no durability line" >&2; \
+       cat "$tmp_crash_srv" >&2; exit 1; }
+if grep -q 'durability : 0 recovered' "$tmp_crash_srv"; then
+  echo "error: the restart recovered nothing — the kill landed too late" >&2
+  cat "$tmp_crash_srv" >&2
+  exit 1
+fi
+# Both slave processes rode out the crash and saw the final STOP.
+for pid in "$crash_slv1_pid" "$crash_slv2_pid"; do
+  set +e
+  wait "$pid"
+  status=$?
+  set -e
+  if [ "$status" -ne 0 ]; then
+    echo "error: crash-smoke slave $pid exited $status (want 0 after STOP)" >&2
+    exit 1
+  fi
+done
+rm -rf "$tmp_state_dir"
+
+step "net-fault smoke (corrupted frame is dropped, counted, and healed)"
+# A slave that corrupts its 2nd data frame: the master's checksum catches
+# it, drops the frame (counted as corrupt_drops in --metrics), times the
+# silent worker out, and heals it through the restart budget — exit 0.
+tmp_nf_sock="$(tmpfile /tmp/ci-nf-XXXXXX.sock)"
+tmp_nf_out="$(tmpfile /tmp/ci-nf-XXXXXX.out)"
+tmp_nf_metrics="$(tmpfile /tmp/ci-nf-XXXXXX.json)"
+rm -f "$tmp_nf_sock"
+"$mkp_bin" solve "$tmp_mkp" --mode cts2 --p 2 --rounds 3 --budget 60000 \
+  --seed 1 --timeout 3 --restarts 2 --backoff 10 --listen "unix:$tmp_nf_sock" \
+  --metrics "$tmp_nf_metrics" > "$tmp_nf_out" 2>&1 &
+nf_master_pid=$!
+CLEANUP_PIDS+=("$nf_master_pid")
+"$mkp_bin" slave --connect "unix:$tmp_nf_sock" --net-fault corrupt@2 \
+  > /dev/null 2>&1 &
+CLEANUP_PIDS+=("$!")
+"$mkp_bin" slave --connect "unix:$tmp_nf_sock" > /dev/null 2>&1 &
+CLEANUP_PIDS+=("$!")
+set +e
+wait "$nf_master_pid"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+  echo "error: net-fault master exited $status (want 0)" >&2
+  cat "$tmp_nf_out" >&2
+  exit 1
+fi
+grep -q '^best value' "$tmp_nf_out" \
+  || { echo "error: net-fault smoke lost the result" >&2; cat "$tmp_nf_out" >&2; exit 1; }
+grep -q '"corrupt_drops": [1-9]' "$tmp_nf_metrics" \
+  || { echo "error: the corrupt frame was never counted" >&2; \
+       cat "$tmp_nf_metrics" >&2; exit 1; }
+
 step "jobserver bench (smoke)"
 cargo run -q --release --offline --locked -p mkp-bench --bin jobserver_bench -- --smoke
 test -s results/jobserver-bench.json \

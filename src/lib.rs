@@ -42,6 +42,10 @@ pub mod prelude {
     pub use mkp_tabu::search::{run as run_tabu, Budget, TsConfig};
     pub use mkp_tabu::{Strategy, StrategyBounds};
     pub use parallel_tabu::{
+        attach_job, serve, submit_job, Journal, JournalError, NetFaultPlan, NetFaultState,
+        ServeBackend, ServeConfig, ServeStats, SubmitEvent, SubmitOutcome, SubmitSpec,
+    };
+    pub use parallel_tabu::{
         fault_at_round, run_mode, CheckpointCfg, CoopPolicy, Delivery, Engine, EngineError,
         FaultAction, FaultPlan, IspConfig, LossCause, Mode, ModeReport, Resurrection, RunConfig,
         SgpConfig, Snapshot, SnapshotError, WorkerLoss,
