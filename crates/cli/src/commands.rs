@@ -3,7 +3,9 @@
 
 use crate::args::{ArgError, Args};
 use mkp::eval::Ratios;
-use mkp::generate::{chu_beasley_instance, gk_instance, uncorrelated_instance, GkSpec};
+use mkp::generate::{
+    chu_beasley_instance, gk_instance, large_instance, uncorrelated_instance, GkSpec, LargeSpec,
+};
 use mkp::greedy::greedy;
 use mkp::stats::instance_stats;
 use mkp::Instance;
@@ -62,10 +64,11 @@ mkp — 0-1 multidimensional knapsack toolkit
   (reproduction of Niar & Fréville's parallel tabu search, IPPS 1997)
 
 USAGE:
-  mkp generate <out.mkp> [--class gk|cb|uniform] [--n N] [--m M]
-               [--tightness T] [--seed S]
+  mkp generate <out.mkp> [--class gk|cb|uniform|large] [--n N] [--m M]
+               [--tightness T] [--correlation C] [--seed S]
   mkp stats    <instance.mkp>
   mkp solve    <instance.mkp> [--mode seq|its|cts1|cts2|ats|dts]
+               [--policy core|repair]
                [--p P] [--rounds R] [--budget EVALS] [--seed S]
                [--relink true|false] [--timeout SECS] [--patience SECS]
                [--restarts N] [--backoff MS]
@@ -80,12 +83,23 @@ USAGE:
                [--max-jobs N] [--park-mem BYTES] [--spool DIR]
                [--state-dir DIR] [--patience SECS]
   mkp submit   <instance.mkp> --connect unix:PATH|tcp:HOST:PORT
-               [--mode seq|its|cts1|cts2|ats|dts] [--p P] [--rounds R]
+               [--mode seq|its|cts1|cts2|ats|dts] [--policy core|repair]
+               [--p P] [--rounds R]
                [--budget EVALS] [--seed S] [--deadline-ms MS]
                [--attach JOB_ID] [--patience SECS]
   mkp exact    <instance.mkp> [--nodes LIMIT] [--workers W]
   mkp validate-metrics <metrics.json>
   mkp help
+
+--policy core runs CTS2 inside an LP-reduced-cost *promising core* (the
+confidently-decided variables are fixed and periodically re-identified
+from the incumbent); --policy repair runs independent randomized
+greedy-construction + feasibility-repair restarts. Both are full engine
+citizens: checkpoint/resume, --fault, --listen and --metrics work
+unchanged. --policy and --mode are mutually exclusive. --class large
+generates the very-large benchmark class the policies target (--n in the
+thousands, --m in the hundreds, --correlation tuning the profit–weight
+coupling).
 
 Fault specs number workers from 1 (worker 0 is the master). With
 --restarts N the master resurrects a lost worker up to N times per worker
@@ -158,7 +172,13 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let n: usize = args.get("n", 100)?;
     let m: usize = args.get("m", 5)?;
     let tightness: f64 = args.get("tightness", 0.5)?;
+    let correlation: f64 = args.get("correlation", 0.5)?;
     let seed: u64 = args.get("seed", 1)?;
+    if args.get_str("correlation").is_some() && class != "large" {
+        return Err(CliError::Invalid(
+            "--correlation only applies to --class large".into(),
+        ));
+    }
     let name = format!("{class}_{m}x{n}_s{seed}");
     let inst = match class.as_str() {
         "gk" => gk_instance(
@@ -172,9 +192,31 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
         ),
         "cb" => chu_beasley_instance(&name, n, m, tightness, seed),
         "uniform" => uncorrelated_instance(&name, n, m, tightness, seed),
+        "large" => {
+            if !(0.0..=1.0).contains(&correlation) {
+                return Err(CliError::Invalid(format!(
+                    "correlation {correlation} outside [0, 1]"
+                )));
+            }
+            if !(0.05..=0.95).contains(&tightness) {
+                return Err(CliError::Invalid(format!(
+                    "tightness {tightness} outside the large class's [0.05, 0.95]"
+                )));
+            }
+            large_instance(
+                &name,
+                LargeSpec {
+                    n,
+                    m,
+                    tightness,
+                    correlation,
+                    seed,
+                },
+            )
+        }
         other => {
             return Err(CliError::Invalid(format!(
-                "unknown class {other:?} (use gk, cb or uniform)"
+                "unknown class {other:?} (use gk, cb, uniform or large)"
             )))
         }
     };
@@ -223,12 +265,44 @@ fn parse_mode(raw: &str) -> Result<Mode, CliError> {
         "cts2" => Mode::CooperativeAdaptive,
         "ats" => Mode::Asynchronous,
         "dts" => Mode::Decomposed,
+        "core" | "repair" => {
+            return Err(CliError::Invalid(format!(
+                "{raw:?} is a search-space policy, not a paper mode; use --policy {raw}"
+            )))
+        }
         other => {
             return Err(CliError::Invalid(format!(
                 "unknown mode {other:?} (use seq, its, cts1, cts2, ats or dts)"
             )))
         }
     })
+}
+
+/// Parse a `--policy` name (the promising-search-space policies layered on
+/// top of the paper's modes).
+fn parse_policy(raw: &str) -> Result<Mode, CliError> {
+    Ok(match raw {
+        "core" => Mode::Core,
+        "repair" => Mode::Repair,
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown policy {other:?} (use core or repair)"
+            )))
+        }
+    })
+}
+
+/// Resolve `--mode`/`--policy` into one [`Mode`]. The two flags select from
+/// the same engine dispatch, so giving both is ambiguous and rejected.
+fn resolve_mode(args: &Args) -> Result<Mode, CliError> {
+    match (args.get_str("mode"), args.get_str("policy")) {
+        (Some(mode), Some(policy)) => Err(CliError::Invalid(format!(
+            "--mode {mode} and --policy {policy} both pick the search organization; \
+             give exactly one"
+        ))),
+        (None, Some(policy)) => parse_policy(policy),
+        (mode, None) => parse_mode(mode.unwrap_or("cts2")),
+    }
 }
 
 /// Longest accepted `--fault` delay: a delay past the largest plausible
@@ -306,7 +380,7 @@ fn parse_fault(raw: &str) -> Result<FaultPlan, CliError> {
 /// `mkp solve`.
 pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
     let inst = read_instance(args.positional(0, "instance.mkp")?)?;
-    let mode = parse_mode(args.get_str("mode").unwrap_or("cts2"))?;
+    let mode = resolve_mode(args)?;
     let p: usize = args.get("p", 4)?;
     let rounds: usize = args.get("rounds", 12)?;
     let budget: u64 = args.get("budget", 40_000 * inst.n() as u64)?;
@@ -636,7 +710,7 @@ pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     })?;
     let endpoint =
         Endpoint::parse(raw).map_err(|e| CliError::Invalid(format!("--connect: {e}")))?;
-    let mode = parse_mode(args.get_str("mode").unwrap_or("cts2"))?;
+    let mode = resolve_mode(args)?;
     let p: usize = args.get("p", 4)?;
     let rounds: usize = args.get("rounds", 12)?;
     let budget: u64 = args.get("budget", 40_000 * inst.n() as u64)?;
@@ -800,9 +874,10 @@ mod tests {
         dir.join(name).to_string_lossy().into_owned()
     }
 
-    const GEN_FLAGS: &[&str] = &["class", "n", "m", "tightness", "seed"];
+    const GEN_FLAGS: &[&str] = &["class", "n", "m", "tightness", "correlation", "seed"];
     const SOLVE_FLAGS: &[&str] = &[
         "mode",
+        "policy",
         "p",
         "rounds",
         "budget",
@@ -839,6 +914,7 @@ mod tests {
     const SUBMIT_FLAGS: &[&str] = &[
         "connect",
         "mode",
+        "policy",
         "p",
         "rounds",
         "budget",
@@ -1081,6 +1157,113 @@ mod tests {
         cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
         let err = cmd_solve(&args(&[&path, "--mode", "bogus"], SOLVE_FLAGS)).unwrap_err();
         assert!(err.to_string().contains("unknown mode"));
+    }
+
+    #[test]
+    fn policy_flag_selects_the_new_policies() {
+        let path = tmp("policy.mkp");
+        cmd_generate(&args(
+            &[&path, "--n", "30", "--m", "3", "--class", "uniform"],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        for (policy, label) in [("core", "CORE"), ("repair", "REPAIR")] {
+            let out = cmd_solve(&args(
+                &[
+                    &path, "--policy", policy, "--budget", "60000", "--rounds", "2", "--p", "2",
+                ],
+                SOLVE_FLAGS,
+            ))
+            .unwrap();
+            assert!(
+                out.contains(&format!("mode       : {label}")),
+                "--policy {policy}: {out}"
+            );
+            assert!(out.contains("best value"), "--policy {policy}: {out}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_unknown_policy_with_a_specific_message() {
+        let path = tmp("policy_bad.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_solve(&args(&[&path, "--policy", "lp"], SOLVE_FLAGS))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown policy \"lp\""), "{err}");
+        assert!(err.contains("use core or repair"), "{err}");
+    }
+
+    #[test]
+    fn policy_and_mode_are_mutually_exclusive() {
+        let path = tmp("policy_combo.mkp");
+        cmd_generate(&args(&[&path, "--n", "10", "--m", "2"], GEN_FLAGS)).unwrap();
+        let err = cmd_solve(&args(
+            &[&path, "--mode", "cts2", "--policy", "core"],
+            SOLVE_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("give exactly one"), "{err}");
+        // A policy name passed through --mode points at the right flag.
+        let err = cmd_solve(&args(&[&path, "--mode", "core"], SOLVE_FLAGS))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("use --policy core"), "{err}");
+        // submit resolves modes identically (before touching the network).
+        let err = cmd_submit(&args(
+            &[
+                &path,
+                "--connect",
+                "unix:/tmp/x.sock",
+                "--mode",
+                "its",
+                "--policy",
+                "repair",
+            ],
+            SUBMIT_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("give exactly one"), "{err}");
+    }
+
+    #[test]
+    fn generate_large_class_and_correlation_validation() {
+        let path = tmp("large_gen.mkp");
+        let msg = cmd_generate(&args(
+            &[
+                &path,
+                "--class",
+                "large",
+                "--n",
+                "400",
+                "--m",
+                "20",
+                "--correlation",
+                "0.7",
+            ],
+            GEN_FLAGS,
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let stats = cmd_stats(&args(&[&path], &[])).unwrap();
+        assert!(stats.contains("items      : 400"), "{stats}");
+
+        let err = cmd_generate(&args(
+            &[&path, "--class", "large", "--correlation", "1.5"],
+            GEN_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("outside [0, 1]"), "{err}");
+        let err = cmd_generate(&args(
+            &[&path, "--class", "gk", "--correlation", "0.5"],
+            GEN_FLAGS,
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("only applies to --class large"), "{err}");
     }
 
     #[test]

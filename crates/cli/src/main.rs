@@ -26,9 +26,12 @@ fn main() -> ExitCode {
     let rest: Vec<String> = raw.collect();
 
     let outcome = match command.as_str() {
-        "generate" => Args::parse(rest, &["class", "n", "m", "tightness", "seed"])
-            .map_err(Into::into)
-            .and_then(|a| cmd_generate(&a)),
+        "generate" => Args::parse(
+            rest,
+            &["class", "n", "m", "tightness", "correlation", "seed"],
+        )
+        .map_err(Into::into)
+        .and_then(|a| cmd_generate(&a)),
         "stats" => Args::parse(rest, &[])
             .map_err(Into::into)
             .and_then(|a| cmd_stats(&a)),
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
             rest,
             &[
                 "mode",
+                "policy",
                 "p",
                 "rounds",
                 "budget",
@@ -83,6 +87,7 @@ fn main() -> ExitCode {
             &[
                 "connect",
                 "mode",
+                "policy",
                 "p",
                 "rounds",
                 "budget",

@@ -109,6 +109,7 @@ impl CoopPolicy for DecomposedPolicy {
             cell: Some(CellMsg {
                 forced_in,
                 forced_out,
+                seeded: false,
             }),
         }
     }

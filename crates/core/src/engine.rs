@@ -609,7 +609,9 @@ pub(crate) fn validated_resume_policy(
 /// Dispatch a mode to its policy.
 pub(crate) fn policy_for(mode: Mode) -> Box<dyn CoopPolicy> {
     use crate::coop::FarmPolicy;
+    use crate::core_policy::CorePolicy;
     use crate::decomposed::DecomposedPolicy;
+    use crate::repair::RepairPolicy;
     match mode {
         Mode::Sequential => Box::new(FarmPolicy::sequential()),
         Mode::Independent => Box::new(FarmPolicy::independent()),
@@ -617,6 +619,8 @@ pub(crate) fn policy_for(mode: Mode) -> Box<dyn CoopPolicy> {
         Mode::CooperativeAdaptive => Box::new(FarmPolicy::cooperative_adaptive()),
         Mode::Asynchronous => Box::new(FarmPolicy::asynchronous()),
         Mode::Decomposed => Box::new(DecomposedPolicy::new()),
+        Mode::Core => Box::new(CorePolicy::new()),
+        Mode::Repair => Box::new(RepairPolicy::new()),
     }
 }
 
@@ -1608,22 +1612,51 @@ fn serve_assignment(
             Ok(restriction) => {
                 let sub = restriction.instance();
                 let sub_ratios = Ratios::new(sub);
-                let init = dynamic_randomized_greedy(sub, &mut rng, 4);
+                let mut ts = TsConfig::default_for(sub.n());
+                let init = if cell.seeded {
+                    // CORE: project the master-chosen start onto the free
+                    // variables, repair it inside the reduced space, and
+                    // honor the master's (SGP-tuned) strategy.
+                    ts.strategy = assign.strategy;
+                    let mut sol = Solution::from_bits(sub, restriction.project(&assign.initial));
+                    mkp::greedy::project_feasible(sub, &sub_ratios, &mut sol);
+                    mkp::greedy::greedy_fill(sub, &sub_ratios, &mut sol);
+                    sol
+                } else {
+                    // DTS: the slave builds its own randomized start.
+                    dynamic_randomized_greedy(sub, &mut rng, 4)
+                };
                 let report = search::run(
                     sub,
                     &sub_ratios,
                     init,
-                    &TsConfig::default_for(sub.n()),
+                    &ts,
                     Budget::evals(assign.budget_evals),
                     &mut rng,
                 );
                 let lifted = restriction.lift(inst, &report.best);
+                // A seeded (CORE) master runs ISP/SGP and needs the elite
+                // pool lifted back; the DTS master has no SGP to feed, and
+                // sub-space elites don't lift for free.
+                let elite = if cell.seeded {
+                    report
+                        .elite
+                        .iter()
+                        .map(|s| restriction.lift(inst, s).bits().clone())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let msg = ReportMsg {
                     best: lifted.bits().clone(),
-                    // Sub-space elites don't lift for free; the DTS master
-                    // has no SGP to feed anyway.
-                    elite: Vec::new(),
-                    initial_value: report.initial_value,
+                    elite,
+                    // Report the start in full-space terms when the master
+                    // chose it (SGP compares it against full-space finals).
+                    initial_value: if cell.seeded {
+                        report.initial_value + restriction.offset()
+                    } else {
+                        report.initial_value
+                    },
                     best_value: lifted.value(),
                     moves: report.stats.moves,
                     evals: report.stats.candidate_evals,
@@ -1635,8 +1668,16 @@ fn serve_assignment(
             }
             Err(_) => {
                 // Infeasible (or empty) cell: the worker searches the full
-                // space instead of idling.
-                let init = dynamic_randomized_greedy(inst, &mut rng, 4);
+                // space instead of idling. A seeded master picked a valid
+                // full-space start — keep it; DTS workers build their own.
+                let init = if cell.seeded {
+                    let mut sol = Solution::from_bits(inst, assign.initial.clone());
+                    mkp::greedy::project_feasible(inst, ratios, &mut sol);
+                    mkp::greedy::greedy_fill(inst, ratios, &mut sol);
+                    sol
+                } else {
+                    dynamic_randomized_greedy(inst, &mut rng, 4)
+                };
                 let mut ts = TsConfig::default_for(inst.n());
                 ts.strategy = assign.strategy;
                 let report = search::run(

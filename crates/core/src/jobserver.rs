@@ -143,6 +143,8 @@ fn mode_code(mode: Mode) -> u8 {
         Mode::CooperativeAdaptive => 3,
         Mode::Asynchronous => 4,
         Mode::Decomposed => 5,
+        Mode::Core => 6,
+        Mode::Repair => 7,
     }
 }
 
@@ -154,6 +156,8 @@ fn mode_from_code(code: u8) -> Option<Mode> {
         3 => Mode::CooperativeAdaptive,
         4 => Mode::Asynchronous,
         5 => Mode::Decomposed,
+        6 => Mode::Core,
+        7 => Mode::Repair,
         _ => return None,
     })
 }
@@ -1893,16 +1897,9 @@ mod tests {
 
     #[test]
     fn every_mode_code_round_trips() {
-        for mode in [
-            Mode::Sequential,
-            Mode::Independent,
-            Mode::Cooperative,
-            Mode::CooperativeAdaptive,
-            Mode::Asynchronous,
-            Mode::Decomposed,
-        ] {
+        for mode in Mode::all() {
             assert_eq!(mode_from_code(mode_code(mode)), Some(mode));
         }
-        assert_eq!(mode_from_code(6), None);
+        assert_eq!(mode_from_code(Mode::all().len() as u8), None);
     }
 }

@@ -21,6 +21,8 @@
 //! | [`Mode::CooperativeAdaptive`] | cooperation + dynamic strategy tuning (CTS2) |
 //! | [`Mode::Asynchronous`] | rendezvous-free pipelined cooperation (ATS, §6) |
 //! | [`Mode::Decomposed`] | search-space decomposition over critical variables (DTS, §2 taxonomy) |
+//! | [`Mode::Core`] | CTS2 inside an LP-reduced-cost promising core (CORE) |
+//! | [`Mode::Repair`] | randomized greedy construction + repair restarts (REPAIR) |
 //!
 //! ```
 //! use mkp::generate::{gk_instance, GkSpec};
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod coop;
+pub mod core_policy;
 pub mod decomposed;
 pub mod engine;
 pub mod isp;
@@ -42,6 +45,7 @@ pub mod jobserver;
 pub mod journal;
 pub mod messages;
 pub mod remote;
+pub mod repair;
 pub mod runner;
 pub mod score;
 pub mod sgp;

@@ -127,6 +127,12 @@ pub struct CellMsg {
     pub forced_in: Vec<u64>,
     /// Item indices forced out of the knapsack.
     pub forced_out: Vec<u64>,
+    /// When true the slave honors the assignment's `initial` and
+    /// `strategy` inside the cell (projecting the master-chosen start onto
+    /// the free variables and repairing it) instead of building its own
+    /// randomized start — the CORE policy's cooperative regime. DTS leaves
+    /// it false.
+    pub seeded: bool,
 }
 
 /// A per-round slave assignment: where to start, how to search, how much
@@ -180,6 +186,7 @@ impl Wire for AssignMsg {
                 buf.put_u8(1);
                 buf.put_u64s(&cell.forced_in);
                 buf.put_u64s(&cell.forced_out);
+                buf.put_u8(cell.seeded as u8);
             }
         }
     }
@@ -200,6 +207,7 @@ impl Wire for AssignMsg {
                 _ => Some(CellMsg {
                     forced_in: buf.get_u64s()?,
                     forced_out: buf.get_u64s()?,
+                    seeded: buf.get_u8()? != 0,
                 }),
             },
         })
@@ -365,6 +373,7 @@ mod tests {
             cell: Some(CellMsg {
                 forced_in: vec![3, 17],
                 forced_out: vec![4],
+                seeded: true,
             }),
             ..AssignMsg::trajectory(
                 BitVec::zeros(20),
@@ -515,13 +524,19 @@ mod tests {
                     gen::usize_in(rng, 0, 500)
                 ),
                 (rng.next_u64(), rng.next_u64(), rng.next_u64()),
-                gen::boolean(rng),
+                (gen::boolean(rng), gen::boolean(rng)),
                 gen::vec_of(rng, 0, 8, |r| r.next_u64()),
                 gen::vec_of(rng, 0, 8, |r| r.next_u64())
             ),
             |input| {
-                let (bits, (tenure, drop, local), (budget, seed, epoch), has_cell, f_in, f_out) =
-                    input.clone();
+                let (
+                    bits,
+                    (tenure, drop, local),
+                    (budget, seed, epoch),
+                    (has_cell, seeded),
+                    f_in,
+                    f_out,
+                ) = input.clone();
                 let msg = AssignMsg {
                     initial: BitVec::from_bools(bits),
                     strategy: Strategy {
@@ -535,6 +550,7 @@ mod tests {
                     cell: has_cell.then_some(CellMsg {
                         forced_in: f_in,
                         forced_out: f_out,
+                        seeded,
                     }),
                 };
                 assert_eq!(AssignMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);

@@ -35,6 +35,15 @@ pub enum Mode {
     /// DTS — search-space decomposition over critical variables (the §2
     /// taxonomy's third parallelism source, implemented as an extension).
     Decomposed,
+    /// CORE — LP-core fixing: rank variables by |reduced cost|, fix the
+    /// confident ones and run CTS2-style cooperation inside the promising
+    /// core, re-identifying it periodically from the incumbent
+    /// (Xu/Li/Yin, arXiv 2210.03918).
+    Core,
+    /// REPAIR — randomized greedy construction with perturbed ratios plus
+    /// a feasibility-repair operator, run as independent-restart workers
+    /// (Martins, arXiv 2405.15569).
+    Repair,
 }
 
 impl Mode {
@@ -47,6 +56,8 @@ impl Mode {
             Mode::CooperativeAdaptive => "CTS2",
             Mode::Asynchronous => "ATS",
             Mode::Decomposed => "DTS",
+            Mode::Core => "CORE",
+            Mode::Repair => "REPAIR",
         }
     }
 
@@ -61,7 +72,9 @@ impl Mode {
     }
 
     /// Every mode the engine can drive, Table 2 first, extensions after.
-    pub fn all() -> [Mode; 6] {
+    /// Order is load-bearing: snapshots encode a mode as its position in
+    /// this array, so new modes are only ever appended at the end.
+    pub fn all() -> [Mode; 8] {
         [
             Mode::Sequential,
             Mode::Independent,
@@ -69,6 +82,8 @@ impl Mode {
             Mode::CooperativeAdaptive,
             Mode::Asynchronous,
             Mode::Decomposed,
+            Mode::Core,
+            Mode::Repair,
         ]
     }
 }

@@ -85,6 +85,34 @@ impl Ratios {
         }
     }
 
+    /// A perturbed copy of the ratio tables: each pseudo-utility is scaled
+    /// by an independent factor uniform in `[1 − strength, 1 + strength]`
+    /// and the utility ranking re-sorted, so greedy fills over the result
+    /// explore different (but still profit-density-guided) construction
+    /// orders. Burdens are left exact — repair decisions stay unbiased.
+    /// Deterministic for a given rng state; `strength` must be in `[0, 1)`.
+    pub fn perturbed(inst: &Instance, rng: &mut crate::Xoshiro256, strength: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&strength),
+            "perturbation strength {strength} outside [0, 1)"
+        );
+        let mut ratios = Ratios::new(inst);
+        for u in &mut ratios.pseudo_utility {
+            // ∞ stays ∞ (weightless items stay first), finite values jitter.
+            if u.is_finite() {
+                *u *= 1.0 + strength * (2.0 * rng.next_f64() - 1.0);
+            }
+        }
+        ratios.by_utility_desc.sort_by(|&a, &b| {
+            ratios.pseudo_utility[b]
+                .partial_cmp(&ratios.pseudo_utility[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        ratios.view.set_scan_order(&ratios.by_utility_desc);
+        ratios
+    }
+
     /// Pseudo-utility `u_j` (higher = more attractive to add).
     #[inline]
     pub fn pseudo_utility(&self, j: usize) -> f64 {

@@ -9,11 +9,13 @@
 mod chu_beasley;
 mod fp;
 mod gk;
+mod large;
 mod uncorrelated;
 
 pub use chu_beasley::{cb_suite, chu_beasley_instance};
 pub use fp::{fp_instance, fp_suite, FP_SUITE_LEN};
 pub use gk::{gk_instance, mk_suite, table1_suite, GkSpec};
+pub use large::{large_instance, large_suite, LargeSpec};
 pub use uncorrelated::uncorrelated_instance;
 
 use crate::instance::Instance;

@@ -202,6 +202,54 @@ pub fn project_feasible(inst: &Instance, ratios: &Ratios, sol: &mut Solution) ->
     dropped
 }
 
+/// From-scratch randomized construction: a plain greedy fill driven by
+/// [`Ratios::perturbed`] utilities — every call with a fresh rng state
+/// explores a different profit-density-guided packing order. The repair
+/// policy's restart generator (Martins, arXiv 2405.15569).
+pub fn perturbed_greedy(inst: &Instance, rng: &mut Xoshiro256, strength: f64) -> Solution {
+    let ratios = Ratios::perturbed(inst, rng, strength);
+    let mut sol = Solution::empty(inst);
+    greedy_fill(inst, &ratios, &mut sol);
+    sol
+}
+
+/// Repair an **arbitrary** assignment into a feasible, maximal solution:
+///
+/// 1. *Randomized drop phase* — while infeasible, expel one packed item
+///    chosen uniformly among the `rcl` largest-burden packed items (the
+///    randomized cousin of [`project_feasible`]);
+/// 2. *Saturation phase* — greedy-fill by descending pseudo-utility until
+///    no unpacked item fits.
+///
+/// Always terminates (each drop removes an item, each fill pass only adds
+/// items that fit), always returns a feasible solution that is maximal
+/// (no single item can be added), and is a pure function of
+/// `(inst, ratios, rng state, bits)`.
+pub fn randomized_repair(
+    inst: &Instance,
+    ratios: &Ratios,
+    rng: &mut Xoshiro256,
+    bits: crate::bitset::BitVec,
+) -> Solution {
+    let rcl = 3usize;
+    let mut sol = Solution::from_bits(inst, bits);
+    while !sol.is_feasible(inst) {
+        let mut worst: Vec<usize> = sol.bits().iter_ones().collect();
+        worst.sort_by(|&a, &b| {
+            ratios
+                .burden(b)
+                .partial_cmp(&ratios.burden(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| inst.profit(a).cmp(&inst.profit(b)))
+        });
+        worst.truncate(rcl);
+        let victim = *rng.choose(&worst);
+        sol.drop(inst, victim);
+    }
+    greedy_fill(inst, ratios, &mut sol);
+    sol
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,5 +473,65 @@ mod tests {
                 assert!(sol.check_consistent(inst));
             }
         );
+    }
+
+    /// Satellite property: for arbitrary instances, seeds and (possibly
+    /// badly infeasible) starting assignments, randomized repair always
+    /// terminates in a feasible, *maximal* solution and is reproducible
+    /// per seed.
+    #[test]
+    fn prop_randomized_repair_feasible_maximal_reproducible() {
+        prop_check!(
+            |rng| (
+                arb_instance(rng),
+                rng.next_u64(),
+                gen::vec_of(rng, 25, 25, gen::boolean)
+            ),
+            |input| {
+                let (inst, seed, bools) = input;
+                let r = Ratios::new(inst);
+                let bits = BitVec::from_bools(
+                    bools
+                        .iter()
+                        .copied()
+                        .chain(std::iter::repeat(false))
+                        .take(inst.n()),
+                );
+                let mut rng = Xoshiro256::seed_from_u64(*seed);
+                let sol = randomized_repair(inst, &r, &mut rng, bits.clone());
+                assert!(sol.is_feasible(inst), "repair left infeasibility");
+                assert!(sol.check_consistent(inst));
+                // Maximal: no unpacked item still fits.
+                for j in sol.bits().iter_zeros() {
+                    assert!(!sol.fits(inst, j), "item {j} fits but was not packed");
+                }
+                // Reproducible: same seed, same result — bit for bit.
+                let mut rng2 = Xoshiro256::seed_from_u64(*seed);
+                let again = randomized_repair(inst, &r, &mut rng2, bits);
+                assert_eq!(sol.bits(), again.bits(), "repair not seed-reproducible");
+            }
+        );
+    }
+
+    /// Perturbed construction stays feasible and maximal, is reproducible
+    /// per seed, and at zero strength collapses to the deterministic
+    /// greedy.
+    #[test]
+    fn prop_perturbed_greedy_feasible_and_seeded() {
+        prop_check!(|rng| (arb_instance(rng), rng.next_u64()), |input| {
+            let (inst, seed) = input;
+            let mut rng = Xoshiro256::seed_from_u64(*seed);
+            let sol = perturbed_greedy(inst, &mut rng, 0.3);
+            assert!(sol.is_feasible(inst));
+            for j in sol.bits().iter_zeros() {
+                assert!(!sol.fits(inst, j), "perturbed fill not maximal");
+            }
+            let mut rng2 = Xoshiro256::seed_from_u64(*seed);
+            assert_eq!(sol.bits(), perturbed_greedy(inst, &mut rng2, 0.3).bits());
+            // Zero strength must reproduce the deterministic greedy.
+            let plain = greedy(inst, &Ratios::new(inst));
+            let mut rng3 = Xoshiro256::seed_from_u64(*seed);
+            assert_eq!(perturbed_greedy(inst, &mut rng3, 0.0).bits(), plain.bits());
+        });
     }
 }

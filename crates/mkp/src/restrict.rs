@@ -139,6 +139,27 @@ impl Restriction {
         self.kept[j_sub]
     }
 
+    /// Project parent-space assignment bits onto the subproblem: the bit of
+    /// each free item carries over, forced bits are dropped (they are
+    /// implied by the restriction itself). The inverse of [`lift`] on the
+    /// free coordinates: `project(lift(s).bits()) == s.bits()`.
+    ///
+    /// [`lift`]: Restriction::lift
+    pub fn project(&self, parent_bits: &BitVec) -> BitVec {
+        assert_eq!(
+            parent_bits.len(),
+            self.parent_n,
+            "projection from a different parent"
+        );
+        let mut bits = BitVec::zeros(self.sub.n());
+        for (j_sub, &j_orig) in self.kept.iter().enumerate() {
+            if parent_bits.get(j_orig) {
+                bits.set(j_sub, true);
+            }
+        }
+        bits
+    }
+
     /// Lift a subproblem solution back to the parent's variable space.
     /// The result packs the forced-in items plus the lifted free items.
     pub fn lift(&self, parent: &Instance, sub_sol: &Solution) -> Solution {
@@ -368,6 +389,67 @@ mod tests {
                         for &j in &f_out {
                             assert!(!lifted.contains(j));
                         }
+                    }
+                }
+            );
+        }
+
+        /// Core projection round-trips: any feasible core (sub-space)
+        /// solution lifts to a feasible full-space solution carrying the
+        /// exact same objective (sub value + offset), and projecting the
+        /// lifted bits back recovers the core solution bit-for-bit. This is
+        /// the contract the CORE engine policy leans on when it ships
+        /// master-chosen starts into the restricted space and lifts the
+        /// slaves' results back out.
+        #[test]
+        fn prop_core_projection_round_trips() {
+            use crate::greedy::dynamic_randomized_greedy;
+            use crate::Xoshiro256;
+            prop_check!(
+                |rng| {
+                    (
+                        rng.next_u64(),
+                        rng.next_u64(),
+                        gen::vec_of(rng, 0, 3, |r| gen::usize_in(r, 0, 30)),
+                        gen::vec_of(rng, 0, 3, |r| gen::usize_in(r, 0, 30)),
+                    )
+                },
+                |input| {
+                    let (seed, sub_seed, fix_in, fix_out) = input;
+                    let parent = uncorrelated_instance("core", 30, 4, 0.5, *seed);
+                    let mut f_in: Vec<usize> = fix_in.clone();
+                    f_in.sort_unstable();
+                    f_in.dedup();
+                    let mut f_out: Vec<usize> = fix_out
+                        .iter()
+                        .copied()
+                        .filter(|j| !f_in.contains(j))
+                        .collect();
+                    f_out.sort_unstable();
+                    f_out.dedup();
+                    if let Ok(r) = Restriction::new(&parent, &f_in, &f_out) {
+                        // An arbitrary feasible core solution, not just the
+                        // deterministic greedy one.
+                        let mut rng = Xoshiro256::seed_from_u64(*sub_seed);
+                        let sub = dynamic_randomized_greedy(r.instance(), &mut rng, 3);
+                        assert!(sub.is_feasible(r.instance()));
+                        let lifted = r.lift(&parent, &sub);
+                        assert!(lifted.is_feasible(&parent), "lift broke feasibility");
+                        assert_eq!(
+                            lifted.value(),
+                            sub.value() + r.offset(),
+                            "lift changed the objective"
+                        );
+                        // project ∘ lift is the identity on the core.
+                        assert_eq!(
+                            r.project(lifted.bits()),
+                            *sub.bits(),
+                            "projection lost core bits"
+                        );
+                        // And the projection of any parent assignment only
+                        // carries free-variable bits (forced bits implied).
+                        let projected = r.project(lifted.bits());
+                        assert_eq!(projected.len(), r.instance().n());
                     }
                 }
             );

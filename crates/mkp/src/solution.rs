@@ -134,7 +134,7 @@ impl Solution {
     /// Would adding item `j` keep the solution feasible?
     ///
     /// Item must currently be out of the knapsack.
-    #[inline]
+    #[inline(always)]
     pub fn fits(&self, inst: &Instance, j: usize) -> bool {
         debug_assert!(!self.contains(j), "fits({j}) on packed item");
         self.loads

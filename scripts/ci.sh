@@ -83,6 +83,29 @@ for mode in seq its cts1 cts2 ats dts; do
     | grep -q '^best value' || { echo "error: mode $mode smoke failed" >&2; exit 1; }
 done
 
+step "policy smoke (core and repair, incl. a healed mid-run kill)"
+# The two promising-search-space policies behind --policy: a plain run of
+# each must print a result and exit 0, and a CORE run that loses a worker
+# to a kill fault must heal through the restart budget — survivors finish,
+# zero losses, exit 0.
+for policy in core repair; do
+  cargo run --release --offline --locked -p mkp-cli -- \
+    solve "$tmp_mkp" --policy "$policy" --p 2 --rounds 2 --budget 40000 --seed 1 \
+    | grep -q '^best value' \
+    || { echo "error: policy $policy smoke failed" >&2; exit 1; }
+done
+out="$(cargo run --release --offline --locked -p mkp-cli -- \
+  solve "$tmp_mkp" --policy core --p 4 --rounds 3 --budget 60000 --seed 1 \
+  --timeout 2 --fault kill@1:1 --restarts 2 --backoff 10 2>&1)" \
+  || { echo "error: policy fault smoke exited non-zero" >&2; echo "$out" >&2; exit 1; }
+echo "$out" | grep -q '^resurrections: ' \
+  || { echo "error: policy fault smoke never revived the worker" >&2; exit 1; }
+if echo "$out" | grep -q '^lost workers'; then
+  echo "error: policy fault smoke still lost workers" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
 step "telemetry smoke (metrics dumped, validated, deterministic)"
 # One synchronous mode and the sequential baseline: each must dump a
 # metrics document the in-tree validator accepts, and two identically

@@ -34,7 +34,8 @@ pub use simplex_lp;
 pub mod prelude {
     pub use mkp::eval::Ratios;
     pub use mkp::generate::{
-        fp_instance, fp_suite, gk_instance, mk_suite, table1_suite, uncorrelated_instance, GkSpec,
+        fp_instance, fp_suite, gk_instance, large_instance, large_suite, mk_suite, table1_suite,
+        uncorrelated_instance, GkSpec, LargeSpec,
     };
     pub use mkp::greedy::{greedy, randomized_greedy};
     pub use mkp::{BitVec, Instance, Solution, Xoshiro256};

@@ -124,6 +124,40 @@ fn inproc_and_socket_masters_count_the_same_messages() {
     assert_eq!(remote.telemetry.counter(0, Counter::FencedDrops), 0);
 }
 
+// Satellite regression for the search-space policies: CORE ships its
+// LP-fixing to the slaves as a *seeded* cell (the slave projects the
+// master-chosen start into the core and lifts elites back), and round 4
+// crosses the re-identification boundary — both paths must be
+// transport-invariant, not just the generic assignment plumbing.
+#[test]
+fn core_and_repair_policies_are_transport_invariant_across_a_refix() {
+    let inst = small_instance(13);
+    let cfg = RunConfig {
+        p: 2,
+        rounds: 5, // > REFIX_EVERY: the core is re-identified mid-run
+        report_timeout: Duration::from_secs(30),
+        ..RunConfig::new(50_000, 43)
+    };
+    for mode in [Mode::Core, Mode::Repair] {
+        let local = run_mode(&inst, mode, &cfg);
+        let remote = run_over_sockets(&inst, mode, &cfg, &format!("policy-{mode:?}"));
+        assert_eq!(
+            local.best.bits(),
+            remote.best.bits(),
+            "{mode:?}: socket solution diverged"
+        );
+        assert_eq!(
+            local.round_best, remote.round_best,
+            "{mode:?}: socket trajectory diverged"
+        );
+        assert_eq!(
+            (local.total_moves, local.total_evals),
+            (remote.total_moves, remote.total_evals),
+            "{mode:?}: socket work totals diverged"
+        );
+    }
+}
+
 #[test]
 fn remote_master_rejects_an_underpopulated_farm() {
     let inst = small_instance(5);

@@ -209,7 +209,12 @@ fn resumed_run_matches_the_uninterrupted_run_bit_for_bit() {
         rounds: 4,
         ..RunConfig::new(60_000, 21)
     };
-    for mode in [Mode::Cooperative, Mode::CooperativeAdaptive] {
+    for mode in [
+        Mode::Cooperative,
+        Mode::CooperativeAdaptive,
+        Mode::Core,
+        Mode::Repair,
+    ] {
         let mut engine = Engine::new(3);
         let uninterrupted = engine.run(&inst, mode, &cfg).unwrap();
 
